@@ -1,0 +1,197 @@
+//! Banded Smith–Waterman: local alignment restricted to a diagonal band.
+//!
+//! Partitioned search's fine stage must be cheap: the coarse stage has
+//! already located the promising *diagonal* (query offset minus record
+//! offset) for each candidate, so fine search only explores a band of
+//! width `2·half_width + 1` around it — O(band × query) work instead of
+//! O(query × record). The FASTA-style scanner uses the same routine for
+//! its `opt` rescoring step.
+
+use nucdb_seq::Base;
+
+use crate::score::ScoringScheme;
+
+const NEG: i32 = i32::MIN / 4;
+
+/// The alignment diagonal of a hit pairing query position `q_pos` with
+/// target position `t_pos` (the quantity the band is centred on).
+#[inline]
+pub fn band_for_diagonal(q_pos: usize, t_pos: usize) -> i64 {
+    t_pos as i64 - q_pos as i64
+}
+
+/// Local alignment score within the band `|(j - i) - center| ≤ half_width`
+/// (in 0-based positions `i` of `query` and `j` of `target`).
+///
+/// The result is a lower bound on the unbanded [`crate::sw_score`], equal
+/// to it whenever the optimal local alignment stays inside the band.
+pub fn banded_sw_score(
+    query: &[Base],
+    target: &[Base],
+    scheme: &ScoringScheme,
+    center: i64,
+    half_width: usize,
+) -> i32 {
+    let m = query.len();
+    let n = target.len();
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let gap_first = scheme.gap_first();
+    let gap_next = scheme.gap_next();
+
+    let width = 2 * half_width + 1;
+    // Band-relative indexing: in row i, slot b covers target column
+    // j = i + center - half_width + b. The diagonal neighbour (i-1, j-1)
+    // sits at the same slot of the previous row, "up" at slot b+1,
+    // "left" at slot b-1.
+    let slot_to_col =
+        |i: usize, b: usize| i as i64 + center - half_width as i64 + b as i64;
+
+    let mut h_prev = vec![NEG; width + 2];
+    let mut f_prev = vec![NEG; width + 2];
+    let mut h_cur = vec![NEG; width + 2];
+    let mut f_cur = vec![NEG; width + 2];
+
+    // Row 0: empty-query prefixes; any in-band, in-range column may start
+    // a local alignment at score 0. (Slots are offset by one so that b-1
+    // and b+1 never go out of bounds.)
+    for b in 0..width {
+        let j = slot_to_col(0, b);
+        if (0..=n as i64).contains(&j) {
+            h_prev[b + 1] = 0;
+        }
+    }
+
+    let mut best = 0i32;
+    for i in 1..=m {
+        let q = query[i - 1];
+        h_cur[0] = NEG;
+        f_cur[0] = NEG;
+        h_cur[width + 1] = NEG;
+        let mut e = NEG;
+        for b in 0..width {
+            let j = slot_to_col(i, b);
+            if j < 1 || j > n as i64 {
+                h_cur[b + 1] = if j == 0 { 0 } else { NEG };
+                f_cur[b + 1] = NEG;
+                // E resets outside the valid region.
+                e = NEG;
+                continue;
+            }
+            let j = j as usize;
+            // Left neighbour is the current row's previous slot.
+            e = (h_cur[b] + gap_first).max(e + gap_next);
+            // Up neighbour is the previous row's next slot.
+            let f = (h_prev[b + 2] + gap_first).max(f_prev[b + 2] + gap_next);
+            f_cur[b + 1] = f;
+            let sub = h_prev[b + 1] + scheme.substitution(q, target[j - 1]);
+            let score = sub.max(e).max(f).max(0);
+            h_cur[b + 1] = score;
+            if score > best {
+                best = score;
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut f_prev, &mut f_cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::sw_score;
+    use nucdb_seq::DnaSeq;
+
+    fn bases(ascii: &[u8]) -> Vec<Base> {
+        DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+    }
+
+    fn unit() -> ScoringScheme {
+        ScoringScheme::unit()
+    }
+
+    #[test]
+    fn wide_band_matches_full_sw() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"ACGTACGTAA", b"ACGTTACGTA"),
+            (b"AAAAACCCCC", b"AAAAAGGCCCCC"),
+            (b"GATTACA", b"GCATGCT"),
+            (b"ACACACACAC", b"CACACACACA"),
+        ];
+        for (q, t) in cases {
+            let q = bases(q);
+            let t = bases(t);
+            let full = sw_score(&q, &t, &unit());
+            // A band wide enough to cover the whole matrix from any center.
+            let banded = banded_sw_score(&q, &t, &unit(), 0, q.len() + t.len());
+            assert_eq!(banded, full, "q={q:?}");
+        }
+    }
+
+    #[test]
+    fn band_centred_on_true_diagonal_finds_alignment() {
+        // Shared core at query offset 8, target offset 6 → diagonal -2.
+        let q = bases(b"TTTTTTTTACGTAGCTAGCTGGGG");
+        let t = bases(b"CCCCCCACGTAGCTAGCTAAAAAAAA");
+        let diag = band_for_diagonal(8, 6);
+        assert_eq!(diag, -2);
+        let s = banded_sw_score(&q, &t, &unit(), diag, 4);
+        assert_eq!(s, 12); // the 12-base core matches exactly
+    }
+
+    #[test]
+    fn band_off_diagonal_misses_alignment() {
+        let q = bases(b"TTTTTTTTACGTAGCTAGCTGGGG");
+        let t = bases(b"CCCCCCACGTAGCTAGCTAAAAAAAA");
+        // Center far from the true diagonal (-2) with a narrow band.
+        let s = banded_sw_score(&q, &t, &unit(), 15, 2);
+        assert!(s < 12, "off-band score {s}");
+    }
+
+    #[test]
+    fn banded_never_exceeds_full() {
+        let q = bases(b"ACGGTTCAGGATCCGATTACAGT");
+        let t = bases(b"GGATCCGTTTACAGTACGGTTCA");
+        let full = sw_score(&q, &t, &ScoringScheme::blastn());
+        for center in -10i64..=10 {
+            for half_width in [0usize, 1, 3, 8] {
+                let banded =
+                    banded_sw_score(&q, &t, &ScoringScheme::blastn(), center, half_width);
+                assert!(
+                    banded <= full,
+                    "center {center} hw {half_width}: banded {banded} > full {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_band_is_single_diagonal() {
+        // half_width 0 on diagonal 0 scores the main-diagonal run only.
+        let q = bases(b"ACGTACGT");
+        let t = bases(b"ACGTTCGT");
+        // Diagonal scores: 4 matches, one mismatch, 3 matches → best
+        // cumulative local score 4 - 1 + 3 = 6.
+        let s = banded_sw_score(&q, &t, &unit(), 0, 0);
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let s = bases(b"ACGT");
+        assert_eq!(banded_sw_score(&[], &s, &unit(), 0, 5), 0);
+        assert_eq!(banded_sw_score(&s, &[], &unit(), 0, 5), 0);
+    }
+
+    #[test]
+    fn gap_within_band_is_used() {
+        // 2-base deletion: needs band wide enough to shift diagonals.
+        let q = bases(b"AAAAACCCCC");
+        let t = bases(b"AAAAAGGCCCCC");
+        let full = sw_score(&q, &t, &unit());
+        let banded = banded_sw_score(&q, &t, &unit(), 0, 3);
+        assert_eq!(banded, full);
+    }
+}

@@ -1,0 +1,244 @@
+//! A BLAST1-style exhaustive scanner: exact word hits extended ungapped
+//! with an X-dropoff.
+//!
+//! The second exhaustive baseline. For nucleotides, BLAST (1990) seeds on
+//! exact matches of length `w` (default 11) and extends each seed in both
+//! directions without gaps, abandoning the extension when the running
+//! score drops more than `x_drop` below the best seen. The record's score
+//! is its best HSP (high-scoring segment pair) score.
+
+use nucdb_seq::kmer::KmerIter;
+use nucdb_seq::Base;
+
+use crate::result::ScanHit;
+use crate::score::ScoringScheme;
+use crate::words::WordTable;
+
+/// Parameters of the BLAST-style scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlastParams {
+    /// Seed word length; 11 is the classic BLASTN setting.
+    pub word_len: usize,
+    /// Extension abandons when the running score falls this far below the
+    /// best score on the current extension.
+    pub x_drop: i32,
+}
+
+impl Default for BlastParams {
+    fn default() -> BlastParams {
+        BlastParams { word_len: 11, x_drop: 40 }
+    }
+}
+
+/// Score one record against a prepared query word table
+/// (built from `query` with `params.word_len`).
+pub fn blast_score(
+    table: &WordTable,
+    query: &[Base],
+    target: &[Base],
+    params: &BlastParams,
+    scheme: &ScoringScheme,
+) -> i32 {
+    debug_assert_eq!(table.k(), params.word_len);
+    let m = query.len();
+    let n = target.len();
+    let w = params.word_len;
+    if m < w || n < w {
+        return 0;
+    }
+
+    // For each diagonal, the target column up to which an extension has
+    // already covered it — a later seed inside that region would rediscover
+    // the same HSP. Diagonal index = j - i + (m - 1).
+    let mut covered_to = vec![0u32; m + n - 1];
+    let mut best = 0i32;
+
+    for (j, code) in KmerIter::new(target, w) {
+        for &qi in table.lookup(code) {
+            let i = qi as usize;
+            let diag = j + (m - 1) - i;
+            if (j as u32) < covered_to[diag] {
+                continue;
+            }
+
+            // Seed: an exact w-mer match.
+            let seed = w as i32 * scheme.match_score;
+
+            // Extend right from (i + w, j + w).
+            let mut cur = seed;
+            let mut best_here = seed;
+            let mut right = 0usize; // bases beyond the seed on the right
+            let mut best_right = 0usize;
+            while i + w + right < m && j + w + right < n {
+                cur += scheme.substitution(query[i + w + right], target[j + w + right]);
+                right += 1;
+                if cur > best_here {
+                    best_here = cur;
+                    best_right = right;
+                }
+                if cur <= best_here - params.x_drop {
+                    break;
+                }
+            }
+
+            // Extend left from (i - 1, j - 1).
+            let mut cur = best_here;
+            let mut left = 0usize;
+            while left < i && left < j {
+                cur += scheme.substitution(query[i - 1 - left], target[j - 1 - left]);
+                left += 1;
+                if cur > best_here {
+                    best_here = cur;
+                }
+                if cur <= best_here - params.x_drop {
+                    break;
+                }
+            }
+
+            covered_to[diag] = (j + w + best_right) as u32;
+            best = best.max(best_here);
+        }
+    }
+    best
+}
+
+/// Scan a whole collection: best-HSP score for every record, positive
+/// scores only, sorted by descending score (ties by ascending id).
+pub fn blast_scan<'a, I>(
+    query: &[Base],
+    targets: I,
+    params: &BlastParams,
+    scheme: &ScoringScheme,
+) -> Vec<ScanHit>
+where
+    I: IntoIterator<Item = &'a [Base]>,
+{
+    let table = WordTable::build(query, params.word_len);
+    let mut hits: Vec<ScanHit> = targets
+        .into_iter()
+        .enumerate()
+        .filter_map(|(id, target)| {
+            let score = blast_score(&table, query, target, params, scheme);
+            (score > 0).then_some(ScanHit { id: id as u32, score })
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucdb_seq::DnaSeq;
+
+    fn bases(ascii: &[u8]) -> Vec<Base> {
+        DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+    }
+
+    fn scheme() -> ScoringScheme {
+        ScoringScheme::blastn()
+    }
+
+    #[test]
+    fn exact_copy_scores_full_length() {
+        let q = bases(b"ACGTAGCTAGCTGGATCCAGGT");
+        let table = WordTable::build(&q, 11);
+        let score = blast_score(&table, &q, &q, &BlastParams::default(), &scheme());
+        assert_eq!(score, q.len() as i32 * scheme().match_score);
+    }
+
+    #[test]
+    fn embedded_copy_found() {
+        let core = b"ACGTAGCTAGCTGGATCCAGGT";
+        let mut t = b"TTCCTTCCTTCC".to_vec();
+        t.extend_from_slice(core);
+        t.extend_from_slice(b"GAGAGAGAGA");
+        let q = bases(core);
+        let table = WordTable::build(&q, 11);
+        let score = blast_score(&table, &q, &bases(&t), &BlastParams::default(), &scheme());
+        assert_eq!(score, core.len() as i32 * scheme().match_score);
+    }
+
+    #[test]
+    fn no_word_match_scores_zero() {
+        // Query and target share stretches shorter than the word length.
+        let q = bases(b"AAAAAAAAAACCCCCCCCCC");
+        let t = bases(b"AAAAAAAAGGAAAAAAAAGG"); // runs of 8 < w=11
+        let table = WordTable::build(&q, 11);
+        assert_eq!(blast_score(&table, &q, &t, &BlastParams::default(), &scheme()), 0);
+    }
+
+    #[test]
+    fn extension_crosses_single_mismatch() {
+        // Two 12-base exact runs separated by one mismatch: the ungapped
+        // extension should bridge the mismatch and score the whole 25-mer.
+        let q = bases(b"ACGTAGCTAGCTAGGATCCAGGTAC");
+        let mut t_ascii = q.iter().map(|b| b.to_ascii()).collect::<Vec<u8>>();
+        t_ascii[12] = b'C'; // single substitution mid-sequence (was A)
+        let t = bases(&t_ascii);
+        let table = WordTable::build(&q, 11);
+        let score = blast_score(&table, &q, &t, &BlastParams::default(), &scheme());
+        let s = scheme();
+        assert_eq!(score, 24 * s.match_score + s.mismatch_score);
+    }
+
+    #[test]
+    fn x_drop_stops_extension_into_noise() {
+        // A 12-base shared core inside mutually hostile flanks: the score
+        // must reflect the core only, not drown in the flanks.
+        let mut q_ascii = vec![b'A'; 20];
+        q_ascii.extend_from_slice(b"GCGCGGATCCGC");
+        q_ascii.extend(vec![b'A'; 20]);
+        let mut t_ascii = vec![b'T'; 20];
+        t_ascii.extend_from_slice(b"GCGCGGATCCGC");
+        t_ascii.extend(vec![b'T'; 20]);
+        let q = bases(&q_ascii);
+        let t = bases(&t_ascii);
+        let table = WordTable::build(&q, 11);
+        let score = blast_score(&table, &q, &t, &BlastParams::default(), &scheme());
+        assert_eq!(score, 12 * scheme().match_score);
+    }
+
+    #[test]
+    fn scan_ranks_by_similarity() {
+        let core = b"ACGTAGCTAGCTGGATCCAGGTTTACGGAT";
+        let mut related = b"CCGGCCGGCC".to_vec();
+        related.extend_from_slice(core);
+        let half = &core[..16];
+
+        let records: Vec<Vec<Base>> = vec![
+            bases(b"GAGAGAGAGAGAGAGAGAGAGAGAGAGAGA"),
+            bases(half),
+            bases(&related),
+        ];
+        let q = bases(core);
+        let hits = blast_scan(
+            &q,
+            records.iter().map(Vec::as_slice),
+            &BlastParams::default(),
+            &scheme(),
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 1);
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn shorter_word_finds_weaker_seeds() {
+        // With w=11 a 9-base shared run is invisible; with w=8 it seeds.
+        let q = bases(b"TTTTTTTTTTGGATCCGGATTTTTTTTTT");
+        let t = bases(b"CCCCCCCCCCGGATCCGGACCCCCCCCCC");
+        let t11 = WordTable::build(&q, 11);
+        assert_eq!(
+            blast_score(&t11, &q, &t, &BlastParams::default(), &scheme()),
+            0
+        );
+        let params8 = BlastParams { word_len: 8, ..BlastParams::default() };
+        let t8 = WordTable::build(&q, 8);
+        assert_eq!(
+            blast_score(&t8, &q, &t, &params8, &scheme()),
+            9 * scheme().match_score
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Statistical significance of local alignment scores.
+//!
+//! A raw Smith–Waterman score is meaningless without knowing what random
+//! chance produces: local alignment scores of unrelated sequences follow
+//! an extreme-value (Gumbel) distribution, so the expected number of
+//! chance alignments scoring ≥ S in an `m × n` comparison is
+//!
+//! ```text
+//! E = K · m · n · exp(−λ·S)
+//! ```
+//!
+//! (Karlin & Altschul, 1990). Two ways to obtain the parameters:
+//!
+//! * [`ungapped_lambda`] — the exact analytic λ for ungapped scoring,
+//!   found by solving `Σᵢⱼ pᵢ pⱼ e^{λ·s(i,j)} = 1`.
+//! * [`calibrate_gumbel`] — empirical calibration: align seeded random
+//!   sequence pairs and fit the Gumbel by the method of moments. This
+//!   also covers *gapped* alignment, where no closed form exists — the
+//!   same route BLAST's published parameter tables were produced by.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nucdb_seq::random::random_seq;
+use nucdb_seq::Base;
+
+use crate::score::ScoringScheme;
+use crate::sw::sw_score;
+
+/// Euler–Mascheroni constant (mean of the standard Gumbel).
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Solve for the ungapped Karlin–Altschul λ under base composition
+/// `composition` (probabilities of A, C, G, T in 2-bit-code order).
+///
+/// Returns `None` when no positive solution exists — which happens
+/// exactly when the expected pairwise score is non-negative (such a
+/// scheme makes arbitrarily long random alignments profitable and local
+/// alignment statistics break down).
+pub fn ungapped_lambda(scheme: &ScoringScheme, composition: [f64; 4]) -> Option<f64> {
+    let pairs = pair_probs(scheme, composition);
+    let expected: f64 = pairs.iter().map(|&(pp, s)| pp * s as f64).sum();
+    if expected >= 0.0 || scheme.match_score <= 0 {
+        return None;
+    }
+
+    // f(λ) = Σ pᵢpⱼ e^{λ s} − 1 is convex, f(0) = 0, f'(0) = E[s] < 0,
+    // f(λ) → ∞: exactly one positive root. Bracket then bisect.
+    let f = |lambda: f64| -> f64 {
+        pairs.iter().map(|&(pp, s)| pp * (lambda * s as f64).exp()).sum::<f64>() - 1.0
+    };
+    let mut hi = 0.5;
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+        if hi > 1e4 {
+            return None; // pathological scheme
+        }
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// All 16 base-pair terms `(pᵢ·pⱼ, s(i,j))`.
+fn pair_probs(scheme: &ScoringScheme, composition: [f64; 4]) -> [(f64, i32); 16] {
+    let mut out = [(0.0, 0); 16];
+    let mut idx = 0;
+    for a in Base::ALL {
+        for b in Base::ALL {
+            out[idx] = (
+                composition[a.code() as usize] * composition[b.code() as usize],
+                scheme.substitution(a, b),
+            );
+            idx += 1;
+        }
+    }
+    out
+}
+
+/// Fitted Gumbel parameters for a scoring regime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GumbelFit {
+    /// Scale parameter λ.
+    pub lambda: f64,
+    /// Pre-factor K.
+    pub k: f64,
+    /// The query/subject lengths the fit was calibrated at.
+    pub calibrated_mn: (usize, usize),
+}
+
+impl GumbelFit {
+    /// Expected number of chance alignments scoring at least `score` in
+    /// an `m × n` comparison.
+    pub fn evalue(&self, m: usize, n: usize, score: i32) -> f64 {
+        self.k * m as f64 * n as f64 * (-self.lambda * score as f64).exp()
+    }
+
+    /// Normalised bit score `(λ·S − ln K) / ln 2`.
+    pub fn bit_score(&self, score: i32) -> f64 {
+        (self.lambda * score as f64 - self.k.ln()) / std::f64::consts::LN_2
+    }
+
+    /// The raw score needed for an e-value of `target` at `m × n`.
+    pub fn score_for_evalue(&self, m: usize, n: usize, target: f64) -> i32 {
+        ((self.k * m as f64 * n as f64 / target).ln() / self.lambda).ceil() as i32
+    }
+}
+
+/// Calibrate Gumbel parameters empirically: Smith–Waterman scores of
+/// `samples` random pairs (lengths `m`, `n`, uniform composition), fitted
+/// by the method of moments. Deterministic in `seed`.
+///
+/// Moments of a Gumbel(μ, 1/λ): mean = μ + γ/λ, var = π²/(6λ²); then
+/// `K = exp(λμ) / (m·n)`.
+pub fn calibrate_gumbel(
+    scheme: &ScoringScheme,
+    m: usize,
+    n: usize,
+    samples: usize,
+    seed: u64,
+) -> GumbelFit {
+    assert!(samples >= 8, "too few samples to fit a distribution");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let q = random_seq(&mut rng, m, 0.5, 0.0).representative_bases();
+        let t = random_seq(&mut rng, n, 0.5, 0.0).representative_bases();
+        scores.push(sw_score(&q, &t, scheme) as f64);
+    }
+    let mean = scores.iter().sum::<f64>() / samples as f64;
+    let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples - 1) as f64;
+    let lambda = std::f64::consts::PI / (6.0 * var.max(1e-9)).sqrt();
+    let mu = mean - EULER_GAMMA / lambda;
+    let k = (lambda * mu).exp() / (m as f64 * n as f64);
+    GumbelFit { lambda, k, calibrated_mn: (m, n) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scheme_lambda_is_ln3() {
+        // +1/−1 uniform composition: 0.25·e^λ + 0.75·e^{−λ} = 1 ⇒ λ = ln 3.
+        let scheme = ScoringScheme { match_score: 1, mismatch_score: -1, gap_open: 0, gap_extend: 1 };
+        let lambda = ungapped_lambda(&scheme, [0.25; 4]).unwrap();
+        assert!((lambda - 3f64.ln()).abs() < 1e-9, "λ = {lambda}");
+    }
+
+    #[test]
+    fn blastn_scheme_lambda_known_range() {
+        // +5/−4 uniform: BLAST's published ungapped λ ≈ 0.192.
+        let lambda = ungapped_lambda(&ScoringScheme::blastn(), [0.25; 4]).unwrap();
+        assert!((0.18..0.21).contains(&lambda), "λ = {lambda}");
+    }
+
+    #[test]
+    fn positive_expectation_has_no_lambda() {
+        // Match +1, mismatch +1: expected score positive.
+        let scheme = ScoringScheme { match_score: 1, mismatch_score: 1, gap_open: 1, gap_extend: 1 };
+        assert!(ungapped_lambda(&scheme, [0.25; 4]).is_none());
+    }
+
+    #[test]
+    fn skewed_composition_shifts_lambda() {
+        // GC-rich composition makes matches likelier, so λ must drop
+        // (high scores become less surprising).
+        let uniform = ungapped_lambda(&ScoringScheme::blastn(), [0.25; 4]).unwrap();
+        let skewed = ungapped_lambda(&ScoringScheme::blastn(), [0.05, 0.45, 0.45, 0.05]).unwrap();
+        assert!(skewed < uniform, "skewed {skewed} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn calibration_is_deterministic_and_sane() {
+        let scheme = ScoringScheme::blastn();
+        let a = calibrate_gumbel(&scheme, 100, 200, 40, 9);
+        let b = calibrate_gumbel(&scheme, 100, 200, 40, 9);
+        assert_eq!(a, b);
+        assert!(a.lambda > 0.0 && a.lambda < 2.0, "λ = {}", a.lambda);
+        assert!(a.k > 0.0, "K = {}", a.k);
+    }
+
+    #[test]
+    fn evalue_monotonic_in_score_and_size() {
+        let fit = calibrate_gumbel(&ScoringScheme::blastn(), 100, 200, 40, 10);
+        assert!(fit.evalue(100, 200, 50) > fit.evalue(100, 200, 100));
+        assert!(fit.evalue(100, 400, 50) > fit.evalue(100, 200, 50));
+        // A huge score is essentially never chance.
+        assert!(fit.evalue(100, 200, 2_000) < 1e-6);
+    }
+
+    #[test]
+    fn typical_random_score_has_evalue_near_one_or_more() {
+        // The mean of the calibration distribution is by construction a
+        // score random chance reaches easily: E-value must not be tiny.
+        let scheme = ScoringScheme::blastn();
+        let fit = calibrate_gumbel(&scheme, 150, 300, 60, 11);
+        // Recompute a typical random score.
+        let mut rng = StdRng::seed_from_u64(999);
+        let q = random_seq(&mut rng, 150, 0.5, 0.0).representative_bases();
+        let t = random_seq(&mut rng, 300, 0.5, 0.0).representative_bases();
+        let typical = sw_score(&q, &t, &scheme);
+        assert!(
+            fit.evalue(150, 300, typical) > 0.05,
+            "typical score {typical} got e-value {}",
+            fit.evalue(150, 300, typical)
+        );
+    }
+
+    #[test]
+    fn bit_score_and_score_for_evalue_are_consistent() {
+        let fit = calibrate_gumbel(&ScoringScheme::blastn(), 100, 100, 40, 12);
+        let s = fit.score_for_evalue(100, 100, 1e-3);
+        assert!(fit.evalue(100, 100, s) <= 1e-3);
+        assert!(fit.evalue(100, 100, s - 2) > 1e-3);
+        // Bit scores increase with raw scores.
+        assert!(fit.bit_score(100) < fit.bit_score(200));
+    }
+}

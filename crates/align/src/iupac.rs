@@ -1,0 +1,169 @@
+//! Wildcard-aware local alignment over the full IUPAC alphabet.
+//!
+//! The main alignment path works over representative bases (wildcards
+//! collapsed), which is what the packed store decodes fastest and is the
+//! right trade for bulk scanning. When a region of interest contains
+//! ambiguity codes, though, collapsing biases the score: an `N` should be
+//! *compatible with* every base rather than match one and mismatch three.
+//!
+//! This module provides a score-only Smith–Waterman whose substitution
+//! rule consults ambiguity sets: two codes score as a (possibly
+//! discounted) match when their sets intersect. The discount reflects
+//! that `N`-vs-`A` is weaker evidence than `A`-vs-`A`: the match score is
+//! scaled by the probability that the two codes agree under a uniform
+//! draw from their sets, never dropping below the mismatch score.
+
+use nucdb_seq::{DnaSeq, IupacCode};
+
+use crate::score::ScoringScheme;
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Substitution score for two IUPAC codes under `scheme`.
+///
+/// Disjoint sets score as a mismatch. Overlapping sets score as a match
+/// scaled by `|A ∩ B| / (|A| · |B|)` — the agreement probability — so
+/// `A/A` gets the full match score, `N/A` a quarter of it.
+#[inline]
+pub fn iupac_substitution(scheme: &ScoringScheme, a: IupacCode, b: IupacCode) -> i32 {
+    let overlap = (a.mask() & b.mask()).count_ones();
+    if overlap == 0 {
+        return scheme.mismatch_score;
+    }
+    let agreement = overlap as f64 / (a.cardinality() as f64 * b.cardinality() as f64);
+    let scaled = (scheme.match_score as f64 * agreement).round() as i32;
+    scaled.max(scheme.mismatch_score)
+}
+
+/// Wildcard-aware local alignment score (Gotoh recurrences, linear
+/// memory), the IUPAC analogue of [`crate::sw_score`].
+pub fn sw_score_iupac(query: &DnaSeq, target: &DnaSeq, scheme: &ScoringScheme) -> i32 {
+    if query.is_empty() || target.is_empty() {
+        return 0;
+    }
+    let n = target.len();
+    let gap_first = scheme.gap_first();
+    let gap_next = scheme.gap_next();
+    let target_codes = target.codes();
+
+    let mut h = vec![0i32; n + 1];
+    let mut f = vec![NEG; n + 1];
+    let mut best = 0i32;
+    for q in query.iter() {
+        let mut diag = h[0];
+        let mut e = NEG;
+        for j in 1..=n {
+            e = (h[j - 1] + gap_first).max(e + gap_next);
+            f[j] = (h[j] + gap_first).max(f[j] + gap_next);
+            let sub = diag + iupac_substitution(scheme, q, target_codes[j - 1]);
+            let score = sub.max(e).max(f[j]).max(0);
+            diag = h[j];
+            h[j] = score;
+            if score > best {
+                best = score;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::sw_score;
+
+    fn seq(ascii: &[u8]) -> DnaSeq {
+        DnaSeq::from_ascii(ascii).unwrap()
+    }
+
+    fn unit() -> ScoringScheme {
+        ScoringScheme::unit()
+    }
+
+    #[test]
+    fn plain_bases_match_classic_sw() {
+        // Without wildcards the IUPAC scorer must agree with the base
+        // scorer exactly.
+        for (q, t) in [
+            (&b"ACGTACGT"[..], &b"ACGTACGT"[..]),
+            (b"GATTACA", b"GCATGCT"),
+            (b"AAAAACCCCC", b"AAAAAGGCCCCC"),
+        ] {
+            let q = seq(q);
+            let t = seq(t);
+            for scheme in [ScoringScheme::unit(), ScoringScheme::blastn()] {
+                assert_eq!(
+                    sw_score_iupac(&q, &t, &scheme),
+                    sw_score(
+                        &q.representative_bases(),
+                        &t.representative_bases(),
+                        &scheme
+                    ),
+                    "q={q} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn substitution_rules() {
+        let s = ScoringScheme::blastn(); // +5 / −4
+        let a = IupacCode::A;
+        let n = IupacCode::N;
+        let r = IupacCode::R;
+        let y = IupacCode::Y;
+        assert_eq!(iupac_substitution(&s, a, a), 5);
+        assert_eq!(iupac_substitution(&s, a, IupacCode::C), -4);
+        // N/A: agreement 1/4 → round(1.25) = 1.
+        assert_eq!(iupac_substitution(&s, n, a), 1);
+        // R/A: agreement 1/2 → round(2.5) = 3 (banker-free rounding up).
+        assert_eq!(iupac_substitution(&s, r, a), 3);
+        // R/Y sets are disjoint → mismatch.
+        assert_eq!(iupac_substitution(&s, r, y), -4);
+        // Symmetric.
+        assert_eq!(iupac_substitution(&s, a, n), iupac_substitution(&s, n, a));
+    }
+
+    #[test]
+    fn n_never_scores_below_mismatch() {
+        // Even pathological schemes keep compatible codes at or above the
+        // mismatch score.
+        let s = ScoringScheme { match_score: 1, mismatch_score: -10, gap_open: 2, gap_extend: 1 };
+        for byte in b"ACGTRYSWKMBDHVN" {
+            let code = IupacCode::from_ascii(*byte).unwrap();
+            assert!(iupac_substitution(&s, IupacCode::N, code) >= s.mismatch_score);
+        }
+    }
+
+    #[test]
+    fn wildcard_region_scores_better_than_collapsed_mismatch() {
+        // Query matches the target except where the target has Ns. The
+        // IUPAC score must beat the collapsed-representative score
+        // whenever collapsing turns an N into a mismatching base.
+        let q = seq(b"ACGTACGTACGTACGT");
+        let t = seq(b"ACGTNNNNACGTACGT");
+        let iupac = sw_score_iupac(&q, &t, &unit());
+        let collapsed =
+            sw_score(&q.representative_bases(), &t.representative_bases(), &unit());
+        assert!(
+            iupac >= collapsed,
+            "iupac {iupac} < collapsed {collapsed}"
+        );
+        // And the Ns must not count as full matches: scoring stays below
+        // the all-match bound.
+        assert!(iupac < q.len() as i32);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sw_score_iupac(&DnaSeq::new(), &seq(b"ACGT"), &unit()), 0);
+        assert_eq!(sw_score_iupac(&seq(b"ACGT"), &DnaSeq::new(), &unit()), 0);
+    }
+
+    #[test]
+    fn disjoint_alphabets_score_zero() {
+        assert_eq!(sw_score_iupac(&seq(b"AAAA"), &seq(b"TTTT"), &unit()), 0);
+        // R (A/G) against Y (C/T) can never match.
+        assert_eq!(sw_score_iupac(&seq(b"RRRR"), &seq(b"YYYY"), &unit()), 0);
+    }
+}

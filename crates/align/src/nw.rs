@@ -1,0 +1,220 @@
+//! Needleman–Wunsch global alignment with affine gaps.
+//!
+//! Global alignment is not on the paper's query path (answers are *local*
+//! alignments), but the test suites use it to validate mutation models and
+//! the examples use it to display end-to-end alignments of homologous
+//! fragments.
+
+use nucdb_seq::Base;
+
+use crate::result::{Alignment, CigarBuilder, CigarOp};
+use crate::score::ScoringScheme;
+
+const NEG: i32 = i32::MIN / 4;
+
+const H_DIAG: u8 = 1;
+const H_FROM_E: u8 = 2;
+const H_FROM_F: u8 = 3;
+const E_EXTEND: u8 = 1 << 2;
+const F_EXTEND: u8 = 1 << 3;
+
+/// Globally align `query` against `target` (both consumed end to end).
+pub fn nw_align(query: &[Base], target: &[Base], scheme: &ScoringScheme) -> Alignment {
+    let m = query.len();
+    let n = target.len();
+    let gap_first = scheme.gap_first();
+    let gap_next = scheme.gap_next();
+
+    let width = n + 1;
+    let mut h = vec![NEG; (m + 1) * width];
+    let mut e = vec![NEG; (m + 1) * width];
+    let mut f = vec![NEG; (m + 1) * width];
+    let mut dir = vec![0u8; (m + 1) * width];
+
+    h[0] = 0;
+    // First row: all-gap prefixes in the target (E states).
+    for j in 1..=n {
+        e[j] = if j == 1 { gap_first } else { e[j - 1] + gap_next };
+        h[j] = e[j];
+        dir[j] = H_FROM_E | if j > 1 { E_EXTEND } else { 0 };
+    }
+    // First column: all-gap prefixes in the query (F states).
+    for i in 1..=m {
+        let idx = i * width;
+        f[idx] = if i == 1 { gap_first } else { f[idx - width] + gap_next };
+        h[idx] = f[idx];
+        dir[idx] = H_FROM_F | if i > 1 { F_EXTEND } else { 0 };
+    }
+
+    for i in 1..=m {
+        let row = i * width;
+        let prev = row - width;
+        for j in 1..=n {
+            let mut cell_dir = 0u8;
+
+            let e_open = h[row + j - 1] + gap_first;
+            let e_ext = e[row + j - 1] + gap_next;
+            e[row + j] = if e_ext > e_open {
+                cell_dir |= E_EXTEND;
+                e_ext
+            } else {
+                e_open
+            };
+
+            let f_open = h[prev + j] + gap_first;
+            let f_ext = f[prev + j] + gap_next;
+            f[row + j] = if f_ext > f_open {
+                cell_dir |= F_EXTEND;
+                f_ext
+            } else {
+                f_open
+            };
+
+            let sub = h[prev + j - 1] + scheme.substitution(query[i - 1], target[j - 1]);
+            let (score, source) =
+                [(sub, H_DIAG), (e[row + j], H_FROM_E), (f[row + j], H_FROM_F)]
+                    .into_iter()
+                    .max_by_key(|&(s, _)| s)
+                    .unwrap();
+            h[row + j] = score;
+            dir[row + j] = cell_dir | source;
+        }
+    }
+
+    // Traceback from the bottom-right corner to the origin.
+    #[derive(Clone, Copy)]
+    enum State {
+        H,
+        E,
+        F,
+    }
+    let mut i = m;
+    let mut j = n;
+    let mut state = State::H;
+    let mut cigar = CigarBuilder::new();
+    while i > 0 || j > 0 {
+        let d = dir[i * width + j];
+        match state {
+            State::H => match d & 0b11 {
+                H_DIAG => {
+                    if query[i - 1] == target[j - 1] {
+                        cigar.push(CigarOp::Match(1));
+                    } else {
+                        cigar.push(CigarOp::Mismatch(1));
+                    }
+                    i -= 1;
+                    j -= 1;
+                }
+                H_FROM_E => state = State::E,
+                _ => state = State::F,
+            },
+            State::E => {
+                cigar.push(CigarOp::Delete(1));
+                let extended = d & E_EXTEND != 0;
+                j -= 1;
+                if !extended {
+                    state = State::H;
+                }
+            }
+            State::F => {
+                cigar.push(CigarOp::Insert(1));
+                let extended = d & F_EXTEND != 0;
+                i -= 1;
+                if !extended {
+                    state = State::H;
+                }
+            }
+        }
+    }
+
+    let alignment = Alignment {
+        score: h[m * width + n],
+        query_range: 0..m,
+        target_range: 0..n,
+        cigar: cigar.into_reversed(),
+    };
+    debug_assert!(alignment.is_consistent());
+    alignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::sw_score;
+    use nucdb_seq::DnaSeq;
+
+    fn bases(ascii: &[u8]) -> Vec<Base> {
+        DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+    }
+
+    fn unit() -> ScoringScheme {
+        ScoringScheme::unit()
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let s = bases(b"ACGTACGT");
+        let a = nw_align(&s, &s, &unit());
+        assert_eq!(a.score, 8);
+        assert_eq!(a.cigar_string(), "8=");
+    }
+
+    #[test]
+    fn empty_against_nonempty_is_all_gaps() {
+        let s = bases(b"ACGT");
+        let a = nw_align(&[], &s, &unit());
+        assert_eq!(a.cigar_string(), "4D");
+        // One gap of length 4: -(2 + 4*1) = -6.
+        assert_eq!(a.score, -6);
+        let b = nw_align(&s, &[], &unit());
+        assert_eq!(b.cigar_string(), "4I");
+        assert_eq!(b.score, -6);
+    }
+
+    #[test]
+    fn both_empty() {
+        let a = nw_align(&[], &[], &unit());
+        assert_eq!(a.score, 0);
+        assert!(a.cigar.is_empty());
+    }
+
+    #[test]
+    fn single_substitution() {
+        let a = nw_align(&bases(b"ACGT"), &bases(b"AGGT"), &unit());
+        assert_eq!(a.score, 2);
+        assert_eq!(a.cigar_string(), "1=1X2=");
+    }
+
+    #[test]
+    fn global_must_consume_everything() {
+        // Local would skip the mismatching prefix; global cannot.
+        let q = bases(b"TTTTACGT");
+        let t = bases(b"ACGT");
+        let a = nw_align(&q, &t, &unit());
+        assert!(a.is_consistent());
+        assert_eq!(a.query_range, 0..8);
+        assert_eq!(a.target_range, 0..4);
+    }
+
+    #[test]
+    fn global_score_never_exceeds_local() {
+        let q = bases(b"GGGACGTACGTAAA");
+        let t = bases(b"TTACGTACGTCC");
+        for scheme in [ScoringScheme::unit(), ScoringScheme::blastn()] {
+            let global = nw_align(&q, &t, &scheme).score;
+            let local = sw_score(&q, &t, &scheme);
+            assert!(global <= local, "global {global} > local {local}");
+        }
+    }
+
+    #[test]
+    fn affine_prefers_single_gap() {
+        let scheme =
+            ScoringScheme { match_score: 2, mismatch_score: -3, gap_open: 5, gap_extend: 1 };
+        let q = bases(b"AAAATTTT");
+        let t = bases(b"AAAACCTTTT");
+        let a = nw_align(&q, &t, &scheme);
+        assert_eq!(a.cigar_string(), "4=2D4=");
+        assert_eq!(a.score, 8 * 2 - (5 + 2));
+    }
+}

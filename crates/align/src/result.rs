@@ -1,0 +1,330 @@
+//! Alignment results: scores, coordinates, CIGAR edit transcripts, and a
+//! pairwise text renderer.
+
+use nucdb_seq::Base;
+
+/// One record's score from an exhaustive collection scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanHit {
+    /// Record index within the scanned collection.
+    pub id: u32,
+    /// Best (heuristic or exact) local alignment score for the record.
+    pub score: i32,
+}
+
+/// One CIGAR-style edit operation with a run length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CigarOp {
+    /// `run` aligned pairs of identical bases.
+    Match(u32),
+    /// `run` aligned pairs of different bases.
+    Mismatch(u32),
+    /// `run` bases of the query aligned against a gap (insertion relative
+    /// to the target).
+    Insert(u32),
+    /// `run` bases of the target aligned against a gap (deletion relative
+    /// to the target).
+    Delete(u32),
+}
+
+impl CigarOp {
+    /// The run length.
+    pub fn run(&self) -> u32 {
+        match *self {
+            CigarOp::Match(n) | CigarOp::Mismatch(n) | CigarOp::Insert(n) | CigarOp::Delete(n) => {
+                n
+            }
+        }
+    }
+
+    /// Single-letter code (`=`, `X`, `I`, `D`).
+    pub fn letter(&self) -> char {
+        match self {
+            CigarOp::Match(_) => '=',
+            CigarOp::Mismatch(_) => 'X',
+            CigarOp::Insert(_) => 'I',
+            CigarOp::Delete(_) => 'D',
+        }
+    }
+}
+
+/// A (local or global) pairwise alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Alignment score under the scheme it was computed with.
+    pub score: i32,
+    /// Half-open aligned range in the query.
+    pub query_range: std::ops::Range<usize>,
+    /// Half-open aligned range in the target.
+    pub target_range: std::ops::Range<usize>,
+    /// Edit transcript from `(query_range.start, target_range.start)`.
+    pub cigar: Vec<CigarOp>,
+}
+
+impl Alignment {
+    /// Number of exactly matching aligned pairs.
+    pub fn matches(&self) -> usize {
+        self.cigar
+            .iter()
+            .map(|op| if let CigarOp::Match(n) = op { *n as usize } else { 0 })
+            .sum()
+    }
+
+    /// Total alignment columns (pairs plus gap positions).
+    pub fn columns(&self) -> usize {
+        self.cigar.iter().map(|op| op.run() as usize).sum()
+    }
+
+    /// Fraction of columns that are exact matches (0.0 for an empty
+    /// alignment).
+    pub fn identity(&self) -> f64 {
+        let cols = self.columns();
+        if cols == 0 {
+            0.0
+        } else {
+            self.matches() as f64 / cols as f64
+        }
+    }
+
+    /// Compact CIGAR string, e.g. `12=1X3=2D7=`.
+    pub fn cigar_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for op in &self.cigar {
+            let _ = write!(out, "{}{}", op.run(), op.letter());
+        }
+        out
+    }
+
+    /// Render the alignment as BLAST-style pairwise text blocks:
+    ///
+    /// ```text
+    /// query   12  ACGTACGT-ACG  23
+    ///             |||| |||·|||
+    /// target  45  ACGTTCGTAACG  56
+    /// ```
+    ///
+    /// `|` marks a match, a space a mismatch; gaps appear as `-` in the
+    /// gapped sequence. `query` and `target` must be the sequences the
+    /// alignment was computed over.
+    pub fn render(&self, query: &[Base], target: &[Base], width: usize) -> String {
+        let width = width.max(10);
+        // Expand the CIGAR into three parallel character rows.
+        let mut q_row = String::new();
+        let mut m_row = String::new();
+        let mut t_row = String::new();
+        let mut qi = self.query_range.start;
+        let mut ti = self.target_range.start;
+        for op in &self.cigar {
+            match *op {
+                CigarOp::Match(n) | CigarOp::Mismatch(n) => {
+                    for _ in 0..n {
+                        let qb = query[qi].to_ascii() as char;
+                        let tb = target[ti].to_ascii() as char;
+                        q_row.push(qb);
+                        t_row.push(tb);
+                        m_row.push(if qb == tb { '|' } else { ' ' });
+                        qi += 1;
+                        ti += 1;
+                    }
+                }
+                CigarOp::Insert(n) => {
+                    for _ in 0..n {
+                        q_row.push(query[qi].to_ascii() as char);
+                        t_row.push('-');
+                        m_row.push(' ');
+                        qi += 1;
+                    }
+                }
+                CigarOp::Delete(n) => {
+                    for _ in 0..n {
+                        q_row.push('-');
+                        t_row.push(target[ti].to_ascii() as char);
+                        m_row.push(' ');
+                        ti += 1;
+                    }
+                }
+            }
+        }
+
+        // Emit in width-sized blocks with 1-based coordinates.
+        let mut out = String::new();
+        let mut q_pos = self.query_range.start;
+        let mut t_pos = self.target_range.start;
+        let total = q_row.len();
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + width).min(total);
+            let q_chunk = &q_row[start..end];
+            let m_chunk = &m_row[start..end];
+            let t_chunk = &t_row[start..end];
+            let q_advance = q_chunk.chars().filter(|&c| c != '-').count();
+            let t_advance = t_chunk.chars().filter(|&c| c != '-').count();
+            use std::fmt::Write;
+            let _ = writeln!(out, "query   {:>6}  {}  {}", q_pos + 1, q_chunk, q_pos + q_advance);
+            let _ = writeln!(out, "                {m_chunk}");
+            let _ = writeln!(out, "target  {:>6}  {}  {}", t_pos + 1, t_chunk, t_pos + t_advance);
+            if end < total {
+                out.push('\n');
+            }
+            q_pos += q_advance;
+            t_pos += t_advance;
+            start = end;
+        }
+        out
+    }
+
+    /// Check internal consistency: op runs must add up to the coordinate
+    /// ranges. Used by tests and debug assertions.
+    pub fn is_consistent(&self) -> bool {
+        let mut q = 0usize;
+        let mut t = 0usize;
+        for op in &self.cigar {
+            match op {
+                CigarOp::Match(n) | CigarOp::Mismatch(n) => {
+                    q += *n as usize;
+                    t += *n as usize;
+                }
+                CigarOp::Insert(n) => q += *n as usize,
+                CigarOp::Delete(n) => t += *n as usize,
+            }
+        }
+        q == self.query_range.len() && t == self.target_range.len()
+    }
+}
+
+/// Builder that merges consecutive same-kind operations.
+#[derive(Debug, Default)]
+pub(crate) struct CigarBuilder {
+    ops: Vec<CigarOp>,
+}
+
+impl CigarBuilder {
+    pub(crate) fn new() -> CigarBuilder {
+        CigarBuilder::default()
+    }
+
+    pub(crate) fn push(&mut self, op: CigarOp) {
+        if op.run() == 0 {
+            return;
+        }
+        if let Some(last) = self.ops.last_mut() {
+            let merged = match (*last, op) {
+                (CigarOp::Match(a), CigarOp::Match(b)) => Some(CigarOp::Match(a + b)),
+                (CigarOp::Mismatch(a), CigarOp::Mismatch(b)) => Some(CigarOp::Mismatch(a + b)),
+                (CigarOp::Insert(a), CigarOp::Insert(b)) => Some(CigarOp::Insert(a + b)),
+                (CigarOp::Delete(a), CigarOp::Delete(b)) => Some(CigarOp::Delete(a + b)),
+                _ => None,
+            };
+            if let Some(m) = merged {
+                *last = m;
+                return;
+            }
+        }
+        self.ops.push(op);
+    }
+
+    /// Finish, reversing (tracebacks produce ops back-to-front).
+    pub(crate) fn into_reversed(mut self) -> Vec<CigarOp> {
+        self.ops.reverse();
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Alignment {
+        Alignment {
+            score: 42,
+            query_range: 2..10,
+            target_range: 5..14,
+            cigar: vec![
+                CigarOp::Match(4),
+                CigarOp::Mismatch(1),
+                CigarOp::Delete(1),
+                CigarOp::Match(3),
+            ],
+        }
+    }
+
+    #[test]
+    fn counting() {
+        let a = sample();
+        assert_eq!(a.matches(), 7);
+        assert_eq!(a.columns(), 9);
+        assert!((a.identity() - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cigar_string() {
+        assert_eq!(sample().cigar_string(), "4=1X1D3=");
+    }
+
+    #[test]
+    fn consistency() {
+        assert!(sample().is_consistent());
+        let mut broken = sample();
+        broken.query_range = 0..3;
+        assert!(!broken.is_consistent());
+    }
+
+    #[test]
+    fn empty_alignment_identity_zero() {
+        let a = Alignment { score: 0, query_range: 0..0, target_range: 0..0, cigar: vec![] };
+        assert_eq!(a.identity(), 0.0);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn render_pairwise_blocks() {
+        use crate::score::ScoringScheme;
+        use crate::sw::sw_align;
+        use nucdb_seq::DnaSeq;
+        let q = DnaSeq::from_ascii(b"AAAAACCCCC").unwrap().representative_bases();
+        let t = DnaSeq::from_ascii(b"AAAAAGGCCCCC").unwrap().representative_bases();
+        let scheme =
+            ScoringScheme { match_score: 1, mismatch_score: -3, gap_open: 2, gap_extend: 1 };
+        let alignment = sw_align(&q, &t, &scheme).unwrap();
+        let text = alignment.render(&q, &t, 40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("AAAAA--CCCCC"), "{text}");
+        assert!(lines[2].contains("AAAAAGGCCCCC"), "{text}");
+        // Coordinates: 1-based start, end = last base consumed.
+        assert!(lines[0].trim_start().starts_with("query"));
+        assert!(lines[0].contains("  1  "), "{text}");
+        assert!(lines[0].trim_end().ends_with("10"), "{text}");
+        assert!(lines[2].trim_end().ends_with("12"), "{text}");
+        // Match row has bars exactly where bases agree.
+        assert_eq!(lines[1].matches('|').count(), 10);
+    }
+
+    #[test]
+    fn render_wraps_long_alignments() {
+        use crate::score::ScoringScheme;
+        use crate::sw::sw_align;
+        use nucdb_seq::DnaSeq;
+        let seq = DnaSeq::from_ascii(&[b'A'; 75]).unwrap().representative_bases();
+        let alignment = sw_align(&seq, &seq, &ScoringScheme::unit()).unwrap();
+        let text = alignment.render(&seq, &seq, 30);
+        // 75 columns at width 30 → 3 blocks of 3 lines + 2 separators.
+        let blocks = text.split("\n\n").count();
+        assert_eq!(blocks, 3, "{text}");
+        // Second block starts at base 31.
+        assert!(text.contains("query       31"), "{text}");
+    }
+
+    #[test]
+    fn builder_merges_runs() {
+        let mut b = CigarBuilder::new();
+        b.push(CigarOp::Match(1));
+        b.push(CigarOp::Match(2));
+        b.push(CigarOp::Insert(1));
+        b.push(CigarOp::Insert(0)); // ignored
+        b.push(CigarOp::Match(1));
+        let ops = b.into_reversed();
+        assert_eq!(ops, vec![CigarOp::Match(1), CigarOp::Insert(1), CigarOp::Match(3)]);
+    }
+}

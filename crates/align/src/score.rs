@@ -1,0 +1,102 @@
+//! Scoring schemes for nucleotide alignment.
+
+use nucdb_seq::Base;
+
+/// Match/mismatch and affine gap parameters.
+///
+/// Gap costs are stored as positive magnitudes; a gap of length `L` costs
+/// `gap_open + L * gap_extend` (the "open" charge is paid once, on top of
+/// the per-base extension, following Gotoh's formulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoringScheme {
+    /// Score for aligning two identical bases (positive).
+    pub match_score: i32,
+    /// Score for aligning two different bases (negative).
+    pub mismatch_score: i32,
+    /// One-off cost of opening a gap (positive magnitude).
+    pub gap_open: i32,
+    /// Per-base cost of extending a gap (positive magnitude).
+    pub gap_extend: i32,
+}
+
+impl ScoringScheme {
+    /// The classic nucleotide scheme used throughout the experiments:
+    /// +5/−4 with gap open 10, extend 2 (BLASTN-like magnitudes).
+    pub fn blastn() -> ScoringScheme {
+        ScoringScheme { match_score: 5, mismatch_score: -4, gap_open: 10, gap_extend: 2 }
+    }
+
+    /// A unit scheme (+1/−1, gaps −2−1·L) convenient for hand-checked
+    /// tests.
+    pub fn unit() -> ScoringScheme {
+        ScoringScheme { match_score: 1, mismatch_score: -1, gap_open: 2, gap_extend: 1 }
+    }
+
+    /// Substitution score for a base pair.
+    #[inline]
+    pub fn substitution(&self, a: Base, b: Base) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch_score
+        }
+    }
+
+    /// Cost of the first base of a gap (open + extend), as a negative
+    /// score contribution.
+    #[inline]
+    pub fn gap_first(&self) -> i32 {
+        -(self.gap_open + self.gap_extend)
+    }
+
+    /// Cost of each subsequent gap base, negative.
+    #[inline]
+    pub fn gap_next(&self) -> i32 {
+        -self.gap_extend
+    }
+
+    /// Upper bound on the score of aligning a query of length `len`
+    /// (every base matching).
+    #[inline]
+    pub fn max_score(&self, len: usize) -> i64 {
+        self.match_score as i64 * len as i64
+    }
+}
+
+impl Default for ScoringScheme {
+    fn default() -> ScoringScheme {
+        ScoringScheme::blastn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_scores() {
+        let s = ScoringScheme::blastn();
+        assert_eq!(s.substitution(Base::A, Base::A), 5);
+        assert_eq!(s.substitution(Base::A, Base::G), -4);
+    }
+
+    #[test]
+    fn gap_costs() {
+        let s = ScoringScheme::unit();
+        assert_eq!(s.gap_first(), -3);
+        assert_eq!(s.gap_next(), -1);
+        // A 3-base gap: first + 2 * next = -(2 + 3*1) = -5.
+        assert_eq!(s.gap_first() + 2 * s.gap_next(), -5);
+    }
+
+    #[test]
+    fn max_score_bound() {
+        assert_eq!(ScoringScheme::blastn().max_score(100), 500);
+        assert_eq!(ScoringScheme::unit().max_score(0), 0);
+    }
+
+    #[test]
+    fn default_is_blastn() {
+        assert_eq!(ScoringScheme::default(), ScoringScheme::blastn());
+    }
+}

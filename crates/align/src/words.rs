@@ -1,0 +1,148 @@
+//! Query word tables for the exhaustive scan heuristics.
+//!
+//! FASTA's k-tuple lookup and BLAST's word-hit seeding both need, for every
+//! word of the scanned record, the list of query positions holding the same
+//! word. A [`WordTable`] is built once per query and probed once per record
+//! position, so lookup must be cheap: small word lengths use a dense
+//! `4^k`-slot table, longer ones a hash map with a multiplicative hasher
+//! (the standard SipHash is overkill for trusted integer keys).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use nucdb_seq::kmer::{vocabulary_size, KmerIter};
+use nucdb_seq::Base;
+
+/// Multiplicative hasher for `u64` word codes (Fibonacci hashing).
+#[derive(Default)]
+pub struct WordHasher {
+    state: u64,
+}
+
+impl Hasher for WordHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path, only used if a non-u64 key sneaks in.
+        for &b in bytes {
+            self.state = self.state.rotate_left(8) ^ b as u64;
+        }
+        self.state = self.state.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.state = value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type WordMap = HashMap<u64, Vec<u32>, BuildHasherDefault<WordHasher>>;
+
+/// Dense tables are used while `4^k` stays at or below this many slots.
+const DENSE_LIMIT: u64 = 1 << 16;
+
+/// Word-code → query-positions lookup for one query.
+pub struct WordTable {
+    k: usize,
+    dense: Option<Vec<Vec<u32>>>,
+    sparse: WordMap,
+}
+
+impl WordTable {
+    /// Index every overlapping word of length `k` in `query`.
+    pub fn build(query: &[Base], k: usize) -> WordTable {
+        let vocab = vocabulary_size(k);
+        let mut table = if vocab <= DENSE_LIMIT {
+            WordTable { k, dense: Some(vec![Vec::new(); vocab as usize]), sparse: WordMap::default() }
+        } else {
+            WordTable { k, dense: None, sparse: WordMap::default() }
+        };
+        for (pos, code) in KmerIter::new(query, k) {
+            match &mut table.dense {
+                Some(dense) => dense[code as usize].push(pos as u32),
+                None => table.sparse.entry(code).or_default().push(pos as u32),
+            }
+        }
+        table
+    }
+
+    /// Word length.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Query positions whose word equals `code` (ascending).
+    #[inline]
+    pub fn lookup(&self, code: u64) -> &[u32] {
+        match &self.dense {
+            Some(dense) => &dense[code as usize],
+            None => self.sparse.get(&code).map_or(&[], Vec::as_slice),
+        }
+    }
+
+    /// Number of distinct words present.
+    pub fn distinct_words(&self) -> usize {
+        match &self.dense {
+            Some(dense) => dense.iter().filter(|v| !v.is_empty()).count(),
+            None => self.sparse.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucdb_seq::{pack_kmer, DnaSeq};
+
+    fn bases(ascii: &[u8]) -> Vec<Base> {
+        DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+    }
+
+    #[test]
+    fn dense_lookup_finds_positions() {
+        let q = bases(b"ACGTACGT");
+        let table = WordTable::build(&q, 4);
+        let acgt = pack_kmer(&bases(b"ACGT"));
+        assert_eq!(table.lookup(acgt), &[0, 4]);
+        let cgta = pack_kmer(&bases(b"CGTA"));
+        assert_eq!(table.lookup(cgta), &[1]);
+        let tttt = pack_kmer(&bases(b"TTTT"));
+        assert!(table.lookup(tttt).is_empty());
+    }
+
+    #[test]
+    fn sparse_lookup_for_long_words() {
+        let q = bases(b"ACGTACGTACGTACG");
+        let table = WordTable::build(&q, 11);
+        assert!(table.dense.is_none(), "k=11 must be sparse");
+        let word = pack_kmer(&bases(b"ACGTACGTACG"));
+        assert_eq!(table.lookup(word), &[0, 4]);
+        assert_eq!(table.lookup(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        // Force the same k through both paths by comparing k=8 dense with
+        // a manual sparse build.
+        let q = bases(b"ACGGTTCAGGATCCGATTACAGTACGGT");
+        let dense = WordTable::build(&q, 8);
+        assert!(dense.dense.is_some());
+        let mut sparse = WordTable { k: 8, dense: None, sparse: WordMap::default() };
+        for (pos, code) in KmerIter::new(&q, 8) {
+            sparse.sparse.entry(code).or_default().push(pos as u32);
+        }
+        for (_, code) in KmerIter::new(&q, 8) {
+            assert_eq!(dense.lookup(code), sparse.lookup(code));
+        }
+        assert_eq!(dense.distinct_words(), sparse.distinct_words());
+    }
+
+    #[test]
+    fn short_query_has_no_words() {
+        let q = bases(b"ACG");
+        let table = WordTable::build(&q, 6);
+        assert_eq!(table.distinct_words(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the alignment substrate: invariants that hold for
+//! every input under every reasonable scheme.
+
+use nucdb_align::{
+    banded_sw_score, blast_score, fasta_score, nw_align, sw_align, sw_score, sw_score_iupac,
+    BlastParams, FastaParams, ScoringScheme, WordTable,
+};
+use nucdb_seq::{Base, DnaSeq};
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"ACGT".to_vec()), len)
+}
+
+fn bases(ascii: &[u8]) -> Vec<Base> {
+    DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+}
+
+fn schemes() -> [ScoringScheme; 3] {
+    [
+        ScoringScheme::unit(),
+        ScoringScheme::blastn(),
+        ScoringScheme { match_score: 2, mismatch_score: -7, gap_open: 6, gap_extend: 1 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sw_score_nonnegative_and_bounded(q in dna(0..60), t in dna(0..60)) {
+        for scheme in schemes() {
+            let s = sw_score(&bases(&q), &bases(&t), &scheme);
+            prop_assert!(s >= 0);
+            let bound = scheme.max_score(q.len().min(t.len()));
+            prop_assert!(s as i64 <= bound, "score {s} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn sw_score_is_symmetric(q in dna(0..50), t in dna(0..50)) {
+        for scheme in schemes() {
+            prop_assert_eq!(
+                sw_score(&bases(&q), &bases(&t), &scheme),
+                sw_score(&bases(&t), &bases(&q), &scheme)
+            );
+        }
+    }
+
+    #[test]
+    fn sw_align_agrees_with_sw_score(q in dna(1..50), t in dna(1..50)) {
+        for scheme in schemes() {
+            let score = sw_score(&bases(&q), &bases(&t), &scheme);
+            let align = sw_align(&bases(&q), &bases(&t), &scheme);
+            match align {
+                None => prop_assert_eq!(score, 0),
+                Some(a) => {
+                    prop_assert_eq!(a.score, score);
+                    prop_assert!(a.is_consistent());
+                    prop_assert!(a.query_range.end <= q.len());
+                    prop_assert!(a.target_range.end <= t.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_alignment_is_perfect(q in dna(1..80)) {
+        for scheme in schemes() {
+            let b = bases(&q);
+            prop_assert_eq!(
+                sw_score(&b, &b, &scheme) as i64,
+                scheme.max_score(q.len())
+            );
+        }
+    }
+
+    #[test]
+    fn extending_target_never_lowers_local_score(
+        q in dna(1..40),
+        t in dna(1..40),
+        extra in dna(0..30),
+    ) {
+        // A local alignment within t is still available within t+extra.
+        let scheme = ScoringScheme::blastn();
+        let qb = bases(&q);
+        let short = sw_score(&qb, &bases(&t), &scheme);
+        let mut longer = t.clone();
+        longer.extend_from_slice(&extra);
+        let long = sw_score(&qb, &bases(&longer), &scheme);
+        prop_assert!(long >= short, "extension lowered score {short} -> {long}");
+    }
+
+    #[test]
+    fn banded_below_full_and_exact_when_wide(
+        q in dna(1..40),
+        t in dna(1..40),
+        center in -15i64..15,
+        half_width in 0usize..10,
+    ) {
+        let scheme = ScoringScheme::blastn();
+        let qb = bases(&q);
+        let tb = bases(&t);
+        let full = sw_score(&qb, &tb, &scheme);
+        let banded = banded_sw_score(&qb, &tb, &scheme, center, half_width);
+        prop_assert!((0..=full).contains(&banded));
+        let wide = banded_sw_score(&qb, &tb, &scheme, 0, q.len() + t.len());
+        prop_assert_eq!(wide, full);
+    }
+
+    #[test]
+    fn global_score_at_most_local(q in dna(0..40), t in dna(0..40)) {
+        for scheme in schemes() {
+            let qb = bases(&q);
+            let tb = bases(&t);
+            let global = nw_align(&qb, &tb, &scheme);
+            prop_assert!(global.is_consistent());
+            prop_assert!(global.score <= sw_score(&qb, &tb, &scheme));
+        }
+    }
+
+    #[test]
+    fn heuristics_bounded_by_sw(q in dna(12..60), t in dna(12..60)) {
+        let scheme = ScoringScheme::blastn();
+        let qb = bases(&q);
+        let tb = bases(&t);
+        let sw = sw_score(&qb, &tb, &scheme);
+        let ft = WordTable::build(&qb, 6);
+        let fasta = fasta_score(&ft, &qb, &tb, &FastaParams::default(), &scheme);
+        prop_assert!(fasta <= sw, "fasta {fasta} > sw {sw}");
+        let bt = WordTable::build(&qb, 11);
+        let blast = blast_score(&bt, &qb, &tb, &BlastParams::default(), &scheme);
+        prop_assert!(blast <= sw, "blast {blast} > sw {sw}");
+    }
+
+    #[test]
+    fn iupac_matches_classic_on_plain_bases(q in dna(0..50), t in dna(0..50)) {
+        let qs = DnaSeq::from_ascii(&q).unwrap();
+        let ts = DnaSeq::from_ascii(&t).unwrap();
+        for scheme in schemes() {
+            prop_assert_eq!(
+                sw_score_iupac(&qs, &ts, &scheme),
+                sw_score(&bases(&q), &bases(&t), &scheme)
+            );
+        }
+    }
+
+    #[test]
+    fn planted_substring_scores_at_least_its_length(
+        flank_a in dna(0..30),
+        core in dna(8..40),
+        flank_b in dna(0..30),
+    ) {
+        // Embedding an exact copy of the query guarantees a full-score
+        // local alignment regardless of the flanks.
+        let scheme = ScoringScheme::blastn();
+        let mut target = flank_a.clone();
+        target.extend_from_slice(&core);
+        target.extend_from_slice(&flank_b);
+        let score = sw_score(&bases(&core), &bases(&target), &scheme);
+        prop_assert!(score as i64 >= scheme.max_score(core.len()));
+    }
+}

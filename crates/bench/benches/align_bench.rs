@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the alignment substrate: full vs banded
+//! Smith–Waterman cell throughput and the exhaustive-scanner per-record
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nucdb_align::{
+    banded_sw_score, blast_score, fasta_score, sw_align, sw_score, BlastParams, FastaParams,
+    ScoringScheme, WordTable,
+};
+use nucdb_seq::random::random_seq;
+use nucdb_seq::Base;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seqs(q_len: usize, t_len: usize, seed: u64) -> (Vec<Base>, Vec<Base>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let q = random_seq(&mut rng, q_len, 0.5, 0.0).representative_bases();
+    let t = random_seq(&mut rng, t_len, 0.5, 0.0).representative_bases();
+    (q, t)
+}
+
+fn bench_sw_score(c: &mut Criterion) {
+    let scheme = ScoringScheme::blastn();
+    let mut group = c.benchmark_group("sw_score");
+    for (q_len, t_len) in [(200usize, 200usize), (400, 1000)] {
+        let (q, t) = seqs(q_len, t_len, 7);
+        group.throughput(Throughput::Elements((q_len * t_len) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{q_len}x{t_len}")),
+            &(q, t),
+            |b, (q, t)| b.iter(|| sw_score(q, t, &scheme)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_banded(c: &mut Criterion) {
+    let scheme = ScoringScheme::blastn();
+    let (q, t) = seqs(400, 1000, 8);
+    let mut group = c.benchmark_group("banded_sw");
+    for half_width in [8usize, 24, 64] {
+        group.throughput(Throughput::Elements((q.len() * (2 * half_width + 1)) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(half_width),
+            &(q.clone(), t.clone()),
+            |b, (q, t)| b.iter(|| banded_sw_score(q, t, &scheme, 0, half_width)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_traceback(c: &mut Criterion) {
+    let scheme = ScoringScheme::blastn();
+    // Related sequences so a real alignment exists to trace.
+    let mut rng = StdRng::seed_from_u64(9);
+    let base = random_seq(&mut rng, 300, 0.5, 0.0);
+    let q = base.representative_bases();
+    let t = nucdb_seq::MutationModel::standard(0.05)
+        .apply(&base, &mut rng)
+        .representative_bases();
+    c.bench_function("sw_align_300_related", |b| {
+        b.iter(|| sw_align(&q, &t, &scheme))
+    });
+}
+
+fn bench_scanners(c: &mut Criterion) {
+    let scheme = ScoringScheme::blastn();
+    let (q, t) = seqs(300, 1000, 10);
+    let fasta_table = WordTable::build(&q, FastaParams::default().ktup);
+    let blast_table = WordTable::build(&q, BlastParams::default().word_len);
+    let mut group = c.benchmark_group("scan_one_record");
+    group.bench_function("fasta", |b| {
+        b.iter(|| fasta_score(&fasta_table, &q, &t, &FastaParams::default(), &scheme))
+    });
+    group.bench_function("blast", |b| {
+        b.iter(|| blast_score(&blast_table, &q, &t, &BlastParams::default(), &scheme))
+    });
+    group.bench_function("sw", |b| b.iter(|| sw_score(&q, &t, &scheme)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sw_score, bench_banded, bench_traceback, bench_scanners);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the integer codecs: encode and decode
+//! throughput over geometric-ish gap streams (the distribution postings
+//! gaps actually follow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nucdb_codec::{BitReader, BitWriter, Delta, FixedWidth, Gamma, Golomb, IntCodec, Rice, VByte};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn geometric_gaps(n: usize, mean: f64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (-(rng.random::<f64>().max(1e-12).ln()) * mean) as u64).collect()
+}
+
+fn codecs(mean: f64) -> Vec<(&'static str, Box<dyn IntCodec>)> {
+    vec![
+        ("golomb-fit", Box::new(Golomb::fit_mean(mean))),
+        ("rice-fit", Box::new(Rice::fit_mean(mean))),
+        ("gamma", Box::new(Gamma)),
+        ("delta", Box::new(Delta)),
+        ("vbyte", Box::new(VByte)),
+        ("fixed32", Box::new(FixedWidth::new(32))),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let gaps = geometric_gaps(16_384, 40.0, 1);
+    let mut group = c.benchmark_group("codec_encode");
+    group.throughput(Throughput::Elements(gaps.len() as u64));
+    for (name, codec) in codecs(40.0) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &gaps, |b, gaps| {
+            b.iter(|| {
+                let mut w = BitWriter::with_capacity_bits(gaps.len() * 16);
+                codec.encode_slice(gaps, &mut w);
+                w.len_bits()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let gaps = geometric_gaps(16_384, 40.0, 2);
+    let mut group = c.benchmark_group("codec_decode");
+    group.throughput(Throughput::Elements(gaps.len() as u64));
+    for (name, codec) in codecs(40.0) {
+        let mut w = BitWriter::new();
+        codec.encode_slice(&gaps, &mut w);
+        let bytes = w.into_bytes();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &bytes, |b, bytes| {
+            b.iter(|| {
+                let mut r = BitReader::new(bytes);
+                codec.decode_vec(&mut r, gaps.len()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpolative(c: &mut Criterion) {
+    use nucdb_codec::{interpolative_decode, interpolative_encode};
+    // A sorted posting-like list: cumulative geometric gaps.
+    let gaps = geometric_gaps(16_384, 40.0, 3);
+    let mut values = Vec::with_capacity(gaps.len());
+    let mut cur = 0u64;
+    for g in gaps {
+        cur += g + 1;
+        values.push(cur);
+    }
+    let hi = *values.last().unwrap();
+
+    let mut group = c.benchmark_group("interpolative");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity_bits(values.len() * 16);
+            interpolative_encode(&values, 0, hi, &mut w);
+            w.len_bits()
+        })
+    });
+    let mut w = BitWriter::new();
+    interpolative_encode(&values, 0, hi, &mut w);
+    let bytes = w.into_bytes();
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            interpolative_decode(values.len(), 0, hi, &mut r).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_interpolative);
+criterion_main!(benches);

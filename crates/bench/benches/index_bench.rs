@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the index layer: interval extraction,
+//! index build, postings decode, and direct-coding pack/unpack.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nucdb_bench::collection;
+use nucdb_index::{IndexBuilder, IndexParams};
+use nucdb_seq::kmer::KmerIter;
+use nucdb_seq::{Base, PackedSeq};
+
+fn bench_extraction(c: &mut Criterion) {
+    let coll = collection(11, 200_000);
+    let bases: Vec<Vec<Base>> =
+        coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+    let total: u64 = bases.iter().map(|b| b.len() as u64).sum();
+    let mut group = c.benchmark_group("interval_extraction");
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("k8_rolling", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for record in &bases {
+                for (_, code) in KmerIter::new(record, 8) {
+                    acc = acc.wrapping_add(code);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let coll = collection(12, 200_000);
+    let bases: Vec<Vec<Base>> =
+        coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+    let total: u64 = bases.iter().map(|b| b.len() as u64).sum();
+    let mut group = c.benchmark_group("index_build_200k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("k8_paper", |b| {
+        b.iter(|| {
+            let mut builder = IndexBuilder::new(IndexParams::new(8));
+            for record in &bases {
+                builder.add_record(record);
+            }
+            builder.finish().distinct_intervals()
+        })
+    });
+    group.finish();
+}
+
+fn bench_postings_decode(c: &mut Criterion) {
+    let coll = collection(13, 1_000_000);
+    let mut builder = IndexBuilder::new(IndexParams::new(8));
+    for record in &coll.records {
+        builder.add_record(&record.seq.representative_bases());
+    }
+    let index = builder.finish();
+    // The 64 longest lists: what a real query's frequent intervals cost.
+    let mut entries: Vec<_> = index.vocab().to_vec();
+    entries.sort_by_key(|e| std::cmp::Reverse(e.df));
+    let codes: Vec<u64> = entries.iter().take(64).map(|e| e.code).collect();
+    let postings: u64 = entries.iter().take(64).map(|e| e.df as u64).sum();
+
+    let mut group = c.benchmark_group("postings_decode");
+    group.throughput(Throughput::Elements(postings));
+    group.bench_function("64_longest_lists", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &code in &codes {
+                total += index.postings(code).unwrap().unwrap().df();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_direct_coding(c: &mut Criterion) {
+    let coll = collection(14, 200_000);
+    let seqs: Vec<_> = coll.records.iter().map(|r| r.seq.clone()).collect();
+    let packed: Vec<PackedSeq> = seqs.iter().map(PackedSeq::pack).collect();
+    let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+
+    let mut group = c.benchmark_group("direct_coding");
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("pack", |b| {
+        b.iter(|| seqs.iter().map(|s| PackedSeq::pack(s).packed_bytes()).sum::<usize>())
+    });
+    group.bench_function("unpack_bases", |b| {
+        b.iter(|| packed.iter().map(|p| p.unpack_bases().len()).sum::<usize>())
+    });
+    group.bench_function("unpack_ascii", |b| {
+        b.iter(|| packed.iter().map(|p| p.unpack_ascii().len()).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extraction,
+    bench_build,
+    bench_postings_decode,
+    bench_direct_coding
+);
+criterion_main!(benches);

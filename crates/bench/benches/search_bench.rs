@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks for end-to-end query evaluation: the
+//! partitioned pipeline (and its two stages separately) on a 1 MB
+//! database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nucdb::{coarse_rank, DbConfig, IndexVariant, RankingScheme, SearchParams};
+use nucdb_bench::{collection, database, family_queries};
+
+fn bench_search(c: &mut Criterion) {
+    let coll = collection(21, 1_000_000);
+    let db = database(&coll, &DbConfig::default());
+    let (_, query) = family_queries(&coll, 0.6, 0.05).into_iter().next().unwrap();
+    let query_bases = query.representative_bases();
+
+    let mut group = c.benchmark_group("partitioned_search_1mb");
+    group.bench_function("end_to_end", |b| {
+        let params = SearchParams::default();
+        b.iter(|| db.search(&query, &params).unwrap().results.len())
+    });
+    group.bench_function("coarse_only_frame", |b| {
+        let params = SearchParams::default();
+        let IndexVariant::Memory(index) = db.index() else { unreachable!() };
+        b.iter(|| coarse_rank(index, &query_bases, &params).unwrap().candidates.len())
+    });
+    group.bench_function("coarse_only_count", |b| {
+        let params = SearchParams::default().with_ranking(RankingScheme::Count);
+        let IndexVariant::Memory(index) = db.index() else { unreachable!() };
+        b.iter(|| coarse_rank(index, &query_bases, &params).unwrap().candidates.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! **E11 — Query-side low-complexity masking.**
+//!
+//! The complement of index stopping (E4): stopping protects the *index*
+//! from repeats, DUST-style masking protects the *query path*. Queries
+//! here are family fragments contaminated with a repeat segment drawn
+//! from the collection's own repeat library — the worst case, since the
+//! contamination hits every repeat-bearing record. Masked vs. unmasked:
+//! postings volume, query time, and recall.
+
+use nucdb::{recall_at, DbConfig, SearchParams};
+use nucdb_bench::{banner, bytes, database, family_relevant, time, Table};
+use nucdb_seq::random::{splice_repeat, CollectionSpec, MutationModel, SyntheticCollection};
+use nucdb_seq::{DnaSeq, DustParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E11", "query masking vs repeat contamination");
+    let spec = CollectionSpec {
+        repeat_prob: 0.3,
+        repeat_families: 4,
+        ..CollectionSpec::sized(0xE11, 4_000_000)
+    };
+    let coll = SyntheticCollection::generate(&spec);
+    let db = database(&coll, &DbConfig::default());
+    println!("collection: {} records (30% carry repeats)", coll.records.len());
+
+    // Contaminated queries: a family fragment with a 120-base repeat
+    // segment appended, tiling a unit from the collection's own repeat
+    // library — so the contamination genuinely hits the repeat-bearing
+    // records, as a real low-complexity query region hits real genomes.
+    let mut rng = StdRng::seed_from_u64(0xE11);
+    let queries: Vec<(usize, DnaSeq)> = (0..coll.families.len())
+        .map(|f| {
+            let clean = coll.query_for_family(f, 0.7, &MutationModel::standard(0.05));
+            let unit = &coll.repeat_units[f % coll.repeat_units.len()];
+            // Append contamination rather than overwrite, so the
+            // homologous signal is intact in both configurations.
+            let mut seq = clean.clone();
+            let repeat = splice_repeat(
+                &DnaSeq::from_ascii(&[b'C'; 120]).unwrap(),
+                unit,
+                120..121,
+                &mut rng,
+            );
+            seq.extend_from(&repeat);
+            (f, seq)
+        })
+        .collect();
+
+    let mut table = Table::new(&[
+        "configuration",
+        "postings/query",
+        "hits/query",
+        "query ms",
+        "family recall@10",
+    ]);
+
+    for (label, mask) in [
+        ("unmasked", None),
+        ("dust masked", Some(DustParams::default())),
+    ] {
+        let params = SearchParams { mask, ..SearchParams::default() };
+        let mut postings = 0u64;
+        let mut hits = 0u64;
+        let mut recall = 0.0;
+        let mut total = std::time::Duration::ZERO;
+        for (f, query) in &queries {
+            let (outcome, took) = time(|| db.search(query, &params).unwrap());
+            total += took;
+            postings += outcome.stats.postings_decoded;
+            hits += outcome.stats.total_hits;
+            let ranked: Vec<u32> = outcome.results.iter().map(|r| r.record).collect();
+            recall += recall_at(&ranked, &family_relevant(&coll, *f), 10);
+        }
+        let n = queries.len() as f64;
+        table.row(vec![
+            label.to_string(),
+            bytes((postings as f64 / n) as u64),
+            bytes((hits as f64 / n) as u64),
+            format!("{:.2}", total.as_secs_f64() * 1e3 / n),
+            format!("{:.3}", recall / n),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nThe repeat segment's intervals hit every repeat-bearing record, multiplying\n\
+         postings volume and accumulator work for zero retrieval value; masking removes\n\
+         them from seeding while the homologous intervals keep recall intact."
+    );
+}

@@ -1,0 +1,97 @@
+//! **E12 — Index granularity: offset-level vs. record-level postings.**
+//!
+//! The CAFE line evaluates how much the index should remember about each
+//! interval occurrence. Offset-level postings enable frame ranking and
+//! banded fine alignment; record-level postings store only `(record,
+//! count)` — a far smaller index whose coarse stage is count-based and
+//! whose fine stage must align whole records. Size, per-stage time, and
+//! recall for both, on the same collection and queries.
+
+use nucdb::{recall_at, DbConfig, FineMode, IndexVariant, RankingScheme, SearchParams};
+use nucdb_bench::{banner, bytes, collection, database, family_queries, family_relevant, time, Table};
+use nucdb_index::{Granularity, IndexParams};
+
+fn main() {
+    banner("E12", "index granularity: offsets vs records-only");
+    let coll = collection(0xE12, 4_000_000);
+    let queries = family_queries(&coll, 0.6, 0.06);
+    println!("collection: {} records", coll.records.len());
+
+    let mut table = Table::new(&[
+        "granularity / config",
+        "index B",
+        "coarse ms",
+        "fine ms",
+        "query ms",
+        "family recall@10",
+    ]);
+
+    let configs: Vec<(String, DbConfig, SearchParams)> = vec![
+        (
+            "offsets + frame + banded".to_string(),
+            DbConfig::default(),
+            SearchParams::default(),
+        ),
+        (
+            "offsets + count + banded".to_string(),
+            DbConfig::default(),
+            SearchParams::default().with_ranking(RankingScheme::Count),
+        ),
+        (
+            "records + count + full fine".to_string(),
+            DbConfig {
+                index: IndexParams::new(8).with_granularity(Granularity::Records),
+                ..DbConfig::default()
+            },
+            SearchParams::default()
+                .with_ranking(RankingScheme::Count)
+                .with_fine(FineMode::Full),
+        ),
+        (
+            "records + proportional + full fine".to_string(),
+            DbConfig {
+                index: IndexParams::new(8).with_granularity(Granularity::Records),
+                ..DbConfig::default()
+            },
+            SearchParams::default()
+                .with_ranking(RankingScheme::Proportional)
+                .with_fine(FineMode::Full),
+        ),
+    ];
+
+    for (label, config, params) in configs {
+        let db = database(&coll, &config);
+        let IndexVariant::Memory(index) = db.index() else { unreachable!() };
+        let index_bytes = index.stats().total_bytes();
+
+        let mut coarse_ns = 0u64;
+        let mut fine_ns = 0u64;
+        let mut recall = 0.0;
+        let mut total = std::time::Duration::ZERO;
+        for (f, query) in &queries {
+            let (outcome, took) = time(|| db.search(query, &params).unwrap());
+            total += took;
+            coarse_ns += outcome.stats.coarse_nanos;
+            fine_ns += outcome.stats.fine_nanos;
+            let ranked: Vec<u32> = outcome.results.iter().map(|r| r.record).collect();
+            recall += recall_at(&ranked, &family_relevant(&coll, *f), 10);
+        }
+        let n = queries.len() as f64;
+        table.row(vec![
+            label,
+            bytes(index_bytes),
+            format!("{:.2}", coarse_ns as f64 / n / 1e6),
+            format!("{:.2}", fine_ns as f64 / n / 1e6),
+            format!("{:.2}", total.as_secs_f64() * 1e3 / n),
+            format!("{:.3}", recall / n),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nRecord-granularity postings shrink the index several-fold and speed the\n\
+         coarse stage (no offsets to decode), but push work into fine search: without\n\
+         a diagonal to band around, every candidate costs a full alignment. The paper\n\
+         family's conclusion — offset granularity pays for itself at query time —\n\
+         falls out of the last two columns."
+    );
+}

@@ -1,0 +1,92 @@
+//! **E2 — Query evaluation time: partitioned search vs. exhaustive.**
+//!
+//! Reproduces the abstract's headline claim ("queries can be evaluated
+//! several times more quickly than with exhaustive search techniques"):
+//! across collection sizes, mean per-query time for partitioned search
+//! against full Smith–Waterman, the FASTA-style scanner and the
+//! BLAST-style scanner.
+
+use nucdb::{exhaustive_blast, exhaustive_fasta, exhaustive_sw, DbConfig, SearchParams};
+use nucdb_align::{BlastParams, FastaParams};
+use nucdb_bench::{banner, collection, database, family_queries, time, Table};
+
+fn main() {
+    banner("E2", "per-query time: partitioned vs exhaustive search");
+    let sizes: &[usize] = &[1_000_000, 2_000_000, 4_000_000, 8_000_000];
+    let params = SearchParams::default();
+    let scheme = params.scheme;
+
+    let mut table = Table::new(&[
+        "collection",
+        "records",
+        "part ms",
+        "sw ms",
+        "fasta ms",
+        "blast ms",
+        "sw/part",
+        "fasta/part",
+        "blast/part",
+    ]);
+
+    for &size in sizes {
+        let coll = collection(0xE2, size);
+        let db = database(&coll, &DbConfig::default());
+        // Three family queries, ~300 bases each (typical 1996 submission).
+        let queries: Vec<_> = family_queries(&coll, 0.6, 0.05)
+            .into_iter()
+            .take(3)
+            .map(|(_, q)| q.representative_bases())
+            .collect();
+        let dna_queries: Vec<_> = family_queries(&coll, 0.6, 0.05)
+            .into_iter()
+            .take(3)
+            .map(|(_, q)| q)
+            .collect();
+
+        let (_, part) = time(|| {
+            for q in &dna_queries {
+                let outcome = db.search(q, &params).unwrap();
+                std::hint::black_box(outcome.results.len());
+            }
+        });
+        let (_, sw) = time(|| {
+            for q in &queries {
+                std::hint::black_box(exhaustive_sw(db.store(), q, &scheme).len());
+            }
+        });
+        let (_, fasta) = time(|| {
+            for q in &queries {
+                std::hint::black_box(
+                    exhaustive_fasta(db.store(), q, &FastaParams::default(), &scheme).len(),
+                );
+            }
+        });
+        let (_, blast) = time(|| {
+            for q in &queries {
+                std::hint::black_box(
+                    exhaustive_blast(db.store(), q, &BlastParams::default(), &scheme).len(),
+                );
+            }
+        });
+
+        let n = queries.len() as f64;
+        let per = |d: std::time::Duration| d.as_secs_f64() * 1e3 / n;
+        table.row(vec![
+            format!("{} MB", size / 1_000_000),
+            coll.records.len().to_string(),
+            format!("{:.2}", per(part)),
+            format!("{:.1}", per(sw)),
+            format!("{:.1}", per(fasta)),
+            format!("{:.1}", per(blast)),
+            format!("{:.1}x", per(sw) / per(part)),
+            format!("{:.1}x", per(fasta) / per(part)),
+            format!("{:.1}x", per(blast) / per(part)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nPartitioned search reads only the query's interval lists and aligns a fixed\n\
+         number of candidates, so its cost is near-flat in collection size while every\n\
+         exhaustive scanner grows linearly — the speedup factors widen with size."
+    );
+}

@@ -1,0 +1,94 @@
+//! **E3 — Retrieval effectiveness vs. the fine-search candidate cutoff.**
+//!
+//! Partitioned search's central trade-off: the more coarse candidates are
+//! passed to fine alignment, the closer the answers match exhaustive
+//! Smith–Waterman — and the slower the query. This harness sweeps the
+//! cutoff `C` and reports recall of the SW top-10, recall of the planted
+//! family, average precision against the family, and mean query time.
+
+use std::collections::HashSet;
+
+use nucdb::{average_precision, ground_truth_sw, recall_at, DbConfig, SearchParams};
+use nucdb_bench::{banner, collection, database, family_queries, family_relevant, time, Table};
+
+fn main() {
+    banner("E3", "accuracy vs fine-search candidate cutoff C");
+    let coll = collection(0xE3, 4_000_000);
+    let db = database(&coll, &DbConfig::default());
+    let queries = family_queries(&coll, 0.6, 0.06);
+    println!(
+        "collection: {} records; {} family queries",
+        coll.records.len(),
+        queries.len()
+    );
+
+    // Exhaustive SW ground truth per query (computed once). Two truth
+    // sets: the raw top-10 (which includes chance alignments too weak to
+    // leave any intact interval in the index — the paper's "answers" are
+    // *high-quality* alignments, not these), and the significant top-10
+    // (score at least a quarter of the query's self-score).
+    println!("computing exhaustive Smith-Waterman ground truth ...");
+    let scheme = SearchParams::default().scheme;
+    let mut truths_raw: Vec<HashSet<u32>> = Vec::new();
+    let mut truths_sig: Vec<HashSet<u32>> = Vec::new();
+    for (_, q) in &queries {
+        let hits = ground_truth_sw(db.store(), &q.representative_bases(), &scheme);
+        truths_raw.push(hits.iter().take(10).map(|h| h.id).collect());
+        let cutoff = (scheme.max_score(q.len()) / 4) as i32;
+        truths_sig.push(
+            hits.iter().take(10).filter(|h| h.score >= cutoff).map(|h| h.id).collect(),
+        );
+    }
+
+    let mut table = Table::new(&[
+        "C",
+        "fine",
+        "recall@10 SW-top10",
+        "recall@10 SW-significant",
+        "family recall@10",
+        "family AP",
+        "query ms",
+    ]);
+
+    for (label, fine) in [
+        ("full", nucdb::FineMode::Full),
+        ("banded", nucdb::FineMode::default()),
+    ] {
+        for c in [1usize, 2, 5, 10, 20, 50, 100, 200, 500] {
+            let params = SearchParams::default().with_candidates(c).with_fine(fine);
+            let mut raw_recall = 0.0;
+            let mut sig_recall = 0.0;
+            let mut fam_recall = 0.0;
+            let mut fam_ap = 0.0;
+            let mut total = std::time::Duration::ZERO;
+            for (i, (f, query)) in queries.iter().enumerate() {
+                let (outcome, took) = time(|| db.search(query, &params).unwrap());
+                total += took;
+                let ranked: Vec<u32> = outcome.results.iter().map(|r| r.record).collect();
+                raw_recall += recall_at(&ranked, &truths_raw[i], 10);
+                sig_recall += recall_at(&ranked, &truths_sig[i], 10);
+                let family = family_relevant(&coll, *f);
+                fam_recall += recall_at(&ranked, &family, 10);
+                fam_ap += average_precision(&ranked, &family);
+            }
+            let n = queries.len() as f64;
+            table.row(vec![
+                c.to_string(),
+                label.to_string(),
+                format!("{:.3}", raw_recall / n),
+                format!("{:.3}", sig_recall / n),
+                format!("{:.3}", fam_recall / n),
+                format!("{:.3}", fam_ap / n),
+                format!("{:.2}", total.as_secs_f64() * 1e3 / n),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nSignificant answers (and planted homologs) are recovered at modest C; the raw\n\
+         SW top-10 plateaus below 1.0 because its tail is chance alignments too weak to\n\
+         leave a single intact interval in the index — the accuracy loss the CAFE line\n\
+         reports is concentrated exactly there. Banded fine alignment keeps homolog\n\
+         recall at a fraction of the full-alignment cost."
+    );
+}

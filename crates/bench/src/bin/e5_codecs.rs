@@ -1,0 +1,81 @@
+//! **E5 — Integer-coding comparison on real postings data.**
+//!
+//! The compression layer exists because disk transfer dominates query
+//! cost; the right code is the one that minimises bytes without making
+//! decode the new bottleneck. This harness encodes the same postings
+//! lists (from a reference index over the standard collection) under each
+//! scheme and reports encoded size and decode throughput.
+
+use nucdb_bench::{banner, bytes, collection, time, Table};
+use nucdb_index::{decode_postings, encode_postings, Granularity, IndexBuilder, IndexParams, ListCodec};
+
+fn main() {
+    banner("E5", "postings codec comparison: size and decode speed");
+    let coll = collection(0xE5, 4_000_000);
+    let mut builder = IndexBuilder::new(IndexParams::new(8));
+    for r in &coll.records {
+        builder.add_record(&r.seq.representative_bases());
+    }
+    let reference = builder.finish();
+    let lists = reference.decode_all().expect("reference index decodes");
+    let num_records = reference.num_records();
+    let lens = reference.record_lens().to_vec();
+    let total_postings: u64 = lists.iter().map(|(_, l)| l.df() as u64).sum();
+    let total_offsets: u64 = lists.iter().map(|(_, l)| l.total_occurrences() as u64).sum();
+    println!(
+        "postings data: {} lists, {} entries, {} offsets",
+        bytes(lists.len() as u64),
+        bytes(total_postings),
+        bytes(total_offsets)
+    );
+
+    let mut table = Table::new(&[
+        "codec",
+        "encoded B",
+        "bits/posting",
+        "encode ms",
+        "decode ms",
+        "Mpostings/s",
+    ]);
+
+    for codec in
+        [ListCodec::Paper, ListCodec::Interp, ListCodec::Gamma, ListCodec::Delta, ListCodec::VByte, ListCodec::Fixed]
+    {
+        let (encoded, enc_time) = time(|| {
+            lists
+                .iter()
+                .map(|(_, list)| encode_postings(list, num_records, &lens, codec, Granularity::Offsets))
+                .collect::<Vec<_>>()
+        });
+        let encoded_bytes: u64 = encoded.iter().map(|b| b.len() as u64).sum();
+
+        let (ok, dec_time) = time(|| {
+            let mut ok = true;
+            for ((_, list), blob) in lists.iter().zip(&encoded) {
+                let decoded =
+                    decode_postings(blob, list.df() as u32, num_records, &lens, codec)
+                        .expect("round trip");
+                ok &= &decoded == list;
+            }
+            ok
+        });
+        assert!(ok, "decode mismatch under {}", codec.name());
+
+        let decoded_per_sec = total_postings as f64 / dec_time.as_secs_f64() / 1e6;
+        table.row(vec![
+            codec.name().to_string(),
+            bytes(encoded_bytes),
+            format!("{:.2}", encoded_bytes as f64 * 8.0 / total_postings as f64),
+            format!("{:.0}", enc_time.as_secs_f64() * 1e3),
+            format!("{:.0}", dec_time.as_secs_f64() * 1e3),
+            format!("{:.1}", decoded_per_sec),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nThe fitted Golomb layout (paper) beats every per-gap alternative of its era;\n\
+         binary interpolative coding (published the same year, mainstream a few years\n\
+         later) edges it out slightly. vbyte trades size for decode speed; fixed-width\n\
+         is the uncompressed baseline."
+    );
+}

@@ -1,0 +1,129 @@
+//! **E6 — Direct coding of the sequence store.**
+//!
+//! The citing literature records that switching CAFE's sequence store to
+//! 2-bit direct coding cut retrieval times by more than 20%. This harness
+//! compares the ASCII store against the direct-coded store on (a) stored
+//! bytes, (b) record decode throughput, and (c) end-to-end query time with
+//! a fine-search-heavy configuration (many candidates, so store access
+//! dominates).
+
+use nucdb::{DbConfig, RecordSource, SearchParams, StorageMode};
+use nucdb_bench::{banner, bytes, collection, database, family_queries, time, Table};
+
+fn main() {
+    banner("E6", "sequence store: ASCII vs 2-bit direct coding");
+    let coll = collection(0xE6, 8_000_000);
+    let queries = family_queries(&coll, 0.6, 0.05);
+    println!("collection: {} records, {} bases", coll.records.len(), coll.total_bases());
+
+    // Fine-heavy parameters: a large candidate cutoff makes the store the
+    // dominant cost, as disk-resident sequences were in 1996.
+    let params = SearchParams::default().with_candidates(200);
+
+    let mut table = Table::new(&[
+        "store",
+        "stored B",
+        "B/base",
+        "decode GB/s",
+        "query ms",
+        "top hits equal",
+    ]);
+
+    let mut reference: Option<Vec<Vec<(u32, i32)>>> = None;
+    for mode in [StorageMode::Ascii, StorageMode::DirectCoding] {
+        let db = database(&coll, &DbConfig { storage: mode, ..DbConfig::default() });
+
+        // Decode throughput: unpack every record once.
+        let (decoded_bases, decode_time) = time(|| {
+            let mut total = 0usize;
+            for record in 0..db.store().len() as u32 {
+                total += db.store().bases(record).len();
+            }
+            total
+        });
+
+        let (results, query_time) = time(|| {
+            queries
+                .iter()
+                .map(|(_, q)| {
+                    db.search(q, &params)
+                        .unwrap()
+                        .results
+                        .iter()
+                        .map(|r| (r.record, r.score))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        });
+        let equal = match &reference {
+            None => {
+                reference = Some(results);
+                "-".to_string()
+            }
+            Some(reference) => (*reference == results).to_string(),
+        };
+
+        table.row(vec![
+            format!("{mode:?}"),
+            bytes(db.store().stored_bytes() as u64),
+            format!("{:.3}", db.store().stored_bytes() as f64 / db.store().total_bases() as f64),
+            format!("{:.2}", decoded_bases as f64 / decode_time.as_secs_f64() / 1e9),
+            format!("{:.2}", query_time.as_secs_f64() * 1e3 / queries.len() as f64),
+            equal,
+        ]);
+    }
+    table.print();
+
+    // The disk-resident configuration: index and store both on disk,
+    // candidate records fetched per query. This is where the 4x smaller
+    // reads become the paper's retrieval-time win.
+    println!("\nfully on-disk databases (store fetched per candidate):");
+    let mut disk_table = Table::new(&[
+        "store",
+        "store bytes read/query",
+        "records fetched/query",
+        "query ms",
+    ]);
+    let work = std::env::temp_dir().join(format!("nucdb_e6_{}", std::process::id()));
+    std::fs::create_dir_all(&work).expect("temp dir");
+    for mode in [StorageMode::Ascii, StorageMode::DirectCoding] {
+        let tag = format!("{mode:?}");
+        let db = database(&coll, &DbConfig { storage: mode, ..DbConfig::default() })
+            .with_disk_index(&work.join(format!("{tag}.nucidx")))
+            .expect("disk index")
+            .with_disk_store(&work.join(format!("{tag}.nucsto")))
+            .expect("disk store");
+        let mut bytes_read = 0u64;
+        let mut records = 0u64;
+        let (_, took) = time(|| {
+            for (_, q) in &queries {
+                if let nucdb::StoreVariant::Disk(store) = db.store() {
+                    store.reset_io_counters();
+                }
+                let outcome = db.search(q, &params).unwrap();
+                std::hint::black_box(outcome.results.len());
+                if let nucdb::StoreVariant::Disk(store) = db.store() {
+                    bytes_read += store.bytes_read();
+                    records += store.records_read();
+                }
+            }
+        });
+        let n = queries.len() as f64;
+        disk_table.row(vec![
+            tag,
+            bytes((bytes_read as f64 / n) as u64),
+            format!("{:.0}", records as f64 / n),
+            format!("{:.2}", took.as_secs_f64() * 1e3 / n),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&work);
+    disk_table.print();
+
+    println!(
+        "\nDirect coding stores ~0.25 B/base (plus rare wildcard exceptions) against\n\
+         1 B/base for ASCII, with identical search results. In the fully on-disk\n\
+         configuration fine search reads ~4x fewer store bytes per query — the\n\
+         mechanism behind the >20% retrieval-time improvement the CAFE work reports\n\
+         on machines whose disks, unlike this one's page cache, make every byte count."
+    );
+}

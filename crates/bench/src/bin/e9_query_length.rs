@@ -1,0 +1,71 @@
+//! **E9 — Query-length sweep: cost and accuracy vs. query size.**
+//!
+//! Exhaustive Smith–Waterman scales with `query × collection`; the
+//! partitioned path scales with the query's postings volume plus a fixed
+//! fine stage. This harness queries with exact fragments of stored
+//! records at doubling lengths and reports per-length time for both
+//! paths, plus whether the source record comes back on top (it always
+//! should — the fragment is an exact substring).
+
+use nucdb::{exhaustive_sw, DbConfig, SearchParams};
+use nucdb_bench::{banner, collection, database, time, Table};
+
+fn main() {
+    banner("E9", "query length: partitioned vs exhaustive cost");
+    let coll = collection(0xE9, 4_000_000);
+    let db = database(&coll, &DbConfig::default());
+    let params = SearchParams::default();
+    let scheme = params.scheme;
+
+    // Source record: the longest record, so every fragment length fits.
+    let (source, _) = (0..coll.records.len())
+        .map(|i| (i, coll.records[i].seq.len()))
+        .max_by_key(|&(_, len)| len)
+        .unwrap();
+    let source_seq = &coll.records[source].seq;
+    println!(
+        "collection: {} records; query source record {} ({} bases)",
+        coll.records.len(),
+        source,
+        source_seq.len()
+    );
+
+    let mut table = Table::new(&[
+        "query len",
+        "part ms",
+        "postings",
+        "sw ms",
+        "sw/part",
+        "top = source",
+    ]);
+
+    let mut len = 64usize;
+    while len <= source_seq.len().min(2048) {
+        let query = source_seq.subseq(0..len);
+        let qb = query.representative_bases();
+
+        let _ = db.search(&query, &params).unwrap(); // warm
+        let (outcome, part) = time(|| db.search(&query, &params).unwrap());
+        let (sw_hits, sw) = time(|| exhaustive_sw(db.store(), &qb, &scheme));
+
+        let part_ms = part.as_secs_f64() * 1e3;
+        let sw_ms = sw.as_secs_f64() * 1e3;
+        let top_ok = outcome.results.first().map(|r| r.record) == Some(source as u32)
+            && sw_hits.first().map(|h| h.id) == Some(source as u32);
+        table.row(vec![
+            len.to_string(),
+            format!("{part_ms:.2}"),
+            outcome.stats.postings_decoded.to_string(),
+            format!("{sw_ms:.0}"),
+            format!("{:.0}x", sw_ms / part_ms),
+            top_ok.to_string(),
+        ]);
+        len *= 2;
+    }
+    table.print();
+    println!(
+        "\nBoth paths grow with query length, but exhaustive time grows with\n\
+         query x collection while partitioned time grows only with the query's\n\
+         postings volume — the speedup holds across query sizes."
+    );
+}

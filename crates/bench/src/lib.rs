@@ -1,0 +1,168 @@
+//! Shared harness utilities for the experiment binaries (E1–E8).
+//!
+//! Each `src/bin/eN_*.rs` binary regenerates one table/figure of the
+//! reconstructed evaluation (see EXPERIMENTS.md); this crate holds the
+//! pieces they share: deterministic workload construction, timing, and
+//! plain-text table rendering.
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use nucdb::{Database, DbConfig};
+use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
+use nucdb_seq::DnaSeq;
+
+/// Standard workload: a synthetic collection of roughly `total_bases`
+/// bases with planted homolog families and a realistic dose of
+/// low-complexity repeats (deterministic in `seed`).
+pub fn collection(seed: u64, total_bases: usize) -> SyntheticCollection {
+    let spec = CollectionSpec {
+        repeat_prob: 0.25,
+        repeat_families: 4,
+        ..CollectionSpec::sized(seed, total_bases)
+    };
+    SyntheticCollection::generate(&spec)
+}
+
+/// Build a database over a collection.
+pub fn database(coll: &SyntheticCollection, config: &DbConfig) -> Database {
+    Database::build(coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())), config)
+}
+
+/// One query per planted family: a mutated fragment of the family parent.
+/// `frac` controls query length relative to the parent; `divergence` the
+/// mutation load.
+pub fn family_queries(
+    coll: &SyntheticCollection,
+    frac: f64,
+    divergence: f64,
+) -> Vec<(usize, DnaSeq)> {
+    (0..coll.families.len())
+        .map(|f| (f, coll.query_for_family(f, frac, &MutationModel::standard(divergence))))
+        .collect()
+}
+
+/// The planted relevant set for family `f`.
+pub fn family_relevant(coll: &SyntheticCollection, f: usize) -> HashSet<u32> {
+    coll.families[f].member_ids.iter().copied().collect()
+}
+
+/// Time a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Format a byte count with thousands separators.
+pub fn bytes(n: u64) -> String {
+    group_thousands(n)
+}
+
+/// Insert `,` thousands separators.
+pub fn group_thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// A plain-text table that renders with aligned columns.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()). collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        render(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            render(row);
+        }
+    }
+}
+
+/// Print an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1000), "1,000");
+        assert_eq!(group_thousands(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["only-one".into()]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn workload_helpers_are_deterministic() {
+        let a = collection(5, 100_000);
+        let b = collection(5, 100_000);
+        assert_eq!(a.records.len(), b.records.len());
+        let qa = family_queries(&a, 0.5, 0.05);
+        let qb = family_queries(&b, 0.5, 0.05);
+        assert_eq!(qa.len(), qb.len());
+        for ((fa, sa), (fb, sb)) in qa.iter().zip(&qb) {
+            assert_eq!(fa, fb);
+            assert_eq!(sa, sb);
+        }
+        assert!(!family_relevant(&a, 0).is_empty());
+    }
+}

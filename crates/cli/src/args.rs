@@ -1,0 +1,134 @@
+//! Minimal long-option argument parsing (`--key value` and `--flag`).
+//!
+//! The CLI deliberately has no third-party argument-parser dependency;
+//! the option surface is small and fixed per subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed options: `--key value` pairs plus bare `--flag`s.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    /// Option names the subcommand accepts (for error messages).
+    allowed: Vec<&'static str>,
+}
+
+/// A CLI usage error, printed with the subcommand's usage string.
+#[derive(Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+impl Args {
+    /// Parse raw arguments. `value_opts` take a value, `flag_opts` do not.
+    pub fn parse(
+        raw: &[String],
+        value_opts: &[&'static str],
+        flag_opts: &[&'static str],
+    ) -> Result<Args, UsageError> {
+        let mut args = Args {
+            allowed: value_opts.iter().chain(flag_opts).copied().collect(),
+            ..Args::default()
+        };
+        let mut iter = raw.iter();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(UsageError(format!("unexpected positional argument {token:?}")));
+            };
+            if flag_opts.contains(&name) {
+                args.flags.push(name.to_string());
+            } else if value_opts.contains(&name) {
+                let value = iter.next().ok_or_else(|| {
+                    UsageError(format!("option --{name} requires a value"))
+                })?;
+                args.values.insert(name.to_string(), value.clone());
+            } else {
+                return Err(UsageError(format!(
+                    "unknown option --{name}; expected one of: {}",
+                    args.allowed.iter().map(|o| format!("--{o}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string option.
+    pub fn required(&self, name: &str) -> Result<&str, UsageError> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| UsageError(format!("missing required option --{name}")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, UsageError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                UsageError(format!("option --{name}: cannot parse {raw:?}"))
+            }),
+        }
+    }
+
+    /// Was a bare flag given?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let args = Args::parse(
+            &raw(&["--k", "8", "--both-strands", "--out", "x.idx"]),
+            &["k", "out"],
+            &["both-strands"],
+        )
+        .unwrap();
+        assert_eq!(args.required("k").unwrap(), "8");
+        assert_eq!(args.get_or("k", 0usize).unwrap(), 8);
+        assert_eq!(args.get("out"), Some("x.idx"));
+        assert!(args.flag("both-strands"));
+        assert!(!args.flag("other"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_positional() {
+        assert!(Args::parse(&raw(&["--bogus", "1"]), &["k"], &[]).is_err());
+        assert!(Args::parse(&raw(&["stray"]), &["k"], &[]).is_err());
+    }
+
+    #[test]
+    fn missing_value_and_missing_required() {
+        assert!(Args::parse(&raw(&["--k"]), &["k"], &[]).is_err());
+        let args = Args::parse(&raw(&[]), &["k"], &[]).unwrap();
+        assert!(args.required("k").is_err());
+        assert_eq!(args.get_or("k", 42usize).unwrap(), 42);
+    }
+
+    #[test]
+    fn bad_parse_reports_option() {
+        let args = Args::parse(&raw(&["--k", "notanumber"]), &["k"], &[]).unwrap();
+        let err = args.get_or("k", 0usize).unwrap_err();
+        assert!(err.0.contains("--k"));
+    }
+}

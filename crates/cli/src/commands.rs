@@ -1,0 +1,793 @@
+//! The four subcommands: generate / build / search / stats.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use nucdb::{
+    Database, FineMode, IndexVariant, RankingScheme, RecordSource, SearchParams, SequenceStore,
+    StorageMode, Strand,
+};
+use nucdb_align::calibrate_gumbel;
+use nucdb_index::{build_chunked, Granularity, IndexParams, ListCodec, OnDiskIndex, StopPolicy};
+use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
+use nucdb_seq::{FastaReader, FastaRecord, FastaWriter};
+
+use crate::args::{Args, UsageError};
+
+type CommandResult = Result<(), Box<dyn Error>>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+nucdb — indexed nucleotide homology search (partitioned coarse/fine evaluation)
+
+commands:
+  generate   write a synthetic GenBank-like collection as FASTA
+             --bases N --out FILE [--seed N] [--families N] [--family-size N]
+             [--repeat-prob F] [--queries-out FILE] [--divergence F]
+  build      build an on-disk database (index + sequence store) from FASTA
+             --collection FILE --db DIR [--k N] [--stride N] [--stop-fraction F]
+             [--codec paper|gamma|delta|vbyte|fixed] [--chunk N] [--ascii-store]
+             [--granularity offsets|records]
+  search     run homology queries (each FASTA record is one query)
+             --db DIR --query FILE [--candidates N] [--ranking count|prop|frame:W]
+             [--fine banded:W|full|trace] [--both-strands] [--max-results N]
+             [--min-score N] [--evalue] [--mask] [--query-stride N]
+  merge      merge two databases into one (record ids of B follow A's)
+             --db-a DIR --db-b DIR --out DIR
+  stats      print index and store statistics
+             --db DIR
+  verify     check database consistency (store vs index, list decoding)
+             --db DIR [--sample N]
+  bench      time a query workload against a database
+             --db DIR --query FILE [--repeat N]
+  help       this message
+
+search also accepts --tabular for TSV output (query, subject, score,
+strand, hits[, bits, evalue]).";
+
+const INDEX_FILE: &str = "index.nucidx";
+const STORE_FILE: &str = "store.nucsto";
+
+/// `nucdb generate`
+pub fn generate(raw: &[String]) -> CommandResult {
+    let args = Args::parse(
+        raw,
+        &[
+            "bases",
+            "out",
+            "seed",
+            "families",
+            "family-size",
+            "repeat-prob",
+            "queries-out",
+            "divergence",
+        ],
+        &[],
+    )?;
+    let bases: usize = args.get_or("bases", 1_000_000)?;
+    let out = PathBuf::from(args.required("out")?);
+    let seed: u64 = args.get_or("seed", 42)?;
+    let divergence: f64 = args.get_or("divergence", 0.08)?;
+
+    let mut spec = CollectionSpec::sized(seed, bases);
+    spec.num_families = args.get_or("families", spec.num_families)?;
+    spec.family_size = args.get_or("family-size", spec.family_size)?;
+    spec.repeat_prob = args.get_or("repeat-prob", 0.25)?;
+    spec.mutation = MutationModel::standard(divergence);
+
+    let coll = SyntheticCollection::generate(&spec);
+    let mut writer = FastaWriter::new(BufWriter::new(File::create(&out)?));
+    for record in &coll.records {
+        writer.write_record(&FastaRecord::new(record.id.clone(), record.seq.clone()))?;
+    }
+    writer.into_inner()?;
+    println!(
+        "wrote {} records / {} bases to {}",
+        coll.records.len(),
+        coll.total_bases(),
+        out.display()
+    );
+
+    // Ground truth sidecar: family -> member record ids.
+    let truth_path = out.with_extension("truth.tsv");
+    let mut truth = BufWriter::new(File::create(&truth_path)?);
+    for (f, family) in coll.families.iter().enumerate() {
+        let members: Vec<String> = family
+            .member_ids
+            .iter()
+            .map(|&m| coll.records[m as usize].id.clone())
+            .collect();
+        writeln!(truth, "fam{f:02}\t{}", members.join("\t"))?;
+    }
+    truth.flush()?;
+    println!("wrote planted-family ground truth to {}", truth_path.display());
+
+    if let Some(qpath) = args.get("queries-out") {
+        let qpath = PathBuf::from(qpath);
+        let mut writer = FastaWriter::new(BufWriter::new(File::create(&qpath)?));
+        for f in 0..coll.families.len() {
+            let query = coll.query_for_family(f, 0.6, &MutationModel::standard(divergence));
+            writer.write_record(&FastaRecord::new(format!("query_fam{f:02}"), query))?;
+        }
+        writer.into_inner()?;
+        println!("wrote {} queries to {}", coll.families.len(), qpath.display());
+    }
+    Ok(())
+}
+
+fn parse_codec(name: &str) -> Result<ListCodec, UsageError> {
+    Ok(match name {
+        "paper" => ListCodec::Paper,
+        "gamma" => ListCodec::Gamma,
+        "delta" => ListCodec::Delta,
+        "vbyte" => ListCodec::VByte,
+        "fixed" => ListCodec::Fixed,
+        _ => {
+            return Err(UsageError(format!(
+                "unknown codec {name:?} (expected paper|gamma|delta|vbyte|fixed)"
+            )))
+        }
+    })
+}
+
+/// `nucdb build`
+pub fn build(raw: &[String]) -> CommandResult {
+    let args = Args::parse(
+        raw,
+        &["collection", "db", "k", "stride", "stop-fraction", "codec", "chunk", "granularity"],
+        &["ascii-store"],
+    )?;
+    let collection = PathBuf::from(args.required("collection")?);
+    let db_dir = PathBuf::from(args.required("db")?);
+    let k: usize = args.get_or("k", 8)?;
+    let stride: usize = args.get_or("stride", 1)?;
+    let codec = parse_codec(args.get("codec").unwrap_or("paper"))?;
+    let chunk: usize = args.get_or("chunk", 2048)?;
+    let storage =
+        if args.flag("ascii-store") { StorageMode::Ascii } else { StorageMode::DirectCoding };
+
+    let mut params = IndexParams::new(k).with_stride(stride);
+    if let Some(gran) = args.get("granularity") {
+        params = params.with_granularity(match gran {
+            "offsets" => Granularity::Offsets,
+            "records" => Granularity::Records,
+            other => {
+                return Err(UsageError(format!(
+                    "unknown granularity {other:?} (expected offsets|records)"
+                ))
+                .into())
+            }
+        });
+    }
+    if let Some(frac) = args.get("stop-fraction") {
+        let frac: f64 = frac
+            .parse()
+            .map_err(|_| UsageError(format!("--stop-fraction: cannot parse {frac:?}")))?;
+        params = params.with_stopping(StopPolicy::DfFraction(frac));
+    }
+
+    std::fs::create_dir_all(&db_dir)?;
+    let start = std::time::Instant::now();
+
+    // Stream the FASTA once, filling the store; the index build re-reads
+    // record bases from the store (bounded memory via the chunked build).
+    let mut store = SequenceStore::new(storage);
+    let reader = FastaReader::new(BufReader::new(File::open(&collection)?));
+    for record in reader {
+        let record = record?;
+        store.add(record.id, &record.seq);
+    }
+    println!(
+        "loaded {} records / {} bases ({:.1} ms)",
+        store.len(),
+        store.total_bases(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    let t_index = std::time::Instant::now();
+    let index = build_chunked(
+        params,
+        codec,
+        (0..store.len() as u32).map(|r| store.bases(r)),
+        chunk,
+        &db_dir.join("tmp_runs"),
+    )?;
+    let _ = std::fs::remove_dir_all(db_dir.join("tmp_runs"));
+    println!(
+        "built index: {} distinct intervals, {} postings entries ({:.1} ms)",
+        index.distinct_intervals(),
+        index.stats().postings_entries,
+        t_index.elapsed().as_secs_f64() * 1e3
+    );
+
+    nucdb_index::write_index(&index, &db_dir.join(INDEX_FILE))?;
+    store.write_to(&db_dir.join(STORE_FILE))?;
+    println!(
+        "database written to {} (index {} B, store {} B)",
+        db_dir.display(),
+        std::fs::metadata(db_dir.join(INDEX_FILE))?.len(),
+        std::fs::metadata(db_dir.join(STORE_FILE))?.len(),
+    );
+    Ok(())
+}
+
+fn open_db(dir: &Path) -> Result<Database, Box<dyn Error>> {
+    // Fully disk-resident: postings lists and candidate records are both
+    // fetched per query, exactly the paper's operating point.
+    let store = nucdb::OnDiskStore::open(&dir.join(STORE_FILE))?;
+    let index = OnDiskIndex::open(&dir.join(INDEX_FILE))?;
+    Ok(Database::from_variants(
+        nucdb::StoreVariant::Disk(store),
+        IndexVariant::Disk(index),
+    ))
+}
+
+fn parse_ranking(spec: &str) -> Result<RankingScheme, UsageError> {
+    if spec == "count" {
+        return Ok(RankingScheme::Count);
+    }
+    if spec == "prop" || spec == "proportional" {
+        return Ok(RankingScheme::Proportional);
+    }
+    if let Some(rest) = spec.strip_prefix("frame") {
+        let window = match rest.strip_prefix(':') {
+            None if rest.is_empty() => 16,
+            Some(w) => w
+                .parse()
+                .map_err(|_| UsageError(format!("--ranking frame:{w}: bad window")))?,
+            _ => return Err(UsageError(format!("bad ranking spec {spec:?}"))),
+        };
+        return Ok(RankingScheme::Frame { window });
+    }
+    Err(UsageError(format!(
+        "unknown ranking {spec:?} (expected count|prop|frame[:W])"
+    )))
+}
+
+fn parse_fine(spec: &str) -> Result<FineMode, UsageError> {
+    if spec == "full" {
+        return Ok(FineMode::Full);
+    }
+    if spec == "trace" {
+        return Ok(FineMode::FullWithTraceback);
+    }
+    if let Some(rest) = spec.strip_prefix("banded") {
+        let half_width = match rest.strip_prefix(':') {
+            None if rest.is_empty() => 24,
+            Some(w) => w
+                .parse()
+                .map_err(|_| UsageError(format!("--fine banded:{w}: bad half-width")))?,
+            _ => return Err(UsageError(format!("bad fine spec {spec:?}"))),
+        };
+        return Ok(FineMode::Banded { half_width });
+    }
+    Err(UsageError(format!(
+        "unknown fine mode {spec:?} (expected banded[:W]|full|trace)"
+    )))
+}
+
+/// `nucdb search`
+pub fn search(raw: &[String]) -> CommandResult {
+    let args = Args::parse(
+        raw,
+        &[
+            "db",
+            "query",
+            "candidates",
+            "ranking",
+            "fine",
+            "max-results",
+            "min-score",
+            "query-stride",
+        ],
+        &["both-strands", "evalue", "mask", "tabular"],
+    )?;
+    let tabular = args.flag("tabular");
+    let db_dir = PathBuf::from(args.required("db")?);
+    let query_path = PathBuf::from(args.required("query")?);
+
+    let mut params = SearchParams::default();
+    params.max_candidates = args.get_or("candidates", params.max_candidates)?;
+    params.max_results = args.get_or("max-results", 20)?;
+    params.min_score = args.get_or("min-score", params.min_score)?;
+    if let Some(spec) = args.get("ranking") {
+        params.ranking = parse_ranking(spec)?;
+    }
+    if let Some(spec) = args.get("fine") {
+        params.fine = parse_fine(spec)?;
+    }
+    if args.flag("both-strands") {
+        params.strand = Strand::Both;
+    }
+    if args.flag("mask") {
+        params.mask = Some(nucdb_seq::DustParams::default());
+    }
+    params.query_stride = args.get_or("query-stride", params.query_stride)?;
+
+    let db = open_db(&db_dir)?;
+    if tabular {
+        println!("#query\tsubject\tscore\tstrand\thits{}",
+            if args.flag("evalue") { "\tbits\tevalue" } else { "" });
+    } else {
+        println!("database: {} records", db.len());
+    }
+
+    let mean_len = (db.store().total_bases() / db.len().max(1)).max(1);
+    let reader = FastaReader::new(BufReader::new(File::open(&query_path)?));
+    for record in reader {
+        let record = record?;
+        let fit = args.flag("evalue").then(|| {
+            calibrate_gumbel(
+                &params.scheme,
+                record.seq.len().max(16),
+                mean_len,
+                48,
+                0xCAFE,
+            )
+        });
+        let outcome = db.search(&record.seq, &params)?;
+        if tabular {
+            for result in &outcome.results {
+                let strand = match result.strand {
+                    Strand::Forward => '+',
+                    Strand::Reverse => '-',
+                    Strand::Both => '?',
+                };
+                let tail = fit
+                    .as_ref()
+                    .map(|fit| {
+                        let target_len = db.store().record_len(result.record);
+                        format!(
+                            "\t{:.1}\t{:.2e}",
+                            fit.bit_score(result.score),
+                            fit.evalue(record.seq.len(), target_len, result.score)
+                        )
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "{}\t{}\t{}\t{}\t{}{}",
+                    record.id, result.id, result.score, strand, result.coarse_hits, tail
+                );
+            }
+            continue;
+        }
+        println!(
+            "\nquery {} ({} bases): {} answers  [coarse {:.2} ms, fine {:.2} ms, {} lists, {} postings]",
+            record.id,
+            record.seq.len(),
+            outcome.results.len(),
+            outcome.stats.coarse_nanos as f64 / 1e6,
+            outcome.stats.fine_nanos as f64 / 1e6,
+            outcome.stats.lists_fetched,
+            outcome.stats.postings_decoded,
+        );
+        for (rank, result) in outcome.results.iter().enumerate() {
+            let strand = match result.strand {
+                Strand::Forward => '+',
+                Strand::Reverse => '-',
+                Strand::Both => '?',
+            };
+            let significance = fit
+                .as_ref()
+                .map(|fit| {
+                    let target_len = db.store().record_len(result.record);
+                    format!(
+                        "  bits {:>7.1}  E {:.2e}",
+                        fit.bit_score(result.score),
+                        fit.evalue(record.seq.len(), target_len, result.score)
+                    )
+                })
+                .unwrap_or_default();
+            println!(
+                "  {:>3}. {:<14} score {:>6}  strand {}  hits {:>5}{}",
+                rank + 1,
+                result.id,
+                result.score,
+                strand,
+                result.coarse_hits,
+                significance,
+            );
+            if let Some(alignment) = &result.alignment {
+                println!(
+                    "       q[{}..{}] x t[{}..{}]  identity {:.1}%  {}",
+                    alignment.query_range.start,
+                    alignment.query_range.end,
+                    alignment.target_range.start,
+                    alignment.target_range.end,
+                    alignment.identity() * 100.0,
+                    alignment.cigar_string(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `nucdb merge`
+pub fn merge(raw: &[String]) -> CommandResult {
+    let args = Args::parse(raw, &["db-a", "db-b", "out"], &[])?;
+    let dir_a = PathBuf::from(args.required("db-a")?);
+    let dir_b = PathBuf::from(args.required("db-b")?);
+    let out = PathBuf::from(args.required("out")?);
+
+    let index_a = nucdb_index::load_index(&dir_a.join(INDEX_FILE))?;
+    let index_b = nucdb_index::load_index(&dir_b.join(INDEX_FILE))?;
+    let merged = nucdb_index::merge_indexes(&index_a, &index_b)?;
+
+    let mut store = SequenceStore::read_from(&dir_a.join(STORE_FILE))?;
+    let store_b = SequenceStore::read_from(&dir_b.join(STORE_FILE))?;
+    store.extend_from_store(&store_b)?;
+
+    std::fs::create_dir_all(&out)?;
+    nucdb_index::write_index(&merged, &out.join(INDEX_FILE))?;
+    store.write_to(&out.join(STORE_FILE))?;
+    println!(
+        "merged {} + {} records into {} ({} distinct intervals)",
+        index_a.num_records(),
+        index_b.num_records(),
+        out.display(),
+        merged.distinct_intervals()
+    );
+    Ok(())
+}
+
+/// `nucdb verify`
+pub fn verify(raw: &[String]) -> CommandResult {
+    let args = Args::parse(raw, &["db", "sample"], &[])?;
+    let db_dir = PathBuf::from(args.required("db")?);
+    let sample: usize = args.get_or("sample", 25)?;
+
+    let store = SequenceStore::read_from(&db_dir.join(STORE_FILE))?;
+    let index = nucdb_index::load_index(&db_dir.join(INDEX_FILE))?;
+    let mut problems = 0usize;
+
+    // 1. Store and index agree on the record set.
+    if store.len() as u32 != index.num_records() {
+        println!(
+            "FAIL record counts differ: store {} vs index {}",
+            store.len(),
+            index.num_records()
+        );
+        problems += 1;
+    }
+    for record in 0..store.len().min(index.num_records() as usize) as u32 {
+        if store.record_len(record) as u32 != index.record_lens()[record as usize] {
+            println!("FAIL record {record} length differs between store and index");
+            problems += 1;
+        }
+    }
+    println!("record table: {} records checked", store.len());
+
+    // 2. Every list decodes and is internally consistent.
+    let mut lists = 0usize;
+    for entry in index.vocab() {
+        match index.counts(entry.code) {
+            Ok(Some(counts)) => {
+                if counts.len() != entry.df as usize {
+                    println!("FAIL list {}: df {} but {} entries", entry.code, entry.df, counts.len());
+                    problems += 1;
+                }
+            }
+            Ok(None) => {
+                println!("FAIL vocab entry {} unexpectedly absent", entry.code);
+                problems += 1;
+            }
+            Err(e) => {
+                println!("FAIL list {} does not decode: {e}", entry.code);
+                problems += 1;
+            }
+        }
+        lists += 1;
+    }
+    println!("postings: {lists} lists decoded");
+
+    // 3. Sampled cross-check: intervals extracted from stored records must
+    //    appear in the index (unless a stopping policy may have dropped
+    //    them).
+    let stopped = index.params().stopping.is_some();
+    let mut sampled = 0usize;
+    for record in (0..store.len() as u32).step_by((store.len() / sample.max(1)).max(1)) {
+        let bases = store.bases(record);
+        for (offset, code) in index.params().extract(&bases).step_by(97) {
+            sampled += 1;
+            match index.counts(code)? {
+                Some(counts) if counts.iter().any(|&(r, _)| r == record) => {}
+                _ if stopped => {} // possibly stopped; absence is legal
+                _ => {
+                    println!(
+                        "FAIL record {record} offset {offset}: interval {code} missing from index"
+                    );
+                    problems += 1;
+                }
+            }
+        }
+    }
+    println!("cross-check: {sampled} sampled intervals verified against the store");
+
+    if problems == 0 {
+        println!("OK: database is consistent");
+        Ok(())
+    } else {
+        Err(format!("{problems} consistency problem(s) found").into())
+    }
+}
+
+/// `nucdb bench`
+pub fn bench(raw: &[String]) -> CommandResult {
+    let args = Args::parse(raw, &["db", "query", "repeat"], &[])?;
+    let db_dir = PathBuf::from(args.required("db")?);
+    let query_path = PathBuf::from(args.required("query")?);
+    let repeat: usize = args.get_or("repeat", 3)?;
+
+    let db = open_db(&db_dir)?;
+    let params = SearchParams::default();
+    let queries: Vec<_> = FastaReader::new(BufReader::new(File::open(&query_path)?))
+        .collect::<Result<Vec<_>, _>>()?;
+    println!(
+        "database: {} records; {} queries x {} repetitions",
+        db.len(),
+        queries.len(),
+        repeat
+    );
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "query", "best ms", "mean ms", "answers", "bytes read", "lists"
+    );
+    for record in &queries {
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        let mut answers = 0usize;
+        let mut bytes = 0u64;
+        let mut lists = 0u64;
+        for _ in 0..repeat.max(1) {
+            if let IndexVariant::Disk(disk) = db.index() {
+                disk.reset_io_counters();
+            }
+            let t0 = std::time::Instant::now();
+            let outcome = db.search(&record.seq, &params)?;
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            best = best.min(ms);
+            total += ms;
+            answers = outcome.results.len();
+            if let IndexVariant::Disk(disk) = db.index() {
+                bytes = disk.bytes_read();
+                lists = disk.lists_read();
+            }
+        }
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>10} {:>12} {:>8}",
+            record.id,
+            best,
+            total / repeat.max(1) as f64,
+            answers,
+            bytes,
+            lists
+        );
+    }
+    Ok(())
+}
+
+/// `nucdb stats`
+pub fn stats(raw: &[String]) -> CommandResult {
+    let args = Args::parse(raw, &["db"], &[])?;
+    let db_dir = PathBuf::from(args.required("db")?);
+    let store = SequenceStore::read_from(&db_dir.join(STORE_FILE))?;
+    let index = OnDiskIndex::open(&db_dir.join(INDEX_FILE))?;
+
+    println!("store:");
+    println!("  records        {}", store.len());
+    println!("  total bases    {}", store.total_bases());
+    println!("  stored bytes   {}", store.stored_bytes());
+    println!("  mode           {:?}", store.mode());
+    println!("index:");
+    println!("  interval k     {}", index.params().k);
+    println!("  stride         {}", index.params().stride);
+    println!("  stopping       {:?}", index.params().stopping);
+    println!("  granularity    {:?}", index.params().granularity);
+    println!("  codec          {}", index.codec().name());
+    println!("  distinct       {}", index.distinct_intervals());
+    println!(
+        "  file bytes     {}",
+        std::fs::metadata(db_dir.join(INDEX_FILE))?.len()
+    );
+
+    // The heaviest postings lists: candidates for stopping.
+    let loaded = nucdb_index::load_index(&db_dir.join(INDEX_FILE))?;
+    let mut entries: Vec<_> = loaded.vocab().to_vec();
+    entries.sort_by_key(|e| std::cmp::Reverse(e.df));
+    println!("most frequent intervals (df = records containing):");
+    let k = loaded.params().k;
+    for entry in entries.iter().take(10) {
+        let interval: String = nucdb_seq::unpack_kmer(entry.code, k)
+            .into_iter()
+            .map(|b| b.to_ascii() as char)
+            .collect();
+        println!(
+            "  {interval}  df {:>8}  ({:.2}% of records)",
+            entry.df,
+            entry.df as f64 * 100.0 / loaded.num_records().max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_specs() {
+        assert_eq!(parse_ranking("count").unwrap(), RankingScheme::Count);
+        assert_eq!(parse_ranking("prop").unwrap(), RankingScheme::Proportional);
+        assert_eq!(parse_ranking("frame").unwrap(), RankingScheme::Frame { window: 16 });
+        assert_eq!(parse_ranking("frame:4").unwrap(), RankingScheme::Frame { window: 4 });
+        assert!(parse_ranking("frame:x").is_err());
+        assert!(parse_ranking("bogus").is_err());
+    }
+
+    #[test]
+    fn fine_specs() {
+        assert_eq!(parse_fine("full").unwrap(), FineMode::Full);
+        assert_eq!(parse_fine("trace").unwrap(), FineMode::FullWithTraceback);
+        assert_eq!(parse_fine("banded").unwrap(), FineMode::Banded { half_width: 24 });
+        assert_eq!(parse_fine("banded:8").unwrap(), FineMode::Banded { half_width: 8 });
+        assert!(parse_fine("banded:x").is_err());
+        assert!(parse_fine("quux").is_err());
+    }
+
+    #[test]
+    fn codec_specs() {
+        assert_eq!(parse_codec("paper").unwrap(), ListCodec::Paper);
+        assert_eq!(parse_codec("vbyte").unwrap(), ListCodec::VByte);
+        assert!(parse_codec("zip").is_err());
+    }
+
+    #[test]
+    fn merge_two_databases() {
+        let dir = std::env::temp_dir().join(format!("nucdb_cli_merge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
+
+        for (name, seed) in [("a", "11"), ("b", "12")] {
+            let fasta = dir.join(format!("{name}.fasta"));
+            generate(&s(&[
+                "--bases",
+                "80000",
+                "--out",
+                fasta.to_str().unwrap(),
+                "--seed",
+                seed,
+            ]))
+            .unwrap();
+            build(&s(&[
+                "--collection",
+                fasta.to_str().unwrap(),
+                "--db",
+                dir.join(name).to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+
+        merge(&s(&[
+            "--db-a",
+            dir.join("a").to_str().unwrap(),
+            "--db-b",
+            dir.join("b").to_str().unwrap(),
+            "--out",
+            dir.join("ab").to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // The merged database answers queries spanning both halves.
+        let db = open_db(&dir.join("ab")).unwrap();
+        let a = SequenceStore::read_from(&dir.join("a").join(STORE_FILE)).unwrap();
+        let b = SequenceStore::read_from(&dir.join("b").join(STORE_FILE)).unwrap();
+        assert_eq!(db.len(), a.len() + b.len());
+        for (store, offset) in [(&a, 0u32), (&b, a.len() as u32)] {
+            let probe = store.sequence(3).unwrap();
+            let outcome = db.search(&probe, &SearchParams::default()).unwrap();
+            assert_eq!(outcome.results[0].record, 3 + offset);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn end_to_end_generate_build_search_stats() {
+        let dir = std::env::temp_dir().join(format!("nucdb_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fasta = dir.join("coll.fasta");
+        let queries = dir.join("queries.fasta");
+        let db = dir.join("db");
+
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
+        generate(&s(&[
+            "--bases",
+            "200000",
+            "--out",
+            fasta.to_str().unwrap(),
+            "--seed",
+            "7",
+            "--queries-out",
+            queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(fasta.exists());
+        assert!(dir.join("coll.truth.tsv").exists());
+        assert!(queries.exists());
+
+        build(&s(&[
+            "--collection",
+            fasta.to_str().unwrap(),
+            "--db",
+            db.to_str().unwrap(),
+            "--k",
+            "8",
+            "--chunk",
+            "50",
+        ]))
+        .unwrap();
+        assert!(db.join(INDEX_FILE).exists());
+        assert!(db.join(STORE_FILE).exists());
+
+        search(&s(&[
+            "--db",
+            db.to_str().unwrap(),
+            "--query",
+            queries.to_str().unwrap(),
+            "--candidates",
+            "20",
+            "--both-strands",
+            "--evalue",
+        ]))
+        .unwrap();
+        search(&s(&[
+            "--db",
+            db.to_str().unwrap(),
+            "--query",
+            queries.to_str().unwrap(),
+            "--tabular",
+            "--mask",
+        ]))
+        .unwrap();
+
+        stats(&s(&["--db", db.to_str().unwrap()])).unwrap();
+        verify(&s(&["--db", db.to_str().unwrap(), "--sample", "10"])).unwrap();
+        bench(&s(&[
+            "--db",
+            db.to_str().unwrap(),
+            "--query",
+            queries.to_str().unwrap(),
+            "--repeat",
+            "2",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let dir = std::env::temp_dir().join(format!("nucdb_cli_verify_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
+        let fasta = dir.join("c.fasta");
+        generate(&s(&["--bases", "60000", "--out", fasta.to_str().unwrap(), "--seed", "3"]))
+            .unwrap();
+        let db = dir.join("db");
+        build(&s(&["--collection", fasta.to_str().unwrap(), "--db", db.to_str().unwrap()]))
+            .unwrap();
+        verify(&s(&["--db", db.to_str().unwrap()])).unwrap();
+
+        // Drop a record from the store: verify must now fail.
+        let store = SequenceStore::read_from(&db.join(STORE_FILE)).unwrap();
+        let mut truncated = SequenceStore::new(store.mode());
+        for record in 0..store.len() as u32 - 1 {
+            truncated.add(store.id(record).to_string(), &store.sequence(record).unwrap());
+        }
+        truncated.write_to(&db.join(STORE_FILE)).unwrap();
+        assert!(verify(&s(&["--db", db.to_str().unwrap()])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

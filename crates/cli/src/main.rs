@@ -1,0 +1,42 @@
+//! `nucdb` — command-line front end for the partitioned-search system.
+//!
+//! ```text
+//! nucdb generate --bases 4000000 --out coll.fasta [--seed N] [--families N] ...
+//! nucdb build    --collection coll.fasta --db DIR [--k 8] [--stride 1] ...
+//! nucdb search   --db DIR --query q.fasta [--candidates 30] [--both-strands] ...
+//! nucdb stats    --db DIR
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "build" => commands::build(rest),
+        "search" => commands::search(rest),
+        "merge" => commands::merge(rest),
+        "stats" => commands::stats(rest),
+        "verify" => commands::verify(rest),
+        "bench" => commands::bench(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE).into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! MSB-first bit stream reader and writer.
+//!
+//! All integer codes in this crate are laid down on a single bit stream
+//! with no per-value alignment — that is where the compression comes from,
+//! and it matches the inverted-file layouts of the era (Bell, Moffat,
+//! Witten). Bits are written most-significant-first within each byte so
+//! that a unary scan can use leading-zero counts on whole bytes.
+
+use crate::error::CodecError;
+
+/// An append-only bit buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in `buf` (the final byte may be partial;
+    /// its unused low-order bits are zero).
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// An empty writer with capacity for `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> BitWriter {
+        BitWriter { buf: Vec::with_capacity(bits.div_ceil(8)), bit_len: 0 }
+    }
+
+    /// Number of bits written so far.
+    #[inline]
+    pub fn len_bits(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Number of bytes the stream occupies (final partial byte included).
+    #[inline]
+    pub fn len_bytes(&self) -> usize {
+        self.bit_len.div_ceil(8)
+    }
+
+    /// Is the stream empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bit_len == 0
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        let offset = self.bit_len % 8;
+        if offset == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            *self.buf.last_mut().unwrap() |= 0x80 >> offset;
+        }
+        self.bit_len += 1;
+    }
+
+    /// Append the low `count` bits of `value`, most significant first.
+    /// `count` may be 0 (writes nothing) up to 64.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        debug_assert!(count <= 64);
+        if count == 0 {
+            return;
+        }
+        // Mask to the requested width (count == 64 keeps everything).
+        let value = if count == 64 { value } else { value & ((1u64 << count) - 1) };
+        let mut remaining = count;
+        while remaining > 0 {
+            let offset = (self.bit_len % 8) as u32;
+            if offset == 0 {
+                self.buf.push(0);
+            }
+            let room = 8 - offset;
+            let take = room.min(remaining);
+            // The `take` most significant of the remaining bits.
+            let chunk = (value >> (remaining - take)) as u8 & ((1u16 << take) - 1) as u8;
+            *self.buf.last_mut().unwrap() |= chunk << (room - take);
+            self.bit_len += take as usize;
+            remaining -= take;
+        }
+    }
+
+    /// Append `n` in unary: `n` zero bits, then a one bit.
+    pub fn write_unary(&mut self, n: u64) {
+        let mut zeros = n;
+        // Fast path: whole zero bytes.
+        while zeros >= 8 && self.bit_len % 8 == 0 {
+            self.buf.push(0);
+            self.bit_len += 8;
+            zeros -= 8;
+        }
+        for _ in 0..zeros {
+            self.write_bit(false);
+        }
+        self.write_bit(true);
+    }
+
+    /// The stream contents so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer and return the byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A bit stream reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Bits remaining until the end of the underlying bytes. Note the
+    /// writer may have left up to 7 bits of zero padding in the final byte;
+    /// callers track value counts rather than relying on exhaustion.
+    #[inline]
+    pub fn remaining_bits(&self) -> usize {
+        self.data.len() * 8 - self.pos
+    }
+
+    /// Current position in bits from the start.
+    #[inline]
+    pub fn position_bits(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = *self.data.get(self.pos / 8).ok_or(CodecError::UnexpectedEnd)?;
+        let bit = byte & (0x80 >> (self.pos % 8)) != 0;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Read `count` bits (0..=64) as an unsigned integer, MSB first.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, CodecError> {
+        debug_assert!(count <= 64);
+        if count == 0 {
+            return Ok(0);
+        }
+        if self.remaining_bits() < count as usize {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut value = 0u64;
+        let mut remaining = count;
+        while remaining > 0 {
+            let byte = self.data[self.pos / 8];
+            let offset = (self.pos % 8) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(remaining);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            value = (value << take) | chunk as u64;
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Ok(value)
+    }
+
+    /// Read a unary value: the number of zero bits before the next one bit.
+    pub fn read_unary(&mut self) -> Result<u64, CodecError> {
+        let mut zeros = 0u64;
+        loop {
+            let byte_idx = self.pos / 8;
+            let byte = *self.data.get(byte_idx).ok_or(CodecError::UnexpectedEnd)?;
+            let offset = (self.pos % 8) as u32;
+            // Bits of this byte still unread, left-aligned.
+            let window = (byte << offset) as u32;
+            if window == 0 {
+                // All remaining bits in this byte are zero.
+                zeros += (8 - offset) as u64;
+                self.pos += (8 - offset) as usize;
+                continue;
+            }
+            let lead = window.leading_zeros() - 24; // window is 8 significant bits
+            zeros += lead as u64;
+            self.pos += lead as usize + 1; // consume the terminating one
+            return Ok(zeros);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let pattern = [true, false, true, true, false, false, false, true, true, false];
+        let mut w = BitWriter::new();
+        for &bit in &pattern {
+            w.write_bit(bit);
+        }
+        assert_eq!(w.len_bits(), pattern.len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &bit in &pattern {
+            assert_eq!(r.read_bit().unwrap(), bit);
+        }
+    }
+
+    #[test]
+    fn write_bits_msb_first() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0b0, 1);
+        w.write_bits(0b111, 3);
+        assert_eq!(w.as_bytes(), &[0b1011_0111]);
+    }
+
+    #[test]
+    fn write_bits_masks_excess() {
+        let mut w = BitWriter::new();
+        // Only the low 3 bits of the value should appear.
+        w.write_bits(0xffff_ffff_ffff_fff5, 3);
+        assert_eq!(w.len_bits(), 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+    }
+
+    #[test]
+    fn bits_round_trip_various_widths() {
+        let cases: &[(u64, u32)] = &[
+            (0, 1),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (256, 9),
+            (0xdead_beef, 32),
+            (u64::MAX, 64),
+            (0x0123_4567_89ab_cdef, 64),
+            (1, 64),
+            (0, 17),
+        ];
+        let mut w = BitWriter::new();
+        for &(value, width) in cases {
+            w.write_bits(value, width);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(value, width) in cases {
+            assert_eq!(r.read_bits(width).unwrap(), value, "width {width}");
+        }
+    }
+
+    #[test]
+    fn zero_width_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.len_bits(), 0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn unary_round_trip() {
+        let values = [0u64, 1, 2, 7, 8, 9, 15, 16, 63, 64, 100, 1000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_unary(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_unary().unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn unary_unaligned() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3); // misalign
+        w.write_unary(20);
+        w.write_unary(0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_unary().unwrap(), 20);
+        assert_eq!(r.read_unary().unwrap(), 0);
+    }
+
+    #[test]
+    fn read_past_end_fails() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0b1000_0000); // padding readable
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEnd));
+        assert_eq!(r.read_bits(4), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn unary_past_end_fails() {
+        // A stream of all zeros never terminates a unary code.
+        let bytes = [0u8, 0, 0];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_unary(), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn position_and_remaining() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 13);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.position_bits(), 5);
+        assert_eq!(r.remaining_bits(), 11);
+    }
+
+    #[test]
+    fn len_bytes_rounds_up() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.len_bytes(), 0);
+        w.write_bit(true);
+        assert_eq!(w.len_bytes(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.len_bytes(), 1);
+        w.write_bit(false);
+        assert_eq!(w.len_bytes(), 2);
+    }
+}

@@ -1,0 +1,589 @@
+//! The integer codes: unary, Elias gamma and delta, Golomb and Rice,
+//! variable-byte, and fixed-width binary.
+//!
+//! All codecs encode non-negative `u64` values (the Elias codes, which
+//! classically start at 1, are offset by one internally so the caller-facing
+//! domain is uniform). Each implements [`IntCodec`], so the postings layout
+//! in `nucdb-index` and the codec-comparison experiment **E5** can swap
+//! schemes without code changes.
+//!
+//! Which code suits which distribution (following Witten, Moffat & Bell):
+//!
+//! * **Unary** — only for tiny values; length is `value + 1` bits.
+//! * **Gamma** — good for small values with a decaying distribution
+//!   (in-record offset counts: almost always 1 or 2).
+//! * **Delta** — better than gamma once values grow beyond ~32.
+//! * **Golomb** — the workhorse for gaps between hits of a term with known
+//!   density; with the fitted parameter it is near-optimal for geometric
+//!   gap distributions, which is why the paper uses it for sequence-number
+//!   gaps.
+//! * **Rice** — Golomb restricted to power-of-two parameters: marginally
+//!   worse compression, faster decode.
+//! * **VByte** — byte-aligned, larger but very fast; included as the
+//!   pragmatic comparator.
+//! * **FixedWidth** — the uncompressed baseline.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+
+/// A uniform interface over integer codes on a shared bit stream.
+pub trait IntCodec {
+    /// Short scheme name for reports (e.g. `"golomb(b=7)"` prints the
+    /// parameter separately; this is just `"golomb"`).
+    fn name(&self) -> &'static str;
+
+    /// Append one value to the stream.
+    fn encode(&self, value: u64, w: &mut BitWriter);
+
+    /// Decode one value from the stream.
+    fn decode(&self, r: &mut BitReader) -> Result<u64, CodecError>;
+
+    /// Append every value in `values`.
+    fn encode_slice(&self, values: &[u64], w: &mut BitWriter) {
+        for &v in values {
+            self.encode(v, w);
+        }
+    }
+
+    /// Decode exactly `count` values.
+    fn decode_vec(&self, r: &mut BitReader, count: usize) -> Result<Vec<u64>, CodecError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Unary code: `n` zero bits then a one bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unary;
+
+impl IntCodec for Unary {
+    fn name(&self) -> &'static str {
+        "unary"
+    }
+
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        w.write_unary(value);
+    }
+
+    fn decode(&self, r: &mut BitReader) -> Result<u64, CodecError> {
+        r.read_unary()
+    }
+}
+
+/// Floor of log2 for a positive value.
+#[inline]
+fn floor_log2(v: u64) -> u32 {
+    debug_assert!(v > 0);
+    63 - v.leading_zeros()
+}
+
+/// Encode a *positive* value with Elias gamma: unary length prefix, then
+/// the value's bits below its leading one.
+#[inline]
+fn gamma_encode_pos(v: u64, w: &mut BitWriter) {
+    let n = floor_log2(v);
+    w.write_unary(n as u64);
+    w.write_bits(v, n);
+}
+
+/// Decode a positive Elias-gamma value.
+#[inline]
+fn gamma_decode_pos(r: &mut BitReader) -> Result<u64, CodecError> {
+    let n = r.read_unary()?;
+    if n > 63 {
+        return Err(CodecError::Malformed("gamma length prefix exceeds 63"));
+    }
+    let low = r.read_bits(n as u32)?;
+    Ok((1u64 << n) | low)
+}
+
+/// Elias gamma code (caller domain `0..`, internally offset by one).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gamma;
+
+impl IntCodec for Gamma {
+    fn name(&self) -> &'static str {
+        "gamma"
+    }
+
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        assert!(value < u64::MAX, "gamma domain is 0..u64::MAX-1");
+        gamma_encode_pos(value + 1, w);
+    }
+
+    fn decode(&self, r: &mut BitReader) -> Result<u64, CodecError> {
+        Ok(gamma_decode_pos(r)? - 1)
+    }
+}
+
+/// Elias delta code: the gamma length prefix is itself gamma-coded, which
+/// wins once values are large.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Delta;
+
+impl IntCodec for Delta {
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        assert!(value < u64::MAX, "delta domain is 0..u64::MAX-1");
+        let v = value + 1;
+        let n = floor_log2(v);
+        gamma_encode_pos(n as u64 + 1, w);
+        w.write_bits(v, n);
+    }
+
+    fn decode(&self, r: &mut BitReader) -> Result<u64, CodecError> {
+        let n = gamma_decode_pos(r)? - 1;
+        if n > 63 {
+            return Err(CodecError::Malformed("delta length prefix exceeds 63"));
+        }
+        let low = r.read_bits(n as u32)?;
+        Ok(((1u64 << n) | low) - 1)
+    }
+}
+
+/// Golomb code with parameter `b`: quotient in unary, remainder in
+/// truncated binary. Near-optimal for geometrically distributed values
+/// when `b` is fitted to the distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Golomb {
+    b: u64,
+    /// ceil(log2 b)
+    c: u32,
+    /// 2^c - b: remainders below this use c-1 bits.
+    cutoff: u64,
+}
+
+impl Golomb {
+    /// Create with an explicit parameter (`b >= 1`).
+    pub fn new(b: u64) -> Golomb {
+        assert!(b >= 1, "Golomb parameter must be positive");
+        let c = if b == 1 { 0 } else { 64 - (b - 1).leading_zeros() };
+        let cutoff = (1u64 << c) - b;
+        Golomb { b, c, cutoff }
+    }
+
+    /// The parameter.
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+
+    /// Fit the parameter to a Bernoulli gap model: `occurrences` hits
+    /// spread over a `universe` of slots (Witten–Moffat–Bell formula
+    /// `b = ceil(log(2-p) / -log(1-p))` with `p = occurrences/universe`).
+    ///
+    /// This is exactly how the index layer chooses per-list parameters for
+    /// sequence-number gaps: `universe` = number of records, `occurrences`
+    /// = list length.
+    pub fn fit(universe: u64, occurrences: u64) -> Golomb {
+        if occurrences == 0 || universe == 0 || occurrences >= universe {
+            return Golomb::new(1);
+        }
+        let p = occurrences as f64 / universe as f64;
+        let b = ((2.0 - p).ln() / -(1.0 - p).ln()).ceil();
+        Golomb::new(if b.is_finite() && b >= 1.0 { b as u64 } else { 1 })
+    }
+
+    /// Fit to a mean gap value (the classic `b ≈ 0.69 * mean`).
+    pub fn fit_mean(mean_gap: f64) -> Golomb {
+        if !mean_gap.is_finite() || mean_gap <= 1.0 {
+            return Golomb::new(1);
+        }
+        Golomb::new(((2f64.ln()) * mean_gap).ceil().max(1.0) as u64)
+    }
+}
+
+impl IntCodec for Golomb {
+    fn name(&self) -> &'static str {
+        "golomb"
+    }
+
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        let q = value / self.b;
+        let r = value % self.b;
+        w.write_unary(q);
+        if self.b == 1 {
+            return;
+        }
+        if r < self.cutoff {
+            w.write_bits(r, self.c - 1);
+        } else {
+            w.write_bits(r + self.cutoff, self.c);
+        }
+    }
+
+    fn decode(&self, reader: &mut BitReader) -> Result<u64, CodecError> {
+        let q = reader.read_unary()?;
+        let r = if self.b == 1 {
+            0
+        } else {
+            let head = reader.read_bits(self.c - 1)?;
+            if head < self.cutoff {
+                head
+            } else {
+                let tail = reader.read_bits(1)?;
+                ((head << 1) | tail) - self.cutoff
+            }
+        };
+        q.checked_mul(self.b)
+            .and_then(|qb| qb.checked_add(r))
+            .ok_or(CodecError::Malformed("golomb value overflows u64"))
+    }
+}
+
+/// Rice code: Golomb with `b = 2^k`. The remainder is a plain `k`-bit
+/// field, so decode needs no comparison against a cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rice {
+    k: u32,
+}
+
+impl Rice {
+    /// Create with remainder width `k` (0..=32).
+    pub fn new(k: u32) -> Rice {
+        assert!(k <= 32, "Rice parameter out of range");
+        Rice { k }
+    }
+
+    /// The remainder width.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Fit to a mean value: the power of two nearest `0.69 * mean`.
+    pub fn fit_mean(mean: f64) -> Rice {
+        if !mean.is_finite() || mean <= 1.5 {
+            return Rice::new(0);
+        }
+        let target = 2f64.ln() * mean;
+        Rice::new(target.log2().round().clamp(0.0, 32.0) as u32)
+    }
+}
+
+impl IntCodec for Rice {
+    fn name(&self) -> &'static str {
+        "rice"
+    }
+
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        w.write_unary(value >> self.k);
+        w.write_bits(value, self.k);
+    }
+
+    fn decode(&self, r: &mut BitReader) -> Result<u64, CodecError> {
+        let q = r.read_unary()?;
+        if self.k > 0 && q >= (1u64 << (64 - self.k)) {
+            return Err(CodecError::Malformed("rice quotient overflows u64"));
+        }
+        let rem = r.read_bits(self.k)?;
+        Ok((q << self.k) | rem)
+    }
+}
+
+/// Variable-byte code: 7 data bits per byte, high bit set on continuation
+/// bytes. Byte-aligned only if the stream position is; within this crate
+/// the groups are written to the shared bit stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VByte;
+
+impl IntCodec for VByte {
+    fn name(&self) -> &'static str {
+        "vbyte"
+    }
+
+    fn encode(&self, mut value: u64, w: &mut BitWriter) {
+        while value >= 0x80 {
+            w.write_bits((value & 0x7f) | 0x80, 8);
+            value >>= 7;
+        }
+        w.write_bits(value, 8);
+    }
+
+    fn decode(&self, r: &mut BitReader) -> Result<u64, CodecError> {
+        let mut value = 0u64;
+        for group in 0..10u32 {
+            let byte = r.read_bits(8)?;
+            value |= (byte & 0x7f) << (7 * group);
+            if byte & 0x80 == 0 {
+                if group == 9 && byte > 1 {
+                    return Err(CodecError::Malformed("vbyte value overflows u64"));
+                }
+                return Ok(value);
+            }
+        }
+        Err(CodecError::Malformed("vbyte run exceeds 10 bytes"))
+    }
+}
+
+/// Fixed-width binary: every value in exactly `bits` bits. The
+/// uncompressed comparator in E5. Values must fit; encoding a value that
+/// does not fit panics (it indicates a mis-sized layout, not bad data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedWidth {
+    bits: u32,
+}
+
+impl FixedWidth {
+    /// Create with the given width (1..=64).
+    pub fn new(bits: u32) -> FixedWidth {
+        assert!((1..=64).contains(&bits), "width out of range");
+        FixedWidth { bits }
+    }
+
+    /// The width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The smallest width that can hold `max_value`.
+    pub fn for_max(max_value: u64) -> FixedWidth {
+        FixedWidth::new(if max_value == 0 { 1 } else { floor_log2(max_value) + 1 })
+    }
+}
+
+impl IntCodec for FixedWidth {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        assert!(
+            self.bits == 64 || value < (1u64 << self.bits),
+            "value {value} does not fit in {} bits",
+            self.bits
+        );
+        w.write_bits(value, self.bits);
+    }
+
+    fn decode(&self, r: &mut BitReader) -> Result<u64, CodecError> {
+        r.read_bits(self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(codec: &dyn IntCodec, values: &[u64]) {
+        let mut w = BitWriter::new();
+        codec.encode_slice(values, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let decoded = codec.decode_vec(&mut r, values.len()).unwrap();
+        assert_eq!(decoded, values, "{} round trip", codec.name());
+    }
+
+    const SMALL: &[u64] = &[0, 1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 17, 31, 100, 127, 128, 1000];
+
+    #[test]
+    fn unary_round_trip() {
+        round_trip(&Unary, &[0, 1, 2, 3, 10, 40]);
+    }
+
+    #[test]
+    fn gamma_round_trip() {
+        round_trip(&Gamma, SMALL);
+        round_trip(&Gamma, &[u32::MAX as u64, 1 << 40, (1 << 62) + 12345]);
+    }
+
+    #[test]
+    fn gamma_known_lengths() {
+        // gamma(v) for caller value n encodes v = n+1 and needs
+        // 2*floor(log2 v) + 1 bits.
+        for (n, expect_bits) in [(0u64, 1usize), (1, 3), (2, 3), (3, 5), (6, 5), (7, 7)] {
+            let mut w = BitWriter::new();
+            Gamma.encode(n, &mut w);
+            assert_eq!(w.len_bits(), expect_bits, "value {n}");
+        }
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        round_trip(&Delta, SMALL);
+        round_trip(&Delta, &[u32::MAX as u64, 1 << 40, (1 << 62) + 999, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn delta_beats_gamma_for_large_values() {
+        let mut gw = BitWriter::new();
+        let mut dw = BitWriter::new();
+        for v in [1u64 << 20, 1 << 30, 1 << 40] {
+            Gamma.encode(v, &mut gw);
+            Delta.encode(v, &mut dw);
+        }
+        assert!(dw.len_bits() < gw.len_bits());
+    }
+
+    #[test]
+    fn golomb_round_trip_various_b() {
+        for b in [1u64, 2, 3, 4, 5, 7, 8, 10, 64, 100, 1000] {
+            round_trip(&Golomb::new(b), SMALL);
+        }
+    }
+
+    #[test]
+    fn golomb_b1_is_unary() {
+        let mut gw = BitWriter::new();
+        let mut uw = BitWriter::new();
+        for v in [0u64, 3, 9] {
+            Golomb::new(1).encode(v, &mut gw);
+            Unary.encode(v, &mut uw);
+        }
+        assert_eq!(gw.into_bytes(), uw.into_bytes());
+    }
+
+    #[test]
+    fn golomb_truncated_binary_lengths() {
+        // b=5: c=3, cutoff=3; remainders 0..3 take 2 bits, 3..5 take 3.
+        let g = Golomb::new(5);
+        for (v, expect_bits) in [(0u64, 3usize), (2, 3), (3, 4), (4, 4), (5, 4)] {
+            // 1 unary bit for q=0 (values < 5), plus remainder bits.
+            let mut w = BitWriter::new();
+            g.encode(v, &mut w);
+            assert_eq!(w.len_bits(), expect_bits, "value {v}");
+        }
+    }
+
+    #[test]
+    fn golomb_fit_is_sane() {
+        // Density 1/100 → mean gap 100 → b near 69.
+        let g = Golomb::fit(100_000, 1_000);
+        assert!((60..=80).contains(&g.b()), "b = {}", g.b());
+        // Degenerate fits fall back to b=1.
+        assert_eq!(Golomb::fit(0, 0).b(), 1);
+        assert_eq!(Golomb::fit(10, 10).b(), 1);
+        assert_eq!(Golomb::fit(10, 20).b(), 1);
+    }
+
+    #[test]
+    fn golomb_fit_mean() {
+        assert_eq!(Golomb::fit_mean(1.0).b(), 1);
+        assert_eq!(Golomb::fit_mean(f64::NAN).b(), 1);
+        let g = Golomb::fit_mean(100.0);
+        assert!((65..=75).contains(&g.b()), "b = {}", g.b());
+    }
+
+    #[test]
+    fn golomb_compresses_geometric_gaps_well() {
+        // Geometric-ish gaps with mean ~50: fitted Golomb should beat gamma.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let gaps: Vec<u64> =
+            (0..10_000).map(|_| (-(rng.random::<f64>().ln()) * 50.0) as u64).collect();
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        let golomb = Golomb::fit_mean(mean);
+
+        let mut gw = BitWriter::new();
+        golomb.encode_slice(&gaps, &mut gw);
+        let mut ew = BitWriter::new();
+        Gamma.encode_slice(&gaps, &mut ew);
+        assert!(
+            gw.len_bits() < ew.len_bits(),
+            "golomb {} bits vs gamma {} bits",
+            gw.len_bits(),
+            ew.len_bits()
+        );
+        let mut r = BitReader::new(gw.as_bytes());
+        assert_eq!(golomb.decode_vec(&mut r, gaps.len()).unwrap(), gaps);
+    }
+
+    #[test]
+    fn rice_round_trip() {
+        for k in [0u32, 1, 3, 7, 16] {
+            round_trip(&Rice::new(k), SMALL);
+        }
+    }
+
+    #[test]
+    fn rice_equals_golomb_at_powers_of_two() {
+        for (k, b) in [(0u32, 1u64), (1, 2), (3, 8), (5, 32)] {
+            let mut rw = BitWriter::new();
+            let mut gw = BitWriter::new();
+            for v in SMALL {
+                Rice::new(k).encode(*v, &mut rw);
+                Golomb::new(b).encode(*v, &mut gw);
+            }
+            assert_eq!(rw.into_bytes(), gw.into_bytes(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn rice_fit_mean() {
+        assert_eq!(Rice::fit_mean(1.0).k(), 0);
+        let r = Rice::fit_mean(100.0);
+        assert!((5..=7).contains(&r.k()), "k = {}", r.k());
+    }
+
+    #[test]
+    fn vbyte_round_trip() {
+        round_trip(&VByte, SMALL);
+        round_trip(&VByte, &[u64::MAX, u64::MAX - 1, 1 << 63]);
+    }
+
+    #[test]
+    fn vbyte_lengths() {
+        for (v, expect_bytes) in [(0u64, 1usize), (127, 1), (128, 2), (16_383, 2), (16_384, 3)] {
+            let mut w = BitWriter::new();
+            VByte.encode(v, &mut w);
+            assert_eq!(w.len_bytes(), expect_bytes, "value {v}");
+        }
+    }
+
+    #[test]
+    fn fixed_width_round_trip() {
+        round_trip(&FixedWidth::new(17), &[0, 1, 100, (1 << 17) - 1]);
+        round_trip(&FixedWidth::new(64), &[u64::MAX, 0]);
+    }
+
+    #[test]
+    fn fixed_width_for_max() {
+        assert_eq!(FixedWidth::for_max(0).bits(), 1);
+        assert_eq!(FixedWidth::for_max(1).bits(), 1);
+        assert_eq!(FixedWidth::for_max(2).bits(), 2);
+        assert_eq!(FixedWidth::for_max(255).bits(), 8);
+        assert_eq!(FixedWidth::for_max(256).bits(), 9);
+        assert_eq!(FixedWidth::for_max(u64::MAX).bits(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn fixed_width_rejects_oversize() {
+        let mut w = BitWriter::new();
+        FixedWidth::new(4).encode(16, &mut w);
+    }
+
+    #[test]
+    fn truncated_streams_error_not_panic() {
+        let mut w = BitWriter::new();
+        Gamma.encode(1_000_000, &mut w);
+        Delta.encode(1_000_000, &mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = BitReader::new(&bytes[..cut]);
+            // Either value may fail; neither may panic.
+            let _ = Gamma.decode(&mut r).and_then(|_| Delta.decode(&mut r));
+        }
+    }
+
+    #[test]
+    fn mixed_codecs_share_one_stream() {
+        let mut w = BitWriter::new();
+        Gamma.encode(9, &mut w);
+        Golomb::new(7).encode(22, &mut w);
+        VByte.encode(300, &mut w);
+        Delta.encode(5, &mut w);
+        FixedWidth::new(12).encode(4000, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(Gamma.decode(&mut r).unwrap(), 9);
+        assert_eq!(Golomb::new(7).decode(&mut r).unwrap(), 22);
+        assert_eq!(VByte.decode(&mut r).unwrap(), 300);
+        assert_eq!(Delta.decode(&mut r).unwrap(), 5);
+        assert_eq!(FixedWidth::new(12).decode(&mut r).unwrap(), 4000);
+    }
+}

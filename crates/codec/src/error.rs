@@ -1,0 +1,35 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Errors produced while decoding a compressed bit stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the expected number of values was decoded.
+    UnexpectedEnd,
+    /// A decoded value does not fit the target width or violated an
+    /// invariant of the code (e.g. a gamma length prefix of more than 64).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "bit stream ended unexpectedly"),
+            CodecError::Malformed(what) => write!(f, "malformed code: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CodecError::UnexpectedEnd.to_string().contains("ended"));
+        assert!(CodecError::Malformed("x").to_string().contains('x'));
+    }
+}

@@ -1,0 +1,40 @@
+//! # nucdb-codec
+//!
+//! Bit-level integer coding, the substrate of the paper's index
+//! compression. The EDBT'96 system holds its inverted index "to an
+//! acceptable level" by storing postings as compressed integers: Golomb
+//! codes for the gaps between sequence numbers (whose distribution the
+//! Golomb parameter is fitted to), Elias gamma codes for in-record offset
+//! counts, and Golomb/gamma codes for offset gaps. This crate implements
+//! those codes — plus variable-byte and fixed-width codings used as
+//! comparators in experiment **E5** — over a shared MSB-first bit stream.
+//!
+//! All codecs speak `u64` and implement [`IntCodec`], so postings layouts
+//! and experiments can swap schemes freely.
+//!
+//! ```
+//! use nucdb_codec::{BitReader, BitWriter, Gamma, IntCodec};
+//!
+//! let gaps = [1u64, 3, 2, 900, 1];
+//! let mut w = BitWriter::new();
+//! Gamma.encode_slice(&gaps, &mut w);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! let decoded = Gamma.decode_vec(&mut r, gaps.len()).unwrap();
+//! assert_eq!(decoded, gaps);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitio;
+pub mod codes;
+pub mod error;
+pub mod interp;
+pub mod zigzag;
+
+pub use bitio::{BitReader, BitWriter};
+pub use codes::{Delta, FixedWidth, Gamma, Golomb, IntCodec, Rice, Unary, VByte};
+pub use error::CodecError;
+pub use interp::{interpolative_decode, interpolative_encode};
+pub use zigzag::{zigzag_decode, zigzag_encode};

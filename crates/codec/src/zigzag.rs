@@ -1,0 +1,46 @@
+//! Zigzag mapping between signed and unsigned integers.
+//!
+//! The frame-based coarse ranking in the core engine works with *diagonal*
+//! values (query offset minus record offset), which are signed; zigzag
+//! maps them onto the unsigned domain the codecs speak, keeping small
+//! magnitudes small: `0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`.
+
+/// Map a signed value to unsigned, preserving magnitude order.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(2), 4);
+    }
+
+    #[test]
+    fn round_trip_extremes() {
+        for v in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_stay_small() {
+        for v in -100i64..=100 {
+            assert!(zigzag_encode(v) <= 200);
+        }
+    }
+}

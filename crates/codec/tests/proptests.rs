@@ -1,0 +1,131 @@
+//! Property tests: every codec round-trips arbitrary value streams, and
+//! the bit I/O layer round-trips arbitrary (value, width) sequences.
+
+use nucdb_codec::{
+    zigzag_decode, zigzag_encode, BitReader, BitWriter, Delta, FixedWidth, Gamma, Golomb,
+    IntCodec, Rice, VByte,
+};
+use proptest::prelude::*;
+
+fn check_round_trip(codec: &dyn IntCodec, values: &[u64]) {
+    let mut w = BitWriter::new();
+    codec.encode_slice(values, &mut w);
+    let bytes = w.into_bytes();
+    let mut r = BitReader::new(&bytes);
+    let decoded = codec.decode_vec(&mut r, values.len()).unwrap();
+    assert_eq!(decoded, values);
+}
+
+proptest! {
+    #[test]
+    fn gamma_round_trips(values in prop::collection::vec(0u64..u64::MAX - 1, 0..200)) {
+        check_round_trip(&Gamma, &values);
+    }
+
+    #[test]
+    fn delta_round_trips(values in prop::collection::vec(0u64..u64::MAX - 1, 0..200)) {
+        check_round_trip(&Delta, &values);
+    }
+
+    // Golomb/Rice value ranges are bounded: with a tiny parameter the
+    // quotient is stored in unary, so a huge value would legitimately
+    // emit millions of bits — correct, but pointless to property-test.
+    #[test]
+    fn golomb_round_trips(
+        b in 1u64..10_000,
+        values in prop::collection::vec(0u64..200_000, 0..200),
+    ) {
+        check_round_trip(&Golomb::new(b), &values);
+    }
+
+    #[test]
+    fn rice_round_trips(
+        k in 0u32..=32,
+        values in prop::collection::vec(0u64..200_000, 0..200),
+    ) {
+        check_round_trip(&Rice::new(k), &values);
+    }
+
+    #[test]
+    fn golomb_large_values_with_fitted_parameter(
+        mean in 1_000.0f64..100_000.0,
+        values in prop::collection::vec(0u64..2_000_000, 0..50),
+    ) {
+        // Larger values are fine when the parameter matches their scale.
+        check_round_trip(&Golomb::fit_mean(mean), &values);
+    }
+
+    #[test]
+    fn vbyte_round_trips(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        check_round_trip(&VByte, &values);
+    }
+
+    #[test]
+    fn fixed_width_round_trips(
+        bits in 1u32..=63,
+        raw in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mask = (1u64 << bits) - 1;
+        let values: Vec<u64> = raw.iter().map(|v| v & mask).collect();
+        check_round_trip(&FixedWidth::new(bits), &values);
+    }
+
+    #[test]
+    fn bitio_round_trips_mixed_widths(
+        pairs in prop::collection::vec((any::<u64>(), 0u32..=64), 0..200),
+    ) {
+        let mut w = BitWriter::new();
+        for &(value, width) in &pairs {
+            w.write_bits(value, width);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(value, width) in &pairs {
+            let expect = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+            prop_assert_eq!(r.read_bits(width).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn unary_interleaves_with_bits(
+        items in prop::collection::vec((0u64..500, any::<u64>(), 0u32..=16), 0..100),
+    ) {
+        let mut w = BitWriter::new();
+        for &(n, value, width) in &items {
+            w.write_unary(n);
+            w.write_bits(value, width);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(n, value, width) in &items {
+            prop_assert_eq!(r.read_unary().unwrap(), n);
+            let expect = if width == 0 { 0 } else { value & ((1u64 << width) - 1) };
+            prop_assert_eq!(r.read_bits(width).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn truncated_decode_never_panics(
+        values in prop::collection::vec(0u64..1_000_000, 1..50),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut w = BitWriter::new();
+        Gamma.encode_slice(&values, &mut w);
+        let bytes = w.into_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let mut r = BitReader::new(&bytes[..cut]);
+        // Must terminate with Ok or Err, never panic or loop forever.
+        let _ = Gamma.decode_vec(&mut r, values.len());
+    }
+
+    #[test]
+    fn golomb_fit_never_panics(universe in 0u64..1_000_000, occ in 0u64..1_000_000) {
+        let g = Golomb::fit(universe, occ);
+        prop_assert!(g.b() >= 1);
+    }
+}

@@ -1,0 +1,583 @@
+//! Coarse search: rank records by index evidence of a local alignment.
+//!
+//! Every interval of the query is looked up in the inverted index; each
+//! posting contributes a *hit* `(record, diagonal)`, where the diagonal is
+//! the record offset minus the query position. Records are then scored by
+//! one of three schemes (ablated in experiment **E8**):
+//!
+//! * [`RankingScheme::Count`] — raw hit count. Cheap, but long records
+//!   accumulate accidental hits.
+//! * [`RankingScheme::Proportional`] — hit count normalised by record
+//!   length, correcting the length bias.
+//! * [`RankingScheme::Frame`] — the paper family's key insight: hits that
+//!   belong to a real local alignment share (nearly) one diagonal, so the
+//!   score is the maximum number of hits within a diagonal window whose
+//!   width tolerates small indels. Accidental hits scatter across
+//!   diagonals and stop mattering.
+//!
+//! The winning diagonal is reported with each candidate, seeding the
+//! banded alignment of fine search.
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use nucdb_index::{
+    CompressedIndex, Granularity, IndexError, IndexParams, OnDiskIndex, PostingsList,
+};
+use nucdb_seq::Base;
+
+use crate::params::SearchParams;
+
+/// Anything coarse search can fetch postings from (in-memory index,
+/// on-disk index, or the engine's variant wrapper).
+pub trait PostingsSource {
+    /// Number of records the index covers.
+    fn num_records(&self) -> u32;
+    /// Per-record lengths (needed for proportional ranking and offset
+    /// decoding).
+    fn record_lens(&self) -> &[u32];
+    /// The index parameters (interval length, stride, stopping,
+    /// granularity).
+    fn index_params(&self) -> &IndexParams;
+    /// Fetch the postings list for an interval code (offset granularity
+    /// only).
+    fn fetch(&self, code: u64) -> Result<Option<PostingsList>, IndexError>;
+    /// Fetch `(record, count)` pairs for an interval code (either
+    /// granularity).
+    fn fetch_counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError>;
+}
+
+impl PostingsSource for CompressedIndex {
+    fn num_records(&self) -> u32 {
+        CompressedIndex::num_records(self)
+    }
+
+    fn record_lens(&self) -> &[u32] {
+        CompressedIndex::record_lens(self)
+    }
+
+    fn index_params(&self) -> &IndexParams {
+        self.params()
+    }
+
+    fn fetch(&self, code: u64) -> Result<Option<PostingsList>, IndexError> {
+        self.postings(code)
+    }
+
+    fn fetch_counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
+        self.counts(code)
+    }
+}
+
+impl PostingsSource for OnDiskIndex {
+    fn num_records(&self) -> u32 {
+        OnDiskIndex::num_records(self)
+    }
+
+    fn record_lens(&self) -> &[u32] {
+        OnDiskIndex::record_lens(self)
+    }
+
+    fn index_params(&self) -> &IndexParams {
+        self.params()
+    }
+
+    fn fetch(&self, code: u64) -> Result<Option<PostingsList>, IndexError> {
+        self.postings(code)
+    }
+
+    fn fetch_counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
+        self.counts(code)
+    }
+}
+
+/// Coarse ranking scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankingScheme {
+    /// Total interval hits.
+    Count,
+    /// Hits divided by record length.
+    Proportional,
+    /// Most hits within any diagonal window of the given width (in
+    /// bases); the window tolerates indels of up to that many bases
+    /// inside one local alignment.
+    Frame {
+        /// Diagonal window width.
+        window: u32,
+    },
+}
+
+impl Default for RankingScheme {
+    fn default() -> RankingScheme {
+        RankingScheme::Frame { window: 16 }
+    }
+}
+
+/// One coarse candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoarseHit {
+    /// Record id.
+    pub record: u32,
+    /// Score under the chosen ranking scheme (higher is better).
+    pub score: f64,
+    /// Total interval hits for the record.
+    pub hits: u32,
+    /// Hits within the best diagonal window.
+    pub frame_hits: u32,
+    /// Centre of the best diagonal window (record offset − query
+    /// position); seeds the fine-search band.
+    pub best_diagonal: i64,
+}
+
+/// The result of coarse search, with the cost counters experiments report.
+#[derive(Debug, Clone, Default)]
+pub struct CoarseOutcome {
+    /// Top candidates, descending score.
+    pub candidates: Vec<CoarseHit>,
+    /// Distinct query intervals looked up.
+    pub intervals_looked_up: u64,
+    /// Lists found in the index.
+    pub lists_fetched: u64,
+    /// Postings entries decoded across all fetched lists.
+    pub postings_decoded: u64,
+    /// Total `(query position, record offset)` hit pairs accumulated.
+    pub total_hits: u64,
+}
+
+type CodeMap = HashMap<u64, Vec<u32>, BuildHasherDefault<CodeHasher>>;
+
+/// Same multiplicative hasher the index builder uses for interval codes.
+#[derive(Default)]
+struct CodeHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for CodeHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = self.state.rotate_left(8) ^ b as u64;
+        }
+        self.state = self.state.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.state = value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// Run coarse search for `query` over `index`.
+pub fn coarse_rank<S: PostingsSource>(
+    index: &S,
+    query: &[Base],
+    params: &SearchParams,
+) -> Result<CoarseOutcome, IndexError> {
+    let iparams = index.index_params();
+    let mut outcome = CoarseOutcome::default();
+
+    // Distinct query intervals and the query positions they occur at,
+    // subsampled by the query stride and filtered by low-complexity
+    // masking of the query.
+    let masked = params
+        .mask
+        .as_ref()
+        .map(|dust| nucdb_seq::complexity::mask_regions(query, dust))
+        .unwrap_or_default();
+    let stride = params.query_stride.max(1);
+    let mut query_intervals = CodeMap::default();
+    for (qpos, code) in iparams.extract(query) {
+        if qpos as usize % stride == 0
+            && !nucdb_seq::complexity::is_masked(&masked, qpos as usize)
+        {
+            query_intervals.entry(code).or_default().push(qpos);
+        }
+    }
+    outcome.intervals_looked_up = query_intervals.len() as u64;
+    if query_intervals.is_empty() || index.num_records() == 0 {
+        return Ok(outcome);
+    }
+
+    // Record-granularity indexes carry no offsets: only count-based
+    // rankings are possible, via the cheaper counts decode.
+    if iparams.granularity == Granularity::Records {
+        if matches!(params.ranking, RankingScheme::Frame { .. }) {
+            return Err(IndexError::Unsupported(
+                "frame ranking requires an offset-granularity index",
+            ));
+        }
+        return coarse_rank_counts(index, &query_intervals, params, outcome);
+    }
+
+    // Accumulate hit counts and (record, diagonal) pairs, optionally
+    // capping how many distinct records are tracked (accumulator
+    // limiting: once full, hits on untracked records are dropped).
+    let accumulator_limit = params.max_accumulators.unwrap_or(usize::MAX).max(1);
+    let mut tracked = 0usize;
+    let mut acc = vec![0u32; index.num_records() as usize];
+    let mut hits: Vec<(u32, i64)> = Vec::new();
+    for (code, qpositions) in &query_intervals {
+        let Some(list) = index.fetch(*code)? else {
+            continue;
+        };
+        outcome.lists_fetched += 1;
+        outcome.postings_decoded += list.df() as u64;
+        for posting in &list.entries {
+            let record = posting.record;
+            if acc[record as usize] == 0 {
+                if tracked >= accumulator_limit {
+                    continue;
+                }
+                tracked += 1;
+            }
+            for &offset in &posting.offsets {
+                for &qpos in qpositions {
+                    acc[record as usize] += 1;
+                    hits.push((record, offset as i64 - qpos as i64));
+                }
+            }
+        }
+    }
+    outcome.total_hits = hits.len() as u64;
+    if hits.is_empty() {
+        return Ok(outcome);
+    }
+
+    // Per-record best diagonal window (two-pointer over the record's
+    // sorted diagonals). Computed for every ranking scheme — Frame scores
+    // by it, the others still need the diagonal to seed fine search.
+    let window = match params.ranking {
+        RankingScheme::Frame { window } => window as i64,
+        // A modest default tolerance when frames are not the ranking.
+        _ => 16,
+    };
+    hits.sort_unstable();
+
+    let record_lens = index.record_lens();
+    let mut candidates: Vec<CoarseHit> = Vec::new();
+    let mut run_start = 0usize;
+    while run_start < hits.len() {
+        let record = hits[run_start].0;
+        let mut run_end = run_start;
+        while run_end < hits.len() && hits[run_end].0 == record {
+            run_end += 1;
+        }
+        let diags = &hits[run_start..run_end];
+        // Two-pointer max window.
+        let mut best_count = 0usize;
+        let mut best_lo = 0usize;
+        let mut lo = 0usize;
+        for hi in 0..diags.len() {
+            while diags[hi].1 - diags[lo].1 > window {
+                lo += 1;
+            }
+            if hi - lo + 1 > best_count {
+                best_count = hi - lo + 1;
+                best_lo = lo;
+            }
+        }
+        let window_slice = &diags[best_lo..best_lo + best_count];
+        let best_diagonal = window_slice[window_slice.len() / 2].1;
+
+        let total = acc[record as usize];
+        if total >= params.min_coarse_hits {
+            let score = match params.ranking {
+                RankingScheme::Count => total as f64,
+                RankingScheme::Proportional => {
+                    total as f64 / (record_lens[record as usize].max(1) as f64)
+                }
+                RankingScheme::Frame { .. } => best_count as f64,
+            };
+            candidates.push(CoarseHit {
+                record,
+                score,
+                hits: total,
+                frame_hits: best_count as u32,
+                best_diagonal,
+            });
+        }
+        run_start = run_end;
+    }
+
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("coarse scores are finite")
+            .then(a.record.cmp(&b.record))
+    });
+    candidates.truncate(params.max_candidates);
+    outcome.candidates = candidates;
+    Ok(outcome)
+}
+
+/// Count-based coarse ranking over a record-granularity index: the same
+/// accumulation without diagonals (no offsets exist). Candidates carry
+/// `best_diagonal = 0`; the engine compensates by running unbanded fine
+/// alignment.
+fn coarse_rank_counts<S: PostingsSource>(
+    index: &S,
+    query_intervals: &CodeMap,
+    params: &SearchParams,
+    mut outcome: CoarseOutcome,
+) -> Result<CoarseOutcome, IndexError> {
+    let accumulator_limit = params.max_accumulators.unwrap_or(usize::MAX).max(1);
+    let mut tracked = 0usize;
+    let mut acc = vec![0u32; index.num_records() as usize];
+    for (code, qpositions) in query_intervals {
+        let Some(counts) = index.fetch_counts(*code)? else {
+            continue;
+        };
+        outcome.lists_fetched += 1;
+        outcome.postings_decoded += counts.len() as u64;
+        for (record, count) in counts {
+            if acc[record as usize] == 0 {
+                if tracked >= accumulator_limit {
+                    continue;
+                }
+                tracked += 1;
+            }
+            let contribution = count * qpositions.len() as u32;
+            acc[record as usize] += contribution;
+            outcome.total_hits += contribution as u64;
+        }
+    }
+
+    let record_lens = index.record_lens();
+    let mut candidates: Vec<CoarseHit> = acc
+        .iter()
+        .enumerate()
+        .filter(|&(_, &total)| total >= params.min_coarse_hits.max(1))
+        .map(|(record, &total)| CoarseHit {
+            record: record as u32,
+            score: match params.ranking {
+                RankingScheme::Proportional => {
+                    total as f64 / (record_lens[record].max(1) as f64)
+                }
+                _ => total as f64,
+            },
+            hits: total,
+            frame_hits: 0,
+            best_diagonal: 0,
+        })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("coarse scores are finite")
+            .then(a.record.cmp(&b.record))
+    });
+    candidates.truncate(params.max_candidates);
+    outcome.candidates = candidates;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucdb_index::IndexBuilder;
+    use nucdb_seq::DnaSeq;
+
+    fn bases(ascii: &[u8]) -> Vec<Base> {
+        DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+    }
+
+    fn build(records: &[&[u8]], k: usize) -> CompressedIndex {
+        let mut builder = IndexBuilder::new(IndexParams::new(k));
+        for r in records {
+            builder.add_record(&bases(r));
+        }
+        builder.finish()
+    }
+
+    fn params(ranking: RankingScheme) -> SearchParams {
+        SearchParams { ranking, min_coarse_hits: 1, ..SearchParams::default() }
+    }
+
+    #[test]
+    fn exact_copy_ranks_first() {
+        let index = build(
+            &[
+                b"GGGGGGGGGGGGGGGGGGGGGGGG",
+                b"TTTTACGTAGCTAGCTGGATCCTT", // contains the query
+                b"CACACACACACACACACACACACA",
+            ],
+            8,
+        );
+        let query = bases(b"ACGTAGCTAGCTGGATCC");
+        for ranking in
+            [RankingScheme::Count, RankingScheme::Proportional, RankingScheme::Frame { window: 8 }]
+        {
+            let outcome = coarse_rank(&index, &query, &params(ranking)).unwrap();
+            assert!(!outcome.candidates.is_empty(), "{ranking:?}");
+            assert_eq!(outcome.candidates[0].record, 1, "{ranking:?}");
+        }
+    }
+
+    #[test]
+    fn diagonal_is_recovered() {
+        // Query matches record 0 at offset 6 → diagonal +6.
+        let index = build(&[b"CCCCCCACGTAGCTAGCTGGATCCAAAA"], 8);
+        let query = bases(b"ACGTAGCTAGCTGGATCC");
+        let outcome =
+            coarse_rank(&index, &query, &params(RankingScheme::Frame { window: 4 })).unwrap();
+        assert_eq!(outcome.candidates.len(), 1);
+        assert_eq!(outcome.candidates[0].best_diagonal, 6);
+        // All hits of an exact embedded match share one diagonal.
+        assert_eq!(outcome.candidates[0].frame_hits, outcome.candidates[0].hits);
+    }
+
+    #[test]
+    fn frame_beats_count_on_scattered_hits() {
+        // Record 0 shares many intervals with the query but scattered
+        // (shuffled blocks); record 1 embeds a contiguous fragment.
+        // Count ranks 0 first or equal; Frame must rank 1 first.
+        let query = bases(b"AACCGGTTACGTAGCTTGCATGCAAACCGGTT");
+        // Blocks of the query reordered and repeated: many hits, no
+        // common diagonal.
+        let scattered = b"TGCATGCAACGTAGCTAACCGGTTAACCGGTTAACCGGTT";
+        let contiguous = b"TTTTTTACGTAGCTTGCATGCATTTTTTTTTT"; // one fragment
+        let index = build(&[scattered, contiguous], 8);
+
+        let frame =
+            coarse_rank(&index, &query, &params(RankingScheme::Frame { window: 4 })).unwrap();
+        assert_eq!(frame.candidates[0].record, 1, "frame should prefer the contiguous match");
+
+        let count = coarse_rank(&index, &query, &params(RankingScheme::Count)).unwrap();
+        assert_eq!(count.candidates[0].record, 0, "count should prefer the scattered record");
+    }
+
+    #[test]
+    fn proportional_corrects_length_bias() {
+        // A short record with one shared interval vs a long record with
+        // two: proportional prefers the short one, count the long one.
+        let short = b"ACGTAGCTAGCT"; // 12 bases, hits once
+        let mut long = b"ACGTAGCTAGCTACGTAGCTAGCT".to_vec(); // hits more
+        long.extend(std::iter::repeat_n(b'G', 400));
+        let index = build(&[short, &long], 12);
+        let query = bases(b"ACGTAGCTAGCT");
+
+        let count = coarse_rank(&index, &query, &params(RankingScheme::Count)).unwrap();
+        assert_eq!(count.candidates[0].record, 1);
+        let prop = coarse_rank(&index, &query, &params(RankingScheme::Proportional)).unwrap();
+        assert_eq!(prop.candidates[0].record, 0);
+    }
+
+    #[test]
+    fn min_hits_filters_noise() {
+        let index = build(&[b"ACGTAGCTTTTTTTTT", b"GGGGGGGGGGGGGGGG"], 8);
+        let query = bases(b"ACGTAGCTAAAAAAAA"); // one shared interval with record 0
+        let strict = SearchParams { min_coarse_hits: 2, ..SearchParams::default() };
+        let outcome = coarse_rank(&index, &query, &strict).unwrap();
+        assert!(outcome.candidates.is_empty());
+        let lax = SearchParams { min_coarse_hits: 1, ..SearchParams::default() };
+        let outcome = coarse_rank(&index, &query, &lax).unwrap();
+        assert_eq!(outcome.candidates.len(), 1);
+    }
+
+    #[test]
+    fn candidate_cutoff_respected() {
+        let records: Vec<Vec<u8>> = (0..20)
+            .map(|i| {
+                let mut r = b"ACGTAGCTAGCTGGAT".to_vec();
+                r.push(b"ACGT"[i % 4]);
+                r
+            })
+            .collect();
+        let refs: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
+        let index = build(&refs, 8);
+        let query = bases(b"ACGTAGCTAGCTGGAT");
+        let p = SearchParams { max_candidates: 5, min_coarse_hits: 1, ..SearchParams::default() };
+        let outcome = coarse_rank(&index, &query, &p).unwrap();
+        assert_eq!(outcome.candidates.len(), 5);
+        // Scores descend.
+        for pair in outcome.candidates.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn short_query_yields_empty_outcome() {
+        let index = build(&[b"ACGTACGTACGTACGT"], 8);
+        let query = bases(b"ACGT"); // shorter than k
+        let outcome = coarse_rank(&index, &query, &params(RankingScheme::Count)).unwrap();
+        assert!(outcome.candidates.is_empty());
+        assert_eq!(outcome.intervals_looked_up, 0);
+    }
+
+    #[test]
+    fn query_stride_reduces_lookups() {
+        let index = build(&[b"ACGTAGCTAGCTGGATCCTTACGGATCCAT"], 8);
+        let query = bases(b"ACGTAGCTAGCTGGATCCTTACGGATCC");
+        let all = coarse_rank(&index, &query, &params(RankingScheme::Count)).unwrap();
+        let mut strided = params(RankingScheme::Count);
+        strided.query_stride = 4;
+        let sampled = coarse_rank(&index, &query, &strided).unwrap();
+        assert!(sampled.intervals_looked_up < all.intervals_looked_up);
+        assert!(sampled.intervals_looked_up >= all.intervals_looked_up / 6);
+        // The exact embedded match still surfaces.
+        assert_eq!(sampled.candidates[0].record, 0);
+    }
+
+    #[test]
+    fn accumulator_limit_caps_tracked_records() {
+        // 10 records share the query's interval; with a limit of 3 only
+        // the first 3 can become candidates.
+        let records: Vec<&[u8]> = vec![b"ACGTAGCTAGCTGGAT"; 10];
+        let index = build(&records, 8);
+        let query = bases(b"ACGTAGCTAGCTGGAT");
+        let mut limited = params(RankingScheme::Count);
+        limited.max_accumulators = Some(3);
+        let outcome = coarse_rank(&index, &query, &limited).unwrap();
+        assert_eq!(outcome.candidates.len(), 3);
+        let ids: Vec<u32> = outcome.candidates.iter().map(|c| c.record).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Unlimited finds all ten.
+        let outcome = coarse_rank(&index, &query, &params(RankingScheme::Count)).unwrap();
+        assert_eq!(outcome.candidates.len(), 10);
+    }
+
+    #[test]
+    fn masking_suppresses_repeat_flood() {
+        // Record 0 is a pure poly-A repeat; record 1 embeds the real
+        // target. A query contaminated with poly-A floods unmasked
+        // coarse search via record 0; masking removes the flood while
+        // keeping the real match.
+        let repeat_record = vec![b'A'; 400];
+        let mut real = b"TGCCGTTGCA".to_vec();
+        real.extend_from_slice(b"ACGTAGCTGGATCCTTACGGATCCAGGT");
+        real.extend_from_slice(b"CCGGTTGGCC");
+        let index = build(&[&repeat_record, &real], 8);
+
+        let mut query_ascii = b"ACGTAGCTGGATCCTTACGGATCCAGGT".to_vec();
+        query_ascii.extend(vec![b'A'; 120]); // contamination
+        let query = bases(&query_ascii);
+
+        let unmasked = coarse_rank(&index, &query, &params(RankingScheme::Count)).unwrap();
+        assert!(
+            unmasked.candidates.iter().any(|c| c.record == 0),
+            "repeat record should flood the unmasked ranking"
+        );
+
+        let mut masked_params = params(RankingScheme::Count);
+        masked_params.mask = Some(nucdb_seq::DustParams::default());
+        let masked = coarse_rank(&index, &query, &masked_params).unwrap();
+        assert!(masked.total_hits < unmasked.total_hits / 4);
+        assert_eq!(masked.candidates[0].record, 1, "real target survives masking");
+        assert!(
+            !masked.candidates.iter().any(|c| c.record == 0),
+            "repeat record should vanish under masking"
+        );
+    }
+
+    #[test]
+    fn cost_counters_are_plausible() {
+        let index = build(&[b"ACGTACGTACGTACGT", b"ACGTACGTACGTACGT"], 8);
+        let query = bases(b"ACGTACGTACGT");
+        let outcome = coarse_rank(&index, &query, &params(RankingScheme::Count)).unwrap();
+        assert!(outcome.intervals_looked_up > 0);
+        assert!(outcome.lists_fetched <= outcome.intervals_looked_up);
+        assert!(outcome.total_hits >= outcome.postings_decoded);
+    }
+}

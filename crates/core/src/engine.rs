@@ -1,0 +1,729 @@
+//! The database engine: sequence store + inverted index + partitioned
+//! query evaluation.
+
+use std::path::Path;
+use std::time::Instant;
+
+use nucdb_align::Alignment;
+use nucdb_index::{
+    CompressedIndex, IndexBuilder, IndexError, IndexParams, ListCodec, OnDiskIndex, PostingsList,
+};
+use nucdb_seq::DnaSeq;
+
+use crate::coarse::{coarse_rank, PostingsSource};
+use crate::fine::{fine_search, FineResult};
+use crate::params::{SearchParams, Strand};
+use crate::store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};
+
+/// Build-time configuration of a database.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Interval index parameters.
+    pub index: IndexParams,
+    /// Postings codec.
+    pub codec: ListCodec,
+    /// Sequence storage mode.
+    pub storage: StorageMode,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            index: IndexParams::new(8),
+            codec: ListCodec::Paper,
+            storage: StorageMode::DirectCoding,
+        }
+    }
+}
+
+/// The index backing a database: memory-resident or on disk.
+pub enum IndexVariant {
+    /// Fully in-memory compressed index.
+    Memory(CompressedIndex),
+    /// On-disk index with per-list fetching.
+    Disk(OnDiskIndex),
+}
+
+impl PostingsSource for IndexVariant {
+    fn num_records(&self) -> u32 {
+        match self {
+            IndexVariant::Memory(i) => i.num_records(),
+            IndexVariant::Disk(i) => i.num_records(),
+        }
+    }
+
+    fn record_lens(&self) -> &[u32] {
+        match self {
+            IndexVariant::Memory(i) => i.record_lens(),
+            IndexVariant::Disk(i) => i.record_lens(),
+        }
+    }
+
+    fn index_params(&self) -> &IndexParams {
+        match self {
+            IndexVariant::Memory(i) => i.params(),
+            IndexVariant::Disk(i) => i.params(),
+        }
+    }
+
+    fn fetch(&self, code: u64) -> Result<Option<PostingsList>, IndexError> {
+        match self {
+            IndexVariant::Memory(i) => i.postings(code),
+            IndexVariant::Disk(i) => i.postings(code),
+        }
+    }
+
+    fn fetch_counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
+        match self {
+            IndexVariant::Memory(i) => i.counts(code),
+            IndexVariant::Disk(i) => i.counts(code),
+        }
+    }
+}
+
+/// One answer to a query.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Record id within the collection.
+    pub record: u32,
+    /// The record's external identifier.
+    pub id: String,
+    /// Local alignment score from fine search.
+    pub score: i32,
+    /// Coarse score that promoted the record.
+    pub coarse_score: f64,
+    /// Total coarse interval hits.
+    pub coarse_hits: u32,
+    /// Which strand of the query produced this answer.
+    pub strand: Strand,
+    /// Full alignment when fine search ran with traceback (coordinates
+    /// are in the searched strand's orientation).
+    pub alignment: Option<Alignment>,
+}
+
+/// Per-query cost counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Distinct query intervals.
+    pub intervals_looked_up: u64,
+    /// Postings lists found and decoded.
+    pub lists_fetched: u64,
+    /// Postings entries decoded.
+    pub postings_decoded: u64,
+    /// Hit pairs accumulated.
+    pub total_hits: u64,
+    /// Candidates passed to fine search.
+    pub candidates: u64,
+    /// Alignments computed in fine search.
+    pub fine_alignments: u64,
+    /// Coarse stage wall time in nanoseconds.
+    pub coarse_nanos: u64,
+    /// Fine stage wall time in nanoseconds.
+    pub fine_nanos: u64,
+}
+
+/// Results plus cost counters.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOutcome {
+    /// Ranked answers, best first.
+    pub results: Vec<SearchResult>,
+    /// Cost counters.
+    pub stats: QueryStats,
+}
+
+/// Adapt a store-layer error to the engine's error type.
+fn io_err(e: nucdb_seq::SeqError) -> IndexError {
+    IndexError::Io(std::io::Error::other(e.to_string()))
+}
+
+/// An indexed nucleotide database.
+pub struct Database {
+    store: StoreVariant,
+    index: IndexVariant,
+}
+
+impl Database {
+    /// Build an in-memory database from `(id, sequence)` records.
+    pub fn build(
+        records: impl IntoIterator<Item = (String, DnaSeq)>,
+        config: &DbConfig,
+    ) -> Database {
+        let mut store = SequenceStore::new(config.storage);
+        let mut builder = IndexBuilder::new(config.index.clone()).with_codec(config.codec);
+        for (id, seq) in records {
+            let bases = seq.representative_bases();
+            store.add(id, &seq);
+            builder.add_record(&bases);
+        }
+        Database {
+            store: StoreVariant::Memory(store),
+            index: IndexVariant::Memory(builder.finish()),
+        }
+    }
+
+    /// Assemble from already-built parts. The index must cover exactly
+    /// the store's records.
+    pub fn from_parts(store: SequenceStore, index: IndexVariant) -> Database {
+        Database::from_variants(StoreVariant::Memory(store), index)
+    }
+
+    /// Assemble from any store/index variant combination.
+    pub fn from_variants(store: StoreVariant, index: IndexVariant) -> Database {
+        assert_eq!(
+            RecordSource::len(&store) as u32,
+            index.num_records(),
+            "store and index disagree on record count"
+        );
+        Database { store, index }
+    }
+
+    /// Persist the index to `path` and reopen it in on-disk mode, so
+    /// postings are fetched per query (the paper's disk setting).
+    pub fn with_disk_index(self, path: &Path) -> Result<Database, IndexError> {
+        let index = match self.index {
+            IndexVariant::Memory(index) => {
+                nucdb_index::write_index(&index, path)?;
+                IndexVariant::Disk(OnDiskIndex::open(path)?)
+            }
+            disk @ IndexVariant::Disk(_) => disk,
+        };
+        Ok(Database { store: self.store, index })
+    }
+
+    /// Persist the sequence store to `path` and reopen it in on-disk
+    /// mode, so candidate records are fetched per query — completing the
+    /// paper's disk setting (index *and* collection on disk).
+    pub fn with_disk_store(self, path: &Path) -> Result<Database, IndexError> {
+        let store = match self.store {
+            StoreVariant::Memory(store) => {
+                store.write_to(path).map_err(io_err)?;
+                StoreVariant::Disk(OnDiskStore::open(path).map_err(io_err)?)
+            }
+            disk @ StoreVariant::Disk(_) => disk,
+        };
+        Ok(Database { store, index: self.index })
+    }
+
+    /// The sequence store.
+    pub fn store(&self) -> &StoreVariant {
+        &self.store
+    }
+
+    /// The index.
+    pub fn index(&self) -> &IndexVariant {
+        &self.index
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        RecordSource::len(&self.store)
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run coarse + fine for one strand orientation of the query,
+    /// accumulating cost counters into `stats`.
+    fn search_strand(
+        &self,
+        query: &DnaSeq,
+        params: &SearchParams,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<FineResult>, IndexError> {
+        let query_bases = query.representative_bases();
+        let coarse_start = Instant::now();
+        let coarse = coarse_rank(&self.index, &query_bases, params)?;
+        stats.coarse_nanos += coarse_start.elapsed().as_nanos() as u64;
+        stats.intervals_looked_up += coarse.intervals_looked_up;
+        stats.lists_fetched += coarse.lists_fetched;
+        stats.postings_decoded += coarse.postings_decoded;
+        stats.total_hits += coarse.total_hits;
+        stats.candidates += coarse.candidates.len() as u64;
+        stats.fine_alignments += coarse.candidates.len() as u64;
+
+        // A record-granularity index reports no diagonals, so banded
+        // fine alignment has nothing to centre on: fall back to full
+        // local alignment (score-only) for correctness.
+        let fine_mode = if self.index.index_params().granularity
+            == nucdb_index::Granularity::Records
+            && matches!(params.fine, crate::fine::FineMode::Banded { .. })
+        {
+            crate::fine::FineMode::Full
+        } else {
+            params.fine
+        };
+
+        let fine_start = Instant::now();
+        let fine = fine_search(
+            &self.store,
+            query,
+            &coarse.candidates,
+            fine_mode,
+            &params.scheme,
+            params.min_score,
+        );
+        stats.fine_nanos += fine_start.elapsed().as_nanos() as u64;
+        Ok(fine)
+    }
+
+    /// Evaluate a query with partitioned search: coarse index ranking,
+    /// then fine local alignment of the top candidates. With
+    /// [`Strand::Both`], the query and its reverse complement are each
+    /// evaluated and merged per record by best score.
+    pub fn search(
+        &self,
+        query: &DnaSeq,
+        params: &SearchParams,
+    ) -> Result<SearchOutcome, IndexError> {
+        let mut stats = QueryStats::default();
+
+        let mut merged: Vec<(Strand, FineResult)> = Vec::new();
+        if params.strand != Strand::Reverse {
+            for r in self.search_strand(query, params, &mut stats)? {
+                merged.push((Strand::Forward, r));
+            }
+        }
+        if params.strand != Strand::Forward {
+            let reverse = query.reverse_complement();
+            for r in self.search_strand(&reverse, params, &mut stats)? {
+                merged.push((Strand::Reverse, r));
+            }
+        }
+
+        // Per record, keep the better strand.
+        merged.sort_by(|(_, a), (_, b)| {
+            a.record.cmp(&b.record).then(b.score.cmp(&a.score))
+        });
+        merged.dedup_by_key(|(_, r)| r.record);
+        merged.sort_by(|(_, a), (_, b)| b.score.cmp(&a.score).then(a.record.cmp(&b.record)));
+
+        let results = merged
+            .into_iter()
+            .take(params.max_results)
+            .map(|(strand, r)| SearchResult {
+                record: r.record,
+                id: self.store.id(r.record).to_string(),
+                score: r.score,
+                coarse_score: r.coarse.score,
+                coarse_hits: r.coarse.hits,
+                strand,
+                alignment: r.alignment,
+            })
+            .collect();
+
+        Ok(SearchOutcome { results, stats })
+    }
+
+    /// Append new records to a memory-backed database: the batch is
+    /// indexed alone and merged into the existing index (the maintenance
+    /// path for a growing archive). Errors if the index is on disk or
+    /// was built with stopping (re-apply stopping after appending via
+    /// [`nucdb_index::apply_stopping`]).
+    pub fn append_records(
+        &mut self,
+        records: impl IntoIterator<Item = (String, DnaSeq)>,
+    ) -> Result<(), IndexError> {
+        let IndexVariant::Memory(existing) = &self.index else {
+            return Err(IndexError::BadFormat(
+                "append requires a memory-backed index; reopen the database in memory",
+            ));
+        };
+        let StoreVariant::Memory(store) = &mut self.store else {
+            return Err(IndexError::BadFormat(
+                "append requires a memory-backed store; reopen the database in memory",
+            ));
+        };
+        let mut builder =
+            IndexBuilder::new(existing.params().clone()).with_codec(existing.codec());
+        let mut staged: Vec<(String, DnaSeq)> = Vec::new();
+        for (id, seq) in records {
+            builder.add_record(&seq.representative_bases());
+            staged.push((id, seq));
+        }
+        let merged = nucdb_index::merge_indexes(existing, &builder.finish())?;
+        for (id, seq) in staged {
+            store.add(id, &seq);
+        }
+        self.index = IndexVariant::Memory(merged);
+        debug_assert_eq!(RecordSource::len(&self.store) as u32, self.index.num_records());
+        Ok(())
+    }
+
+    /// Evaluate a batch of queries sequentially.
+    pub fn search_batch(
+        &self,
+        queries: &[DnaSeq],
+        params: &SearchParams,
+    ) -> Result<Vec<SearchOutcome>, IndexError> {
+        queries.iter().map(|q| self.search(q, params)).collect()
+    }
+
+    /// Evaluate a batch of queries across `num_threads` worker threads.
+    ///
+    /// The database is shared read-only (the on-disk index serialises its
+    /// postings reads internally); output order matches `queries`. Results
+    /// are identical to [`Database::search_batch`].
+    pub fn search_batch_parallel(
+        &self,
+        queries: &[DnaSeq],
+        params: &SearchParams,
+        num_threads: usize,
+    ) -> Result<Vec<SearchOutcome>, IndexError> {
+        let num_threads = num_threads.max(1).min(queries.len().max(1));
+        if num_threads <= 1 {
+            return self.search_batch(queries, params);
+        }
+        // Work-stealing by atomic counter; each worker returns its
+        // (index, outcome) pairs and the batch is reassembled in order.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let unordered: Vec<(usize, Result<SearchOutcome, IndexError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..num_threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i =
+                                    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= queries.len() {
+                                    break;
+                                }
+                                local.push((i, self.search(&queries[i], params)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            });
+
+        let mut ordered: Vec<Option<Result<SearchOutcome, IndexError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        for (i, outcome) in unordered {
+            ordered[i] = Some(outcome);
+        }
+        ordered.into_iter().map(|slot| slot.expect("every query evaluated")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::RankingScheme;
+    use crate::fine::FineMode;
+    use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
+
+    fn build_db(seed: u64) -> (SyntheticCollection, Database) {
+        let coll = SyntheticCollection::generate(&CollectionSpec::tiny(seed));
+        let db = Database::build(
+            coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+            &DbConfig::default(),
+        );
+        (coll, db)
+    }
+
+    #[test]
+    fn planted_family_is_retrieved() {
+        let (coll, db) = build_db(51);
+        let query = coll.query_for_family(0, 0.7, &MutationModel::substitutions(0.03));
+        let outcome = db.search(&query, &SearchParams::default()).unwrap();
+        assert!(!outcome.results.is_empty());
+        let retrieved: Vec<u32> = outcome.results.iter().map(|r| r.record).collect();
+        let found = coll.families[0]
+            .member_ids
+            .iter()
+            .filter(|m| retrieved.contains(m))
+            .count();
+        assert!(
+            found >= coll.families[0].member_ids.len() - 1,
+            "only {found} of {} members retrieved",
+            coll.families[0].member_ids.len()
+        );
+        // Results are sorted by score.
+        for pair in outcome.results.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn unrelated_query_returns_little() {
+        let (coll, db) = build_db(52);
+        let query = coll.random_query(300);
+        let outcome = db.search(&query, &SearchParams::default()).unwrap();
+        // Random local alignments of a 300-mer against unrelated records
+        // score noise-level (tens); a planted homolog scores hundreds.
+        // Nothing homolog-strength may surface for a random query.
+        for result in &outcome.results {
+            assert!(
+                result.score < 150,
+                "random query found a strong hit: record {} score {}",
+                result.record,
+                result.score
+            );
+        }
+        let related = coll.query_for_family(0, 0.5, &MutationModel::substitutions(0.03));
+        let outcome = db.search(&related, &SearchParams::default()).unwrap();
+        // A homolog at ~13% total divergence still aligns most of its
+        // length: demand well over half the perfect-match score.
+        let floor = related.len() as i32 * 3; // 60% of the +5/base maximum
+        assert!(
+            outcome.results[0].score >= floor,
+            "homolog query only scored {} (floor {floor})",
+            outcome.results[0].score
+        );
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (coll, db) = build_db(53);
+        let query = coll.query_for_family(1, 0.5, &MutationModel::identity());
+        let outcome = db.search(&query, &SearchParams::default()).unwrap();
+        let s = outcome.stats;
+        assert!(s.intervals_looked_up > 0);
+        assert!(s.lists_fetched > 0);
+        assert!(s.candidates > 0);
+        assert!(s.total_hits >= s.candidates);
+    }
+
+    #[test]
+    fn traceback_mode_carries_alignment() {
+        let (coll, db) = build_db(54);
+        let query = coll.query_for_family(0, 0.5, &MutationModel::identity());
+        let params = SearchParams::default().with_fine(FineMode::FullWithTraceback);
+        let outcome = db.search(&query, &params).unwrap();
+        let top = &outcome.results[0];
+        let alignment = top.alignment.as_ref().expect("traceback requested");
+        assert_eq!(alignment.score, top.score);
+        assert!(alignment.is_consistent());
+        assert!(alignment.identity() > 0.8);
+    }
+
+    #[test]
+    fn all_rankings_find_exact_member() {
+        let (coll, db) = build_db(55);
+        // An exact fragment of a stored record must be found by every
+        // ranking scheme.
+        let member = coll.families[2].member_ids[0];
+        let range = coll.families[2].embedded_ranges[0].clone();
+        let query = coll.records[member as usize].seq.subseq(range);
+        for ranking in [
+            RankingScheme::Count,
+            RankingScheme::Proportional,
+            RankingScheme::Frame { window: 16 },
+        ] {
+            let params = SearchParams::default().with_ranking(ranking);
+            let outcome = db.search(&query, &params).unwrap();
+            assert!(
+                outcome.results.iter().any(|r| r.record == member),
+                "{ranking:?} missed the exact member"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_database_returns_nothing() {
+        let db = Database::build(std::iter::empty(), &DbConfig::default());
+        assert!(db.is_empty());
+        let query = DnaSeq::from_ascii(b"ACGTACGTACGTACGT").unwrap();
+        let outcome = db.search(&query, &SearchParams::default()).unwrap();
+        assert!(outcome.results.is_empty());
+    }
+
+    #[test]
+    fn short_query_returns_nothing() {
+        let (_, db) = build_db(56);
+        let query = DnaSeq::from_ascii(b"ACG").unwrap(); // below k
+        let outcome = db.search(&query, &SearchParams::default()).unwrap();
+        assert!(outcome.results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on record count")]
+    fn mismatched_parts_rejected() {
+        let (_, db) = build_db(57);
+        let store = SequenceStore::new(crate::store::StorageMode::Ascii);
+        let Database { index, .. } = db;
+        let _ = Database::from_parts(store, index);
+    }
+
+    #[test]
+    fn reverse_complement_homolog_found_only_with_both_strands() {
+        let (coll, db) = build_db(59);
+        // Query with the reverse complement of a stored fragment: the
+        // forward search must miss it, the both-strands search must find
+        // it with the same score a forward query of the fragment gets.
+        let member = coll.families[1].member_ids[0];
+        let range = coll.families[1].embedded_ranges[0].clone();
+        let fragment = coll.records[member as usize].seq.subseq(range);
+        let rc_query = fragment.reverse_complement();
+
+        let forward_only = db.search(&rc_query, &SearchParams::default()).unwrap();
+        assert!(
+            !forward_only.results.iter().any(|r| r.record == member && r.score > 100),
+            "forward-only search should not strongly match the rc query"
+        );
+
+        let both = SearchParams::default().with_strand(Strand::Both);
+        let outcome = db.search(&rc_query, &both).unwrap();
+        let hit = outcome
+            .results
+            .iter()
+            .find(|r| r.record == member)
+            .expect("both-strands search finds the member");
+        assert_eq!(hit.strand, Strand::Reverse);
+
+        let direct = db.search(&fragment, &SearchParams::default()).unwrap();
+        let direct_hit = direct.results.iter().find(|r| r.record == member).unwrap();
+        assert_eq!(hit.score, direct_hit.score);
+    }
+
+    #[test]
+    fn reverse_only_strand_mode() {
+        let (coll, db) = build_db(60);
+        let member = coll.families[0].member_ids[0];
+        let range = coll.families[0].embedded_ranges[0].clone();
+        let fragment = coll.records[member as usize].seq.subseq(range);
+        let rc_query = fragment.reverse_complement();
+        let params = SearchParams::default().with_strand(Strand::Reverse);
+        let outcome = db.search(&rc_query, &params).unwrap();
+        assert!(outcome.results.iter().any(|r| r.record == member));
+        assert!(outcome.results.iter().all(|r| r.strand == Strand::Reverse));
+    }
+
+    #[test]
+    fn record_granularity_database_still_retrieves() {
+        use nucdb_index::{Granularity, IndexParams};
+        let coll = SyntheticCollection::generate(&CollectionSpec::tiny(64));
+        let config = DbConfig {
+            index: IndexParams::new(8).with_granularity(Granularity::Records),
+            ..DbConfig::default()
+        };
+        let db = Database::build(
+            coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+            &config,
+        );
+
+        // Frame ranking is impossible without offsets.
+        let query = coll.query_for_family(0, 0.6, &MutationModel::identity());
+        let frame = SearchParams::default();
+        assert!(db.search(&query, &frame).is_err());
+
+        // Count ranking + (automatic) full fine alignment works and finds
+        // the family.
+        let count = SearchParams::default().with_ranking(RankingScheme::Count);
+        let outcome = db.search(&query, &count).unwrap();
+        let retrieved: Vec<u32> = outcome.results.iter().map(|r| r.record).collect();
+        let found = coll.families[0]
+            .member_ids
+            .iter()
+            .filter(|m| retrieved.contains(m))
+            .count();
+        assert!(found >= coll.families[0].member_ids.len() - 1, "found {found}");
+
+        // The record-granularity index is smaller than the offset one.
+        let offsets_db = Database::build(
+            coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+            &DbConfig::default(),
+        );
+        let (IndexVariant::Memory(small), IndexVariant::Memory(big)) =
+            (db.index(), offsets_db.index())
+        else {
+            unreachable!()
+        };
+        assert!(small.stats().blob_bytes * 2 < big.stats().blob_bytes);
+    }
+
+    #[test]
+    fn record_granularity_disk_round_trip() {
+        use nucdb_index::{Granularity, IndexParams};
+        let coll = SyntheticCollection::generate(&CollectionSpec::tiny(65));
+        let config = DbConfig {
+            index: IndexParams::new(8).with_granularity(Granularity::Records),
+            ..DbConfig::default()
+        };
+        let db = Database::build(
+            coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+            &config,
+        );
+        let dir = std::env::temp_dir().join(format!("nucdb_gran_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = db.with_disk_index(&dir.join("idx.nucidx")).unwrap();
+        let query = coll.query_for_family(1, 0.6, &MutationModel::identity());
+        let params = SearchParams::default().with_ranking(RankingScheme::Count);
+        let outcome = db.search(&query, &params).unwrap();
+        assert!(outcome
+            .results
+            .iter()
+            .any(|r| coll.families[1].member_ids.contains(&r.record)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_equals_rebuild() {
+        let coll_a = SyntheticCollection::generate(&CollectionSpec::tiny(61));
+        let coll_b = SyntheticCollection::generate(&CollectionSpec::tiny(62));
+        let all: Vec<(String, DnaSeq)> = coll_a
+            .records
+            .iter()
+            .chain(&coll_b.records)
+            .map(|r| (r.id.clone(), r.seq.clone()))
+            .collect();
+
+        let mut incremental = Database::build(
+            coll_a.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+            &DbConfig::default(),
+        );
+        incremental
+            .append_records(coll_b.records.iter().map(|r| (r.id.clone(), r.seq.clone())))
+            .unwrap();
+
+        let rebuilt = Database::build(all, &DbConfig::default());
+        assert_eq!(incremental.len(), rebuilt.len());
+
+        // Queries against family 0 of the appended batch behave as if
+        // built jointly.
+        let query = coll_b.query_for_family(0, 0.6, &MutationModel::identity());
+        let params = SearchParams::default();
+        let a: Vec<(u32, i32)> = incremental
+            .search(&query, &params)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| (r.record, r.score))
+            .collect();
+        let b: Vec<(u32, i32)> = rebuilt
+            .search(&query, &params)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| (r.record, r.score))
+            .collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn append_to_disk_index_rejected() {
+        let (_, db) = build_db(63);
+        let dir = std::env::temp_dir().join(format!("nucdb_append_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut db = db.with_disk_index(&dir.join("idx.nucidx")).unwrap();
+        let extra = DnaSeq::from_ascii(b"ACGTACGTACGTACGT").unwrap();
+        assert!(db.append_records([("x".to_string(), extra)]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_results_respected() {
+        let (coll, db) = build_db(58);
+        let query = coll.query_for_family(0, 0.8, &MutationModel::identity());
+        let params = SearchParams { max_results: 2, min_score: 1, ..SearchParams::default() };
+        let outcome = db.search(&query, &params).unwrap();
+        assert!(outcome.results.len() <= 2);
+    }
+}

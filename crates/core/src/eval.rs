@@ -1,0 +1,168 @@
+//! Retrieval-effectiveness evaluation.
+//!
+//! The paper's accuracy story is comparative: partitioned search trades a
+//! little effectiveness for a lot of speed. Effectiveness is measured the
+//! way the CAFE papers (and the IR tradition they come from) measure it:
+//!
+//! * **recall@k** against a relevant set — here either the planted
+//!   homolog family (exact ground truth) or the top answers of an
+//!   exhaustive Smith–Waterman ranking;
+//! * **average precision** over a ranking (the single-number summary of
+//!   the precision–recall curve);
+//! * **11-point interpolated precision**, the classic TREC-era curve.
+
+use std::collections::HashSet;
+
+use nucdb_align::{ScanHit, ScoringScheme};
+use nucdb_seq::Base;
+
+use crate::baseline::exhaustive_sw;
+use crate::store::RecordSource;
+
+/// Exhaustive Smith–Waterman ranking of the store for `query` — the
+/// ground truth the paper judges indexed retrieval against.
+pub fn ground_truth_sw<S: RecordSource>(
+    store: &S,
+    query: &[Base],
+    scheme: &ScoringScheme,
+) -> Vec<ScanHit> {
+    exhaustive_sw(store, query, scheme)
+}
+
+/// Fraction of `relevant` found within the first `k` entries of `ranked`.
+/// 1.0 when `relevant` is empty (nothing to miss).
+pub fn recall_at(ranked: &[u32], relevant: &HashSet<u32>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let found = ranked.iter().take(k).filter(|r| relevant.contains(r)).count();
+    found as f64 / relevant.len() as f64
+}
+
+/// Mean of precision values at each relevant rank (average precision).
+/// Relevant records missing from `ranked` contribute zero.
+pub fn average_precision(ranked: &[u32], relevant: &HashSet<u32>) -> f64 {
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (rank, record) in ranked.iter().enumerate() {
+        if relevant.contains(record) {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Interpolated precision at the 11 standard recall points 0.0, 0.1, …,
+/// 1.0: at each point, the maximum precision achieved at that recall or
+/// beyond.
+pub fn eleven_point_precision(ranked: &[u32], relevant: &HashSet<u32>) -> [f64; 11] {
+    let mut curve = [0.0f64; 11];
+    if relevant.is_empty() {
+        return [1.0; 11];
+    }
+    // Precision/recall after each rank.
+    let mut points: Vec<(f64, f64)> = Vec::new(); // (recall, precision)
+    let mut hits = 0usize;
+    for (rank, record) in ranked.iter().enumerate() {
+        if relevant.contains(record) {
+            hits += 1;
+            points.push((
+                hits as f64 / relevant.len() as f64,
+                hits as f64 / (rank + 1) as f64,
+            ));
+        }
+    }
+    for (i, slot) in curve.iter_mut().enumerate() {
+        let level = i as f64 / 10.0;
+        *slot = points
+            .iter()
+            .filter(|(recall, _)| *recall + 1e-12 >= level)
+            .map(|&(_, precision)| precision)
+            .fold(0.0, f64::max);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relevant(ids: &[u32]) -> HashSet<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn recall_basic() {
+        let ranked = vec![5, 3, 9, 1, 7];
+        let rel = relevant(&[3, 7]);
+        assert_eq!(recall_at(&ranked, &rel, 1), 0.0);
+        assert_eq!(recall_at(&ranked, &rel, 2), 0.5);
+        assert_eq!(recall_at(&ranked, &rel, 5), 1.0);
+        assert_eq!(recall_at(&ranked, &rel, 100), 1.0);
+    }
+
+    #[test]
+    fn recall_empty_relevant_is_one() {
+        assert_eq!(recall_at(&[1, 2], &HashSet::new(), 1), 1.0);
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        let ranked = vec![1, 2, 3, 10, 11];
+        let rel = relevant(&[1, 2, 3]);
+        assert!((average_precision(&ranked, &rel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_worst_ranking_is_low() {
+        // Relevant at the very end of a long ranking.
+        let mut ranked: Vec<u32> = (100..200).collect();
+        ranked.push(1);
+        let rel = relevant(&[1]);
+        let ap = average_precision(&ranked, &rel);
+        assert!((ap - 1.0 / 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_missing_relevant_penalised() {
+        let ranked = vec![1];
+        let rel = relevant(&[1, 2]); // 2 never retrieved
+        assert!((average_precision(&ranked, &rel) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_known_mixed_case() {
+        // Ranks: rel, non, rel → precisions 1/1 and 2/3, AP = (1 + 2/3)/2.
+        let ranked = vec![4, 9, 6];
+        let rel = relevant(&[4, 6]);
+        assert!((average_precision(&ranked, &rel) - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eleven_point_perfect() {
+        let ranked = vec![1, 2];
+        let rel = relevant(&[1, 2]);
+        let curve = eleven_point_precision(&ranked, &rel);
+        assert!(curve.iter().all(|&p| (p - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn eleven_point_monotone_nonincreasing() {
+        let ranked = vec![1, 50, 2, 51, 52, 3, 53, 4];
+        let rel = relevant(&[1, 2, 3, 4]);
+        let curve = eleven_point_precision(&ranked, &rel);
+        for pair in curve.windows(2) {
+            assert!(pair[0] + 1e-12 >= pair[1], "curve not non-increasing: {curve:?}");
+        }
+        assert!(curve[0] > 0.9); // precision at recall 0 is the best seen
+    }
+
+    #[test]
+    fn eleven_point_empty_relevant() {
+        assert_eq!(eleven_point_precision(&[1, 2], &HashSet::new()), [1.0; 11]);
+    }
+}

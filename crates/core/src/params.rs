@@ -1,0 +1,130 @@
+//! Search parameters for partitioned query evaluation.
+
+use nucdb_align::ScoringScheme;
+
+use crate::coarse::RankingScheme;
+use crate::fine::FineMode;
+
+/// Which strands of the query to search.
+///
+/// A homologous region may sit on either strand of a stored record, so
+/// production nucleotide search evaluates the query *and* its reverse
+/// complement; the forward-only mode exists for experiments where the
+/// workload generator plants forward-strand homologs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strand {
+    /// Query as given.
+    #[default]
+    Forward,
+    /// The reverse complement of the query.
+    Reverse,
+    /// Both, merged per record by best score.
+    Both,
+}
+
+/// Everything a query evaluation needs besides the query itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchParams {
+    /// Coarse ranking scheme.
+    pub ranking: RankingScheme,
+    /// Which strands to evaluate.
+    pub strand: Strand,
+    /// Number of coarse candidates passed to fine search (the paper's
+    /// central speed/accuracy dial; experiment E3 sweeps it).
+    pub max_candidates: usize,
+    /// Records with fewer coarse hits than this are never candidates
+    /// (filters accidental single-interval matches).
+    pub min_coarse_hits: u32,
+    /// Look up only every `query_stride`-th interval of the query (1 =
+    /// all). Overlapping intervals are highly redundant, so striding cuts
+    /// index lookups almost proportionally at modest accuracy cost — one
+    /// of the coarse-search cost dials of the CAFE line.
+    pub query_stride: usize,
+    /// Cap the number of records tracked during accumulation (`None` =
+    /// unlimited). Once the accumulator table is full, hits on new
+    /// records are dropped while existing accumulators keep updating —
+    /// the classic bounded-memory "accumulator limiting" of 1990s
+    /// inverted-file ranking.
+    pub max_accumulators: Option<usize>,
+    /// DUST-style masking of low-complexity *query* regions: intervals
+    /// starting inside a masked region are not looked up, so a
+    /// microsatellite in the query cannot flood coarse search with
+    /// meaningless hits. `None` disables masking.
+    pub mask: Option<nucdb_seq::DustParams>,
+    /// How fine search aligns candidates.
+    pub fine: FineMode,
+    /// Alignment scoring scheme (shared by fine search and baselines).
+    pub scheme: ScoringScheme,
+    /// Results scoring below this are dropped.
+    pub min_score: i32,
+    /// At most this many results are returned.
+    pub max_results: usize,
+}
+
+impl Default for SearchParams {
+    fn default() -> SearchParams {
+        SearchParams {
+            ranking: RankingScheme::default(),
+            strand: Strand::Forward,
+            max_candidates: 30,
+            query_stride: 1,
+            max_accumulators: None,
+            mask: None,
+            min_coarse_hits: 2,
+            fine: FineMode::default(),
+            scheme: ScoringScheme::blastn(),
+            min_score: 1,
+            max_results: 100,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Convenience: set the candidate cutoff.
+    pub fn with_candidates(mut self, max_candidates: usize) -> SearchParams {
+        self.max_candidates = max_candidates;
+        self
+    }
+
+    /// Convenience: set the ranking scheme.
+    pub fn with_ranking(mut self, ranking: RankingScheme) -> SearchParams {
+        self.ranking = ranking;
+        self
+    }
+
+    /// Convenience: set the fine mode.
+    pub fn with_fine(mut self, fine: FineMode) -> SearchParams {
+        self.fine = fine;
+        self
+    }
+
+    /// Convenience: set the strand mode.
+    pub fn with_strand(mut self, strand: Strand) -> SearchParams {
+        self.strand = strand;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_apply() {
+        let p = SearchParams::default()
+            .with_candidates(7)
+            .with_ranking(RankingScheme::Count)
+            .with_fine(FineMode::Full);
+        assert_eq!(p.max_candidates, 7);
+        assert_eq!(p.ranking, RankingScheme::Count);
+        assert_eq!(p.fine, FineMode::Full);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = SearchParams::default();
+        assert!(p.max_candidates > 0);
+        assert!(p.max_results > 0);
+        assert!(p.min_coarse_hits >= 1);
+    }
+}

@@ -1,0 +1,685 @@
+//! The sequence store: where fine search reads candidate records from.
+//!
+//! The paper's system keeps the collection itself alongside the index, and
+//! fine search retrieves candidate records *in relevance order* — so
+//! records must be independently decodable. Two storage modes exist so
+//! experiment **E6** can reproduce the direct-coding comparison:
+//!
+//! * [`StorageMode::Ascii`] — one byte per base, the uncompressed
+//!   baseline (what a FASTA-backed store effectively costs).
+//! * [`StorageMode::DirectCoding`] — the 2-bit packed representation with
+//!   a wildcard exception list ([`nucdb_seq::PackedSeq`]); a quarter the
+//!   space and faster to hand to alignment, which is why the CAFE system
+//!   reported >20% faster retrieval after adopting it.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use nucdb_seq::{Base, DnaSeq, PackedSeq, SeqError};
+
+/// Anything fine search (and the exhaustive baselines) can read candidate
+/// records from: the in-memory store, the on-disk store, or the engine's
+/// variant wrapper.
+pub trait RecordSource {
+    /// Number of records.
+    fn len(&self) -> usize;
+    /// Is the source empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// External identifier of a record.
+    fn id(&self, record: u32) -> &str;
+    /// Record length in bases.
+    fn record_len(&self, record: u32) -> usize;
+    /// Representative-base view of a record (wildcards collapsed).
+    fn bases(&self, record: u32) -> Vec<Base>;
+    /// Lossless decode of a record.
+    fn sequence(&self, record: u32) -> Result<DnaSeq, SeqError>;
+    /// Total bases across records.
+    fn total_bases(&self) -> usize {
+        (0..self.len() as u32).map(|r| self.record_len(r)).sum()
+    }
+}
+
+/// How record sequences are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// One ASCII byte per base.
+    Ascii,
+    /// 2-bit direct coding with wildcard exceptions (the paper's choice).
+    #[default]
+    DirectCoding,
+}
+
+#[derive(Debug, Clone)]
+enum StoredSeq {
+    Ascii(Vec<u8>),
+    Packed(PackedSeq),
+}
+
+/// An in-memory store of named records supporting independent access.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceStore {
+    mode: StorageMode,
+    ids: Vec<String>,
+    seqs: Vec<StoredSeq>,
+}
+
+impl SequenceStore {
+    /// An empty store.
+    pub fn new(mode: StorageMode) -> SequenceStore {
+        SequenceStore { mode, ids: Vec::new(), seqs: Vec::new() }
+    }
+
+    /// Append a record; returns its id (consecutive from 0).
+    pub fn add(&mut self, id: impl Into<String>, seq: &DnaSeq) -> u32 {
+        let record = self.seqs.len() as u32;
+        self.ids.push(id.into());
+        self.seqs.push(match self.mode {
+            StorageMode::Ascii => StoredSeq::Ascii(seq.to_ascii_vec()),
+            StorageMode::DirectCoding => StoredSeq::Packed(PackedSeq::pack(seq)),
+        });
+        record
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Storage mode.
+    pub fn mode(&self) -> StorageMode {
+        self.mode
+    }
+
+    /// The external identifier of record `record`.
+    pub fn id(&self, record: u32) -> &str {
+        &self.ids[record as usize]
+    }
+
+    /// Record length in bases.
+    pub fn record_len(&self, record: u32) -> usize {
+        match &self.seqs[record as usize] {
+            StoredSeq::Ascii(a) => a.len(),
+            StoredSeq::Packed(p) => p.len(),
+        }
+    }
+
+    /// Decode record `record` to representative bases (the alignment
+    /// view; wildcards collapse).
+    pub fn bases(&self, record: u32) -> Vec<Base> {
+        match &self.seqs[record as usize] {
+            StoredSeq::Ascii(ascii) => ascii
+                .iter()
+                .map(|&b| {
+                    nucdb_seq::IupacCode::from_ascii(b)
+                        .expect("store contains only validated bases")
+                        .representative()
+                })
+                .collect(),
+            StoredSeq::Packed(packed) => packed.unpack_bases(),
+        }
+    }
+
+    /// Decode record `record` losslessly (wildcards restored).
+    pub fn sequence(&self, record: u32) -> Result<DnaSeq, SeqError> {
+        match &self.seqs[record as usize] {
+            StoredSeq::Ascii(ascii) => DnaSeq::from_ascii(ascii),
+            StoredSeq::Packed(packed) => Ok(packed.unpack()),
+        }
+    }
+
+    /// Bytes the stored sequences occupy (the quantity E6 compares).
+    pub fn stored_bytes(&self) -> usize {
+        self.seqs
+            .iter()
+            .map(|s| match s {
+                StoredSeq::Ascii(a) => a.len(),
+                StoredSeq::Packed(p) => p.packed_bytes(),
+            })
+            .sum()
+    }
+
+    /// Total bases across records.
+    pub fn total_bases(&self) -> usize {
+        (0..self.len() as u32).map(|r| self.record_len(r)).sum()
+    }
+
+    /// Append every record of `other` (re-encoding into this store's
+    /// mode if the modes differ). Record ids of the appended records
+    /// follow the existing ones.
+    pub fn extend_from_store(&mut self, other: &SequenceStore) -> Result<(), SeqError> {
+        for record in 0..other.len() as u32 {
+            let seq = other.sequence(record)?;
+            self.add(other.id(record).to_string(), &seq);
+        }
+        Ok(())
+    }
+
+    /// Persist the store to a file:
+    /// `magic "NUCSTO01" | mode:u8 | count:v | (id_len:v id seq_len:v seq)*`
+    /// where `seq` is raw ASCII or a [`PackedSeq`] blob depending on mode.
+    pub fn write_to(&self, path: &Path) -> Result<(), SeqError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(b"NUCSTO01")?;
+        out.write_all(&[match self.mode {
+            StorageMode::Ascii => 0u8,
+            StorageMode::DirectCoding => 1,
+        }])?;
+        write_vu64(&mut out, self.seqs.len() as u64)?;
+        for (id, seq) in self.ids.iter().zip(&self.seqs) {
+            write_vu64(&mut out, id.len() as u64)?;
+            out.write_all(id.as_bytes())?;
+            let blob = match seq {
+                StoredSeq::Ascii(a) => a.clone(),
+                StoredSeq::Packed(p) => p.to_bytes(),
+            };
+            write_vu64(&mut out, blob.len() as u64)?;
+            out.write_all(&blob)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Load a store written by [`SequenceStore::write_to`].
+    pub fn read_from(path: &Path) -> Result<SequenceStore, SeqError> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != b"NUCSTO01" {
+            return Err(SeqError::CorruptPackedData("bad store magic"));
+        }
+        let mut mode_byte = [0u8; 1];
+        input.read_exact(&mut mode_byte)?;
+        let mode = match mode_byte[0] {
+            0 => StorageMode::Ascii,
+            1 => StorageMode::DirectCoding,
+            _ => return Err(SeqError::CorruptPackedData("unknown storage mode")),
+        };
+        let count = read_vu64(&mut input)?;
+        let mut store = SequenceStore::new(mode);
+        for _ in 0..count {
+            let id_len = read_vu64(&mut input)? as usize;
+            let mut id = vec![0u8; id_len];
+            input.read_exact(&mut id)?;
+            let id = String::from_utf8(id)
+                .map_err(|_| SeqError::CorruptPackedData("record id is not UTF-8"))?;
+            let blob_len = read_vu64(&mut input)? as usize;
+            let mut blob = vec![0u8; blob_len];
+            input.read_exact(&mut blob)?;
+            store.ids.push(id);
+            store.seqs.push(match mode {
+                StorageMode::Ascii => {
+                    // Validate eagerly so corrupt files fail at load time.
+                    DnaSeq::from_ascii(&blob)?;
+                    StoredSeq::Ascii(blob)
+                }
+                StorageMode::DirectCoding => StoredSeq::Packed(PackedSeq::from_bytes(&blob)?),
+            });
+        }
+        Ok(store)
+    }
+}
+
+impl RecordSource for SequenceStore {
+    fn len(&self) -> usize {
+        SequenceStore::len(self)
+    }
+
+    fn id(&self, record: u32) -> &str {
+        SequenceStore::id(self, record)
+    }
+
+    fn record_len(&self, record: u32) -> usize {
+        SequenceStore::record_len(self, record)
+    }
+
+    fn bases(&self, record: u32) -> Vec<Base> {
+        SequenceStore::bases(self, record)
+    }
+
+    fn sequence(&self, record: u32) -> Result<DnaSeq, SeqError> {
+        SequenceStore::sequence(self, record)
+    }
+
+    fn total_bases(&self) -> usize {
+        SequenceStore::total_bases(self)
+    }
+}
+
+/// A sequence store whose record payloads stay on disk: ids and byte
+/// locations are memory-resident, each record is fetched with a
+/// positioned read when fine search asks for it — the paper's operating
+/// point, where retrieving candidate sequences is disk traffic and the
+/// direct-coded store's 4× smaller reads are the win. Thread-safe;
+/// counts bytes read.
+pub struct OnDiskStore {
+    file: Mutex<BufReader<File>>,
+    mode: StorageMode,
+    ids: Vec<String>,
+    /// Per record: byte offset and length of the payload blob.
+    blobs: Vec<(u64, u32)>,
+    /// Per record: sequence length in bases.
+    lens: Vec<u32>,
+    bytes_read: AtomicU64,
+    records_read: AtomicU64,
+}
+
+impl OnDiskStore {
+    /// Open a store file written by [`SequenceStore::write_to`], reading
+    /// only its table of contents.
+    pub fn open(path: &Path) -> Result<OnDiskStore, SeqError> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != b"NUCSTO01" {
+            return Err(SeqError::CorruptPackedData("bad store magic"));
+        }
+        let mut mode_byte = [0u8; 1];
+        input.read_exact(&mut mode_byte)?;
+        let mode = match mode_byte[0] {
+            0 => StorageMode::Ascii,
+            1 => StorageMode::DirectCoding,
+            _ => return Err(SeqError::CorruptPackedData("unknown storage mode")),
+        };
+        let count = read_vu64(&mut input)?;
+        let mut ids = Vec::with_capacity(count as usize);
+        let mut blobs = Vec::with_capacity(count as usize);
+        let mut lens = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let id_len = read_vu64(&mut input)? as usize;
+            let mut id = vec![0u8; id_len];
+            input.read_exact(&mut id)?;
+            ids.push(
+                String::from_utf8(id)
+                    .map_err(|_| SeqError::CorruptPackedData("record id is not UTF-8"))?,
+            );
+            let blob_len = read_vu64(&mut input)? as usize;
+            let offset = input.stream_position()?;
+            // Base length: the blob size for ASCII; the packed header's
+            // length field for direct coding.
+            let seq_len = match mode {
+                StorageMode::Ascii => blob_len as u32,
+                StorageMode::DirectCoding => {
+                    if blob_len < 4 {
+                        return Err(SeqError::CorruptPackedData("packed blob too short"));
+                    }
+                    let mut len_bytes = [0u8; 4];
+                    input.read_exact(&mut len_bytes)?;
+                    u32::from_le_bytes(len_bytes)
+                }
+            };
+            blobs.push((offset, blob_len as u32));
+            lens.push(seq_len);
+            input.seek(SeekFrom::Start(offset + blob_len as u64))?;
+        }
+        Ok(OnDiskStore {
+            file: Mutex::new(input),
+            mode,
+            ids,
+            blobs,
+            lens,
+            bytes_read: AtomicU64::new(0),
+            records_read: AtomicU64::new(0),
+        })
+    }
+
+    /// Storage mode of the underlying file.
+    pub fn mode(&self) -> StorageMode {
+        self.mode
+    }
+
+    fn fetch_blob(&self, record: u32) -> Result<Vec<u8>, SeqError> {
+        let (offset, len) = self.blobs[record as usize];
+        let mut bytes = vec![0u8; len as usize];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut bytes)?;
+        }
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        self.records_read.fetch_add(1, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Store bytes fetched since the last reset.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Records fetched since the last reset.
+    pub fn records_read(&self) -> u64 {
+        self.records_read.load(Ordering::Relaxed)
+    }
+
+    /// Reset the I/O counters.
+    pub fn reset_io_counters(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.records_read.store(0, Ordering::Relaxed);
+    }
+}
+
+impl RecordSource for OnDiskStore {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn id(&self, record: u32) -> &str {
+        &self.ids[record as usize]
+    }
+
+    fn record_len(&self, record: u32) -> usize {
+        self.lens[record as usize] as usize
+    }
+
+    fn bases(&self, record: u32) -> Vec<Base> {
+        self.sequence(record)
+            .expect("store contents were validated at write time")
+            .representative_bases()
+    }
+
+    fn sequence(&self, record: u32) -> Result<DnaSeq, SeqError> {
+        let blob = self.fetch_blob(record)?;
+        match self.mode {
+            StorageMode::Ascii => DnaSeq::from_ascii(&blob),
+            StorageMode::DirectCoding => Ok(PackedSeq::from_bytes(&blob)?.unpack()),
+        }
+    }
+
+    fn total_bases(&self) -> usize {
+        self.lens.iter().map(|&l| l as usize).sum()
+    }
+}
+
+/// The sequence store backing a database: memory-resident or on disk.
+pub enum StoreVariant {
+    /// Fully in-memory store.
+    Memory(SequenceStore),
+    /// On-disk store with per-record fetching.
+    Disk(OnDiskStore),
+}
+
+impl StoreVariant {
+    /// Bytes the stored sequence payloads occupy (in memory or on disk).
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            StoreVariant::Memory(s) => s.stored_bytes(),
+            StoreVariant::Disk(s) => s.blobs.iter().map(|&(_, len)| len as usize).sum(),
+        }
+    }
+}
+
+impl RecordSource for StoreVariant {
+    fn len(&self) -> usize {
+        match self {
+            StoreVariant::Memory(s) => RecordSource::len(s),
+            StoreVariant::Disk(s) => RecordSource::len(s),
+        }
+    }
+
+    fn id(&self, record: u32) -> &str {
+        match self {
+            StoreVariant::Memory(s) => RecordSource::id(s, record),
+            StoreVariant::Disk(s) => RecordSource::id(s, record),
+        }
+    }
+
+    fn record_len(&self, record: u32) -> usize {
+        match self {
+            StoreVariant::Memory(s) => RecordSource::record_len(s, record),
+            StoreVariant::Disk(s) => RecordSource::record_len(s, record),
+        }
+    }
+
+    fn bases(&self, record: u32) -> Vec<Base> {
+        match self {
+            StoreVariant::Memory(s) => RecordSource::bases(s, record),
+            StoreVariant::Disk(s) => RecordSource::bases(s, record),
+        }
+    }
+
+    fn sequence(&self, record: u32) -> Result<DnaSeq, SeqError> {
+        match self {
+            StoreVariant::Memory(s) => RecordSource::sequence(s, record),
+            StoreVariant::Disk(s) => RecordSource::sequence(s, record),
+        }
+    }
+
+    fn total_bases(&self) -> usize {
+        match self {
+            StoreVariant::Memory(s) => RecordSource::total_bases(s),
+            StoreVariant::Disk(s) => RecordSource::total_bases(s),
+        }
+    }
+}
+
+fn write_vu64(out: &mut impl Write, mut value: u64) -> std::io::Result<()> {
+    while value >= 0x80 {
+        out.write_all(&[(value as u8 & 0x7f) | 0x80])?;
+        value >>= 7;
+    }
+    out.write_all(&[value as u8])
+}
+
+fn read_vu64(input: &mut impl Read) -> Result<u64, SeqError> {
+    let mut value = 0u64;
+    let mut byte = [0u8; 1];
+    for group in 0..10u32 {
+        input.read_exact(&mut byte)?;
+        value |= ((byte[0] & 0x7f) as u64) << (7 * group);
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(SeqError::CorruptPackedData("store varint too long"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(&'static str, DnaSeq)> {
+        vec![
+            ("a", DnaSeq::from_ascii(b"ACGTACGTNACGT").unwrap()),
+            ("b", DnaSeq::from_ascii(b"TTTT").unwrap()),
+            ("c", DnaSeq::from_ascii(b"RYGGGGGGGGGGGGGGGG").unwrap()),
+        ]
+    }
+
+    #[test]
+    fn both_modes_round_trip() {
+        for mode in [StorageMode::Ascii, StorageMode::DirectCoding] {
+            let mut store = SequenceStore::new(mode);
+            for (id, seq) in sample() {
+                store.add(id, &seq);
+            }
+            assert_eq!(store.len(), 3);
+            for (record, (id, seq)) in sample().into_iter().enumerate() {
+                let record = record as u32;
+                assert_eq!(store.id(record), id);
+                assert_eq!(store.record_len(record), seq.len());
+                assert_eq!(store.sequence(record).unwrap(), seq, "mode {mode:?}");
+                assert_eq!(store.bases(record), seq.representative_bases());
+            }
+        }
+    }
+
+    #[test]
+    fn direct_coding_is_smaller() {
+        // On realistic record lengths the 2-bit payload dominates the
+        // exception list: close to 4x smaller than ASCII.
+        let mut body = vec![b'A'; 2000];
+        body[100] = b'N';
+        body[1500] = b'R';
+        let seq = DnaSeq::from_ascii(&body).unwrap();
+        let mut ascii = SequenceStore::new(StorageMode::Ascii);
+        let mut packed = SequenceStore::new(StorageMode::DirectCoding);
+        ascii.add("x", &seq);
+        packed.add("x", &seq);
+        assert!(
+            packed.stored_bytes() * 3 < ascii.stored_bytes(),
+            "packed {} vs ascii {}",
+            packed.stored_bytes(),
+            ascii.stored_bytes()
+        );
+        assert_eq!(ascii.total_bases(), packed.total_bases());
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = SequenceStore::new(StorageMode::DirectCoding);
+        assert!(store.is_empty());
+        assert_eq!(store.stored_bytes(), 0);
+        assert_eq!(store.total_bases(), 0);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nucdb_store_{}_{}", name, std::process::id()))
+    }
+
+    #[test]
+    fn persistence_round_trip_both_modes() {
+        for (tag, mode) in [("a", StorageMode::Ascii), ("p", StorageMode::DirectCoding)] {
+            let mut store = SequenceStore::new(mode);
+            for (id, seq) in sample() {
+                store.add(id, &seq);
+            }
+            let path = temp_path(tag);
+            store.write_to(&path).unwrap();
+            let loaded = SequenceStore::read_from(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            assert_eq!(loaded.mode(), mode);
+            assert_eq!(loaded.len(), store.len());
+            for record in 0..store.len() as u32 {
+                assert_eq!(loaded.id(record), store.id(record));
+                assert_eq!(
+                    loaded.sequence(record).unwrap(),
+                    store.sequence(record).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_rejects_corruption() {
+        let mut store = SequenceStore::new(StorageMode::DirectCoding);
+        for (id, seq) in sample() {
+            store.add(id, &seq);
+        }
+        let path = temp_path("corrupt");
+        store.write_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X'; // magic
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(SequenceStore::read_from(&path).is_err());
+        // Truncation must also fail, not panic.
+        let good = {
+            bytes[0] = b'N';
+            bytes
+        };
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(SequenceStore::read_from(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn extend_from_store_appends_and_reencodes() {
+        let mut packed = SequenceStore::new(StorageMode::DirectCoding);
+        packed.add("p0", &DnaSeq::from_ascii(b"ACGT").unwrap());
+        let mut ascii = SequenceStore::new(StorageMode::Ascii);
+        ascii.add("a0", &DnaSeq::from_ascii(b"TTNN").unwrap());
+        ascii.add("a1", &DnaSeq::from_ascii(b"GGGG").unwrap());
+
+        packed.extend_from_store(&ascii).unwrap();
+        assert_eq!(packed.len(), 3);
+        assert_eq!(packed.id(1), "a0");
+        assert_eq!(packed.sequence(1).unwrap().to_ascii_vec(), b"TTNN");
+        assert_eq!(packed.sequence(2).unwrap().to_ascii_vec(), b"GGGG");
+        assert_eq!(packed.mode(), StorageMode::DirectCoding);
+    }
+
+    #[test]
+    fn on_disk_store_matches_memory() {
+        for (tag, mode) in [("oda", StorageMode::Ascii), ("odp", StorageMode::DirectCoding)] {
+            let mut store = SequenceStore::new(mode);
+            for (id, seq) in sample() {
+                store.add(id, &seq);
+            }
+            let path = temp_path(tag);
+            store.write_to(&path).unwrap();
+            let disk = OnDiskStore::open(&path).unwrap();
+            assert_eq!(disk.mode(), mode);
+            assert_eq!(RecordSource::len(&disk), store.len());
+            assert_eq!(RecordSource::total_bases(&disk), store.total_bases());
+            for record in 0..store.len() as u32 {
+                assert_eq!(RecordSource::id(&disk, record), store.id(record));
+                assert_eq!(RecordSource::record_len(&disk, record), store.record_len(record));
+                assert_eq!(
+                    RecordSource::sequence(&disk, record).unwrap(),
+                    store.sequence(record).unwrap(),
+                    "mode {mode:?} record {record}"
+                );
+                assert_eq!(RecordSource::bases(&disk, record), store.bases(record));
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn on_disk_store_counts_io() {
+        let mut store = SequenceStore::new(StorageMode::DirectCoding);
+        for (id, seq) in sample() {
+            store.add(id, &seq);
+        }
+        let path = temp_path("odio");
+        store.write_to(&path).unwrap();
+        let disk = OnDiskStore::open(&path).unwrap();
+        assert_eq!(disk.bytes_read(), 0);
+        let _ = RecordSource::sequence(&disk, 0).unwrap();
+        assert!(disk.bytes_read() > 0);
+        assert_eq!(disk.records_read(), 1);
+        // Metadata access costs no I/O.
+        let before = disk.bytes_read();
+        let _ = RecordSource::record_len(&disk, 1);
+        let _ = RecordSource::id(&disk, 2);
+        assert_eq!(disk.bytes_read(), before);
+        disk.reset_io_counters();
+        assert_eq!(disk.records_read(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn on_disk_store_rejects_corruption() {
+        let mut store = SequenceStore::new(StorageMode::DirectCoding);
+        for (id, seq) in sample() {
+            store.add(id, &seq);
+        }
+        let path = temp_path("odbad");
+        store.write_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(OnDiskStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_store_persists() {
+        let store = SequenceStore::new(StorageMode::Ascii);
+        let path = temp_path("empty");
+        store.write_to(&path).unwrap();
+        let loaded = SequenceStore::read_from(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.mode(), StorageMode::Ascii);
+    }
+}

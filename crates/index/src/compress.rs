@@ -1,0 +1,836 @@
+//! The compressed inverted index: per-interval postings lists stored as
+//! gap-coded bit streams.
+//!
+//! The paper's layout (per list, for an interval occurring in `df` of the
+//! collection's `N` records):
+//!
+//! ```text
+//! for each record, ascending:
+//!     record gap      Golomb, parameter fitted to (N, df)
+//!     offset count-1  Elias gamma
+//!     offset gaps     Golomb, parameter fitted to (record length, count)
+//! ```
+//!
+//! The Golomb parameters are *derived*, not stored: both are functions of
+//! values the index already holds (`N`, `df`, the record-length table), so
+//! encode and decode always agree. Lists are byte-aligned so each can be
+//! fetched independently from disk — the property that lets fine search
+//! visit records in relevance order.
+//!
+//! [`ListCodec`] swaps the gap codes for the comparison experiment E5
+//! (all-gamma, all-delta, variable-byte, fixed-width).
+
+use nucdb_codec::{
+    BitReader, BitWriter, Delta, FixedWidth, Gamma, Golomb, IntCodec, VByte,
+};
+
+use crate::error::IndexError;
+use crate::interval::{Granularity, IndexParams};
+use crate::postings::{Posting, PostingsList};
+use crate::stats::IndexStats;
+
+/// Which integer codes the list layout uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ListCodec {
+    /// The paper's scheme: fitted Golomb gaps, gamma counts.
+    #[default]
+    Paper,
+    /// Elias gamma for everything.
+    Gamma,
+    /// Elias delta for everything.
+    Delta,
+    /// Variable-byte for everything.
+    VByte,
+    /// Fixed-width binary sized to the universe (the uncompressed
+    /// comparator).
+    Fixed,
+    /// Binary interpolative coding (Moffat–Stuiver) for the sorted record
+    /// and offset lists, gamma for counts: the strongest classic
+    /// compressor for clustered postings.
+    Interp,
+}
+
+impl ListCodec {
+    /// Stable on-disk tag.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            ListCodec::Paper => 0,
+            ListCodec::Gamma => 1,
+            ListCodec::Delta => 2,
+            ListCodec::VByte => 3,
+            ListCodec::Fixed => 4,
+            ListCodec::Interp => 5,
+        }
+    }
+
+    /// Inverse of [`ListCodec::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Result<ListCodec, IndexError> {
+        Ok(match tag {
+            0 => ListCodec::Paper,
+            1 => ListCodec::Gamma,
+            2 => ListCodec::Delta,
+            3 => ListCodec::VByte,
+            4 => ListCodec::Fixed,
+            5 => ListCodec::Interp,
+            _ => return Err(IndexError::BadFormat("unknown list codec tag")),
+        })
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ListCodec::Paper => "golomb+gamma (paper)",
+            ListCodec::Gamma => "gamma",
+            ListCodec::Delta => "delta",
+            ListCodec::VByte => "vbyte",
+            ListCodec::Fixed => "fixed-width",
+            ListCodec::Interp => "interpolative",
+        }
+    }
+
+    /// The coder for gaps drawn from `n` hits over a universe of
+    /// `universe` slots.
+    fn gap_coder(self, universe: u64, n: u64) -> Coder {
+        match self {
+            ListCodec::Paper => Coder::Golomb(Golomb::fit(universe.max(1), n)),
+            ListCodec::Gamma => Coder::Gamma,
+            ListCodec::Delta => Coder::Delta,
+            ListCodec::VByte => Coder::VByte,
+            ListCodec::Fixed => Coder::Fixed(FixedWidth::for_max(universe.max(1))),
+            ListCodec::Interp => {
+                unreachable!("interpolative lists are coded whole, not per gap")
+            }
+        }
+    }
+
+    /// The coder for small counts (offset counts per record).
+    fn count_coder(self) -> Coder {
+        match self {
+            ListCodec::Paper | ListCodec::Gamma | ListCodec::Interp => Coder::Gamma,
+            ListCodec::Delta => Coder::Delta,
+            ListCodec::VByte => Coder::VByte,
+            ListCodec::Fixed => Coder::Fixed(FixedWidth::new(32)),
+        }
+    }
+}
+
+/// Enum dispatch over the codecs (avoids boxing in the decode loop).
+enum Coder {
+    Golomb(Golomb),
+    Gamma,
+    Delta,
+    VByte,
+    Fixed(FixedWidth),
+}
+
+impl Coder {
+    #[inline]
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        match self {
+            Coder::Golomb(c) => c.encode(value, w),
+            Coder::Gamma => Gamma.encode(value, w),
+            Coder::Delta => Delta.encode(value, w),
+            Coder::VByte => VByte.encode(value, w),
+            Coder::Fixed(c) => c.encode(value, w),
+        }
+    }
+
+    #[inline]
+    fn decode(&self, r: &mut BitReader) -> Result<u64, nucdb_codec::CodecError> {
+        match self {
+            Coder::Golomb(c) => c.decode(r),
+            Coder::Gamma => Gamma.decode(r),
+            Coder::Delta => Delta.decode(r),
+            Coder::VByte => VByte.decode(r),
+            Coder::Fixed(c) => c.decode(r),
+        }
+    }
+}
+
+/// Encode one postings list into a byte-aligned blob.
+///
+/// `record_lens` must cover every record id in the list. With
+/// [`Granularity::Records`] only record gaps and occurrence counts are
+/// written; offsets are dropped (the paper family's coarse-grained index
+/// option).
+pub fn encode_postings(
+    list: &PostingsList,
+    num_records: u32,
+    record_lens: &[u32],
+    codec: ListCodec,
+    granularity: Granularity,
+) -> Vec<u8> {
+    debug_assert!(list.is_well_formed());
+    if codec == ListCodec::Interp {
+        return encode_postings_interp(list, num_records, record_lens, granularity);
+    }
+    let df = list.df() as u64;
+    let gap_coder = codec.gap_coder(num_records as u64, df);
+    let count_coder = codec.count_coder();
+
+    let mut w = BitWriter::with_capacity_bits(list.total_occurrences() * 12);
+    let mut prev_record: i64 = -1;
+    for posting in &list.entries {
+        gap_coder.encode((posting.record as i64 - prev_record - 1) as u64, &mut w);
+        prev_record = posting.record as i64;
+
+        let count = posting.offsets.len() as u64;
+        count_coder.encode(count - 1, &mut w);
+
+        if granularity == Granularity::Records {
+            continue;
+        }
+        let len = record_lens[posting.record as usize] as u64;
+        let off_coder = codec.gap_coder(len.max(1), count);
+        let mut prev_off: i64 = -1;
+        for &off in &posting.offsets {
+            off_coder.encode((off as i64 - prev_off - 1) as u64, &mut w);
+            prev_off = off as i64;
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a blob produced by [`encode_postings`] at offset granularity.
+/// `df` is the list's record count (stored in the vocabulary, not in the
+/// blob). Record-granularity blobs hold no offsets; use
+/// [`decode_counts`] for those.
+pub fn decode_postings(
+    bytes: &[u8],
+    df: u32,
+    num_records: u32,
+    record_lens: &[u32],
+    codec: ListCodec,
+) -> Result<PostingsList, IndexError> {
+    if codec == ListCodec::Interp {
+        return decode_postings_interp(bytes, df, num_records, record_lens, Granularity::Offsets)
+            .map(|(list, _)| list);
+    }
+    let gap_coder = codec.gap_coder(num_records as u64, df as u64);
+    let count_coder = codec.count_coder();
+
+    let mut r = BitReader::new(bytes);
+    let mut entries = Vec::with_capacity(df as usize);
+    let mut prev_record: i64 = -1;
+    for _ in 0..df {
+        let record = (prev_record + 1 + gap_coder.decode(&mut r)? as i64) as u64;
+        if record >= num_records as u64 {
+            return Err(IndexError::BadFormat("decoded record id out of range"));
+        }
+        let record = record as u32;
+        prev_record = record as i64;
+
+        let count = count_coder.decode(&mut r)? + 1;
+        let len = record_lens[record as usize] as u64;
+        if count > len {
+            return Err(IndexError::BadFormat("offset count exceeds record length"));
+        }
+        let off_coder = codec.gap_coder(len.max(1), count);
+        let mut offsets = Vec::with_capacity(count as usize);
+        let mut prev_off: i64 = -1;
+        for _ in 0..count {
+            let off = prev_off + 1 + off_coder.decode(&mut r)? as i64;
+            if off >= len as i64 {
+                return Err(IndexError::BadFormat("decoded offset out of range"));
+            }
+            offsets.push(off as u32);
+            prev_off = off;
+        }
+        entries.push(Posting { record, offsets });
+    }
+    Ok(PostingsList { entries })
+}
+
+/// Decode `(record, occurrence count)` pairs from a blob of either
+/// granularity (offset-granularity blobs have their offsets decoded and
+/// discarded).
+pub fn decode_counts(
+    bytes: &[u8],
+    df: u32,
+    num_records: u32,
+    record_lens: &[u32],
+    codec: ListCodec,
+    granularity: Granularity,
+) -> Result<Vec<(u32, u32)>, IndexError> {
+    if codec == ListCodec::Interp {
+        // The interpolative layout fronts records and counts, so a
+        // counts-only decode never touches the offset section.
+        let (list, counts) =
+            decode_postings_interp(bytes, df, num_records, record_lens, Granularity::Records)?;
+        return Ok(list
+            .entries
+            .iter()
+            .zip(counts)
+            .map(|(p, c)| (p.record, c))
+            .collect());
+    }
+    let gap_coder = codec.gap_coder(num_records as u64, df as u64);
+    let count_coder = codec.count_coder();
+
+    let mut r = BitReader::new(bytes);
+    let mut out = Vec::with_capacity(df as usize);
+    let mut prev_record: i64 = -1;
+    for _ in 0..df {
+        let record = (prev_record + 1 + gap_coder.decode(&mut r)? as i64) as u64;
+        if record >= num_records as u64 {
+            return Err(IndexError::BadFormat("decoded record id out of range"));
+        }
+        let record = record as u32;
+        prev_record = record as i64;
+
+        let count = count_coder.decode(&mut r)? + 1;
+        let len = record_lens[record as usize] as u64;
+        if count > len {
+            return Err(IndexError::BadFormat("offset count exceeds record length"));
+        }
+        if granularity == Granularity::Offsets {
+            // Walk past the offsets without materialising them.
+            let off_coder = codec.gap_coder(len.max(1), count);
+            for _ in 0..count {
+                off_coder.decode(&mut r)?;
+            }
+        }
+        out.push((record, count as u32));
+    }
+    Ok(out)
+}
+
+/// Interpolative layout: `interp(record ids) | gamma(count−1)* |
+/// interp(offsets)*` — records and counts front the blob so counts-only
+/// decoding never touches the offset section.
+fn encode_postings_interp(
+    list: &PostingsList,
+    num_records: u32,
+    record_lens: &[u32],
+    granularity: Granularity,
+) -> Vec<u8> {
+    use nucdb_codec::{interpolative_encode, Gamma, IntCodec};
+    let mut w = BitWriter::with_capacity_bits(list.total_occurrences() * 12);
+    let records: Vec<u64> = list.entries.iter().map(|p| p.record as u64).collect();
+    interpolative_encode(&records, 0, (num_records.max(1) - 1) as u64, &mut w);
+    for posting in &list.entries {
+        Gamma.encode(posting.offsets.len() as u64 - 1, &mut w);
+    }
+    if granularity == Granularity::Offsets {
+        for posting in &list.entries {
+            let offsets: Vec<u64> = posting.offsets.iter().map(|&o| o as u64).collect();
+            let len = record_lens[posting.record as usize].max(1) as u64;
+            interpolative_encode(&offsets, 0, len - 1, &mut w);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_postings_interp`]; with `granularity == Records`
+/// decoding stops after the counts section (whatever the blob holds
+/// beyond it). Returns the list plus the per-record counts.
+fn decode_postings_interp(
+    bytes: &[u8],
+    df: u32,
+    num_records: u32,
+    record_lens: &[u32],
+    granularity: Granularity,
+) -> Result<(PostingsList, Vec<u32>), IndexError> {
+    use nucdb_codec::{interpolative_decode, Gamma, IntCodec};
+    let mut r = BitReader::new(bytes);
+    if num_records == 0 && df > 0 {
+        return Err(IndexError::BadFormat("postings in an empty collection"));
+    }
+    let records = if df == 0 {
+        Vec::new()
+    } else {
+        interpolative_decode(df as usize, 0, (num_records - 1) as u64, &mut r)?
+    };
+    let mut counts = Vec::with_capacity(df as usize);
+    for &record in &records {
+        let count = Gamma.decode(&mut r)? + 1;
+        if count > record_lens[record as usize].max(1) as u64 {
+            return Err(IndexError::BadFormat("offset count exceeds record length"));
+        }
+        counts.push(count as u32);
+    }
+    let mut entries = Vec::with_capacity(df as usize);
+    for (&record, &count) in records.iter().zip(&counts) {
+        let offsets = if granularity == Granularity::Offsets {
+            let len = record_lens[record as usize].max(1) as u64;
+            interpolative_decode(count as usize, 0, len - 1, &mut r)?
+                .into_iter()
+                .map(|o| o as u32)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        entries.push(Posting { record: record as u32, offsets });
+    }
+    Ok((PostingsList { entries }, counts))
+}
+
+/// Vocabulary entry: where one interval's list lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VocabEntry {
+    /// Packed interval code.
+    pub code: u64,
+    /// Byte offset of the list within the blob.
+    pub offset: u64,
+    /// Length of the list in bytes.
+    pub len: u32,
+    /// Document frequency (records containing the interval).
+    pub df: u32,
+}
+
+/// An in-memory compressed inverted index.
+///
+/// Built by [`crate::builder::IndexBuilder`]; the on-disk variant with
+/// on-demand list fetching is [`crate::disk::OnDiskIndex`].
+#[derive(Debug, Clone)]
+pub struct CompressedIndex {
+    params: IndexParams,
+    codec: ListCodec,
+    record_lens: Vec<u32>,
+    /// Sorted by code for binary-search lookup.
+    vocab: Vec<VocabEntry>,
+    blob: Vec<u8>,
+}
+
+impl CompressedIndex {
+    /// Assemble from already-grouped lists, which must arrive in strictly
+    /// ascending code order.
+    pub(crate) fn from_sorted_lists(
+        params: IndexParams,
+        codec: ListCodec,
+        record_lens: Vec<u32>,
+        lists: impl Iterator<Item = (u64, PostingsList)>,
+    ) -> CompressedIndex {
+        let num_records = record_lens.len() as u32;
+        let mut vocab = Vec::new();
+        let mut blob = Vec::new();
+        let mut prev_code: Option<u64> = None;
+        for (code, list) in lists {
+            assert!(
+                prev_code.is_none_or(|p| p < code),
+                "lists must arrive in ascending code order"
+            );
+            prev_code = Some(code);
+            if list.df() == 0 {
+                continue;
+            }
+            let bytes =
+                encode_postings(&list, num_records, &record_lens, codec, params.granularity);
+            vocab.push(VocabEntry {
+                code,
+                offset: blob.len() as u64,
+                len: bytes.len() as u32,
+                df: list.df() as u32,
+            });
+            blob.extend_from_slice(&bytes);
+        }
+        CompressedIndex { params, codec, record_lens, vocab, blob }
+    }
+
+    /// Reassemble from parts (used by the on-disk reader).
+    pub(crate) fn from_parts(
+        params: IndexParams,
+        codec: ListCodec,
+        record_lens: Vec<u32>,
+        vocab: Vec<VocabEntry>,
+        blob: Vec<u8>,
+    ) -> CompressedIndex {
+        CompressedIndex { params, codec, record_lens, vocab, blob }
+    }
+
+    /// Index parameters.
+    pub fn params(&self) -> &IndexParams {
+        &self.params
+    }
+
+    /// The list codec in use.
+    pub fn codec(&self) -> ListCodec {
+        self.codec
+    }
+
+    /// Number of records indexed.
+    pub fn num_records(&self) -> u32 {
+        self.record_lens.len() as u32
+    }
+
+    /// Record length table.
+    pub fn record_lens(&self) -> &[u32] {
+        &self.record_lens
+    }
+
+    /// Number of distinct intervals present.
+    pub fn distinct_intervals(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Vocabulary entries in ascending code order.
+    pub fn vocab(&self) -> &[VocabEntry] {
+        &self.vocab
+    }
+
+    /// The concatenated compressed lists.
+    pub fn blob(&self) -> &[u8] {
+        &self.blob
+    }
+
+    /// Document frequency of an interval, 0 if absent.
+    pub fn df(&self, code: u64) -> u32 {
+        self.entry(code).map_or(0, |e| e.df)
+    }
+
+    /// The vocabulary entry for `code`, if present.
+    pub fn entry(&self, code: u64) -> Option<&VocabEntry> {
+        self.vocab
+            .binary_search_by_key(&code, |e| e.code)
+            .ok()
+            .map(|idx| &self.vocab[idx])
+    }
+
+    /// Decode the postings list for `code`; `Ok(None)` if the interval is
+    /// absent (never indexed, or stopped). Errors on a record-granularity
+    /// index, which stores no offsets — use [`CompressedIndex::counts`].
+    pub fn postings(&self, code: u64) -> Result<Option<PostingsList>, IndexError> {
+        if self.params.granularity == Granularity::Records {
+            return Err(IndexError::Unsupported(
+                "record-granularity index stores no offsets",
+            ));
+        }
+        let Some(entry) = self.entry(code) else {
+            return Ok(None);
+        };
+        let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
+        decode_postings(bytes, entry.df, self.num_records(), &self.record_lens, self.codec)
+            .map(Some)
+    }
+
+    /// Decode `(record, occurrence count)` pairs for `code`; `Ok(None)`
+    /// if the interval is absent. Works at either granularity.
+    pub fn counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
+        let Some(entry) = self.entry(code) else {
+            return Ok(None);
+        };
+        let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
+        decode_counts(
+            bytes,
+            entry.df,
+            self.num_records(),
+            &self.record_lens,
+            self.codec,
+            self.params.granularity,
+        )
+        .map(Some)
+    }
+
+    /// Size accounting for the experiments.
+    pub fn stats(&self) -> IndexStats {
+        let mut postings_entries = 0u64;
+        let mut total_offsets = 0u64;
+        // df is per-list; total occurrences require decoding, which stats
+        // callers accept (it is an offline measurement).
+        for entry in &self.vocab {
+            postings_entries += entry.df as u64;
+            if let Ok(Some(counts)) = self.counts(entry.code) {
+                total_offsets += counts.iter().map(|&(_, c)| c as u64).sum::<u64>();
+            }
+        }
+        IndexStats {
+            records: self.num_records() as u64,
+            total_bases: self.record_lens.iter().map(|&l| l as u64).sum(),
+            distinct_intervals: self.vocab.len() as u64,
+            postings_entries,
+            total_offsets,
+            blob_bytes: self.blob.len() as u64,
+            vocab_bytes: self.serialized_vocab_bytes(),
+        }
+    }
+
+    /// Bytes the vocabulary occupies in the on-disk format (delta-coded
+    /// codes, varint lengths and dfs) — the size that counts against the
+    /// paper's index-overhead budget.
+    fn serialized_vocab_bytes(&self) -> u64 {
+        let varint_len = |v: u64| -> u64 { (64 - v.max(1).leading_zeros() as u64).div_ceil(7) };
+        let mut total = 0u64;
+        let mut prev_code = 0u64;
+        for entry in &self.vocab {
+            total += varint_len(entry.code - prev_code + 1)
+                + varint_len(entry.len as u64)
+                + varint_len(entry.df as u64);
+            prev_code = entry.code;
+        }
+        total
+    }
+
+    /// Decode every list (for merging and tests). Offset granularity
+    /// only.
+    pub fn decode_all(&self) -> Result<Vec<(u64, PostingsList)>, IndexError> {
+        self.vocab
+            .iter()
+            .map(|e| Ok((e.code, self.postings(e.code)?.expect("entry exists"))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_list() -> PostingsList {
+        PostingsList {
+            entries: vec![
+                Posting { record: 0, offsets: vec![0, 1, 7] },
+                Posting { record: 3, offsets: vec![99] },
+                Posting { record: 4, offsets: vec![5, 50, 500] },
+                Posting { record: 90, offsets: vec![1023] },
+            ],
+        }
+    }
+
+    fn lens() -> Vec<u32> {
+        let mut lens = vec![64u32; 100];
+        lens[0] = 10;
+        lens[3] = 100;
+        lens[4] = 600;
+        lens[90] = 1024;
+        lens
+    }
+
+    const ALL_CODECS: [ListCodec; 6] = [
+        ListCodec::Paper,
+        ListCodec::Gamma,
+        ListCodec::Delta,
+        ListCodec::VByte,
+        ListCodec::Fixed,
+        ListCodec::Interp,
+    ];
+
+    #[test]
+    fn encode_decode_round_trip_all_codecs() {
+        let list = sample_list();
+        let lens = lens();
+        for codec in ALL_CODECS {
+            let bytes = encode_postings(&list, 100, &lens, codec, Granularity::Offsets);
+            let back = decode_postings(&bytes, list.df() as u32, 100, &lens, codec).unwrap();
+            assert_eq!(back, list, "{}", codec.name());
+            // Counts decode agrees for every codec too.
+            let counts =
+                decode_counts(&bytes, list.df() as u32, 100, &lens, codec, Granularity::Offsets)
+                    .unwrap();
+            let expect: Vec<(u32, u32)> = list
+                .entries
+                .iter()
+                .map(|p| (p.record, p.offsets.len() as u32))
+                .collect();
+            assert_eq!(counts, expect, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn interp_compresses_clustered_lists_best() {
+        // Clustered records (runs of consecutive ids): interpolative's
+        // home turf.
+        let list = PostingsList {
+            entries: (0..300u32)
+                .map(|i| {
+                    let record = if i < 150 { i } else { 3000 + i };
+                    Posting { record, offsets: vec![i % 50] }
+                })
+                .collect(),
+        };
+        let lens = vec![64u32; 4000];
+        let paper = encode_postings(&list, 4000, &lens, ListCodec::Paper, Granularity::Offsets);
+        let interp =
+            encode_postings(&list, 4000, &lens, ListCodec::Interp, Granularity::Offsets);
+        assert!(
+            interp.len() < paper.len(),
+            "interp {} >= paper {}",
+            interp.len(),
+            paper.len()
+        );
+        let back =
+            decode_postings(&interp, list.df() as u32, 4000, &lens, ListCodec::Interp).unwrap();
+        assert_eq!(back, list);
+    }
+
+    #[test]
+    fn paper_codec_is_smallest_on_typical_lists() {
+        // A dense-ish list with small gaps: the fitted Golomb layout must
+        // beat the fixed-width layout and at worst roughly match vbyte.
+        let list = PostingsList {
+            entries: (0..200)
+                .map(|i| Posting { record: i * 3, offsets: vec![(i * 7) % 900] })
+                .collect(),
+        };
+        let lens = vec![1000u32; 600];
+        let paper = encode_postings(&list, 600, &lens, ListCodec::Paper, Granularity::Offsets).len();
+        let fixed = encode_postings(&list, 600, &lens, ListCodec::Fixed, Granularity::Offsets).len();
+        let vbyte = encode_postings(&list, 600, &lens, ListCodec::VByte, Granularity::Offsets).len();
+        assert!(paper < fixed, "paper {paper} >= fixed {fixed}");
+        assert!(paper <= vbyte, "paper {paper} > vbyte {vbyte}");
+    }
+
+    #[test]
+    fn adjacent_offsets_zero_gaps() {
+        // Overlapping intervals produce adjacent offsets (gap-1 = 0).
+        let list = PostingsList {
+            entries: vec![Posting { record: 0, offsets: vec![4, 5, 6, 7, 8] }],
+        };
+        let lens = vec![32u32];
+        for codec in [ListCodec::Paper, ListCodec::Gamma] {
+            let bytes = encode_postings(&list, 1, &lens, codec, Granularity::Offsets);
+            let back = decode_postings(&bytes, 1, 1, &lens, codec).unwrap();
+            assert_eq!(back, list);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_record_id() {
+        let list = sample_list();
+        let lens = lens();
+        let bytes = encode_postings(&list, 100, &lens, ListCodec::Fixed, Granularity::Offsets);
+        // Lie about df: decoder walks past the real entries into padding
+        // and must fail, not panic.
+        let result = decode_postings(&bytes, 60, 100, &lens, ListCodec::Fixed);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn index_lookup_and_postings() {
+        let lens = vec![40u32; 10];
+        let lists = vec![
+            (7u64, PostingsList { entries: vec![Posting { record: 1, offsets: vec![3] }] }),
+            (
+                9u64,
+                PostingsList {
+                    entries: vec![
+                        Posting { record: 0, offsets: vec![0, 8] },
+                        Posting { record: 9, offsets: vec![31] },
+                    ],
+                },
+            ),
+        ];
+        let index = CompressedIndex::from_sorted_lists(
+            IndexParams::new(4),
+            ListCodec::Paper,
+            lens,
+            lists.clone().into_iter(),
+        );
+        assert_eq!(index.distinct_intervals(), 2);
+        assert_eq!(index.df(7), 1);
+        assert_eq!(index.df(9), 2);
+        assert_eq!(index.df(8), 0);
+        assert_eq!(index.postings(9).unwrap().unwrap(), lists[1].1);
+        assert!(index.postings(12345).unwrap().is_none());
+        let all = index.decode_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending code order")]
+    fn unsorted_lists_rejected() {
+        let l = PostingsList { entries: vec![Posting { record: 0, offsets: vec![0] }] };
+        let _ = CompressedIndex::from_sorted_lists(
+            IndexParams::new(4),
+            ListCodec::Paper,
+            vec![8u32],
+            vec![(9u64, l.clone()), (7u64, l)].into_iter(),
+        );
+    }
+
+    #[test]
+    fn records_granularity_round_trips_counts() {
+        let list = sample_list();
+        let lens = lens();
+        for codec in [ListCodec::Paper, ListCodec::Gamma, ListCodec::VByte] {
+            let bytes = encode_postings(&list, 100, &lens, codec, Granularity::Records);
+            let counts =
+                decode_counts(&bytes, list.df() as u32, 100, &lens, codec, Granularity::Records)
+                    .unwrap();
+            let expect: Vec<(u32, u32)> = list
+                .entries
+                .iter()
+                .map(|p| (p.record, p.offsets.len() as u32))
+                .collect();
+            assert_eq!(counts, expect, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn counts_agree_across_granularities() {
+        let list = sample_list();
+        let lens = lens();
+        let with_offsets =
+            encode_postings(&list, 100, &lens, ListCodec::Paper, Granularity::Offsets);
+        let records_only =
+            encode_postings(&list, 100, &lens, ListCodec::Paper, Granularity::Records);
+        // Records-only is strictly smaller.
+        assert!(records_only.len() < with_offsets.len());
+        let a = decode_counts(
+            &with_offsets,
+            list.df() as u32,
+            100,
+            &lens,
+            ListCodec::Paper,
+            Granularity::Offsets,
+        )
+        .unwrap();
+        let b = decode_counts(
+            &records_only,
+            list.df() as u32,
+            100,
+            &lens,
+            ListCodec::Paper,
+            Granularity::Records,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn records_granularity_index_rejects_postings_access() {
+        let lens = vec![40u32; 10];
+        let lists = vec![(
+            7u64,
+            PostingsList { entries: vec![Posting { record: 1, offsets: vec![3, 9] }] },
+        )];
+        let index = CompressedIndex::from_sorted_lists(
+            IndexParams::new(4).with_granularity(Granularity::Records),
+            ListCodec::Paper,
+            lens,
+            lists.into_iter(),
+        );
+        assert!(matches!(index.postings(7), Err(IndexError::Unsupported(_))));
+        assert_eq!(index.counts(7).unwrap().unwrap(), vec![(1u32, 2u32)]);
+        assert!(index.counts(99).unwrap().is_none());
+        // Stats still work (offsets counted from the counts decode).
+        let stats = index.stats();
+        assert_eq!(stats.total_offsets, 2);
+    }
+
+    #[test]
+    fn stats_account_sizes() {
+        let lens = vec![100u32; 50];
+        let lists = vec![(
+            1u64,
+            PostingsList {
+                entries: (0..50u32)
+                    .map(|r| Posting { record: r, offsets: vec![r, r + 20] })
+                    .collect(),
+            },
+        )];
+        let index = CompressedIndex::from_sorted_lists(
+            IndexParams::new(4),
+            ListCodec::Paper,
+            lens,
+            lists.into_iter(),
+        );
+        let stats = index.stats();
+        assert_eq!(stats.records, 50);
+        assert_eq!(stats.total_bases, 5000);
+        assert_eq!(stats.distinct_intervals, 1);
+        assert_eq!(stats.postings_entries, 50);
+        assert_eq!(stats.total_offsets, 100);
+        assert_eq!(stats.blob_bytes, index.blob().len() as u64);
+        assert!(stats.blob_bytes > 0);
+    }
+}

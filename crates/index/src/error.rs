@@ -1,0 +1,75 @@
+//! Error type for index construction and access.
+
+use std::fmt;
+use std::io;
+
+use nucdb_codec::CodecError;
+
+/// Errors from building, serializing, or reading an index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// A compressed list or index file failed to decode.
+    Codec(CodecError),
+    /// The index file has a bad magic number, version, or structure.
+    BadFormat(&'static str),
+    /// A record id or interval code out of range for this index.
+    OutOfRange(&'static str),
+    /// The operation is not supported by this index's configuration
+    /// (e.g. offset-dependent access to a record-granularity index).
+    Unsupported(&'static str),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Codec(e) => write!(f, "postings decode failed: {e}"),
+            IndexError::BadFormat(what) => write!(f, "bad index format: {what}"),
+            IndexError::OutOfRange(what) => write!(f, "out of range: {what}"),
+            IndexError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            IndexError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Codec(e) => Some(e),
+            IndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for IndexError {
+    fn from(e: CodecError) -> Self {
+        IndexError::Codec(e)
+    }
+}
+
+impl From<io::Error> for IndexError {
+    fn from(e: io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(IndexError::BadFormat("magic").to_string().contains("magic"));
+        assert!(IndexError::from(CodecError::UnexpectedEnd).to_string().contains("decode"));
+        assert!(IndexError::OutOfRange("record").to_string().contains("record"));
+    }
+
+    #[test]
+    fn sources() {
+        use std::error::Error;
+        assert!(IndexError::from(CodecError::UnexpectedEnd).source().is_some());
+        assert!(IndexError::BadFormat("x").source().is_none());
+    }
+}

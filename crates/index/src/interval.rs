@@ -1,0 +1,165 @@
+//! Interval extraction and index parameters.
+//!
+//! The paper's central design decision is to index **fixed-length
+//! substrings** ("intervals"): unlike variable-length words in text, a DNA
+//! sequence has no natural token boundary, so every overlapping window of
+//! length `k` becomes an indexing unit. The experiments sweep `k` (E1) and
+//! the extraction stride.
+
+use nucdb_seq::kmer::{vocabulary_size, KmerIter, MAX_K};
+use nucdb_seq::Base;
+
+use crate::stopping::StopPolicy;
+
+/// Postings granularity: how much the index records about each
+/// occurrence.
+///
+/// The CAFE line evaluates both: offset-level postings enable
+/// diagonal-structured (frame) coarse ranking and banded fine alignment,
+/// at several bits per *occurrence*; record-level postings store only
+/// `(record, occurrence count)` — a much smaller index whose coarse
+/// ranking is count-based and whose fine search must align whole records.
+/// Experiment **E12** measures the trade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// Record ids, per-record counts, and every in-record offset.
+    #[default]
+    Offsets,
+    /// Record ids and per-record counts only.
+    Records,
+}
+
+impl Granularity {
+    /// Stable on-disk tag.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Granularity::Offsets => 0,
+            Granularity::Records => 1,
+        }
+    }
+
+    /// Inverse of [`Granularity::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Result<Granularity, crate::error::IndexError> {
+        Ok(match tag {
+            0 => Granularity::Offsets,
+            1 => Granularity::Records,
+            _ => return Err(crate::error::IndexError::BadFormat("unknown granularity tag")),
+        })
+    }
+}
+
+/// Parameters fixed at index-build time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexParams {
+    /// Interval length in bases (1..=32). The paper's sweet spot for
+    /// nucleotide data is 8–12.
+    pub k: usize,
+    /// Extraction stride: 1 indexes every overlapping interval; larger
+    /// strides trade index size for coarse-ranking resolution.
+    pub stride: usize,
+    /// Optional index stopping policy (drop uninformative frequent
+    /// intervals).
+    pub stopping: Option<StopPolicy>,
+    /// Postings granularity.
+    pub granularity: Granularity,
+}
+
+impl IndexParams {
+    /// Overlapping intervals of length `k`, offset granularity, no
+    /// stopping.
+    pub fn new(k: usize) -> IndexParams {
+        assert!((1..=MAX_K).contains(&k), "interval length out of range");
+        IndexParams { k, stride: 1, stopping: None, granularity: Granularity::Offsets }
+    }
+
+    /// Set the postings granularity.
+    pub fn with_granularity(mut self, granularity: Granularity) -> IndexParams {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Set the stride.
+    pub fn with_stride(mut self, stride: usize) -> IndexParams {
+        assert!(stride >= 1, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+
+    /// Set the stopping policy.
+    pub fn with_stopping(mut self, policy: StopPolicy) -> IndexParams {
+        self.stopping = Some(policy);
+        self
+    }
+
+    /// Upper bound on the interval vocabulary, `4^k`.
+    pub fn vocabulary_bound(&self) -> u64 {
+        vocabulary_size(self.k)
+    }
+
+    /// Extract `(offset, interval_code)` pairs from a record at this
+    /// parameter set.
+    pub fn extract<'a>(&self, bases: &'a [Base]) -> impl Iterator<Item = (u32, u64)> + 'a {
+        let stride = self.stride;
+        KmerIter::new(bases, self.k)
+            .filter(move |(pos, _)| pos % stride == 0)
+            .map(|(pos, code)| (pos as u32, code))
+    }
+
+    /// Number of intervals a record of length `len` yields.
+    pub fn intervals_in(&self, len: usize) -> usize {
+        if len < self.k {
+            0
+        } else {
+            (len - self.k) / self.stride + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucdb_seq::DnaSeq;
+
+    fn bases(ascii: &[u8]) -> Vec<Base> {
+        DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+    }
+
+    #[test]
+    fn extraction_counts() {
+        let b = bases(b"ACGTACGTAC"); // len 10
+        let p = IndexParams::new(4);
+        assert_eq!(p.extract(&b).count(), 7);
+        assert_eq!(p.intervals_in(10), 7);
+        let p2 = IndexParams::new(4).with_stride(3);
+        let positions: Vec<u32> = p2.extract(&b).map(|(pos, _)| pos).collect();
+        assert_eq!(positions, vec![0, 3, 6]);
+        assert_eq!(p2.intervals_in(10), 3);
+    }
+
+    #[test]
+    fn short_record_yields_nothing() {
+        let b = bases(b"ACG");
+        let p = IndexParams::new(8);
+        assert_eq!(p.extract(&b).count(), 0);
+        assert_eq!(p.intervals_in(3), 0);
+        assert_eq!(p.intervals_in(8), 1);
+    }
+
+    #[test]
+    fn vocabulary_bound() {
+        assert_eq!(IndexParams::new(8).vocabulary_bound(), 65_536);
+        assert_eq!(IndexParams::new(2).vocabulary_bound(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval length out of range")]
+    fn zero_k_rejected() {
+        IndexParams::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let _ = IndexParams::new(4).with_stride(0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # nucdb-index
+//!
+//! The compressed inverted *interval* index at the heart of the paper's
+//! partitioned search. An interval is a fixed-length substring; the index
+//! maps every distinct interval of the collection to a postings list of
+//! `(record, offsets)` pairs. Coarse search reads only the lists of the
+//! query's intervals — a tiny fraction of the collection — instead of
+//! scanning every record.
+//!
+//! The pieces:
+//!
+//! * [`interval`] — interval extraction and the index parameters.
+//! * [`postings`] — decoded postings lists and the in-memory accumulator.
+//! * [`compress`] — the compressed list layout: Golomb-coded record gaps
+//!   (parameter fitted per list), Elias-gamma offset counts, Golomb-coded
+//!   offset gaps. This is what holds the index "to an acceptable level".
+//! * [`stopping`] — index stopping: discarding intervals that occur in too
+//!   many records, which carry little information but much index space.
+//! * [`builder`] — index construction: single-pass in-memory, chunked
+//!   external build with run spilling and multiway merge (the collection
+//!   need not fit in memory), and a parallel variant.
+//! * [`disk`] — the on-disk index format and a reader that fetches lists
+//!   on demand, tracking bytes read (the paper's disk-cost story).
+//! * [`stats`] — size accounting used by experiments E1/E4/E5.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod compress;
+pub mod disk;
+pub mod error;
+pub mod interval;
+pub mod merge;
+pub mod postings;
+pub mod stats;
+pub mod stopping;
+
+pub use builder::{build_chunked, build_parallel, IndexBuilder};
+pub use compress::{
+    decode_counts, decode_postings, encode_postings, CompressedIndex, ListCodec, VocabEntry,
+};
+pub use disk::{load_index, write_index, OnDiskIndex};
+pub use error::IndexError;
+pub use interval::{Granularity, IndexParams};
+pub use merge::{apply_stopping, merge_indexes};
+pub use postings::{Posting, PostingsList};
+pub use stats::IndexStats;
+pub use stopping::StopPolicy;

@@ -1,0 +1,98 @@
+//! Index size accounting.
+//!
+//! Experiments E1 (index size vs interval length), E4 (stopping) and E5
+//! (codec comparison) all report index sizes; this module centralises the
+//! arithmetic, including the "uncompressed equivalent" baseline the paper
+//! compares compressed postings against.
+
+/// Size and volume statistics of a built index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Records indexed.
+    pub records: u64,
+    /// Total bases across all records.
+    pub total_bases: u64,
+    /// Distinct intervals with at least one posting.
+    pub distinct_intervals: u64,
+    /// Total `(interval, record)` postings entries (sum of dfs).
+    pub postings_entries: u64,
+    /// Total stored offsets (sum of occurrence counts).
+    pub total_offsets: u64,
+    /// Bytes of compressed postings.
+    pub blob_bytes: u64,
+    /// Bytes of in-memory vocabulary.
+    pub vocab_bytes: u64,
+}
+
+impl IndexStats {
+    /// Total index bytes (postings + vocabulary).
+    pub fn total_bytes(&self) -> u64 {
+        self.blob_bytes + self.vocab_bytes
+    }
+
+    /// Bytes an uncompressed layout would need: 32-bit record id per
+    /// posting, 32-bit count per posting, 32-bit offset per occurrence
+    /// (the flat layout a naive implementation stores).
+    pub fn uncompressed_equivalent_bytes(&self) -> u64 {
+        self.postings_entries * 8 + self.total_offsets * 4
+    }
+
+    /// Compressed postings as a fraction of the uncompressed equivalent.
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = self.uncompressed_equivalent_bytes();
+        if raw == 0 {
+            return 0.0;
+        }
+        self.blob_bytes as f64 / raw as f64
+    }
+
+    /// Index size relative to the collection it indexes (1 byte/base for
+    /// the ASCII collection, the figure the paper quotes index overhead
+    /// against).
+    pub fn index_to_collection_ratio(&self) -> f64 {
+        if self.total_bases == 0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.total_bases as f64
+    }
+
+    /// Mean postings-list length (document frequency) per distinct
+    /// interval.
+    pub fn mean_df(&self) -> f64 {
+        if self.distinct_intervals == 0 {
+            return 0.0;
+        }
+        self.postings_entries as f64 / self.distinct_intervals as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = IndexStats {
+            records: 10,
+            total_bases: 10_000,
+            distinct_intervals: 100,
+            postings_entries: 400,
+            total_offsets: 500,
+            blob_bytes: 1_000,
+            vocab_bytes: 2_000,
+        };
+        assert_eq!(s.total_bytes(), 3_000);
+        assert_eq!(s.uncompressed_equivalent_bytes(), 400 * 8 + 500 * 4);
+        assert!((s.compression_ratio() - 1_000.0 / 5_200.0).abs() < 1e-12);
+        assert!((s.index_to_collection_ratio() - 0.3).abs() < 1e-12);
+        assert!((s.mean_df() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_finite() {
+        let s = IndexStats::default();
+        assert_eq!(s.compression_ratio(), 0.0);
+        assert_eq!(s.index_to_collection_ratio(), 0.0);
+        assert_eq!(s.mean_df(), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Index stopping: discarding high-frequency intervals.
+//!
+//! An interval that occurs in a large fraction of the collection's records
+//! discriminates poorly between answers and non-answers, yet its postings
+//! list is the longest in the index — the inverted-file analogue of text
+//! stopwords. Stopping such intervals shrinks the index *and* speeds
+//! coarse search (fewer postings to decode per query) at a small accuracy
+//! cost; experiment **E4** measures the trade-off.
+
+/// Which intervals to drop from the index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopPolicy {
+    /// Drop intervals occurring in more than this fraction of records
+    /// (0.0 drops everything, 1.0 drops nothing).
+    DfFraction(f64),
+    /// Drop intervals occurring in more than this many records.
+    DfAbsolute(u32),
+    /// Drop the `n` most frequent intervals.
+    TopK(usize),
+}
+
+impl StopPolicy {
+    /// Resolve the policy against per-interval document frequencies,
+    /// returning a predicate value: the maximum allowed df (inclusive).
+    ///
+    /// `dfs` is consumed as an iterator of every interval's df; only
+    /// [`StopPolicy::TopK`] actually needs it (the others compute a bound
+    /// directly from `num_records`).
+    pub fn df_limit(&self, num_records: u32, dfs: impl Iterator<Item = u32>) -> u32 {
+        match *self {
+            StopPolicy::DfFraction(frac) => {
+                let frac = frac.clamp(0.0, 1.0);
+                (num_records as f64 * frac).floor() as u32
+            }
+            StopPolicy::DfAbsolute(limit) => limit,
+            StopPolicy::TopK(n) => {
+                if n == 0 {
+                    return u32::MAX;
+                }
+                // The df of the (n+1)-th most frequent interval is the
+                // largest df we keep.
+                let mut all: Vec<u32> = dfs.collect();
+                if n >= all.len() {
+                    return 0; // drop everything
+                }
+                all.sort_unstable_by(|a, b| b.cmp(a));
+                // Keep dfs at or below the (n+1)-th largest; intervals
+                // tied with that cutoff are kept (simple and stable).
+                all[n]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_limit() {
+        let p = StopPolicy::DfFraction(0.1);
+        assert_eq!(p.df_limit(1000, std::iter::empty()), 100);
+        assert_eq!(StopPolicy::DfFraction(1.0).df_limit(50, std::iter::empty()), 50);
+        assert_eq!(StopPolicy::DfFraction(0.0).df_limit(50, std::iter::empty()), 0);
+        // Out-of-range fractions are clamped.
+        assert_eq!(StopPolicy::DfFraction(2.0).df_limit(50, std::iter::empty()), 50);
+    }
+
+    #[test]
+    fn absolute_limit() {
+        assert_eq!(StopPolicy::DfAbsolute(7).df_limit(1000, std::iter::empty()), 7);
+    }
+
+    #[test]
+    fn top_k_limit() {
+        let dfs = [5u32, 100, 3, 80, 7, 90];
+        // Dropping the top 2 (100, 90): limit is the 3rd largest, 80.
+        assert_eq!(StopPolicy::TopK(2).df_limit(1000, dfs.iter().copied()), 80);
+        // Dropping none.
+        assert_eq!(StopPolicy::TopK(0).df_limit(1000, dfs.iter().copied()), u32::MAX);
+        // Dropping at least as many as exist: everything goes.
+        assert_eq!(StopPolicy::TopK(6).df_limit(1000, dfs.iter().copied()), 0);
+        assert_eq!(StopPolicy::TopK(99).df_limit(1000, dfs.iter().copied()), 0);
+    }
+}

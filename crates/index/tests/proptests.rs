@@ -1,0 +1,110 @@
+//! Property tests for the index layer: list codecs round-trip arbitrary
+//! well-formed postings, corrupt inputs fail without panicking, and the
+//! disk format round-trips arbitrary collections.
+
+use nucdb_index::{
+    decode_postings, encode_postings, Granularity, load_index, write_index, IndexBuilder, IndexParams,
+    ListCodec, Posting, PostingsList,
+};
+use nucdb_seq::{Base, DnaSeq};
+use proptest::prelude::*;
+
+const CODECS: [ListCodec; 6] = [
+    ListCodec::Paper,
+    ListCodec::Gamma,
+    ListCodec::Delta,
+    ListCodec::VByte,
+    ListCodec::Fixed,
+    ListCodec::Interp,
+];
+
+/// Strategy: a well-formed postings list over `num_records` records of
+/// length `record_len`, plus the length table.
+fn postings_list(
+    num_records: u32,
+    record_len: u32,
+) -> impl Strategy<Value = PostingsList> {
+    // Choose a subset of records; per record a sorted set of offsets.
+    prop::collection::btree_set(0..num_records, 0..20).prop_flat_map(move |records| {
+        let records: Vec<u32> = records.into_iter().collect();
+        let per_record =
+            prop::collection::btree_set(0..record_len, 1..8).prop_map(|s| s.into_iter().collect());
+        prop::collection::vec(per_record, records.len()..=records.len()).prop_map(
+            move |offsets_per: Vec<Vec<u32>>| PostingsList {
+                entries: records
+                    .iter()
+                    .zip(offsets_per)
+                    .map(|(&record, offsets)| Posting { record, offsets })
+                    .collect(),
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_well_formed_list_round_trips(list in postings_list(500, 900)) {
+        prop_assume!(list.is_well_formed());
+        let lens = vec![900u32; 500];
+        for codec in CODECS {
+            let bytes = encode_postings(&list, 500, &lens, codec, Granularity::Offsets);
+            let back =
+                decode_postings(&bytes, list.df() as u32, 500, &lens, codec).unwrap();
+            prop_assert_eq!(&back, &list, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+        df in 0u32..50,
+    ) {
+        let lens = vec![300u32; 100];
+        for codec in CODECS {
+            // Must return Ok or Err; panics fail the test harness.
+            let _ = decode_postings(&bytes, df, 100, &lens, codec);
+        }
+    }
+
+    #[test]
+    fn truncated_real_lists_never_panic(
+        list in postings_list(200, 500),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        prop_assume!(list.df() > 0);
+        let lens = vec![500u32; 200];
+        let bytes = encode_postings(&list, 200, &lens, ListCodec::Paper, Granularity::Offsets);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = decode_postings(&bytes[..cut], list.df() as u32, 200, &lens, ListCodec::Paper);
+    }
+
+    #[test]
+    fn disk_round_trip_arbitrary_records(
+        records in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(b"ACGT".to_vec()), 0..150),
+            0..20,
+        ),
+        k in 4usize..9,
+    ) {
+        let mut builder = IndexBuilder::new(IndexParams::new(k));
+        for r in &records {
+            let bases: Vec<Base> =
+                DnaSeq::from_ascii(r).unwrap().representative_bases();
+            builder.add_record(&bases);
+        }
+        let index = builder.finish();
+
+        let path = std::env::temp_dir().join(format!(
+            "nucdb_prop_disk_{}_{}.idx",
+            std::process::id(),
+            k
+        ));
+        write_index(&index, &path).unwrap();
+        let loaded = load_index(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(loaded.num_records(), index.num_records());
+        prop_assert_eq!(loaded.decode_all().unwrap(), index.decode_all().unwrap());
+    }
+}

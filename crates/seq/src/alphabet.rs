@@ -1,0 +1,439 @@
+//! The nucleotide alphabet: the four bases plus the IUPAC ambiguity codes.
+//!
+//! Nucleotide databases are dominated by the four bases `A`, `C`, `G`, `T`,
+//! but real collections (GenBank among them) also contain *wildcards* — the
+//! IUPAC ambiguity codes such as `N` ("any base") or `R` ("purine: A or G").
+//! The direct-coding compression scheme in [`crate::pack`] stores the four
+//! bases in two bits each and records wildcards in an exception list, so the
+//! alphabet layer distinguishes the two kinds explicitly.
+
+use crate::error::SeqError;
+
+/// One of the four unambiguous nucleotide bases.
+///
+/// The discriminants are the 2-bit codes used by the packed representation
+/// and by interval (k-mer) coding in the index layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in 2-bit-code order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Construct from a 2-bit code. Values above 3 are masked.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// The 2-bit code of this base.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parse from an ASCII byte (case-insensitive). `U` is accepted as `T`
+    /// so RNA input can be searched against a DNA collection.
+    #[inline]
+    pub fn from_ascii(byte: u8) -> Option<Base> {
+        match byte {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' | b'U' | b'u' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Upper-case ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Watson–Crick complement.
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+}
+
+/// An IUPAC nucleotide code: a base or an ambiguity (wildcard) code.
+///
+/// The representation is a 4-bit mask with one bit per possible base
+/// (`A=1, C=2, G=4, T=8`); an ambiguity code is the union of the bases it
+/// may stand for. This makes [`IupacCode::matches`] a single AND.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IupacCode(u8);
+
+impl IupacCode {
+    /// Adenine.
+    pub const A: IupacCode = IupacCode(0b0001);
+    /// Cytosine.
+    pub const C: IupacCode = IupacCode(0b0010);
+    /// Guanine.
+    pub const G: IupacCode = IupacCode(0b0100);
+    /// Thymine.
+    pub const T: IupacCode = IupacCode(0b1000);
+    /// Purine (A or G).
+    pub const R: IupacCode = IupacCode(0b0101);
+    /// Pyrimidine (C or T).
+    pub const Y: IupacCode = IupacCode(0b1010);
+    /// Strong (G or C).
+    pub const S: IupacCode = IupacCode(0b0110);
+    /// Weak (A or T).
+    pub const W: IupacCode = IupacCode(0b1001);
+    /// Keto (G or T).
+    pub const K: IupacCode = IupacCode(0b1100);
+    /// Amino (A or C).
+    pub const M: IupacCode = IupacCode(0b0011);
+    /// Not A (C, G or T).
+    pub const B: IupacCode = IupacCode(0b1110);
+    /// Not C (A, G or T).
+    pub const D: IupacCode = IupacCode(0b1101);
+    /// Not G (A, C or T).
+    pub const H: IupacCode = IupacCode(0b1011);
+    /// Not T (A, C or G).
+    pub const V: IupacCode = IupacCode(0b0111);
+    /// Any base.
+    pub const N: IupacCode = IupacCode(0b1111);
+
+    /// The eleven ambiguity codes (everything except the four plain bases).
+    pub const WILDCARDS: [IupacCode; 11] = [
+        IupacCode::R,
+        IupacCode::Y,
+        IupacCode::S,
+        IupacCode::W,
+        IupacCode::K,
+        IupacCode::M,
+        IupacCode::B,
+        IupacCode::D,
+        IupacCode::H,
+        IupacCode::V,
+        IupacCode::N,
+    ];
+
+    /// Parse from an ASCII byte (case-insensitive, `U` as `T`).
+    #[inline]
+    pub fn from_ascii(byte: u8) -> Option<IupacCode> {
+        Some(match byte {
+            b'A' | b'a' => IupacCode::A,
+            b'C' | b'c' => IupacCode::C,
+            b'G' | b'g' => IupacCode::G,
+            b'T' | b't' | b'U' | b'u' => IupacCode::T,
+            b'R' | b'r' => IupacCode::R,
+            b'Y' | b'y' => IupacCode::Y,
+            b'S' | b's' => IupacCode::S,
+            b'W' | b'w' => IupacCode::W,
+            b'K' | b'k' => IupacCode::K,
+            b'M' | b'm' => IupacCode::M,
+            b'B' | b'b' => IupacCode::B,
+            b'D' | b'd' => IupacCode::D,
+            b'H' | b'h' => IupacCode::H,
+            b'V' | b'v' => IupacCode::V,
+            b'N' | b'n' => IupacCode::N,
+            _ => return None,
+        })
+    }
+
+    /// Parse, reporting position information for error messages.
+    #[inline]
+    pub fn try_from_ascii(byte: u8, position: usize) -> Result<IupacCode, SeqError> {
+        IupacCode::from_ascii(byte).ok_or(SeqError::InvalidBase { byte, position })
+    }
+
+    /// Upper-case ASCII representation.
+    pub fn to_ascii(self) -> u8 {
+        const TABLE: [u8; 16] = [
+            b'?', b'A', b'C', b'M', b'G', b'R', b'S', b'V', b'T', b'W', b'Y', b'H', b'K', b'D',
+            b'B', b'N',
+        ];
+        TABLE[(self.0 & 0x0f) as usize]
+    }
+
+    /// The raw 4-bit base mask.
+    #[inline]
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstruct from a 4-bit mask. Returns `None` for the empty mask.
+    #[inline]
+    pub fn from_mask(mask: u8) -> Option<IupacCode> {
+        let mask = mask & 0x0f;
+        if mask == 0 {
+            None
+        } else {
+            Some(IupacCode(mask))
+        }
+    }
+
+    /// Is this one of the four unambiguous bases?
+    #[inline]
+    pub fn is_base(self) -> bool {
+        self.0.count_ones() == 1
+    }
+
+    /// Is this an ambiguity (wildcard) code?
+    #[inline]
+    pub fn is_wildcard(self) -> bool {
+        !self.is_base()
+    }
+
+    /// Convert to a plain [`Base`] if unambiguous.
+    #[inline]
+    pub fn to_base(self) -> Option<Base> {
+        match self {
+            IupacCode::A => Some(Base::A),
+            IupacCode::C => Some(Base::C),
+            IupacCode::G => Some(Base::G),
+            IupacCode::T => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Number of bases this code may stand for (1 for a plain base, 4 for `N`).
+    #[inline]
+    pub fn cardinality(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Does `base` fall within this code's ambiguity set?
+    #[inline]
+    pub fn matches(self, base: Base) -> bool {
+        self.0 & (1 << base.code()) != 0
+    }
+
+    /// Do two codes share at least one possible base? (Used by wildcard-aware
+    /// matching: `N` is compatible with everything.)
+    #[inline]
+    pub fn compatible(self, other: IupacCode) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// IUPAC complement: complement each base in the ambiguity set.
+    pub fn complement(self) -> IupacCode {
+        let mut out = 0u8;
+        for base in Base::ALL {
+            if self.matches(base) {
+                out |= 1 << base.complement().code();
+            }
+        }
+        IupacCode(out)
+    }
+
+    /// The bases in this code's ambiguity set, in 2-bit-code order.
+    pub fn bases(self) -> impl Iterator<Item = Base> {
+        let mask = self.0;
+        Base::ALL.into_iter().filter(move |b| mask & (1 << b.code()) != 0)
+    }
+
+    /// A canonical representative base for this code, used by the packed
+    /// representation and by the index layer (which treats wildcards as
+    /// their representative when forming intervals). Plain bases represent
+    /// themselves; wildcards are represented by their lowest-coded base.
+    #[inline]
+    pub fn representative(self) -> Base {
+        debug_assert!(self.0 != 0, "empty IUPAC mask");
+        Base::from_code(self.0.trailing_zeros() as u8)
+    }
+}
+
+impl From<Base> for IupacCode {
+    #[inline]
+    fn from(base: Base) -> IupacCode {
+        IupacCode(1 << base.code())
+    }
+}
+
+impl std::fmt::Display for Base {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl std::fmt::Display for IupacCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_ascii_round_trip() {
+        for base in Base::ALL {
+            assert_eq!(Base::from_ascii(base.to_ascii()), Some(base));
+            assert_eq!(Base::from_ascii(base.to_ascii().to_ascii_lowercase()), Some(base));
+        }
+    }
+
+    #[test]
+    fn base_code_round_trip() {
+        for base in Base::ALL {
+            assert_eq!(Base::from_code(base.code()), base);
+        }
+    }
+
+    #[test]
+    fn uracil_reads_as_thymine() {
+        assert_eq!(Base::from_ascii(b'U'), Some(Base::T));
+        assert_eq!(Base::from_ascii(b'u'), Some(Base::T));
+        assert_eq!(IupacCode::from_ascii(b'U'), Some(IupacCode::T));
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        for base in Base::ALL {
+            assert_eq!(base.complement().complement(), base);
+        }
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::G.complement(), Base::C);
+    }
+
+    #[test]
+    fn iupac_ascii_round_trip_all_15() {
+        let mut seen = 0;
+        for byte in b"ACGTRYSWKMBDHVN" {
+            let code = IupacCode::from_ascii(*byte).unwrap();
+            assert_eq!(code.to_ascii(), *byte);
+            seen += 1;
+        }
+        assert_eq!(seen, 15);
+    }
+
+    #[test]
+    fn invalid_bytes_rejected() {
+        for byte in [b'X', b'Z', b'!', b' ', b'0', 0u8, 0xff] {
+            assert_eq!(IupacCode::from_ascii(byte), None, "byte {byte:?}");
+            assert_eq!(Base::from_ascii(byte), None, "byte {byte:?}");
+        }
+    }
+
+    #[test]
+    fn wildcard_classification() {
+        assert!(IupacCode::A.is_base());
+        assert!(!IupacCode::A.is_wildcard());
+        assert!(IupacCode::N.is_wildcard());
+        assert!(IupacCode::R.is_wildcard());
+        for wc in IupacCode::WILDCARDS {
+            assert!(wc.is_wildcard(), "{wc}");
+            assert!(wc.to_base().is_none());
+        }
+    }
+
+    #[test]
+    fn n_matches_everything() {
+        for base in Base::ALL {
+            assert!(IupacCode::N.matches(base));
+        }
+    }
+
+    #[test]
+    fn r_is_purines() {
+        assert!(IupacCode::R.matches(Base::A));
+        assert!(IupacCode::R.matches(Base::G));
+        assert!(!IupacCode::R.matches(Base::C));
+        assert!(!IupacCode::R.matches(Base::T));
+        assert_eq!(IupacCode::R.cardinality(), 2);
+    }
+
+    #[test]
+    fn compatibility_is_symmetric_and_reflexive() {
+        let all: Vec<IupacCode> =
+            b"ACGTRYSWKMBDHVN".iter().map(|&b| IupacCode::from_ascii(b).unwrap()).collect();
+        for &x in &all {
+            assert!(x.compatible(x));
+            for &y in &all {
+                assert_eq!(x.compatible(y), y.compatible(x));
+            }
+        }
+    }
+
+    #[test]
+    fn iupac_complement_involutive_and_consistent() {
+        for byte in b"ACGTRYSWKMBDHVN" {
+            let code = IupacCode::from_ascii(*byte).unwrap();
+            assert_eq!(code.complement().complement(), code);
+            // The complement's set is exactly the complements of the set.
+            for base in Base::ALL {
+                assert_eq!(code.matches(base), code.complement().matches(base.complement()));
+            }
+        }
+    }
+
+    #[test]
+    fn iupac_complement_fixed_points() {
+        // S (G/C) and W (A/T) and N are their own complements.
+        assert_eq!(IupacCode::S.complement(), IupacCode::S);
+        assert_eq!(IupacCode::W.complement(), IupacCode::W);
+        assert_eq!(IupacCode::N.complement(), IupacCode::N);
+        // R (A/G) complements to Y (T/C).
+        assert_eq!(IupacCode::R.complement(), IupacCode::Y);
+    }
+
+    #[test]
+    fn representative_of_plain_base_is_itself() {
+        for base in Base::ALL {
+            assert_eq!(IupacCode::from(base).representative(), base);
+        }
+    }
+
+    #[test]
+    fn representative_of_wildcard_is_member() {
+        for wc in IupacCode::WILDCARDS {
+            assert!(wc.matches(wc.representative()));
+        }
+    }
+
+    #[test]
+    fn bases_iterator_matches_cardinality() {
+        for byte in b"ACGTRYSWKMBDHVN" {
+            let code = IupacCode::from_ascii(*byte).unwrap();
+            assert_eq!(code.bases().count() as u32, code.cardinality());
+            for base in code.bases() {
+                assert!(code.matches(base));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        for byte in b"ACGTRYSWKMBDHVN" {
+            let code = IupacCode::from_ascii(*byte).unwrap();
+            assert_eq!(IupacCode::from_mask(code.mask()), Some(code));
+        }
+        assert_eq!(IupacCode::from_mask(0), None);
+    }
+}

@@ -1,0 +1,219 @@
+//! Low-complexity detection and masking (a DUST-style filter).
+//!
+//! Low-complexity sequence — homopolymer runs, microsatellites — is the
+//! enemy of interval indexing twice over: it bloats the index (addressed
+//! by *stopping*, on the collection side) and it floods coarse search
+//! with meaningless hits when the *query* contains it. The standard
+//! defence on the query side is masking: detect windows whose triplet
+//! composition is far more repetitive than chance and exclude them from
+//! seeding.
+//!
+//! The score is the classic DUST statistic: over a window of `w` bases
+//! with triplet counts `c_t`,
+//!
+//! ```text
+//! score = Σ_t c_t (c_t − 1) / 2  ÷  (w − 3)
+//! ```
+//!
+//! A random window scores ≈ 0.5; a pure homopolymer window of length 64
+//! scores ≈ 31. The conventional threshold is 2.
+
+use std::ops::Range;
+
+use crate::alphabet::Base;
+
+/// Parameters of the masking filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DustParams {
+    /// Window length in bases (≥ 4).
+    pub window: usize,
+    /// Windows scoring above this are masked (2.0 is the classic value).
+    pub threshold: f64,
+}
+
+impl Default for DustParams {
+    fn default() -> DustParams {
+        DustParams { window: 64, threshold: 2.0 }
+    }
+}
+
+/// The DUST score of one window (any slice of ≥ 4 bases; shorter slices
+/// score 0).
+pub fn dust_score(window: &[Base]) -> f64 {
+    if window.len() < 4 {
+        return 0.0;
+    }
+    let mut counts = [0u32; 64];
+    for triple in window.windows(3) {
+        let code = ((triple[0].code() as usize) << 4)
+            | ((triple[1].code() as usize) << 2)
+            | triple[2].code() as usize;
+        counts[code] += 1;
+    }
+    let repeats: u64 =
+        counts.iter().map(|&c| (c as u64 * (c as u64).saturating_sub(1)) / 2).sum();
+    repeats as f64 / (window.len() - 3) as f64
+}
+
+/// Find the low-complexity regions of `bases`: windows (stepped by half a
+/// window) scoring above the threshold, merged into maximal ranges whose
+/// boundaries are then trimmed back to the repetitive core (a window that
+/// straddles a repeat edge scores high even though half of it is unique
+/// sequence; without trimming that unique half would be lost to seeding).
+pub fn mask_regions(bases: &[Base], params: &DustParams) -> Vec<Range<usize>> {
+    let window = params.window.max(4);
+    let mut regions: Vec<Range<usize>> = Vec::new();
+    if bases.len() < 4 {
+        return regions;
+    }
+    let step = (window / 2).max(1);
+    let mut start = 0usize;
+    loop {
+        let end = (start + window).min(bases.len());
+        if dust_score(&bases[start..end]) > params.threshold {
+            match regions.last_mut() {
+                Some(last) if last.end >= start => last.end = end,
+                _ => regions.push(start..end),
+            }
+        }
+        if end == bases.len() {
+            break;
+        }
+        start += step;
+    }
+
+    // Trim each region's edges: advance past leading/trailing stretches
+    // whose local sub-window is not itself repetitive. The sub-window
+    // must be long enough that the longest repeat period we care about
+    // (6, per the unit library) still scores above threshold: with 36
+    // bases a period-6 repeat holds ~5–6 copies of each of its 6
+    // triplets, scoring ≈ 2.4.
+    const SUB: usize = 36;
+    const TRIM_STEP: usize = 6;
+    regions.retain_mut(|region| {
+        while region.len() > SUB
+            && dust_score(&bases[region.start..region.start + SUB]) <= params.threshold
+        {
+            region.start += TRIM_STEP;
+        }
+        while region.len() > SUB
+            && dust_score(&bases[region.end - SUB..region.end]) <= params.threshold
+        {
+            region.end -= TRIM_STEP;
+        }
+        // A region that trims to a sub-window that still is not
+        // repetitive was a boundary artefact.
+        region.len() > SUB || dust_score(&bases[region.clone()]) > params.threshold
+    });
+    regions
+}
+
+/// Fraction of `bases` covered by masked regions.
+pub fn masked_fraction(bases: &[Base], params: &DustParams) -> f64 {
+    if bases.is_empty() {
+        return 0.0;
+    }
+    let masked: usize = mask_regions(bases, params).iter().map(|r| r.len()).sum();
+    masked as f64 / bases.len() as f64
+}
+
+/// True if `position` lies inside any of the (sorted, disjoint) `regions`.
+#[inline]
+pub fn is_masked(regions: &[Range<usize>], position: usize) -> bool {
+    // Regions are few; partition_point finds the candidate region.
+    let idx = regions.partition_point(|r| r.end <= position);
+    regions.get(idx).is_some_and(|r| r.contains(&position))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_seq;
+    use crate::seq::DnaSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bases(ascii: &[u8]) -> Vec<Base> {
+        DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+    }
+
+    #[test]
+    fn homopolymer_scores_high() {
+        let poly_a = bases(&[b'A'; 64]);
+        assert!(dust_score(&poly_a) > 25.0, "{}", dust_score(&poly_a));
+    }
+
+    #[test]
+    fn random_scores_low() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let w = random_seq(&mut rng, 64, 0.5, 0.0).representative_bases();
+            let score = dust_score(&w);
+            assert!(score < 2.0, "random window scored {score}");
+        }
+    }
+
+    #[test]
+    fn dinucleotide_repeat_scores_high() {
+        let acac: Vec<Base> = bases(&b"AC".repeat(32));
+        assert!(dust_score(&acac) > 10.0);
+    }
+
+    #[test]
+    fn short_windows_score_zero() {
+        assert_eq!(dust_score(&bases(b"ACG")), 0.0);
+        assert_eq!(dust_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn masks_planted_repeat_only() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seq = random_seq(&mut rng, 300, 0.5, 0.0).representative_bases();
+        // Splice a 120-base poly-T run into the middle.
+        for slot in &mut seq[120..240] {
+            *slot = Base::T;
+        }
+        let regions = mask_regions(&seq, &DustParams::default());
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        let region = &regions[0];
+        // The region covers the repeat (window-step granularity allowed).
+        assert!(region.start <= 120 + 32 && region.end >= 240 - 32, "{region:?}");
+        // The random flanks are not fully masked.
+        let masked = masked_fraction(&seq, &DustParams::default());
+        assert!(masked < 0.7, "masked fraction {masked}");
+        assert!(masked > 0.2);
+    }
+
+    #[test]
+    fn random_sequence_unmasked() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let seq = random_seq(&mut rng, 1000, 0.5, 0.0).representative_bases();
+        assert_eq!(masked_fraction(&seq, &DustParams::default()), 0.0);
+    }
+
+    #[test]
+    fn adjacent_windows_merge() {
+        let long_repeat = bases(&b"AG".repeat(200));
+        let regions = mask_regions(&long_repeat, &DustParams::default());
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0], 0..400);
+    }
+
+    #[test]
+    fn is_masked_lookup() {
+        let regions = vec![10..20, 40..60];
+        assert!(!is_masked(&regions, 9));
+        assert!(is_masked(&regions, 10));
+        assert!(is_masked(&regions, 19));
+        assert!(!is_masked(&regions, 20));
+        assert!(is_masked(&regions, 59));
+        assert!(!is_masked(&regions, 60));
+        assert!(!is_masked(&[], 5));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mask_regions(&[], &DustParams::default()).is_empty());
+        assert_eq!(masked_fraction(&[], &DustParams::default()), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by the sequence substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while parsing, packing, or generating sequences.
+#[derive(Debug)]
+pub enum SeqError {
+    /// A byte that is not a recognised IUPAC nucleotide code.
+    InvalidBase {
+        /// The offending byte.
+        byte: u8,
+        /// Byte offset of the offending character within its record.
+        position: usize,
+    },
+    /// A FASTA stream that does not start with a `>` header line.
+    MissingHeader,
+    /// A FASTA record with a header but no sequence data.
+    EmptyRecord {
+        /// Identifier from the record's header line.
+        id: String,
+    },
+    /// A corrupt or truncated packed-sequence blob.
+    CorruptPackedData(&'static str),
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidBase { byte, position } => {
+                if byte.is_ascii_graphic() {
+                    write!(
+                        f,
+                        "invalid nucleotide code {:?} at offset {position}",
+                        *byte as char
+                    )
+                } else {
+                    write!(f, "invalid nucleotide byte 0x{byte:02x} at offset {position}")
+                }
+            }
+            SeqError::MissingHeader => {
+                write!(f, "FASTA stream does not begin with a '>' header line")
+            }
+            SeqError::EmptyRecord { id } => {
+                write!(f, "FASTA record {id:?} contains no sequence data")
+            }
+            SeqError::CorruptPackedData(what) => {
+                write!(f, "corrupt packed sequence data: {what}")
+            }
+            SeqError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SeqError {
+    fn from(e: io::Error) -> Self {
+        SeqError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_base_printable() {
+        let e = SeqError::InvalidBase { byte: b'!', position: 7 };
+        assert!(e.to_string().contains("'!'"));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn display_invalid_base_unprintable() {
+        let e = SeqError::InvalidBase { byte: 0x01, position: 0 };
+        assert!(e.to_string().contains("0x01"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let e = SeqError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_empty_record_names_the_record() {
+        let e = SeqError::EmptyRecord { id: "seq42".to_string() };
+        assert!(e.to_string().contains("seq42"));
+    }
+}

@@ -1,0 +1,254 @@
+//! FASTA parsing and writing.
+//!
+//! FASTA was (and remains) the interchange format for nucleotide
+//! collections; GenBank distributions of the era that the paper indexes are
+//! FASTA-convertible. The reader is streaming — it holds one record at a
+//! time — so collections larger than memory can be indexed record by record,
+//! matching the paper's setting where the collection does *not* fit in
+//! main memory.
+
+use std::io::{BufRead, Write};
+
+use crate::error::SeqError;
+use crate::seq::DnaSeq;
+
+/// One FASTA record: `>id description` followed by sequence lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// The identifier: the header up to the first whitespace.
+    pub id: String,
+    /// The remainder of the header line (may be empty).
+    pub description: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+}
+
+impl FastaRecord {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, seq: DnaSeq) -> FastaRecord {
+        FastaRecord { id: id.into(), description: String::new(), seq }
+    }
+}
+
+/// Streaming FASTA reader: an iterator of records.
+pub struct FastaReader<R: BufRead> {
+    input: R,
+    /// Header line of the *next* record, already consumed from the stream.
+    pending_header: Option<String>,
+    line: String,
+    started: bool,
+}
+
+impl<R: BufRead> FastaReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(input: R) -> FastaReader<R> {
+        FastaReader { input, pending_header: None, line: String::new(), started: false }
+    }
+
+    fn read_record(&mut self) -> Result<Option<FastaRecord>, SeqError> {
+        let header = match self.pending_header.take() {
+            Some(h) => h,
+            None => {
+                // Scan for the first header line, skipping leading blanks.
+                loop {
+                    self.line.clear();
+                    if self.input.read_line(&mut self.line)? == 0 {
+                        return Ok(None);
+                    }
+                    let trimmed = self.line.trim_end();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if !trimmed.starts_with('>') {
+                        return Err(SeqError::MissingHeader);
+                    }
+                    break self.line.trim_end().to_string();
+                }
+            }
+        };
+        self.started = true;
+
+        let body = header[1..].trim();
+        let (id, description) = match body.split_once(char::is_whitespace) {
+            Some((id, rest)) => (id.to_string(), rest.trim().to_string()),
+            None => (body.to_string(), String::new()),
+        };
+
+        let mut ascii: Vec<u8> = Vec::new();
+        loop {
+            self.line.clear();
+            if self.input.read_line(&mut self.line)? == 0 {
+                break;
+            }
+            let trimmed = self.line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.starts_with('>') {
+                self.pending_header = Some(trimmed.to_string());
+                break;
+            }
+            ascii.extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+
+        if ascii.is_empty() {
+            return Err(SeqError::EmptyRecord { id });
+        }
+        let seq = DnaSeq::from_ascii(&ascii)?;
+        Ok(Some(FastaRecord { id, description, seq }))
+    }
+}
+
+impl<R: BufRead> Iterator for FastaReader<R> {
+    type Item = Result<FastaRecord, SeqError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
+}
+
+/// FASTA writer with configurable line wrapping.
+pub struct FastaWriter<W: Write> {
+    output: W,
+    line_width: usize,
+}
+
+impl<W: Write> FastaWriter<W> {
+    /// Default 70-column wrapping.
+    pub fn new(output: W) -> FastaWriter<W> {
+        FastaWriter { output, line_width: 70 }
+    }
+
+    /// Custom wrapping width (0 means no wrapping).
+    pub fn with_line_width(output: W, line_width: usize) -> FastaWriter<W> {
+        FastaWriter { output, line_width }
+    }
+
+    /// Write one record.
+    pub fn write_record(&mut self, record: &FastaRecord) -> Result<(), SeqError> {
+        if record.description.is_empty() {
+            writeln!(self.output, ">{}", record.id)?;
+        } else {
+            writeln!(self.output, ">{} {}", record.id, record.description)?;
+        }
+        let ascii = record.seq.to_ascii_vec();
+        if self.line_width == 0 {
+            self.output.write_all(&ascii)?;
+            writeln!(self.output)?;
+        } else {
+            for chunk in ascii.chunks(self.line_width) {
+                self.output.write_all(chunk)?;
+                writeln!(self.output)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush and recover the inner writer.
+    pub fn into_inner(mut self) -> Result<W, SeqError> {
+        self.output.flush()?;
+        Ok(self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(text: &str) -> Result<Vec<FastaRecord>, SeqError> {
+        FastaReader::new(Cursor::new(text)).collect()
+    }
+
+    #[test]
+    fn single_record() {
+        let records = read_all(">seq1 a test\nACGT\nACGT\n").unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, "seq1");
+        assert_eq!(records[0].description, "a test");
+        assert_eq!(records[0].seq.to_ascii_vec(), b"ACGTACGT");
+    }
+
+    #[test]
+    fn multiple_records_and_blank_lines() {
+        let records = read_all("\n>a\nAC\nGT\n\n>b desc here\nNNN\n").unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "a");
+        assert_eq!(records[0].seq.to_ascii_vec(), b"ACGT");
+        assert_eq!(records[1].id, "b");
+        assert_eq!(records[1].description, "desc here");
+        assert_eq!(records[1].seq.to_ascii_vec(), b"NNN");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(matches!(read_all("ACGT\n"), Err(SeqError::MissingHeader)));
+    }
+
+    #[test]
+    fn empty_record_is_an_error() {
+        match read_all(">ghost\n>real\nACGT\n") {
+            Err(SeqError::EmptyRecord { id }) => assert_eq!(id, "ghost"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(read_all("").unwrap().is_empty());
+        assert!(read_all("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_base_surfaces() {
+        assert!(matches!(
+            read_all(">x\nACXT\n"),
+            Err(SeqError::InvalidBase { byte: b'X', .. })
+        ));
+    }
+
+    #[test]
+    fn crlf_input() {
+        let records = read_all(">w desc\r\nACGT\r\nTT\r\n").unwrap();
+        assert_eq!(records[0].seq.to_ascii_vec(), b"ACGTTT");
+        assert_eq!(records[0].description, "desc");
+    }
+
+    #[test]
+    fn writer_wraps_lines() {
+        let record = FastaRecord::new("s", DnaSeq::from_ascii(&[b'A'; 10]).unwrap());
+        let mut writer = FastaWriter::with_line_width(Vec::new(), 4);
+        writer.write_record(&record).unwrap();
+        let text = String::from_utf8(writer.into_inner().unwrap()).unwrap();
+        assert_eq!(text, ">s\nAAAA\nAAAA\nAA\n");
+    }
+
+    #[test]
+    fn writer_no_wrap() {
+        let record = FastaRecord::new("s", DnaSeq::from_ascii(&[b'G'; 5]).unwrap());
+        let mut writer = FastaWriter::with_line_width(Vec::new(), 0);
+        writer.write_record(&record).unwrap();
+        let text = String::from_utf8(writer.into_inner().unwrap()).unwrap();
+        assert_eq!(text, ">s\nGGGGG\n");
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let original = vec![
+            FastaRecord::new("one", DnaSeq::from_ascii(b"ACGTACGTNN").unwrap()),
+            FastaRecord {
+                id: "two".into(),
+                description: "with description".into(),
+                seq: DnaSeq::from_ascii(b"TTTT").unwrap(),
+            },
+        ];
+        let mut writer = FastaWriter::new(Vec::new());
+        for r in &original {
+            writer.write_record(r).unwrap();
+        }
+        let text = writer.into_inner().unwrap();
+        let back: Vec<FastaRecord> =
+            FastaReader::new(Cursor::new(text)).collect::<Result<_, _>>().unwrap();
+        assert_eq!(back, original);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixed-length substring (k-mer) packing.
+//!
+//! The paper's indexing unit is the *interval*: a fixed-length substring of
+//! a sequence. With a four-letter alphabet an interval of length `k ≤ 32`
+//! packs into a `u64` (2 bits per base), so interval identity is integer
+//! equality and the interval vocabulary is at most `4^k`. Both the index
+//! layer (interval extraction) and the alignment heuristics (FASTA k-tuple
+//! and BLAST word lookup) share this representation.
+//!
+//! Extraction runs over *representative bases* (wildcards collapse to a
+//! canonical member of their ambiguity set, as in the packed store), so a
+//! sequence of length `L` yields exactly `L - k + 1` intervals.
+
+use crate::alphabet::Base;
+
+/// Maximum supported interval length (2 bits per base in a `u64`).
+pub const MAX_K: usize = 32;
+
+/// Pack `bases` (length ≤ [`MAX_K`]) into an integer code: the first base
+/// occupies the most significant position, so codes sort lexicographically.
+#[inline]
+pub fn pack_kmer(bases: &[Base]) -> u64 {
+    debug_assert!(bases.len() <= MAX_K);
+    let mut code = 0u64;
+    for &b in bases {
+        code = (code << 2) | b.code() as u64;
+    }
+    code
+}
+
+/// Unpack a code produced by [`pack_kmer`] back into `k` bases.
+pub fn unpack_kmer(code: u64, k: usize) -> Vec<Base> {
+    debug_assert!(k <= MAX_K);
+    (0..k)
+        .rev()
+        .map(|i| Base::from_code((code >> (2 * i)) as u8))
+        .collect()
+}
+
+/// Number of distinct intervals of length `k` (the vocabulary bound `4^k`).
+#[inline]
+pub fn vocabulary_size(k: usize) -> u64 {
+    debug_assert!(k <= MAX_K);
+    if k >= 32 {
+        u64::MAX // 4^32 does not fit; callers treat ≥32 as unbounded
+    } else {
+        1u64 << (2 * k)
+    }
+}
+
+/// Iterator over all overlapping k-mer codes of a base slice, produced by
+/// a rolling update (one shift and mask per position).
+pub struct KmerIter<'a> {
+    bases: &'a [Base],
+    k: usize,
+    mask: u64,
+    /// Code of the window ending just before `next`; valid once primed.
+    code: u64,
+    next: usize,
+}
+
+impl<'a> KmerIter<'a> {
+    /// Iterate over `bases` with window length `k` (1..=[`MAX_K`]).
+    pub fn new(bases: &'a [Base], k: usize) -> KmerIter<'a> {
+        assert!((1..=MAX_K).contains(&k), "k out of range");
+        let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        KmerIter { bases, k, mask, code: 0, next: 0 }
+    }
+}
+
+impl Iterator for KmerIter<'_> {
+    /// `(start_position, packed_code)` for each window.
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        if self.next == 0 {
+            // Prime the first full window.
+            if self.bases.len() < self.k {
+                self.next = usize::MAX; // exhausted
+                return None;
+            }
+            self.code = pack_kmer(&self.bases[..self.k]);
+            self.next = self.k;
+            return Some((0, self.code));
+        }
+        if self.next == usize::MAX || self.next >= self.bases.len() {
+            return None;
+        }
+        self.code = ((self.code << 2) | self.bases[self.next].code() as u64) & self.mask;
+        self.next += 1;
+        Some((self.next - self.k, self.code))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Windows produced so far = next - k + 1 (0 before priming), out
+        // of len - k + 1 total.
+        let remaining = if self.next == usize::MAX {
+            0
+        } else if self.next == 0 {
+            (self.bases.len() + 1).saturating_sub(self.k)
+        } else {
+            self.bases.len() - self.next
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for KmerIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::DnaSeq;
+
+    fn bases(ascii: &[u8]) -> Vec<Base> {
+        DnaSeq::from_ascii(ascii).unwrap().representative_bases()
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for ascii in [&b"A"[..], b"ACGT", b"TTTT", b"GATTACA", b"ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+            let b = bases(ascii);
+            assert_eq!(unpack_kmer(pack_kmer(&b), b.len()), b);
+        }
+    }
+
+    #[test]
+    fn codes_sort_lexicographically() {
+        let a = pack_kmer(&bases(b"AACG"));
+        let b = pack_kmer(&bases(b"AACT"));
+        let c = pack_kmer(&bases(b"CAAA"));
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn known_code() {
+        // A=0, C=1, G=2, T=3; "ACGT" = 0b00_01_10_11 = 0x1B.
+        assert_eq!(pack_kmer(&bases(b"ACGT")), 0x1b);
+    }
+
+    #[test]
+    fn vocabulary_sizes() {
+        assert_eq!(vocabulary_size(1), 4);
+        assert_eq!(vocabulary_size(8), 65_536);
+        assert_eq!(vocabulary_size(12), 16_777_216);
+        assert_eq!(vocabulary_size(0), 1);
+        assert_eq!(vocabulary_size(32), u64::MAX);
+    }
+
+    #[test]
+    fn iterator_matches_naive_extraction() {
+        let b = bases(b"ACGTACGTTGCA");
+        for k in 1..=b.len() {
+            let rolling: Vec<(usize, u64)> = KmerIter::new(&b, k).collect();
+            let naive: Vec<(usize, u64)> =
+                (0..=b.len() - k).map(|i| (i, pack_kmer(&b[i..i + k]))).collect();
+            assert_eq!(rolling, naive, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn short_input_yields_nothing() {
+        let b = bases(b"ACG");
+        assert_eq!(KmerIter::new(&b, 4).count(), 0);
+        assert_eq!(KmerIter::new(&[], 4).count(), 0);
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let b = bases(b"ACGTACGT");
+        let mut iter = KmerIter::new(&b, 3);
+        assert_eq!(iter.len(), 6);
+        iter.next();
+        assert_eq!(iter.len(), 5);
+        for _ in iter.by_ref() {}
+        assert_eq!(iter.len(), 0);
+    }
+
+    #[test]
+    fn k32_window_works() {
+        let b = bases(&[b'G'; 40]);
+        let codes: Vec<(usize, u64)> = KmerIter::new(&b, 32).collect();
+        assert_eq!(codes.len(), 9);
+        // All windows identical: G repeated.
+        let expect = pack_kmer(&b[..32]);
+        assert!(codes.iter().all(|&(_, c)| c == expect));
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn k_zero_rejected() {
+        KmerIter::new(&[], 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # nucdb-seq
+//!
+//! Sequence substrate for the `nucdb` partitioned-search system: the
+//! nucleotide alphabet (including IUPAC wildcard codes), an owned sequence
+//! type, lossless 2-bit *direct coding* compression of nucleotide data
+//! (the scheme the CAFE papers call "direct coding": two bits per base with
+//! an exception list for wildcards, giving compact storage and extremely
+//! fast decompression), FASTA parsing and writing, and deterministic
+//! synthetic collection generation with planted homolog families.
+//!
+//! Everything in this crate is independent of indexing and alignment; the
+//! higher layers (`nucdb-index`, `nucdb-align`, `nucdb`) build on it.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nucdb_seq::{DnaSeq, PackedSeq};
+//!
+//! let seq = DnaSeq::from_ascii(b"ACGTNACGT").unwrap();
+//! let packed = PackedSeq::pack(&seq);
+//! assert_eq!(packed.unpack(), seq);
+//! assert!(packed.packed_bytes() < seq.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod complexity;
+pub mod error;
+pub mod fasta;
+pub mod kmer;
+pub mod pack;
+pub mod random;
+pub mod seq;
+pub mod stats;
+
+pub use alphabet::{Base, IupacCode};
+pub use complexity::DustParams;
+pub use error::SeqError;
+pub use fasta::{FastaReader, FastaRecord, FastaWriter};
+pub use kmer::{pack_kmer, unpack_kmer, KmerIter};
+pub use pack::PackedSeq;
+pub use random::{CollectionSpec, HomologFamily, MutationModel, SyntheticCollection};
+pub use seq::DnaSeq;
+pub use stats::{Composition, SequenceStats};

@@ -1,0 +1,662 @@
+//! Deterministic synthetic nucleotide collections with planted homologs.
+//!
+//! The paper evaluates on GenBank; we cannot ship GenBank, so experiments
+//! run on seeded synthetic collections that reproduce the properties the
+//! algorithms are sensitive to:
+//!
+//! * collection size and per-record length distribution (coarse-search cost
+//!   scales with postings volume; fine-search cost with record length),
+//! * base composition and occasional IUPAC wildcards (exercise the
+//!   direct-coding exception path),
+//! * **planted homolog families**: groups of records that each embed a
+//!   mutated copy of a common parent inside unrelated flanking sequence.
+//!   These are the "similar sequences" a query should retrieve, and because
+//!   we plant them ourselves the ground truth for recall experiments is
+//!   exact — independently of (and cross-checkable against) exhaustive
+//!   Smith-Waterman ranking.
+//!
+//! All generation is driven by a seeded [`StdRng`], so every experiment in
+//! EXPERIMENTS.md is reproducible bit-for-bit.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::alphabet::{Base, IupacCode};
+use crate::seq::DnaSeq;
+
+/// Per-base mutation probabilities used to derive homologs from a parent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationModel {
+    /// Probability that a base is substituted by a different base.
+    pub substitution_rate: f64,
+    /// Probability that a random base is inserted before a position.
+    pub insertion_rate: f64,
+    /// Probability that a base is deleted.
+    pub deletion_rate: f64,
+}
+
+impl MutationModel {
+    /// Substitutions only (no indels).
+    pub fn substitutions(rate: f64) -> MutationModel {
+        MutationModel { substitution_rate: rate, insertion_rate: 0.0, deletion_rate: 0.0 }
+    }
+
+    /// A typical homolog model: mostly substitutions with some indels.
+    pub fn standard(divergence: f64) -> MutationModel {
+        MutationModel {
+            substitution_rate: divergence * 0.8,
+            insertion_rate: divergence * 0.1,
+            deletion_rate: divergence * 0.1,
+        }
+    }
+
+    /// No mutation at all.
+    pub fn identity() -> MutationModel {
+        MutationModel { substitution_rate: 0.0, insertion_rate: 0.0, deletion_rate: 0.0 }
+    }
+
+    /// Apply the model to `seq`, producing a mutated copy.
+    pub fn apply(&self, seq: &DnaSeq, rng: &mut StdRng) -> DnaSeq {
+        let mut out = DnaSeq::with_capacity(seq.len() + seq.len() / 8);
+        for code in seq.iter() {
+            while self.insertion_rate > 0.0 && rng.random_bool(self.insertion_rate) {
+                out.push_base(random_base(rng, 0.5));
+            }
+            if self.deletion_rate > 0.0 && rng.random_bool(self.deletion_rate) {
+                continue;
+            }
+            if self.substitution_rate > 0.0 && rng.random_bool(self.substitution_rate) {
+                out.push_base(substitute(code.representative(), rng));
+            } else {
+                out.push(code);
+            }
+        }
+        out
+    }
+}
+
+/// Draw a base with the given GC content (probability of G or C).
+pub fn random_base(rng: &mut StdRng, gc_content: f64) -> Base {
+    if rng.random_bool(gc_content) {
+        if rng.random_bool(0.5) {
+            Base::G
+        } else {
+            Base::C
+        }
+    } else if rng.random_bool(0.5) {
+        Base::A
+    } else {
+        Base::T
+    }
+}
+
+/// A base different from `original`, uniformly among the other three.
+fn substitute(original: Base, rng: &mut StdRng) -> Base {
+    loop {
+        let candidate = Base::from_code(rng.random_range(0..4u8));
+        if candidate != original {
+            return candidate;
+        }
+    }
+}
+
+/// A random sequence with the given length, GC content and wildcard rate.
+pub fn random_seq(rng: &mut StdRng, len: usize, gc_content: f64, wildcard_rate: f64) -> DnaSeq {
+    let mut seq = DnaSeq::with_capacity(len);
+    for _ in 0..len {
+        if wildcard_rate > 0.0 && rng.random_bool(wildcard_rate) {
+            let wc = IupacCode::WILDCARDS[rng.random_range(0..IupacCode::WILDCARDS.len())];
+            seq.push(wc);
+        } else {
+            seq.push_base(random_base(rng, gc_content));
+        }
+    }
+    seq
+}
+
+/// Replace a stretch of `seq` with a low-complexity repeat: `unit` tiled
+/// across a segment whose length is drawn from `repeat_len` (a synthetic
+/// microsatellite / homopolymer run).
+pub fn splice_repeat(
+    seq: &DnaSeq,
+    unit: &[Base],
+    repeat_len: Range<usize>,
+    rng: &mut StdRng,
+) -> DnaSeq {
+    if seq.is_empty() || unit.is_empty() {
+        return seq.clone();
+    }
+    let seg_len = rng.random_range(repeat_len).min(seq.len());
+    let start = rng.random_range(0..=seq.len() - seg_len);
+    let mut codes = seq.codes().to_vec();
+    for (i, slot) in codes[start..start + seg_len].iter_mut().enumerate() {
+        *slot = IupacCode::from(unit[i % unit.len()]);
+    }
+    DnaSeq::from_codes(codes)
+}
+
+/// Chop `seq` into `block` sized pieces and concatenate them in shuffled
+/// order: preserves interval content almost exactly while destroying any
+/// long common diagonal with the original.
+pub fn shuffle_blocks(seq: &DnaSeq, block: usize, rng: &mut StdRng) -> DnaSeq {
+    let mut blocks: Vec<&[IupacCode]> = seq.codes().chunks(block.max(1)).collect();
+    blocks.shuffle(rng);
+    let mut out = Vec::with_capacity(seq.len());
+    for b in blocks {
+        out.extend_from_slice(b);
+    }
+    DnaSeq::from_codes(out)
+}
+
+/// Specification of a synthetic collection.
+#[derive(Debug, Clone)]
+pub struct CollectionSpec {
+    /// RNG seed; two identical specs generate identical collections.
+    pub seed: u64,
+    /// Number of unrelated background records.
+    pub num_background: usize,
+    /// Uniform length range of background records.
+    pub background_len: Range<usize>,
+    /// Probability that a generated base is G or C.
+    pub gc_content: f64,
+    /// Probability that a position is an IUPAC wildcard.
+    pub wildcard_rate: f64,
+    /// Number of planted homolog families.
+    pub num_families: usize,
+    /// Records per family.
+    pub family_size: usize,
+    /// Uniform length range of each family's parent sequence.
+    pub parent_len: Range<usize>,
+    /// Mutation model deriving each member's embedded copy from the parent.
+    pub mutation: MutationModel,
+    /// Uniform length range of the unrelated flanks around each embedded copy.
+    pub flank_len: Range<usize>,
+    /// Probability that a background record contains a low-complexity
+    /// repeat segment (poly-A runs, microsatellites). Real nucleotide
+    /// collections are full of these; they produce the heavy-tailed
+    /// interval-frequency distribution that index *stopping* targets.
+    pub repeat_prob: f64,
+    /// Uniform length range of a spliced-in repeat segment.
+    pub repeat_len: Range<usize>,
+    /// Number of distinct repeat units the collection shares (repeat
+    /// *families*, like the Alu elements of real genomes): each repeat
+    /// segment tiles one unit drawn from this shared library, so the same
+    /// intervals recur across many records.
+    pub repeat_families: usize,
+    /// Per family, how many *decoy* records to plant: records built from
+    /// the parent's blocks in shuffled order. A decoy shares most of the
+    /// parent's intervals (so hit-counting ranks it like a member) but has
+    /// no long common diagonal (so no good local alignment exists) —
+    /// exactly the case diagonal-structured coarse ranking is built to
+    /// demote.
+    pub decoys_per_family: usize,
+    /// Block length used when shuffling parents into decoys.
+    pub decoy_block: usize,
+}
+
+impl Default for CollectionSpec {
+    fn default() -> CollectionSpec {
+        CollectionSpec {
+            seed: 42,
+            num_background: 200,
+            background_len: 400..2000,
+            gc_content: 0.5,
+            wildcard_rate: 0.0005,
+            num_families: 8,
+            family_size: 5,
+            parent_len: 300..600,
+            mutation: MutationModel::standard(0.10),
+            flank_len: 100..400,
+            repeat_prob: 0.0,
+            repeat_len: 50..300,
+            repeat_families: 3,
+            decoys_per_family: 0,
+            decoy_block: 25,
+        }
+    }
+}
+
+impl CollectionSpec {
+    /// A small spec for fast unit tests.
+    pub fn tiny(seed: u64) -> CollectionSpec {
+        CollectionSpec {
+            seed,
+            num_background: 20,
+            background_len: 100..300,
+            num_families: 3,
+            family_size: 3,
+            parent_len: 80..160,
+            flank_len: 20..60,
+            ..CollectionSpec::default()
+        }
+    }
+
+    /// Scale `num_background` so the collection totals roughly
+    /// `total_bases` bases (planted families included in the estimate).
+    pub fn sized(seed: u64, total_bases: usize) -> CollectionSpec {
+        let spec = CollectionSpec { seed, ..CollectionSpec::default() };
+        let mean_bg = (spec.background_len.start + spec.background_len.end) / 2;
+        let mean_member = (spec.parent_len.start + spec.parent_len.end) / 2
+            + spec.flank_len.start
+            + spec.flank_len.end;
+        let family_bases = spec.num_families * spec.family_size * mean_member;
+        let remaining = total_bases.saturating_sub(family_bases);
+        CollectionSpec { num_background: (remaining / mean_bg).max(1), ..spec }
+    }
+}
+
+/// A planted homolog family: the parent sequence plus where each derived
+/// member ended up in the shuffled collection.
+#[derive(Debug, Clone)]
+pub struct HomologFamily {
+    /// The common ancestor all members embed (in mutated form).
+    pub parent: DnaSeq,
+    /// Indices (record ids) of the member records within the collection.
+    pub member_ids: Vec<u32>,
+    /// For each member, the half-open range of the embedded homologous
+    /// region inside that record.
+    pub embedded_ranges: Vec<Range<usize>>,
+    /// Indices of the family's decoy records (shuffled-block impostors;
+    /// empty unless [`CollectionSpec::decoys_per_family`] is set).
+    pub decoy_ids: Vec<u32>,
+}
+
+/// One generated record: an id string and its sequence.
+#[derive(Debug, Clone)]
+pub struct GeneratedRecord {
+    /// Synthetic identifier, e.g. `bg000017` or `fam02m1`.
+    pub id: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+}
+
+/// A generated collection with exact planted ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticCollection {
+    /// All records, shuffled so family members are scattered.
+    pub records: Vec<GeneratedRecord>,
+    /// The planted families, with member ids resolved post-shuffle.
+    pub families: Vec<HomologFamily>,
+    /// The shared repeat-unit library records' repeat segments tile
+    /// (present even when `repeat_prob` is 0, in which case it is unused).
+    pub repeat_units: Vec<Vec<Base>>,
+    /// Seed the collection was generated from.
+    pub seed: u64,
+}
+
+impl SyntheticCollection {
+    /// Generate a collection from a spec. Deterministic in `spec.seed`.
+    pub fn generate(spec: &CollectionSpec) -> SyntheticCollection {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        // Tag: None = background; Some((family, Some(range))) = member
+        // with its embedded region; Some((family, None)) = decoy.
+        type Tag = Option<(usize, Option<Range<usize>>)>;
+        let mut tagged: Vec<(Tag, GeneratedRecord)> = Vec::new();
+
+        // The collection's shared repeat-unit library (microsatellite
+        // motifs and homopolymer runs).
+        let repeat_units: Vec<Vec<Base>> = (0..spec.repeat_families.max(1))
+            .map(|_| {
+                let unit_len = rng.random_range(1..=6usize);
+                (0..unit_len).map(|_| random_base(&mut rng, 0.5)).collect()
+            })
+            .collect();
+
+        for i in 0..spec.num_background {
+            let len = rng.random_range(spec.background_len.clone());
+            let mut seq = random_seq(&mut rng, len, spec.gc_content, spec.wildcard_rate);
+            if spec.repeat_prob > 0.0 && rng.random_bool(spec.repeat_prob) {
+                let unit = &repeat_units[rng.random_range(0..repeat_units.len())];
+                seq = splice_repeat(&seq, unit, spec.repeat_len.clone(), &mut rng);
+            }
+            tagged.push((None, GeneratedRecord { id: format!("bg{i:06}"), seq }));
+        }
+
+        // Tag meaning: (family, Some(range)) = member with its embedded
+        // region; (family, None) = decoy.
+        let mut parents = Vec::with_capacity(spec.num_families);
+        for f in 0..spec.num_families {
+            let parent_len = rng.random_range(spec.parent_len.clone());
+            let parent = random_seq(&mut rng, parent_len, spec.gc_content, 0.0);
+            for m in 0..spec.family_size {
+                let core = spec.mutation.apply(&parent, &mut rng);
+                let left = rng.random_range(spec.flank_len.clone());
+                let right = rng.random_range(spec.flank_len.clone());
+                let mut seq = random_seq(&mut rng, left, spec.gc_content, spec.wildcard_rate);
+                let start = seq.len();
+                seq.extend_from(&core);
+                let end = seq.len();
+                let flank = random_seq(&mut rng, right, spec.gc_content, spec.wildcard_rate);
+                seq.extend_from(&flank);
+                tagged.push((
+                    Some((f, Some(start..end))),
+                    GeneratedRecord { id: format!("fam{f:02}m{m}"), seq },
+                ));
+            }
+            for d in 0..spec.decoys_per_family {
+                let shuffled = shuffle_blocks(&parent, spec.decoy_block.max(1), &mut rng);
+                let left = rng.random_range(spec.flank_len.clone());
+                let right = rng.random_range(spec.flank_len.clone());
+                let mut seq = random_seq(&mut rng, left, spec.gc_content, spec.wildcard_rate);
+                seq.extend_from(&shuffled);
+                let flank = random_seq(&mut rng, right, spec.gc_content, spec.wildcard_rate);
+                seq.extend_from(&flank);
+                tagged.push((
+                    Some((f, None)),
+                    GeneratedRecord { id: format!("dec{f:02}d{d}"), seq },
+                ));
+            }
+            parents.push(parent);
+        }
+
+        tagged.shuffle(&mut rng);
+
+        let mut families: Vec<HomologFamily> = parents
+            .into_iter()
+            .map(|parent| HomologFamily {
+                parent,
+                member_ids: Vec::with_capacity(spec.family_size),
+                embedded_ranges: Vec::with_capacity(spec.family_size),
+                decoy_ids: Vec::with_capacity(spec.decoys_per_family),
+            })
+            .collect();
+
+        let mut records = Vec::with_capacity(tagged.len());
+        for (idx, (tag, record)) in tagged.into_iter().enumerate() {
+            match tag {
+                Some((f, Some(range))) => {
+                    families[f].member_ids.push(idx as u32);
+                    families[f].embedded_ranges.push(range);
+                }
+                Some((f, None)) => families[f].decoy_ids.push(idx as u32),
+                None => {}
+            }
+            records.push(record);
+        }
+
+        SyntheticCollection { records, families, repeat_units, seed: spec.seed }
+    }
+
+    /// Total bases across all records.
+    pub fn total_bases(&self) -> usize {
+        self.records.iter().map(|r| r.seq.len()).sum()
+    }
+
+    /// Derive a query for family `f`: a mutated fragment of the parent,
+    /// `frac` of its length, generated deterministically from the
+    /// collection seed and `f`.
+    pub fn query_for_family(&self, f: usize, frac: f64, model: &MutationModel) -> DnaSeq {
+        let parent = &self.families[f].parent;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15 ^ f as u64);
+        let take = ((parent.len() as f64 * frac) as usize).clamp(1, parent.len());
+        let start = if take == parent.len() {
+            0
+        } else {
+            rng.random_range(0..parent.len() - take)
+        };
+        model.apply(&parent.subseq(start..start + take), &mut rng)
+    }
+
+    /// A query unrelated to every planted family (background noise).
+    pub fn random_query(&self, len: usize) -> DnaSeq {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5851_f42d_4c95_7f2d);
+        random_seq(&mut rng, len, 0.5, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CollectionSpec::tiny(7);
+        let a = SyntheticCollection::generate(&spec);
+        let b = SyntheticCollection::generate(&spec);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.seq, y.seq);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticCollection::generate(&CollectionSpec::tiny(1));
+        let b = SyntheticCollection::generate(&CollectionSpec::tiny(2));
+        let differs = a
+            .records
+            .iter()
+            .zip(&b.records)
+            .any(|(x, y)| x.seq != y.seq);
+        assert!(differs);
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = CollectionSpec::tiny(3);
+        let coll = SyntheticCollection::generate(&spec);
+        assert_eq!(
+            coll.records.len(),
+            spec.num_background + spec.num_families * spec.family_size
+        );
+        assert_eq!(coll.families.len(), spec.num_families);
+        for family in &coll.families {
+            assert_eq!(family.member_ids.len(), spec.family_size);
+            assert_eq!(family.embedded_ranges.len(), spec.family_size);
+        }
+    }
+
+    #[test]
+    fn member_ids_point_at_family_records() {
+        let coll = SyntheticCollection::generate(&CollectionSpec::tiny(11));
+        for (f, family) in coll.families.iter().enumerate() {
+            for (&id, range) in family.member_ids.iter().zip(&family.embedded_ranges) {
+                let record = &coll.records[id as usize];
+                assert!(record.id.starts_with(&format!("fam{f:02}")), "{}", record.id);
+                assert!(range.end <= record.seq.len());
+                assert!(range.end - range.start > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_region_resembles_parent() {
+        // With 10% divergence, the embedded copy should agree with the
+        // parent on the vast majority of positions (identity-aligned
+        // prefix check is a weak proxy that tolerates indels by sampling
+        // only the prefix before the first length drift).
+        let spec = CollectionSpec {
+            mutation: MutationModel::substitutions(0.05),
+            ..CollectionSpec::tiny(13)
+        };
+        let coll = SyntheticCollection::generate(&spec);
+        let family = &coll.families[0];
+        let record = &coll.records[family.member_ids[0] as usize];
+        let range = family.embedded_ranges[0].clone();
+        let embedded = record.seq.subseq(range);
+        assert_eq!(embedded.len(), family.parent.len()); // substitutions only
+        let agree = embedded
+            .iter()
+            .zip(family.parent.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree as f64 / family.parent.len() as f64 > 0.85,
+            "only {agree}/{} positions agree",
+            family.parent.len()
+        );
+    }
+
+    #[test]
+    fn mutation_identity_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq = random_seq(&mut rng, 500, 0.5, 0.01);
+        let same = MutationModel::identity().apply(&seq, &mut rng);
+        assert_eq!(same, seq);
+    }
+
+    #[test]
+    fn substitution_rate_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let seq = random_seq(&mut rng, 20_000, 0.5, 0.0);
+        let mutated = MutationModel::substitutions(0.2).apply(&seq, &mut rng);
+        assert_eq!(mutated.len(), seq.len());
+        let diff = seq.iter().zip(mutated.iter()).filter(|(a, b)| a != b).count();
+        let rate = diff as f64 / seq.len() as f64;
+        assert!((0.15..0.25).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn indels_change_length() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq = random_seq(&mut rng, 5_000, 0.5, 0.0);
+        let model =
+            MutationModel { substitution_rate: 0.0, insertion_rate: 0.1, deletion_rate: 0.0 };
+        let longer = model.apply(&seq, &mut rng);
+        assert!(longer.len() > seq.len());
+        let model =
+            MutationModel { substitution_rate: 0.0, insertion_rate: 0.0, deletion_rate: 0.1 };
+        let shorter = model.apply(&seq, &mut rng);
+        assert!(shorter.len() < seq.len());
+    }
+
+    #[test]
+    fn gc_content_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let seq = random_seq(&mut rng, 50_000, 0.7, 0.0);
+        let gc = seq
+            .iter()
+            .filter(|c| {
+                let b = c.representative();
+                b == Base::G || b == Base::C
+            })
+            .count();
+        let rate = gc as f64 / seq.len() as f64;
+        assert!((0.67..0.73).contains(&rate), "observed GC {rate}");
+    }
+
+    #[test]
+    fn wildcard_rate_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let seq = random_seq(&mut rng, 100_000, 0.5, 0.01);
+        let rate = seq.wildcard_count() as f64 / seq.len() as f64;
+        assert!((0.005..0.02).contains(&rate), "observed wildcard rate {rate}");
+    }
+
+    #[test]
+    fn sized_spec_hits_target_roughly() {
+        let spec = CollectionSpec::sized(1, 1_000_000);
+        let coll = SyntheticCollection::generate(&spec);
+        let total = coll.total_bases() as f64;
+        assert!(
+            (0.8..1.2).contains(&(total / 1_000_000.0)),
+            "total bases {total}"
+        );
+    }
+
+    #[test]
+    fn splice_repeat_tiles_a_unit() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let seq = random_seq(&mut rng, 500, 0.5, 0.0);
+        let unit = [Base::A, Base::C, Base::T];
+        let with_repeat = splice_repeat(&seq, &unit, 100..101, &mut rng);
+        assert_eq!(with_repeat.len(), seq.len());
+        // Some 100-base window must tile the unit with period 3.
+        let codes = with_repeat.codes();
+        let found = (0..codes.len() - 100).any(|start| {
+            (start..start + 97).all(|i| codes[i] == codes[i + 3])
+                && codes[start].representative() != codes[start + 1].representative()
+        });
+        assert!(found, "no period-3 segment found");
+    }
+
+    #[test]
+    fn splice_repeat_on_empty_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = DnaSeq::new();
+        assert_eq!(splice_repeat(&empty, &[Base::A], 10..20, &mut rng), empty);
+        let seq = random_seq(&mut rng, 50, 0.5, 0.0);
+        assert_eq!(splice_repeat(&seq, &[], 10..20, &mut rng), seq);
+    }
+
+    #[test]
+    fn repeats_skew_interval_frequencies() {
+        // With repeats enabled, the most frequent 8-mer should occur in a
+        // large share of records; without, document frequency stays flat.
+        use crate::kmer::KmerIter;
+        use std::collections::HashMap;
+        let df_of_most_common = |spec: &CollectionSpec| -> f64 {
+            let coll = SyntheticCollection::generate(spec);
+            let mut dfs: HashMap<u64, u32> = HashMap::new();
+            for record in &coll.records {
+                let bases = record.seq.representative_bases();
+                let mut seen: Vec<u64> = KmerIter::new(&bases, 8).map(|(_, c)| c).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                for code in seen {
+                    *dfs.entry(code).or_insert(0) += 1;
+                }
+            }
+            *dfs.values().max().unwrap() as f64 / coll.records.len() as f64
+        };
+        let plain = CollectionSpec { num_background: 100, ..CollectionSpec::tiny(55) };
+        let repeaty = CollectionSpec { repeat_prob: 0.5, ..plain.clone() };
+        let plain_df = df_of_most_common(&plain);
+        let repeat_df = df_of_most_common(&repeaty);
+        assert!(
+            repeat_df > plain_df * 2.0,
+            "repeats did not skew dfs: {repeat_df} vs {plain_df}"
+        );
+    }
+
+    #[test]
+    fn shuffle_blocks_preserves_content() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let seq = random_seq(&mut rng, 300, 0.5, 0.0);
+        let shuffled = shuffle_blocks(&seq, 25, &mut rng);
+        assert_eq!(shuffled.len(), seq.len());
+        // Same multiset of codes.
+        let mut a = seq.codes().to_vec();
+        let mut b = shuffled.codes().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // But not the same sequence (overwhelmingly likely with 12 blocks).
+        assert_ne!(shuffled, seq);
+    }
+
+    #[test]
+    fn decoys_are_planted_and_tracked() {
+        let spec = CollectionSpec { decoys_per_family: 2, ..CollectionSpec::tiny(66) };
+        let coll = SyntheticCollection::generate(&spec);
+        assert_eq!(
+            coll.records.len(),
+            spec.num_background + spec.num_families * (spec.family_size + 2)
+        );
+        for (f, family) in coll.families.iter().enumerate() {
+            assert_eq!(family.decoy_ids.len(), 2);
+            for &d in &family.decoy_ids {
+                let record = &coll.records[d as usize];
+                assert!(record.id.starts_with(&format!("dec{f:02}")), "{}", record.id);
+                // The decoy contains the parent's bases (flanks aside):
+                // it must be at least as long as the parent.
+                assert!(record.seq.len() >= family.parent.len());
+            }
+        }
+    }
+
+    #[test]
+    fn family_query_is_deterministic_and_sized() {
+        let coll = SyntheticCollection::generate(&CollectionSpec::tiny(31));
+        let q1 = coll.query_for_family(0, 0.5, &MutationModel::substitutions(0.05));
+        let q2 = coll.query_for_family(0, 0.5, &MutationModel::substitutions(0.05));
+        assert_eq!(q1, q2);
+        let parent_len = coll.families[0].parent.len();
+        assert!(q1.len() >= parent_len / 2 - parent_len / 10);
+    }
+}

@@ -1,0 +1,261 @@
+//! The owned DNA sequence type used throughout the system.
+
+use crate::alphabet::{Base, IupacCode};
+use crate::error::SeqError;
+
+/// An owned nucleotide sequence over the IUPAC alphabet.
+///
+/// The in-memory working representation is one [`IupacCode`] per position;
+/// the compact storage representation lives in [`crate::pack::PackedSeq`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaSeq {
+    codes: Vec<IupacCode>,
+}
+
+impl DnaSeq {
+    /// An empty sequence.
+    pub fn new() -> DnaSeq {
+        DnaSeq { codes: Vec::new() }
+    }
+
+    /// An empty sequence with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> DnaSeq {
+        DnaSeq { codes: Vec::with_capacity(capacity) }
+    }
+
+    /// Parse from ASCII. Case-insensitive; accepts the 15 IUPAC codes and
+    /// `U` (read as `T`). Whitespace is *not* accepted here — FASTA line
+    /// handling belongs to [`crate::fasta`].
+    pub fn from_ascii(ascii: &[u8]) -> Result<DnaSeq, SeqError> {
+        let mut codes = Vec::with_capacity(ascii.len());
+        for (position, &byte) in ascii.iter().enumerate() {
+            codes.push(IupacCode::try_from_ascii(byte, position)?);
+        }
+        Ok(DnaSeq { codes })
+    }
+
+    /// Build from a slice of plain bases.
+    pub fn from_bases(bases: &[Base]) -> DnaSeq {
+        DnaSeq { codes: bases.iter().map(|&b| IupacCode::from(b)).collect() }
+    }
+
+    /// Build from IUPAC codes.
+    pub fn from_codes(codes: Vec<IupacCode>) -> DnaSeq {
+        DnaSeq { codes }
+    }
+
+    /// Sequence length in bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Is the sequence empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The IUPAC codes of the sequence.
+    #[inline]
+    pub fn codes(&self) -> &[IupacCode] {
+        &self.codes
+    }
+
+    /// The code at `index`.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<IupacCode> {
+        self.codes.get(index).copied()
+    }
+
+    /// Append a code.
+    #[inline]
+    pub fn push(&mut self, code: IupacCode) {
+        self.codes.push(code);
+    }
+
+    /// Append a plain base.
+    #[inline]
+    pub fn push_base(&mut self, base: Base) {
+        self.codes.push(IupacCode::from(base));
+    }
+
+    /// Upper-case ASCII rendering of the sequence.
+    pub fn to_ascii_vec(&self) -> Vec<u8> {
+        self.codes.iter().map(|c| c.to_ascii()).collect()
+    }
+
+    /// The sequence as representative plain bases (wildcards collapse to
+    /// their canonical representative — see [`IupacCode::representative`]).
+    /// This is the view the interval extractor in the index layer uses, and
+    /// it matches the behaviour of the packed 2-bit payload.
+    pub fn representative_bases(&self) -> Vec<Base> {
+        self.codes.iter().map(|c| c.representative()).collect()
+    }
+
+    /// Number of wildcard positions.
+    pub fn wildcard_count(&self) -> usize {
+        self.codes.iter().filter(|c| c.is_wildcard()).count()
+    }
+
+    /// A copy of positions `range.start..range.end`.
+    pub fn subseq(&self, range: std::ops::Range<usize>) -> DnaSeq {
+        DnaSeq { codes: self.codes[range].to_vec() }
+    }
+
+    /// The reverse complement of the sequence (IUPAC-aware).
+    pub fn reverse_complement(&self) -> DnaSeq {
+        DnaSeq { codes: self.codes.iter().rev().map(|c| c.complement()).collect() }
+    }
+
+    /// Concatenate `other` onto the end of this sequence.
+    pub fn extend_from(&mut self, other: &DnaSeq) {
+        self.codes.extend_from_slice(&other.codes);
+    }
+
+    /// Iterate over the codes.
+    pub fn iter(&self) -> impl Iterator<Item = IupacCode> + '_ {
+        self.codes.iter().copied()
+    }
+}
+
+impl std::ops::Index<usize> for DnaSeq {
+    type Output = IupacCode;
+
+    #[inline]
+    fn index(&self, index: usize) -> &IupacCode {
+        &self.codes[index]
+    }
+}
+
+impl std::fmt::Display for DnaSeq {
+    /// Renders as upper-case ASCII; long sequences are elided in the middle.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const HEAD: usize = 32;
+        if self.len() <= 2 * HEAD {
+            for code in &self.codes {
+                write!(f, "{code}")?;
+            }
+        } else {
+            for code in &self.codes[..HEAD] {
+                write!(f, "{code}")?;
+            }
+            write!(f, "...[{} bases]...", self.len() - 2 * HEAD)?;
+            for code in &self.codes[self.len() - HEAD..] {
+                write!(f, "{code}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Base> for DnaSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> DnaSeq {
+        DnaSeq { codes: iter.into_iter().map(IupacCode::from).collect() }
+    }
+}
+
+impl FromIterator<IupacCode> for DnaSeq {
+    fn from_iter<I: IntoIterator<Item = IupacCode>>(iter: I) -> DnaSeq {
+        DnaSeq { codes: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trip() {
+        let seq = DnaSeq::from_ascii(b"ACGTNRYacgt").unwrap();
+        assert_eq!(seq.len(), 11);
+        assert_eq!(seq.to_ascii_vec(), b"ACGTNRYACGT");
+    }
+
+    #[test]
+    fn invalid_ascii_reports_position() {
+        match DnaSeq::from_ascii(b"ACGTXACGT") {
+            Err(SeqError::InvalidBase { byte: b'X', position: 4 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let seq = DnaSeq::from_ascii(b"").unwrap();
+        assert!(seq.is_empty());
+        assert_eq!(seq.len(), 0);
+        assert_eq!(seq.reverse_complement(), seq);
+    }
+
+    #[test]
+    fn reverse_complement_simple() {
+        let seq = DnaSeq::from_ascii(b"AACGT").unwrap();
+        assert_eq!(seq.reverse_complement().to_ascii_vec(), b"ACGTT");
+    }
+
+    #[test]
+    fn reverse_complement_involutive() {
+        let seq = DnaSeq::from_ascii(b"ACGTNRSWKMBDHVY").unwrap();
+        assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn reverse_complement_iupac() {
+        // R (A/G) complements to Y (C/T).
+        let seq = DnaSeq::from_ascii(b"RN").unwrap();
+        assert_eq!(seq.reverse_complement().to_ascii_vec(), b"NY");
+    }
+
+    #[test]
+    fn subseq_extracts_range() {
+        let seq = DnaSeq::from_ascii(b"ACGTACGT").unwrap();
+        assert_eq!(seq.subseq(2..6).to_ascii_vec(), b"GTAC");
+    }
+
+    #[test]
+    fn wildcard_count() {
+        let seq = DnaSeq::from_ascii(b"ACGTNANRT").unwrap();
+        assert_eq!(seq.wildcard_count(), 3);
+    }
+
+    #[test]
+    fn representative_bases_length_preserved() {
+        let seq = DnaSeq::from_ascii(b"ACGTN").unwrap();
+        let bases = seq.representative_bases();
+        assert_eq!(bases.len(), 5);
+        assert_eq!(bases[0], Base::A);
+        assert_eq!(bases[4], IupacCode::N.representative());
+    }
+
+    #[test]
+    fn display_short_and_elided() {
+        let short = DnaSeq::from_ascii(b"ACGT").unwrap();
+        assert_eq!(short.to_string(), "ACGT");
+        let long = DnaSeq::from_bases(&[Base::A; 200]);
+        let shown = long.to_string();
+        assert!(shown.contains("[136 bases]"), "{shown}");
+    }
+
+    #[test]
+    fn from_iterators() {
+        let from_bases: DnaSeq = [Base::A, Base::C].into_iter().collect();
+        assert_eq!(from_bases.to_ascii_vec(), b"AC");
+        let from_codes: DnaSeq = [IupacCode::N, IupacCode::G].into_iter().collect();
+        assert_eq!(from_codes.to_ascii_vec(), b"NG");
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = DnaSeq::from_ascii(b"AC").unwrap();
+        let b = DnaSeq::from_ascii(b"GT").unwrap();
+        a.extend_from(&b);
+        assert_eq!(a.to_ascii_vec(), b"ACGT");
+    }
+
+    #[test]
+    fn index_operator() {
+        let seq = DnaSeq::from_ascii(b"ACGT").unwrap();
+        assert_eq!(seq[2], IupacCode::G);
+    }
+}

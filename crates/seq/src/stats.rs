@@ -1,0 +1,150 @@
+//! Composition and collection statistics.
+//!
+//! The index layer needs collection statistics (record count, total bases)
+//! to size accumulators and to choose the Golomb parameter for postings
+//! compression; the experiment harnesses report them alongside results.
+
+use crate::alphabet::Base;
+use crate::seq::DnaSeq;
+
+/// Base composition of a single sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Composition {
+    /// Counts of the four bases (by representative for wildcards).
+    pub counts: [usize; 4],
+    /// Number of wildcard positions.
+    pub wildcards: usize,
+}
+
+impl Composition {
+    /// Measure a sequence.
+    pub fn of(seq: &DnaSeq) -> Composition {
+        let mut comp = Composition::default();
+        for code in seq.iter() {
+            comp.counts[code.representative().code() as usize] += 1;
+            if code.is_wildcard() {
+                comp.wildcards += 1;
+            }
+        }
+        comp
+    }
+
+    /// Total length.
+    pub fn len(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// True if no bases counted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of G+C (0.0 for the empty sequence).
+    pub fn gc_fraction(&self) -> f64 {
+        let len = self.len();
+        if len == 0 {
+            return 0.0;
+        }
+        let gc = self.counts[Base::G.code() as usize] + self.counts[Base::C.code() as usize];
+        gc as f64 / len as f64
+    }
+}
+
+/// Aggregate statistics over a collection of sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SequenceStats {
+    /// Number of records.
+    pub records: usize,
+    /// Total bases over all records.
+    pub total_bases: usize,
+    /// Shortest record length (0 if there are no records).
+    pub min_len: usize,
+    /// Longest record length.
+    pub max_len: usize,
+    /// Total wildcard positions.
+    pub wildcards: usize,
+}
+
+impl SequenceStats {
+    /// Accumulate one record.
+    pub fn add(&mut self, seq: &DnaSeq) {
+        let len = seq.len();
+        if self.records == 0 {
+            self.min_len = len;
+            self.max_len = len;
+        } else {
+            self.min_len = self.min_len.min(len);
+            self.max_len = self.max_len.max(len);
+        }
+        self.records += 1;
+        self.total_bases += len;
+        self.wildcards += seq.wildcard_count();
+    }
+
+    /// Measure a whole collection.
+    pub fn of<'a>(seqs: impl IntoIterator<Item = &'a DnaSeq>) -> SequenceStats {
+        let mut stats = SequenceStats::default();
+        for seq in seqs {
+            stats.add(seq);
+        }
+        stats
+    }
+
+    /// Mean record length (0.0 if there are no records).
+    pub fn mean_len(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.total_bases as f64 / self.records as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_counts() {
+        let seq = DnaSeq::from_ascii(b"AACCCGN").unwrap();
+        let comp = Composition::of(&seq);
+        assert_eq!(comp.counts[Base::A.code() as usize], 3); // N represents as A
+        assert_eq!(comp.counts[Base::C.code() as usize], 3);
+        assert_eq!(comp.counts[Base::G.code() as usize], 1);
+        assert_eq!(comp.counts[Base::T.code() as usize], 0);
+        assert_eq!(comp.wildcards, 1);
+        assert_eq!(comp.len(), 7);
+    }
+
+    #[test]
+    fn gc_fraction() {
+        let comp = Composition::of(&DnaSeq::from_ascii(b"GGCC").unwrap());
+        assert!((comp.gc_fraction() - 1.0).abs() < 1e-12);
+        let comp = Composition::of(&DnaSeq::from_ascii(b"ATGC").unwrap());
+        assert!((comp.gc_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(Composition::default().gc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let seqs = [
+            DnaSeq::from_ascii(b"ACGT").unwrap(),
+            DnaSeq::from_ascii(b"AANAA").unwrap(),
+            DnaSeq::from_ascii(b"GG").unwrap(),
+        ];
+        let stats = SequenceStats::of(seqs.iter());
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.total_bases, 11);
+        assert_eq!(stats.min_len, 2);
+        assert_eq!(stats.max_len, 5);
+        assert_eq!(stats.wildcards, 1);
+        assert!((stats.mean_len() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = SequenceStats::default();
+        assert_eq!(stats.mean_len(), 0.0);
+        assert_eq!(stats.min_len, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the sequence substrate: parser robustness, packing
+//! round trips, and generator invariants.
+
+use std::io::Cursor;
+
+use nucdb_seq::{DnaSeq, FastaReader, FastaRecord, FastaWriter, PackedSeq};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fasta_reader_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // Arbitrary (possibly non-UTF-8, possibly malformed) input must
+        // produce records or errors, never a panic.
+        let reader = FastaReader::new(Cursor::new(bytes));
+        for record in reader.take(64) {
+            let _ = record;
+        }
+    }
+
+    #[test]
+    fn fasta_round_trips_valid_records(
+        ids in prop::collection::vec("[A-Za-z0-9_.-]{1,12}", 1..6),
+        seqs in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(b"ACGTRYSWKMBDHVN".to_vec()), 1..120),
+            1..6,
+        ),
+        width in prop::sample::select(vec![0usize, 1, 7, 60, 1000]),
+    ) {
+        let n = ids.len().min(seqs.len());
+        let records: Vec<FastaRecord> = (0..n)
+            .map(|i| FastaRecord::new(ids[i].clone(), DnaSeq::from_ascii(&seqs[i]).unwrap()))
+            .collect();
+        let mut writer = FastaWriter::with_line_width(Vec::new(), width);
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        let text = writer.into_inner().unwrap();
+        let back: Vec<FastaRecord> =
+            FastaReader::new(Cursor::new(text)).collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn packed_from_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = PackedSeq::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn pack_round_trip_arbitrary_iupac(
+        ascii in prop::collection::vec(prop::sample::select(b"ACGTRYSWKMBDHVNacgtn".to_vec()), 0..500),
+    ) {
+        let seq = DnaSeq::from_ascii(&ascii).unwrap();
+        let packed = PackedSeq::pack(&seq);
+        prop_assert_eq!(packed.unpack(), seq.clone());
+        let reparsed = PackedSeq::from_bytes(&packed.to_bytes()).unwrap();
+        prop_assert_eq!(reparsed.unpack(), seq);
+    }
+
+    #[test]
+    fn reverse_complement_involution(
+        ascii in prop::collection::vec(prop::sample::select(b"ACGTRYSWKMBDHVN".to_vec()), 0..300),
+    ) {
+        let seq = DnaSeq::from_ascii(&ascii).unwrap();
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn kmer_count_formula(
+        ascii in prop::collection::vec(prop::sample::select(b"ACGT".to_vec()), 0..200),
+        k in 1usize..16,
+    ) {
+        let bases = DnaSeq::from_ascii(&ascii).unwrap().representative_bases();
+        let count = nucdb_seq::KmerIter::new(&bases, k).count();
+        let expect = (bases.len() + 1).saturating_sub(k);
+        prop_assert_eq!(count, expect);
+    }
+}

@@ -1,0 +1,86 @@
+//! A GenBank-style workflow: write a collection to FASTA, stream it back
+//! in, build a database, and answer a batch of homology queries with
+//! reported alignments — the scenario the paper's introduction motivates
+//! (a biologist submitting new sequences against a growing archive).
+//!
+//! ```sh
+//! cargo run --release -p nucdb --example genbank_style_search
+//! ```
+
+use std::io::{BufReader, Cursor};
+
+use nucdb::{Database, DbConfig, FineMode, SearchParams};
+use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
+use nucdb_seq::{FastaReader, FastaRecord, FastaWriter};
+
+fn main() {
+    // --- Produce a FASTA archive (stand-in for a GenBank download). ---
+    let spec = CollectionSpec {
+        seed: 77,
+        num_background: 250,
+        num_families: 5,
+        family_size: 4,
+        wildcard_rate: 0.001, // occasional Ns, as real submissions have
+        ..CollectionSpec::default()
+    };
+    let coll = SyntheticCollection::generate(&spec);
+
+    let mut writer = FastaWriter::new(Vec::new());
+    for record in &coll.records {
+        writer
+            .write_record(&FastaRecord::new(record.id.clone(), record.seq.clone()))
+            .expect("in-memory write cannot fail");
+    }
+    let fasta_bytes = writer.into_inner().unwrap();
+    println!("FASTA archive: {} bytes, {} records", fasta_bytes.len(), coll.records.len());
+
+    // --- Stream the archive back in and build the database. ---
+    let reader = FastaReader::new(BufReader::new(Cursor::new(fasta_bytes)));
+    let records = reader.map(|r| {
+        let r = r.expect("archive is well-formed");
+        (r.id, r.seq)
+    });
+    let db = Database::build(records, &DbConfig::default());
+    println!(
+        "database: {} records, store {} bytes (direct-coded)",
+        db.len(),
+        db.store().stored_bytes()
+    );
+
+    // --- A batch of queries: one per family, plus an unrelated control. ---
+    let params = SearchParams::default().with_fine(FineMode::FullWithTraceback);
+    for family in 0..coll.families.len() {
+        let query = coll.query_for_family(family, 0.5, &MutationModel::standard(0.08));
+        let outcome = db.search(&query, &params).unwrap();
+        println!("\nquery fam{family:02} ({} bases): {} answers", query.len(), outcome.results.len());
+        for result in outcome.results.iter().take(3) {
+            let alignment = result.alignment.as_ref().unwrap();
+            println!(
+                "  {:<10} score {:>5}  identity {:>5.1}%  q[{}..{}] x t[{}..{}]  {}",
+                result.id,
+                result.score,
+                alignment.identity() * 100.0,
+                alignment.query_range.start,
+                alignment.query_range.end,
+                alignment.target_range.start,
+                alignment.target_range.end,
+                truncate(&alignment.cigar_string(), 40),
+            );
+        }
+    }
+
+    let control = coll.random_query(600);
+    let outcome = db.search(&control, &params).unwrap();
+    println!(
+        "\nunrelated control query: {} answers above threshold (expect few/none)",
+        outcome.results.len()
+    );
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max])
+    }
+}
