@@ -1,9 +1,13 @@
 //! Criterion micro-benchmarks for end-to-end query evaluation: the
 //! partitioned pipeline (and its two stages separately) on a 1 MB
-//! database.
+//! database, plus the scratch-reusing coarse stage against the in-memory
+//! and on-disk index backends at query strides 1 and 4.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nucdb::{coarse_rank, DbConfig, IndexVariant, RankingScheme, SearchParams};
+use nucdb::{
+    coarse_rank, coarse_rank_with, CoarseScratch, DbConfig, IndexVariant, RankingScheme,
+    SearchParams,
+};
 use nucdb_bench::{collection, database, family_queries};
 
 fn bench_search(c: &mut Criterion) {
@@ -28,6 +32,33 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| coarse_rank(index, &query_bases, &params).unwrap().candidates.len())
     });
     group.finish();
+
+    // The streaming coarse stage with a reused scratch: in-memory vs
+    // on-disk postings, dense (stride 1) vs subsampled (stride 4) query
+    // interval extraction.
+    let dir = std::env::temp_dir().join(format!("nucdb_bench_coarse_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let disk_db = database(&coll, &DbConfig::default())
+        .with_disk_index(&dir.join("idx.nucidx"))
+        .expect("write on-disk index");
+
+    let mut group = c.benchmark_group("coarse_scratch_1mb");
+    for (backend, target) in [("memory", &db), ("disk", &disk_db)] {
+        for stride in [1usize, 4] {
+            let params = SearchParams { query_stride: stride, ..SearchParams::default() };
+            group.bench_function(format!("{backend}_stride{stride}"), |b| {
+                let mut scratch = CoarseScratch::new();
+                b.iter(|| {
+                    coarse_rank_with(target.index(), &query_bases, &params, &mut scratch)
+                        .unwrap()
+                        .candidates
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 criterion_group!(benches, bench_search);

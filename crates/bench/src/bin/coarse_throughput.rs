@@ -1,0 +1,128 @@
+//! **BENCH — coarse-stage throughput and thread scaling.**
+//!
+//! Measures the contention-free coarse path end to end: queries stream
+//! their postings straight off an **on-disk index** through lock-free
+//! positional reads into per-worker reusable [`CoarseScratch`]es — no
+//! per-query allocation, no shared file cursor, no lock. The sweep runs
+//! the same query batch at 1, 2, 4 and 8 worker threads (work-stealing
+//! over a shared atomic counter) and reports queries/second and the
+//! speedup over single-threaded, writing `results/BENCH_coarse.json`.
+//!
+//! Numbers are honest for the machine they ran on: `host_cpus` records
+//! how many CPUs were actually available, and thread counts above it
+//! cannot show real scaling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use nucdb::{coarse_rank_with, CoarseScratch, Database, DbConfig, SearchParams};
+use nucdb_bench::json::Value;
+use nucdb_bench::{banner, collection, database, family_queries, results_path, Table};
+use nucdb_seq::Base;
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+const REPEATS: usize = 3;
+
+/// Run the whole query batch across `num_threads` workers, each owning a
+/// private scratch, and return the best-of-`REPEATS` wall time.
+fn run_batch(db: &Database, queries: &[Vec<Base>], params: &SearchParams, num_threads: usize) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..REPEATS {
+        let next = AtomicUsize::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..num_threads {
+                scope.spawn(|| {
+                    let mut scratch = CoarseScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        let outcome = coarse_rank_with(db.index(), &queries[i], params, &mut scratch)
+                            .expect("coarse search failed");
+                        std::hint::black_box(outcome.candidates.len());
+                    }
+                });
+            }
+        });
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn main() {
+    banner("BENCH", "coarse-stage throughput across worker threads (on-disk index)");
+    let size = 2_000_000usize;
+    let coll = collection(0xC0A53, size);
+    let db = database(&coll, &DbConfig::default());
+    let dir = std::env::temp_dir().join(format!("nucdb_coarse_tp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = db.with_disk_index(&dir.join("idx.nucidx")).expect("write on-disk index");
+    let params = SearchParams::default();
+
+    // A batch big enough that work-stealing amortises: every family query
+    // repeated until we have 64 queries.
+    let family: Vec<Vec<Base>> = family_queries(&coll, 0.6, 0.05)
+        .into_iter()
+        .map(|(_, q)| q.representative_bases())
+        .collect();
+    let queries: Vec<Vec<Base>> =
+        (0..64).map(|i| family[i % family.len()].clone()).collect();
+
+    // Warm up: fault in the vocabulary and OS page cache so the sweep
+    // measures decode + accumulate, not first-touch I/O.
+    run_batch(&db, &queries[..8.min(queries.len())], &params, 1);
+
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut table =
+        Table::new(&["threads", "wall ms", "queries/s", "speedup vs 1"]);
+    let mut rows: Vec<Value> = Vec::new();
+    let mut single_qps = 0.0f64;
+    for &threads in THREADS {
+        let wall = run_batch(&db, &queries, &params, threads);
+        let qps = queries.len() as f64 / wall.as_secs_f64();
+        if threads == 1 {
+            single_qps = qps;
+        }
+        let speedup = qps / single_qps;
+        table.row(vec![
+            threads.to_string(),
+            format!("{:.2}", wall.as_secs_f64() * 1e3),
+            format!("{:.0}", qps),
+            format!("{:.2}x", speedup),
+        ]);
+        rows.push(Value::Obj(vec![
+            ("threads", Value::Int(threads as u64)),
+            ("wall_ms", Value::Num(wall.as_secs_f64() * 1e3)),
+            ("queries_per_sec", Value::Num(qps)),
+            ("speedup_vs_single_thread", Value::Num(speedup)),
+        ]));
+    }
+    table.print();
+    println!(
+        "\nhost CPUs available: {host_cpus} (thread counts above this cannot scale)"
+    );
+
+    let out = Value::Obj(vec![
+        ("experiment", Value::Str("coarse_throughput".into())),
+        (
+            "description",
+            Value::Str(
+                "coarse-stage queries/sec over an on-disk index, per-worker scratch, \
+                 lock-free positional postings reads"
+                    .into(),
+            ),
+        ),
+        ("collection_bases", Value::Int(size as u64)),
+        ("records", Value::Int(coll.records.len() as u64)),
+        ("queries", Value::Int(queries.len() as u64)),
+        ("repeats_best_of", Value::Int(REPEATS as u64)),
+        ("host_cpus", Value::Int(host_cpus as u64)),
+        ("sweep", Value::Arr(rows)),
+    ]);
+    let path = results_path("BENCH_coarse.json");
+    std::fs::write(&path, out.render() + "\n").expect("write BENCH_coarse.json");
+    println!("wrote {}", path.display());
+    let _ = std::fs::remove_dir_all(&dir);
+}

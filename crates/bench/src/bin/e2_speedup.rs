@@ -8,7 +8,8 @@
 
 use nucdb::{exhaustive_blast, exhaustive_fasta, exhaustive_sw, DbConfig, SearchParams};
 use nucdb_align::{BlastParams, FastaParams};
-use nucdb_bench::{banner, collection, database, family_queries, time, Table};
+use nucdb_bench::json::Value;
+use nucdb_bench::{banner, collection, database, family_queries, results_path, time, Table};
 
 fn main() {
     banner("E2", "per-query time: partitioned vs exhaustive search");
@@ -27,6 +28,7 @@ fn main() {
         "fasta/part",
         "blast/part",
     ]);
+    let mut json_rows: Vec<Value> = Vec::new();
 
     for &size in sizes {
         let coll = collection(0xE2, size);
@@ -82,8 +84,28 @@ fn main() {
             format!("{:.1}x", per(fasta) / per(part)),
             format!("{:.1}x", per(blast) / per(part)),
         ]);
+        json_rows.push(Value::Obj(vec![
+            ("collection_bases", Value::Int(size as u64)),
+            ("records", Value::Int(coll.records.len() as u64)),
+            ("queries", Value::Int(queries.len() as u64)),
+            ("partitioned_ms_per_query", Value::Num(per(part))),
+            ("sw_ms_per_query", Value::Num(per(sw))),
+            ("fasta_ms_per_query", Value::Num(per(fasta))),
+            ("blast_ms_per_query", Value::Num(per(blast))),
+            ("speedup_vs_sw", Value::Num(per(sw) / per(part))),
+            ("speedup_vs_fasta", Value::Num(per(fasta) / per(part))),
+            ("speedup_vs_blast", Value::Num(per(blast) / per(part))),
+        ]));
     }
     table.print();
+    let out = Value::Obj(vec![
+        ("experiment", Value::Str("e2_speedup".into())),
+        ("description", Value::Str("per-query time: partitioned vs exhaustive search".into())),
+        ("rows", Value::Arr(json_rows)),
+    ]);
+    let path = results_path("e2_speedup.json");
+    std::fs::write(&path, out.render() + "\n").expect("write e2_speedup.json");
+    println!("\nwrote {}", path.display());
     println!(
         "\nPartitioned search reads only the query's interval lists and aligns a fixed\n\
          number of candidates, so its cost is near-flat in collection size while every\n\

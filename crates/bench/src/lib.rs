@@ -129,6 +129,105 @@ pub fn banner(id: &str, title: &str) {
     println!("================================================================");
 }
 
+/// Path of a machine-readable output file in the repository's `results/`
+/// directory (created on demand). Experiment binaries drop JSON here
+/// alongside their printed tables.
+pub fn results_path(file: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(file)
+}
+
+/// Minimal JSON rendering for the experiment outputs — the workspace
+/// carries no serialisation dependency, and the outputs are small flat
+/// tables, so a tiny writer with stable key order suffices.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A JSON value.
+    pub enum Value {
+        /// A float (non-finite values render as `null`).
+        Num(f64),
+        /// An unsigned integer.
+        Int(u64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object; keys render in insertion order.
+        Obj(Vec<(&'static str, Value)>),
+    }
+
+    impl Value {
+        /// Render to a JSON string.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, 0);
+            out
+        }
+
+        fn write(&self, out: &mut String, depth: usize) {
+            match self {
+                Value::Num(x) if x.is_finite() => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::Num(_) => out.push_str("null"),
+                Value::Int(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            c if (c as u32) < 0x20 => {
+                                let _ = write!(out, "\\u{:04x}", c as u32);
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Value::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(depth + 1));
+                        item.write(out, depth + 1);
+                    }
+                    if !items.is_empty() {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(depth));
+                    }
+                    out.push(']');
+                }
+                Value::Obj(fields) => {
+                    out.push('{');
+                    for (i, (key, value)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(depth + 1));
+                        let _ = write!(out, "\"{key}\": ");
+                        value.write(out, depth + 1);
+                    }
+                    if !fields.is_empty() {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(depth));
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +248,28 @@ mod tests {
             t.row(vec!["only-one".into()]);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn json_renders_stably() {
+        use super::json::Value;
+        let v = Value::Obj(vec![
+            ("name", Value::Str("a\"b".into())),
+            ("n", Value::Int(3)),
+            ("x", Value::Num(1.5)),
+            ("bad", Value::Num(f64::NAN)),
+            ("xs", Value::Arr(vec![Value::Int(1), Value::Int(2)])),
+            ("empty", Value::Arr(vec![])),
+        ]);
+        let rendered = v.render();
+        assert!(rendered.contains("\"name\": \"a\\\"b\""));
+        assert!(rendered.contains("\"n\": 3"));
+        assert!(rendered.contains("\"x\": 1.5"));
+        assert!(rendered.contains("\"bad\": null"));
+        assert!(rendered.contains("\"empty\": []"));
+        // Balanced braces/brackets — structurally parseable.
+        assert_eq!(rendered.matches('{').count(), rendered.matches('}').count());
+        assert_eq!(rendered.matches('[').count(), rendered.matches(']').count());
     }
 
     #[test]

@@ -6,8 +6,8 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use nucdb::{
-    Database, FineMode, IndexVariant, RankingScheme, RecordSource, SearchParams, SequenceStore,
-    StorageMode, Strand,
+    CoarseScratch, Database, FineMode, IndexVariant, RankingScheme, RecordSource, SearchParams,
+    SequenceStore, StorageMode, Strand,
 };
 use nucdb_align::calibrate_gumbel;
 use nucdb_index::{build_chunked, Granularity, IndexParams, ListCodec, OnDiskIndex, StopPolicy};
@@ -316,6 +316,7 @@ pub fn search(raw: &[String]) -> CommandResult {
 
     let mean_len = (db.store().total_bases() / db.len().max(1)).max(1);
     let reader = FastaReader::new(BufReader::new(File::open(&query_path)?));
+    let mut scratch = CoarseScratch::new();
     for record in reader {
         let record = record?;
         let fit = args.flag("evalue").then(|| {
@@ -327,7 +328,7 @@ pub fn search(raw: &[String]) -> CommandResult {
                 0xCAFE,
             )
         });
-        let outcome = db.search(&record.seq, &params)?;
+        let outcome = db.search_with(&record.seq, &params, &mut scratch)?;
         if tabular {
             for result in &outcome.results {
                 let strand = match result.strand {
@@ -536,6 +537,7 @@ pub fn bench(raw: &[String]) -> CommandResult {
         "{:<16} {:>10} {:>10} {:>10} {:>12} {:>8}",
         "query", "best ms", "mean ms", "answers", "bytes read", "lists"
     );
+    let mut scratch = CoarseScratch::new();
     for record in &queries {
         let mut best = f64::INFINITY;
         let mut total = 0.0;
@@ -547,7 +549,7 @@ pub fn bench(raw: &[String]) -> CommandResult {
                 disk.reset_io_counters();
             }
             let t0 = std::time::Instant::now();
-            let outcome = db.search(&record.seq, &params)?;
+            let outcome = db.search_with(&record.seq, &params, &mut scratch)?;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             best = best.min(ms);
             total += ms;

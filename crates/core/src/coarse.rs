@@ -18,9 +18,6 @@
 //! The winning diagonal is reported with each candidate, seeding the
 //! banded alignment of fine search.
 
-use std::collections::HashMap;
-use std::hash::BuildHasherDefault;
-
 use nucdb_index::{
     CompressedIndex, Granularity, IndexError, IndexParams, OnDiskIndex, PostingsList,
 };
@@ -30,6 +27,12 @@ use crate::params::SearchParams;
 
 /// Anything coarse search can fetch postings from (in-memory index,
 /// on-disk index, or the engine's variant wrapper).
+///
+/// The streaming methods (`fetch_with`, `fetch_counts_with`) are what the
+/// hot path calls: they drive a visitor per posting instead of
+/// materialising nested lists, reusing `io_buf` for the raw list bytes.
+/// Their default impls are backed by the materialising methods, so
+/// third-party sources keep compiling (and working) unchanged.
 pub trait PostingsSource {
     /// Number of records the index covers.
     fn num_records(&self) -> u32;
@@ -45,51 +48,125 @@ pub trait PostingsSource {
     /// Fetch `(record, count)` pairs for an interval code (either
     /// granularity).
     fn fetch_counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError>;
+
+    /// Streaming fetch: call `visit(record, offset)` for every posting of
+    /// `code`, in record order with offsets ascending per record, reusing
+    /// `io_buf` as the raw-bytes scratch. Returns the list's `df`
+    /// (`Ok(None)` if the interval is absent).
+    fn fetch_with(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visit: &mut dyn FnMut(u32, u32),
+    ) -> Result<Option<u32>, IndexError> {
+        let _ = io_buf;
+        match self.fetch(code)? {
+            None => Ok(None),
+            Some(list) => {
+                let df = list.df() as u32;
+                for posting in &list.entries {
+                    for &offset in &posting.offsets {
+                        visit(posting.record, offset);
+                    }
+                }
+                Ok(Some(df))
+            }
+        }
+    }
+
+    /// Streaming counts fetch: call `visit(record, count)` per entry of
+    /// `code`'s list (either granularity). Returns the list's `df`
+    /// (`Ok(None)` if the interval is absent).
+    fn fetch_counts_with(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visit: &mut dyn FnMut(u32, u32),
+    ) -> Result<Option<u32>, IndexError> {
+        let _ = io_buf;
+        match self.fetch_counts(code)? {
+            None => Ok(None),
+            Some(counts) => {
+                let df = counts.len() as u32;
+                for (record, count) in counts {
+                    visit(record, count);
+                }
+                Ok(Some(df))
+            }
+        }
+    }
 }
 
-impl PostingsSource for CompressedIndex {
-    fn num_records(&self) -> u32 {
-        CompressedIndex::num_records(self)
-    }
+/// Implement the forwarding boilerplate of [`PostingsSource`] for a
+/// concrete index type; the caller supplies only the two streaming
+/// methods (which differ in whether the type wants the I/O buffer).
+macro_rules! forward_postings_source {
+    ($ty:ty { $($streaming:item)* }) => {
+        impl PostingsSource for $ty {
+            fn num_records(&self) -> u32 {
+                <$ty>::num_records(self)
+            }
 
-    fn record_lens(&self) -> &[u32] {
-        CompressedIndex::record_lens(self)
-    }
+            fn record_lens(&self) -> &[u32] {
+                <$ty>::record_lens(self)
+            }
 
-    fn index_params(&self) -> &IndexParams {
-        self.params()
-    }
+            fn index_params(&self) -> &IndexParams {
+                self.params()
+            }
 
-    fn fetch(&self, code: u64) -> Result<Option<PostingsList>, IndexError> {
-        self.postings(code)
-    }
+            fn fetch(&self, code: u64) -> Result<Option<PostingsList>, IndexError> {
+                self.postings(code)
+            }
 
-    fn fetch_counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
-        self.counts(code)
-    }
+            fn fetch_counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
+                self.counts(code)
+            }
+
+            $($streaming)*
+        }
+    };
 }
 
-impl PostingsSource for OnDiskIndex {
-    fn num_records(&self) -> u32 {
-        OnDiskIndex::num_records(self)
+forward_postings_source!(CompressedIndex {
+    fn fetch_with(
+        &self,
+        code: u64,
+        _io_buf: &mut Vec<u8>,
+        visit: &mut dyn FnMut(u32, u32),
+    ) -> Result<Option<u32>, IndexError> {
+        self.postings_with(code, visit)
     }
 
-    fn record_lens(&self) -> &[u32] {
-        OnDiskIndex::record_lens(self)
+    fn fetch_counts_with(
+        &self,
+        code: u64,
+        _io_buf: &mut Vec<u8>,
+        visit: &mut dyn FnMut(u32, u32),
+    ) -> Result<Option<u32>, IndexError> {
+        self.counts_with(code, visit)
+    }
+});
+
+forward_postings_source!(OnDiskIndex {
+    fn fetch_with(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visit: &mut dyn FnMut(u32, u32),
+    ) -> Result<Option<u32>, IndexError> {
+        self.postings_with(code, io_buf, visit)
     }
 
-    fn index_params(&self) -> &IndexParams {
-        self.params()
+    fn fetch_counts_with(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visit: &mut dyn FnMut(u32, u32),
+    ) -> Result<Option<u32>, IndexError> {
+        self.counts_with(code, io_buf, visit)
     }
-
-    fn fetch(&self, code: u64) -> Result<Option<PostingsList>, IndexError> {
-        self.postings(code)
-    }
-
-    fn fetch_counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
-        self.counts(code)
-    }
-}
+});
 
 /// Coarse ranking scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,59 +221,128 @@ pub struct CoarseOutcome {
     pub total_hits: u64,
 }
 
-type CodeMap = HashMap<u64, Vec<u32>, BuildHasherDefault<CodeHasher>>;
-
-/// Same multiplicative hasher the index builder uses for interval codes.
-#[derive(Default)]
-struct CodeHasher {
-    state: u64,
+/// Reusable working memory for coarse search.
+///
+/// A fresh query costs zero allocation once a scratch has warmed up: the
+/// per-record accumulators are *generation-stamped* (a record's counter is
+/// valid only when its stamp equals the current generation, so starting a
+/// query is a single integer increment instead of an `O(num_records)`
+/// zeroing), hits land in a reusable arena, and per-record diagonal
+/// buckets are placed by counting sort over the already-known per-record
+/// hit counts — so only records that pass `min_coarse_hits` ever have
+/// their diagonals sorted, replacing the old global sort of every hit.
+///
+/// One scratch serves any number of sequential queries (and both strands
+/// of each); results are identical whether a scratch is fresh or reused.
+/// Scratches are not `Sync` — give each worker thread its own.
+#[derive(Debug, Default)]
+pub struct CoarseScratch {
+    /// Current query generation; `stamp[r] == generation` marks record
+    /// `r`'s entries in `counts`/`slot` as live.
+    generation: u32,
+    stamp: Vec<u32>,
+    /// Per-record accumulated hit count (valid under the stamp).
+    counts: Vec<u32>,
+    /// Per-record index into `touched` (valid under the stamp).
+    slot: Vec<u32>,
+    /// Records hit this query, in first-touch order.
+    touched: Vec<u32>,
+    /// Hit arena: `(record, diagonal)` in arrival order.
+    hits: Vec<(u32, i64)>,
+    /// Diagonal buckets, grouped per touched record by counting sort.
+    diagonals: Vec<i64>,
+    /// Per-touched-record scatter cursors (prefix sums, then bucket ends).
+    cursor: Vec<u32>,
+    /// The query's `(interval code, query position)` pairs, sorted — runs
+    /// of one code replace the old per-query hash map.
+    codes: Vec<(u64, u32)>,
+    /// Raw postings bytes for the on-disk index's positional reads.
+    io_buf: Vec<u8>,
+    /// Candidate build area (sorted and truncated before copy-out).
+    candidates: Vec<CoarseHit>,
 }
 
-impl std::hash::Hasher for CodeHasher {
-    fn finish(&self) -> u64 {
-        self.state
+impl CoarseScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> CoarseScratch {
+        CoarseScratch::default()
     }
 
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state = self.state.rotate_left(8) ^ b as u64;
+    /// Start a query over `num_records` records: bump the generation and
+    /// clear the per-query arenas. O(1) amortised — the stamp table is
+    /// only rebuilt when the index size changes or the generation wraps.
+    fn begin(&mut self, num_records: usize) {
+        if self.stamp.len() != num_records {
+            self.stamp.clear();
+            self.stamp.resize(num_records, 0);
+            self.counts.clear();
+            self.counts.resize(num_records, 0);
+            self.slot.clear();
+            self.slot.resize(num_records, 0);
+            self.generation = 0;
         }
-        self.state = self.state.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    }
-
-    fn write_u64(&mut self, value: u64) {
-        self.state = value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.touched.clear();
+        self.hits.clear();
     }
 }
 
 /// Run coarse search for `query` over `index`.
+///
+/// Convenience wrapper over [`coarse_rank_with`] that pays one scratch
+/// allocation; batch callers should hold a [`CoarseScratch`] and call
+/// [`coarse_rank_with`] directly.
 pub fn coarse_rank<S: PostingsSource>(
     index: &S,
     query: &[Base],
     params: &SearchParams,
+) -> Result<CoarseOutcome, IndexError> {
+    coarse_rank_with(index, query, params, &mut CoarseScratch::new())
+}
+
+/// Run coarse search for `query` over `index`, reusing `scratch` for all
+/// working memory. Results are independent of the scratch's history.
+pub fn coarse_rank_with<S: PostingsSource>(
+    index: &S,
+    query: &[Base],
+    params: &SearchParams,
+    scratch: &mut CoarseScratch,
 ) -> Result<CoarseOutcome, IndexError> {
     let iparams = index.index_params();
     let mut outcome = CoarseOutcome::default();
 
     // Distinct query intervals and the query positions they occur at,
     // subsampled by the query stride and filtered by low-complexity
-    // masking of the query.
+    // masking of the query. Sorted (code, qpos) runs stand in for the old
+    // per-query hash map; ascending code order also means ascending file
+    // offsets for the on-disk index.
     let masked = params
         .mask
         .as_ref()
         .map(|dust| nucdb_seq::complexity::mask_regions(query, dust))
         .unwrap_or_default();
     let stride = params.query_stride.max(1);
-    let mut query_intervals = CodeMap::default();
+    scratch.codes.clear();
     for (qpos, code) in iparams.extract(query) {
         if qpos as usize % stride == 0
             && !nucdb_seq::complexity::is_masked(&masked, qpos as usize)
         {
-            query_intervals.entry(code).or_default().push(qpos);
+            scratch.codes.push((code, qpos));
         }
     }
-    outcome.intervals_looked_up = query_intervals.len() as u64;
-    if query_intervals.is_empty() || index.num_records() == 0 {
+    scratch.codes.sort_unstable();
+    let mut prev_code = None;
+    for &(code, _) in &scratch.codes {
+        if prev_code != Some(code) {
+            outcome.intervals_looked_up += 1;
+            prev_code = Some(code);
+        }
+    }
+    if scratch.codes.is_empty() || index.num_records() == 0 {
         return Ok(outcome);
     }
 
@@ -208,36 +354,60 @@ pub fn coarse_rank<S: PostingsSource>(
                 "frame ranking requires an offset-granularity index",
             ));
         }
-        return coarse_rank_counts(index, &query_intervals, params, outcome);
+        return coarse_rank_counts(index, params, scratch, outcome);
     }
 
     // Accumulate hit counts and (record, diagonal) pairs, optionally
     // capping how many distinct records are tracked (accumulator
     // limiting: once full, hits on untracked records are dropped).
+    // Records are tracked in first-touch order, which under a limit is
+    // ascending-code order of the first contributing interval.
     let accumulator_limit = params.max_accumulators.unwrap_or(usize::MAX).max(1);
-    let mut tracked = 0usize;
-    let mut acc = vec![0u32; index.num_records() as usize];
-    let mut hits: Vec<(u32, i64)> = Vec::new();
-    for (code, qpositions) in &query_intervals {
-        let Some(list) = index.fetch(*code)? else {
-            continue;
-        };
-        outcome.lists_fetched += 1;
-        outcome.postings_decoded += list.df() as u64;
-        for posting in &list.entries {
-            let record = posting.record;
-            if acc[record as usize] == 0 {
-                if tracked >= accumulator_limit {
-                    continue;
+    scratch.begin(index.num_records() as usize);
+    let CoarseScratch {
+        generation,
+        stamp,
+        counts,
+        slot,
+        touched,
+        hits,
+        diagonals,
+        cursor,
+        codes,
+        io_buf,
+        candidates,
+    } = scratch;
+    let generation = *generation;
+
+    let mut run_start = 0usize;
+    while run_start < codes.len() {
+        let code = codes[run_start].0;
+        let mut run_end = run_start;
+        while run_end < codes.len() && codes[run_end].0 == code {
+            run_end += 1;
+        }
+        let qrun = &codes[run_start..run_end];
+        run_start = run_end;
+
+        let fetched = index.fetch_with(code, io_buf, &mut |record, offset| {
+            let r = record as usize;
+            if stamp[r] != generation {
+                if touched.len() >= accumulator_limit {
+                    return;
                 }
-                tracked += 1;
+                stamp[r] = generation;
+                counts[r] = 0;
+                slot[r] = touched.len() as u32;
+                touched.push(record);
             }
-            for &offset in &posting.offsets {
-                for &qpos in qpositions {
-                    acc[record as usize] += 1;
-                    hits.push((record, offset as i64 - qpos as i64));
-                }
+            counts[r] += qrun.len() as u32;
+            for &(_, qpos) in qrun {
+                hits.push((record, offset as i64 - qpos as i64));
             }
+        })?;
+        if let Some(df) = fetched {
+            outcome.lists_fetched += 1;
+            outcome.postings_decoded += df as u64;
         }
     }
     outcome.total_hits = hits.len() as u64;
@@ -245,32 +415,47 @@ pub fn coarse_rank<S: PostingsSource>(
         return Ok(outcome);
     }
 
-    // Per-record best diagonal window (two-pointer over the record's
-    // sorted diagonals). Computed for every ranking scheme — Frame scores
-    // by it, the others still need the diagonal to seed fine search.
+    // Scatter the hit arena into per-record diagonal buckets by counting
+    // sort over the known per-record totals, then find each surviving
+    // record's best diagonal window (two-pointer over its sorted
+    // diagonals). Frame ranking scores by the window; the other schemes
+    // still need the diagonal to seed fine search.
     let window = match params.ranking {
         RankingScheme::Frame { window } => window as i64,
         // A modest default tolerance when frames are not the ranking.
         _ => 16,
     };
-    hits.sort_unstable();
+    cursor.clear();
+    let mut running = 0u32;
+    for &record in touched.iter() {
+        cursor.push(running);
+        running += counts[record as usize];
+    }
+    diagonals.clear();
+    diagonals.resize(hits.len(), 0);
+    for &(record, diagonal) in hits.iter() {
+        let s = slot[record as usize] as usize;
+        diagonals[cursor[s] as usize] = diagonal;
+        cursor[s] += 1;
+    }
 
     let record_lens = index.record_lens();
-    let mut candidates: Vec<CoarseHit> = Vec::new();
-    let mut run_start = 0usize;
-    while run_start < hits.len() {
-        let record = hits[run_start].0;
-        let mut run_end = run_start;
-        while run_end < hits.len() && hits[run_end].0 == record {
-            run_end += 1;
+    candidates.clear();
+    for (s, &record) in touched.iter().enumerate() {
+        let total = counts[record as usize];
+        if total < params.min_coarse_hits {
+            continue;
         }
-        let diags = &hits[run_start..run_end];
+        // cursor[s] advanced to the bucket end during the scatter.
+        let end = cursor[s] as usize;
+        let diags = &mut diagonals[end - total as usize..end];
+        diags.sort_unstable();
         // Two-pointer max window.
         let mut best_count = 0usize;
         let mut best_lo = 0usize;
         let mut lo = 0usize;
         for hi in 0..diags.len() {
-            while diags[hi].1 - diags[lo].1 > window {
+            while diags[hi] - diags[lo] > window {
                 lo += 1;
             }
             if hi - lo + 1 > best_count {
@@ -279,26 +464,22 @@ pub fn coarse_rank<S: PostingsSource>(
             }
         }
         let window_slice = &diags[best_lo..best_lo + best_count];
-        let best_diagonal = window_slice[window_slice.len() / 2].1;
+        let best_diagonal = window_slice[window_slice.len() / 2];
 
-        let total = acc[record as usize];
-        if total >= params.min_coarse_hits {
-            let score = match params.ranking {
-                RankingScheme::Count => total as f64,
-                RankingScheme::Proportional => {
-                    total as f64 / (record_lens[record as usize].max(1) as f64)
-                }
-                RankingScheme::Frame { .. } => best_count as f64,
-            };
-            candidates.push(CoarseHit {
-                record,
-                score,
-                hits: total,
-                frame_hits: best_count as u32,
-                best_diagonal,
-            });
-        }
-        run_start = run_end;
+        let score = match params.ranking {
+            RankingScheme::Count => total as f64,
+            RankingScheme::Proportional => {
+                total as f64 / (record_lens[record as usize].max(1) as f64)
+            }
+            RankingScheme::Frame { .. } => best_count as f64,
+        };
+        candidates.push(CoarseHit {
+            record,
+            score,
+            hits: total,
+            frame_hits: best_count as u32,
+            best_diagonal,
+        });
     }
 
     candidates.sort_by(|a, b| {
@@ -308,60 +489,81 @@ pub fn coarse_rank<S: PostingsSource>(
             .then(a.record.cmp(&b.record))
     });
     candidates.truncate(params.max_candidates);
-    outcome.candidates = candidates;
+    outcome.candidates.extend_from_slice(candidates);
     Ok(outcome)
 }
 
 /// Count-based coarse ranking over a record-granularity index: the same
 /// accumulation without diagonals (no offsets exist). Candidates carry
 /// `best_diagonal = 0`; the engine compensates by running unbanded fine
-/// alignment.
+/// alignment. Reads the query's code runs from `scratch.codes` (prepared
+/// by [`coarse_rank_with`]).
 fn coarse_rank_counts<S: PostingsSource>(
     index: &S,
-    query_intervals: &CodeMap,
     params: &SearchParams,
+    scratch: &mut CoarseScratch,
     mut outcome: CoarseOutcome,
 ) -> Result<CoarseOutcome, IndexError> {
     let accumulator_limit = params.max_accumulators.unwrap_or(usize::MAX).max(1);
-    let mut tracked = 0usize;
-    let mut acc = vec![0u32; index.num_records() as usize];
-    for (code, qpositions) in query_intervals {
-        let Some(counts) = index.fetch_counts(*code)? else {
-            continue;
-        };
-        outcome.lists_fetched += 1;
-        outcome.postings_decoded += counts.len() as u64;
-        for (record, count) in counts {
-            if acc[record as usize] == 0 {
-                if tracked >= accumulator_limit {
-                    continue;
+    scratch.begin(index.num_records() as usize);
+    let CoarseScratch {
+        generation, stamp, counts, slot, touched, codes, io_buf, candidates, ..
+    } = scratch;
+    let generation = *generation;
+    let mut total_hits = 0u64;
+
+    let mut run_start = 0usize;
+    while run_start < codes.len() {
+        let code = codes[run_start].0;
+        let mut run_end = run_start;
+        while run_end < codes.len() && codes[run_end].0 == code {
+            run_end += 1;
+        }
+        let qpositions = (run_end - run_start) as u32;
+        run_start = run_end;
+
+        let fetched = index.fetch_counts_with(code, io_buf, &mut |record, count| {
+            let r = record as usize;
+            if stamp[r] != generation {
+                if touched.len() >= accumulator_limit {
+                    return;
                 }
-                tracked += 1;
+                stamp[r] = generation;
+                counts[r] = 0;
+                slot[r] = touched.len() as u32;
+                touched.push(record);
             }
-            let contribution = count * qpositions.len() as u32;
-            acc[record as usize] += contribution;
-            outcome.total_hits += contribution as u64;
+            let contribution = count * qpositions;
+            counts[r] += contribution;
+            total_hits += contribution as u64;
+        })?;
+        if let Some(df) = fetched {
+            outcome.lists_fetched += 1;
+            outcome.postings_decoded += df as u64;
         }
     }
+    outcome.total_hits = total_hits;
 
     let record_lens = index.record_lens();
-    let mut candidates: Vec<CoarseHit> = acc
-        .iter()
-        .enumerate()
-        .filter(|&(_, &total)| total >= params.min_coarse_hits.max(1))
-        .map(|(record, &total)| CoarseHit {
-            record: record as u32,
+    candidates.clear();
+    for &record in touched.iter() {
+        let total = counts[record as usize];
+        if total < params.min_coarse_hits.max(1) {
+            continue;
+        }
+        candidates.push(CoarseHit {
+            record,
             score: match params.ranking {
                 RankingScheme::Proportional => {
-                    total as f64 / (record_lens[record].max(1) as f64)
+                    total as f64 / (record_lens[record as usize].max(1) as f64)
                 }
                 _ => total as f64,
             },
             hits: total,
             frame_hits: 0,
             best_diagonal: 0,
-        })
-        .collect();
+        });
+    }
     candidates.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -369,7 +571,7 @@ fn coarse_rank_counts<S: PostingsSource>(
             .then(a.record.cmp(&b.record))
     });
     candidates.truncate(params.max_candidates);
-    outcome.candidates = candidates;
+    outcome.candidates.extend_from_slice(candidates);
     Ok(outcome)
 }
 

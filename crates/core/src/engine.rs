@@ -10,7 +10,7 @@ use nucdb_index::{
 };
 use nucdb_seq::DnaSeq;
 
-use crate::coarse::{coarse_rank, PostingsSource};
+use crate::coarse::{coarse_rank_with, CoarseScratch, PostingsSource};
 use crate::fine::{fine_search, FineResult};
 use crate::params::{SearchParams, Strand};
 use crate::store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};
@@ -77,6 +77,30 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.counts(code),
             IndexVariant::Disk(i) => i.counts(code),
+        }
+    }
+
+    fn fetch_with(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visit: &mut dyn FnMut(u32, u32),
+    ) -> Result<Option<u32>, IndexError> {
+        match self {
+            IndexVariant::Memory(i) => i.postings_with(code, visit),
+            IndexVariant::Disk(i) => i.postings_with(code, io_buf, visit),
+        }
+    }
+
+    fn fetch_counts_with(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visit: &mut dyn FnMut(u32, u32),
+    ) -> Result<Option<u32>, IndexError> {
+        match self {
+            IndexVariant::Memory(i) => i.counts_with(code, visit),
+            IndexVariant::Disk(i) => i.counts_with(code, io_buf, visit),
         }
     }
 }
@@ -230,11 +254,12 @@ impl Database {
         &self,
         query: &DnaSeq,
         params: &SearchParams,
+        scratch: &mut CoarseScratch,
         stats: &mut QueryStats,
     ) -> Result<Vec<FineResult>, IndexError> {
         let query_bases = query.representative_bases();
         let coarse_start = Instant::now();
-        let coarse = coarse_rank(&self.index, &query_bases, params)?;
+        let coarse = coarse_rank_with(&self.index, &query_bases, params, scratch)?;
         stats.coarse_nanos += coarse_start.elapsed().as_nanos() as u64;
         stats.intervals_looked_up += coarse.intervals_looked_up;
         stats.lists_fetched += coarse.lists_fetched;
@@ -272,22 +297,37 @@ impl Database {
     /// then fine local alignment of the top candidates. With
     /// [`Strand::Both`], the query and its reverse complement are each
     /// evaluated and merged per record by best score.
+    ///
+    /// Allocates fresh coarse working memory; batch callers should hold a
+    /// [`CoarseScratch`] and use [`Database::search_with`].
     pub fn search(
         &self,
         query: &DnaSeq,
         params: &SearchParams,
     ) -> Result<SearchOutcome, IndexError> {
+        self.search_with(query, params, &mut CoarseScratch::new())
+    }
+
+    /// [`Database::search`] with caller-provided coarse working memory.
+    /// One scratch serves any number of sequential queries without
+    /// per-query allocation; results are independent of its history.
+    pub fn search_with(
+        &self,
+        query: &DnaSeq,
+        params: &SearchParams,
+        scratch: &mut CoarseScratch,
+    ) -> Result<SearchOutcome, IndexError> {
         let mut stats = QueryStats::default();
 
         let mut merged: Vec<(Strand, FineResult)> = Vec::new();
         if params.strand != Strand::Reverse {
-            for r in self.search_strand(query, params, &mut stats)? {
+            for r in self.search_strand(query, params, scratch, &mut stats)? {
                 merged.push((Strand::Forward, r));
             }
         }
         if params.strand != Strand::Forward {
             let reverse = query.reverse_complement();
-            for r in self.search_strand(&reverse, params, &mut stats)? {
+            for r in self.search_strand(&reverse, params, scratch, &mut stats)? {
                 merged.push((Strand::Reverse, r));
             }
         }
@@ -351,20 +391,24 @@ impl Database {
         Ok(())
     }
 
-    /// Evaluate a batch of queries sequentially.
+    /// Evaluate a batch of queries sequentially, reusing one coarse
+    /// scratch across the whole batch.
     pub fn search_batch(
         &self,
         queries: &[DnaSeq],
         params: &SearchParams,
     ) -> Result<Vec<SearchOutcome>, IndexError> {
-        queries.iter().map(|q| self.search(q, params)).collect()
+        let mut scratch = CoarseScratch::new();
+        queries.iter().map(|q| self.search_with(q, params, &mut scratch)).collect()
     }
 
     /// Evaluate a batch of queries across `num_threads` worker threads.
     ///
-    /// The database is shared read-only (the on-disk index serialises its
-    /// postings reads internally); output order matches `queries`. Results
-    /// are identical to [`Database::search_batch`].
+    /// The database is shared read-only and every stage is contention
+    /// free: each worker owns a private [`CoarseScratch`], and the
+    /// on-disk index and store serve concurrent positional reads without
+    /// a shared file cursor or lock. Output order matches `queries`.
+    /// Results are identical to [`Database::search_batch`].
     pub fn search_batch_parallel(
         &self,
         queries: &[DnaSeq],
@@ -383,6 +427,7 @@ impl Database {
                 let handles: Vec<_> = (0..num_threads)
                     .map(|_| {
                         scope.spawn(|| {
+                            let mut scratch = CoarseScratch::new();
                             let mut local = Vec::new();
                             loop {
                                 let i =
@@ -390,7 +435,10 @@ impl Database {
                                 if i >= queries.len() {
                                     break;
                                 }
-                                local.push((i, self.search(&queries[i], params)));
+                                local.push((
+                                    i,
+                                    self.search_with(&queries[i], params, &mut scratch),
+                                ));
                             }
                             local
                         })

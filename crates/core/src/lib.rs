@@ -50,7 +50,10 @@ pub mod params;
 pub mod store;
 
 pub use baseline::{exhaustive_blast, exhaustive_fasta, exhaustive_sw};
-pub use coarse::{coarse_rank, CoarseHit, CoarseOutcome, PostingsSource, RankingScheme};
+pub use coarse::{
+    coarse_rank, coarse_rank_with, CoarseHit, CoarseOutcome, CoarseScratch, PostingsSource,
+    RankingScheme,
+};
 pub use engine::{Database, DbConfig, IndexVariant, QueryStats, SearchOutcome, SearchResult};
 pub use eval::{
     average_precision, eleven_point_precision, ground_truth_sw, recall_at,

@@ -17,8 +17,7 @@ use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
-
+use nucdb_index::PositionalReader;
 use nucdb_seq::{Base, DnaSeq, PackedSeq, SeqError};
 
 /// Anything fine search (and the exhaustive baselines) can read candidate
@@ -260,10 +259,11 @@ impl RecordSource for SequenceStore {
 /// locations are memory-resident, each record is fetched with a
 /// positioned read when fine search asks for it — the paper's operating
 /// point, where retrieving candidate sequences is disk traffic and the
-/// direct-coded store's 4× smaller reads are the win. Thread-safe;
-/// counts bytes read.
+/// direct-coded store's 4× smaller reads are the win. Record fetches use
+/// lock-free positional reads, so concurrent searchers never serialise on
+/// a shared file cursor. Counts bytes read.
 pub struct OnDiskStore {
-    file: Mutex<BufReader<File>>,
+    file: PositionalReader,
     mode: StorageMode,
     ids: Vec<String>,
     /// Per record: byte offset and length of the payload blob.
@@ -323,7 +323,7 @@ impl OnDiskStore {
             input.seek(SeekFrom::Start(offset + blob_len as u64))?;
         }
         Ok(OnDiskStore {
-            file: Mutex::new(input),
+            file: PositionalReader::new(input.into_inner()),
             mode,
             ids,
             blobs,
@@ -341,11 +341,7 @@ impl OnDiskStore {
     fn fetch_blob(&self, record: u32) -> Result<Vec<u8>, SeqError> {
         let (offset, len) = self.blobs[record as usize];
         let mut bytes = vec![0u8; len as usize];
-        {
-            let mut file = self.file.lock();
-            file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(&mut bytes)?;
-        }
+        self.file.read_exact_at(&mut bytes, offset)?;
         self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
         self.records_read.fetch_add(1, Ordering::Relaxed);
         Ok(bytes)

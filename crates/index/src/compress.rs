@@ -191,26 +191,41 @@ pub fn encode_postings(
     w.into_bytes()
 }
 
-/// Decode a blob produced by [`encode_postings`] at offset granularity.
-/// `df` is the list's record count (stored in the vocabulary, not in the
-/// blob). Record-granularity blobs hold no offsets; use
-/// [`decode_counts`] for those.
-pub fn decode_postings(
+/// Streaming decode of a blob produced by [`encode_postings`] at offset
+/// granularity: `visit(record, offset)` is called for every posting, in
+/// record order, offsets ascending within a record — no `PostingsList` is
+/// materialised. `df` is the list's record count (stored in the
+/// vocabulary, not in the blob).
+///
+/// On a decode error some prefix of the entries may already have been
+/// visited; callers must treat the visited data as void when `Err` is
+/// returned.
+///
+/// `ListCodec::Interp` codes whole lists recursively, so that branch
+/// decodes into a scratch list internally before replaying it through the
+/// visitor; every other codec streams straight off the bit reader.
+pub fn decode_postings_with<F: FnMut(u32, u32)>(
     bytes: &[u8],
     df: u32,
     num_records: u32,
     record_lens: &[u32],
     codec: ListCodec,
-) -> Result<PostingsList, IndexError> {
+    mut visit: F,
+) -> Result<(), IndexError> {
     if codec == ListCodec::Interp {
-        return decode_postings_interp(bytes, df, num_records, record_lens, Granularity::Offsets)
-            .map(|(list, _)| list);
+        let (list, _) =
+            decode_postings_interp(bytes, df, num_records, record_lens, Granularity::Offsets)?;
+        for posting in &list.entries {
+            for &off in &posting.offsets {
+                visit(posting.record, off);
+            }
+        }
+        return Ok(());
     }
     let gap_coder = codec.gap_coder(num_records as u64, df as u64);
     let count_coder = codec.count_coder();
 
     let mut r = BitReader::new(bytes);
-    let mut entries = Vec::with_capacity(df as usize);
     let mut prev_record: i64 = -1;
     for _ in 0..df {
         let record = (prev_record + 1 + gap_coder.decode(&mut r)? as i64) as u64;
@@ -226,49 +241,46 @@ pub fn decode_postings(
             return Err(IndexError::BadFormat("offset count exceeds record length"));
         }
         let off_coder = codec.gap_coder(len.max(1), count);
-        let mut offsets = Vec::with_capacity(count as usize);
         let mut prev_off: i64 = -1;
         for _ in 0..count {
             let off = prev_off + 1 + off_coder.decode(&mut r)? as i64;
             if off >= len as i64 {
                 return Err(IndexError::BadFormat("decoded offset out of range"));
             }
-            offsets.push(off as u32);
+            visit(record, off as u32);
             prev_off = off;
         }
-        entries.push(Posting { record, offsets });
     }
-    Ok(PostingsList { entries })
+    Ok(())
 }
 
-/// Decode `(record, occurrence count)` pairs from a blob of either
-/// granularity (offset-granularity blobs have their offsets decoded and
-/// discarded).
-pub fn decode_counts(
+/// Streaming decode of `(record, occurrence count)` pairs from a blob of
+/// either granularity (offset-granularity blobs have their offsets walked
+/// past without materialisation). Same visitor contract as
+/// [`decode_postings_with`].
+pub fn decode_counts_with<F: FnMut(u32, u32)>(
     bytes: &[u8],
     df: u32,
     num_records: u32,
     record_lens: &[u32],
     codec: ListCodec,
     granularity: Granularity,
-) -> Result<Vec<(u32, u32)>, IndexError> {
+    mut visit: F,
+) -> Result<(), IndexError> {
     if codec == ListCodec::Interp {
         // The interpolative layout fronts records and counts, so a
         // counts-only decode never touches the offset section.
         let (list, counts) =
             decode_postings_interp(bytes, df, num_records, record_lens, Granularity::Records)?;
-        return Ok(list
-            .entries
-            .iter()
-            .zip(counts)
-            .map(|(p, c)| (p.record, c))
-            .collect());
+        for (posting, count) in list.entries.iter().zip(counts) {
+            visit(posting.record, count);
+        }
+        return Ok(());
     }
     let gap_coder = codec.gap_coder(num_records as u64, df as u64);
     let count_coder = codec.count_coder();
 
     let mut r = BitReader::new(bytes);
-    let mut out = Vec::with_capacity(df as usize);
     let mut prev_record: i64 = -1;
     for _ in 0..df {
         let record = (prev_record + 1 + gap_coder.decode(&mut r)? as i64) as u64;
@@ -290,8 +302,54 @@ pub fn decode_counts(
                 off_coder.decode(&mut r)?;
             }
         }
-        out.push((record, count as u32));
+        visit(record, count as u32);
     }
+    Ok(())
+}
+
+/// Decode a blob produced by [`encode_postings`] at offset granularity.
+/// `df` is the list's record count (stored in the vocabulary, not in the
+/// blob). Record-granularity blobs hold no offsets; use
+/// [`decode_counts`] for those. The hot path streams instead: see
+/// [`decode_postings_with`].
+pub fn decode_postings(
+    bytes: &[u8],
+    df: u32,
+    num_records: u32,
+    record_lens: &[u32],
+    codec: ListCodec,
+) -> Result<PostingsList, IndexError> {
+    if codec == ListCodec::Interp {
+        return decode_postings_interp(bytes, df, num_records, record_lens, Granularity::Offsets)
+            .map(|(list, _)| list);
+    }
+    let mut entries: Vec<Posting> = Vec::with_capacity(df as usize);
+    decode_postings_with(bytes, df, num_records, record_lens, codec, |record, offset| {
+        // Counts are >= 1, so every record's first offset arrives before
+        // any of its later ones and grouping on the tail entry is exact.
+        match entries.last_mut() {
+            Some(posting) if posting.record == record => posting.offsets.push(offset),
+            _ => entries.push(Posting { record, offsets: vec![offset] }),
+        }
+    })?;
+    Ok(PostingsList { entries })
+}
+
+/// Decode `(record, occurrence count)` pairs from a blob of either
+/// granularity (offset-granularity blobs have their offsets decoded and
+/// discarded). The hot path streams instead: see [`decode_counts_with`].
+pub fn decode_counts(
+    bytes: &[u8],
+    df: u32,
+    num_records: u32,
+    record_lens: &[u32],
+    codec: ListCodec,
+    granularity: Granularity,
+) -> Result<Vec<(u32, u32)>, IndexError> {
+    let mut out = Vec::with_capacity(df as usize);
+    decode_counts_with(bytes, df, num_records, record_lens, codec, granularity, |record, count| {
+        out.push((record, count));
+    })?;
     Ok(out)
 }
 
@@ -501,6 +559,52 @@ impl CompressedIndex {
         let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
         decode_postings(bytes, entry.df, self.num_records(), &self.record_lens, self.codec)
             .map(Some)
+    }
+
+    /// Streaming variant of [`CompressedIndex::postings`]: calls
+    /// `visit(record, offset)` per posting without materialising a list,
+    /// returning the list's `df` (`Ok(None)` if the interval is absent).
+    pub fn postings_with<F: FnMut(u32, u32)>(
+        &self,
+        code: u64,
+        visit: F,
+    ) -> Result<Option<u32>, IndexError> {
+        if self.params.granularity == Granularity::Records {
+            return Err(IndexError::Unsupported(
+                "record-granularity index stores no offsets",
+            ));
+        }
+        let Some(entry) = self.entry(code) else {
+            return Ok(None);
+        };
+        let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
+        decode_postings_with(bytes, entry.df, self.num_records(), &self.record_lens, self.codec, visit)?;
+        Ok(Some(entry.df))
+    }
+
+    /// Streaming variant of [`CompressedIndex::counts`]: calls
+    /// `visit(record, count)` per entry, returning the list's `df`
+    /// (`Ok(None)` if the interval is absent). Works at either
+    /// granularity.
+    pub fn counts_with<F: FnMut(u32, u32)>(
+        &self,
+        code: u64,
+        visit: F,
+    ) -> Result<Option<u32>, IndexError> {
+        let Some(entry) = self.entry(code) else {
+            return Ok(None);
+        };
+        let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
+        decode_counts_with(
+            bytes,
+            entry.df,
+            self.num_records(),
+            &self.record_lens,
+            self.codec,
+            self.params.granularity,
+            visit,
+        )?;
+        Ok(Some(entry.df))
     }
 
     /// Decode `(record, occurrence count)` pairs for `code`; `Ok(None)`

@@ -20,16 +20,18 @@
 //! (`v` = LEB128-style varint.)
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
-
-use crate::compress::{decode_postings, CompressedIndex, ListCodec, VocabEntry};
+use crate::compress::{
+    decode_counts_with, decode_postings, decode_postings_with, CompressedIndex, ListCodec,
+    VocabEntry,
+};
 use crate::error::IndexError;
 use crate::interval::IndexParams;
 use crate::postings::PostingsList;
+use crate::pread::PositionalReader;
 use crate::stopping::StopPolicy;
 
 const MAGIC: &[u8; 8] = b"NUCIDX02";
@@ -214,10 +216,12 @@ pub fn load_index(path: &Path) -> Result<CompressedIndex, IndexError> {
 }
 
 /// An index whose postings stay on disk: the vocabulary and record-length
-/// table are memory-resident, each list is fetched with a positioned read
-/// when asked for. Thread-safe; tracks bytes read.
+/// table are memory-resident, each list is fetched with one positional
+/// read (`pread`-style, no shared cursor) when asked for. All methods take
+/// `&self` and concurrent fetches from multiple threads proceed without
+/// contention; the I/O counters are atomics.
 pub struct OnDiskIndex {
-    file: Mutex<BufReader<File>>,
+    file: PositionalReader,
     params: IndexParams,
     codec: ListCodec,
     record_lens: Vec<u32>,
@@ -233,7 +237,7 @@ impl OnDiskIndex {
         let mut input = BufReader::new(File::open(path)?);
         let header = read_header(&mut input)?;
         Ok(OnDiskIndex {
-            file: Mutex::new(input),
+            file: PositionalReader::new(input.into_inner()),
             params: header.params,
             codec: header.codec,
             record_lens: header.record_lens,
@@ -282,16 +286,22 @@ impl OnDiskIndex {
             .map(|idx| &self.vocab[idx])
     }
 
-    /// Fetch the raw list bytes for a vocab entry (one seek + one read).
-    fn fetch_bytes(&self, entry: &VocabEntry) -> Result<Vec<u8>, IndexError> {
-        let mut bytes = vec![0u8; entry.len as usize];
-        {
-            let mut file = self.file.lock();
-            file.seek(SeekFrom::Start(self.blob_start + entry.offset))?;
-            file.read_exact(&mut bytes)?;
-        }
+    /// Fetch the raw list bytes for a vocab entry into a caller-provided
+    /// buffer (one positional read, no lock, no allocation once the buffer
+    /// has grown to the working-set maximum).
+    fn fetch_bytes_into(&self, entry: &VocabEntry, buf: &mut Vec<u8>) -> Result<(), IndexError> {
+        buf.clear();
+        buf.resize(entry.len as usize, 0);
+        self.file.read_exact_at(buf, self.blob_start + entry.offset)?;
         self.bytes_read.fetch_add(entry.len as u64, Ordering::Relaxed);
         self.lists_read.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fetch the raw list bytes for a vocab entry (one positional read).
+    fn fetch_bytes(&self, entry: &VocabEntry) -> Result<Vec<u8>, IndexError> {
+        let mut bytes = Vec::new();
+        self.fetch_bytes_into(entry, &mut bytes)?;
         Ok(bytes)
     }
 
@@ -311,6 +321,29 @@ impl OnDiskIndex {
             .map(Some)
     }
 
+    /// Streaming variant of [`OnDiskIndex::postings`]: fetch into `io_buf`
+    /// (reused across calls) and call `visit(record, offset)` per posting
+    /// without materialising a list. Returns the list's `df`, `Ok(None)`
+    /// if the interval is absent.
+    pub fn postings_with<F: FnMut(u32, u32)>(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visit: F,
+    ) -> Result<Option<u32>, IndexError> {
+        if self.params.granularity == crate::interval::Granularity::Records {
+            return Err(IndexError::Unsupported(
+                "record-granularity index stores no offsets",
+            ));
+        }
+        let Some(entry) = self.entry(code) else {
+            return Ok(None);
+        };
+        self.fetch_bytes_into(entry, io_buf)?;
+        decode_postings_with(io_buf, entry.df, self.num_records(), &self.record_lens, self.codec, visit)?;
+        Ok(Some(entry.df))
+    }
+
     /// Fetch and decode `(record, count)` pairs for `code` (either
     /// granularity).
     pub fn counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
@@ -327,6 +360,31 @@ impl OnDiskIndex {
             self.params.granularity,
         )
         .map(Some)
+    }
+
+    /// Streaming variant of [`OnDiskIndex::counts`]: fetch into `io_buf`
+    /// and call `visit(record, count)` per entry. Returns the list's `df`,
+    /// `Ok(None)` if the interval is absent.
+    pub fn counts_with<F: FnMut(u32, u32)>(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visit: F,
+    ) -> Result<Option<u32>, IndexError> {
+        let Some(entry) = self.entry(code) else {
+            return Ok(None);
+        };
+        self.fetch_bytes_into(entry, io_buf)?;
+        decode_counts_with(
+            io_buf,
+            entry.df,
+            self.num_records(),
+            &self.record_lens,
+            self.codec,
+            self.params.granularity,
+            visit,
+        )?;
+        Ok(Some(entry.df))
     }
 
     /// Postings bytes fetched since the last reset.
@@ -435,6 +493,63 @@ mod tests {
         assert_eq!(disk.lists_read(), 1);
         disk.reset_io_counters();
         assert_eq!(disk.bytes_read(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_fetch_matches_materializing_fetch() {
+        let index = build_sample(47, IndexParams::new(8));
+        let path = temp_path("strm");
+        write_index(&index, &path).unwrap();
+        let disk = OnDiskIndex::open(&path).unwrap();
+
+        let mut io_buf = Vec::new();
+        for entry in index.vocab().iter().step_by(13) {
+            let materialized = disk.postings(entry.code).unwrap().unwrap();
+            let mut streamed: Vec<(u32, u32)> = Vec::new();
+            let df = disk
+                .postings_with(entry.code, &mut io_buf, |r, o| streamed.push((r, o)))
+                .unwrap()
+                .unwrap();
+            assert_eq!(df, entry.df);
+            let expect: Vec<(u32, u32)> = materialized
+                .entries
+                .iter()
+                .flat_map(|p| p.offsets.iter().map(move |&o| (p.record, o)))
+                .collect();
+            assert_eq!(streamed, expect, "code {}", entry.code);
+
+            let counts = disk.counts(entry.code).unwrap().unwrap();
+            let mut streamed_counts: Vec<(u32, u32)> = Vec::new();
+            disk.counts_with(entry.code, &mut io_buf, |r, c| streamed_counts.push((r, c)))
+                .unwrap()
+                .unwrap();
+            assert_eq!(streamed_counts, counts, "code {}", entry.code);
+        }
+        assert!(disk.postings_with(u64::MAX, &mut io_buf, |_, _| {}).unwrap().is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_fetches_agree_with_sequential() {
+        let index = build_sample(48, IndexParams::new(8));
+        let path = temp_path("conc");
+        write_index(&index, &path).unwrap();
+        let disk = OnDiskIndex::open(&path).unwrap();
+
+        let codes: Vec<u64> = index.vocab().iter().step_by(7).map(|e| e.code).collect();
+        let expected: Vec<PostingsList> =
+            codes.iter().map(|&c| index.postings(c).unwrap().unwrap()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (disk, codes, expected) = (&disk, &codes, &expected);
+                scope.spawn(move || {
+                    for (code, expect) in codes.iter().zip(expected) {
+                        assert_eq!(&disk.postings(*code).unwrap().unwrap(), expect);
+                    }
+                });
+            }
+        });
         let _ = std::fs::remove_file(&path);
     }
 

@@ -20,8 +20,16 @@
 //!   external build with run spilling and multiway merge (the collection
 //!   need not fit in memory), and a parallel variant.
 //! * [`disk`] — the on-disk index format and a reader that fetches lists
-//!   on demand, tracking bytes read (the paper's disk-cost story).
+//!   on demand with lock-free positional reads, tracking bytes read (the
+//!   paper's disk-cost story).
+//! * [`pread`] — the positional-read primitive shared by the on-disk
+//!   index and store.
 //! * [`stats`] — size accounting used by experiments E1/E4/E5.
+//!
+//! Decoding comes in two shapes: materialising (`decode_postings`,
+//! `decode_counts`) and streaming (`decode_postings_with`,
+//! `decode_counts_with`), the latter driving a visitor per entry so the
+//! hot coarse-search path never allocates per-list structures.
 
 #![warn(missing_docs)]
 
@@ -32,14 +40,17 @@ pub mod error;
 pub mod interval;
 pub mod merge;
 pub mod postings;
+pub mod pread;
 pub mod stats;
 pub mod stopping;
 
 pub use builder::{build_chunked, build_parallel, IndexBuilder};
 pub use compress::{
-    decode_counts, decode_postings, encode_postings, CompressedIndex, ListCodec, VocabEntry,
+    decode_counts, decode_counts_with, decode_postings, decode_postings_with, encode_postings,
+    CompressedIndex, ListCodec, VocabEntry,
 };
 pub use disk::{load_index, write_index, OnDiskIndex};
+pub use pread::PositionalReader;
 pub use error::IndexError;
 pub use interval::{Granularity, IndexParams};
 pub use merge::{apply_stopping, merge_indexes};

@@ -3,8 +3,9 @@
 //! disk format round-trips arbitrary collections.
 
 use nucdb_index::{
-    decode_postings, encode_postings, Granularity, load_index, write_index, IndexBuilder, IndexParams,
-    ListCodec, Posting, PostingsList,
+    decode_counts, decode_counts_with, decode_postings, decode_postings_with, encode_postings,
+    Granularity, load_index, write_index, IndexBuilder, IndexParams, ListCodec, Posting,
+    PostingsList,
 };
 use nucdb_seq::{Base, DnaSeq};
 use proptest::prelude::*;
@@ -53,6 +54,49 @@ proptest! {
             let back =
                 decode_postings(&bytes, list.df() as u32, 500, &lens, codec).unwrap();
             prop_assert_eq!(&back, &list, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn streaming_decode_visits_exactly_the_materialized_list(list in postings_list(400, 800)) {
+        prop_assume!(list.is_well_formed());
+        let lens = vec![800u32; 400];
+        let df = list.df() as u32;
+        for codec in CODECS {
+            // Offset granularity: the streamed (record, offset) sequence
+            // must equal the flattened materialized decode, and the
+            // streamed (record, count) sequence its per-record grouping.
+            let bytes = encode_postings(&list, 400, &lens, codec, Granularity::Offsets);
+            let materialized = decode_postings(&bytes, df, 400, &lens, codec).unwrap();
+            let flat: Vec<(u32, u32)> = materialized
+                .entries
+                .iter()
+                .flat_map(|p| p.offsets.iter().map(|&o| (p.record, o)))
+                .collect();
+            let mut streamed = Vec::new();
+            decode_postings_with(&bytes, df, 400, &lens, codec, |r, o| streamed.push((r, o)))
+                .unwrap();
+            prop_assert_eq!(&streamed, &flat, "postings {}", codec.name());
+
+            let counts = decode_counts(&bytes, df, 400, &lens, codec, Granularity::Offsets)
+                .unwrap();
+            let mut streamed_counts = Vec::new();
+            decode_counts_with(&bytes, df, 400, &lens, codec, Granularity::Offsets, |r, c| {
+                streamed_counts.push((r, c))
+            })
+            .unwrap();
+            prop_assert_eq!(&streamed_counts, &counts, "counts/offsets {}", codec.name());
+
+            // Record granularity: no offsets exist; only counts decode.
+            let rbytes = encode_postings(&list, 400, &lens, codec, Granularity::Records);
+            let rcounts = decode_counts(&rbytes, df, 400, &lens, codec, Granularity::Records)
+                .unwrap();
+            let mut rstreamed = Vec::new();
+            decode_counts_with(&rbytes, df, 400, &lens, codec, Granularity::Records, |r, c| {
+                rstreamed.push((r, c))
+            })
+            .unwrap();
+            prop_assert_eq!(&rstreamed, &rcounts, "counts/records {}", codec.name());
         }
     }
 

@@ -3,7 +3,10 @@
 
 use std::path::PathBuf;
 
-use nucdb::{Database, DbConfig, IndexVariant, SearchParams, SequenceStore, StorageMode};
+use nucdb::{
+    CoarseScratch, Database, DbConfig, IndexVariant, RankingScheme, SearchParams, SequenceStore,
+    StorageMode, Strand,
+};
 use nucdb_index::{build_chunked, build_parallel, IndexParams, ListCodec};
 use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
 
@@ -178,8 +181,9 @@ fn fully_on_disk_database_gives_identical_results() {
 
 #[test]
 fn parallel_batch_search_matches_sequential_on_disk_index() {
-    // Concurrent queries against the (internally locked) on-disk index
-    // must give exactly the sequential results, in order.
+    // Concurrent queries against the on-disk index (lock-free positional
+    // reads, per-worker scratch) must give exactly the sequential
+    // results, in order.
     let coll = collection(206);
     let db = Database::build(
         coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
@@ -203,6 +207,53 @@ fn parallel_batch_search_matches_sequential_on_disk_index() {
             let b: Vec<(u32, i32)> =
                 par_outcome.results.iter().map(|r| (r.record, r.score)).collect();
             assert_eq!(a, b, "threads = {threads}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reused_scratch_gives_identical_results() {
+    // One CoarseScratch carried across many queries — varying ranking
+    // scheme, strand, stride, and accumulator limit, against both the
+    // in-memory and on-disk index — must reproduce the fresh-scratch
+    // results exactly. This is the allocation-free contract: reuse never
+    // leaks state between queries.
+    let coll = collection(207);
+    let db = Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        &DbConfig::default(),
+    );
+    let dir = temp_dir("scratch");
+    let disk_db = Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        &DbConfig::default(),
+    )
+    .with_disk_index(&dir.join("idx.nucidx"))
+    .unwrap();
+
+    let param_sets = [
+        SearchParams::default(),
+        SearchParams::default().with_ranking(RankingScheme::Count),
+        SearchParams::default().with_ranking(RankingScheme::Proportional),
+        SearchParams::default().with_strand(Strand::Both),
+        SearchParams { query_stride: 3, ..SearchParams::default() },
+        SearchParams { max_accumulators: Some(10), ..SearchParams::default() },
+    ];
+    for database in [&db, &disk_db] {
+        let mut scratch = CoarseScratch::new();
+        for i in 0..12 {
+            let f = i % coll.families.len();
+            let params = &param_sets[i % param_sets.len()];
+            let query = coll.query_for_family(f, 0.5, &MutationModel::standard(0.05));
+            let fresh = database.search(&query, params).unwrap();
+            let reused = database.search_with(&query, params, &mut scratch).unwrap();
+            let a: Vec<(u32, i32)> = fresh.results.iter().map(|r| (r.record, r.score)).collect();
+            let b: Vec<(u32, i32)> =
+                reused.results.iter().map(|r| (r.record, r.score)).collect();
+            assert_eq!(a, b, "family {f} params {params:?}");
+            assert_eq!(fresh.stats.total_hits, reused.stats.total_hits);
+            assert_eq!(fresh.stats.intervals_looked_up, reused.stats.intervals_looked_up);
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
