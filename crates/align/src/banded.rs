@@ -45,8 +45,7 @@ pub fn banded_sw_score(
     // j = i + center - half_width + b. The diagonal neighbour (i-1, j-1)
     // sits at the same slot of the previous row, "up" at slot b+1,
     // "left" at slot b-1.
-    let slot_to_col =
-        |i: usize, b: usize| i as i64 + center - half_width as i64 + b as i64;
+    let slot_to_col = |i: usize, b: usize| i as i64 + center - half_width as i64 + b as i64;
 
     let mut h_prev = vec![NEG; width + 2];
     let mut f_prev = vec![NEG; width + 2];
@@ -157,8 +156,7 @@ mod tests {
         let full = sw_score(&q, &t, &ScoringScheme::blastn());
         for center in -10i64..=10 {
             for half_width in [0usize, 1, 3, 8] {
-                let banded =
-                    banded_sw_score(&q, &t, &ScoringScheme::blastn(), center, half_width);
+                let banded = banded_sw_score(&q, &t, &ScoringScheme::blastn(), center, half_width);
                 assert!(
                     banded <= full,
                     "center {center} hw {half_width}: banded {banded} > full {full}"

@@ -26,7 +26,10 @@ pub struct BlastParams {
 
 impl Default for BlastParams {
     fn default() -> BlastParams {
-        BlastParams { word_len: 11, x_drop: 40 }
+        BlastParams {
+            word_len: 11,
+            x_drop: 40,
+        }
     }
 }
 
@@ -119,7 +122,10 @@ where
         .enumerate()
         .filter_map(|(id, target)| {
             let score = blast_score(&table, query, target, params, scheme);
-            (score > 0).then_some(ScanHit { id: id as u32, score })
+            (score > 0).then_some(ScanHit {
+                id: id as u32,
+                score,
+            })
         })
         .collect();
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
@@ -165,7 +171,10 @@ mod tests {
         let q = bases(b"AAAAAAAAAACCCCCCCCCC");
         let t = bases(b"AAAAAAAAGGAAAAAAAAGG"); // runs of 8 < w=11
         let table = WordTable::build(&q, 11);
-        assert_eq!(blast_score(&table, &q, &t, &BlastParams::default(), &scheme()), 0);
+        assert_eq!(
+            blast_score(&table, &q, &t, &BlastParams::default(), &scheme()),
+            0
+        );
     }
 
     #[test]
@@ -234,7 +243,10 @@ mod tests {
             blast_score(&t11, &q, &t, &BlastParams::default(), &scheme()),
             0
         );
-        let params8 = BlastParams { word_len: 8, ..BlastParams::default() };
+        let params8 = BlastParams {
+            word_len: 8,
+            ..BlastParams::default()
+        };
         let t8 = WordTable::build(&q, 8);
         assert_eq!(
             blast_score(&t8, &q, &t, &params8, &scheme()),

@@ -47,7 +47,11 @@ pub fn ungapped_lambda(scheme: &ScoringScheme, composition: [f64; 4]) -> Option<
     // f(λ) = Σ pᵢpⱼ e^{λ s} − 1 is convex, f(0) = 0, f'(0) = E[s] < 0,
     // f(λ) → ∞: exactly one positive root. Bracket then bisect.
     let f = |lambda: f64| -> f64 {
-        pairs.iter().map(|&(pp, s)| pp * (lambda * s as f64).exp()).sum::<f64>() - 1.0
+        pairs
+            .iter()
+            .map(|&(pp, s)| pp * (lambda * s as f64).exp())
+            .sum::<f64>()
+            - 1.0
     };
     let mut hi = 0.5;
     while f(hi) < 0.0 {
@@ -139,7 +143,11 @@ pub fn calibrate_gumbel(
     let lambda = std::f64::consts::PI / (6.0 * var.max(1e-9)).sqrt();
     let mu = mean - EULER_GAMMA / lambda;
     let k = (lambda * mu).exp() / (m as f64 * n as f64);
-    GumbelFit { lambda, k, calibrated_mn: (m, n) }
+    GumbelFit {
+        lambda,
+        k,
+        calibrated_mn: (m, n),
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +157,12 @@ mod tests {
     #[test]
     fn unit_scheme_lambda_is_ln3() {
         // +1/−1 uniform composition: 0.25·e^λ + 0.75·e^{−λ} = 1 ⇒ λ = ln 3.
-        let scheme = ScoringScheme { match_score: 1, mismatch_score: -1, gap_open: 0, gap_extend: 1 };
+        let scheme = ScoringScheme {
+            match_score: 1,
+            mismatch_score: -1,
+            gap_open: 0,
+            gap_extend: 1,
+        };
         let lambda = ungapped_lambda(&scheme, [0.25; 4]).unwrap();
         assert!((lambda - 3f64.ln()).abs() < 1e-9, "λ = {lambda}");
     }
@@ -164,7 +177,12 @@ mod tests {
     #[test]
     fn positive_expectation_has_no_lambda() {
         // Match +1, mismatch +1: expected score positive.
-        let scheme = ScoringScheme { match_score: 1, mismatch_score: 1, gap_open: 1, gap_extend: 1 };
+        let scheme = ScoringScheme {
+            match_score: 1,
+            mismatch_score: 1,
+            gap_open: 1,
+            gap_extend: 1,
+        };
         assert!(ungapped_lambda(&scheme, [0.25; 4]).is_none());
     }
 

@@ -35,7 +35,11 @@ pub struct FastaParams {
 
 impl Default for FastaParams {
     fn default() -> FastaParams {
-        FastaParams { ktup: 6, half_width: 16, top_diagonals: 4 }
+        FastaParams {
+            ktup: 6,
+            half_width: 16,
+            top_diagonals: 4,
+        }
     }
 }
 
@@ -104,7 +108,10 @@ where
         .enumerate()
         .filter_map(|(id, target)| {
             let score = fasta_score(&table, query, target, params, scheme);
-            (score > 0).then_some(ScanHit { id: id as u32, score })
+            (score > 0).then_some(ScanHit {
+                id: id as u32,
+                score,
+            })
         })
         .collect();
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
@@ -154,9 +161,15 @@ mod tests {
         let q = bases(b"ACG");
         let t = bases(b"ACGTACGTACGT");
         let table = WordTable::build(&q, 6);
-        assert_eq!(fasta_score(&table, &q, &t, &FastaParams::default(), &scheme()), 0);
+        assert_eq!(
+            fasta_score(&table, &q, &t, &FastaParams::default(), &scheme()),
+            0
+        );
         let table = WordTable::build(&t, 6);
-        assert_eq!(fasta_score(&table, &t, &q, &FastaParams::default(), &scheme()), 0);
+        assert_eq!(
+            fasta_score(&table, &t, &q, &FastaParams::default(), &scheme()),
+            0
+        );
     }
 
     #[test]

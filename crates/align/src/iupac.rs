@@ -128,7 +128,12 @@ mod tests {
     fn n_never_scores_below_mismatch() {
         // Even pathological schemes keep compatible codes at or above the
         // mismatch score.
-        let s = ScoringScheme { match_score: 1, mismatch_score: -10, gap_open: 2, gap_extend: 1 };
+        let s = ScoringScheme {
+            match_score: 1,
+            mismatch_score: -10,
+            gap_open: 2,
+            gap_extend: 1,
+        };
         for byte in b"ACGTRYSWKMBDHVN" {
             let code = IupacCode::from_ascii(*byte).unwrap();
             assert!(iupac_substitution(&s, IupacCode::N, code) >= s.mismatch_score);
@@ -143,12 +148,12 @@ mod tests {
         let q = seq(b"ACGTACGTACGTACGT");
         let t = seq(b"ACGTNNNNACGTACGT");
         let iupac = sw_score_iupac(&q, &t, &unit());
-        let collapsed =
-            sw_score(&q.representative_bases(), &t.representative_bases(), &unit());
-        assert!(
-            iupac >= collapsed,
-            "iupac {iupac} < collapsed {collapsed}"
+        let collapsed = sw_score(
+            &q.representative_bases(),
+            &t.representative_bases(),
+            &unit(),
         );
+        assert!(iupac >= collapsed, "iupac {iupac} < collapsed {collapsed}");
         // And the Ns must not count as full matches: scoring stays below
         // the all-match bound.
         assert!(iupac < q.len() as i32);

@@ -35,8 +35,8 @@ pub mod words;
 pub use banded::{band_for_diagonal, banded_sw_score};
 pub use blast_heur::{blast_scan, blast_score, BlastParams};
 pub use evalue::{calibrate_gumbel, ungapped_lambda, GumbelFit};
-pub use iupac::{iupac_substitution, sw_score_iupac};
 pub use fasta_heur::{fasta_scan, fasta_score, FastaParams};
+pub use iupac::{iupac_substitution, sw_score_iupac};
 pub use nw::nw_align;
 pub use result::{Alignment, CigarOp, ScanHit};
 pub use score::ScoringScheme;

@@ -34,14 +34,22 @@ pub fn nw_align(query: &[Base], target: &[Base], scheme: &ScoringScheme) -> Alig
     h[0] = 0;
     // First row: all-gap prefixes in the target (E states).
     for j in 1..=n {
-        e[j] = if j == 1 { gap_first } else { e[j - 1] + gap_next };
+        e[j] = if j == 1 {
+            gap_first
+        } else {
+            e[j - 1] + gap_next
+        };
         h[j] = e[j];
         dir[j] = H_FROM_E | if j > 1 { E_EXTEND } else { 0 };
     }
     // First column: all-gap prefixes in the query (F states).
     for i in 1..=m {
         let idx = i * width;
-        f[idx] = if i == 1 { gap_first } else { f[idx - width] + gap_next };
+        f[idx] = if i == 1 {
+            gap_first
+        } else {
+            f[idx - width] + gap_next
+        };
         h[idx] = f[idx];
         dir[idx] = H_FROM_F | if i > 1 { F_EXTEND } else { 0 };
     }
@@ -71,11 +79,14 @@ pub fn nw_align(query: &[Base], target: &[Base], scheme: &ScoringScheme) -> Alig
             };
 
             let sub = h[prev + j - 1] + scheme.substitution(query[i - 1], target[j - 1]);
-            let (score, source) =
-                [(sub, H_DIAG), (e[row + j], H_FROM_E), (f[row + j], H_FROM_F)]
-                    .into_iter()
-                    .max_by_key(|&(s, _)| s)
-                    .unwrap();
+            let (score, source) = [
+                (sub, H_DIAG),
+                (e[row + j], H_FROM_E),
+                (f[row + j], H_FROM_F),
+            ]
+            .into_iter()
+            .max_by_key(|&(s, _)| s)
+            .unwrap();
             h[row + j] = score;
             dir[row + j] = cell_dir | source;
         }
@@ -209,8 +220,12 @@ mod tests {
 
     #[test]
     fn affine_prefers_single_gap() {
-        let scheme =
-            ScoringScheme { match_score: 2, mismatch_score: -3, gap_open: 5, gap_extend: 1 };
+        let scheme = ScoringScheme {
+            match_score: 2,
+            mismatch_score: -3,
+            gap_open: 5,
+            gap_extend: 1,
+        };
         let q = bases(b"AAAATTTT");
         let t = bases(b"AAAACCTTTT");
         let a = nw_align(&q, &t, &scheme);

@@ -31,9 +31,7 @@ impl CigarOp {
     /// The run length.
     pub fn run(&self) -> u32 {
         match *self {
-            CigarOp::Match(n) | CigarOp::Mismatch(n) | CigarOp::Insert(n) | CigarOp::Delete(n) => {
-                n
-            }
+            CigarOp::Match(n) | CigarOp::Mismatch(n) | CigarOp::Insert(n) | CigarOp::Delete(n) => n,
         }
     }
 
@@ -66,7 +64,13 @@ impl Alignment {
     pub fn matches(&self) -> usize {
         self.cigar
             .iter()
-            .map(|op| if let CigarOp::Match(n) = op { *n as usize } else { 0 })
+            .map(|op| {
+                if let CigarOp::Match(n) = op {
+                    *n as usize
+                } else {
+                    0
+                }
+            })
             .sum()
     }
 
@@ -161,9 +165,21 @@ impl Alignment {
             let q_advance = q_chunk.chars().filter(|&c| c != '-').count();
             let t_advance = t_chunk.chars().filter(|&c| c != '-').count();
             use std::fmt::Write;
-            let _ = writeln!(out, "query   {:>6}  {}  {}", q_pos + 1, q_chunk, q_pos + q_advance);
+            let _ = writeln!(
+                out,
+                "query   {:>6}  {}  {}",
+                q_pos + 1,
+                q_chunk,
+                q_pos + q_advance
+            );
             let _ = writeln!(out, "                {m_chunk}");
-            let _ = writeln!(out, "target  {:>6}  {}  {}", t_pos + 1, t_chunk, t_pos + t_advance);
+            let _ = writeln!(
+                out,
+                "target  {:>6}  {}  {}",
+                t_pos + 1,
+                t_chunk,
+                t_pos + t_advance
+            );
             if end < total {
                 out.push('\n');
             }
@@ -272,7 +288,12 @@ mod tests {
 
     #[test]
     fn empty_alignment_identity_zero() {
-        let a = Alignment { score: 0, query_range: 0..0, target_range: 0..0, cigar: vec![] };
+        let a = Alignment {
+            score: 0,
+            query_range: 0..0,
+            target_range: 0..0,
+            cigar: vec![],
+        };
         assert_eq!(a.identity(), 0.0);
         assert!(a.is_consistent());
     }
@@ -282,10 +303,18 @@ mod tests {
         use crate::score::ScoringScheme;
         use crate::sw::sw_align;
         use nucdb_seq::DnaSeq;
-        let q = DnaSeq::from_ascii(b"AAAAACCCCC").unwrap().representative_bases();
-        let t = DnaSeq::from_ascii(b"AAAAAGGCCCCC").unwrap().representative_bases();
-        let scheme =
-            ScoringScheme { match_score: 1, mismatch_score: -3, gap_open: 2, gap_extend: 1 };
+        let q = DnaSeq::from_ascii(b"AAAAACCCCC")
+            .unwrap()
+            .representative_bases();
+        let t = DnaSeq::from_ascii(b"AAAAAGGCCCCC")
+            .unwrap()
+            .representative_bases();
+        let scheme = ScoringScheme {
+            match_score: 1,
+            mismatch_score: -3,
+            gap_open: 2,
+            gap_extend: 1,
+        };
         let alignment = sw_align(&q, &t, &scheme).unwrap();
         let text = alignment.render(&q, &t, 40);
         let lines: Vec<&str> = text.lines().collect();
@@ -306,7 +335,9 @@ mod tests {
         use crate::score::ScoringScheme;
         use crate::sw::sw_align;
         use nucdb_seq::DnaSeq;
-        let seq = DnaSeq::from_ascii(&[b'A'; 75]).unwrap().representative_bases();
+        let seq = DnaSeq::from_ascii(&[b'A'; 75])
+            .unwrap()
+            .representative_bases();
         let alignment = sw_align(&seq, &seq, &ScoringScheme::unit()).unwrap();
         let text = alignment.render(&seq, &seq, 30);
         // 75 columns at width 30 → 3 blocks of 3 lines + 2 separators.
@@ -325,6 +356,9 @@ mod tests {
         b.push(CigarOp::Insert(0)); // ignored
         b.push(CigarOp::Match(1));
         let ops = b.into_reversed();
-        assert_eq!(ops, vec![CigarOp::Match(1), CigarOp::Insert(1), CigarOp::Match(3)]);
+        assert_eq!(
+            ops,
+            vec![CigarOp::Match(1), CigarOp::Insert(1), CigarOp::Match(3)]
+        );
     }
 }

@@ -23,13 +23,23 @@ impl ScoringScheme {
     /// The classic nucleotide scheme used throughout the experiments:
     /// +5/−4 with gap open 10, extend 2 (BLASTN-like magnitudes).
     pub fn blastn() -> ScoringScheme {
-        ScoringScheme { match_score: 5, mismatch_score: -4, gap_open: 10, gap_extend: 2 }
+        ScoringScheme {
+            match_score: 5,
+            mismatch_score: -4,
+            gap_open: 10,
+            gap_extend: 2,
+        }
     }
 
     /// A unit scheme (+1/−1, gaps −2−1·L) convenient for hand-checked
     /// tests.
     pub fn unit() -> ScoringScheme {
-        ScoringScheme { match_score: 1, mismatch_score: -1, gap_open: 2, gap_extend: 1 }
+        ScoringScheme {
+            match_score: 1,
+            mismatch_score: -1,
+            gap_open: 2,
+            gap_extend: 1,
+        }
     }
 
     /// Substitution score for a base pair.

@@ -249,7 +249,12 @@ mod tests {
     /// Scheme where gapping through is strictly better than mismatching
     /// through (mismatch −3 vs a 2-gap cost of 2 + 2·1 = 4).
     fn gappy() -> ScoringScheme {
-        ScoringScheme { match_score: 1, mismatch_score: -3, gap_open: 2, gap_extend: 1 }
+        ScoringScheme {
+            match_score: 1,
+            mismatch_score: -3,
+            gap_open: 2,
+            gap_extend: 1,
+        }
     }
 
     #[test]
@@ -309,8 +314,12 @@ mod tests {
         // (open twice). Target has two separated deletions vs a variant
         // with one 2-base deletion; build the equivalent directly:
         // scheme: open 5, extend 1 → gap(2) = 7, gap(1)+gap(1) = 12.
-        let scheme =
-            ScoringScheme { match_score: 2, mismatch_score: -3, gap_open: 5, gap_extend: 1 };
+        let scheme = ScoringScheme {
+            match_score: 2,
+            mismatch_score: -3,
+            gap_open: 5,
+            gap_extend: 1,
+        };
         let query = bases(b"AAAATTTTGGGG");
         let target = bases(b"AAAACCTTTTGGGG");
         let aln = sw_align(&query, &target, &scheme).unwrap();

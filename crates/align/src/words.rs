@@ -54,9 +54,17 @@ impl WordTable {
     pub fn build(query: &[Base], k: usize) -> WordTable {
         let vocab = vocabulary_size(k);
         let mut table = if vocab <= DENSE_LIMIT {
-            WordTable { k, dense: Some(vec![Vec::new(); vocab as usize]), sparse: WordMap::default() }
+            WordTable {
+                k,
+                dense: Some(vec![Vec::new(); vocab as usize]),
+                sparse: WordMap::default(),
+            }
         } else {
-            WordTable { k, dense: None, sparse: WordMap::default() }
+            WordTable {
+                k,
+                dense: None,
+                sparse: WordMap::default(),
+            }
         };
         for (pos, code) in KmerIter::new(query, k) {
             match &mut table.dense {
@@ -129,7 +137,11 @@ mod tests {
         let q = bases(b"ACGGTTCAGGATCCGATTACAGTACGGT");
         let dense = WordTable::build(&q, 8);
         assert!(dense.dense.is_some());
-        let mut sparse = WordTable { k: 8, dense: None, sparse: WordMap::default() };
+        let mut sparse = WordTable {
+            k: 8,
+            dense: None,
+            sparse: WordMap::default(),
+        };
         for (pos, code) in KmerIter::new(&q, 8) {
             sparse.sparse.entry(code).or_default().push(pos as u32);
         }

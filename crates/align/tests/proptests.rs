@@ -20,7 +20,12 @@ fn schemes() -> [ScoringScheme; 3] {
     [
         ScoringScheme::unit(),
         ScoringScheme::blastn(),
-        ScoringScheme { match_score: 2, mismatch_score: -7, gap_open: 6, gap_extend: 1 },
+        ScoringScheme {
+            match_score: 2,
+            mismatch_score: -7,
+            gap_open: 6,
+            gap_extend: 1,
+        },
     ]
 }
 

@@ -39,7 +39,9 @@ fn bench_banded(c: &mut Criterion) {
     let (q, t) = seqs(400, 1000, 8);
     let mut group = c.benchmark_group("banded_sw");
     for half_width in [8usize, 24, 64] {
-        group.throughput(Throughput::Elements((q.len() * (2 * half_width + 1)) as u64));
+        group.throughput(Throughput::Elements(
+            (q.len() * (2 * half_width + 1)) as u64,
+        ));
         group.bench_with_input(
             BenchmarkId::from_parameter(half_width),
             &(q.clone(), t.clone()),
@@ -79,5 +81,11 @@ fn bench_scanners(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sw_score, bench_banded, bench_traceback, bench_scanners);
+criterion_group!(
+    benches,
+    bench_sw_score,
+    bench_banded,
+    bench_traceback,
+    bench_scanners
+);
 criterion_main!(benches);

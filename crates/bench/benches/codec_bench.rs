@@ -9,7 +9,9 @@ use rand::{RngExt, SeedableRng};
 
 fn geometric_gaps(n: usize, mean: f64, seed: u64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| (-(rng.random::<f64>().max(1e-12).ln()) * mean) as u64).collect()
+    (0..n)
+        .map(|_| (-(rng.random::<f64>().max(1e-12).ln()) * mean) as u64)
+        .collect()
 }
 
 fn codecs(mean: f64) -> Vec<(&'static str, Box<dyn IntCodec>)> {

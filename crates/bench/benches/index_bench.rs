@@ -9,8 +9,11 @@ use nucdb_seq::{Base, PackedSeq};
 
 fn bench_extraction(c: &mut Criterion) {
     let coll = collection(11, 200_000);
-    let bases: Vec<Vec<Base>> =
-        coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+    let bases: Vec<Vec<Base>> = coll
+        .records
+        .iter()
+        .map(|r| r.seq.representative_bases())
+        .collect();
     let total: u64 = bases.iter().map(|b| b.len() as u64).sum();
     let mut group = c.benchmark_group("interval_extraction");
     group.throughput(Throughput::Elements(total));
@@ -30,8 +33,11 @@ fn bench_extraction(c: &mut Criterion) {
 
 fn bench_build(c: &mut Criterion) {
     let coll = collection(12, 200_000);
-    let bases: Vec<Vec<Base>> =
-        coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+    let bases: Vec<Vec<Base>> = coll
+        .records
+        .iter()
+        .map(|r| r.seq.representative_bases())
+        .collect();
     let total: u64 = bases.iter().map(|b| b.len() as u64).sum();
     let mut group = c.benchmark_group("index_build_200k");
     group.sample_size(10);
@@ -84,7 +90,11 @@ fn bench_direct_coding(c: &mut Criterion) {
     let mut group = c.benchmark_group("direct_coding");
     group.throughput(Throughput::Elements(total));
     group.bench_function("pack", |b| {
-        b.iter(|| seqs.iter().map(|s| PackedSeq::pack(s).packed_bytes()).sum::<usize>())
+        b.iter(|| {
+            seqs.iter()
+                .map(|s| PackedSeq::pack(s).packed_bytes())
+                .sum::<usize>()
+        })
     });
     group.bench_function("unpack_bases", |b| {
         b.iter(|| packed.iter().map(|p| p.unpack_bases().len()).sum::<usize>())

@@ -23,13 +23,27 @@ fn bench_search(c: &mut Criterion) {
     });
     group.bench_function("coarse_only_frame", |b| {
         let params = SearchParams::default();
-        let IndexVariant::Memory(index) = db.index() else { unreachable!() };
-        b.iter(|| coarse_rank(index, &query_bases, &params).unwrap().candidates.len())
+        let IndexVariant::Memory(index) = db.index() else {
+            unreachable!()
+        };
+        b.iter(|| {
+            coarse_rank(index, &query_bases, &params)
+                .unwrap()
+                .candidates
+                .len()
+        })
     });
     group.bench_function("coarse_only_count", |b| {
         let params = SearchParams::default().with_ranking(RankingScheme::Count);
-        let IndexVariant::Memory(index) = db.index() else { unreachable!() };
-        b.iter(|| coarse_rank(index, &query_bases, &params).unwrap().candidates.len())
+        let IndexVariant::Memory(index) = db.index() else {
+            unreachable!()
+        };
+        b.iter(|| {
+            coarse_rank(index, &query_bases, &params)
+                .unwrap()
+                .candidates
+                .len()
+        })
     });
     group.finish();
 
@@ -45,7 +59,10 @@ fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("coarse_scratch_1mb");
     for (backend, target) in [("memory", &db), ("disk", &disk_db)] {
         for stride in [1usize, 4] {
-            let params = SearchParams { query_stride: stride, ..SearchParams::default() };
+            let params = SearchParams {
+                query_stride: stride,
+                ..SearchParams::default()
+            };
             group.bench_function(format!("{backend}_stride{stride}"), |b| {
                 let mut scratch = CoarseScratch::new();
                 b.iter(|| {

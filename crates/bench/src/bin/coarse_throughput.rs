@@ -17,7 +17,10 @@ use std::time::{Duration, Instant};
 
 use nucdb::{coarse_rank_with, CoarseScratch, Database, DbConfig, SearchParams};
 use nucdb_bench::json::Value;
-use nucdb_bench::{banner, collection, database, family_queries, results_path, Table};
+use nucdb_bench::{
+    banner, collection, database, family_queries, latency_block, results_path, Table,
+};
+use nucdb_obs::Histogram;
 use nucdb_seq::Base;
 
 const THREADS: &[usize] = &[1, 2, 4, 8];
@@ -25,7 +28,16 @@ const REPEATS: usize = 3;
 
 /// Run the whole query batch across `num_threads` workers, each owning a
 /// private scratch, and return the best-of-`REPEATS` wall time.
-fn run_batch(db: &Database, queries: &[Vec<Base>], params: &SearchParams, num_threads: usize) -> Duration {
+/// Per-query latencies land in `latency` (a disabled histogram records
+/// nothing and costs one branch, so the sweep pays only the `Instant`
+/// reads either way).
+fn run_batch(
+    db: &Database,
+    queries: &[Vec<Base>],
+    params: &SearchParams,
+    num_threads: usize,
+    latency: &Histogram,
+) -> Duration {
     let mut best = Duration::MAX;
     for _ in 0..REPEATS {
         let next = AtomicUsize::new(0);
@@ -39,9 +51,12 @@ fn run_batch(db: &Database, queries: &[Vec<Base>], params: &SearchParams, num_th
                         if i >= queries.len() {
                             break;
                         }
-                        let outcome = coarse_rank_with(db.index(), &queries[i], params, &mut scratch)
-                            .expect("coarse search failed");
+                        let t0 = Instant::now();
+                        let outcome =
+                            coarse_rank_with(db.index(), &queries[i], params, &mut scratch)
+                                .expect("coarse search failed");
                         std::hint::black_box(outcome.candidates.len());
+                        latency.record_duration(t0.elapsed());
                     }
                 });
             }
@@ -52,13 +67,18 @@ fn run_batch(db: &Database, queries: &[Vec<Base>], params: &SearchParams, num_th
 }
 
 fn main() {
-    banner("BENCH", "coarse-stage throughput across worker threads (on-disk index)");
+    banner(
+        "BENCH",
+        "coarse-stage throughput across worker threads (on-disk index)",
+    );
     let size = 2_000_000usize;
     let coll = collection(0xC0A53, size);
     let db = database(&coll, &DbConfig::default());
     let dir = std::env::temp_dir().join(format!("nucdb_coarse_tp_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let db = db.with_disk_index(&dir.join("idx.nucidx")).expect("write on-disk index");
+    let db = db
+        .with_disk_index(&dir.join("idx.nucidx"))
+        .expect("write on-disk index");
     let params = SearchParams::default();
 
     // A batch big enough that work-stealing amortises: every family query
@@ -67,20 +87,26 @@ fn main() {
         .into_iter()
         .map(|(_, q)| q.representative_bases())
         .collect();
-    let queries: Vec<Vec<Base>> =
-        (0..64).map(|i| family[i % family.len()].clone()).collect();
+    let queries: Vec<Vec<Base>> = (0..64).map(|i| family[i % family.len()].clone()).collect();
 
     // Warm up: fault in the vocabulary and OS page cache so the sweep
     // measures decode + accumulate, not first-touch I/O.
-    run_batch(&db, &queries[..8.min(queries.len())], &params, 1);
+    run_batch(
+        &db,
+        &queries[..8.min(queries.len())],
+        &params,
+        1,
+        &Histogram::disabled(),
+    );
 
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut table =
-        Table::new(&["threads", "wall ms", "queries/s", "speedup vs 1"]);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(&["threads", "wall ms", "queries/s", "speedup vs 1"]);
     let mut rows: Vec<Value> = Vec::new();
     let mut single_qps = 0.0f64;
     for &threads in THREADS {
-        let wall = run_batch(&db, &queries, &params, threads);
+        let wall = run_batch(&db, &queries, &params, threads, &Histogram::disabled());
         let qps = queries.len() as f64 / wall.as_secs_f64();
         if threads == 1 {
             single_qps = qps;
@@ -100,8 +126,28 @@ fn main() {
         ]));
     }
     table.print();
+    println!("\nhost CPUs available: {host_cpus} (thread counts above this cannot scale)");
+
+    // Metrics overhead: the same single-threaded batch with the latency
+    // histogram disabled (one branch per query) vs live (three relaxed
+    // atomic RMWs per query). The live run also supplies the per-query
+    // latency distribution for the JSON output.
+    let wall_disabled = run_batch(&db, &queries, &params, 1, &Histogram::disabled());
+    let hist = Histogram::new();
+    let wall_enabled = run_batch(&db, &queries, &params, 1, &hist);
+    let latency = hist.snapshot();
+    let overhead_pct = (wall_enabled.as_secs_f64() / wall_disabled.as_secs_f64() - 1.0) * 100.0;
     println!(
-        "\nhost CPUs available: {host_cpus} (thread counts above this cannot scale)"
+        "\nmetrics overhead (1 thread): disabled {:.2} ms, enabled {:.2} ms ({overhead_pct:+.2}%)",
+        wall_disabled.as_secs_f64() * 1e3,
+        wall_enabled.as_secs_f64() * 1e3,
+    );
+    println!(
+        "per-query coarse latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        latency.p50() as f64 / 1e6,
+        latency.p90() as f64 / 1e6,
+        latency.p99() as f64 / 1e6,
+        latency.max as f64 / 1e6,
     );
 
     let out = Value::Obj(vec![
@@ -120,6 +166,21 @@ fn main() {
         ("repeats_best_of", Value::Int(REPEATS as u64)),
         ("host_cpus", Value::Int(host_cpus as u64)),
         ("sweep", Value::Arr(rows)),
+        ("latency_ns", latency_block(&latency)),
+        (
+            "metrics_overhead",
+            Value::Obj(vec![
+                (
+                    "wall_ms_disabled",
+                    Value::Num(wall_disabled.as_secs_f64() * 1e3),
+                ),
+                (
+                    "wall_ms_enabled",
+                    Value::Num(wall_enabled.as_secs_f64() * 1e3),
+                ),
+                ("overhead_pct", Value::Num(overhead_pct)),
+            ]),
+        ),
     ]);
     let path = results_path("BENCH_coarse.json");
     std::fs::write(&path, out.render() + "\n").expect("write BENCH_coarse.json");

@@ -51,13 +51,21 @@ fn main() {
     };
 
     for stride in [1usize, 2, 4, 8, 16] {
-        let params = SearchParams { query_stride: stride, ..SearchParams::default() };
+        let params = SearchParams {
+            query_stride: stride,
+            ..SearchParams::default()
+        };
         run(format!("stride {stride}"), &params);
     }
     for limit in [None, Some(10_000), Some(1_000), Some(100), Some(30)] {
-        let params = SearchParams { max_accumulators: limit, ..SearchParams::default() };
+        let params = SearchParams {
+            max_accumulators: limit,
+            ..SearchParams::default()
+        };
         run(
-            limit.map_or("accumulators unlimited".to_string(), |l| format!("accumulators {l}")),
+            limit.map_or("accumulators unlimited".to_string(), |l| {
+                format!("accumulators {l}")
+            }),
             &params,
         );
     }

@@ -23,7 +23,10 @@ fn main() {
     };
     let coll = SyntheticCollection::generate(&spec);
     let db = database(&coll, &DbConfig::default());
-    println!("collection: {} records (30% carry repeats)", coll.records.len());
+    println!(
+        "collection: {} records (30% carry repeats)",
+        coll.records.len()
+    );
 
     // Contaminated queries: a family fragment with a 120-base repeat
     // segment appended, tiling a unit from the collection's own repeat
@@ -60,7 +63,10 @@ fn main() {
         ("unmasked", None),
         ("dust masked", Some(DustParams::default())),
     ] {
-        let params = SearchParams { mask, ..SearchParams::default() };
+        let params = SearchParams {
+            mask,
+            ..SearchParams::default()
+        };
         let mut postings = 0u64;
         let mut hits = 0u64;
         let mut recall = 0.0;

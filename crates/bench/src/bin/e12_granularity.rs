@@ -8,7 +8,9 @@
 //! recall for both, on the same collection and queries.
 
 use nucdb::{recall_at, DbConfig, FineMode, IndexVariant, RankingScheme, SearchParams};
-use nucdb_bench::{banner, bytes, collection, database, family_queries, family_relevant, time, Table};
+use nucdb_bench::{
+    banner, bytes, collection, database, family_queries, family_relevant, time, Table,
+};
 use nucdb_index::{Granularity, IndexParams};
 
 fn main() {
@@ -61,7 +63,9 @@ fn main() {
 
     for (label, config, params) in configs {
         let db = database(&coll, &config);
-        let IndexVariant::Memory(index) = db.index() else { unreachable!() };
+        let IndexVariant::Memory(index) = db.index() else {
+            unreachable!()
+        };
         let index_bytes = index.stats().total_bytes();
 
         let mut coarse_ns = 0u64;

@@ -10,10 +10,16 @@ use nucdb_bench::{banner, bytes, collection, time, Table};
 use nucdb_index::{IndexBuilder, IndexParams, ListCodec};
 
 fn main() {
-    banner("E1", "index size vs interval length, compressed vs uncompressed");
+    banner(
+        "E1",
+        "index size vs interval length, compressed vs uncompressed",
+    );
     let coll = collection(0xE1, 4_000_000);
-    let bases: Vec<Vec<nucdb_seq::Base>> =
-        coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+    let bases: Vec<Vec<nucdb_seq::Base>> = coll
+        .records
+        .iter()
+        .map(|r| r.seq.representative_bases())
+        .collect();
     let collection_bytes: u64 = coll.total_bases() as u64; // 1 byte/base ASCII
     println!(
         "collection: {} records, {} bases",

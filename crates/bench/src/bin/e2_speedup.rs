@@ -9,7 +9,10 @@
 use nucdb::{exhaustive_blast, exhaustive_fasta, exhaustive_sw, DbConfig, SearchParams};
 use nucdb_align::{BlastParams, FastaParams};
 use nucdb_bench::json::Value;
-use nucdb_bench::{banner, collection, database, family_queries, results_path, time, Table};
+use nucdb_bench::{
+    banner, collection, database, family_queries, latency_block, results_path, time, Table,
+};
+use nucdb_obs::{HistogramSnapshot, MetricsRegistry, ValueSnapshot};
 
 fn main() {
     banner("E2", "per-query time: partitioned vs exhaustive search");
@@ -32,7 +35,11 @@ fn main() {
 
     for &size in sizes {
         let coll = collection(0xE2, size);
-        let db = database(&coll, &DbConfig::default());
+        let mut db = database(&coll, &DbConfig::default());
+        // Per-query latency percentiles for the partitioned runs come from
+        // the engine's own metrics; the registry is private to this size.
+        let registry = MetricsRegistry::new();
+        db.bind_metrics(&registry);
         // Three family queries, ~300 bases each (typical 1996 submission).
         let queries: Vec<_> = family_queries(&coll, 0.6, 0.05)
             .into_iter()
@@ -51,6 +58,10 @@ fn main() {
                 std::hint::black_box(outcome.results.len());
             }
         });
+        let latency = match registry.snapshot().get("nucdb_query_latency_ns") {
+            Some(ValueSnapshot::Histogram(hist)) => hist.clone(),
+            _ => HistogramSnapshot::empty(),
+        };
         let (_, sw) = time(|| {
             for q in &queries {
                 std::hint::black_box(exhaustive_sw(db.store(), q, &scheme).len());
@@ -95,12 +106,16 @@ fn main() {
             ("speedup_vs_sw", Value::Num(per(sw) / per(part))),
             ("speedup_vs_fasta", Value::Num(per(fasta) / per(part))),
             ("speedup_vs_blast", Value::Num(per(blast) / per(part))),
+            ("latency_ns", latency_block(&latency)),
         ]));
     }
     table.print();
     let out = Value::Obj(vec![
         ("experiment", Value::Str("e2_speedup".into())),
-        ("description", Value::Str("per-query time: partitioned vs exhaustive search".into())),
+        (
+            "description",
+            Value::Str("per-query time: partitioned vs exhaustive search".into()),
+        ),
         ("rows", Value::Arr(json_rows)),
     ]);
     let path = results_path("e2_speedup.json");

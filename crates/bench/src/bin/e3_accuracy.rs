@@ -36,7 +36,11 @@ fn main() {
         truths_raw.push(hits.iter().take(10).map(|h| h.id).collect());
         let cutoff = (scheme.max_score(q.len()) / 4) as i32;
         truths_sig.push(
-            hits.iter().take(10).filter(|h| h.score >= cutoff).map(|h| h.id).collect(),
+            hits.iter()
+                .take(10)
+                .filter(|h| h.score >= cutoff)
+                .map(|h| h.id)
+                .collect(),
         );
     }
 

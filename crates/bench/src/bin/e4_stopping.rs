@@ -6,7 +6,9 @@
 //! size, mean query time, and planted-family recall.
 
 use nucdb::{recall_at, DbConfig, IndexVariant, SearchParams};
-use nucdb_bench::{banner, bytes, collection, database, family_queries, family_relevant, time, Table};
+use nucdb_bench::{
+    banner, bytes, collection, database, family_queries, family_relevant, time, Table,
+};
 use nucdb_index::{IndexParams, StopPolicy};
 
 fn main() {
@@ -28,12 +30,24 @@ fn main() {
     // records) so the repeat families' lists stand out as the heavy tail
     // the thresholds step down through. At the end the threshold cuts
     // into ordinary intervals and recall pays.
-    let fractions: &[Option<f64>] =
-        &[None, Some(0.04), Some(0.02), Some(0.01), Some(0.003), Some(0.0008)];
+    let fractions: &[Option<f64>] = &[
+        None,
+        Some(0.04),
+        Some(0.02),
+        Some(0.01),
+        Some(0.003),
+        Some(0.0008),
+    ];
     for &frac in fractions {
         let mut index = IndexParams::new(10);
         index.stopping = frac.map(StopPolicy::DfFraction);
-        let db = database(&coll, &DbConfig { index, ..DbConfig::default() });
+        let db = database(
+            &coll,
+            &DbConfig {
+                index,
+                ..DbConfig::default()
+            },
+        );
         let stats = match db.index() {
             IndexVariant::Memory(i) => i.stats(),
             IndexVariant::Disk(_) => unreachable!(),

@@ -7,7 +7,9 @@
 //! scheme and reports encoded size and decode throughput.
 
 use nucdb_bench::{banner, bytes, collection, time, Table};
-use nucdb_index::{decode_postings, encode_postings, Granularity, IndexBuilder, IndexParams, ListCodec};
+use nucdb_index::{
+    decode_postings, encode_postings, Granularity, IndexBuilder, IndexParams, ListCodec,
+};
 
 fn main() {
     banner("E5", "postings codec comparison: size and decode speed");
@@ -21,7 +23,10 @@ fn main() {
     let num_records = reference.num_records();
     let lens = reference.record_lens().to_vec();
     let total_postings: u64 = lists.iter().map(|(_, l)| l.df() as u64).sum();
-    let total_offsets: u64 = lists.iter().map(|(_, l)| l.total_occurrences() as u64).sum();
+    let total_offsets: u64 = lists
+        .iter()
+        .map(|(_, l)| l.total_occurrences() as u64)
+        .sum();
     println!(
         "postings data: {} lists, {} entries, {} offsets",
         bytes(lists.len() as u64),
@@ -38,13 +43,20 @@ fn main() {
         "Mpostings/s",
     ]);
 
-    for codec in
-        [ListCodec::Paper, ListCodec::Interp, ListCodec::Gamma, ListCodec::Delta, ListCodec::VByte, ListCodec::Fixed]
-    {
+    for codec in [
+        ListCodec::Paper,
+        ListCodec::Interp,
+        ListCodec::Gamma,
+        ListCodec::Delta,
+        ListCodec::VByte,
+        ListCodec::Fixed,
+    ] {
         let (encoded, enc_time) = time(|| {
             lists
                 .iter()
-                .map(|(_, list)| encode_postings(list, num_records, &lens, codec, Granularity::Offsets))
+                .map(|(_, list)| {
+                    encode_postings(list, num_records, &lens, codec, Granularity::Offsets)
+                })
                 .collect::<Vec<_>>()
         });
         let encoded_bytes: u64 = encoded.iter().map(|b| b.len() as u64).sum();
@@ -52,9 +64,8 @@ fn main() {
         let (ok, dec_time) = time(|| {
             let mut ok = true;
             for ((_, list), blob) in lists.iter().zip(&encoded) {
-                let decoded =
-                    decode_postings(blob, list.df() as u32, num_records, &lens, codec)
-                        .expect("round trip");
+                let decoded = decode_postings(blob, list.df() as u32, num_records, &lens, codec)
+                    .expect("round trip");
                 ok &= &decoded == list;
             }
             ok

@@ -14,7 +14,11 @@ fn main() {
     banner("E6", "sequence store: ASCII vs 2-bit direct coding");
     let coll = collection(0xE6, 8_000_000);
     let queries = family_queries(&coll, 0.6, 0.05);
-    println!("collection: {} records, {} bases", coll.records.len(), coll.total_bases());
+    println!(
+        "collection: {} records, {} bases",
+        coll.records.len(),
+        coll.total_bases()
+    );
 
     // Fine-heavy parameters: a large candidate cutoff makes the store the
     // dominant cost, as disk-resident sequences were in 1996.
@@ -31,7 +35,13 @@ fn main() {
 
     let mut reference: Option<Vec<Vec<(u32, i32)>>> = None;
     for mode in [StorageMode::Ascii, StorageMode::DirectCoding] {
-        let db = database(&coll, &DbConfig { storage: mode, ..DbConfig::default() });
+        let db = database(
+            &coll,
+            &DbConfig {
+                storage: mode,
+                ..DbConfig::default()
+            },
+        );
 
         // Decode throughput: unpack every record once.
         let (decoded_bases, decode_time) = time(|| {
@@ -66,9 +76,18 @@ fn main() {
         table.row(vec![
             format!("{mode:?}"),
             bytes(db.store().stored_bytes() as u64),
-            format!("{:.3}", db.store().stored_bytes() as f64 / db.store().total_bases() as f64),
-            format!("{:.2}", decoded_bases as f64 / decode_time.as_secs_f64() / 1e9),
-            format!("{:.2}", query_time.as_secs_f64() * 1e3 / queries.len() as f64),
+            format!(
+                "{:.3}",
+                db.store().stored_bytes() as f64 / db.store().total_bases() as f64
+            ),
+            format!(
+                "{:.2}",
+                decoded_bases as f64 / decode_time.as_secs_f64() / 1e9
+            ),
+            format!(
+                "{:.2}",
+                query_time.as_secs_f64() * 1e3 / queries.len() as f64
+            ),
             equal,
         ]);
     }
@@ -88,11 +107,17 @@ fn main() {
     std::fs::create_dir_all(&work).expect("temp dir");
     for mode in [StorageMode::Ascii, StorageMode::DirectCoding] {
         let tag = format!("{mode:?}");
-        let db = database(&coll, &DbConfig { storage: mode, ..DbConfig::default() })
-            .with_disk_index(&work.join(format!("{tag}.nucidx")))
-            .expect("disk index")
-            .with_disk_store(&work.join(format!("{tag}.nucsto")))
-            .expect("disk store");
+        let db = database(
+            &coll,
+            &DbConfig {
+                storage: mode,
+                ..DbConfig::default()
+            },
+        )
+        .with_disk_index(&work.join(format!("{tag}.nucidx")))
+        .expect("disk index")
+        .with_disk_store(&work.join(format!("{tag}.nucsto")))
+        .expect("disk store");
         let mut bytes_read = 0u64;
         let mut records = 0u64;
         let (_, took) = time(|| {

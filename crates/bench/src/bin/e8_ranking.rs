@@ -26,7 +26,10 @@ fn main() {
     println!(
         "collection: {} records ({} decoys); divergence 8% queries",
         coll.records.len(),
-        coll.families.iter().map(|f| f.decoy_ids.len()).sum::<usize>()
+        coll.families
+            .iter()
+            .map(|f| f.decoy_ids.len())
+            .sum::<usize>()
     );
 
     let schemes: &[(&str, RankingScheme)] = &[
@@ -52,13 +55,15 @@ fn main() {
             let family = family_relevant(&coll, *f);
             let decoys: std::collections::HashSet<u32> =
                 coll.families[*f].decoy_ids.iter().copied().collect();
-            let params = SearchParams::default().with_ranking(ranking).with_candidates(30);
+            let params = SearchParams::default()
+                .with_ranking(ranking)
+                .with_candidates(30);
 
-            let IndexVariant::Memory(index) = db.index() else { unreachable!() };
-            let coarse =
-                coarse_rank(index, &query.representative_bases(), &params).unwrap();
-            let top5: Vec<u32> =
-                coarse.candidates.iter().take(5).map(|c| c.record).collect();
+            let IndexVariant::Memory(index) = db.index() else {
+                unreachable!()
+            };
+            let coarse = coarse_rank(index, &query.representative_bases(), &params).unwrap();
+            let top5: Vec<u32> = coarse.candidates.iter().take(5).map(|c| c.record).collect();
             member5 += top5.iter().filter(|r| family.contains(r)).count() as f64;
             decoy5 += top5.iter().filter(|r| decoys.contains(r)).count() as f64;
 

@@ -28,7 +28,10 @@ pub fn collection(seed: u64, total_bases: usize) -> SyntheticCollection {
 
 /// Build a database over a collection.
 pub fn database(coll: &SyntheticCollection, config: &DbConfig) -> Database {
-    Database::build(coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())), config)
+    Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        config,
+    )
 }
 
 /// One query per planted family: a mutated fragment of the family parent.
@@ -40,7 +43,12 @@ pub fn family_queries(
     divergence: f64,
 ) -> Vec<(usize, DnaSeq)> {
     (0..coll.families.len())
-        .map(|f| (f, coll.query_for_family(f, frac, &MutationModel::standard(divergence))))
+        .map(|f| {
+            (
+                f,
+                coll.query_for_family(f, frac, &MutationModel::standard(divergence)),
+            )
+        })
         .collect()
 }
 
@@ -88,7 +96,10 @@ pub struct Table {
 impl Table {
     /// Create with column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()). collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -120,6 +131,22 @@ impl Table {
             render(row);
         }
     }
+}
+
+/// The `latency_ns` block shared by the experiment JSON files: count,
+/// mean, and p50/p90/p99/max of a latency histogram, in nanoseconds.
+/// Percentiles are HDR-bucket upper bounds (≤ 1/16 relative error); see
+/// DESIGN.md "Observability".
+pub fn latency_block(latency: &nucdb_obs::HistogramSnapshot) -> json::Value {
+    use json::Value;
+    Value::Obj(vec![
+        ("count", Value::Int(latency.count())),
+        ("mean", Value::Num(latency.mean())),
+        ("p50", Value::Int(latency.p50())),
+        ("p90", Value::Int(latency.p90())),
+        ("p99", Value::Int(latency.p99())),
+        ("max", Value::Int(latency.max)),
+    ])
 }
 
 /// Print an experiment banner.

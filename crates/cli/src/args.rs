@@ -1,4 +1,5 @@
-//! Minimal long-option argument parsing (`--key value` and `--flag`).
+//! Minimal long-option argument parsing (`--key value`, `--key=value`,
+//! and `--flag`).
 //!
 //! The CLI deliberately has no third-party argument-parser dependency;
 //! the option surface is small and fixed per subcommand.
@@ -40,19 +41,39 @@ impl Args {
         let mut iter = raw.iter();
         while let Some(token) = iter.next() {
             let Some(name) = token.strip_prefix("--") else {
-                return Err(UsageError(format!("unexpected positional argument {token:?}")));
+                return Err(UsageError(format!(
+                    "unexpected positional argument {token:?}"
+                )));
+            };
+            // `--key=value` form: split before matching the option name.
+            let (name, inline_value) = match name.split_once('=') {
+                Some((n, v)) => (n, Some(v)),
+                None => (name, None),
             };
             if flag_opts.contains(&name) {
+                if inline_value.is_some() {
+                    return Err(UsageError(format!("flag --{name} does not take a value")));
+                }
                 args.flags.push(name.to_string());
             } else if value_opts.contains(&name) {
-                let value = iter.next().ok_or_else(|| {
-                    UsageError(format!("option --{name} requires a value"))
-                })?;
-                args.values.insert(name.to_string(), value.clone());
+                let value = match inline_value {
+                    Some(v) => v.to_string(),
+                    None => iter
+                        .next()
+                        .ok_or_else(|| UsageError(format!("option --{name} requires a value")))?
+                        .clone(),
+                };
+                if args.values.insert(name.to_string(), value).is_some() {
+                    return Err(UsageError(format!("option --{name} given more than once")));
+                }
             } else {
                 return Err(UsageError(format!(
                     "unknown option --{name}; expected one of: {}",
-                    args.allowed.iter().map(|o| format!("--{o}")).collect::<Vec<_>>().join(", ")
+                    args.allowed
+                        .iter()
+                        .map(|o| format!("--{o}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )));
             }
         }
@@ -76,9 +97,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, UsageError> {
         match self.values.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                UsageError(format!("option --{name}: cannot parse {raw:?}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| UsageError(format!("option --{name}: cannot parse {raw:?}"))),
         }
     }
 
@@ -130,5 +151,58 @@ mod tests {
         let args = Args::parse(&raw(&["--k", "notanumber"]), &["k"], &[]).unwrap();
         let err = args.get_or("k", 0usize).unwrap_err();
         assert!(err.0.contains("--k"));
+    }
+
+    #[test]
+    fn accepts_equals_form() {
+        let args = Args::parse(
+            &raw(&["--k=8", "--out=x.idx", "--both-strands"]),
+            &["k", "out"],
+            &["both-strands"],
+        )
+        .unwrap();
+        assert_eq!(args.get_or("k", 0usize).unwrap(), 8);
+        assert_eq!(args.get("out"), Some("x.idx"));
+        assert!(args.flag("both-strands"));
+    }
+
+    #[test]
+    fn equals_form_keeps_later_equals_signs_in_value() {
+        let args = Args::parse(&raw(&["--expr=a=b"]), &["expr"], &[]).unwrap();
+        assert_eq!(args.get("expr"), Some("a=b"));
+    }
+
+    #[test]
+    fn equals_form_allows_empty_value() {
+        let args = Args::parse(&raw(&["--out="]), &["out"], &[]).unwrap();
+        assert_eq!(args.get("out"), Some(""));
+    }
+
+    #[test]
+    fn rejects_value_on_flag() {
+        let err = Args::parse(&raw(&["--both-strands=yes"]), &[], &["both-strands"]).unwrap_err();
+        assert!(err.0.contains("--both-strands"));
+        assert!(err.0.contains("does not take a value"));
+    }
+
+    #[test]
+    fn rejects_duplicate_value_option() {
+        let err = Args::parse(&raw(&["--k", "8", "--k", "9"]), &["k"], &[]).unwrap_err();
+        assert!(err.0.contains("--k"));
+        assert!(err.0.contains("more than once"));
+        // Mixed spellings count as the same option.
+        let err = Args::parse(&raw(&["--k=8", "--k", "9"]), &["k"], &[]).unwrap_err();
+        assert!(err.0.contains("more than once"));
+    }
+
+    #[test]
+    fn repeated_flags_are_tolerated() {
+        let args = Args::parse(
+            &raw(&["--both-strands", "--both-strands"]),
+            &[],
+            &["both-strands"],
+        )
+        .unwrap();
+        assert!(args.flag("both-strands"));
     }
 }

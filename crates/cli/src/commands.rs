@@ -11,6 +11,7 @@ use nucdb::{
 };
 use nucdb_align::calibrate_gumbel;
 use nucdb_index::{build_chunked, Granularity, IndexParams, ListCodec, OnDiskIndex, StopPolicy};
+use nucdb_obs::{HistogramSnapshot, MetricsRegistry, TraceSink, ValueSnapshot};
 use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
 use nucdb_seq::{FastaReader, FastaRecord, FastaWriter};
 
@@ -34,6 +35,8 @@ commands:
              --db DIR --query FILE [--candidates N] [--ranking count|prop|frame:W]
              [--fine banded:W|full|trace] [--both-strands] [--max-results N]
              [--min-score N] [--evalue] [--mask] [--query-stride N]
+             [--metrics FILE] [--metrics-format prometheus|json]
+             [--trace FILE] [--trace-sample N]
   merge      merge two databases into one (record ids of B follow A's)
              --db-a DIR --db-b DIR --out DIR
   stats      print index and store statistics
@@ -41,11 +44,17 @@ commands:
   verify     check database consistency (store vs index, list decoding)
              --db DIR [--sample N]
   bench      time a query workload against a database
-             --db DIR --query FILE [--repeat N]
+             --db DIR --query FILE [--repeat N] [--metrics FILE]
+             [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
   help       this message
 
-search also accepts --tabular for TSV output (query, subject, score,
-strand, hits[, bits, evalue]).";
+Options may be spelled --key value or --key=value. search also accepts
+--tabular for TSV output (query, subject, score, strand,
+hits[, bits, evalue]).
+
+--metrics FILE writes a metrics snapshot (counters + latency histograms)
+when the command finishes; --trace FILE appends one JSON line per sampled
+query (--trace-sample N keeps every Nth).";
 
 const INDEX_FILE: &str = "index.nucidx";
 const STORE_FILE: &str = "store.nucsto";
@@ -102,7 +111,10 @@ pub fn generate(raw: &[String]) -> CommandResult {
         writeln!(truth, "fam{f:02}\t{}", members.join("\t"))?;
     }
     truth.flush()?;
-    println!("wrote planted-family ground truth to {}", truth_path.display());
+    println!(
+        "wrote planted-family ground truth to {}",
+        truth_path.display()
+    );
 
     if let Some(qpath) = args.get("queries-out") {
         let qpath = PathBuf::from(qpath);
@@ -112,7 +124,11 @@ pub fn generate(raw: &[String]) -> CommandResult {
             writer.write_record(&FastaRecord::new(format!("query_fam{f:02}"), query))?;
         }
         writer.into_inner()?;
-        println!("wrote {} queries to {}", coll.families.len(), qpath.display());
+        println!(
+            "wrote {} queries to {}",
+            coll.families.len(),
+            qpath.display()
+        );
     }
     Ok(())
 }
@@ -136,7 +152,16 @@ fn parse_codec(name: &str) -> Result<ListCodec, UsageError> {
 pub fn build(raw: &[String]) -> CommandResult {
     let args = Args::parse(
         raw,
-        &["collection", "db", "k", "stride", "stop-fraction", "codec", "chunk", "granularity"],
+        &[
+            "collection",
+            "db",
+            "k",
+            "stride",
+            "stop-fraction",
+            "codec",
+            "chunk",
+            "granularity",
+        ],
         &["ascii-store"],
     )?;
     let collection = PathBuf::from(args.required("collection")?);
@@ -145,8 +170,11 @@ pub fn build(raw: &[String]) -> CommandResult {
     let stride: usize = args.get_or("stride", 1)?;
     let codec = parse_codec(args.get("codec").unwrap_or("paper"))?;
     let chunk: usize = args.get_or("chunk", 2048)?;
-    let storage =
-        if args.flag("ascii-store") { StorageMode::Ascii } else { StorageMode::DirectCoding };
+    let storage = if args.flag("ascii-store") {
+        StorageMode::Ascii
+    } else {
+        StorageMode::DirectCoding
+    };
 
     let mut params = IndexParams::new(k).with_stride(stride);
     if let Some(gran) = args.get("granularity") {
@@ -224,6 +252,103 @@ fn open_db(dir: &Path) -> Result<Database, Box<dyn Error>> {
     ))
 }
 
+/// Shared `--metrics`/`--trace` option names for `search` and `bench`.
+const OBS_VALUE_OPTS: [&str; 4] = ["metrics", "metrics-format", "trace", "trace-sample"];
+
+/// Where and how to dump the metrics snapshot after a run.
+struct MetricsOutput {
+    registry: MetricsRegistry,
+    path: PathBuf,
+    json: bool,
+}
+
+impl MetricsOutput {
+    /// Snapshot the registry and write the exposition file.
+    fn write(&self) -> Result<(), Box<dyn Error>> {
+        let snapshot = self.registry.snapshot();
+        let text = if self.json {
+            let mut rendered = snapshot.to_json().render();
+            rendered.push('\n');
+            rendered
+        } else {
+            snapshot.to_prometheus()
+        };
+        std::fs::write(&self.path, text)?;
+        println!("metrics written to {}", self.path.display());
+        Ok(())
+    }
+
+    /// The end-to-end query latency distribution, if any queries ran.
+    fn query_latency(&self) -> Option<HistogramSnapshot> {
+        match self.registry.snapshot().get("nucdb_query_latency_ns") {
+            Some(ValueSnapshot::Histogram(hist)) if hist.count() > 0 => Some(hist.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// The shared observability options, validated before anything heavy runs.
+///
+/// `--trace FILE` attaches a JSONL per-query trace (`--trace-sample N`
+/// keeps every Nth query); `--metrics FILE` registers the full metric
+/// bundle and arranges for a snapshot to be written when the command
+/// finishes, as Prometheus text or JSON per `--metrics-format`.
+struct ObsOptions {
+    trace: Option<(PathBuf, u64)>,
+    metrics: Option<(PathBuf, bool)>,
+}
+
+impl ObsOptions {
+    fn parse(args: &Args) -> Result<ObsOptions, UsageError> {
+        let trace = match args.get("trace") {
+            Some(path) => Some((PathBuf::from(path), args.get_or("trace-sample", 1u64)?)),
+            None if args.get("trace-sample").is_some() => {
+                return Err(UsageError("--trace-sample requires --trace".to_string()))
+            }
+            None => None,
+        };
+        let metrics = match args.get("metrics") {
+            Some(path) => {
+                let json = match args.get("metrics-format").unwrap_or("prometheus") {
+                    "prometheus" => false,
+                    "json" => true,
+                    other => {
+                        return Err(UsageError(format!(
+                            "unknown metrics format {other:?} (expected prometheus|json)"
+                        )))
+                    }
+                };
+                Some((PathBuf::from(path), json))
+            }
+            None if args.get("metrics-format").is_some() => {
+                return Err(UsageError(
+                    "--metrics-format requires --metrics".to_string(),
+                ))
+            }
+            None => None,
+        };
+        Ok(ObsOptions { trace, metrics })
+    }
+
+    /// Attach the requested sinks to `db`. Returns the registry plus
+    /// output destination when `--metrics` was given.
+    fn bind(&self, db: &mut Database) -> Result<Option<MetricsOutput>, Box<dyn Error>> {
+        if let Some((path, sample_every)) = &self.trace {
+            db.set_trace(TraceSink::to_file(path, *sample_every)?);
+        }
+        let Some((path, json)) = &self.metrics else {
+            return Ok(None);
+        };
+        let registry = MetricsRegistry::new();
+        db.bind_metrics(&registry);
+        Ok(Some(MetricsOutput {
+            registry,
+            path: path.clone(),
+            json: *json,
+        }))
+    }
+}
+
 fn parse_ranking(spec: &str) -> Result<RankingScheme, UsageError> {
     if spec == "count" {
         return Ok(RankingScheme::Count);
@@ -270,18 +395,20 @@ fn parse_fine(spec: &str) -> Result<FineMode, UsageError> {
 
 /// `nucdb search`
 pub fn search(raw: &[String]) -> CommandResult {
+    let mut value_opts = vec![
+        "db",
+        "query",
+        "candidates",
+        "ranking",
+        "fine",
+        "max-results",
+        "min-score",
+        "query-stride",
+    ];
+    value_opts.extend(OBS_VALUE_OPTS);
     let args = Args::parse(
         raw,
-        &[
-            "db",
-            "query",
-            "candidates",
-            "ranking",
-            "fine",
-            "max-results",
-            "min-score",
-            "query-stride",
-        ],
+        &value_opts,
         &["both-strands", "evalue", "mask", "tabular"],
     )?;
     let tabular = args.flag("tabular");
@@ -306,10 +433,18 @@ pub fn search(raw: &[String]) -> CommandResult {
     }
     params.query_stride = args.get_or("query-stride", params.query_stride)?;
 
-    let db = open_db(&db_dir)?;
+    let obs = ObsOptions::parse(&args)?;
+    let mut db = open_db(&db_dir)?;
+    let metrics_out = obs.bind(&mut db)?;
     if tabular {
-        println!("#query\tsubject\tscore\tstrand\thits{}",
-            if args.flag("evalue") { "\tbits\tevalue" } else { "" });
+        println!(
+            "#query\tsubject\tscore\tstrand\thits{}",
+            if args.flag("evalue") {
+                "\tbits\tevalue"
+            } else {
+                ""
+            }
+        );
     } else {
         println!("database: {} records", db.len());
     }
@@ -403,6 +538,10 @@ pub fn search(raw: &[String]) -> CommandResult {
             }
         }
     }
+    db.metrics().trace.flush();
+    if let Some(out) = &metrics_out {
+        out.write()?;
+    }
     Ok(())
 }
 
@@ -467,7 +606,12 @@ pub fn verify(raw: &[String]) -> CommandResult {
         match index.counts(entry.code) {
             Ok(Some(counts)) => {
                 if counts.len() != entry.df as usize {
-                    println!("FAIL list {}: df {} but {} entries", entry.code, entry.df, counts.len());
+                    println!(
+                        "FAIL list {}: df {} but {} entries",
+                        entry.code,
+                        entry.df,
+                        counts.len()
+                    );
                     problems += 1;
                 }
             }
@@ -517,12 +661,16 @@ pub fn verify(raw: &[String]) -> CommandResult {
 
 /// `nucdb bench`
 pub fn bench(raw: &[String]) -> CommandResult {
-    let args = Args::parse(raw, &["db", "query", "repeat"], &[])?;
+    let mut value_opts = vec!["db", "query", "repeat"];
+    value_opts.extend(OBS_VALUE_OPTS);
+    let args = Args::parse(raw, &value_opts, &[])?;
     let db_dir = PathBuf::from(args.required("db")?);
     let query_path = PathBuf::from(args.required("query")?);
     let repeat: usize = args.get_or("repeat", 3)?;
 
-    let db = open_db(&db_dir)?;
+    let obs = ObsOptions::parse(&args)?;
+    let mut db = open_db(&db_dir)?;
+    let metrics_out = obs.bind(&mut db)?;
     let params = SearchParams::default();
     let queries: Vec<_> = FastaReader::new(BufReader::new(File::open(&query_path)?))
         .collect::<Result<Vec<_>, _>>()?;
@@ -568,6 +716,19 @@ pub fn bench(raw: &[String]) -> CommandResult {
             bytes,
             lists
         );
+    }
+    db.metrics().trace.flush();
+    if let Some(out) = &metrics_out {
+        if let Some(latency) = out.query_latency() {
+            println!(
+                "query latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+                latency.p50() as f64 / 1e6,
+                latency.p90() as f64 / 1e6,
+                latency.p99() as f64 / 1e6,
+                latency.max as f64 / 1e6,
+            );
+        }
+        out.write()?;
     }
     Ok(())
 }
@@ -624,8 +785,14 @@ mod tests {
     fn ranking_specs() {
         assert_eq!(parse_ranking("count").unwrap(), RankingScheme::Count);
         assert_eq!(parse_ranking("prop").unwrap(), RankingScheme::Proportional);
-        assert_eq!(parse_ranking("frame").unwrap(), RankingScheme::Frame { window: 16 });
-        assert_eq!(parse_ranking("frame:4").unwrap(), RankingScheme::Frame { window: 4 });
+        assert_eq!(
+            parse_ranking("frame").unwrap(),
+            RankingScheme::Frame { window: 16 }
+        );
+        assert_eq!(
+            parse_ranking("frame:4").unwrap(),
+            RankingScheme::Frame { window: 4 }
+        );
         assert!(parse_ranking("frame:x").is_err());
         assert!(parse_ranking("bogus").is_err());
     }
@@ -634,8 +801,14 @@ mod tests {
     fn fine_specs() {
         assert_eq!(parse_fine("full").unwrap(), FineMode::Full);
         assert_eq!(parse_fine("trace").unwrap(), FineMode::FullWithTraceback);
-        assert_eq!(parse_fine("banded").unwrap(), FineMode::Banded { half_width: 24 });
-        assert_eq!(parse_fine("banded:8").unwrap(), FineMode::Banded { half_width: 8 });
+        assert_eq!(
+            parse_fine("banded").unwrap(),
+            FineMode::Banded { half_width: 24 }
+        );
+        assert_eq!(
+            parse_fine("banded:8").unwrap(),
+            FineMode::Banded { half_width: 8 }
+        );
         assert!(parse_fine("banded:x").is_err());
         assert!(parse_fine("quux").is_err());
     }
@@ -766,7 +939,71 @@ mod tests {
             "2",
         ]))
         .unwrap();
+
+        // Observability flags: Prometheus metrics + JSONL trace on search,
+        // JSON metrics on bench, all in --key=value form.
+        let metrics = dir.join("metrics.prom");
+        let trace = dir.join("trace.jsonl");
+        search(&s(&[
+            "--db",
+            db.to_str().unwrap(),
+            "--query",
+            queries.to_str().unwrap(),
+            &format!("--metrics={}", metrics.display()),
+            &format!("--trace={}", trace.display()),
+            "--trace-sample=1",
+        ]))
+        .unwrap();
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("nucdb_queries_total"));
+        assert!(prom.contains("nucdb_query_latency_ns_bucket"));
+        assert!(prom.contains("nucdb_index_bytes_read_total"));
+        let traced = std::fs::read_to_string(&trace).unwrap();
+        assert!(traced.lines().count() > 0);
+        assert!(traced.lines().all(|l| l.contains("\"event\":\"query\"")));
+
+        let metrics_json = dir.join("metrics.json");
+        bench(&s(&[
+            "--db",
+            db.to_str().unwrap(),
+            "--query",
+            queries.to_str().unwrap(),
+            "--repeat",
+            "1",
+            "--metrics",
+            metrics_json.to_str().unwrap(),
+            "--metrics-format",
+            "json",
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&metrics_json).unwrap();
+        assert!(json.contains("nucdb_query_latency_ns"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observability_option_misuse_is_rejected() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
+        // --metrics-format without --metrics, --trace-sample without --trace.
+        assert!(search(&s(&[
+            "--db",
+            "x",
+            "--query",
+            "y",
+            "--metrics-format",
+            "json"
+        ]))
+        .is_err());
+        assert!(search(&s(&["--db", "x", "--query", "y", "--trace-sample", "4"])).is_err());
+        assert!(bench(&s(&[
+            "--db",
+            "x",
+            "--query",
+            "y",
+            "--metrics-format",
+            "json"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -775,18 +1012,33 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
         let fasta = dir.join("c.fasta");
-        generate(&s(&["--bases", "60000", "--out", fasta.to_str().unwrap(), "--seed", "3"]))
-            .unwrap();
+        generate(&s(&[
+            "--bases",
+            "60000",
+            "--out",
+            fasta.to_str().unwrap(),
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
         let db = dir.join("db");
-        build(&s(&["--collection", fasta.to_str().unwrap(), "--db", db.to_str().unwrap()]))
-            .unwrap();
+        build(&s(&[
+            "--collection",
+            fasta.to_str().unwrap(),
+            "--db",
+            db.to_str().unwrap(),
+        ]))
+        .unwrap();
         verify(&s(&["--db", db.to_str().unwrap()])).unwrap();
 
         // Drop a record from the store: verify must now fail.
         let store = SequenceStore::read_from(&db.join(STORE_FILE)).unwrap();
         let mut truncated = SequenceStore::new(store.mode());
         for record in 0..store.len() as u32 - 1 {
-            truncated.add(store.id(record).to_string(), &store.sequence(record).unwrap());
+            truncated.add(
+                store.id(record).to_string(),
+                &store.sequence(record).unwrap(),
+            );
         }
         truncated.write_to(&db.join(STORE_FILE)).unwrap();
         assert!(verify(&s(&["--db", db.to_str().unwrap()])).is_err());

@@ -25,7 +25,10 @@ impl BitWriter {
 
     /// An empty writer with capacity for `bits` bits.
     pub fn with_capacity_bits(bits: usize) -> BitWriter {
-        BitWriter { buf: Vec::with_capacity(bits.div_ceil(8)), bit_len: 0 }
+        BitWriter {
+            buf: Vec::with_capacity(bits.div_ceil(8)),
+            bit_len: 0,
+        }
     }
 
     /// Number of bits written so far.
@@ -67,7 +70,11 @@ impl BitWriter {
             return;
         }
         // Mask to the requested width (count == 64 keeps everything).
-        let value = if count == 64 { value } else { value & ((1u64 << count) - 1) };
+        let value = if count == 64 {
+            value
+        } else {
+            value & ((1u64 << count) - 1)
+        };
         let mut remaining = count;
         while remaining > 0 {
             let offset = (self.bit_len % 8) as u32;
@@ -140,7 +147,10 @@ impl<'a> BitReader<'a> {
     /// Read one bit.
     #[inline]
     pub fn read_bit(&mut self) -> Result<bool, CodecError> {
-        let byte = *self.data.get(self.pos / 8).ok_or(CodecError::UnexpectedEnd)?;
+        let byte = *self
+            .data
+            .get(self.pos / 8)
+            .ok_or(CodecError::UnexpectedEnd)?;
         let bit = byte & (0x80 >> (self.pos % 8)) != 0;
         self.pos += 1;
         Ok(bit)
@@ -199,7 +209,9 @@ mod tests {
 
     #[test]
     fn single_bits_round_trip() {
-        let pattern = [true, false, true, true, false, false, false, true, true, false];
+        let pattern = [
+            true, false, true, true, false, false, false, true, true, false,
+        ];
         let mut w = BitWriter::new();
         for &bit in &pattern {
             w.write_bit(bit);

@@ -163,7 +163,11 @@ impl Golomb {
     /// Create with an explicit parameter (`b >= 1`).
     pub fn new(b: u64) -> Golomb {
         assert!(b >= 1, "Golomb parameter must be positive");
-        let c = if b == 1 { 0 } else { 64 - (b - 1).leading_zeros() };
+        let c = if b == 1 {
+            0
+        } else {
+            64 - (b - 1).leading_zeros()
+        };
         let cutoff = (1u64 << c) - b;
         Golomb { b, c, cutoff }
     }
@@ -186,7 +190,11 @@ impl Golomb {
         }
         let p = occurrences as f64 / universe as f64;
         let b = ((2.0 - p).ln() / -(1.0 - p).ln()).ceil();
-        Golomb::new(if b.is_finite() && b >= 1.0 { b as u64 } else { 1 })
+        Golomb::new(if b.is_finite() && b >= 1.0 {
+            b as u64
+        } else {
+            1
+        })
     }
 
     /// Fit to a mean gap value (the classic `b ≈ 0.69 * mean`).
@@ -342,7 +350,11 @@ impl FixedWidth {
 
     /// The smallest width that can hold `max_value`.
     pub fn for_max(max_value: u64) -> FixedWidth {
-        FixedWidth::new(if max_value == 0 { 1 } else { floor_log2(max_value) + 1 })
+        FixedWidth::new(if max_value == 0 {
+            1
+        } else {
+            floor_log2(max_value) + 1
+        })
     }
 }
 
@@ -378,7 +390,9 @@ mod tests {
         assert_eq!(decoded, values, "{} round trip", codec.name());
     }
 
-    const SMALL: &[u64] = &[0, 1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 17, 31, 100, 127, 128, 1000];
+    const SMALL: &[u64] = &[
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 17, 31, 100, 127, 128, 1000,
+    ];
 
     #[test]
     fn unary_round_trip() {
@@ -405,7 +419,10 @@ mod tests {
     #[test]
     fn delta_round_trip() {
         round_trip(&Delta, SMALL);
-        round_trip(&Delta, &[u32::MAX as u64, 1 << 40, (1 << 62) + 999, u64::MAX - 1]);
+        round_trip(
+            &Delta,
+            &[u32::MAX as u64, 1 << 40, (1 << 62) + 999, u64::MAX - 1],
+        );
     }
 
     #[test]
@@ -473,8 +490,9 @@ mod tests {
         // Geometric-ish gaps with mean ~50: fitted Golomb should beat gamma.
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
-        let gaps: Vec<u64> =
-            (0..10_000).map(|_| (-(rng.random::<f64>().ln()) * 50.0) as u64).collect();
+        let gaps: Vec<u64> = (0..10_000)
+            .map(|_| (-(rng.random::<f64>().ln()) * 50.0) as u64)
+            .collect();
         let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
         let golomb = Golomb::fit_mean(mean);
 

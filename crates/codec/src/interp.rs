@@ -54,7 +54,10 @@ fn read_minimal_binary(range: u64, r: &mut BitReader) -> Result<u64, CodecError>
 /// Panics (in debug builds) if the list is not strictly increasing or a
 /// value falls outside `[lo, hi]`; the encoding would be unreconstructable.
 pub fn interpolative_encode(values: &[u64], lo: u64, hi: u64, w: &mut BitWriter) {
-    debug_assert!(values.windows(2).all(|p| p[0] < p[1]), "values must strictly increase");
+    debug_assert!(
+        values.windows(2).all(|p| p[0] < p[1]),
+        "values must strictly increase"
+    );
     debug_assert!(values.iter().all(|&v| (lo..=hi).contains(&v)));
     if values.is_empty() {
         return;
@@ -96,9 +99,13 @@ fn decode_into(slot: &mut [u64], lo: u64, hi: u64, r: &mut BitReader) -> Result<
         .ok_or(CodecError::Malformed("interpolative bound overflow"))?;
     let v_hi = hi
         .checked_sub((slot.len() - 1 - mid) as u64)
-        .ok_or(CodecError::Malformed("interpolative range too small for count"))?;
+        .ok_or(CodecError::Malformed(
+            "interpolative range too small for count",
+        ))?;
     if v_hi < v_lo {
-        return Err(CodecError::Malformed("interpolative range too small for count"));
+        return Err(CodecError::Malformed(
+            "interpolative range too small for count",
+        ));
     }
     let v = v_lo + read_minimal_binary(v_hi - v_lo + 1, r)?;
     slot[mid] = v;
@@ -193,7 +200,11 @@ mod tests {
                 write_minimal_binary(x, range, &mut w);
                 let bytes = w.into_bytes();
                 let mut r = BitReader::new(&bytes);
-                assert_eq!(read_minimal_binary(range, &mut r).unwrap(), x, "x={x} range={range}");
+                assert_eq!(
+                    read_minimal_binary(range, &mut r).unwrap(),
+                    x,
+                    "x={x} range={range}"
+                );
             }
         }
     }

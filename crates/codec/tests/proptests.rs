@@ -2,8 +2,8 @@
 //! the bit I/O layer round-trips arbitrary (value, width) sequences.
 
 use nucdb_codec::{
-    zigzag_decode, zigzag_encode, BitReader, BitWriter, Delta, FixedWidth, Gamma, Golomb,
-    IntCodec, Rice, VByte,
+    zigzag_decode, zigzag_encode, BitReader, BitWriter, Delta, FixedWidth, Gamma, Golomb, IntCodec,
+    Rice, VByte,
 };
 use proptest::prelude::*;
 

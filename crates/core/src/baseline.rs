@@ -12,8 +12,7 @@
 //! are relevant — the motivation for indexing in the first place.
 
 use nucdb_align::{
-    blast_score, fasta_score, sw_score, BlastParams, FastaParams, ScanHit, ScoringScheme,
-    WordTable,
+    blast_score, fasta_score, sw_score, BlastParams, FastaParams, ScanHit, ScoringScheme, WordTable,
 };
 use nucdb_seq::Base;
 
@@ -21,7 +20,11 @@ use crate::store::RecordSource;
 
 /// Rank every record by full Smith–Waterman score (descending; positive
 /// scores only, ties by ascending record id).
-pub fn exhaustive_sw<S: RecordSource>(store: &S, query: &[Base], scheme: &ScoringScheme) -> Vec<ScanHit> {
+pub fn exhaustive_sw<S: RecordSource>(
+    store: &S,
+    query: &[Base],
+    scheme: &ScoringScheme,
+) -> Vec<ScanHit> {
     let mut hits: Vec<ScanHit> = (0..store.len() as u32)
         .filter_map(|record| {
             let target = store.bases(record);
@@ -96,7 +99,11 @@ mod tests {
         let members = &coll.families[0].member_ids;
         let top: Vec<u32> = hits.iter().take(members.len()).map(|h| h.id).collect();
         let found = members.iter().filter(|m| top.contains(m)).count();
-        assert!(found >= members.len() - 1, "{found}/{} members in SW top", members.len());
+        assert!(
+            found >= members.len() - 1,
+            "{found}/{} members in SW top",
+            members.len()
+        );
     }
 
     #[test]
@@ -127,10 +134,20 @@ mod tests {
             .unwrap()
             .representative_bases();
         assert!(exhaustive_sw(&store, &qb, &ScoringScheme::blastn()).is_empty());
-        assert!(exhaustive_fasta(&store, &qb, &FastaParams::default(), &ScoringScheme::blastn())
-            .is_empty());
-        assert!(exhaustive_blast(&store, &qb, &BlastParams::default(), &ScoringScheme::blastn())
-            .is_empty());
+        assert!(exhaustive_fasta(
+            &store,
+            &qb,
+            &FastaParams::default(),
+            &ScoringScheme::blastn()
+        )
+        .is_empty());
+        assert!(exhaustive_blast(
+            &store,
+            &qb,
+            &BlastParams::default(),
+            &ScoringScheme::blastn()
+        )
+        .is_empty());
     }
 
     #[test]
@@ -141,8 +158,10 @@ mod tests {
         let query = coll.query_for_family(2, 0.4, &MutationModel::substitutions(0.05));
         let qb = query.representative_bases();
         let scheme = ScoringScheme::blastn();
-        let sw: std::collections::HashMap<u32, i32> =
-            exhaustive_sw(&store, &qb, &scheme).into_iter().map(|h| (h.id, h.score)).collect();
+        let sw: std::collections::HashMap<u32, i32> = exhaustive_sw(&store, &qb, &scheme)
+            .into_iter()
+            .map(|h| (h.id, h.score))
+            .collect();
         for h in exhaustive_fasta(&store, &qb, &FastaParams::default(), &scheme) {
             assert!(h.score <= sw[&h.id], "fasta {} > sw {}", h.score, sw[&h.id]);
         }

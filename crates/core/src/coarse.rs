@@ -219,6 +219,12 @@ pub struct CoarseOutcome {
     pub postings_decoded: u64,
     /// Total `(query position, record offset)` hit pairs accumulated.
     pub total_hits: u64,
+    /// Nanoseconds extracting and sorting the query's interval codes.
+    pub extract_nanos: u64,
+    /// Nanoseconds fetching postings and accumulating hits.
+    pub accumulate_nanos: u64,
+    /// Nanoseconds scattering diagonals, scoring and ranking candidates.
+    pub rank_nanos: u64,
 }
 
 /// Reusable working memory for coarse search.
@@ -314,6 +320,7 @@ pub fn coarse_rank_with<S: PostingsSource>(
 ) -> Result<CoarseOutcome, IndexError> {
     let iparams = index.index_params();
     let mut outcome = CoarseOutcome::default();
+    let extract_start = std::time::Instant::now();
 
     // Distinct query intervals and the query positions they occur at,
     // subsampled by the query stride and filtered by low-complexity
@@ -328,8 +335,7 @@ pub fn coarse_rank_with<S: PostingsSource>(
     let stride = params.query_stride.max(1);
     scratch.codes.clear();
     for (qpos, code) in iparams.extract(query) {
-        if qpos as usize % stride == 0
-            && !nucdb_seq::complexity::is_masked(&masked, qpos as usize)
+        if qpos as usize % stride == 0 && !nucdb_seq::complexity::is_masked(&masked, qpos as usize)
         {
             scratch.codes.push((code, qpos));
         }
@@ -342,6 +348,7 @@ pub fn coarse_rank_with<S: PostingsSource>(
             prev_code = Some(code);
         }
     }
+    outcome.extract_nanos = extract_start.elapsed().as_nanos() as u64;
     if scratch.codes.is_empty() || index.num_records() == 0 {
         return Ok(outcome);
     }
@@ -378,6 +385,7 @@ pub fn coarse_rank_with<S: PostingsSource>(
         candidates,
     } = scratch;
     let generation = *generation;
+    let accumulate_start = std::time::Instant::now();
 
     let mut run_start = 0usize;
     while run_start < codes.len() {
@@ -411,9 +419,11 @@ pub fn coarse_rank_with<S: PostingsSource>(
         }
     }
     outcome.total_hits = hits.len() as u64;
+    outcome.accumulate_nanos = accumulate_start.elapsed().as_nanos() as u64;
     if hits.is_empty() {
         return Ok(outcome);
     }
+    let rank_start = std::time::Instant::now();
 
     // Scatter the hit arena into per-record diagonal buckets by counting
     // sort over the known per-record totals, then find each surviving
@@ -490,6 +500,7 @@ pub fn coarse_rank_with<S: PostingsSource>(
     });
     candidates.truncate(params.max_candidates);
     outcome.candidates.extend_from_slice(candidates);
+    outcome.rank_nanos = rank_start.elapsed().as_nanos() as u64;
     Ok(outcome)
 }
 
@@ -507,9 +518,18 @@ fn coarse_rank_counts<S: PostingsSource>(
     let accumulator_limit = params.max_accumulators.unwrap_or(usize::MAX).max(1);
     scratch.begin(index.num_records() as usize);
     let CoarseScratch {
-        generation, stamp, counts, slot, touched, codes, io_buf, candidates, ..
+        generation,
+        stamp,
+        counts,
+        slot,
+        touched,
+        codes,
+        io_buf,
+        candidates,
+        ..
     } = scratch;
     let generation = *generation;
+    let accumulate_start = std::time::Instant::now();
     let mut total_hits = 0u64;
 
     let mut run_start = 0usize;
@@ -543,6 +563,8 @@ fn coarse_rank_counts<S: PostingsSource>(
         }
     }
     outcome.total_hits = total_hits;
+    outcome.accumulate_nanos = accumulate_start.elapsed().as_nanos() as u64;
+    let rank_start = std::time::Instant::now();
 
     let record_lens = index.record_lens();
     candidates.clear();
@@ -572,6 +594,7 @@ fn coarse_rank_counts<S: PostingsSource>(
     });
     candidates.truncate(params.max_candidates);
     outcome.candidates.extend_from_slice(candidates);
+    outcome.rank_nanos = rank_start.elapsed().as_nanos() as u64;
     Ok(outcome)
 }
 
@@ -594,7 +617,11 @@ mod tests {
     }
 
     fn params(ranking: RankingScheme) -> SearchParams {
-        SearchParams { ranking, min_coarse_hits: 1, ..SearchParams::default() }
+        SearchParams {
+            ranking,
+            min_coarse_hits: 1,
+            ..SearchParams::default()
+        }
     }
 
     #[test]
@@ -608,9 +635,11 @@ mod tests {
             8,
         );
         let query = bases(b"ACGTAGCTAGCTGGATCC");
-        for ranking in
-            [RankingScheme::Count, RankingScheme::Proportional, RankingScheme::Frame { window: 8 }]
-        {
+        for ranking in [
+            RankingScheme::Count,
+            RankingScheme::Proportional,
+            RankingScheme::Frame { window: 8 },
+        ] {
             let outcome = coarse_rank(&index, &query, &params(ranking)).unwrap();
             assert!(!outcome.candidates.is_empty(), "{ranking:?}");
             assert_eq!(outcome.candidates[0].record, 1, "{ranking:?}");
@@ -644,10 +673,16 @@ mod tests {
 
         let frame =
             coarse_rank(&index, &query, &params(RankingScheme::Frame { window: 4 })).unwrap();
-        assert_eq!(frame.candidates[0].record, 1, "frame should prefer the contiguous match");
+        assert_eq!(
+            frame.candidates[0].record, 1,
+            "frame should prefer the contiguous match"
+        );
 
         let count = coarse_rank(&index, &query, &params(RankingScheme::Count)).unwrap();
-        assert_eq!(count.candidates[0].record, 0, "count should prefer the scattered record");
+        assert_eq!(
+            count.candidates[0].record, 0,
+            "count should prefer the scattered record"
+        );
     }
 
     #[test]
@@ -670,10 +705,16 @@ mod tests {
     fn min_hits_filters_noise() {
         let index = build(&[b"ACGTAGCTTTTTTTTT", b"GGGGGGGGGGGGGGGG"], 8);
         let query = bases(b"ACGTAGCTAAAAAAAA"); // one shared interval with record 0
-        let strict = SearchParams { min_coarse_hits: 2, ..SearchParams::default() };
+        let strict = SearchParams {
+            min_coarse_hits: 2,
+            ..SearchParams::default()
+        };
         let outcome = coarse_rank(&index, &query, &strict).unwrap();
         assert!(outcome.candidates.is_empty());
-        let lax = SearchParams { min_coarse_hits: 1, ..SearchParams::default() };
+        let lax = SearchParams {
+            min_coarse_hits: 1,
+            ..SearchParams::default()
+        };
         let outcome = coarse_rank(&index, &query, &lax).unwrap();
         assert_eq!(outcome.candidates.len(), 1);
     }
@@ -690,7 +731,11 @@ mod tests {
         let refs: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
         let index = build(&refs, 8);
         let query = bases(b"ACGTAGCTAGCTGGAT");
-        let p = SearchParams { max_candidates: 5, min_coarse_hits: 1, ..SearchParams::default() };
+        let p = SearchParams {
+            max_candidates: 5,
+            min_coarse_hits: 1,
+            ..SearchParams::default()
+        };
         let outcome = coarse_rank(&index, &query, &p).unwrap();
         assert_eq!(outcome.candidates.len(), 5);
         // Scores descend.
@@ -766,7 +811,10 @@ mod tests {
         masked_params.mask = Some(nucdb_seq::DustParams::default());
         let masked = coarse_rank(&index, &query, &masked_params).unwrap();
         assert!(masked.total_hits < unmasked.total_hits / 4);
-        assert_eq!(masked.candidates[0].record, 1, "real target survives masking");
+        assert_eq!(
+            masked.candidates[0].record, 1,
+            "real target survives masking"
+        );
         assert!(
             !masked.candidates.iter().any(|c| c.record == 0),
             "repeat record should vanish under masking"

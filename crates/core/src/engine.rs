@@ -10,8 +10,11 @@ use nucdb_index::{
 };
 use nucdb_seq::DnaSeq;
 
+use nucdb_obs::{MetricsRegistry, TraceSink};
+
 use crate::coarse::{coarse_rank_with, CoarseScratch, PostingsSource};
 use crate::fine::{fine_search, FineResult};
+use crate::metrics::SearchMetrics;
 use crate::params::{SearchParams, Strand};
 use crate::store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};
 
@@ -144,6 +147,14 @@ pub struct QueryStats {
     pub coarse_nanos: u64,
     /// Fine stage wall time in nanoseconds.
     pub fine_nanos: u64,
+    /// Coarse sub-stage: interval extraction + code sort, nanoseconds.
+    pub extract_nanos: u64,
+    /// Coarse sub-stage: postings fetch + hit accumulation, nanoseconds.
+    pub accumulate_nanos: u64,
+    /// Coarse sub-stage: diagonal scatter + scoring + ranking, nanoseconds.
+    pub rank_nanos: u64,
+    /// Strand merge + result assembly wall time in nanoseconds.
+    pub merge_nanos: u64,
 }
 
 /// Results plus cost counters.
@@ -155,15 +166,24 @@ pub struct SearchOutcome {
     pub stats: QueryStats,
 }
 
-/// Adapt a store-layer error to the engine's error type.
+/// Adapt a store-layer error to the engine's error type, preserving the
+/// underlying I/O error kind and keeping the [`nucdb_seq::SeqError`]
+/// reachable through `source()`.
 fn io_err(e: nucdb_seq::SeqError) -> IndexError {
-    IndexError::Io(std::io::Error::other(e.to_string()))
+    let kind = match &e {
+        nucdb_seq::SeqError::Io(io) => io.kind(),
+        _ => std::io::ErrorKind::InvalidData,
+    };
+    IndexError::Io(std::io::Error::new(kind, e))
 }
 
 /// An indexed nucleotide database.
 pub struct Database {
     store: StoreVariant,
     index: IndexVariant,
+    /// Observability handles; fully detached (free) until
+    /// [`Database::bind_metrics`] is called.
+    metrics: SearchMetrics,
 }
 
 impl Database {
@@ -182,6 +202,7 @@ impl Database {
         Database {
             store: StoreVariant::Memory(store),
             index: IndexVariant::Memory(builder.finish()),
+            metrics: SearchMetrics::disabled(),
         }
     }
 
@@ -198,7 +219,11 @@ impl Database {
             index.num_records(),
             "store and index disagree on record count"
         );
-        Database { store, index }
+        Database {
+            store,
+            index,
+            metrics: SearchMetrics::disabled(),
+        }
     }
 
     /// Persist the index to `path` and reopen it in on-disk mode, so
@@ -211,7 +236,11 @@ impl Database {
             }
             disk @ IndexVariant::Disk(_) => disk,
         };
-        Ok(Database { store: self.store, index })
+        Ok(Database {
+            store: self.store,
+            index,
+            metrics: self.metrics,
+        })
     }
 
     /// Persist the sequence store to `path` and reopen it in on-disk
@@ -225,7 +254,40 @@ impl Database {
             }
             disk @ StoreVariant::Disk(_) => disk,
         };
-        Ok(Database { store, index: self.index })
+        Ok(Database {
+            store,
+            index: self.index,
+            metrics: self.metrics,
+        })
+    }
+
+    /// Bind this database to a metrics registry: register the engine's
+    /// stage histograms and counters, and migrate the on-disk index and
+    /// store I/O counters onto registry-backed handles (their accumulated
+    /// values carry over). Call after the final
+    /// [`Database::with_disk_index`] / [`Database::with_disk_store`]
+    /// conversion; binding to [`MetricsRegistry::disabled`] detaches
+    /// everything again.
+    pub fn bind_metrics(&mut self, registry: &MetricsRegistry) {
+        let trace = std::mem::take(&mut self.metrics.trace);
+        self.metrics = SearchMetrics::new(registry).with_trace(trace);
+        if let IndexVariant::Disk(index) = &mut self.index {
+            index.bind_metrics(registry);
+        }
+        if let StoreVariant::Disk(store) = &mut self.store {
+            store.bind_metrics(registry);
+        }
+    }
+
+    /// Attach a sampled trace sink; subsequent queries emit JSONL events
+    /// through it. Works with or without a bound metrics registry.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.metrics.trace = trace;
+    }
+
+    /// The engine's observability handles.
+    pub fn metrics(&self) -> &SearchMetrics {
+        &self.metrics
     }
 
     /// The sequence store.
@@ -261,6 +323,9 @@ impl Database {
         let coarse_start = Instant::now();
         let coarse = coarse_rank_with(&self.index, &query_bases, params, scratch)?;
         stats.coarse_nanos += coarse_start.elapsed().as_nanos() as u64;
+        stats.extract_nanos += coarse.extract_nanos;
+        stats.accumulate_nanos += coarse.accumulate_nanos;
+        stats.rank_nanos += coarse.rank_nanos;
         stats.intervals_looked_up += coarse.intervals_looked_up;
         stats.lists_fetched += coarse.lists_fetched;
         stats.postings_decoded += coarse.postings_decoded;
@@ -317,6 +382,7 @@ impl Database {
         params: &SearchParams,
         scratch: &mut CoarseScratch,
     ) -> Result<SearchOutcome, IndexError> {
+        let query_start = Instant::now();
         let mut stats = QueryStats::default();
 
         let mut merged: Vec<(Strand, FineResult)> = Vec::new();
@@ -333,13 +399,12 @@ impl Database {
         }
 
         // Per record, keep the better strand.
-        merged.sort_by(|(_, a), (_, b)| {
-            a.record.cmp(&b.record).then(b.score.cmp(&a.score))
-        });
+        let merge_start = Instant::now();
+        merged.sort_by(|(_, a), (_, b)| a.record.cmp(&b.record).then(b.score.cmp(&a.score)));
         merged.dedup_by_key(|(_, r)| r.record);
         merged.sort_by(|(_, a), (_, b)| b.score.cmp(&a.score).then(a.record.cmp(&b.record)));
 
-        let results = merged
+        let results: Vec<SearchResult> = merged
             .into_iter()
             .take(params.max_results)
             .map(|(strand, r)| SearchResult {
@@ -352,6 +417,17 @@ impl Database {
                 alignment: r.alignment,
             })
             .collect();
+        stats.merge_nanos = merge_start.elapsed().as_nanos() as u64;
+
+        if self.metrics.is_enabled() {
+            let total_nanos = query_start.elapsed().as_nanos() as u64;
+            self.metrics.record_query(&stats, total_nanos);
+            if self.metrics.trace.should_sample() {
+                self.metrics
+                    .trace
+                    .emit(&self.metrics.trace_event(&stats, &results, total_nanos));
+            }
+        }
 
         Ok(SearchOutcome { results, stats })
     }
@@ -375,8 +451,7 @@ impl Database {
                 "append requires a memory-backed store; reopen the database in memory",
             ));
         };
-        let mut builder =
-            IndexBuilder::new(existing.params().clone()).with_codec(existing.codec());
+        let mut builder = IndexBuilder::new(existing.params().clone()).with_codec(existing.codec());
         let mut staged: Vec<(String, DnaSeq)> = Vec::new();
         for (id, seq) in records {
             builder.add_record(&seq.representative_bases());
@@ -387,7 +462,10 @@ impl Database {
             store.add(id, &seq);
         }
         self.index = IndexVariant::Memory(merged);
-        debug_assert_eq!(RecordSource::len(&self.store) as u32, self.index.num_records());
+        debug_assert_eq!(
+            RecordSource::len(&self.store) as u32,
+            self.index.num_records()
+        );
         Ok(())
     }
 
@@ -399,7 +477,10 @@ impl Database {
         params: &SearchParams,
     ) -> Result<Vec<SearchOutcome>, IndexError> {
         let mut scratch = CoarseScratch::new();
-        queries.iter().map(|q| self.search_with(q, params, &mut scratch)).collect()
+        queries
+            .iter()
+            .map(|q| self.search_with(q, params, &mut scratch))
+            .collect()
     }
 
     /// Evaluate a batch of queries across `num_threads` worker threads.
@@ -430,15 +511,12 @@ impl Database {
                             let mut scratch = CoarseScratch::new();
                             let mut local = Vec::new();
                             loop {
-                                let i =
-                                    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                                 if i >= queries.len() {
                                     break;
                                 }
-                                local.push((
-                                    i,
-                                    self.search_with(&queries[i], params, &mut scratch),
-                                ));
+                                local
+                                    .push((i, self.search_with(&queries[i], params, &mut scratch)));
                             }
                             local
                         })
@@ -455,7 +533,10 @@ impl Database {
         for (i, outcome) in unordered {
             ordered[i] = Some(outcome);
         }
-        ordered.into_iter().map(|slot| slot.expect("every query evaluated")).collect()
+        ordered
+            .into_iter()
+            .map(|slot| slot.expect("every query evaluated"))
+            .collect()
     }
 }
 
@@ -612,7 +693,10 @@ mod tests {
 
         let forward_only = db.search(&rc_query, &SearchParams::default()).unwrap();
         assert!(
-            !forward_only.results.iter().any(|r| r.record == member && r.score > 100),
+            !forward_only
+                .results
+                .iter()
+                .any(|r| r.record == member && r.score > 100),
             "forward-only search should not strongly match the rc query"
         );
 
@@ -671,7 +755,10 @@ mod tests {
             .iter()
             .filter(|m| retrieved.contains(m))
             .count();
-        assert!(found >= coll.families[0].member_ids.len() - 1, "found {found}");
+        assert!(
+            found >= coll.families[0].member_ids.len() - 1,
+            "found {found}"
+        );
 
         // The record-granularity index is smaller than the offset one.
         let offsets_db = Database::build(
@@ -770,7 +857,11 @@ mod tests {
     fn max_results_respected() {
         let (coll, db) = build_db(58);
         let query = coll.query_for_family(0, 0.8, &MutationModel::identity());
-        let params = SearchParams { max_results: 2, min_score: 1, ..SearchParams::default() };
+        let params = SearchParams {
+            max_results: 2,
+            min_score: 1,
+            ..SearchParams::default()
+        };
         let outcome = db.search(&query, &params).unwrap();
         assert!(outcome.results.len() <= 2);
     }

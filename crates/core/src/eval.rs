@@ -35,7 +35,11 @@ pub fn recall_at(ranked: &[u32], relevant: &HashSet<u32>, k: usize) -> f64 {
     if relevant.is_empty() {
         return 1.0;
     }
-    let found = ranked.iter().take(k).filter(|r| relevant.contains(r)).count();
+    let found = ranked
+        .iter()
+        .take(k)
+        .filter(|r| relevant.contains(r))
+        .count();
     found as f64 / relevant.len() as f64
 }
 
@@ -156,7 +160,10 @@ mod tests {
         let rel = relevant(&[1, 2, 3, 4]);
         let curve = eleven_point_precision(&ranked, &rel);
         for pair in curve.windows(2) {
-            assert!(pair[0] + 1e-12 >= pair[1], "curve not non-increasing: {curve:?}");
+            assert!(
+                pair[0] + 1e-12 >= pair[1],
+                "curve not non-increasing: {curve:?}"
+            );
         }
         assert!(curve[0] > 0.9); // precision at recall 0 is the best seen
     }

@@ -123,7 +123,13 @@ mod tests {
     }
 
     fn hit(record: u32, diagonal: i64) -> CoarseHit {
-        CoarseHit { record, score: 1.0, hits: 1, frame_hits: 1, best_diagonal: diagonal }
+        CoarseHit {
+            record,
+            score: 1.0,
+            hits: 1,
+            frame_hits: 1,
+            best_diagonal: diagonal,
+        }
     }
 
     fn query() -> DnaSeq {
@@ -152,8 +158,14 @@ mod tests {
         let q = query();
         let scheme = ScoringScheme::blastn();
         let full = fine_search(&store, &q, &[hit(0, 0)], FineMode::Full, &scheme, 1);
-        let traced =
-            fine_search(&store, &q, &[hit(0, 0)], FineMode::FullWithTraceback, &scheme, 1);
+        let traced = fine_search(
+            &store,
+            &q,
+            &[hit(0, 0)],
+            FineMode::FullWithTraceback,
+            &scheme,
+            1,
+        );
         assert_eq!(full[0].score, traced[0].score);
         let alignment = traced[0].alignment.as_ref().unwrap();
         assert_eq!(alignment.score, traced[0].score);
@@ -195,9 +207,9 @@ mod tests {
     #[test]
     fn results_sorted_by_score() {
         let store = store_with(&[
-            b"ACGTAGCTAG",                 // partial match
-            b"ACGTAGCTAGCTGGATCC",         // exact match
-            b"ACGTAGCTAGCTGG",             // longer partial
+            b"ACGTAGCTAG",         // partial match
+            b"ACGTAGCTAGCTGGATCC", // exact match
+            b"ACGTAGCTAGCTGG",     // longer partial
         ]);
         let results = fine_search(
             &store,
@@ -217,8 +229,14 @@ mod tests {
     #[test]
     fn empty_candidates_empty_results() {
         let store = store_with(&[b"ACGT"]);
-        let results =
-            fine_search(&store, &query(), &[], FineMode::Full, &ScoringScheme::blastn(), 1);
+        let results = fine_search(
+            &store,
+            &query(),
+            &[],
+            FineMode::Full,
+            &ScoringScheme::blastn(),
+            1,
+        );
         assert!(results.is_empty());
     }
 }

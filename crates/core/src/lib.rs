@@ -46,6 +46,7 @@ pub mod coarse;
 pub mod engine;
 pub mod eval;
 pub mod fine;
+pub mod metrics;
 pub mod params;
 pub mod store;
 
@@ -55,9 +56,8 @@ pub use coarse::{
     RankingScheme,
 };
 pub use engine::{Database, DbConfig, IndexVariant, QueryStats, SearchOutcome, SearchResult};
-pub use eval::{
-    average_precision, eleven_point_precision, ground_truth_sw, recall_at,
-};
+pub use eval::{average_precision, eleven_point_precision, ground_truth_sw, recall_at};
 pub use fine::{fine_search, FineMode, FineResult};
+pub use metrics::SearchMetrics;
 pub use params::{SearchParams, Strand};
 pub use store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};

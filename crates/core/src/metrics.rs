@@ -1,0 +1,147 @@
+//! Engine-side observability: the bundle of registered metric handles a
+//! [`Database`](crate::Database) records into, plus per-query trace
+//! emission.
+//!
+//! The bundle is resolved once (at [`Database::bind_metrics`]
+//! (crate::Database::bind_metrics) time) so the hot path never touches
+//! the registry lock — each query records through pre-registered atomic
+//! handles. A default-constructed [`SearchMetrics`] is fully disabled:
+//! every handle is detached, so each record call is one branch.
+
+use nucdb_obs::{Counter, Histogram, MetricsRegistry, TraceEvent, TraceSink};
+
+use crate::engine::{QueryStats, SearchResult};
+
+/// Pre-registered metric handles for the search path.
+///
+/// Histogram values are nanoseconds unless the metric name says
+/// otherwise.
+#[derive(Debug, Clone, Default)]
+pub struct SearchMetrics {
+    /// Queries evaluated.
+    pub queries: Counter,
+    /// End-to-end per-query latency.
+    pub query_latency: Histogram,
+    /// Coarse stage: interval extraction + code sort.
+    pub stage_extract: Histogram,
+    /// Coarse stage: postings fetch + hit accumulation.
+    pub stage_accumulate: Histogram,
+    /// Coarse stage: diagonal scatter, window scoring, ranking.
+    pub stage_rank: Histogram,
+    /// Fine stage: local alignment of the candidates.
+    pub stage_fine: Histogram,
+    /// Strand merge + result assembly.
+    pub stage_merge: Histogram,
+    /// Candidates promoted to fine search, per query.
+    pub candidates: Histogram,
+    /// Postings lists fetched.
+    pub lists_fetched: Counter,
+    /// Postings entries decoded.
+    pub postings_decoded: Counter,
+    /// Hit pairs accumulated.
+    pub total_hits: Counter,
+    /// Fine alignments computed.
+    pub fine_alignments: Counter,
+    /// Sampled per-query trace sink.
+    pub trace: TraceSink,
+}
+
+impl SearchMetrics {
+    /// Register the search metric family in `registry` and return live
+    /// handles (detached no-op handles if the registry is disabled).
+    pub fn new(registry: &MetricsRegistry) -> SearchMetrics {
+        let stage = |name: &str| {
+            registry.histogram_with(
+                "nucdb_stage_latency_ns",
+                "Per-stage search latency in nanoseconds",
+                &[("stage", name)],
+            )
+        };
+        SearchMetrics {
+            queries: registry.counter("nucdb_queries_total", "Queries evaluated"),
+            query_latency: registry.histogram(
+                "nucdb_query_latency_ns",
+                "End-to-end per-query latency in nanoseconds",
+            ),
+            stage_extract: stage("coarse_extract"),
+            stage_accumulate: stage("coarse_accumulate"),
+            stage_rank: stage("coarse_rank"),
+            stage_fine: stage("fine_align"),
+            stage_merge: stage("strand_merge"),
+            candidates: registry.histogram(
+                "nucdb_candidates_per_query",
+                "Candidates promoted to fine search per query",
+            ),
+            lists_fetched: registry.counter("nucdb_lists_fetched_total", "Postings lists fetched"),
+            postings_decoded: registry
+                .counter("nucdb_postings_decoded_total", "Postings entries decoded"),
+            total_hits: registry
+                .counter("nucdb_hits_total", "Hit pairs accumulated in coarse search"),
+            fine_alignments: registry
+                .counter("nucdb_fine_alignments_total", "Fine alignments computed"),
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// A fully detached bundle: every record call is one branch.
+    pub fn disabled() -> SearchMetrics {
+        SearchMetrics::default()
+    }
+
+    /// Attach a trace sink (sampling is the sink's).
+    pub fn with_trace(mut self, trace: TraceSink) -> SearchMetrics {
+        self.trace = trace;
+        self
+    }
+
+    /// Is any metric handle or the trace sink live?
+    pub fn is_enabled(&self) -> bool {
+        self.queries.is_enabled() || self.trace.is_enabled()
+    }
+
+    /// Record one evaluated query's stats into the registered handles.
+    pub fn record_query(&self, stats: &QueryStats, total_nanos: u64) {
+        self.queries.inc();
+        self.query_latency.record(total_nanos);
+        self.stage_extract.record(stats.extract_nanos);
+        self.stage_accumulate.record(stats.accumulate_nanos);
+        self.stage_rank.record(stats.rank_nanos);
+        self.stage_fine.record(stats.fine_nanos);
+        self.stage_merge.record(stats.merge_nanos);
+        self.candidates.record(stats.candidates);
+        self.lists_fetched.add(stats.lists_fetched);
+        self.postings_decoded.add(stats.postings_decoded);
+        self.total_hits.add(stats.total_hits);
+        self.fine_alignments.add(stats.fine_alignments);
+    }
+
+    /// Build the JSONL trace event for one sampled query.
+    pub fn trace_event(
+        &self,
+        stats: &QueryStats,
+        results: &[SearchResult],
+        total_nanos: u64,
+    ) -> TraceEvent {
+        let mut event = TraceEvent::new("query")
+            .num("latency_ns", total_nanos)
+            .num("coarse_ns", stats.coarse_nanos)
+            .num("extract_ns", stats.extract_nanos)
+            .num("accumulate_ns", stats.accumulate_nanos)
+            .num("rank_ns", stats.rank_nanos)
+            .num("fine_ns", stats.fine_nanos)
+            .num("merge_ns", stats.merge_nanos)
+            .num("intervals", stats.intervals_looked_up)
+            .num("lists_fetched", stats.lists_fetched)
+            .num("postings_decoded", stats.postings_decoded)
+            .num("hits", stats.total_hits)
+            .num("candidates", stats.candidates)
+            .num("fine_alignments", stats.fine_alignments)
+            .num("results", results.len() as u64);
+        if let Some(top) = results.first() {
+            event = event
+                .str("top_id", &top.id)
+                .field("top_score", nucdb_obs::json::Value::Num(top.score as f64));
+        }
+        event
+    }
+}

@@ -15,9 +15,9 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use nucdb_index::PositionalReader;
+use nucdb_obs::{Counter, MetricsRegistry};
 use nucdb_seq::{Base, DnaSeq, PackedSeq, SeqError};
 
 /// Anything fine search (and the exhaustive baselines) can read candidate
@@ -71,7 +71,11 @@ pub struct SequenceStore {
 impl SequenceStore {
     /// An empty store.
     pub fn new(mode: StorageMode) -> SequenceStore {
-        SequenceStore { mode, ids: Vec::new(), seqs: Vec::new() }
+        SequenceStore {
+            mode,
+            ids: Vec::new(),
+            seqs: Vec::new(),
+        }
     }
 
     /// Append a record; returns its id (consecutive from 0).
@@ -270,8 +274,11 @@ pub struct OnDiskStore {
     blobs: Vec<(u64, u32)>,
     /// Per record: sequence length in bases.
     lens: Vec<u32>,
-    bytes_read: AtomicU64,
-    records_read: AtomicU64,
+    /// I/O counters: standalone by default, swapped for registry-backed
+    /// handles by [`OnDiskStore::bind_metrics`]. The accessor methods
+    /// below are thin shims over these handles either way.
+    bytes_read: Counter,
+    records_read: Counter,
 }
 
 impl OnDiskStore {
@@ -328,9 +335,27 @@ impl OnDiskStore {
             ids,
             blobs,
             lens,
-            bytes_read: AtomicU64::new(0),
-            records_read: AtomicU64::new(0),
+            bytes_read: Counter::new(),
+            records_read: Counter::new(),
         })
+    }
+
+    /// Swap the I/O counters for handles registered in `registry`
+    /// (carrying over any already-accumulated values). After binding,
+    /// [`OnDiskStore::bytes_read`] and friends read the registry series.
+    pub fn bind_metrics(&mut self, registry: &MetricsRegistry) {
+        let bytes_read = registry.counter(
+            "nucdb_store_bytes_read_total",
+            "Bytes fetched from the on-disk store",
+        );
+        let records_read = registry.counter(
+            "nucdb_store_records_read_total",
+            "Records fetched from the on-disk store",
+        );
+        bytes_read.add(self.bytes_read.get());
+        records_read.add(self.records_read.get());
+        self.bytes_read = bytes_read;
+        self.records_read = records_read;
     }
 
     /// Storage mode of the underlying file.
@@ -342,25 +367,25 @@ impl OnDiskStore {
         let (offset, len) = self.blobs[record as usize];
         let mut bytes = vec![0u8; len as usize];
         self.file.read_exact_at(&mut bytes, offset)?;
-        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
-        self.records_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.add(len as u64);
+        self.records_read.inc();
         Ok(bytes)
     }
 
     /// Store bytes fetched since the last reset.
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read.load(Ordering::Relaxed)
+        self.bytes_read.get()
     }
 
     /// Records fetched since the last reset.
     pub fn records_read(&self) -> u64 {
-        self.records_read.load(Ordering::Relaxed)
+        self.records_read.get()
     }
 
     /// Reset the I/O counters.
     pub fn reset_io_counters(&self) {
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.records_read.store(0, Ordering::Relaxed);
+        self.bytes_read.reset();
+        self.records_read.reset();
     }
 }
 
@@ -605,7 +630,10 @@ mod tests {
 
     #[test]
     fn on_disk_store_matches_memory() {
-        for (tag, mode) in [("oda", StorageMode::Ascii), ("odp", StorageMode::DirectCoding)] {
+        for (tag, mode) in [
+            ("oda", StorageMode::Ascii),
+            ("odp", StorageMode::DirectCoding),
+        ] {
             let mut store = SequenceStore::new(mode);
             for (id, seq) in sample() {
                 store.add(id, &seq);
@@ -618,7 +646,10 @@ mod tests {
             assert_eq!(RecordSource::total_bases(&disk), store.total_bases());
             for record in 0..store.len() as u32 {
                 assert_eq!(RecordSource::id(&disk, record), store.id(record));
-                assert_eq!(RecordSource::record_len(&disk, record), store.record_len(record));
+                assert_eq!(
+                    RecordSource::record_len(&disk, record),
+                    store.record_len(record)
+                );
                 assert_eq!(
                     RecordSource::sequence(&disk, record).unwrap(),
                     store.sequence(record).unwrap(),

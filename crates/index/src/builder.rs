@@ -170,7 +170,11 @@ fn spill_run(path: &Path, postings: PostingsMap) -> Result<(), IndexError> {
             write_vu64(&mut out, record_gap as u64)?;
             // A record's first offset is stored absolutely; later offsets
             // of the same record as gaps from the previous one.
-            let stored = if record_gap == 0 { offset - prev_offset } else { offset };
+            let stored = if record_gap == 0 {
+                offset - prev_offset
+            } else {
+                offset
+            };
             write_vu64(&mut out, stored as u64)?;
             prev_offset = offset;
             prev_record = record;
@@ -196,8 +200,11 @@ struct RunReader {
 
 impl RunReader {
     fn open(path: &Path) -> Result<RunReader, IndexError> {
-        let mut reader =
-            RunReader { input: BufReader::new(File::open(path)?), pending: None, prev_code: 0 };
+        let mut reader = RunReader {
+            input: BufReader::new(File::open(path)?),
+            pending: None,
+            prev_code: 0,
+        };
         reader.advance()?;
         Ok(reader)
     }
@@ -214,7 +221,8 @@ impl RunReader {
         let code = self.prev_code + code_gap - 1;
         self.prev_code = code;
         let n = read_vu64(&mut self.input)?
-            .ok_or(IndexError::BadFormat("run file truncated at pair count"))? as usize;
+            .ok_or(IndexError::BadFormat("run file truncated at pair count"))?
+            as usize;
         let mut pairs = Vec::with_capacity(n);
         let mut prev_record = 0u32;
         let mut prev_offset = 0u32;
@@ -376,7 +384,12 @@ fn merge_runs(
         }
     }
 
-    Ok(CompressedIndex::from_sorted_lists(params, codec, record_lens, lists.into_iter()))
+    Ok(CompressedIndex::from_sorted_lists(
+        params,
+        codec,
+        record_lens,
+        lists.into_iter(),
+    ))
 }
 
 /// Parallel in-memory build: records are split into `num_threads`
@@ -447,9 +460,7 @@ pub fn build_parallel(
 
     // Apply stopping exactly as the in-memory builder does.
     let df_limit = match &params.stopping {
-        Some(policy) => {
-            policy.df_limit(num_records, merged.iter().map(|(_, l)| l.df() as u32))
-        }
+        Some(policy) => policy.df_limit(num_records, merged.iter().map(|(_, l)| l.df() as u32)),
         None => u32::MAX,
     };
     merged.retain(|(_, list)| list.df() as u32 <= df_limit);
@@ -513,10 +524,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let records: Vec<Vec<Base>> = (0..20)
             .map(|_| {
-                DnaSeq::from_codes(
-                    random_seq(&mut rng, 200, 0.5, 0.0).codes().to_vec(),
-                )
-                .representative_bases()
+                DnaSeq::from_codes(random_seq(&mut rng, 200, 0.5, 0.0).codes().to_vec())
+                    .representative_bases()
             })
             .collect();
         let params = IndexParams::new(8);
@@ -527,9 +536,10 @@ mod tests {
         let index = builder.finish();
         for (id, record) in records.iter().enumerate() {
             for (offset, code) in params.extract(record) {
-                let list = index.postings(code).unwrap().unwrap_or_else(|| {
-                    panic!("interval {code} of record {id} missing from index")
-                });
+                let list = index
+                    .postings(code)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("interval {code} of record {id} missing from index"));
                 let entry = list
                     .entries
                     .iter()
@@ -565,7 +575,10 @@ mod tests {
         }
         let index = builder.finish();
         let aaaa = pack_kmer(&bases(b"AAAA"));
-        assert!(index.postings(aaaa).unwrap().is_none(), "AAAA should be stopped");
+        assert!(
+            index.postings(aaaa).unwrap().is_none(),
+            "AAAA should be stopped"
+        );
         // Rare intervals survive.
         let cgcg = pack_kmer(&bases(b"CGCG"));
         assert!(index.postings(cgcg).unwrap().is_some());
@@ -574,8 +587,11 @@ mod tests {
     #[test]
     fn chunked_build_equals_in_memory() {
         let coll = SyntheticCollection::generate(&CollectionSpec::tiny(21));
-        let records: Vec<Vec<Base>> =
-            coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+        let records: Vec<Vec<Base>> = coll
+            .records
+            .iter()
+            .map(|r| r.seq.representative_bases())
+            .collect();
 
         let params = IndexParams::new(6);
         let mut builder = IndexBuilder::new(params.clone());
@@ -597,7 +613,10 @@ mod tests {
 
         assert_eq!(chunked.num_records(), reference.num_records());
         assert_eq!(chunked.distinct_intervals(), reference.distinct_intervals());
-        assert_eq!(chunked.decode_all().unwrap(), reference.decode_all().unwrap());
+        assert_eq!(
+            chunked.decode_all().unwrap(),
+            reference.decode_all().unwrap()
+        );
         // Identical lists must compress to identical blobs.
         assert_eq!(chunked.blob(), reference.blob());
     }
@@ -605,8 +624,11 @@ mod tests {
     #[test]
     fn chunked_build_with_stopping_matches() {
         let coll = SyntheticCollection::generate(&CollectionSpec::tiny(22));
-        let records: Vec<Vec<Base>> =
-            coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+        let records: Vec<Vec<Base>> = coll
+            .records
+            .iter()
+            .map(|r| r.seq.representative_bases())
+            .collect();
         let params = IndexParams::new(4).with_stopping(StopPolicy::DfAbsolute(5));
 
         let mut builder = IndexBuilder::new(params.clone());
@@ -625,14 +647,20 @@ mod tests {
         )
         .unwrap();
         let _ = std::fs::remove_dir_all(&dir);
-        assert_eq!(chunked.decode_all().unwrap(), reference.decode_all().unwrap());
+        assert_eq!(
+            chunked.decode_all().unwrap(),
+            reference.decode_all().unwrap()
+        );
     }
 
     #[test]
     fn parallel_build_equals_in_memory() {
         let coll = SyntheticCollection::generate(&CollectionSpec::tiny(23));
-        let records: Vec<Vec<Base>> =
-            coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+        let records: Vec<Vec<Base>> = coll
+            .records
+            .iter()
+            .map(|r| r.seq.representative_bases())
+            .collect();
         let params = IndexParams::new(6);
 
         let mut builder = IndexBuilder::new(params.clone());

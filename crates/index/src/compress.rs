@@ -20,9 +20,7 @@
 //! [`ListCodec`] swaps the gap codes for the comparison experiment E5
 //! (all-gamma, all-delta, variable-byte, fixed-width).
 
-use nucdb_codec::{
-    BitReader, BitWriter, Delta, FixedWidth, Gamma, Golomb, IntCodec, VByte,
-};
+use nucdb_codec::{BitReader, BitWriter, Delta, FixedWidth, Gamma, Golomb, IntCodec, VByte};
 
 use crate::error::IndexError;
 use crate::interval::{Granularity, IndexParams};
@@ -324,14 +322,24 @@ pub fn decode_postings(
             .map(|(list, _)| list);
     }
     let mut entries: Vec<Posting> = Vec::with_capacity(df as usize);
-    decode_postings_with(bytes, df, num_records, record_lens, codec, |record, offset| {
-        // Counts are >= 1, so every record's first offset arrives before
-        // any of its later ones and grouping on the tail entry is exact.
-        match entries.last_mut() {
-            Some(posting) if posting.record == record => posting.offsets.push(offset),
-            _ => entries.push(Posting { record, offsets: vec![offset] }),
-        }
-    })?;
+    decode_postings_with(
+        bytes,
+        df,
+        num_records,
+        record_lens,
+        codec,
+        |record, offset| {
+            // Counts are >= 1, so every record's first offset arrives before
+            // any of its later ones and grouping on the tail entry is exact.
+            match entries.last_mut() {
+                Some(posting) if posting.record == record => posting.offsets.push(offset),
+                _ => entries.push(Posting {
+                    record,
+                    offsets: vec![offset],
+                }),
+            }
+        },
+    )?;
     Ok(PostingsList { entries })
 }
 
@@ -347,9 +355,17 @@ pub fn decode_counts(
     granularity: Granularity,
 ) -> Result<Vec<(u32, u32)>, IndexError> {
     let mut out = Vec::with_capacity(df as usize);
-    decode_counts_with(bytes, df, num_records, record_lens, codec, granularity, |record, count| {
-        out.push((record, count));
-    })?;
+    decode_counts_with(
+        bytes,
+        df,
+        num_records,
+        record_lens,
+        codec,
+        granularity,
+        |record, count| {
+            out.push((record, count));
+        },
+    )?;
     Ok(out)
 }
 
@@ -418,7 +434,10 @@ fn decode_postings_interp(
         } else {
             Vec::new()
         };
-        entries.push(Posting { record: record as u32, offsets });
+        entries.push(Posting {
+            record: record as u32,
+            offsets,
+        });
     }
     Ok((PostingsList { entries }, counts))
 }
@@ -482,7 +501,13 @@ impl CompressedIndex {
             });
             blob.extend_from_slice(&bytes);
         }
-        CompressedIndex { params, codec, record_lens, vocab, blob }
+        CompressedIndex {
+            params,
+            codec,
+            record_lens,
+            vocab,
+            blob,
+        }
     }
 
     /// Reassemble from parts (used by the on-disk reader).
@@ -493,7 +518,13 @@ impl CompressedIndex {
         vocab: Vec<VocabEntry>,
         blob: Vec<u8>,
     ) -> CompressedIndex {
-        CompressedIndex { params, codec, record_lens, vocab, blob }
+        CompressedIndex {
+            params,
+            codec,
+            record_lens,
+            vocab,
+            blob,
+        }
     }
 
     /// Index parameters.
@@ -557,8 +588,14 @@ impl CompressedIndex {
             return Ok(None);
         };
         let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
-        decode_postings(bytes, entry.df, self.num_records(), &self.record_lens, self.codec)
-            .map(Some)
+        decode_postings(
+            bytes,
+            entry.df,
+            self.num_records(),
+            &self.record_lens,
+            self.codec,
+        )
+        .map(Some)
     }
 
     /// Streaming variant of [`CompressedIndex::postings`]: calls
@@ -578,7 +615,14 @@ impl CompressedIndex {
             return Ok(None);
         };
         let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
-        decode_postings_with(bytes, entry.df, self.num_records(), &self.record_lens, self.codec, visit)?;
+        decode_postings_with(
+            bytes,
+            entry.df,
+            self.num_records(),
+            &self.record_lens,
+            self.codec,
+            visit,
+        )?;
         Ok(Some(entry.df))
     }
 
@@ -681,10 +725,22 @@ mod tests {
     fn sample_list() -> PostingsList {
         PostingsList {
             entries: vec![
-                Posting { record: 0, offsets: vec![0, 1, 7] },
-                Posting { record: 3, offsets: vec![99] },
-                Posting { record: 4, offsets: vec![5, 50, 500] },
-                Posting { record: 90, offsets: vec![1023] },
+                Posting {
+                    record: 0,
+                    offsets: vec![0, 1, 7],
+                },
+                Posting {
+                    record: 3,
+                    offsets: vec![99],
+                },
+                Posting {
+                    record: 4,
+                    offsets: vec![5, 50, 500],
+                },
+                Posting {
+                    record: 90,
+                    offsets: vec![1023],
+                },
             ],
         }
     }
@@ -716,9 +772,15 @@ mod tests {
             let back = decode_postings(&bytes, list.df() as u32, 100, &lens, codec).unwrap();
             assert_eq!(back, list, "{}", codec.name());
             // Counts decode agrees for every codec too.
-            let counts =
-                decode_counts(&bytes, list.df() as u32, 100, &lens, codec, Granularity::Offsets)
-                    .unwrap();
+            let counts = decode_counts(
+                &bytes,
+                list.df() as u32,
+                100,
+                &lens,
+                codec,
+                Granularity::Offsets,
+            )
+            .unwrap();
             let expect: Vec<(u32, u32)> = list
                 .entries
                 .iter()
@@ -736,14 +798,16 @@ mod tests {
             entries: (0..300u32)
                 .map(|i| {
                     let record = if i < 150 { i } else { 3000 + i };
-                    Posting { record, offsets: vec![i % 50] }
+                    Posting {
+                        record,
+                        offsets: vec![i % 50],
+                    }
                 })
                 .collect(),
         };
         let lens = vec![64u32; 4000];
         let paper = encode_postings(&list, 4000, &lens, ListCodec::Paper, Granularity::Offsets);
-        let interp =
-            encode_postings(&list, 4000, &lens, ListCodec::Interp, Granularity::Offsets);
+        let interp = encode_postings(&list, 4000, &lens, ListCodec::Interp, Granularity::Offsets);
         assert!(
             interp.len() < paper.len(),
             "interp {} >= paper {}",
@@ -761,13 +825,19 @@ mod tests {
         // beat the fixed-width layout and at worst roughly match vbyte.
         let list = PostingsList {
             entries: (0..200)
-                .map(|i| Posting { record: i * 3, offsets: vec![(i * 7) % 900] })
+                .map(|i| Posting {
+                    record: i * 3,
+                    offsets: vec![(i * 7) % 900],
+                })
                 .collect(),
         };
         let lens = vec![1000u32; 600];
-        let paper = encode_postings(&list, 600, &lens, ListCodec::Paper, Granularity::Offsets).len();
-        let fixed = encode_postings(&list, 600, &lens, ListCodec::Fixed, Granularity::Offsets).len();
-        let vbyte = encode_postings(&list, 600, &lens, ListCodec::VByte, Granularity::Offsets).len();
+        let paper =
+            encode_postings(&list, 600, &lens, ListCodec::Paper, Granularity::Offsets).len();
+        let fixed =
+            encode_postings(&list, 600, &lens, ListCodec::Fixed, Granularity::Offsets).len();
+        let vbyte =
+            encode_postings(&list, 600, &lens, ListCodec::VByte, Granularity::Offsets).len();
         assert!(paper < fixed, "paper {paper} >= fixed {fixed}");
         assert!(paper <= vbyte, "paper {paper} > vbyte {vbyte}");
     }
@@ -776,7 +846,10 @@ mod tests {
     fn adjacent_offsets_zero_gaps() {
         // Overlapping intervals produce adjacent offsets (gap-1 = 0).
         let list = PostingsList {
-            entries: vec![Posting { record: 0, offsets: vec![4, 5, 6, 7, 8] }],
+            entries: vec![Posting {
+                record: 0,
+                offsets: vec![4, 5, 6, 7, 8],
+            }],
         };
         let lens = vec![32u32];
         for codec in [ListCodec::Paper, ListCodec::Gamma] {
@@ -801,13 +874,27 @@ mod tests {
     fn index_lookup_and_postings() {
         let lens = vec![40u32; 10];
         let lists = vec![
-            (7u64, PostingsList { entries: vec![Posting { record: 1, offsets: vec![3] }] }),
+            (
+                7u64,
+                PostingsList {
+                    entries: vec![Posting {
+                        record: 1,
+                        offsets: vec![3],
+                    }],
+                },
+            ),
             (
                 9u64,
                 PostingsList {
                     entries: vec![
-                        Posting { record: 0, offsets: vec![0, 8] },
-                        Posting { record: 9, offsets: vec![31] },
+                        Posting {
+                            record: 0,
+                            offsets: vec![0, 8],
+                        },
+                        Posting {
+                            record: 9,
+                            offsets: vec![31],
+                        },
                     ],
                 },
             ),
@@ -832,7 +919,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "ascending code order")]
     fn unsorted_lists_rejected() {
-        let l = PostingsList { entries: vec![Posting { record: 0, offsets: vec![0] }] };
+        let l = PostingsList {
+            entries: vec![Posting {
+                record: 0,
+                offsets: vec![0],
+            }],
+        };
         let _ = CompressedIndex::from_sorted_lists(
             IndexParams::new(4),
             ListCodec::Paper,
@@ -847,9 +939,15 @@ mod tests {
         let lens = lens();
         for codec in [ListCodec::Paper, ListCodec::Gamma, ListCodec::VByte] {
             let bytes = encode_postings(&list, 100, &lens, codec, Granularity::Records);
-            let counts =
-                decode_counts(&bytes, list.df() as u32, 100, &lens, codec, Granularity::Records)
-                    .unwrap();
+            let counts = decode_counts(
+                &bytes,
+                list.df() as u32,
+                100,
+                &lens,
+                codec,
+                Granularity::Records,
+            )
+            .unwrap();
             let expect: Vec<(u32, u32)> = list
                 .entries
                 .iter()
@@ -895,7 +993,12 @@ mod tests {
         let lens = vec![40u32; 10];
         let lists = vec![(
             7u64,
-            PostingsList { entries: vec![Posting { record: 1, offsets: vec![3, 9] }] },
+            PostingsList {
+                entries: vec![Posting {
+                    record: 1,
+                    offsets: vec![3, 9],
+                }],
+            },
         )];
         let index = CompressedIndex::from_sorted_lists(
             IndexParams::new(4).with_granularity(Granularity::Records),
@@ -918,7 +1021,10 @@ mod tests {
             1u64,
             PostingsList {
                 entries: (0..50u32)
-                    .map(|r| Posting { record: r, offsets: vec![r, r + 20] })
+                    .map(|r| Posting {
+                        record: r,
+                        offsets: vec![r, r + 20],
+                    })
                     .collect(),
             },
         )];

@@ -22,7 +22,8 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use nucdb_obs::{Counter, MetricsRegistry};
 
 use crate::compress::{
     decode_counts_with, decode_postings, decode_postings_with, CompressedIndex, ListCodec,
@@ -183,21 +184,37 @@ fn read_header(input: &mut BufReader<File>) -> Result<Header, IndexError> {
         prev_code = code;
         let len = u32::try_from(read_vu64(input)?)
             .map_err(|_| IndexError::BadFormat("list length overflow"))?;
-        let df = u32::try_from(read_vu64(input)?)
-            .map_err(|_| IndexError::BadFormat("df overflow"))?;
-        vocab.push(VocabEntry { code, offset, len, df });
+        let df =
+            u32::try_from(read_vu64(input)?).map_err(|_| IndexError::BadFormat("df overflow"))?;
+        vocab.push(VocabEntry {
+            code,
+            offset,
+            len,
+            df,
+        });
         offset += len as u64;
     }
 
     let blob_len = read_vu64(input)?;
     if blob_len != offset {
-        return Err(IndexError::BadFormat("blob length disagrees with vocabulary"));
+        return Err(IndexError::BadFormat(
+            "blob length disagrees with vocabulary",
+        ));
     }
     let blob_start = input.stream_position()?;
 
-    let mut params = IndexParams::new(k).with_stride(stride).with_granularity(granularity);
+    let mut params = IndexParams::new(k)
+        .with_stride(stride)
+        .with_granularity(granularity);
     params.stopping = stopping;
-    Ok(Header { params, codec, record_lens, vocab, blob_len, blob_start })
+    Ok(Header {
+        params,
+        codec,
+        record_lens,
+        vocab,
+        blob_len,
+        blob_start,
+    })
 }
 
 /// Load a whole index file into memory.
@@ -227,8 +244,8 @@ pub struct OnDiskIndex {
     record_lens: Vec<u32>,
     vocab: Vec<VocabEntry>,
     blob_start: u64,
-    bytes_read: AtomicU64,
-    lists_read: AtomicU64,
+    bytes_read: Counter,
+    lists_read: Counter,
 }
 
 impl OnDiskIndex {
@@ -243,8 +260,8 @@ impl OnDiskIndex {
             record_lens: header.record_lens,
             vocab: header.vocab,
             blob_start: header.blob_start,
-            bytes_read: AtomicU64::new(0),
-            lists_read: AtomicU64::new(0),
+            bytes_read: Counter::new(),
+            lists_read: Counter::new(),
         })
     }
 
@@ -292,9 +309,10 @@ impl OnDiskIndex {
     fn fetch_bytes_into(&self, entry: &VocabEntry, buf: &mut Vec<u8>) -> Result<(), IndexError> {
         buf.clear();
         buf.resize(entry.len as usize, 0);
-        self.file.read_exact_at(buf, self.blob_start + entry.offset)?;
-        self.bytes_read.fetch_add(entry.len as u64, Ordering::Relaxed);
-        self.lists_read.fetch_add(1, Ordering::Relaxed);
+        self.file
+            .read_exact_at(buf, self.blob_start + entry.offset)?;
+        self.bytes_read.add(entry.len as u64);
+        self.lists_read.inc();
         Ok(())
     }
 
@@ -317,8 +335,14 @@ impl OnDiskIndex {
             return Ok(None);
         };
         let bytes = self.fetch_bytes(entry)?;
-        decode_postings(&bytes, entry.df, self.num_records(), &self.record_lens, self.codec)
-            .map(Some)
+        decode_postings(
+            &bytes,
+            entry.df,
+            self.num_records(),
+            &self.record_lens,
+            self.codec,
+        )
+        .map(Some)
     }
 
     /// Streaming variant of [`OnDiskIndex::postings`]: fetch into `io_buf`
@@ -340,7 +364,14 @@ impl OnDiskIndex {
             return Ok(None);
         };
         self.fetch_bytes_into(entry, io_buf)?;
-        decode_postings_with(io_buf, entry.df, self.num_records(), &self.record_lens, self.codec, visit)?;
+        decode_postings_with(
+            io_buf,
+            entry.df,
+            self.num_records(),
+            &self.record_lens,
+            self.codec,
+            visit,
+        )?;
         Ok(Some(entry.df))
     }
 
@@ -389,18 +420,36 @@ impl OnDiskIndex {
 
     /// Postings bytes fetched since the last reset.
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read.load(Ordering::Relaxed)
+        self.bytes_read.get()
     }
 
     /// Lists fetched since the last reset.
     pub fn lists_read(&self) -> u64 {
-        self.lists_read.load(Ordering::Relaxed)
+        self.lists_read.get()
     }
 
     /// Reset the I/O counters (between experiment runs).
     pub fn reset_io_counters(&self) {
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.lists_read.store(0, Ordering::Relaxed);
+        self.bytes_read.reset();
+        self.lists_read.reset();
+    }
+
+    /// Re-home the I/O counters in `registry` so they appear in metric
+    /// snapshots. Counts accumulated so far carry over; the legacy
+    /// accessors above keep working against the registered counters.
+    pub fn bind_metrics(&mut self, registry: &MetricsRegistry) {
+        let bytes_read = registry.counter(
+            "nucdb_index_bytes_read_total",
+            "Postings bytes fetched from the on-disk index",
+        );
+        let lists_read = registry.counter(
+            "nucdb_index_lists_read_total",
+            "Inverted lists fetched from the on-disk index",
+        );
+        bytes_read.add(self.bytes_read.get());
+        lists_read.add(self.lists_read.get());
+        self.bytes_read = bytes_read;
+        self.lists_read = lists_read;
     }
 }
 
@@ -526,7 +575,10 @@ mod tests {
                 .unwrap();
             assert_eq!(streamed_counts, counts, "code {}", entry.code);
         }
-        assert!(disk.postings_with(u64::MAX, &mut io_buf, |_, _| {}).unwrap().is_none());
+        assert!(disk
+            .postings_with(u64::MAX, &mut io_buf, |_, _| {})
+            .unwrap()
+            .is_none());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -538,8 +590,10 @@ mod tests {
         let disk = OnDiskIndex::open(&path).unwrap();
 
         let codes: Vec<u64> = index.vocab().iter().step_by(7).map(|e| e.code).collect();
-        let expected: Vec<PostingsList> =
-            codes.iter().map(|&c| index.postings(c).unwrap().unwrap()).collect();
+        let expected: Vec<PostingsList> = codes
+            .iter()
+            .map(|&c| index.postings(c).unwrap().unwrap())
+            .collect();
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let (disk, codes, expected) = (&disk, &codes, &expected);

@@ -62,14 +62,20 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(IndexError::BadFormat("magic").to_string().contains("magic"));
-        assert!(IndexError::from(CodecError::UnexpectedEnd).to_string().contains("decode"));
-        assert!(IndexError::OutOfRange("record").to_string().contains("record"));
+        assert!(IndexError::from(CodecError::UnexpectedEnd)
+            .to_string()
+            .contains("decode"));
+        assert!(IndexError::OutOfRange("record")
+            .to_string()
+            .contains("record"));
     }
 
     #[test]
     fn sources() {
         use std::error::Error;
-        assert!(IndexError::from(CodecError::UnexpectedEnd).source().is_some());
+        assert!(IndexError::from(CodecError::UnexpectedEnd)
+            .source()
+            .is_some());
         assert!(IndexError::BadFormat("x").source().is_none());
     }
 }

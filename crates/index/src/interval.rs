@@ -43,7 +43,11 @@ impl Granularity {
         Ok(match tag {
             0 => Granularity::Offsets,
             1 => Granularity::Records,
-            _ => return Err(crate::error::IndexError::BadFormat("unknown granularity tag")),
+            _ => {
+                return Err(crate::error::IndexError::BadFormat(
+                    "unknown granularity tag",
+                ))
+            }
         })
     }
 }
@@ -69,7 +73,12 @@ impl IndexParams {
     /// stopping.
     pub fn new(k: usize) -> IndexParams {
         assert!((1..=MAX_K).contains(&k), "interval length out of range");
-        IndexParams { k, stride: 1, stopping: None, granularity: Granularity::Offsets }
+        IndexParams {
+            k,
+            stride: 1,
+            stopping: None,
+            granularity: Granularity::Offsets,
+        }
     }
 
     /// Set the postings granularity.

@@ -50,10 +50,10 @@ pub use compress::{
     CompressedIndex, ListCodec, VocabEntry,
 };
 pub use disk::{load_index, write_index, OnDiskIndex};
-pub use pread::PositionalReader;
 pub use error::IndexError;
 pub use interval::{Granularity, IndexParams};
 pub use merge::{apply_stopping, merge_indexes};
 pub use postings::{Posting, PostingsList};
+pub use pread::PositionalReader;
 pub use stats::IndexStats;
 pub use stopping::StopPolicy;

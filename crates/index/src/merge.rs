@@ -25,7 +25,9 @@ pub fn merge_indexes(
     b: &CompressedIndex,
 ) -> Result<CompressedIndex, IndexError> {
     if a.params().k != b.params().k || a.params().stride != b.params().stride {
-        return Err(IndexError::BadFormat("merge inputs disagree on interval parameters"));
+        return Err(IndexError::BadFormat(
+            "merge inputs disagree on interval parameters",
+        ));
     }
     if a.codec() != b.codec() {
         return Err(IndexError::BadFormat("merge inputs disagree on codec"));
@@ -58,10 +60,11 @@ pub fn merge_indexes(
             (Some(code_a), Some(code_b)) if code_a == code_b => {
                 let mut list = a.postings(code_a)?.expect("vocab entry decodes");
                 let tail = b.postings(code_b)?.expect("vocab entry decodes");
-                list.entries.extend(tail.entries.into_iter().map(|p| Posting {
-                    record: p.record + shift,
-                    offsets: p.offsets,
-                }));
+                list.entries
+                    .extend(tail.entries.into_iter().map(|p| Posting {
+                        record: p.record + shift,
+                        offsets: p.offsets,
+                    }));
                 lists.push((code_a, list));
                 ia += 1;
                 ib += 1;
@@ -76,7 +79,10 @@ pub fn merge_indexes(
                     entries: tail
                         .entries
                         .into_iter()
-                        .map(|p| Posting { record: p.record + shift, offsets: p.offsets })
+                        .map(|p| Posting {
+                            record: p.record + shift,
+                            offsets: p.offsets,
+                        })
                         .collect(),
                 };
                 lists.push((code_b, shifted));
@@ -109,7 +115,12 @@ pub fn apply_stopping(
         .vocab()
         .iter()
         .filter(|e| e.df <= limit)
-        .map(|e| Ok((e.code, index.postings(e.code)?.expect("vocab entry decodes"))))
+        .map(|e| {
+            Ok((
+                e.code,
+                index.postings(e.code)?.expect("vocab entry decodes"),
+            ))
+        })
         .collect::<Result<_, IndexError>>()?;
     let params = index.params().clone().with_stopping(policy);
     Ok(CompressedIndex::from_sorted_lists(
@@ -161,7 +172,10 @@ mod tests {
 
         assert_eq!(merged.num_records(), reference.num_records());
         assert_eq!(merged.record_lens(), reference.record_lens());
-        assert_eq!(merged.decode_all().unwrap(), reference.decode_all().unwrap());
+        assert_eq!(
+            merged.decode_all().unwrap(),
+            reference.decode_all().unwrap()
+        );
         assert_eq!(merged.blob(), reference.blob());
     }
 
@@ -185,8 +199,7 @@ mod tests {
         let b = build(&r, IndexParams::new(10));
         assert!(merge_indexes(&a, &b).is_err());
         let c = {
-            let mut builder =
-                IndexBuilder::new(IndexParams::new(8)).with_codec(ListCodec::Gamma);
+            let mut builder = IndexBuilder::new(IndexParams::new(8)).with_codec(ListCodec::Gamma);
             for rec in &r {
                 builder.add_record(rec);
             }
@@ -216,6 +229,9 @@ mod tests {
         let reference = build(&r, IndexParams::new(6).with_stopping(policy));
         assert_eq!(post.decode_all().unwrap(), reference.decode_all().unwrap());
         assert_eq!(post.params().stopping, Some(policy));
-        assert!(apply_stopping(&post, policy).is_err(), "double stopping rejected");
+        assert!(
+            apply_stopping(&post, policy).is_err(),
+            "double stopping rejected"
+        );
     }
 }

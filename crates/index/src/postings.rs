@@ -31,9 +31,10 @@ impl PostingsList {
     /// offsets, no empty entries. Used by tests and debug assertions.
     pub fn is_well_formed(&self) -> bool {
         let records_ok = self.entries.windows(2).all(|w| w[0].record < w[1].record);
-        let entries_ok = self.entries.iter().all(|p| {
-            !p.offsets.is_empty() && p.offsets.windows(2).all(|w| w[0] < w[1])
-        });
+        let entries_ok = self
+            .entries
+            .iter()
+            .all(|p| !p.offsets.is_empty() && p.offsets.windows(2).all(|w| w[0] < w[1]));
         records_ok && entries_ok
     }
 }
@@ -52,7 +53,9 @@ impl RawPostings {
     /// `(record, offset)` order (debug-asserted).
     pub fn push(&mut self, record: u32, offset: u32) {
         debug_assert!(
-            self.pairs.last().is_none_or(|&(r, o)| (r, o) < (record, offset)),
+            self.pairs
+                .last()
+                .is_none_or(|&(r, o)| (r, o) < (record, offset)),
             "postings must be appended in ascending order"
         );
         self.pairs.push((record, offset));
@@ -92,7 +95,10 @@ impl RawPostings {
         for (record, offset) in self.pairs {
             match entries.last_mut() {
                 Some(last) if last.record == record => last.offsets.push(offset),
-                _ => entries.push(Posting { record, offsets: vec![offset] }),
+                _ => entries.push(Posting {
+                    record,
+                    offsets: vec![offset],
+                }),
             }
         }
         let list = PostingsList { entries };
@@ -116,8 +122,20 @@ mod tests {
         let list = raw.into_list();
         assert_eq!(list.df(), 3);
         assert_eq!(list.total_occurrences(), 6);
-        assert_eq!(list.entries[0], Posting { record: 0, offsets: vec![3, 9] });
-        assert_eq!(list.entries[2], Posting { record: 5, offsets: vec![0, 4, 8] });
+        assert_eq!(
+            list.entries[0],
+            Posting {
+                record: 0,
+                offsets: vec![3, 9]
+            }
+        );
+        assert_eq!(
+            list.entries[2],
+            Posting {
+                record: 5,
+                offsets: vec![0, 4, 8]
+            }
+        );
         assert!(list.is_well_formed());
     }
 
@@ -135,16 +153,30 @@ mod tests {
     fn well_formedness_detects_violations() {
         let bad_order = PostingsList {
             entries: vec![
-                Posting { record: 5, offsets: vec![1] },
-                Posting { record: 2, offsets: vec![1] },
+                Posting {
+                    record: 5,
+                    offsets: vec![1],
+                },
+                Posting {
+                    record: 2,
+                    offsets: vec![1],
+                },
             ],
         };
         assert!(!bad_order.is_well_formed());
-        let bad_offsets =
-            PostingsList { entries: vec![Posting { record: 1, offsets: vec![4, 4] }] };
+        let bad_offsets = PostingsList {
+            entries: vec![Posting {
+                record: 1,
+                offsets: vec![4, 4],
+            }],
+        };
         assert!(!bad_offsets.is_well_formed());
-        let empty_offsets =
-            PostingsList { entries: vec![Posting { record: 1, offsets: vec![] }] };
+        let empty_offsets = PostingsList {
+            entries: vec![Posting {
+                record: 1,
+                offsets: vec![],
+            }],
+        };
         assert!(!empty_offsets.is_well_formed());
     }
 }

@@ -87,10 +87,12 @@ mod tests {
 
     #[test]
     fn concurrent_reads_see_consistent_bytes() {
-        let path = std::env::temp_dir()
-            .join(format!("nucdb_pread_{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("nucdb_pread_{}", std::process::id()));
         let payload: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
-        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
 
         let reader = PositionalReader::new(File::open(&path).unwrap());
         std::thread::scope(|scope| {
@@ -101,7 +103,8 @@ mod tests {
                     // Each thread reads a distinct interleaved slice pattern.
                     let mut buf = vec![0u8; 997];
                     for round in 0..50 {
-                        let offset = ((t * 8191 + round * 131) % (payload.len() - buf.len())) as u64;
+                        let offset =
+                            ((t * 8191 + round * 131) % (payload.len() - buf.len())) as u64;
                         reader.read_exact_at(&mut buf, offset).unwrap();
                         assert_eq!(&buf[..], &payload[offset as usize..offset as usize + 997]);
                     }
@@ -113,8 +116,7 @@ mod tests {
 
     #[test]
     fn short_file_read_errors() {
-        let path = std::env::temp_dir()
-            .join(format!("nucdb_pread_short_{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("nucdb_pread_short_{}", std::process::id()));
         std::fs::write(&path, b"tiny").unwrap();
         let reader = PositionalReader::new(File::open(&path).unwrap());
         let mut buf = [0u8; 16];

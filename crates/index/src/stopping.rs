@@ -60,15 +60,27 @@ mod tests {
     fn fraction_limit() {
         let p = StopPolicy::DfFraction(0.1);
         assert_eq!(p.df_limit(1000, std::iter::empty()), 100);
-        assert_eq!(StopPolicy::DfFraction(1.0).df_limit(50, std::iter::empty()), 50);
-        assert_eq!(StopPolicy::DfFraction(0.0).df_limit(50, std::iter::empty()), 0);
+        assert_eq!(
+            StopPolicy::DfFraction(1.0).df_limit(50, std::iter::empty()),
+            50
+        );
+        assert_eq!(
+            StopPolicy::DfFraction(0.0).df_limit(50, std::iter::empty()),
+            0
+        );
         // Out-of-range fractions are clamped.
-        assert_eq!(StopPolicy::DfFraction(2.0).df_limit(50, std::iter::empty()), 50);
+        assert_eq!(
+            StopPolicy::DfFraction(2.0).df_limit(50, std::iter::empty()),
+            50
+        );
     }
 
     #[test]
     fn absolute_limit() {
-        assert_eq!(StopPolicy::DfAbsolute(7).df_limit(1000, std::iter::empty()), 7);
+        assert_eq!(
+            StopPolicy::DfAbsolute(7).df_limit(1000, std::iter::empty()),
+            7
+        );
     }
 
     #[test]
@@ -77,7 +89,10 @@ mod tests {
         // Dropping the top 2 (100, 90): limit is the 3rd largest, 80.
         assert_eq!(StopPolicy::TopK(2).df_limit(1000, dfs.iter().copied()), 80);
         // Dropping none.
-        assert_eq!(StopPolicy::TopK(0).df_limit(1000, dfs.iter().copied()), u32::MAX);
+        assert_eq!(
+            StopPolicy::TopK(0).df_limit(1000, dfs.iter().copied()),
+            u32::MAX
+        );
         // Dropping at least as many as exist: everything goes.
         assert_eq!(StopPolicy::TopK(6).df_limit(1000, dfs.iter().copied()), 0);
         assert_eq!(StopPolicy::TopK(99).df_limit(1000, dfs.iter().copied()), 0);

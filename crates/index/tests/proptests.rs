@@ -4,7 +4,7 @@
 
 use nucdb_index::{
     decode_counts, decode_counts_with, decode_postings, decode_postings_with, encode_postings,
-    Granularity, load_index, write_index, IndexBuilder, IndexParams, ListCodec, Posting,
+    load_index, write_index, Granularity, IndexBuilder, IndexParams, ListCodec, Posting,
     PostingsList,
 };
 use nucdb_seq::{Base, DnaSeq};
@@ -21,10 +21,7 @@ const CODECS: [ListCodec; 6] = [
 
 /// Strategy: a well-formed postings list over `num_records` records of
 /// length `record_len`, plus the length table.
-fn postings_list(
-    num_records: u32,
-    record_len: u32,
-) -> impl Strategy<Value = PostingsList> {
+fn postings_list(num_records: u32, record_len: u32) -> impl Strategy<Value = PostingsList> {
     // Choose a subset of records; per record a sorted set of offsets.
     prop::collection::btree_set(0..num_records, 0..20).prop_flat_map(move |records| {
         let records: Vec<u32> = records.into_iter().collect();

@@ -1,0 +1,388 @@
+//! Log-bucketed latency histogram (HDR-style).
+//!
+//! Values are bucketed by their power-of-two exponent, each exponent
+//! split into 16 linear sub-buckets, so bucket width is at most 1/16 of
+//! the bucket's lower bound (≤ 6.25 % relative error on any reported
+//! quantile). The whole `u64` range is covered by [`NUM_BUCKETS`] buckets
+//! (values 0–15 get exact unit buckets), small enough that one histogram
+//! is ~8 KiB of atomics and can be left enabled in production.
+//!
+//! Recording is wait-free: one relaxed `fetch_add` on the bucket, one on
+//! the running sum, one `fetch_max` on the maximum. There is no separate
+//! count cell — the count is the sum of the buckets, so a snapshot taken
+//! after all writers finish is exact (and one taken concurrently is a
+//! consistent-enough superset/subset, never torn per bucket).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Linear sub-buckets per power of two (16 → ≤ 6.25 % bucket width).
+const SUB_BITS: usize = 4;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering all of `u64`.
+pub const NUM_BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS) * SUB_COUNT;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros() as usize;
+        (exp - SUB_BITS + 1) * SUB_COUNT + ((value >> (exp - SUB_BITS)) as usize & (SUB_COUNT - 1))
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index out of range");
+    if index < SUB_COUNT {
+        return (index as u64, index as u64);
+    }
+    let block = index / SUB_COUNT; // 1..=(64 - SUB_BITS)
+    let sub = (index % SUB_COUNT) as u64;
+    let shift = block - 1;
+    let lower = (SUB_COUNT as u64 + sub) << shift;
+    // `(1 << shift) - 1` first: for the top bucket `lower + (1 << shift)`
+    // is 2^64 and would overflow.
+    let upper = lower + ((1u64 << shift) - 1);
+    (lower, upper)
+}
+
+pub(crate) struct HistogramCore {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        // `AtomicU64` is not `Copy`; build the array through a Vec.
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!());
+        HistogramCore {
+            buckets,
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A lock-free value-distribution recorder.
+///
+/// Cloning shares the underlying storage. A disabled histogram
+/// ([`Histogram::disabled`], or any handle from a disabled registry)
+/// holds no storage: recording is one branch and returns.
+#[derive(Clone)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A standalone enabled histogram (not tied to any registry).
+    pub fn new() -> Histogram {
+        Histogram(Some(Arc::new(HistogramCore::new())))
+    }
+
+    /// A no-op histogram: recording does nothing and costs one branch.
+    pub fn disabled() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Does this handle record anywhere?
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.record(value);
+        }
+    }
+
+    /// Record a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the distribution (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            Some(core) => core.snapshot(),
+            None => HistogramSnapshot::empty(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    /// The default is the *disabled* histogram, matching `Counter` and
+    /// `Gauge`: a default-constructed metrics bundle records nothing.
+    fn default() -> Histogram {
+        Histogram::disabled()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("enabled", &self.is_enabled())
+            .field("count", &snap.count())
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, indexed by [`bucket_index`].
+    pub counts: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest value ever recorded (not reset by delta).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: vec![0; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// The value at or below which `p` percent of recordings fall
+    /// (`0.0 < p <= 100.0`). Reports the containing bucket's upper bound,
+    /// clamped to the observed maximum, so the answer is within one
+    /// bucket width (≤ 6.25 %) of the true quantile and never exceeds
+    /// [`HistogramSnapshot::max`]. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0 * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Recordings since `earlier` was taken: per-bucket and sum
+    /// subtraction (saturating, so a racing writer can never underflow
+    /// the result). `max` keeps the later snapshot's all-time maximum —
+    /// a per-window maximum cannot be recovered from bucket counts.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(&now, &then)| now.saturating_sub(then))
+                .collect(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs, the
+    /// shape Prometheus histogram exposition wants. The final entry is
+    /// always `(u64::MAX, total)`.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                cumulative += n;
+                out.push((bucket_bounds(index).1, cumulative));
+            }
+        }
+        if out.last().map(|&(upper, _)| upper) != Some(u64::MAX) {
+            out.push((u64::MAX, cumulative));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize, "value {v}");
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi);
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_u64_range() {
+        // Buckets tile the range: each upper + 1 == next lower.
+        let mut expected_lower = 0u64;
+        for index in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(index);
+            assert_eq!(lo, expected_lower, "bucket {index}");
+            assert!(hi >= lo);
+            if index + 1 < NUM_BUCKETS {
+                expected_lower = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_are_contained() {
+        for v in [0, 1, 15, 16, 17, 1 << 20, u64::MAX - 1, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "value {v} bucket [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for index in SUB_COUNT..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(index);
+            let width = hi - lo + 1;
+            assert!(
+                width as f64 / lo as f64 <= 1.0 / SUB_COUNT as f64 + 1e-12,
+                "bucket {index}: width {width} at lower bound {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.sum, 500_500);
+        assert_eq!(snap.max, 1000);
+        // Within one bucket (≤ 6.25 %) of the exact quantile.
+        let p50 = snap.p50();
+        assert!((469..=532).contains(&p50), "p50 {p50}");
+        let p99 = snap.p99();
+        assert!((928..=1000).contains(&p99), "p99 {p99}");
+        assert_eq!(snap.percentile(100.0), 1000);
+        assert!(snap.p50() <= snap.p90() && snap.p90() <= snap.p99());
+    }
+
+    #[test]
+    fn disabled_histogram_is_inert() {
+        let h = Histogram::disabled();
+        h.record(123);
+        h.record_duration(Duration::from_millis(5));
+        assert!(!h.is_enabled());
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.p99(), 0);
+    }
+
+    #[test]
+    fn delta_isolates_a_window() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(100);
+        let before = h.snapshot();
+        h.record(1000);
+        h.record(1000);
+        let after = h.snapshot();
+        let window = after.delta(&before);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum, 2000);
+        assert_eq!(window.percentile(100.0), window.max.min(1069));
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_infinity() {
+        let h = Histogram::new();
+        h.record(3);
+        h.record(700);
+        let cum = h.snapshot().cumulative_buckets();
+        assert_eq!(cum.last().unwrap().0, u64::MAX);
+        assert_eq!(cum.last().unwrap().1, 2);
+        // Cumulative counts are monotone.
+        for pair in cum.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Histogram::new();
+        let b = a.clone();
+        a.record(7);
+        b.record(9);
+        assert_eq!(a.snapshot().count(), 2);
+    }
+}

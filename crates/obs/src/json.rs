@@ -1,0 +1,424 @@
+//! A minimal JSON value type with a writer and a strict parser.
+//!
+//! The workspace is intentionally dependency-free, so the JSON
+//! exposition format ([`crate::Snapshot::to_json`]) and the JSONL trace
+//! sink ([`crate::TraceSink`]) serialize through this module instead of
+//! `serde_json`. The parser exists so tests can assert the emitted JSON
+//! round-trips structurally; it accepts exactly RFC 8259 documents
+//! (no comments, no trailing commas, no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// A JSON document node. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Stored as `f64`; integers up to 2^53 survive exactly,
+    /// which covers every count this crate emits in practice (larger
+    /// values round, as they would in any JSON consumer).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Serialize to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_number(*n, out),
+            Value::Str(s) => write_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object member lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience: build a [`Value::Num`] from any integer-ish count.
+pub fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+fn write_number(n: f64, out: &mut String) {
+    // JSON has no NaN/Infinity; map them to null like serde_json's
+    // lossy modes would reject — here we choose the defensive rendering.
+    if n.is_finite() {
+        if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+            // Render integral values without an exponent or ".0" so the
+            // output looks like the integers they are.
+            let _ = write!(out, "{}", n as i64);
+        } else {
+            let _ = write!(out, "{n}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document. Returns a description of the first error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a leading surrogate must be
+                            // followed by \uXXXX with a trailing surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err("invalid surrogate pair".to_string());
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or("invalid \\u escape")?);
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte at {}", self.pos));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+        let code = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one digit, or a nonzero digit followed by more.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(format!("invalid number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(format!("invalid fraction at byte {}", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(format!("invalid exponent at byte {}", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-1", "3.5", "1e3", "\"hi\""] {
+            let value = parse(text).unwrap();
+            assert_eq!(parse(&value.render()).unwrap(), value, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":{"d":"e\nf","g":[true,false]}}"#;
+        let value = parse(text).unwrap();
+        assert_eq!(value.render(), text);
+        assert_eq!(parse(&value.render()).unwrap(), value);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let value = Value::Str("a\"b\\c\nd\u{1}e".to_string());
+        let rendered = value.render();
+        assert_eq!(rendered, r#""a\"b\\c\nd\u0001e""#);
+        assert_eq!(parse(&rendered).unwrap(), value);
+    }
+
+    #[test]
+    fn unicode_and_surrogates() {
+        assert_eq!(parse(r#""é""#).unwrap(), Value::Str("é".to_string()));
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".to_string()));
+        assert!(parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for text in ["", "{", "[1,]", "{\"a\":}", "01", "1.", "nul", "\"a", "[]x"] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn integral_numbers_render_without_fraction() {
+        assert_eq!(Value::Num(5.0).render(), "5");
+        assert_eq!(num(12345).render(), "12345");
+        assert_eq!(Value::Num(0.5).render(), "0.5");
+        assert_eq!(Value::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn accessors() {
+        let value = parse(r#"{"name":"x","count":3}"#).unwrap();
+        assert_eq!(value.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(value.get("count").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(value.get("missing"), None);
+    }
+}

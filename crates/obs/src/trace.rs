@@ -1,0 +1,235 @@
+//! Sampled structured query logging (JSONL).
+//!
+//! A [`TraceSink`] appends one JSON object per event to a writer —
+//! typically a file passed via the CLI's `--trace <path>`. Events carry
+//! whatever fields the caller attaches (stage timings, counter deltas,
+//! candidate counts). Sampling is decided *before* an event is built
+//! ([`TraceSink::should_sample`]), so unsampled queries pay one atomic
+//! increment and skip all formatting work.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Value;
+
+/// One structured trace event: an ordered set of named JSON fields,
+/// serialized as a single JSONL line by [`TraceSink::emit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    fields: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// Start an event of the given kind (recorded as an `"event"` field).
+    pub fn new(kind: &str) -> TraceEvent {
+        TraceEvent {
+            fields: vec![("event".to_string(), Value::Str(kind.to_string()))],
+        }
+    }
+
+    /// Attach an arbitrary JSON field.
+    pub fn field(mut self, key: &str, value: Value) -> TraceEvent {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Attach an unsigned integer field.
+    pub fn num(self, key: &str, value: u64) -> TraceEvent {
+        self.field(key, crate::json::num(value))
+    }
+
+    /// Attach a string field.
+    pub fn str(self, key: &str, value: &str) -> TraceEvent {
+        self.field(key, Value::Str(value.to_string()))
+    }
+
+    /// The event as a JSON object.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(self.fields.clone())
+    }
+}
+
+struct SinkCore {
+    writer: Mutex<Box<dyn Write + Send>>,
+    /// Emit every Nth query (1 = every query).
+    sample_every: u64,
+    seq: AtomicU64,
+}
+
+/// A shared handle to a JSONL trace stream. Cloning is cheap; all clones
+/// append to the same writer and share the sampling sequence. The
+/// disabled sink ([`TraceSink::disabled`]) holds no writer: every call
+/// is one branch.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<SinkCore>>,
+}
+
+impl TraceSink {
+    /// A sink writing to `writer`, emitting every `sample_every`-th
+    /// sampled event (values below 1 are treated as 1: no sampling).
+    pub fn to_writer(writer: Box<dyn Write + Send>, sample_every: u64) -> TraceSink {
+        TraceSink {
+            inner: Some(Arc::new(SinkCore {
+                writer: Mutex::new(writer),
+                sample_every: sample_every.max(1),
+                seq: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A sink appending to the file at `path` (created/truncated).
+    pub fn to_file(path: &Path, sample_every: u64) -> io::Result<TraceSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(TraceSink::to_writer(
+            Box::new(io::BufWriter::new(file)),
+            sample_every,
+        ))
+    }
+
+    /// A no-op sink.
+    pub fn disabled() -> TraceSink {
+        TraceSink { inner: None }
+    }
+
+    /// Does this sink write anywhere?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Should the caller record (and later [`TraceSink::emit`]) the
+    /// current query? Advances the sampling sequence; returns `true` for
+    /// every `sample_every`-th call, starting with the first. Always
+    /// `false` on a disabled sink.
+    #[inline]
+    pub fn should_sample(&self) -> bool {
+        match &self.inner {
+            Some(core) => core.seq.fetch_add(1, Ordering::Relaxed) % core.sample_every == 0,
+            None => false,
+        }
+    }
+
+    /// Append `event` as one JSONL line. Ignored on a disabled sink;
+    /// write errors are swallowed (tracing must never fail a query).
+    pub fn emit(&self, event: &TraceEvent) {
+        if let Some(core) = &self.inner {
+            let line = event.to_value().render();
+            let mut writer = core.writer.lock().expect("trace sink poisoned");
+            let _ = writer.write_all(line.as_bytes());
+            let _ = writer.write_all(b"\n");
+        }
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) {
+        if let Some(core) = &self.inner {
+            let _ = core.writer.lock().expect("trace sink poisoned").flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that appends into a shared buffer we can inspect later.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn shared_sink(sample_every: u64) -> (TraceSink, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = TraceSink::to_writer(Box::new(SharedBuf(Arc::clone(&buf))), sample_every);
+        (sink, buf)
+    }
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        assert!(!sink.should_sample());
+        sink.emit(&TraceEvent::new("query").num("n", 1));
+        sink.flush();
+    }
+
+    #[test]
+    fn events_are_one_json_object_per_line() {
+        let (sink, buf) = shared_sink(1);
+        for i in 0..3u64 {
+            assert!(sink.should_sample());
+            sink.emit(
+                &TraceEvent::new("query")
+                    .num("seq", i)
+                    .str("family", "alu")
+                    .field("nested", Value::Arr(vec![crate::json::num(i)])),
+            );
+        }
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let value = crate::json::parse(line).expect("line parses");
+            assert_eq!(value.get("event").and_then(Value::as_str), Some("query"));
+            assert_eq!(value.get("seq").and_then(Value::as_f64), Some(i as f64));
+        }
+    }
+
+    #[test]
+    fn sampling_emits_every_nth() {
+        let (sink, buf) = shared_sink(3);
+        let mut sampled = 0;
+        for i in 0..10u64 {
+            if sink.should_sample() {
+                sampled += 1;
+                sink.emit(&TraceEvent::new("query").num("i", i));
+            }
+        }
+        sink.flush();
+        // Calls 0, 3, 6, 9 are sampled.
+        assert_eq!(sampled, 4);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn concurrent_emitters_produce_whole_lines() {
+        let (sink, buf) = shared_sink(1);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        sink.should_sample();
+                        sink.emit(&TraceEvent::new("query").num("id", t * 1000 + i));
+                    }
+                });
+            }
+        });
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 200);
+        for line in text.lines() {
+            crate::json::parse(line).expect("every line is valid JSON");
+        }
+    }
+}

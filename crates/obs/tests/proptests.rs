@@ -1,0 +1,82 @@
+//! Property tests for the histogram: bucket bounds tile and contain,
+//! percentiles are monotone and bounded, and delta windows account
+//! exactly for the values recorded inside them.
+
+use nucdb_obs::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket whose bounds contain it.
+    #[test]
+    fn recorded_values_land_in_containing_buckets(value in any::<u64>()) {
+        let index = bucket_index(value);
+        prop_assert!(index < NUM_BUCKETS);
+        let (lower, upper) = bucket_bounds(index);
+        prop_assert!(
+            lower <= value && value <= upper,
+            "value {value} outside bucket {index} = [{lower}, {upper}]"
+        );
+    }
+
+    /// Bucket bounds tile the u64 range: each bucket starts one past the
+    /// previous bucket's upper bound.
+    #[test]
+    fn buckets_tile_without_gaps(index in 1usize..NUM_BUCKETS) {
+        let (_, prev_upper) = bucket_bounds(index - 1);
+        let (lower, upper) = bucket_bounds(index);
+        prop_assert_eq!(lower, prev_upper + 1);
+        prop_assert!(upper >= lower);
+    }
+
+    /// Percentiles of an arbitrary recorded distribution are monotone in
+    /// p, never exceed the observed max, and the count is exact.
+    #[test]
+    fn percentiles_monotone_and_bounded(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        ps in prop::collection::vec(0.0f64..=100.0, 2..10),
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let observed_max = values.iter().copied().max().unwrap();
+        prop_assert_eq!(snap.max, observed_max);
+
+        let mut ps = ps;
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let quantiles: Vec<u64> = ps.iter().map(|&p| snap.percentile(p)).collect();
+        for pair in quantiles.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "percentiles not monotone: {quantiles:?}");
+        }
+        for &q in &quantiles {
+            prop_assert!(q <= observed_max);
+        }
+        // The 100th percentile is the observed max exactly.
+        prop_assert_eq!(snap.percentile(100.0), observed_max);
+    }
+
+    /// A delta window contains exactly the values recorded between the
+    /// two snapshots (count and sum; bucket-exact).
+    #[test]
+    fn delta_windows_account_exactly(
+        before in prop::collection::vec(0u64..1 << 40, 0..50),
+        during in prop::collection::vec(0u64..1 << 40, 1..50),
+    ) {
+        let hist = Histogram::new();
+        for &v in &before {
+            hist.record(v);
+        }
+        let start = hist.snapshot();
+        for &v in &during {
+            hist.record(v);
+        }
+        let end = hist.snapshot();
+        let window = end.delta(&start);
+        prop_assert_eq!(window.count(), during.len() as u64);
+        prop_assert_eq!(window.sum, during.iter().sum::<u64>());
+    }
+}

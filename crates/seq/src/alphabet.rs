@@ -250,7 +250,9 @@ impl IupacCode {
     /// The bases in this code's ambiguity set, in 2-bit-code order.
     pub fn bases(self) -> impl Iterator<Item = Base> {
         let mask = self.0;
-        Base::ALL.into_iter().filter(move |b| mask & (1 << b.code()) != 0)
+        Base::ALL
+            .into_iter()
+            .filter(move |b| mask & (1 << b.code()) != 0)
     }
 
     /// A canonical representative base for this code, used by the packed
@@ -291,7 +293,10 @@ mod tests {
     fn base_ascii_round_trip() {
         for base in Base::ALL {
             assert_eq!(Base::from_ascii(base.to_ascii()), Some(base));
-            assert_eq!(Base::from_ascii(base.to_ascii().to_ascii_lowercase()), Some(base));
+            assert_eq!(
+                Base::from_ascii(base.to_ascii().to_ascii_lowercase()),
+                Some(base)
+            );
         }
     }
 
@@ -371,8 +376,10 @@ mod tests {
 
     #[test]
     fn compatibility_is_symmetric_and_reflexive() {
-        let all: Vec<IupacCode> =
-            b"ACGTRYSWKMBDHVN".iter().map(|&b| IupacCode::from_ascii(b).unwrap()).collect();
+        let all: Vec<IupacCode> = b"ACGTRYSWKMBDHVN"
+            .iter()
+            .map(|&b| IupacCode::from_ascii(b).unwrap())
+            .collect();
         for &x in &all {
             assert!(x.compatible(x));
             for &y in &all {
@@ -388,7 +395,10 @@ mod tests {
             assert_eq!(code.complement().complement(), code);
             // The complement's set is exactly the complements of the set.
             for base in Base::ALL {
-                assert_eq!(code.matches(base), code.complement().matches(base.complement()));
+                assert_eq!(
+                    code.matches(base),
+                    code.complement().matches(base.complement())
+                );
             }
         }
     }

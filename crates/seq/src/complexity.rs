@@ -33,7 +33,10 @@ pub struct DustParams {
 
 impl Default for DustParams {
     fn default() -> DustParams {
-        DustParams { window: 64, threshold: 2.0 }
+        DustParams {
+            window: 64,
+            threshold: 2.0,
+        }
     }
 }
 
@@ -50,8 +53,10 @@ pub fn dust_score(window: &[Base]) -> f64 {
             | triple[2].code() as usize;
         counts[code] += 1;
     }
-    let repeats: u64 =
-        counts.iter().map(|&c| (c as u64 * (c as u64).saturating_sub(1)) / 2).sum();
+    let repeats: u64 = counts
+        .iter()
+        .map(|&c| (c as u64 * (c as u64).saturating_sub(1)) / 2)
+        .sum();
     repeats as f64 / (window.len() - 3) as f64
 }
 
@@ -177,7 +182,10 @@ mod tests {
         assert_eq!(regions.len(), 1, "{regions:?}");
         let region = &regions[0];
         // The region covers the repeat (window-step granularity allowed).
-        assert!(region.start <= 120 + 32 && region.end >= 240 - 32, "{region:?}");
+        assert!(
+            region.start <= 120 + 32 && region.end >= 240 - 32,
+            "{region:?}"
+        );
         // The random flanks are not fully masked.
         let masked = masked_fraction(&seq, &DustParams::default());
         assert!(masked < 0.7, "masked fraction {masked}");

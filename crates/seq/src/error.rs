@@ -37,7 +37,10 @@ impl fmt::Display for SeqError {
                         *byte as char
                     )
                 } else {
-                    write!(f, "invalid nucleotide byte 0x{byte:02x} at offset {position}")
+                    write!(
+                        f,
+                        "invalid nucleotide byte 0x{byte:02x} at offset {position}"
+                    )
                 }
             }
             SeqError::MissingHeader => {
@@ -75,14 +78,20 @@ mod tests {
 
     #[test]
     fn display_invalid_base_printable() {
-        let e = SeqError::InvalidBase { byte: b'!', position: 7 };
+        let e = SeqError::InvalidBase {
+            byte: b'!',
+            position: 7,
+        };
         assert!(e.to_string().contains("'!'"));
         assert!(e.to_string().contains('7'));
     }
 
     #[test]
     fn display_invalid_base_unprintable() {
-        let e = SeqError::InvalidBase { byte: 0x01, position: 0 };
+        let e = SeqError::InvalidBase {
+            byte: 0x01,
+            position: 0,
+        };
         assert!(e.to_string().contains("0x01"));
     }
 
@@ -95,7 +104,9 @@ mod tests {
 
     #[test]
     fn display_empty_record_names_the_record() {
-        let e = SeqError::EmptyRecord { id: "seq42".to_string() };
+        let e = SeqError::EmptyRecord {
+            id: "seq42".to_string(),
+        };
         assert!(e.to_string().contains("seq42"));
     }
 }

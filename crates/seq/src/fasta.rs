@@ -26,7 +26,11 @@ pub struct FastaRecord {
 impl FastaRecord {
     /// Convenience constructor.
     pub fn new(id: impl Into<String>, seq: DnaSeq) -> FastaRecord {
-        FastaRecord { id: id.into(), description: String::new(), seq }
+        FastaRecord {
+            id: id.into(),
+            description: String::new(),
+            seq,
+        }
     }
 }
 
@@ -42,7 +46,12 @@ pub struct FastaReader<R: BufRead> {
 impl<R: BufRead> FastaReader<R> {
     /// Wrap a buffered reader.
     pub fn new(input: R) -> FastaReader<R> {
-        FastaReader { input, pending_header: None, line: String::new(), started: false }
+        FastaReader {
+            input,
+            pending_header: None,
+            line: String::new(),
+            started: false,
+        }
     }
 
     fn read_record(&mut self) -> Result<Option<FastaRecord>, SeqError> {
@@ -95,7 +104,11 @@ impl<R: BufRead> FastaReader<R> {
             return Err(SeqError::EmptyRecord { id });
         }
         let seq = DnaSeq::from_ascii(&ascii)?;
-        Ok(Some(FastaRecord { id, description, seq }))
+        Ok(Some(FastaRecord {
+            id,
+            description,
+            seq,
+        }))
     }
 }
 
@@ -116,7 +129,10 @@ pub struct FastaWriter<W: Write> {
 impl<W: Write> FastaWriter<W> {
     /// Default 70-column wrapping.
     pub fn new(output: W) -> FastaWriter<W> {
-        FastaWriter { output, line_width: 70 }
+        FastaWriter {
+            output,
+            line_width: 70,
+        }
     }
 
     /// Custom wrapping width (0 means no wrapping).
@@ -247,8 +263,9 @@ mod tests {
             writer.write_record(r).unwrap();
         }
         let text = writer.into_inner().unwrap();
-        let back: Vec<FastaRecord> =
-            FastaReader::new(Cursor::new(text)).collect::<Result<_, _>>().unwrap();
+        let back: Vec<FastaRecord> = FastaReader::new(Cursor::new(text))
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(back, original);
     }
 }

@@ -63,8 +63,18 @@ impl<'a> KmerIter<'a> {
     /// Iterate over `bases` with window length `k` (1..=[`MAX_K`]).
     pub fn new(bases: &'a [Base], k: usize) -> KmerIter<'a> {
         assert!((1..=MAX_K).contains(&k), "k out of range");
-        let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
-        KmerIter { bases, k, mask, code: 0, next: 0 }
+        let mask = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
+        KmerIter {
+            bases,
+            k,
+            mask,
+            code: 0,
+            next: 0,
+        }
     }
 }
 
@@ -118,7 +128,13 @@ mod tests {
 
     #[test]
     fn pack_unpack_round_trip() {
-        for ascii in [&b"A"[..], b"ACGT", b"TTTT", b"GATTACA", b"ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+        for ascii in [
+            &b"A"[..],
+            b"ACGT",
+            b"TTTT",
+            b"GATTACA",
+            b"ACGTACGTACGTACGTACGTACGTACGTACGT",
+        ] {
             let b = bases(ascii);
             assert_eq!(unpack_kmer(pack_kmer(&b), b.len()), b);
         }
@@ -152,8 +168,9 @@ mod tests {
         let b = bases(b"ACGTACGTTGCA");
         for k in 1..=b.len() {
             let rolling: Vec<(usize, u64)> = KmerIter::new(&b, k).collect();
-            let naive: Vec<(usize, u64)> =
-                (0..=b.len() - k).map(|i| (i, pack_kmer(&b[i..i + k]))).collect();
+            let naive: Vec<(usize, u64)> = (0..=b.len() - k)
+                .map(|i| (i, pack_kmer(&b[i..i + k])))
+                .collect();
             assert_eq!(rolling, naive, "k = {k}");
         }
     }

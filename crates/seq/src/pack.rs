@@ -67,17 +67,27 @@ impl PackedSeq {
     /// still sees a plausible sequence.
     pub fn pack(seq: &DnaSeq) -> PackedSeq {
         let len = seq.len();
-        assert!(len <= u32::MAX as usize, "sequence too long for packed form");
+        assert!(
+            len <= u32::MAX as usize,
+            "sequence too long for packed form"
+        );
         let mut payload = vec![0u8; len.div_ceil(4)];
         let mut exceptions = Vec::new();
         for (i, code) in seq.iter().enumerate() {
             let base = code.representative();
             payload[i / 4] |= base.code() << (2 * (i % 4));
             if code.is_wildcard() {
-                exceptions.push(Exception { position: i as u32, code });
+                exceptions.push(Exception {
+                    position: i as u32,
+                    code,
+                });
             }
         }
-        PackedSeq { len: len as u32, payload, exceptions }
+        PackedSeq {
+            len: len as u32,
+            payload,
+            exceptions,
+        }
     }
 
     /// Sequence length in bases.
@@ -125,7 +135,10 @@ impl PackedSeq {
 
     /// The exact IUPAC code at `index`, consulting the exception list.
     pub fn code_at(&self, index: usize) -> IupacCode {
-        match self.exceptions.binary_search_by_key(&(index as u32), |e| e.position) {
+        match self
+            .exceptions
+            .binary_search_by_key(&(index as u32), |e| e.position)
+        {
             Ok(hit) => self.exceptions[hit].code,
             Err(_) => IupacCode::from(self.base_at(index)),
         }
@@ -162,8 +175,11 @@ impl PackedSeq {
 
     /// Full lossless unpack, restoring wildcards.
     pub fn unpack(&self) -> DnaSeq {
-        let mut codes: Vec<IupacCode> =
-            self.unpack_bases().into_iter().map(IupacCode::from).collect();
+        let mut codes: Vec<IupacCode> = self
+            .unpack_bases()
+            .into_iter()
+            .map(IupacCode::from)
+            .collect();
         for e in &self.exceptions {
             codes[e.position as usize] = e.code;
         }
@@ -207,15 +223,19 @@ impl PackedSeq {
                 return Err(header("exception positions not strictly increasing"));
             }
             prev = Some(position);
-            let code = IupacCode::from_mask(chunk[4])
-                .ok_or(header("empty IUPAC mask in exception"))?;
+            let code =
+                IupacCode::from_mask(chunk[4]).ok_or(header("empty IUPAC mask in exception"))?;
             exceptions.push(Exception { position, code });
         }
         let payload = bytes[exc_end..].to_vec();
         if payload.len() != (len as usize).div_ceil(4) {
             return Err(header("payload length does not match sequence length"));
         }
-        Ok(PackedSeq { len, payload, exceptions })
+        Ok(PackedSeq {
+            len,
+            payload,
+            exceptions,
+        })
     }
 }
 

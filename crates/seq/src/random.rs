@@ -41,7 +41,11 @@ pub struct MutationModel {
 impl MutationModel {
     /// Substitutions only (no indels).
     pub fn substitutions(rate: f64) -> MutationModel {
-        MutationModel { substitution_rate: rate, insertion_rate: 0.0, deletion_rate: 0.0 }
+        MutationModel {
+            substitution_rate: rate,
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+        }
     }
 
     /// A typical homolog model: mostly substitutions with some indels.
@@ -55,7 +59,11 @@ impl MutationModel {
 
     /// No mutation at all.
     pub fn identity() -> MutationModel {
-        MutationModel { substitution_rate: 0.0, insertion_rate: 0.0, deletion_rate: 0.0 }
+        MutationModel {
+            substitution_rate: 0.0,
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+        }
     }
 
     /// Apply the model to `seq`, producing a mutated copy.
@@ -237,14 +245,20 @@ impl CollectionSpec {
     /// Scale `num_background` so the collection totals roughly
     /// `total_bases` bases (planted families included in the estimate).
     pub fn sized(seed: u64, total_bases: usize) -> CollectionSpec {
-        let spec = CollectionSpec { seed, ..CollectionSpec::default() };
+        let spec = CollectionSpec {
+            seed,
+            ..CollectionSpec::default()
+        };
         let mean_bg = (spec.background_len.start + spec.background_len.end) / 2;
         let mean_member = (spec.parent_len.start + spec.parent_len.end) / 2
             + spec.flank_len.start
             + spec.flank_len.end;
         let family_bases = spec.num_families * spec.family_size * mean_member;
         let remaining = total_bases.saturating_sub(family_bases);
-        CollectionSpec { num_background: (remaining / mean_bg).max(1), ..spec }
+        CollectionSpec {
+            num_background: (remaining / mean_bg).max(1),
+            ..spec
+        }
     }
 }
 
@@ -313,7 +327,13 @@ impl SyntheticCollection {
                 let unit = &repeat_units[rng.random_range(0..repeat_units.len())];
                 seq = splice_repeat(&seq, unit, spec.repeat_len.clone(), &mut rng);
             }
-            tagged.push((None, GeneratedRecord { id: format!("bg{i:06}"), seq }));
+            tagged.push((
+                None,
+                GeneratedRecord {
+                    id: format!("bg{i:06}"),
+                    seq,
+                },
+            ));
         }
 
         // Tag meaning: (family, Some(range)) = member with its embedded
@@ -334,7 +354,10 @@ impl SyntheticCollection {
                 seq.extend_from(&flank);
                 tagged.push((
                     Some((f, Some(start..end))),
-                    GeneratedRecord { id: format!("fam{f:02}m{m}"), seq },
+                    GeneratedRecord {
+                        id: format!("fam{f:02}m{m}"),
+                        seq,
+                    },
                 ));
             }
             for d in 0..spec.decoys_per_family {
@@ -347,7 +370,10 @@ impl SyntheticCollection {
                 seq.extend_from(&flank);
                 tagged.push((
                     Some((f, None)),
-                    GeneratedRecord { id: format!("dec{f:02}d{d}"), seq },
+                    GeneratedRecord {
+                        id: format!("dec{f:02}d{d}"),
+                        seq,
+                    },
                 ));
             }
             parents.push(parent);
@@ -378,7 +404,12 @@ impl SyntheticCollection {
             records.push(record);
         }
 
-        SyntheticCollection { records, families, repeat_units, seed: spec.seed }
+        SyntheticCollection {
+            records,
+            families,
+            repeat_units,
+            seed: spec.seed,
+        }
     }
 
     /// Total bases across all records.
@@ -457,7 +488,11 @@ mod tests {
         for (f, family) in coll.families.iter().enumerate() {
             for (&id, range) in family.member_ids.iter().zip(&family.embedded_ranges) {
                 let record = &coll.records[id as usize];
-                assert!(record.id.starts_with(&format!("fam{f:02}")), "{}", record.id);
+                assert!(
+                    record.id.starts_with(&format!("fam{f:02}")),
+                    "{}",
+                    record.id
+                );
                 assert!(range.end <= record.seq.len());
                 assert!(range.end - range.start > 0);
             }
@@ -506,7 +541,11 @@ mod tests {
         let seq = random_seq(&mut rng, 20_000, 0.5, 0.0);
         let mutated = MutationModel::substitutions(0.2).apply(&seq, &mut rng);
         assert_eq!(mutated.len(), seq.len());
-        let diff = seq.iter().zip(mutated.iter()).filter(|(a, b)| a != b).count();
+        let diff = seq
+            .iter()
+            .zip(mutated.iter())
+            .filter(|(a, b)| a != b)
+            .count();
         let rate = diff as f64 / seq.len() as f64;
         assert!((0.15..0.25).contains(&rate), "observed rate {rate}");
     }
@@ -515,12 +554,18 @@ mod tests {
     fn indels_change_length() {
         let mut rng = StdRng::seed_from_u64(5);
         let seq = random_seq(&mut rng, 5_000, 0.5, 0.0);
-        let model =
-            MutationModel { substitution_rate: 0.0, insertion_rate: 0.1, deletion_rate: 0.0 };
+        let model = MutationModel {
+            substitution_rate: 0.0,
+            insertion_rate: 0.1,
+            deletion_rate: 0.0,
+        };
         let longer = model.apply(&seq, &mut rng);
         assert!(longer.len() > seq.len());
-        let model =
-            MutationModel { substitution_rate: 0.0, insertion_rate: 0.0, deletion_rate: 0.1 };
+        let model = MutationModel {
+            substitution_rate: 0.0,
+            insertion_rate: 0.0,
+            deletion_rate: 0.1,
+        };
         let shorter = model.apply(&seq, &mut rng);
         assert!(shorter.len() < seq.len());
     }
@@ -545,7 +590,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let seq = random_seq(&mut rng, 100_000, 0.5, 0.01);
         let rate = seq.wildcard_count() as f64 / seq.len() as f64;
-        assert!((0.005..0.02).contains(&rate), "observed wildcard rate {rate}");
+        assert!(
+            (0.005..0.02).contains(&rate),
+            "observed wildcard rate {rate}"
+        );
     }
 
     #[test]
@@ -604,8 +652,14 @@ mod tests {
             }
             *dfs.values().max().unwrap() as f64 / coll.records.len() as f64
         };
-        let plain = CollectionSpec { num_background: 100, ..CollectionSpec::tiny(55) };
-        let repeaty = CollectionSpec { repeat_prob: 0.5, ..plain.clone() };
+        let plain = CollectionSpec {
+            num_background: 100,
+            ..CollectionSpec::tiny(55)
+        };
+        let repeaty = CollectionSpec {
+            repeat_prob: 0.5,
+            ..plain.clone()
+        };
         let plain_df = df_of_most_common(&plain);
         let repeat_df = df_of_most_common(&repeaty);
         assert!(
@@ -632,7 +686,10 @@ mod tests {
 
     #[test]
     fn decoys_are_planted_and_tracked() {
-        let spec = CollectionSpec { decoys_per_family: 2, ..CollectionSpec::tiny(66) };
+        let spec = CollectionSpec {
+            decoys_per_family: 2,
+            ..CollectionSpec::tiny(66)
+        };
         let coll = SyntheticCollection::generate(&spec);
         assert_eq!(
             coll.records.len(),
@@ -642,7 +699,11 @@ mod tests {
             assert_eq!(family.decoy_ids.len(), 2);
             for &d in &family.decoy_ids {
                 let record = &coll.records[d as usize];
-                assert!(record.id.starts_with(&format!("dec{f:02}")), "{}", record.id);
+                assert!(
+                    record.id.starts_with(&format!("dec{f:02}")),
+                    "{}",
+                    record.id
+                );
                 // The decoy contains the parent's bases (flanks aside):
                 // it must be at least as long as the parent.
                 assert!(record.seq.len() >= family.parent.len());

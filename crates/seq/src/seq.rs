@@ -20,7 +20,9 @@ impl DnaSeq {
 
     /// An empty sequence with reserved capacity.
     pub fn with_capacity(capacity: usize) -> DnaSeq {
-        DnaSeq { codes: Vec::with_capacity(capacity) }
+        DnaSeq {
+            codes: Vec::with_capacity(capacity),
+        }
     }
 
     /// Parse from ASCII. Case-insensitive; accepts the 15 IUPAC codes and
@@ -36,7 +38,9 @@ impl DnaSeq {
 
     /// Build from a slice of plain bases.
     pub fn from_bases(bases: &[Base]) -> DnaSeq {
-        DnaSeq { codes: bases.iter().map(|&b| IupacCode::from(b)).collect() }
+        DnaSeq {
+            codes: bases.iter().map(|&b| IupacCode::from(b)).collect(),
+        }
     }
 
     /// Build from IUPAC codes.
@@ -100,12 +104,16 @@ impl DnaSeq {
 
     /// A copy of positions `range.start..range.end`.
     pub fn subseq(&self, range: std::ops::Range<usize>) -> DnaSeq {
-        DnaSeq { codes: self.codes[range].to_vec() }
+        DnaSeq {
+            codes: self.codes[range].to_vec(),
+        }
     }
 
     /// The reverse complement of the sequence (IUPAC-aware).
     pub fn reverse_complement(&self) -> DnaSeq {
-        DnaSeq { codes: self.codes.iter().rev().map(|c| c.complement()).collect() }
+        DnaSeq {
+            codes: self.codes.iter().rev().map(|c| c.complement()).collect(),
+        }
     }
 
     /// Concatenate `other` onto the end of this sequence.
@@ -151,13 +159,17 @@ impl std::fmt::Display for DnaSeq {
 
 impl FromIterator<Base> for DnaSeq {
     fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> DnaSeq {
-        DnaSeq { codes: iter.into_iter().map(IupacCode::from).collect() }
+        DnaSeq {
+            codes: iter.into_iter().map(IupacCode::from).collect(),
+        }
     }
 }
 
 impl FromIterator<IupacCode> for DnaSeq {
     fn from_iter<I: IntoIterator<Item = IupacCode>>(iter: I) -> DnaSeq {
-        DnaSeq { codes: iter.into_iter().collect() }
+        DnaSeq {
+            codes: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -175,7 +187,10 @@ mod tests {
     #[test]
     fn invalid_ascii_reports_position() {
         match DnaSeq::from_ascii(b"ACGTXACGT") {
-            Err(SeqError::InvalidBase { byte: b'X', position: 4 }) => {}
+            Err(SeqError::InvalidBase {
+                byte: b'X',
+                position: 4,
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }

@@ -19,7 +19,11 @@ fn main() {
         family_size: 4,
         ..CollectionSpec::default()
     });
-    println!("collection: {} records / {} bases", coll.records.len(), coll.total_bases());
+    println!(
+        "collection: {} records / {} bases",
+        coll.records.len(),
+        coll.total_bases()
+    );
 
     let work_dir = std::env::temp_dir().join(format!("nucdb_pipeline_{}", std::process::id()));
     std::fs::create_dir_all(&work_dir).expect("create work dir");
@@ -67,7 +71,10 @@ fn main() {
 
     // --- Queries, with per-query I/O accounting. ---
     let params = SearchParams::default();
-    println!("\n{:<8} {:>8} {:>10} {:>12} {:>10}", "query", "answers", "top score", "bytes read", "lists");
+    println!(
+        "\n{:<8} {:>8} {:>10} {:>12} {:>10}",
+        "query", "answers", "top score", "bytes read", "lists"
+    );
     for f in 0..coll.families.len() {
         let query = coll.query_for_family(f, 0.5, &MutationModel::standard(0.05));
         if let IndexVariant::Disk(disk) = db.index() {

@@ -43,7 +43,10 @@ fn main() {
         .query_for_family(1, 0.6, &MutationModel::standard(0.06))
         .reverse_complement();
 
-    for (label, query) in [("forward homolog", &fwd), ("reverse-complement homolog", &rc)] {
+    for (label, query) in [
+        ("forward homolog", &fwd),
+        ("reverse-complement homolog", &rc),
+    ] {
         let outcome = db.search(query, &params).unwrap();
         println!("query: {label} ({} bases)", query.len());
         println!(
@@ -66,10 +69,7 @@ fn main() {
             );
         }
         let cut = fit.score_for_evalue(query.len(), mean_len, 1e-3);
-        let significant =
-            outcome.results.iter().filter(|r| r.score >= cut).count();
-        println!(
-            "  score for E <= 1e-3 at this size: {cut}; {significant} significant answers\n"
-        );
+        let significant = outcome.results.iter().filter(|r| r.score >= cut).count();
+        println!("  score for E <= 1e-3 at this size: {cut}; {significant} significant answers\n");
     }
 }

@@ -32,7 +32,11 @@ fn main() {
             .expect("in-memory write cannot fail");
     }
     let fasta_bytes = writer.into_inner().unwrap();
-    println!("FASTA archive: {} bytes, {} records", fasta_bytes.len(), coll.records.len());
+    println!(
+        "FASTA archive: {} bytes, {} records",
+        fasta_bytes.len(),
+        coll.records.len()
+    );
 
     // --- Stream the archive back in and build the database. ---
     let reader = FastaReader::new(BufReader::new(Cursor::new(fasta_bytes)));
@@ -52,7 +56,11 @@ fn main() {
     for family in 0..coll.families.len() {
         let query = coll.query_for_family(family, 0.5, &MutationModel::standard(0.08));
         let outcome = db.search(&query, &params).unwrap();
-        println!("\nquery fam{family:02} ({} bases): {} answers", query.len(), outcome.results.len());
+        println!(
+            "\nquery fam{family:02} ({} bases): {} answers",
+            query.len(),
+            outcome.results.len()
+        );
         for result in outcome.results.iter().take(3) {
             let alignment = result.alignment.as_ref().unwrap();
             println!(

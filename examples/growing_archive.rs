@@ -28,7 +28,10 @@ fn main() {
 
     // Start with batch 0, then append the rest incrementally.
     let mut db = Database::build(
-        batches[0].records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        batches[0]
+            .records
+            .iter()
+            .map(|r| (r.id.clone(), r.seq.clone())),
         &DbConfig::default(),
     );
     println!("initial archive: {} records", db.len());
@@ -52,8 +55,11 @@ fn main() {
     for (i, batch) in batches.iter().enumerate() {
         let query = batch.query_for_family(0, 0.6, &MutationModel::standard(0.05));
         let outcome = db.search(&query, &params).unwrap();
-        let members: Vec<u32> =
-            batch.families[0].member_ids.iter().map(|m| m + offset).collect();
+        let members: Vec<u32> = batch.families[0]
+            .member_ids
+            .iter()
+            .map(|m| m + offset)
+            .collect();
         let found = outcome
             .results
             .iter()
@@ -63,14 +69,19 @@ fn main() {
             "batch {i} family query: {}/{} members retrieved (top answer {})",
             found,
             members.len(),
-            outcome.results.first().map_or("-".to_string(), |r| r.id.clone()),
+            outcome
+                .results
+                .first()
+                .map_or("-".to_string(), |r| r.id.clone()),
         );
         offset += batch.records.len() as u32;
     }
 
     // Housekeeping pass: once the archive is assembled, stop the heavy
     // repeat lists in one post-processing step.
-    let IndexVariant::Memory(index) = db.index() else { unreachable!() };
+    let IndexVariant::Memory(index) = db.index() else {
+        unreachable!()
+    };
     let before = index.stats();
     let stopped = apply_stopping(index, StopPolicy::DfFraction(0.05)).unwrap();
     let after = stopped.stats();

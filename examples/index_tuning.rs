@@ -50,8 +50,7 @@ fn main() {
         for (f, query) in queries.iter().enumerate() {
             let outcome = db.search(query, &params).unwrap();
             let ranked: Vec<u32> = outcome.results.iter().map(|r| r.record).collect();
-            let relevant: HashSet<u32> =
-                coll.families[f].member_ids.iter().copied().collect();
+            let relevant: HashSet<u32> = coll.families[f].member_ids.iter().copied().collect();
             recall_sum += recall_at(&ranked, &relevant, 10);
         }
         let query_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
@@ -64,13 +63,24 @@ fn main() {
 
     println!("--- interval length sweep (codec: paper) ---");
     for k in [6, 8, 10, 12] {
-        let config = DbConfig { index: IndexParams::new(k), ..DbConfig::default() };
+        let config = DbConfig {
+            index: IndexParams::new(k),
+            ..DbConfig::default()
+        };
         evaluate(&config, &format!("k = {k}"));
     }
 
     println!("\n--- codec sweep (k = 8) ---");
-    for codec in [ListCodec::Paper, ListCodec::Gamma, ListCodec::VByte, ListCodec::Fixed] {
-        let config = DbConfig { codec, ..DbConfig::default() };
+    for codec in [
+        ListCodec::Paper,
+        ListCodec::Gamma,
+        ListCodec::VByte,
+        ListCodec::Fixed,
+    ] {
+        let config = DbConfig {
+            codec,
+            ..DbConfig::default()
+        };
         evaluate(&config, codec.name());
     }
 
@@ -82,7 +92,10 @@ fn main() {
     ] {
         let mut index = IndexParams::new(8);
         index.stopping = stopping;
-        let config = DbConfig { index, ..DbConfig::default() };
+        let config = DbConfig {
+            index,
+            ..DbConfig::default()
+        };
         evaluate(&config, label);
     }
 
@@ -101,10 +114,12 @@ fn main() {
         for (f, query) in queries.iter().enumerate() {
             let outcome = db.search(query, &params).unwrap();
             let ranked: Vec<u32> = outcome.results.iter().map(|r| r.record).collect();
-            let relevant: HashSet<u32> =
-                coll.families[f].member_ids.iter().copied().collect();
+            let relevant: HashSet<u32> = coll.families[f].member_ids.iter().copied().collect();
             recall_sum += recall_at(&ranked, &relevant, 10);
         }
-        println!("{label:<20} recall@10 {:.3}", recall_sum / queries.len() as f64);
+        println!(
+            "{label:<20} recall@10 {:.3}",
+            recall_sum / queries.len() as f64
+        );
     }
 }

@@ -38,7 +38,10 @@ fn main() {
 
     let outcome = db.search(&query, &SearchParams::default()).unwrap();
     println!("\npartitioned search results:");
-    println!("{:<4} {:<10} {:>8} {:>12} {:>6}", "rank", "id", "score", "coarse", "hits");
+    println!(
+        "{:<4} {:<10} {:>8} {:>12} {:>6}",
+        "rank", "id", "score", "coarse", "hits"
+    );
     for (rank, result) in outcome.results.iter().take(10).enumerate() {
         println!(
             "{:<4} {:<10} {:>8} {:>12.2} {:>6}",

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, lint-clean.
-# CI runs exactly this; run it locally before pushing.
+# Tier-1 verification: format-clean, release build, full test suite,
+# lint-clean. CI runs exactly this; run it locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings

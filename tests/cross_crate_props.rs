@@ -9,10 +9,7 @@ use proptest::prelude::*;
 
 /// Random DNA ASCII with occasional wildcards.
 fn dna_ascii(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(
-        prop::sample::select(b"ACGTACGTACGTACGTACGTN".to_vec()),
-        len,
-    )
+    prop::collection::vec(prop::sample::select(b"ACGTACGTACGTACGTACGTN".to_vec()), len)
 }
 
 proptest! {

@@ -68,13 +68,19 @@ fn disk_index_gives_identical_results() {
 #[test]
 fn chunked_and_parallel_builds_search_identically() {
     let coll = collection(202);
-    let records: Vec<Vec<nucdb_seq::Base>> =
-        coll.records.iter().map(|r| r.seq.representative_bases()).collect();
+    let records: Vec<Vec<nucdb_seq::Base>> = coll
+        .records
+        .iter()
+        .map(|r| r.seq.representative_bases())
+        .collect();
     let params = IndexParams::new(8);
 
     let reference_db = Database::build(
         coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
-        &DbConfig { index: params.clone(), ..DbConfig::default() },
+        &DbConfig {
+            index: params.clone(),
+            ..DbConfig::default()
+        },
     );
     let reference = results_of(&reference_db, &coll);
 
@@ -107,7 +113,10 @@ fn all_codecs_search_identically() {
     let reference = {
         let db = Database::build(
             coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
-            &DbConfig { codec: ListCodec::Paper, ..DbConfig::default() },
+            &DbConfig {
+                codec: ListCodec::Paper,
+                ..DbConfig::default()
+            },
         );
         results_of(&db, &coll)
     };
@@ -120,7 +129,10 @@ fn all_codecs_search_identically() {
     ] {
         let db = Database::build(
             coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
-            &DbConfig { codec, ..DbConfig::default() },
+            &DbConfig {
+                codec,
+                ..DbConfig::default()
+            },
         );
         assert_eq!(results_of(&db, &coll), reference, "codec {}", codec.name());
     }
@@ -138,7 +150,9 @@ fn disk_round_trip_through_separate_open() {
 
     let dir = temp_dir("reopen");
     let path = dir.join("standalone.nucidx");
-    let IndexVariant::Memory(index) = db.index() else { panic!("memory expected") };
+    let IndexVariant::Memory(index) = db.index() else {
+        panic!("memory expected")
+    };
     nucdb_index::write_index(index, &path).unwrap();
 
     let reopened = nucdb_index::OnDiskIndex::open(&path).unwrap();
@@ -174,7 +188,9 @@ fn fully_on_disk_database_gives_identical_results() {
         panic!("expected a disk store")
     };
     assert!(store.bytes_read() > 0, "fine search read no store bytes");
-    let IndexVariant::Disk(index) = disk_db.index() else { panic!("expected a disk index") };
+    let IndexVariant::Disk(index) = disk_db.index() else {
+        panic!("expected a disk index")
+    };
     assert!(index.bytes_read() > 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -199,13 +215,21 @@ fn parallel_batch_search_matches_sequential_on_disk_index() {
 
     let sequential = db.search_batch(&queries, &params).unwrap();
     for threads in [2usize, 4, 8] {
-        let parallel = db.search_batch_parallel(&queries, &params, threads).unwrap();
+        let parallel = db
+            .search_batch_parallel(&queries, &params, threads)
+            .unwrap();
         assert_eq!(parallel.len(), sequential.len());
         for (seq_outcome, par_outcome) in sequential.iter().zip(&parallel) {
-            let a: Vec<(u32, i32)> =
-                seq_outcome.results.iter().map(|r| (r.record, r.score)).collect();
-            let b: Vec<(u32, i32)> =
-                par_outcome.results.iter().map(|r| (r.record, r.score)).collect();
+            let a: Vec<(u32, i32)> = seq_outcome
+                .results
+                .iter()
+                .map(|r| (r.record, r.score))
+                .collect();
+            let b: Vec<(u32, i32)> = par_outcome
+                .results
+                .iter()
+                .map(|r| (r.record, r.score))
+                .collect();
             assert_eq!(a, b, "threads = {threads}");
         }
     }
@@ -237,8 +261,14 @@ fn reused_scratch_gives_identical_results() {
         SearchParams::default().with_ranking(RankingScheme::Count),
         SearchParams::default().with_ranking(RankingScheme::Proportional),
         SearchParams::default().with_strand(Strand::Both),
-        SearchParams { query_stride: 3, ..SearchParams::default() },
-        SearchParams { max_accumulators: Some(10), ..SearchParams::default() },
+        SearchParams {
+            query_stride: 3,
+            ..SearchParams::default()
+        },
+        SearchParams {
+            max_accumulators: Some(10),
+            ..SearchParams::default()
+        },
     ];
     for database in [&db, &disk_db] {
         let mut scratch = CoarseScratch::new();
@@ -249,11 +279,13 @@ fn reused_scratch_gives_identical_results() {
             let fresh = database.search(&query, params).unwrap();
             let reused = database.search_with(&query, params, &mut scratch).unwrap();
             let a: Vec<(u32, i32)> = fresh.results.iter().map(|r| (r.record, r.score)).collect();
-            let b: Vec<(u32, i32)> =
-                reused.results.iter().map(|r| (r.record, r.score)).collect();
+            let b: Vec<(u32, i32)> = reused.results.iter().map(|r| (r.record, r.score)).collect();
             assert_eq!(a, b, "family {f} params {params:?}");
             assert_eq!(fresh.stats.total_hits, reused.stats.total_hits);
-            assert_eq!(fresh.stats.intervals_looked_up, reused.stats.intervals_looked_up);
+            assert_eq!(
+                fresh.stats.intervals_looked_up,
+                reused.stats.intervals_looked_up
+            );
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -266,7 +298,9 @@ fn loaded_index_equals_original() {
         coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
         &DbConfig::default(),
     );
-    let IndexVariant::Memory(index) = db.index() else { panic!() };
+    let IndexVariant::Memory(index) = db.index() else {
+        panic!()
+    };
 
     let dir = temp_dir("load");
     let path = dir.join("idx.nucidx");

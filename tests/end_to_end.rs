@@ -28,7 +28,10 @@ fn medium_collection(seed: u64) -> SyntheticCollection {
 }
 
 fn build(coll: &SyntheticCollection, config: &DbConfig) -> Database {
-    Database::build(coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())), config)
+    Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        config,
+    )
 }
 
 #[test]
@@ -101,7 +104,10 @@ fn accuracy_degrades_gracefully_with_cutoff() {
         );
         previous_ap = ap;
     }
-    assert!(previous_ap > 0.8, "AP at generous cutoff only {previous_ap}");
+    assert!(
+        previous_ap > 0.8,
+        "AP at generous cutoff only {previous_ap}"
+    );
 }
 
 #[test]
@@ -158,7 +164,9 @@ fn all_rankings_work_end_to_end() {
         RankingScheme::Proportional,
         RankingScheme::Frame { window: 16 },
     ] {
-        let params = SearchParams::default().with_ranking(ranking).with_candidates(50);
+        let params = SearchParams::default()
+            .with_ranking(ranking)
+            .with_candidates(50);
         let outcome = db.search(&query, &params).unwrap();
         let ranked: Vec<u32> = outcome.results.iter().map(|r| r.record).collect();
         let recall = recall_at(&ranked, &relevant, 10);
@@ -172,7 +180,10 @@ fn ascii_and_packed_stores_give_identical_results() {
     let packed = build(&coll, &DbConfig::default());
     let ascii = build(
         &coll,
-        &DbConfig { storage: nucdb::StorageMode::Ascii, ..DbConfig::default() },
+        &DbConfig {
+            storage: nucdb::StorageMode::Ascii,
+            ..DbConfig::default()
+        },
     );
     let params = SearchParams::default();
     for f in 0..coll.families.len() {

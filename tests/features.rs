@@ -26,7 +26,10 @@ fn collection(seed: u64) -> SyntheticCollection {
 }
 
 fn build(coll: &SyntheticCollection, config: &DbConfig) -> Database {
-    Database::build(coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())), config)
+    Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        config,
+    )
 }
 
 #[test]
@@ -45,18 +48,25 @@ fn both_strand_search_unions_forward_and_reverse() {
 
     let params = SearchParams::default().with_strand(Strand::Both);
     let outcome = db.search(&chimera, &params).unwrap();
-    let by_record: Vec<(u32, Strand)> =
-        outcome.results.iter().map(|r| (r.record, r.strand)).collect();
+    let by_record: Vec<(u32, Strand)> = outcome
+        .results
+        .iter()
+        .map(|r| (r.record, r.strand))
+        .collect();
 
     for &m in &coll.families[0].member_ids {
         assert!(
-            by_record.iter().any(|&(r, s)| r == m && s == Strand::Forward),
+            by_record
+                .iter()
+                .any(|&(r, s)| r == m && s == Strand::Forward),
             "family 0 member {m} missing on forward strand"
         );
     }
     for &m in &coll.families[1].member_ids {
         assert!(
-            by_record.iter().any(|&(r, s)| r == m && s == Strand::Reverse),
+            by_record
+                .iter()
+                .any(|&(r, s)| r == m && s == Strand::Reverse),
             "family 1 member {m} missing on reverse strand"
         );
     }
@@ -88,8 +98,10 @@ fn masking_defends_against_contaminated_queries_at_scale() {
         let plain = db.search(&query, &SearchParams::default()).unwrap();
         unmasked_hits += plain.stats.total_hits;
 
-        let masked_params =
-            SearchParams { mask: Some(DustParams::default()), ..SearchParams::default() };
+        let masked_params = SearchParams {
+            mask: Some(DustParams::default()),
+            ..SearchParams::default()
+        };
         let masked = db.search(&query, &masked_params).unwrap();
         masked_hits += masked.stats.total_hits;
         let ranked: Vec<u32> = masked.results.iter().map(|r| r.record).collect();
@@ -112,12 +124,14 @@ fn striding_keeps_recall_at_scale() {
     let coll = collection(303);
     let db = build(&coll, &DbConfig::default());
     for stride in [2usize, 4] {
-        let params = SearchParams { query_stride: stride, ..SearchParams::default() };
+        let params = SearchParams {
+            query_stride: stride,
+            ..SearchParams::default()
+        };
         let mut recall = 0.0;
         for f in 0..coll.families.len() {
             let query = coll.query_for_family(f, 0.6, &MutationModel::substitutions(0.03));
-            let relevant: HashSet<u32> =
-                coll.families[f].member_ids.iter().copied().collect();
+            let relevant: HashSet<u32> = coll.families[f].member_ids.iter().copied().collect();
             let ranked: Vec<u32> = db
                 .search(&query, &params)
                 .unwrap()
@@ -185,9 +199,17 @@ fn evalues_separate_homologs_from_noise() {
         let target_len = db.store().record_len(result.record);
         let evalue = fit.evalue(query.len(), target_len, result.score);
         if members.contains(&result.record) {
-            assert!(evalue < 1e-6, "member {} has weak e-value {evalue}", result.record);
+            assert!(
+                evalue < 1e-6,
+                "member {} has weak e-value {evalue}",
+                result.record
+            );
         } else {
-            assert!(evalue > 1e-6, "non-member {} looks significant: {evalue}", result.record);
+            assert!(
+                evalue > 1e-6,
+                "non-member {} looks significant: {evalue}",
+                result.record
+            );
         }
     }
 }
@@ -210,10 +232,17 @@ fn iupac_fine_mode_runs_end_to_end() {
         .search(&query, &SearchParams::default().with_fine(FineMode::Full))
         .unwrap();
     let iupac = db
-        .search(&query, &SearchParams::default().with_fine(FineMode::FullIupac))
+        .search(
+            &query,
+            &SearchParams::default().with_fine(FineMode::FullIupac),
+        )
         .unwrap();
-    let collapsed_score =
-        collapsed.results.iter().find(|r| r.record == member).map(|r| r.score).unwrap_or(0);
+    let collapsed_score = collapsed
+        .results
+        .iter()
+        .find(|r| r.record == member)
+        .map(|r| r.score)
+        .unwrap_or(0);
     let iupac_hit = iupac
         .results
         .iter()

@@ -1,0 +1,167 @@
+//! Integration: observability must be transparent. Search results are
+//! bit-identical whether metrics are disabled, a registry is bound, or a
+//! sampled trace sink is attached — and the recorded numbers agree with
+//! what the engine reports through [`QueryStats`](nucdb::QueryStats).
+
+use std::path::PathBuf;
+
+use nucdb::{Database, DbConfig, IndexVariant, SearchParams, Strand};
+use nucdb_obs::{json, MetricsRegistry, TraceSink, ValueSnapshot};
+use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
+
+fn collection(seed: u64) -> SyntheticCollection {
+    SyntheticCollection::generate(&CollectionSpec {
+        seed,
+        num_background: 80,
+        num_families: 4,
+        family_size: 3,
+        ..CollectionSpec::default()
+    })
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nucdb_obs_{}_{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every observable detail of every answer, for bit-identity checks.
+fn results_of(db: &Database, coll: &SyntheticCollection) -> Vec<Vec<(u32, i32, u32, Strand)>> {
+    let params = SearchParams {
+        strand: Strand::Both,
+        ..SearchParams::default()
+    };
+    (0..coll.families.len())
+        .map(|f| {
+            let query = coll.query_for_family(f, 0.5, &MutationModel::standard(0.05));
+            db.search(&query, &params)
+                .unwrap()
+                .results
+                .iter()
+                .map(|r| (r.record, r.score, r.coarse_hits, r.strand))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_and_tracing_do_not_change_results() {
+    let coll = collection(301);
+    let build = || {
+        Database::build(
+            coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+            &DbConfig::default(),
+        )
+    };
+
+    // Baseline: observability fully disabled.
+    let reference = results_of(&build(), &coll);
+
+    // Metrics registry bound.
+    let registry = MetricsRegistry::new();
+    let mut with_metrics = build();
+    with_metrics.bind_metrics(&registry);
+    assert_eq!(results_of(&with_metrics, &coll), reference);
+
+    // Sampled trace attached on top (every 2nd query).
+    let dir = temp_dir("trace");
+    let trace_path = dir.join("trace.jsonl");
+    let mut with_trace = build();
+    with_trace.bind_metrics(&MetricsRegistry::new());
+    with_trace.set_trace(TraceSink::to_file(&trace_path, 2).unwrap());
+    assert_eq!(results_of(&with_trace, &coll), reference);
+    with_trace.metrics().trace.flush();
+
+    // Trace alone, no registry.
+    let mut trace_only = build();
+    trace_only.set_trace(TraceSink::to_file(&dir.join("solo.jsonl"), 1).unwrap());
+    assert_eq!(results_of(&trace_only, &coll), reference);
+
+    // The registry actually observed the workload: one query per family
+    // and a latency sample for each.
+    let snapshot = registry.snapshot();
+    let queries = coll.families.len() as u64;
+    assert_eq!(
+        snapshot.get("nucdb_queries_total"),
+        Some(&ValueSnapshot::Counter(queries))
+    );
+    match snapshot.get("nucdb_query_latency_ns") {
+        Some(ValueSnapshot::Histogram(hist)) => {
+            assert_eq!(hist.count(), queries);
+            assert!(hist.max > 0);
+        }
+        other => panic!("expected a latency histogram, got {other:?}"),
+    }
+    // Both-strand queries time the merge stage too.
+    match snapshot.get_with("nucdb_stage_latency_ns", &[("stage", "strand_merge")]) {
+        Some(ValueSnapshot::Histogram(hist)) => assert_eq!(hist.count(), queries),
+        other => panic!("expected a strand_merge histogram, got {other:?}"),
+    }
+
+    // Every 2nd of 4 queries sampled: 2 valid JSONL events with the core
+    // timing fields present.
+    let traced = std::fs::read_to_string(&trace_path).unwrap();
+    let lines: Vec<&str> = traced.lines().collect();
+    assert_eq!(lines.len(), coll.families.len().div_ceil(2));
+    for line in lines {
+        let event = json::parse(line).unwrap();
+        assert_eq!(event.get("event").and_then(|v| v.as_str()), Some("query"));
+        for field in ["latency_ns", "coarse_ns", "fine_ns", "results"] {
+            assert!(
+                event.get(field).and_then(|v| v.as_f64()).is_some(),
+                "missing {field}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_database_metrics_agree_with_io_accessors() {
+    let coll = collection(302);
+    let db = Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        &DbConfig::default(),
+    );
+    let reference = results_of(&db, &coll);
+
+    let dir = temp_dir("disk");
+    let mut disk_db = db.with_disk_index(&dir.join("idx.nucidx")).unwrap();
+
+    // Some I/O happens before binding: the carried-over counts must land
+    // in the registry, and the legacy accessors must keep agreeing with
+    // the registered counters afterwards.
+    let query = coll.query_for_family(0, 0.5, &MutationModel::standard(0.05));
+    disk_db.search(&query, &SearchParams::default()).unwrap();
+    let (pre_bytes, pre_lists) = match disk_db.index() {
+        IndexVariant::Disk(disk) => (disk.bytes_read(), disk.lists_read()),
+        _ => panic!("expected a disk index"),
+    };
+    assert!(pre_bytes > 0 && pre_lists > 0);
+
+    let registry = MetricsRegistry::new();
+    disk_db.bind_metrics(&registry);
+    assert_eq!(results_of(&disk_db, &coll), reference);
+
+    let IndexVariant::Disk(disk) = disk_db.index() else {
+        panic!("expected a disk index")
+    };
+    assert!(disk.bytes_read() > pre_bytes);
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.get("nucdb_index_bytes_read_total"),
+        Some(&ValueSnapshot::Counter(disk.bytes_read()))
+    );
+    assert_eq!(
+        snapshot.get("nucdb_index_lists_read_total"),
+        Some(&ValueSnapshot::Counter(disk.lists_read()))
+    );
+
+    // Resetting through the legacy accessor clears the registered counter.
+    disk.reset_io_counters();
+    assert_eq!(
+        registry.snapshot().get("nucdb_index_bytes_read_total"),
+        Some(&ValueSnapshot::Counter(0))
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
