@@ -11,6 +11,8 @@ use std::collections::HashMap;
 pub struct Args {
     values: HashMap<String, String>,
     flags: Vec<String>,
+    /// The subcommand being parsed (for error messages).
+    command: &'static str,
     /// Option names the subcommand accepts (for error messages).
     allowed: Vec<&'static str>,
 }
@@ -28,22 +30,24 @@ impl std::fmt::Display for UsageError {
 impl std::error::Error for UsageError {}
 
 impl Args {
-    /// Parse raw arguments. `value_opts` take a value, `flag_opts` do not.
+    /// Parse raw arguments for `command`. `value_opts` take a value,
+    /// `flag_opts` do not. Errors name the subcommand, so `nucdb serve
+    /// --bogus` reports "serve: unknown option --bogus".
     pub fn parse(
+        command: &'static str,
         raw: &[String],
         value_opts: &[&'static str],
         flag_opts: &[&'static str],
     ) -> Result<Args, UsageError> {
         let mut args = Args {
+            command,
             allowed: value_opts.iter().chain(flag_opts).copied().collect(),
             ..Args::default()
         };
         let mut iter = raw.iter();
         while let Some(token) = iter.next() {
             let Some(name) = token.strip_prefix("--") else {
-                return Err(UsageError(format!(
-                    "unexpected positional argument {token:?}"
-                )));
+                return Err(args.error(format!("unexpected positional argument {token:?}")));
             };
             // `--key=value` form: split before matching the option name.
             let (name, inline_value) = match name.split_once('=') {
@@ -52,7 +56,7 @@ impl Args {
             };
             if flag_opts.contains(&name) {
                 if inline_value.is_some() {
-                    return Err(UsageError(format!("flag --{name} does not take a value")));
+                    return Err(args.error(format!("flag --{name} does not take a value")));
                 }
                 args.flags.push(name.to_string());
             } else if value_opts.contains(&name) {
@@ -60,14 +64,14 @@ impl Args {
                     Some(v) => v.to_string(),
                     None => iter
                         .next()
-                        .ok_or_else(|| UsageError(format!("option --{name} requires a value")))?
+                        .ok_or_else(|| args.error(format!("option --{name} requires a value")))?
                         .clone(),
                 };
                 if args.values.insert(name.to_string(), value).is_some() {
-                    return Err(UsageError(format!("option --{name} given more than once")));
+                    return Err(args.error(format!("option --{name} given more than once")));
                 }
             } else {
-                return Err(UsageError(format!(
+                return Err(args.error(format!(
                     "unknown option --{name}; expected one of: {}",
                     args.allowed
                         .iter()
@@ -80,12 +84,21 @@ impl Args {
         Ok(args)
     }
 
+    /// A usage error prefixed with the subcommand name.
+    fn error(&self, message: String) -> UsageError {
+        if self.command.is_empty() {
+            UsageError(message)
+        } else {
+            UsageError(format!("{}: {message}", self.command))
+        }
+    }
+
     /// A required string option.
     pub fn required(&self, name: &str) -> Result<&str, UsageError> {
         self.values
             .get(name)
             .map(String::as_str)
-            .ok_or_else(|| UsageError(format!("missing required option --{name}")))
+            .ok_or_else(|| self.error(format!("missing required option --{name}")))
     }
 
     /// An optional string option.
@@ -99,7 +112,7 @@ impl Args {
             None => Ok(default),
             Some(raw) => raw
                 .parse()
-                .map_err(|_| UsageError(format!("option --{name}: cannot parse {raw:?}"))),
+                .map_err(|_| self.error(format!("option --{name}: cannot parse {raw:?}"))),
         }
     }
 
@@ -120,6 +133,7 @@ mod tests {
     #[test]
     fn parses_values_and_flags() {
         let args = Args::parse(
+            "build",
             &raw(&["--k", "8", "--both-strands", "--out", "x.idx"]),
             &["k", "out"],
             &["both-strands"],
@@ -134,28 +148,40 @@ mod tests {
 
     #[test]
     fn rejects_unknown_and_positional() {
-        assert!(Args::parse(&raw(&["--bogus", "1"]), &["k"], &[]).is_err());
-        assert!(Args::parse(&raw(&["stray"]), &["k"], &[]).is_err());
+        assert!(Args::parse("build", &raw(&["--bogus", "1"]), &["k"], &[]).is_err());
+        assert!(Args::parse("build", &raw(&["stray"]), &["k"], &[]).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_subcommand() {
+        let err = Args::parse("search", &raw(&["--bogus"]), &["k"], &[]).unwrap_err();
+        assert!(err.0.starts_with("search: "), "{}", err.0);
+        let err = Args::parse("serve", &raw(&["--addr"]), &["addr"], &[]).unwrap_err();
+        assert!(err.0.starts_with("serve: "), "{}", err.0);
+        let args = Args::parse("build", &raw(&[]), &["k"], &[]).unwrap();
+        assert!(args.required("k").unwrap_err().0.starts_with("build: "));
     }
 
     #[test]
     fn missing_value_and_missing_required() {
-        assert!(Args::parse(&raw(&["--k"]), &["k"], &[]).is_err());
-        let args = Args::parse(&raw(&[]), &["k"], &[]).unwrap();
+        assert!(Args::parse("build", &raw(&["--k"]), &["k"], &[]).is_err());
+        let args = Args::parse("build", &raw(&[]), &["k"], &[]).unwrap();
         assert!(args.required("k").is_err());
         assert_eq!(args.get_or("k", 42usize).unwrap(), 42);
     }
 
     #[test]
     fn bad_parse_reports_option() {
-        let args = Args::parse(&raw(&["--k", "notanumber"]), &["k"], &[]).unwrap();
+        let args = Args::parse("build", &raw(&["--k", "notanumber"]), &["k"], &[]).unwrap();
         let err = args.get_or("k", 0usize).unwrap_err();
         assert!(err.0.contains("--k"));
+        assert!(err.0.starts_with("build: "));
     }
 
     #[test]
     fn accepts_equals_form() {
         let args = Args::parse(
+            "build",
             &raw(&["--k=8", "--out=x.idx", "--both-strands"]),
             &["k", "out"],
             &["both-strands"],
@@ -168,36 +194,43 @@ mod tests {
 
     #[test]
     fn equals_form_keeps_later_equals_signs_in_value() {
-        let args = Args::parse(&raw(&["--expr=a=b"]), &["expr"], &[]).unwrap();
+        let args = Args::parse("search", &raw(&["--expr=a=b"]), &["expr"], &[]).unwrap();
         assert_eq!(args.get("expr"), Some("a=b"));
     }
 
     #[test]
     fn equals_form_allows_empty_value() {
-        let args = Args::parse(&raw(&["--out="]), &["out"], &[]).unwrap();
+        let args = Args::parse("build", &raw(&["--out="]), &["out"], &[]).unwrap();
         assert_eq!(args.get("out"), Some(""));
     }
 
     #[test]
     fn rejects_value_on_flag() {
-        let err = Args::parse(&raw(&["--both-strands=yes"]), &[], &["both-strands"]).unwrap_err();
+        let err = Args::parse(
+            "search",
+            &raw(&["--both-strands=yes"]),
+            &[],
+            &["both-strands"],
+        )
+        .unwrap_err();
         assert!(err.0.contains("--both-strands"));
         assert!(err.0.contains("does not take a value"));
     }
 
     #[test]
     fn rejects_duplicate_value_option() {
-        let err = Args::parse(&raw(&["--k", "8", "--k", "9"]), &["k"], &[]).unwrap_err();
+        let err = Args::parse("build", &raw(&["--k", "8", "--k", "9"]), &["k"], &[]).unwrap_err();
         assert!(err.0.contains("--k"));
         assert!(err.0.contains("more than once"));
         // Mixed spellings count as the same option.
-        let err = Args::parse(&raw(&["--k=8", "--k", "9"]), &["k"], &[]).unwrap_err();
+        let err = Args::parse("build", &raw(&["--k=8", "--k", "9"]), &["k"], &[]).unwrap_err();
         assert!(err.0.contains("more than once"));
     }
 
     #[test]
     fn repeated_flags_are_tolerated() {
         let args = Args::parse(
+            "search",
             &raw(&["--both-strands", "--both-strands"]),
             &[],
             &["both-strands"],

@@ -46,7 +46,12 @@ commands:
   bench      time a query workload against a database
              --db DIR --query FILE [--repeat N] [--metrics FILE]
              [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
-  help       this message
+  serve      run a resident HTTP query server over one database
+             --db DIR [--addr HOST:PORT] [--threads N] [--queue-depth N]
+             [--deadline-ms N] [--batch-window MS] [--batch-max N]
+             [--search-threads N] [--metrics FILE]
+             [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
+  help       this message (or `nucdb help CMD` / `nucdb CMD --help`)
 
 Options may be spelled --key value or --key=value. search also accepts
 --tabular for TSV output (query, subject, score, strand,
@@ -56,12 +61,101 @@ hits[, bits, evalue]).
 when the command finishes; --trace FILE appends one JSON line per sampled
 query (--trace-sample N keeps every Nth).";
 
+/// Per-subcommand usage text, shown by `nucdb CMD --help` and
+/// `nucdb help CMD`.
+pub fn usage_for(command: &str) -> Option<&'static str> {
+    Some(match command {
+        "generate" => {
+            "usage: nucdb generate --bases N --out FILE [options]
+  --bases N          total bases across all records (default 1000000)
+  --out FILE         FASTA output path (a .truth.tsv sidecar is also written)
+  --seed N           RNG seed (default 42)
+  --families N       planted homologous families
+  --family-size N    members per family
+  --repeat-prob F    probability a record gains an internal repeat (default 0.25)
+  --divergence F     per-base mutation rate within a family (default 0.08)
+  --queries-out FILE also write one query per family"
+        }
+        "build" => {
+            "usage: nucdb build --collection FILE --db DIR [options]
+  --collection FILE  input FASTA
+  --db DIR           output database directory
+  --k N              interval (k-mer) length (default 8)
+  --stride N         sampling stride across each record (default 1)
+  --stop-fraction F  drop intervals present in more than F of records
+  --codec NAME       postings codec: paper|gamma|delta|vbyte|fixed
+  --chunk N          records per in-memory build chunk (default 2048)
+  --granularity G    postings granularity: offsets|records
+  --ascii-store      store sequences as ASCII instead of 2-bit packed"
+        }
+        "search" => {
+            "usage: nucdb search --db DIR --query FILE [options]
+  --db DIR           database directory (from `nucdb build`)
+  --query FILE       FASTA of queries (each record is one query)
+  --candidates N     coarse candidates to align finely
+  --ranking R        coarse ranking: count|prop|frame[:W]
+  --fine M           fine alignment: banded[:W]|full|trace
+  --max-results N    answers to keep per query (default 20)
+  --min-score N      drop answers scoring below N
+  --both-strands     also search the reverse complement
+  --evalue           report bit scores and e-values
+  --mask             DUST-mask low-complexity query regions
+  --query-stride N   sample query intervals at stride N
+  --tabular          TSV output
+  --metrics FILE     write a metrics snapshot when done
+  --metrics-format F prometheus (default) or json
+  --trace FILE       append one JSON line per sampled query
+  --trace-sample N   keep every Nth query in the trace"
+        }
+        "merge" => {
+            "usage: nucdb merge --db-a DIR --db-b DIR --out DIR
+  record ids of B follow A's in the merged database"
+        }
+        "stats" => {
+            "usage: nucdb stats --db DIR
+  print store and index statistics plus the heaviest postings lists"
+        }
+        "verify" => {
+            "usage: nucdb verify --db DIR [--sample N]
+  --sample N         records to sample for the store/index cross-check"
+        }
+        "bench" => {
+            "usage: nucdb bench --db DIR --query FILE [options]
+  --repeat N         repetitions per query (default 3)
+  --metrics FILE     write a metrics snapshot when done
+  --metrics-format F prometheus (default) or json
+  --trace FILE       append one JSON line per sampled query
+  --trace-sample N   keep every Nth query in the trace"
+        }
+        "serve" => {
+            "usage: nucdb serve --db DIR [options]
+  --db DIR           database directory (from `nucdb build`)
+  --addr HOST:PORT   listen address (default 127.0.0.1:7878)
+  --threads N        worker threads handling connections (default 4)
+  --queue-depth N    admission queue capacity; overflow is shed with 503
+  --deadline-ms N    max queue wait before a request is dropped (default 5000)
+  --batch-window MS  micro-batch queries arriving within MS (0 = off)
+  --batch-max N      max queries per micro-batch (default 64)
+  --search-threads N threads per batched search (default 4)
+  --metrics FILE     write a final metrics snapshot after draining
+  --metrics-format F prometheus (default) or json
+  --trace FILE       append one JSON line per sampled query
+  --trace-sample N   keep every Nth query in the trace
+
+endpoints: POST /search (FASTA or JSON body), GET /metrics (Prometheus),
+GET /healthz, GET /stats. SIGINT/SIGTERM drain and exit cleanly."
+        }
+        _ => return None,
+    })
+}
+
 const INDEX_FILE: &str = "index.nucidx";
 const STORE_FILE: &str = "store.nucsto";
 
 /// `nucdb generate`
 pub fn generate(raw: &[String]) -> CommandResult {
     let args = Args::parse(
+        "generate",
         raw,
         &[
             "bases",
@@ -151,6 +245,7 @@ fn parse_codec(name: &str) -> Result<ListCodec, UsageError> {
 /// `nucdb build`
 pub fn build(raw: &[String]) -> CommandResult {
     let args = Args::parse(
+        "build",
         raw,
         &[
             "collection",
@@ -407,6 +502,7 @@ pub fn search(raw: &[String]) -> CommandResult {
     ];
     value_opts.extend(OBS_VALUE_OPTS);
     let args = Args::parse(
+        "search",
         raw,
         &value_opts,
         &["both-strands", "evalue", "mask", "tabular"],
@@ -547,7 +643,7 @@ pub fn search(raw: &[String]) -> CommandResult {
 
 /// `nucdb merge`
 pub fn merge(raw: &[String]) -> CommandResult {
-    let args = Args::parse(raw, &["db-a", "db-b", "out"], &[])?;
+    let args = Args::parse("merge", raw, &["db-a", "db-b", "out"], &[])?;
     let dir_a = PathBuf::from(args.required("db-a")?);
     let dir_b = PathBuf::from(args.required("db-b")?);
     let out = PathBuf::from(args.required("out")?);
@@ -575,7 +671,7 @@ pub fn merge(raw: &[String]) -> CommandResult {
 
 /// `nucdb verify`
 pub fn verify(raw: &[String]) -> CommandResult {
-    let args = Args::parse(raw, &["db", "sample"], &[])?;
+    let args = Args::parse("verify", raw, &["db", "sample"], &[])?;
     let db_dir = PathBuf::from(args.required("db")?);
     let sample: usize = args.get_or("sample", 25)?;
 
@@ -663,7 +759,7 @@ pub fn verify(raw: &[String]) -> CommandResult {
 pub fn bench(raw: &[String]) -> CommandResult {
     let mut value_opts = vec!["db", "query", "repeat"];
     value_opts.extend(OBS_VALUE_OPTS);
-    let args = Args::parse(raw, &value_opts, &[])?;
+    let args = Args::parse("bench", raw, &value_opts, &[])?;
     let db_dir = PathBuf::from(args.required("db")?);
     let query_path = PathBuf::from(args.required("query")?);
     let repeat: usize = args.get_or("repeat", 3)?;
@@ -733,9 +829,77 @@ pub fn bench(raw: &[String]) -> CommandResult {
     Ok(())
 }
 
+/// `nucdb serve`
+pub fn serve(raw: &[String]) -> CommandResult {
+    let mut value_opts = vec![
+        "db",
+        "addr",
+        "threads",
+        "queue-depth",
+        "deadline-ms",
+        "batch-window",
+        "batch-max",
+        "search-threads",
+    ];
+    value_opts.extend(OBS_VALUE_OPTS);
+    let args = Args::parse("serve", raw, &value_opts, &[])?;
+    let db_dir = PathBuf::from(args.required("db")?);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+
+    let mut config = nucdb_serve::ServeConfig::default();
+    config.threads = args.get_or("threads", config.threads)?;
+    config.queue_depth = args.get_or("queue-depth", config.queue_depth)?;
+    config.deadline = std::time::Duration::from_millis(args.get_or("deadline-ms", 5_000u64)?);
+    let window_ms: u64 = args.get_or("batch-window", 0)?;
+    config.batch_window = (window_ms > 0).then(|| std::time::Duration::from_millis(window_ms));
+    config.batch_max_queries = args.get_or("batch-max", config.batch_max_queries)?;
+    config.search_threads = args.get_or("search-threads", config.search_threads)?;
+
+    let obs = ObsOptions::parse(&args)?;
+    let mut db = open_db(&db_dir)?;
+    if let Some((path, sample_every)) = &obs.trace {
+        db.set_trace(TraceSink::to_file(path, *sample_every)?);
+    }
+    // The server always keeps a live registry: /metrics exposes it, and
+    // --metrics additionally writes a snapshot after the final drain.
+    let registry = MetricsRegistry::new();
+    db.bind_metrics(&registry);
+    println!("database: {} records", db.len());
+
+    nucdb_serve::install_termination_flag();
+    let handle = nucdb_serve::start(addr.as_str(), db, registry, SearchParams::default(), config)?;
+    println!(
+        "serving on http://{} ({} workers, queue depth {}, batching {})",
+        handle.addr(),
+        handle.config().threads,
+        handle.config().queue_depth,
+        match handle.config().batch_window {
+            Some(window) => format!("{} ms", window.as_millis()),
+            None => "off".to_string(),
+        },
+    );
+
+    while !nucdb_serve::termination_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutdown requested; draining in-flight requests");
+    let served = handle.requests_ok();
+    let registry = handle.shutdown();
+    println!("drained cleanly after {served} successful queries");
+    if let (Some(registry), Some((path, json))) = (registry, &obs.metrics) {
+        MetricsOutput {
+            registry,
+            path: path.clone(),
+            json: *json,
+        }
+        .write()?;
+    }
+    Ok(())
+}
+
 /// `nucdb stats`
 pub fn stats(raw: &[String]) -> CommandResult {
-    let args = Args::parse(raw, &["db"], &[])?;
+    let args = Args::parse("stats", raw, &["db"], &[])?;
     let db_dir = PathBuf::from(args.required("db")?);
     let store = SequenceStore::read_from(&db_dir.join(STORE_FILE))?;
     let index = OnDiskIndex::open(&db_dir.join(INDEX_FILE))?;

@@ -4,8 +4,11 @@
 //! nucdb generate --bases 4000000 --out coll.fasta [--seed N] [--families N] ...
 //! nucdb build    --collection coll.fasta --db DIR [--k 8] [--stride 1] ...
 //! nucdb search   --db DIR --query q.fasta [--candidates 30] [--both-strands] ...
+//! nucdb serve    --db DIR [--addr 127.0.0.1:7878] [--threads 4] ...
 //! nucdb stats    --db DIR
 //! ```
+//!
+//! `nucdb CMD --help` (or `nucdb help CMD`) prints per-subcommand usage.
 
 mod args;
 mod commands;
@@ -18,6 +21,13 @@ fn main() -> ExitCode {
         eprintln!("{}", commands::USAGE);
         return ExitCode::FAILURE;
     };
+    // `nucdb CMD --help` short-circuits to the subcommand's usage.
+    if commands::usage_for(command).is_some()
+        && rest.iter().any(|arg| arg == "--help" || arg == "-h")
+    {
+        println!("{}", commands::usage_for(command).unwrap());
+        return ExitCode::SUCCESS;
+    }
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
         "build" => commands::build(rest),
@@ -26,8 +36,13 @@ fn main() -> ExitCode {
         "stats" => commands::stats(rest),
         "verify" => commands::verify(rest),
         "bench" => commands::bench(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => {
-            println!("{}", commands::USAGE);
+            // `nucdb help CMD` prints that subcommand's usage.
+            match rest.first().and_then(|cmd| commands::usage_for(cmd)) {
+                Some(usage) => println!("{usage}"),
+                None => println!("{}", commands::USAGE),
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{}", commands::USAGE).into()),

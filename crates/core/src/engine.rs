@@ -178,6 +178,25 @@ fn io_err(e: nucdb_seq::SeqError) -> IndexError {
 }
 
 /// An indexed nucleotide database.
+///
+/// # Concurrency
+///
+/// The entire query path takes `&self`: [`Database::search`],
+/// [`Database::search_with`], and [`Database::search_batch_parallel`]
+/// never mutate the database, so a `Database` inside an
+/// [`Arc`](std::sync::Arc) can serve any number of threads
+/// concurrently with no external lock. Per-query mutable state lives in
+/// the caller-owned [`CoarseScratch`]; everything the database itself
+/// touches during a query is either immutable (vocabulary, postings,
+/// stored sequences — on-disk variants use positional reads, so there
+/// is no shared file cursor) or an interior atomic (the metric
+/// counters, histograms, and I/O tallies behind [`SearchMetrics`],
+/// which are relaxed `AtomicU64`s designed for concurrent writers).
+///
+/// The only `&mut self` methods are setup: [`Database::bind_metrics`],
+/// [`Database::set_trace`], and the disk-conversion constructors.
+/// Configure observability first, then share the database —
+/// `nucdb-serve` follows exactly this pattern.
 pub struct Database {
     store: StoreVariant,
     index: IndexVariant,

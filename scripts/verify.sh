@@ -7,4 +7,7 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo build --release
 cargo test -q
+# The server end-to-end suite is part of `cargo test` above; run it
+# again by name so a serving regression fails loudly on its own line.
+cargo test -q -p nucdb-serve --test server_e2e
 cargo clippy --workspace -- -D warnings

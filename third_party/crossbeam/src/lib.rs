@@ -1,0 +1,88 @@
+//! Minimal, API-compatible stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` (written before
+//! `std::thread::scope` was assumed available); this shim forwards to
+//! the std implementation while keeping crossbeam's call shape — the
+//! spawn closure receives a `&Scope` argument and `scope` returns a
+//! `Result`. A thread panic propagates as a panic out of `scope`
+//! (std semantics) rather than an `Err`; no caller relies on the
+//! difference.
+
+/// Scoped threads, crossbeam-style.
+pub mod thread {
+    use std::any::Any;
+
+    /// A handle for spawning scoped threads (wraps [`std::thread::Scope`]).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Always `Ok` — a panicking thread re-panics here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut totals = Vec::new();
+        crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            for h in handles {
+                totals.push(h.join().unwrap());
+            }
+        })
+        .unwrap();
+        assert_eq!(totals.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let result = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+}

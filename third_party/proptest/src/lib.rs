@@ -1,0 +1,587 @@
+//! Minimal, API-compatible stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the subset of proptest the workspace's property tests
+//! actually use is reimplemented here: the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros,
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! integer and float range strategies, [`arbitrary::any`],
+//! [`collection::vec`] / [`collection::btree_set`],
+//! [`sample::select`], character-class string strategies, and tuple
+//! strategies.
+//!
+//! Differences from the real crate, none of which the workspace's
+//! tests depend on:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs via
+//!   the standard assert message; it is not minimized.
+//! - **Deterministic seeds.** Case `i` of every test draws from a
+//!   fixed seed derived from `i`, so failures reproduce exactly.
+//! - **`prop_assume!` rejects by skipping** the current case rather
+//!   than resampling, so heavy use of assumptions thins the case count
+//!   (the workspace uses it on conditions that are almost always true).
+//!
+//! Swapping back to the real crate is a one-line change in the root
+//! `[workspace.dependencies]`.
+
+/// Test-loop plumbing: the per-case RNG and run configuration.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Run configuration (only `cases` is meaningful here).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The RNG handed to strategies; deterministic per case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// The generator for case number `case` (same stream every run).
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng(StdRng::seed_from_u64(
+                0x5EED_BA5E ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// The [`Strategy`] trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{RngExt, SampleRange, StandardUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy applying `f` to every generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// A strategy whose output drives a second, dependent strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Clone,
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Clone,
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for full-width uniform values (see [`crate::arbitrary::any`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: StandardUniform> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random::<T>()
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// `&str` patterns act as string strategies. Only the character-class
+    /// shape the workspace uses is supported: `[chars]{min,max}` where
+    /// `chars` may contain `a-z`-style ranges and literal characters
+    /// (a trailing `-` is literal, as in standard regex classes).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, reps) = parse_char_class(self)
+                .unwrap_or_else(|| panic!("unsupported string pattern {self:?} (stand-in proptest only supports \"[class]{{min,max}}\")"));
+            let len = rng.random_range(reps);
+            (0..len)
+                .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+                .collect()
+        }
+    }
+
+    fn parse_char_class(pattern: &str) -> Option<(Vec<char>, RangeInclusive<usize>)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut alphabet = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                if lo > hi {
+                    return None;
+                }
+                alphabet.extend(lo..=hi);
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let reps = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = reps.split_once(',')?;
+        let min: usize = min.trim().parse().ok()?;
+        let max: usize = max.trim().parse().ok()?;
+        if min > max {
+            return None;
+        }
+        Some((alphabet, min..=max))
+    }
+}
+
+/// `any::<T>()`: full-width uniform values.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use rand::StandardUniform;
+    use std::marker::PhantomData;
+
+    /// A strategy producing uniform values across `T`'s full width
+    /// (`[0, 1)` for floats, matching the real crate closely enough
+    /// for the workspace's tests).
+    pub fn any<T: StandardUniform>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::…`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A target size drawn uniformly from a range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.min..=self.max_inclusive)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// A `Vec` of values from `element`, with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of values from `element`, aiming for a size in
+    /// `size`. Duplicates are retried a bounded number of times, so a
+    /// near-saturated element domain may yield a smaller set.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut tries = 0usize;
+            let max_tries = target * 32 + 64;
+            while set.len() < target && tries < max_tries {
+                set.insert(self.element.generate(rng));
+                tries += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::…`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A strategy picking one element of `items`, uniformly.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires at least one item");
+        Select { items }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.random_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias so `prop::collection::vec(…)` etc. resolve.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, …)`
+/// runs its body over `cases` randomly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(u64::from(__case));
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case unless the condition holds. Must appear at
+/// the top level of the test body (it expands to `continue`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn lowercase_id() -> impl Strategy<Value = String> {
+        "[a-z0-9_]{1,8}".prop_map(|s| s)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            values in prop::collection::vec(any::<u64>(), 3..7),
+        ) {
+            prop_assert!((3..7).contains(&values.len()));
+        }
+
+        #[test]
+        fn btree_set_hits_reachable_targets(
+            set in prop::collection::btree_set(0u32..1000, 5..10),
+        ) {
+            prop_assert!((5..10).contains(&set.len()));
+            prop_assert!(set.iter().all(|&v| v < 1000));
+        }
+
+        #[test]
+        fn select_only_yields_members(b in prop::sample::select(b"ACGT".to_vec())) {
+            prop_assert!(b"ACGT".contains(&b));
+        }
+
+        #[test]
+        fn string_patterns_obey_class_and_length(id in lowercase_id()) {
+            prop_assert!((1..=8).contains(&id.len()));
+            prop_assert!(id
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn flat_map_links_dependent_values(
+            pair in (1usize..10).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(any::<u8>(), n..=n))
+            }),
+        ) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        #[test]
+        fn assume_skips_without_failing(v in any::<u64>()) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let strat = prop::collection::vec(0u64..1_000_000, 0..50);
+        let a: Vec<Vec<u64>> = (0..16)
+            .map(|i| {
+                let mut rng = crate::test_runner::TestRng::for_case(i);
+                crate::strategy::Strategy::generate(&strat, &mut rng)
+            })
+            .collect();
+        let b: Vec<Vec<u64>> = (0..16)
+            .map(|i| {
+                let mut rng = crate::test_runner::TestRng::for_case(i);
+                crate::strategy::Strategy::generate(&strat, &mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+}
