@@ -166,15 +166,29 @@ pub struct SearchOutcome {
     pub stats: QueryStats,
 }
 
-/// Adapt a store-layer error to the engine's error type, preserving the
-/// underlying I/O error kind and keeping the [`nucdb_seq::SeqError`]
-/// reachable through `source()`.
+/// Adapt a store-layer error to the engine's error type. Checksum
+/// mismatches map variant-to-variant (so callers see one corruption type
+/// regardless of which file failed); plain I/O errors pass through; the
+/// rest surface as `InvalidData` I/O errors with the
+/// [`nucdb_seq::SeqError`] reachable through `source()`. Every branch
+/// satisfies [`IndexError::is_corruption`] when the cause is corrupt
+/// bytes.
 fn io_err(e: nucdb_seq::SeqError) -> IndexError {
-    let kind = match &e {
-        nucdb_seq::SeqError::Io(io) => io.kind(),
-        _ => std::io::ErrorKind::InvalidData,
-    };
-    IndexError::Io(std::io::Error::new(kind, e))
+    match e {
+        nucdb_seq::SeqError::Corruption {
+            section,
+            offset,
+            expected,
+            actual,
+        } => IndexError::Corruption {
+            section,
+            offset,
+            expected,
+            actual,
+        },
+        nucdb_seq::SeqError::Io(io) => IndexError::Io(io),
+        other => IndexError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, other)),
+    }
 }
 
 /// An indexed nucleotide database.
@@ -372,9 +386,10 @@ impl Database {
             fine_mode,
             &params.scheme,
             params.min_score,
-        );
+        )
+        .map_err(io_err);
         stats.fine_nanos += fine_start.elapsed().as_nanos() as u64;
-        Ok(fine)
+        fine
     }
 
     /// Evaluate a query with partitioned search: coarse index ranking,
@@ -395,7 +410,27 @@ impl Database {
     /// [`Database::search`] with caller-provided coarse working memory.
     /// One scratch serves any number of sequential queries without
     /// per-query allocation; results are independent of its history.
+    ///
+    /// A query that trips over on-disk corruption (checksum mismatch,
+    /// structural violation, truncated read) fails with a typed error and
+    /// increments `nucdb_io_corruption_total`; the database itself stays
+    /// healthy and keeps serving queries that touch intact bytes.
     pub fn search_with(
+        &self,
+        query: &DnaSeq,
+        params: &SearchParams,
+        scratch: &mut CoarseScratch,
+    ) -> Result<SearchOutcome, IndexError> {
+        let outcome = self.search_attempt(query, params, scratch);
+        if let Err(e) = &outcome {
+            if e.is_corruption() {
+                self.metrics.io_corruption.inc();
+            }
+        }
+        outcome
+    }
+
+    fn search_attempt(
         &self,
         query: &DnaSeq,
         params: &SearchParams,
@@ -461,12 +496,12 @@ impl Database {
         records: impl IntoIterator<Item = (String, DnaSeq)>,
     ) -> Result<(), IndexError> {
         let IndexVariant::Memory(existing) = &self.index else {
-            return Err(IndexError::BadFormat(
+            return Err(IndexError::Unsupported(
                 "append requires a memory-backed index; reopen the database in memory",
             ));
         };
         let StoreVariant::Memory(store) = &mut self.store else {
-            return Err(IndexError::BadFormat(
+            return Err(IndexError::Unsupported(
                 "append requires a memory-backed store; reopen the database in memory",
             ));
         };

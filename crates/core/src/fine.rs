@@ -6,7 +6,7 @@
 //! alignment centred on the diagonal coarse ranking discovered.
 
 use nucdb_align::{banded_sw_score, sw_align, sw_score, sw_score_iupac, Alignment, ScoringScheme};
-use nucdb_seq::DnaSeq;
+use nucdb_seq::{DnaSeq, SeqError};
 
 use crate::coarse::CoarseHit;
 use crate::store::RecordSource;
@@ -55,6 +55,10 @@ pub struct FineResult {
 ///
 /// `query` must be in the orientation being searched (the engine passes
 /// the reverse complement for the reverse strand).
+///
+/// Record decodes are fallible: an on-disk store surfaces read failures
+/// and checksum mismatches here, and the whole fine pass reports them as
+/// an error instead of panicking or aligning against corrupt bytes.
 pub fn fine_search<S: RecordSource>(
     store: &S,
     query: &DnaSeq,
@@ -62,51 +66,49 @@ pub fn fine_search<S: RecordSource>(
     mode: FineMode,
     scheme: &ScoringScheme,
     min_score: i32,
-) -> Vec<FineResult> {
+) -> Result<Vec<FineResult>, SeqError> {
     let query_bases = query.representative_bases();
-    let mut results: Vec<FineResult> = candidates
-        .iter()
-        .filter_map(|&coarse| {
-            let (score, alignment) = match mode {
-                FineMode::Banded { half_width } => {
-                    let target = store.bases(coarse.record);
-                    (
-                        banded_sw_score(
-                            &query_bases,
-                            &target,
-                            scheme,
-                            coarse.best_diagonal,
-                            half_width,
-                        ),
-                        None,
-                    )
-                }
-                FineMode::Full => {
-                    let target = store.bases(coarse.record);
-                    (sw_score(&query_bases, &target, scheme), None)
-                }
-                FineMode::FullWithTraceback => {
-                    let target = store.bases(coarse.record);
-                    let alignment = sw_align(&query_bases, &target, scheme);
-                    (alignment.as_ref().map_or(0, |a| a.score), alignment)
-                }
-                FineMode::FullIupac => {
-                    let target = store
-                        .sequence(coarse.record)
-                        .expect("store contents are validated at load time");
-                    (sw_score_iupac(query, &target, scheme), None)
-                }
-            };
-            (score >= min_score).then_some(FineResult {
+    let mut results: Vec<FineResult> = Vec::with_capacity(candidates.len());
+    for &coarse in candidates {
+        let (score, alignment) = match mode {
+            FineMode::Banded { half_width } => {
+                let target = store.try_bases(coarse.record)?;
+                (
+                    banded_sw_score(
+                        &query_bases,
+                        &target,
+                        scheme,
+                        coarse.best_diagonal,
+                        half_width,
+                    ),
+                    None,
+                )
+            }
+            FineMode::Full => {
+                let target = store.try_bases(coarse.record)?;
+                (sw_score(&query_bases, &target, scheme), None)
+            }
+            FineMode::FullWithTraceback => {
+                let target = store.try_bases(coarse.record)?;
+                let alignment = sw_align(&query_bases, &target, scheme);
+                (alignment.as_ref().map_or(0, |a| a.score), alignment)
+            }
+            FineMode::FullIupac => {
+                let target = store.sequence(coarse.record)?;
+                (sw_score_iupac(query, &target, scheme), None)
+            }
+        };
+        if score >= min_score {
+            results.push(FineResult {
                 record: coarse.record,
                 score,
                 coarse,
                 alignment,
-            })
-        })
-        .collect();
+            });
+        }
+    }
     results.sort_by(|a, b| b.score.cmp(&a.score).then(a.record.cmp(&b.record)));
-    results
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -146,7 +148,8 @@ mod tests {
             FineMode::Banded { half_width: 8 },
             &ScoringScheme::blastn(),
             1,
-        );
+        )
+        .unwrap();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].score, 18 * 5);
         assert!(results[0].alignment.is_none());
@@ -157,7 +160,7 @@ mod tests {
         let store = store_with(&[b"GGGGACGTAGCTAGCTGGATCCGGGG"]);
         let q = query();
         let scheme = ScoringScheme::blastn();
-        let full = fine_search(&store, &q, &[hit(0, 0)], FineMode::Full, &scheme, 1);
+        let full = fine_search(&store, &q, &[hit(0, 0)], FineMode::Full, &scheme, 1).unwrap();
         let traced = fine_search(
             &store,
             &q,
@@ -165,7 +168,8 @@ mod tests {
             FineMode::FullWithTraceback,
             &scheme,
             1,
-        );
+        )
+        .unwrap();
         assert_eq!(full[0].score, traced[0].score);
         let alignment = traced[0].alignment.as_ref().unwrap();
         assert_eq!(alignment.score, traced[0].score);
@@ -180,8 +184,8 @@ mod tests {
         let store = store_with(&[b"ACGTAGNNNNGGATCCAAAA"]);
         let q = DnaSeq::from_ascii(b"ACGTAGCCCCGGATCC").unwrap();
         let scheme = ScoringScheme::blastn();
-        let collapsed = fine_search(&store, &q, &[hit(0, 0)], FineMode::Full, &scheme, 1);
-        let iupac = fine_search(&store, &q, &[hit(0, 0)], FineMode::FullIupac, &scheme, 1);
+        let collapsed = fine_search(&store, &q, &[hit(0, 0)], FineMode::Full, &scheme, 1).unwrap();
+        let iupac = fine_search(&store, &q, &[hit(0, 0)], FineMode::FullIupac, &scheme, 1).unwrap();
         assert!(
             iupac[0].score > collapsed[0].score,
             "iupac {} <= collapsed {}",
@@ -200,7 +204,8 @@ mod tests {
             FineMode::Full,
             &ScoringScheme::blastn(),
             10,
-        );
+        )
+        .unwrap();
         assert!(results.is_empty());
     }
 
@@ -218,7 +223,8 @@ mod tests {
             FineMode::Full,
             &ScoringScheme::blastn(),
             1,
-        );
+        )
+        .unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].record, 1);
         assert!(results[0].score > results[1].score);
@@ -236,7 +242,8 @@ mod tests {
             FineMode::Full,
             &ScoringScheme::blastn(),
             1,
-        );
+        )
+        .unwrap();
         assert!(results.is_empty());
     }
 }

@@ -42,6 +42,10 @@ pub struct SearchMetrics {
     pub total_hits: Counter,
     /// Fine alignments computed.
     pub fine_alignments: Counter,
+    /// Queries that failed on detected on-disk corruption (checksum
+    /// mismatch, structural violation, or truncated read). Incremented
+    /// per failing query; the query errors out, the engine stays up.
+    pub io_corruption: Counter,
     /// Sampled per-query trace sink.
     pub trace: TraceSink,
 }
@@ -79,6 +83,10 @@ impl SearchMetrics {
                 .counter("nucdb_hits_total", "Hit pairs accumulated in coarse search"),
             fine_alignments: registry
                 .counter("nucdb_fine_alignments_total", "Fine alignments computed"),
+            io_corruption: registry.counter(
+                "nucdb_io_corruption_total",
+                "Queries failed on detected on-disk corruption",
+            ),
             trace: TraceSink::disabled(),
         }
     }

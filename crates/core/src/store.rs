@@ -11,14 +11,45 @@
 //!   a wildcard exception list ([`nucdb_seq::PackedSeq`]); a quarter the
 //!   space and faster to hand to alignment, which is why the CAFE system
 //!   reported >20% faster retrieval after adopting it.
+//!
+//! On-disk format, version 2 (current, written by
+//! [`SequenceStore::write_to`]):
+//!
+//! ```text
+//! magic "NUCSTO02"
+//! toc_len:u32le  toc_crc:u32le      — IEEE CRC-32 of the TOC bytes
+//! toc:
+//!   mode:u8  count:v
+//!   (id_len:v  id  seq_len:v  blob_len:v  blob_crc:v)*
+//! payload: record blobs, concatenated in record order
+//! ```
+//!
+//! Version 1 (legacy, still loadable; [`SequenceStore::write_to_v1`]
+//! kept for compatibility tests) interleaves `(id_len:v id blob_len:v
+//! blob)*` with no checksums, magic `NUCSTO01`. (`v` = LEB128-style
+//! varint.)
+//!
+//! Every byte of a v2 file is covered by a checksum — the TOC by
+//! `toc_crc`, each payload blob by its `blob_crc` — so corruption is
+//! detected at load ([`SequenceStore::read_from`]) or, on the
+//! [`OnDiskStore`] pread path, the moment the affected record is
+//! fetched, as a typed [`SeqError::Corruption`]. Files are written
+//! through [`AtomicFile`], so a crashed build never leaves a torn store.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use nucdb_index::durable::{crc32, read_exact_chunked, AtomicFile, CountingReader};
+use nucdb_index::fault::{FaultPlan, FaultyFile};
 use nucdb_index::PositionalReader;
 use nucdb_obs::{Counter, MetricsRegistry};
 use nucdb_seq::{Base, DnaSeq, PackedSeq, SeqError};
+
+const MAGIC_V2: &[u8; 8] = b"NUCSTO02";
+const MAGIC_V1: &[u8; 8] = b"NUCSTO01";
+/// Bytes before the TOC in a v2 file: magic + toc_len + toc_crc.
+const V2_PREFIX_LEN: u64 = 16;
 
 /// Anything fine search (and the exhaustive baselines) can read candidate
 /// records from: the in-memory store, the on-disk store, or the engine's
@@ -35,7 +66,15 @@ pub trait RecordSource {
     /// Record length in bases.
     fn record_len(&self, record: u32) -> usize;
     /// Representative-base view of a record (wildcards collapsed).
+    /// In-memory sources cannot fail; on-disk sources may panic on I/O
+    /// errors — query paths must use [`RecordSource::try_bases`].
     fn bases(&self, record: u32) -> Vec<Base>;
+    /// Fallible variant of [`RecordSource::bases`]: surfaces read and
+    /// corruption errors from on-disk sources instead of panicking. This
+    /// is what the search engine calls.
+    fn try_bases(&self, record: u32) -> Result<Vec<Base>, SeqError> {
+        Ok(self.bases(record))
+    }
     /// Lossless decode of a record.
     fn sequence(&self, record: u32) -> Result<DnaSeq, SeqError>;
     /// Total bases across records.
@@ -52,6 +91,27 @@ pub enum StorageMode {
     /// 2-bit direct coding with wildcard exceptions (the paper's choice).
     #[default]
     DirectCoding,
+}
+
+impl StorageMode {
+    fn tag(self) -> u8 {
+        match self {
+            StorageMode::Ascii => 0,
+            StorageMode::DirectCoding => 1,
+        }
+    }
+
+    fn from_tag(tag: u8, offset: u64) -> Result<StorageMode, SeqError> {
+        match tag {
+            0 => Ok(StorageMode::Ascii),
+            1 => Ok(StorageMode::DirectCoding),
+            _ => Err(SeqError::corrupt_at(
+                "unknown storage mode",
+                "store-header",
+                offset,
+            )),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -168,68 +228,140 @@ impl SequenceStore {
         Ok(())
     }
 
-    /// Persist the store to a file:
-    /// `magic "NUCSTO01" | mode:u8 | count:v | (id_len:v id seq_len:v seq)*`
-    /// where `seq` is raw ASCII or a [`PackedSeq`] blob depending on mode.
-    pub fn write_to(&self, path: &Path) -> Result<(), SeqError> {
-        let mut out = BufWriter::new(File::create(path)?);
-        out.write_all(b"NUCSTO01")?;
-        out.write_all(&[match self.mode {
-            StorageMode::Ascii => 0u8,
-            StorageMode::DirectCoding => 1,
-        }])?;
-        write_vu64(&mut out, self.seqs.len() as u64)?;
-        for (id, seq) in self.ids.iter().zip(&self.seqs) {
-            write_vu64(&mut out, id.len() as u64)?;
-            out.write_all(id.as_bytes())?;
-            let blob = match seq {
-                StoredSeq::Ascii(a) => a.clone(),
-                StoredSeq::Packed(p) => p.to_bytes(),
-            };
-            write_vu64(&mut out, blob.len() as u64)?;
-            out.write_all(&blob)?;
+    fn record_blob(&self, record: usize) -> Vec<u8> {
+        match &self.seqs[record] {
+            StoredSeq::Ascii(a) => a.clone(),
+            StoredSeq::Packed(p) => p.to_bytes(),
         }
-        out.flush()?;
+    }
+
+    /// Persist the store to `path` in the current (v2) format — see the
+    /// module docs for the layout. The write is atomic: staged in a temp
+    /// file, `fsync`ed, and renamed into place, so a crash mid-write
+    /// never leaves a torn store.
+    pub fn write_to(&self, path: &Path) -> Result<(), SeqError> {
+        let mut toc = Vec::new();
+        toc.push(self.mode.tag());
+        write_vu64(&mut toc, self.seqs.len() as u64)?;
+        let blobs: Vec<Vec<u8>> = (0..self.seqs.len()).map(|r| self.record_blob(r)).collect();
+        for ((id, blob), record) in self.ids.iter().zip(&blobs).zip(0..) {
+            write_vu64(&mut toc, id.len() as u64)?;
+            toc.extend_from_slice(id.as_bytes());
+            write_vu64(&mut toc, self.record_len(record) as u64)?;
+            write_vu64(&mut toc, blob.len() as u64)?;
+            write_vu64(&mut toc, crc32(blob) as u64)?;
+        }
+        let toc_len = u32::try_from(toc.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "store TOC exceeds 4 GiB"))?;
+
+        let mut out = AtomicFile::create(path)?;
+        out.write_all(MAGIC_V2)?;
+        out.write_all(&toc_len.to_le_bytes())?;
+        out.write_all(&crc32(&toc).to_le_bytes())?;
+        out.write_all(&toc)?;
+        for blob in &blobs {
+            out.write_all(blob)?;
+        }
+        out.commit()?;
         Ok(())
     }
 
-    /// Load a store written by [`SequenceStore::write_to`].
+    /// Persist in the legacy v1 format (no checksums): `magic "NUCSTO01"
+    /// | mode:u8 | count:v | (id_len:v id blob_len:v blob)*`. Kept so
+    /// compatibility tests can produce the files the previous release
+    /// wrote; new code should use [`SequenceStore::write_to`].
+    pub fn write_to_v1(&self, path: &Path) -> Result<(), SeqError> {
+        let mut out = AtomicFile::create(path)?;
+        out.write_all(MAGIC_V1)?;
+        out.write_all(&[self.mode.tag()])?;
+        write_vu64(&mut out, self.seqs.len() as u64)?;
+        for (record, id) in self.ids.iter().enumerate() {
+            write_vu64(&mut out, id.len() as u64)?;
+            out.write_all(id.as_bytes())?;
+            let blob = self.record_blob(record);
+            write_vu64(&mut out, blob.len() as u64)?;
+            out.write_all(&blob)?;
+        }
+        out.commit()?;
+        Ok(())
+    }
+
+    /// Load a store written by [`SequenceStore::write_to`] (or a legacy
+    /// v1 file, which loads without checksum verification). On v2 every
+    /// byte is verified before the store is returned.
     pub fn read_from(path: &Path) -> Result<SequenceStore, SeqError> {
         let mut input = BufReader::new(File::open(path)?);
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
-        if &magic != b"NUCSTO01" {
-            return Err(SeqError::CorruptPackedData("bad store magic"));
+        match &magic {
+            m if m == MAGIC_V1 => SequenceStore::read_from_v1(&mut input),
+            m if m == MAGIC_V2 => {
+                let mut input = CountingReader::new(input);
+                let toc = read_toc_v2(&mut input)?;
+                let mut store = SequenceStore::new(toc.mode);
+                for (record, id) in toc.ids.into_iter().enumerate() {
+                    let (offset, blob_len) = toc.blobs[record];
+                    let blob = read_exact_chunked(&mut input, blob_len as usize)?;
+                    let expected = toc.crcs[record];
+                    let actual = crc32(&blob);
+                    if actual != expected {
+                        return Err(SeqError::checksum("record", offset, expected, actual));
+                    }
+                    let seq =
+                        decode_blob(toc.mode, &blob).map_err(|e| e.located("record", offset))?;
+                    if seq_len(&seq) != toc.lens[record] as usize {
+                        return Err(SeqError::corrupt_at(
+                            "record length disagrees with TOC",
+                            "record",
+                            offset,
+                        ));
+                    }
+                    store.ids.push(id);
+                    store.seqs.push(seq);
+                }
+                Ok(store)
+            }
+            _ => Err(SeqError::corrupt_at("bad store magic", "magic", 0)),
         }
+    }
+
+    /// Legacy v1 body parse: `input` is positioned just past the magic.
+    fn read_from_v1(input: &mut BufReader<File>) -> Result<SequenceStore, SeqError> {
         let mut mode_byte = [0u8; 1];
         input.read_exact(&mut mode_byte)?;
-        let mode = match mode_byte[0] {
-            0 => StorageMode::Ascii,
-            1 => StorageMode::DirectCoding,
-            _ => return Err(SeqError::CorruptPackedData("unknown storage mode")),
-        };
-        let count = read_vu64(&mut input)?;
+        let mode = StorageMode::from_tag(mode_byte[0], 8)?;
+        let count = read_vu64(input)?;
         let mut store = SequenceStore::new(mode);
         for _ in 0..count {
-            let id_len = read_vu64(&mut input)? as usize;
-            let mut id = vec![0u8; id_len];
-            input.read_exact(&mut id)?;
-            let id = String::from_utf8(id)
-                .map_err(|_| SeqError::CorruptPackedData("record id is not UTF-8"))?;
-            let blob_len = read_vu64(&mut input)? as usize;
-            let mut blob = vec![0u8; blob_len];
-            input.read_exact(&mut blob)?;
+            let id_len = read_vu64(input)? as usize;
+            let id = read_exact_chunked(input, id_len)?;
+            let id =
+                String::from_utf8(id).map_err(|_| SeqError::corrupt("record id is not UTF-8"))?;
+            let blob_len = read_vu64(input)? as usize;
+            let blob = read_exact_chunked(input, blob_len)?;
+            // Validate eagerly so corrupt files fail at load time.
+            store.seqs.push(decode_blob(mode, &blob)?);
             store.ids.push(id);
-            store.seqs.push(match mode {
-                StorageMode::Ascii => {
-                    // Validate eagerly so corrupt files fail at load time.
-                    DnaSeq::from_ascii(&blob)?;
-                    StoredSeq::Ascii(blob)
-                }
-                StorageMode::DirectCoding => StoredSeq::Packed(PackedSeq::from_bytes(&blob)?),
-            });
         }
         Ok(store)
+    }
+}
+
+/// Parse and validate one record blob into its stored form.
+fn decode_blob(mode: StorageMode, blob: &[u8]) -> Result<StoredSeq, SeqError> {
+    match mode {
+        StorageMode::Ascii => {
+            DnaSeq::from_ascii(blob)?;
+            Ok(StoredSeq::Ascii(blob.to_vec()))
+        }
+        StorageMode::DirectCoding => Ok(StoredSeq::Packed(PackedSeq::from_bytes(blob)?)),
+    }
+}
+
+fn seq_len(seq: &StoredSeq) -> usize {
+    match seq {
+        StoredSeq::Ascii(a) => a.len(),
+        StoredSeq::Packed(p) => p.len(),
     }
 }
 
@@ -259,6 +391,77 @@ impl RecordSource for SequenceStore {
     }
 }
 
+/// Parsed v2 table of contents. Blob offsets are absolute file offsets.
+struct TocV2 {
+    mode: StorageMode,
+    ids: Vec<String>,
+    lens: Vec<u32>,
+    blobs: Vec<(u64, u32)>,
+    crcs: Vec<u32>,
+}
+
+/// Parse a v2 TOC. `input` is positioned just past the magic (absolute
+/// offset 8) and is left positioned at the start of the payload.
+fn read_toc_v2<R: Read>(input: &mut CountingReader<R>) -> Result<TocV2, SeqError> {
+    let mut word = [0u8; 4];
+    input.read_exact(&mut word)?;
+    let toc_len = u32::from_le_bytes(word) as usize;
+    input.read_exact(&mut word)?;
+    let expected = u32::from_le_bytes(word);
+    let toc_bytes = read_exact_chunked(input, toc_len)?;
+    let actual = crc32(&toc_bytes);
+    if actual != expected {
+        return Err(SeqError::checksum("toc", V2_PREFIX_LEN, expected, actual));
+    }
+
+    let mut toc = CountingReader::new(&toc_bytes[..]);
+    let at = |toc: &CountingReader<&[u8]>| V2_PREFIX_LEN + toc.pos();
+    let mut mode_byte = [0u8; 1];
+    toc.read_exact(&mut mode_byte)?;
+    let mode = StorageMode::from_tag(mode_byte[0], V2_PREFIX_LEN)?;
+    let count = read_vu64(&mut toc)? as usize;
+    // The TOC is checksum-verified, so `count` is trusted; the cap only
+    // guards against a writer bug producing absurd values.
+    let mut ids = Vec::with_capacity(count.min(1 << 20));
+    let mut lens = Vec::with_capacity(count.min(1 << 20));
+    let mut blobs = Vec::with_capacity(count.min(1 << 20));
+    let mut crcs = Vec::with_capacity(count.min(1 << 20));
+    let payload_start = V2_PREFIX_LEN + toc_len as u64;
+    let mut offset = payload_start;
+    for _ in 0..count {
+        let id_len = read_vu64(&mut toc)? as usize;
+        let id = read_exact_chunked(&mut toc, id_len)?;
+        ids.push(
+            String::from_utf8(id)
+                .map_err(|_| SeqError::corrupt_at("record id is not UTF-8", "toc", at(&toc)))?,
+        );
+        let len = u32::try_from(read_vu64(&mut toc)?)
+            .map_err(|_| SeqError::corrupt_at("record length overflow", "toc", at(&toc)))?;
+        let blob_len = u32::try_from(read_vu64(&mut toc)?)
+            .map_err(|_| SeqError::corrupt_at("blob length overflow", "toc", at(&toc)))?;
+        let crc = u32::try_from(read_vu64(&mut toc)?)
+            .map_err(|_| SeqError::corrupt_at("blob checksum overflow", "toc", at(&toc)))?;
+        lens.push(len);
+        blobs.push((offset, blob_len));
+        crcs.push(crc);
+        offset += blob_len as u64;
+    }
+    if toc.pos() != toc_len as u64 {
+        return Err(SeqError::corrupt_at(
+            "trailing bytes in TOC",
+            "toc",
+            at(&toc),
+        ));
+    }
+    Ok(TocV2 {
+        mode,
+        ids,
+        lens,
+        blobs,
+        crcs,
+    })
+}
+
 /// A sequence store whose record payloads stay on disk: ids and byte
 /// locations are memory-resident, each record is fetched with a
 /// positioned read when fine search asks for it — the paper's operating
@@ -266,6 +469,10 @@ impl RecordSource for SequenceStore {
 /// direct-coded store's 4× smaller reads are the win. Record fetches use
 /// lock-free positional reads, so concurrent searchers never serialise on
 /// a shared file cursor. Counts bytes read.
+///
+/// On v2 files every fetched blob is verified against its stored CRC-32;
+/// a mismatch surfaces as [`SeqError::Corruption`] naming the file
+/// offset, and no decoded (potentially wrong) sequence escapes.
 pub struct OnDiskStore {
     file: PositionalReader,
     mode: StorageMode,
@@ -274,6 +481,9 @@ pub struct OnDiskStore {
     blobs: Vec<(u64, u32)>,
     /// Per record: sequence length in bases.
     lens: Vec<u32>,
+    /// Per-record blob CRC-32s. `None` for legacy v1 files, which carry
+    /// no checksums — those are served without verification.
+    crcs: Option<Vec<u32>>,
     /// I/O counters: standalone by default, swapped for registry-backed
     /// handles by [`OnDiskStore::bind_metrics`]. The accessor methods
     /// below are thin shims over these handles either way.
@@ -281,36 +491,91 @@ pub struct OnDiskStore {
     records_read: Counter,
 }
 
+/// Everything [`OnDiskStore`] keeps in memory (the TOC, not the payload).
+struct StoreLayout {
+    mode: StorageMode,
+    ids: Vec<String>,
+    blobs: Vec<(u64, u32)>,
+    lens: Vec<u32>,
+    crcs: Option<Vec<u32>>,
+}
+
 impl OnDiskStore {
-    /// Open a store file written by [`SequenceStore::write_to`], reading
-    /// only its table of contents.
+    /// Open a store file written by [`SequenceStore::write_to`] (or a
+    /// legacy v1 file), reading only its table of contents.
     pub fn open(path: &Path) -> Result<OnDiskStore, SeqError> {
+        let (layout, file) = OnDiskStore::read_layout(path)?;
+        Ok(OnDiskStore::from_layout(
+            layout,
+            PositionalReader::new(file),
+        ))
+    }
+
+    /// Open like [`OnDiskStore::open`], but serve all record reads
+    /// through a deterministic fault-injection shim. The TOC is parsed
+    /// from the pristine file; only the pread path sees `plan`'s faults.
+    /// This is the durability-test entry point.
+    pub fn open_faulty(path: &Path, plan: FaultPlan) -> Result<OnDiskStore, SeqError> {
+        let (layout, _) = OnDiskStore::read_layout(path)?;
+        let file = PositionalReader::faulty(FaultyFile::from_path(path, plan)?);
+        Ok(OnDiskStore::from_layout(layout, file))
+    }
+
+    fn from_layout(layout: StoreLayout, file: PositionalReader) -> OnDiskStore {
+        OnDiskStore {
+            file,
+            mode: layout.mode,
+            ids: layout.ids,
+            blobs: layout.blobs,
+            lens: layout.lens,
+            crcs: layout.crcs,
+            bytes_read: Counter::new(),
+            records_read: Counter::new(),
+        }
+    }
+
+    fn read_layout(path: &Path) -> Result<(StoreLayout, File), SeqError> {
         let mut input = BufReader::new(File::open(path)?);
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
-        if &magic != b"NUCSTO01" {
-            return Err(SeqError::CorruptPackedData("bad store magic"));
+        match &magic {
+            m if m == MAGIC_V1 => {
+                let layout = OnDiskStore::read_layout_v1(&mut input)?;
+                Ok((layout, input.into_inner()))
+            }
+            m if m == MAGIC_V2 => {
+                let mut input = CountingReader::new(input);
+                let toc = read_toc_v2(&mut input)?;
+                let layout = StoreLayout {
+                    mode: toc.mode,
+                    ids: toc.ids,
+                    blobs: toc.blobs,
+                    lens: toc.lens,
+                    crcs: Some(toc.crcs),
+                };
+                Ok((layout, input.into_inner().into_inner()))
+            }
+            _ => Err(SeqError::corrupt_at("bad store magic", "magic", 0)),
         }
+    }
+
+    /// Legacy v1 layout scan: walks the interleaved records, seeking over
+    /// each payload blob. `input` is positioned just past the magic.
+    fn read_layout_v1(input: &mut BufReader<File>) -> Result<StoreLayout, SeqError> {
         let mut mode_byte = [0u8; 1];
         input.read_exact(&mut mode_byte)?;
-        let mode = match mode_byte[0] {
-            0 => StorageMode::Ascii,
-            1 => StorageMode::DirectCoding,
-            _ => return Err(SeqError::CorruptPackedData("unknown storage mode")),
-        };
-        let count = read_vu64(&mut input)?;
-        let mut ids = Vec::with_capacity(count as usize);
-        let mut blobs = Vec::with_capacity(count as usize);
-        let mut lens = Vec::with_capacity(count as usize);
+        let mode = StorageMode::from_tag(mode_byte[0], 8)?;
+        let count = (read_vu64(input)? as usize).min(1 << 32);
+        let mut ids = Vec::with_capacity(count.min(1 << 20));
+        let mut blobs = Vec::with_capacity(count.min(1 << 20));
+        let mut lens = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
-            let id_len = read_vu64(&mut input)? as usize;
-            let mut id = vec![0u8; id_len];
-            input.read_exact(&mut id)?;
+            let id_len = read_vu64(input)? as usize;
+            let id = read_exact_chunked(input, id_len)?;
             ids.push(
-                String::from_utf8(id)
-                    .map_err(|_| SeqError::CorruptPackedData("record id is not UTF-8"))?,
+                String::from_utf8(id).map_err(|_| SeqError::corrupt("record id is not UTF-8"))?,
             );
-            let blob_len = read_vu64(&mut input)? as usize;
+            let blob_len = read_vu64(input)? as usize;
             let offset = input.stream_position()?;
             // Base length: the blob size for ASCII; the packed header's
             // length field for direct coding.
@@ -318,7 +583,11 @@ impl OnDiskStore {
                 StorageMode::Ascii => blob_len as u32,
                 StorageMode::DirectCoding => {
                     if blob_len < 4 {
-                        return Err(SeqError::CorruptPackedData("packed blob too short"));
+                        return Err(SeqError::corrupt_at(
+                            "packed blob too short",
+                            "record",
+                            offset,
+                        ));
                     }
                     let mut len_bytes = [0u8; 4];
                     input.read_exact(&mut len_bytes)?;
@@ -329,14 +598,12 @@ impl OnDiskStore {
             lens.push(seq_len);
             input.seek(SeekFrom::Start(offset + blob_len as u64))?;
         }
-        Ok(OnDiskStore {
-            file: PositionalReader::new(input.into_inner()),
+        Ok(StoreLayout {
             mode,
             ids,
             blobs,
             lens,
-            bytes_read: Counter::new(),
-            records_read: Counter::new(),
+            crcs: None,
         })
     }
 
@@ -367,6 +634,13 @@ impl OnDiskStore {
         let (offset, len) = self.blobs[record as usize];
         let mut bytes = vec![0u8; len as usize];
         self.file.read_exact_at(&mut bytes, offset)?;
+        if let Some(crcs) = &self.crcs {
+            let expected = crcs[record as usize];
+            let actual = crc32(&bytes);
+            if actual != expected {
+                return Err(SeqError::checksum("record", offset, expected, actual));
+            }
+        }
         self.bytes_read.add(len as u64);
         self.records_read.inc();
         Ok(bytes)
@@ -403,17 +677,22 @@ impl RecordSource for OnDiskStore {
     }
 
     fn bases(&self, record: u32) -> Vec<Base> {
-        self.sequence(record)
-            .expect("store contents were validated at write time")
-            .representative_bases()
+        self.try_bases(record)
+            .expect("caller chose the panicking accessor; use try_bases on query paths")
+    }
+
+    fn try_bases(&self, record: u32) -> Result<Vec<Base>, SeqError> {
+        Ok(self.sequence(record)?.representative_bases())
     }
 
     fn sequence(&self, record: u32) -> Result<DnaSeq, SeqError> {
+        let (offset, _) = self.blobs[record as usize];
         let blob = self.fetch_blob(record)?;
-        match self.mode {
+        let decoded = match self.mode {
             StorageMode::Ascii => DnaSeq::from_ascii(&blob),
-            StorageMode::DirectCoding => Ok(PackedSeq::from_bytes(&blob)?.unpack()),
-        }
+            StorageMode::DirectCoding => PackedSeq::from_bytes(&blob).map(|p| p.unpack()),
+        };
+        decoded.map_err(|e| e.located("record", offset))
     }
 
     fn total_bases(&self) -> usize {
@@ -468,6 +747,13 @@ impl RecordSource for StoreVariant {
         }
     }
 
+    fn try_bases(&self, record: u32) -> Result<Vec<Base>, SeqError> {
+        match self {
+            StoreVariant::Memory(s) => RecordSource::try_bases(s, record),
+            StoreVariant::Disk(s) => RecordSource::try_bases(s, record),
+        }
+    }
+
     fn sequence(&self, record: u32) -> Result<DnaSeq, SeqError> {
         match self {
             StoreVariant::Memory(s) => RecordSource::sequence(s, record),
@@ -501,7 +787,7 @@ fn read_vu64(input: &mut impl Read) -> Result<u64, SeqError> {
             return Ok(value);
         }
     }
-    Err(SeqError::CorruptPackedData("store varint too long"))
+    Err(SeqError::corrupt("store varint too long"))
 }
 
 #[cfg(test)]
@@ -591,6 +877,39 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_round_trip() {
+        for (tag, mode) in [
+            ("v1a", StorageMode::Ascii),
+            ("v1p", StorageMode::DirectCoding),
+        ] {
+            let mut store = SequenceStore::new(mode);
+            for (id, seq) in sample() {
+                store.add(id, &seq);
+            }
+            let path = temp_path(tag);
+            store.write_to_v1(&path).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(&bytes[..8], MAGIC_V1);
+
+            let loaded = SequenceStore::read_from(&path).unwrap();
+            assert_eq!(loaded.mode(), mode);
+            let disk = OnDiskStore::open(&path).unwrap();
+            for record in 0..store.len() as u32 {
+                assert_eq!(loaded.id(record), store.id(record));
+                assert_eq!(
+                    loaded.sequence(record).unwrap(),
+                    store.sequence(record).unwrap()
+                );
+                assert_eq!(
+                    RecordSource::sequence(&disk, record).unwrap(),
+                    store.sequence(record).unwrap()
+                );
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
     fn persistence_rejects_corruption() {
         let mut store = SequenceStore::new(StorageMode::DirectCoding);
         for (id, seq) in sample() {
@@ -609,6 +928,46 @@ mod tests {
         };
         std::fs::write(&path, &good[..good.len() / 2]).unwrap();
         assert!(SequenceStore::read_from(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_payload_detected_with_offset() {
+        let mut store = SequenceStore::new(StorageMode::DirectCoding);
+        for (id, seq) in sample() {
+            store.add(id, &seq);
+        }
+        let path = temp_path("crc");
+        store.write_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1; // final payload byte: inside the last record
+        bytes[last] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match SequenceStore::read_from(&path) {
+            Err(SeqError::Corruption {
+                section, offset, ..
+            }) => {
+                assert_eq!(section, "record");
+                assert!(offset <= last as u64);
+            }
+            other => panic!("expected record corruption, got {other:?}"),
+        }
+
+        // The pread path opens fine (TOC intact) but must refuse the
+        // corrupt record the moment it is fetched — and keep serving
+        // intact records.
+        let disk = OnDiskStore::open(&path).unwrap();
+        let last_record = (RecordSource::len(&disk) - 1) as u32;
+        match RecordSource::sequence(&disk, last_record) {
+            Err(SeqError::Corruption { section, .. }) => assert_eq!(section, "record"),
+            other => panic!("expected fetch-time corruption, got {other:?}"),
+        }
+        assert!(RecordSource::try_bases(&disk, last_record).is_err());
+        assert_eq!(
+            RecordSource::sequence(&disk, 0).unwrap(),
+            store.sequence(0).unwrap()
+        );
         let _ = std::fs::remove_file(&path);
     }
 
@@ -656,6 +1015,10 @@ mod tests {
                     "mode {mode:?} record {record}"
                 );
                 assert_eq!(RecordSource::bases(&disk, record), store.bases(record));
+                assert_eq!(
+                    RecordSource::try_bases(&disk, record).unwrap(),
+                    store.bases(record)
+                );
             }
             let _ = std::fs::remove_file(&path);
         }

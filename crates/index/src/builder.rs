@@ -136,7 +136,12 @@ fn read_vu64(input: &mut impl Read) -> Result<Option<u64>, IndexError> {
     for group in 0..10u32 {
         match input.read(&mut byte)? {
             0 if group == 0 => return Ok(None), // clean EOF at a boundary
-            0 => return Err(IndexError::BadFormat("run file truncated mid-value")),
+            0 => {
+                return Err(IndexError::bad_in(
+                    "run file truncated mid-value",
+                    "run-file",
+                ))
+            }
             _ => {}
         }
         value |= ((byte[0] & 0x7f) as u64) << (7 * group);
@@ -144,7 +149,7 @@ fn read_vu64(input: &mut impl Read) -> Result<Option<u64>, IndexError> {
             return Ok(Some(value));
         }
     }
-    Err(IndexError::BadFormat("run file varint too long"))
+    Err(IndexError::bad_in("run file varint too long", "run-file"))
 }
 
 /// Spill one chunk's postings to a sorted run file.
@@ -216,24 +221,27 @@ impl RunReader {
             return Ok(());
         };
         if code_gap == 0 {
-            return Err(IndexError::BadFormat("zero code gap in run file"));
+            return Err(IndexError::bad_in("zero code gap in run file", "run-file"));
         }
         let code = self.prev_code + code_gap - 1;
         self.prev_code = code;
-        let n = read_vu64(&mut self.input)?
-            .ok_or(IndexError::BadFormat("run file truncated at pair count"))?
-            as usize;
+        let n = read_vu64(&mut self.input)?.ok_or(IndexError::bad_in(
+            "run file truncated at pair count",
+            "run-file",
+        ))? as usize;
         let mut pairs = Vec::with_capacity(n);
         let mut prev_record = 0u32;
         let mut prev_offset = 0u32;
         let mut first_of_record = true;
         for _ in 0..n {
-            let record_gap = read_vu64(&mut self.input)?
-                .ok_or(IndexError::BadFormat("run file truncated at record gap"))?
-                as u32;
-            let stored = read_vu64(&mut self.input)?
-                .ok_or(IndexError::BadFormat("run file truncated at offset"))?
-                as u32;
+            let record_gap = read_vu64(&mut self.input)?.ok_or(IndexError::bad_in(
+                "run file truncated at record gap",
+                "run-file",
+            ))? as u32;
+            let stored = read_vu64(&mut self.input)?.ok_or(IndexError::bad_in(
+                "run file truncated at offset",
+                "run-file",
+            ))? as u32;
             let record = prev_record + record_gap;
             if record_gap > 0 {
                 first_of_record = true;

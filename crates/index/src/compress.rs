@@ -70,7 +70,7 @@ impl ListCodec {
             3 => ListCodec::VByte,
             4 => ListCodec::Fixed,
             5 => ListCodec::Interp,
-            _ => return Err(IndexError::BadFormat("unknown list codec tag")),
+            _ => return Err(IndexError::bad_in("unknown list codec tag", "params")),
         })
     }
 
@@ -228,7 +228,7 @@ pub fn decode_postings_with<F: FnMut(u32, u32)>(
     for _ in 0..df {
         let record = (prev_record + 1 + gap_coder.decode(&mut r)? as i64) as u64;
         if record >= num_records as u64 {
-            return Err(IndexError::BadFormat("decoded record id out of range"));
+            return Err(IndexError::bad_format("decoded record id out of range"));
         }
         let record = record as u32;
         prev_record = record as i64;
@@ -236,14 +236,14 @@ pub fn decode_postings_with<F: FnMut(u32, u32)>(
         let count = count_coder.decode(&mut r)? + 1;
         let len = record_lens[record as usize] as u64;
         if count > len {
-            return Err(IndexError::BadFormat("offset count exceeds record length"));
+            return Err(IndexError::bad_format("offset count exceeds record length"));
         }
         let off_coder = codec.gap_coder(len.max(1), count);
         let mut prev_off: i64 = -1;
         for _ in 0..count {
             let off = prev_off + 1 + off_coder.decode(&mut r)? as i64;
             if off >= len as i64 {
-                return Err(IndexError::BadFormat("decoded offset out of range"));
+                return Err(IndexError::bad_format("decoded offset out of range"));
             }
             visit(record, off as u32);
             prev_off = off;
@@ -283,7 +283,7 @@ pub fn decode_counts_with<F: FnMut(u32, u32)>(
     for _ in 0..df {
         let record = (prev_record + 1 + gap_coder.decode(&mut r)? as i64) as u64;
         if record >= num_records as u64 {
-            return Err(IndexError::BadFormat("decoded record id out of range"));
+            return Err(IndexError::bad_format("decoded record id out of range"));
         }
         let record = record as u32;
         prev_record = record as i64;
@@ -291,7 +291,7 @@ pub fn decode_counts_with<F: FnMut(u32, u32)>(
         let count = count_coder.decode(&mut r)? + 1;
         let len = record_lens[record as usize] as u64;
         if count > len {
-            return Err(IndexError::BadFormat("offset count exceeds record length"));
+            return Err(IndexError::bad_format("offset count exceeds record length"));
         }
         if granularity == Granularity::Offsets {
             // Walk past the offsets without materialising them.
@@ -408,7 +408,7 @@ fn decode_postings_interp(
     use nucdb_codec::{interpolative_decode, Gamma, IntCodec};
     let mut r = BitReader::new(bytes);
     if num_records == 0 && df > 0 {
-        return Err(IndexError::BadFormat("postings in an empty collection"));
+        return Err(IndexError::bad_format("postings in an empty collection"));
     }
     let records = if df == 0 {
         Vec::new()
@@ -419,7 +419,7 @@ fn decode_postings_interp(
     for &record in &records {
         let count = Gamma.decode(&mut r)? + 1;
         if count > record_lens[record as usize].max(1) as u64 {
-            return Err(IndexError::BadFormat("offset count exceeds record length"));
+            return Err(IndexError::bad_format("offset count exceeds record length"));
         }
         counts.push(count as u32);
     }

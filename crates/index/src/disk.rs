@@ -9,18 +9,33 @@
 //! time (wall time alone understates the win on a machine whose page
 //! cache swallows the collection).
 //!
+//! Version 3 (current, written by [`write_index`]):
+//!
 //! ```text
-//! magic "NUCIDX02"
-//! k:u8  stride:v  stopping:(tag:u8 payload)  codec:u8  granularity:u8
-//! num_records:v  record_lens:v*
-//! vocab_count:v  (code_gap+1:v  len:v  df:v)*   — list offsets are cumulative
-//! blob_len:v  blob bytes
+//! magic "NUCIDX03"
+//! header_len:u32le  header_crc:u32le        — IEEE CRC-32 of the header bytes
+//! header bytes:
+//!   k:u8  stride:v  stopping:(tag:u8 payload)  codec:u8  granularity:u8
+//!   num_records:v  record_lens:v*
+//!   vocab_count:v  (code_gap+1:v  len:v  df:v  list_crc:v)*
+//!   blob_len:v                              — list offsets are cumulative
+//! blob bytes                                — each list covered by its list_crc
 //! ```
 //!
-//! (`v` = LEB128-style varint.)
+//! Version 2 (legacy, still loadable; [`write_index_v2`] kept for
+//! compatibility tests) is the same minus the length/CRC prefix and the
+//! per-list `list_crc` field, with magic `NUCIDX02`. (`v` = LEB128-style
+//! varint.)
+//!
+//! Every byte of a v3 file is covered by a checksum: the magic and
+//! prefix by the header CRC's span, the header by `header_crc`, and the
+//! blob (whose cumulative list extents cover it exactly) by the per-list
+//! CRCs — so any single corrupted byte is detected at load, and on the
+//! pread path the moment the affected list is fetched. Files are written
+//! through [`AtomicFile`], so a crashed build never leaves a torn index.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Seek, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 use nucdb_obs::{Counter, MetricsRegistry};
@@ -29,13 +44,18 @@ use crate::compress::{
     decode_counts_with, decode_postings, decode_postings_with, CompressedIndex, ListCodec,
     VocabEntry,
 };
+use crate::durable::{crc32, read_exact_chunked, AtomicFile, CountingReader};
 use crate::error::IndexError;
+use crate::fault::{FaultPlan, FaultyFile};
 use crate::interval::IndexParams;
 use crate::postings::PostingsList;
 use crate::pread::PositionalReader;
 use crate::stopping::StopPolicy;
 
-const MAGIC: &[u8; 8] = b"NUCIDX02";
+const MAGIC_V3: &[u8; 8] = b"NUCIDX03";
+const MAGIC_V2: &[u8; 8] = b"NUCIDX02";
+/// Bytes before the header in a v3 file: magic + header_len + header_crc.
+const V3_PREFIX_LEN: u64 = 16;
 
 fn write_vu64(out: &mut impl Write, mut value: u64) -> std::io::Result<()> {
     while value >= 0x80 {
@@ -45,19 +65,33 @@ fn write_vu64(out: &mut impl Write, mut value: u64) -> std::io::Result<()> {
     out.write_all(&[value as u8])
 }
 
-fn read_vu64(input: &mut impl Read) -> Result<u64, IndexError> {
+/// Read one varint, reporting truncation/overlength against `section` at
+/// the absolute file offset `base + input.pos()`.
+fn read_vu64<R: Read>(
+    input: &mut CountingReader<R>,
+    base: u64,
+    section: &'static str,
+) -> Result<u64, IndexError> {
     let mut value = 0u64;
     let mut byte = [0u8; 1];
     for group in 0..10u32 {
         if input.read(&mut byte)? == 0 {
-            return Err(IndexError::BadFormat("index file truncated mid-varint"));
+            return Err(IndexError::bad_at(
+                "index file truncated mid-varint",
+                section,
+                base + input.pos(),
+            ));
         }
         value |= ((byte[0] & 0x7f) as u64) << (7 * group);
         if byte[0] & 0x80 == 0 {
             return Ok(value);
         }
     }
-    Err(IndexError::BadFormat("index file varint too long"))
+    Err(IndexError::bad_at(
+        "index file varint too long",
+        section,
+        base + input.pos(),
+    ))
 }
 
 fn write_stopping(out: &mut impl Write, stopping: &Option<StopPolicy>) -> std::io::Result<()> {
@@ -78,51 +112,101 @@ fn write_stopping(out: &mut impl Write, stopping: &Option<StopPolicy>) -> std::i
     }
 }
 
-fn read_stopping(input: &mut impl Read) -> Result<Option<StopPolicy>, IndexError> {
+fn read_stopping<R: Read>(
+    input: &mut CountingReader<R>,
+    base: u64,
+) -> Result<Option<StopPolicy>, IndexError> {
     let mut tag = [0u8; 1];
     input.read_exact(&mut tag)?;
     Ok(match tag[0] {
         0 => None,
-        1 => Some(StopPolicy::DfFraction(f64::from_bits(read_vu64(input)?))),
+        1 => Some(StopPolicy::DfFraction(f64::from_bits(read_vu64(
+            input, base, "params",
+        )?))),
         2 => {
-            let n = read_vu64(input)?;
-            Some(StopPolicy::DfAbsolute(
-                u32::try_from(n).map_err(|_| IndexError::BadFormat("df limit overflow"))?,
+            let n = read_vu64(input, base, "params")?;
+            Some(StopPolicy::DfAbsolute(u32::try_from(n).map_err(|_| {
+                IndexError::bad_at("df limit overflow", "params", base + input.pos())
+            })?))
+        }
+        3 => Some(StopPolicy::TopK(read_vu64(input, base, "params")? as usize)),
+        _ => {
+            return Err(IndexError::bad_at(
+                "unknown stopping tag",
+                "params",
+                base + input.pos(),
             ))
         }
-        3 => Some(StopPolicy::TopK(read_vu64(input)? as usize)),
-        _ => return Err(IndexError::BadFormat("unknown stopping tag")),
     })
 }
 
-/// Serialize a [`CompressedIndex`] to `path`.
-pub fn write_index(index: &CompressedIndex, path: &Path) -> Result<(), IndexError> {
-    let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(MAGIC)?;
+/// Serialize the header fields shared by v2 and v3. When `with_crcs` is
+/// set, each vocabulary entry carries the CRC-32 of its list bytes.
+fn encode_header_fields(
+    out: &mut Vec<u8>,
+    index: &CompressedIndex,
+    with_crcs: bool,
+) -> Result<(), IndexError> {
     let params = index.params();
-    out.write_all(&[params.k as u8])?;
-    write_vu64(&mut out, params.stride as u64)?;
-    write_stopping(&mut out, &params.stopping)?;
-    out.write_all(&[index.codec().tag()])?;
-    out.write_all(&[params.granularity.tag()])?;
+    out.push(params.k as u8);
+    write_vu64(out, params.stride as u64)?;
+    write_stopping(out, &params.stopping)?;
+    out.push(index.codec().tag());
+    out.push(params.granularity.tag());
 
-    write_vu64(&mut out, index.num_records() as u64)?;
+    write_vu64(out, index.num_records() as u64)?;
     for &len in index.record_lens() {
-        write_vu64(&mut out, len as u64)?;
+        write_vu64(out, len as u64)?;
     }
 
-    write_vu64(&mut out, index.vocab().len() as u64)?;
+    write_vu64(out, index.vocab().len() as u64)?;
+    let blob = index.blob();
     let mut prev_code = 0u64;
     for entry in index.vocab() {
-        write_vu64(&mut out, entry.code - prev_code + 1)?;
+        write_vu64(out, entry.code - prev_code + 1)?;
         prev_code = entry.code;
-        write_vu64(&mut out, entry.len as u64)?;
-        write_vu64(&mut out, entry.df as u64)?;
+        write_vu64(out, entry.len as u64)?;
+        write_vu64(out, entry.df as u64)?;
+        if with_crcs {
+            let list = &blob[entry.offset as usize..][..entry.len as usize];
+            write_vu64(out, crc32(list) as u64)?;
+        }
     }
 
-    write_vu64(&mut out, index.blob().len() as u64)?;
+    write_vu64(out, blob.len() as u64)?;
+    Ok(())
+}
+
+/// Serialize a [`CompressedIndex`] to `path` in the current (v3) format,
+/// atomically: the file is staged in a temp file, `fsync`ed, and renamed
+/// into place, so a crash mid-write never leaves a torn index.
+pub fn write_index(index: &CompressedIndex, path: &Path) -> Result<(), IndexError> {
+    let mut header = Vec::new();
+    encode_header_fields(&mut header, index, true)?;
+    let header_len = u32::try_from(header.len())
+        .map_err(|_| IndexError::Unsupported("index header exceeds 4 GiB"))?;
+
+    let mut out = AtomicFile::create(path)?;
+    out.write_all(MAGIC_V3)?;
+    out.write_all(&header_len.to_le_bytes())?;
+    out.write_all(&crc32(&header).to_le_bytes())?;
+    out.write_all(&header)?;
     out.write_all(index.blob())?;
-    out.flush()?;
+    out.commit()?;
+    Ok(())
+}
+
+/// Serialize a [`CompressedIndex`] to `path` in the legacy v2 format
+/// (no checksums). Kept so compatibility tests can produce the files the
+/// previous release wrote; new code should use [`write_index`].
+pub fn write_index_v2(index: &CompressedIndex, path: &Path) -> Result<(), IndexError> {
+    let mut header = Vec::new();
+    encode_header_fields(&mut header, index, false)?;
+    let mut out = AtomicFile::create(path)?;
+    out.write_all(MAGIC_V2)?;
+    out.write_all(&header)?;
+    out.write_all(index.blob())?;
+    out.commit()?;
     Ok(())
 }
 
@@ -132,60 +216,93 @@ struct Header {
     codec: ListCodec,
     record_lens: Vec<u32>,
     vocab: Vec<VocabEntry>,
+    /// Per-list CRC-32s, parallel to `vocab`. `None` for legacy v2 files,
+    /// which carry no checksums — those load without verification.
+    list_crcs: Option<Vec<u32>>,
     blob_len: u64,
     /// Byte position of the blob within the file.
     blob_start: u64,
 }
 
-fn read_header(input: &mut BufReader<File>) -> Result<Header, IndexError> {
-    let mut magic = [0u8; 8];
-    input.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(IndexError::BadFormat("bad magic"));
-    }
+/// Parse the fields shared by v2 and v3. `base` is the absolute file
+/// offset of `input`'s first byte, used to locate violations. The
+/// returned header's `blob_start` is a placeholder the caller fills in.
+fn read_header_fields<R: Read>(
+    input: &mut CountingReader<R>,
+    base: u64,
+    with_crcs: bool,
+) -> Result<Header, IndexError> {
     let mut small = [0u8; 1];
     input.read_exact(&mut small)?;
     let k = small[0] as usize;
     if !(1..=32).contains(&k) {
-        return Err(IndexError::BadFormat("interval length out of range"));
+        return Err(IndexError::bad_at(
+            "interval length out of range",
+            "params",
+            base + input.pos(),
+        ));
     }
-    let stride = read_vu64(input)? as usize;
+    let stride = read_vu64(input, base, "params")? as usize;
     if stride == 0 {
-        return Err(IndexError::BadFormat("zero stride"));
+        return Err(IndexError::bad_at(
+            "zero stride",
+            "params",
+            base + input.pos(),
+        ));
     }
-    let stopping = read_stopping(input)?;
+    let stopping = read_stopping(input, base)?;
     input.read_exact(&mut small)?;
     let codec = ListCodec::from_tag(small[0])?;
     input.read_exact(&mut small)?;
     let granularity = crate::interval::Granularity::from_tag(small[0])?;
 
-    let num_records = read_vu64(input)?;
+    let num_records = read_vu64(input, base, "record-lens")?;
     if num_records > u32::MAX as u64 {
-        return Err(IndexError::BadFormat("record count overflow"));
+        return Err(IndexError::bad_at(
+            "record count overflow",
+            "record-lens",
+            base + input.pos(),
+        ));
     }
-    let mut record_lens = Vec::with_capacity(num_records as usize);
+    // Cap the up-front allocation: `num_records` is untrusted on the v2
+    // path (no checksum), and a corrupt count must fail with a clean
+    // parse error rather than an OOM abort.
+    let mut record_lens = Vec::with_capacity((num_records as usize).min(1 << 20));
     for _ in 0..num_records {
         record_lens.push(
-            u32::try_from(read_vu64(input)?)
-                .map_err(|_| IndexError::BadFormat("record length overflow"))?,
+            u32::try_from(read_vu64(input, base, "record-lens")?).map_err(|_| {
+                IndexError::bad_at("record length overflow", "record-lens", base + input.pos())
+            })?,
         );
     }
 
-    let vocab_count = read_vu64(input)?;
-    let mut vocab = Vec::with_capacity(vocab_count as usize);
+    let vocab_count = read_vu64(input, base, "vocabulary")?;
+    let mut vocab = Vec::with_capacity((vocab_count as usize).min(1 << 20));
+    let mut list_crcs = with_crcs.then(|| Vec::with_capacity((vocab_count as usize).min(1 << 20)));
     let mut prev_code = 0u64;
     let mut offset = 0u64;
     for _ in 0..vocab_count {
-        let gap = read_vu64(input)?;
+        let gap = read_vu64(input, base, "vocabulary")?;
         if gap == 0 {
-            return Err(IndexError::BadFormat("zero code gap"));
+            return Err(IndexError::bad_at(
+                "zero code gap",
+                "vocabulary",
+                base + input.pos(),
+            ));
         }
         let code = prev_code + gap - 1;
         prev_code = code;
-        let len = u32::try_from(read_vu64(input)?)
-            .map_err(|_| IndexError::BadFormat("list length overflow"))?;
-        let df =
-            u32::try_from(read_vu64(input)?).map_err(|_| IndexError::BadFormat("df overflow"))?;
+        let len = u32::try_from(read_vu64(input, base, "vocabulary")?).map_err(|_| {
+            IndexError::bad_at("list length overflow", "vocabulary", base + input.pos())
+        })?;
+        let df = u32::try_from(read_vu64(input, base, "vocabulary")?)
+            .map_err(|_| IndexError::bad_at("df overflow", "vocabulary", base + input.pos()))?;
+        if let Some(crcs) = &mut list_crcs {
+            let crc = u32::try_from(read_vu64(input, base, "vocabulary")?).map_err(|_| {
+                IndexError::bad_at("list checksum overflow", "vocabulary", base + input.pos())
+            })?;
+            crcs.push(crc);
+        }
         vocab.push(VocabEntry {
             code,
             offset,
@@ -195,13 +312,14 @@ fn read_header(input: &mut BufReader<File>) -> Result<Header, IndexError> {
         offset += len as u64;
     }
 
-    let blob_len = read_vu64(input)?;
+    let blob_len = read_vu64(input, base, "blob")?;
     if blob_len != offset {
-        return Err(IndexError::BadFormat(
+        return Err(IndexError::bad_at(
             "blob length disagrees with vocabulary",
+            "blob",
+            base + input.pos(),
         ));
     }
-    let blob_start = input.stream_position()?;
 
     let mut params = IndexParams::new(k)
         .with_stride(stride)
@@ -212,17 +330,82 @@ fn read_header(input: &mut BufReader<File>) -> Result<Header, IndexError> {
         codec,
         record_lens,
         vocab,
+        list_crcs,
         blob_len,
-        blob_start,
+        blob_start: 0,
     })
 }
 
-/// Load a whole index file into memory.
-pub fn load_index(path: &Path) -> Result<CompressedIndex, IndexError> {
-    let mut input = BufReader::new(File::open(path)?);
+fn read_header<R: Read>(input: &mut CountingReader<R>) -> Result<Header, IndexError> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    match &magic {
+        m if m == MAGIC_V2 => {
+            let mut header = read_header_fields(input, 0, false)?;
+            header.blob_start = input.pos();
+            Ok(header)
+        }
+        m if m == MAGIC_V3 => {
+            let mut word = [0u8; 4];
+            input.read_exact(&mut word)?;
+            let header_len = u32::from_le_bytes(word) as usize;
+            input.read_exact(&mut word)?;
+            let expected = u32::from_le_bytes(word);
+            let header_bytes = read_exact_chunked(input, header_len)?;
+            let actual = crc32(&header_bytes);
+            if actual != expected {
+                return Err(IndexError::checksum(
+                    "header",
+                    V3_PREFIX_LEN,
+                    expected,
+                    actual,
+                ));
+            }
+            // The bytes are authenticated; parse errors past this point
+            // would indicate a writer bug, but report them properly anyway.
+            let mut fields = CountingReader::new(&header_bytes[..]);
+            let mut header = read_header_fields(&mut fields, V3_PREFIX_LEN, true)?;
+            if fields.pos() != header_len as u64 {
+                return Err(IndexError::bad_at(
+                    "trailing bytes in header",
+                    "header",
+                    V3_PREFIX_LEN + fields.pos(),
+                ));
+            }
+            header.blob_start = V3_PREFIX_LEN + header_len as u64;
+            Ok(header)
+        }
+        _ => Err(IndexError::bad_at("bad magic", "magic", 0)),
+    }
+}
+
+/// Verify every list in a fully loaded blob against the header's per-list
+/// CRCs (no-op for v2 headers, which carry none).
+fn verify_blob(header: &Header, blob: &[u8]) -> Result<(), IndexError> {
+    if let Some(crcs) = &header.list_crcs {
+        for (entry, &expected) in header.vocab.iter().zip(crcs) {
+            let list = &blob[entry.offset as usize..][..entry.len as usize];
+            let actual = crc32(list);
+            if actual != expected {
+                return Err(IndexError::checksum(
+                    "list",
+                    header.blob_start + entry.offset,
+                    expected,
+                    actual,
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Load a whole index from any byte stream (v3 or legacy v2). On v3
+/// every byte is checksum-verified before the index is returned.
+pub fn load_index_from(reader: impl Read) -> Result<CompressedIndex, IndexError> {
+    let mut input = CountingReader::new(reader);
     let header = read_header(&mut input)?;
-    let mut blob = vec![0u8; header.blob_len as usize];
-    input.read_exact(&mut blob)?;
+    let blob = read_exact_chunked(&mut input, header.blob_len as usize)?;
+    verify_blob(&header, &blob)?;
     Ok(CompressedIndex::from_parts(
         header.params,
         header.codec,
@@ -232,37 +415,65 @@ pub fn load_index(path: &Path) -> Result<CompressedIndex, IndexError> {
     ))
 }
 
+/// Load a whole index file into memory.
+pub fn load_index(path: &Path) -> Result<CompressedIndex, IndexError> {
+    load_index_from(BufReader::new(File::open(path)?))
+}
+
 /// An index whose postings stay on disk: the vocabulary and record-length
 /// table are memory-resident, each list is fetched with one positional
 /// read (`pread`-style, no shared cursor) when asked for. All methods take
 /// `&self` and concurrent fetches from multiple threads proceed without
 /// contention; the I/O counters are atomics.
+///
+/// On v3 files every fetched list is verified against its stored CRC-32;
+/// a mismatch surfaces as [`IndexError::Corruption`] naming the file
+/// offset, and no decoded (potentially wrong) postings escape.
 pub struct OnDiskIndex {
     file: PositionalReader,
     params: IndexParams,
     codec: ListCodec,
     record_lens: Vec<u32>,
     vocab: Vec<VocabEntry>,
+    list_crcs: Option<Vec<u32>>,
     blob_start: u64,
     bytes_read: Counter,
     lists_read: Counter,
 }
 
 impl OnDiskIndex {
-    /// Open an index file written by [`write_index`].
+    /// Open an index file written by [`write_index`] (or a legacy v2
+    /// file, which loads without checksum verification).
     pub fn open(path: &Path) -> Result<OnDiskIndex, IndexError> {
-        let mut input = BufReader::new(File::open(path)?);
+        let mut input = CountingReader::new(BufReader::new(File::open(path)?));
         let header = read_header(&mut input)?;
-        Ok(OnDiskIndex {
-            file: PositionalReader::new(input.into_inner()),
+        let file = PositionalReader::new(input.into_inner().into_inner());
+        Ok(OnDiskIndex::from_header(header, file))
+    }
+
+    /// Open like [`OnDiskIndex::open`], but serve all postings reads
+    /// through a deterministic fault-injection shim. The header is parsed
+    /// from the pristine file; only the pread path sees `plan`'s faults.
+    /// This is the durability-test entry point.
+    pub fn open_faulty(path: &Path, plan: FaultPlan) -> Result<OnDiskIndex, IndexError> {
+        let mut input = CountingReader::new(BufReader::new(File::open(path)?));
+        let header = read_header(&mut input)?;
+        let file = PositionalReader::faulty(FaultyFile::from_path(path, plan)?);
+        Ok(OnDiskIndex::from_header(header, file))
+    }
+
+    fn from_header(header: Header, file: PositionalReader) -> OnDiskIndex {
+        OnDiskIndex {
+            file,
             params: header.params,
             codec: header.codec,
             record_lens: header.record_lens,
             vocab: header.vocab,
+            list_crcs: header.list_crcs,
             blob_start: header.blob_start,
             bytes_read: Counter::new(),
             lists_read: Counter::new(),
-        })
+        }
     }
 
     /// Index parameters.
@@ -293,33 +504,51 @@ impl OnDiskIndex {
     /// Document frequency of `code` (0 if absent) — answered from the
     /// in-memory vocabulary, no I/O.
     pub fn df(&self, code: u64) -> u32 {
-        self.entry(code).map_or(0, |e| e.df)
+        self.entry(code).map_or(0, |(_, e)| e.df)
     }
 
-    fn entry(&self, code: u64) -> Option<&VocabEntry> {
+    fn entry(&self, code: u64) -> Option<(usize, &VocabEntry)> {
         self.vocab
             .binary_search_by_key(&code, |e| e.code)
             .ok()
-            .map(|idx| &self.vocab[idx])
+            .map(|idx| (idx, &self.vocab[idx]))
     }
 
     /// Fetch the raw list bytes for a vocab entry into a caller-provided
     /// buffer (one positional read, no lock, no allocation once the buffer
-    /// has grown to the working-set maximum).
-    fn fetch_bytes_into(&self, entry: &VocabEntry, buf: &mut Vec<u8>) -> Result<(), IndexError> {
+    /// has grown to the working-set maximum), then verify them against the
+    /// stored checksum when the file carries one.
+    fn fetch_bytes_into(
+        &self,
+        idx: usize,
+        entry: &VocabEntry,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), IndexError> {
         buf.clear();
         buf.resize(entry.len as usize, 0);
         self.file
             .read_exact_at(buf, self.blob_start + entry.offset)?;
+        if let Some(crcs) = &self.list_crcs {
+            let expected = crcs[idx];
+            let actual = crc32(buf);
+            if actual != expected {
+                return Err(IndexError::checksum(
+                    "list",
+                    self.blob_start + entry.offset,
+                    expected,
+                    actual,
+                ));
+            }
+        }
         self.bytes_read.add(entry.len as u64);
         self.lists_read.inc();
         Ok(())
     }
 
     /// Fetch the raw list bytes for a vocab entry (one positional read).
-    fn fetch_bytes(&self, entry: &VocabEntry) -> Result<Vec<u8>, IndexError> {
+    fn fetch_bytes(&self, idx: usize, entry: &VocabEntry) -> Result<Vec<u8>, IndexError> {
         let mut bytes = Vec::new();
-        self.fetch_bytes_into(entry, &mut bytes)?;
+        self.fetch_bytes_into(idx, entry, &mut bytes)?;
         Ok(bytes)
     }
 
@@ -331,10 +560,10 @@ impl OnDiskIndex {
                 "record-granularity index stores no offsets",
             ));
         }
-        let Some(entry) = self.entry(code) else {
+        let Some((idx, entry)) = self.entry(code) else {
             return Ok(None);
         };
-        let bytes = self.fetch_bytes(entry)?;
+        let bytes = self.fetch_bytes(idx, entry)?;
         decode_postings(
             &bytes,
             entry.df,
@@ -360,10 +589,10 @@ impl OnDiskIndex {
                 "record-granularity index stores no offsets",
             ));
         }
-        let Some(entry) = self.entry(code) else {
+        let Some((idx, entry)) = self.entry(code) else {
             return Ok(None);
         };
-        self.fetch_bytes_into(entry, io_buf)?;
+        self.fetch_bytes_into(idx, entry, io_buf)?;
         decode_postings_with(
             io_buf,
             entry.df,
@@ -378,10 +607,10 @@ impl OnDiskIndex {
     /// Fetch and decode `(record, count)` pairs for `code` (either
     /// granularity).
     pub fn counts(&self, code: u64) -> Result<Option<Vec<(u32, u32)>>, IndexError> {
-        let Some(entry) = self.entry(code) else {
+        let Some((idx, entry)) = self.entry(code) else {
             return Ok(None);
         };
-        let bytes = self.fetch_bytes(entry)?;
+        let bytes = self.fetch_bytes(idx, entry)?;
         crate::compress::decode_counts(
             &bytes,
             entry.df,
@@ -402,10 +631,10 @@ impl OnDiskIndex {
         io_buf: &mut Vec<u8>,
         visit: F,
     ) -> Result<Option<u32>, IndexError> {
-        let Some(entry) = self.entry(code) else {
+        let Some((idx, entry)) = self.entry(code) else {
             return Ok(None);
         };
-        self.fetch_bytes_into(entry, io_buf)?;
+        self.fetch_bytes_into(idx, entry, io_buf)?;
         decode_counts_with(
             io_buf,
             entry.df,
@@ -486,6 +715,29 @@ mod tests {
         assert_eq!(loaded.record_lens(), index.record_lens());
         assert_eq!(loaded.vocab(), index.vocab());
         assert_eq!(loaded.blob(), index.blob());
+    }
+
+    #[test]
+    fn legacy_v2_round_trip() {
+        let index = build_sample(51, IndexParams::new(8));
+        let path = temp_path("v2rt");
+        write_index_v2(&index, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..8], MAGIC_V2);
+
+        let loaded = load_index(&path).unwrap();
+        assert_eq!(loaded.params(), index.params());
+        assert_eq!(loaded.vocab(), index.vocab());
+        assert_eq!(loaded.blob(), index.blob());
+
+        let disk = OnDiskIndex::open(&path).unwrap();
+        for entry in index.vocab().iter().step_by(11) {
+            assert_eq!(
+                disk.postings(entry.code).unwrap().unwrap(),
+                index.postings(entry.code).unwrap().unwrap()
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -616,6 +868,59 @@ mod tests {
         bytes[0] = b'X';
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(load_index(&path), Err(IndexError::BadFormat(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_header_detected_by_crc() {
+        let index = build_sample(49, IndexParams::new(6));
+        let path = temp_path("hcrc");
+        write_index(&index, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // First header byte (after the 16-byte prefix) is `k`.
+        bytes[16] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_index(&path) {
+            Err(IndexError::Corruption { section, .. }) => assert_eq!(section, "header"),
+            other => panic!("expected header corruption, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_list_detected_on_load_and_on_fetch() {
+        let index = build_sample(50, IndexParams::new(6));
+        let path = temp_path("lcrc");
+        write_index(&index, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1; // final blob byte: inside the last list
+        bytes[last] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match load_index(&path) {
+            Err(IndexError::Corruption {
+                section, offset, ..
+            }) => {
+                assert_eq!(section, "list");
+                assert!(offset <= last as u64);
+            }
+            other => panic!("expected list corruption, got {other:?}"),
+        }
+
+        // The pread path opens fine (header intact) but must refuse the
+        // corrupt list the moment it is fetched.
+        let disk = OnDiskIndex::open(&path).unwrap();
+        let last_entry = index.vocab().last().unwrap();
+        match disk.counts(last_entry.code) {
+            Err(IndexError::Corruption { section, .. }) => assert_eq!(section, "list"),
+            other => panic!("expected fetch-time corruption, got {other:?}"),
+        }
+        // Untouched lists still fetch and decode.
+        let first_entry = index.vocab().first().unwrap();
+        assert_eq!(
+            disk.counts(first_entry.code).unwrap(),
+            index.counts(first_entry.code).unwrap()
+        );
         let _ = std::fs::remove_file(&path);
     }
 

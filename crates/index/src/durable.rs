@@ -1,0 +1,321 @@
+//! Durability primitives shared by the on-disk formats.
+//!
+//! Three small, dependency-free building blocks:
+//!
+//! - [`Crc32`] / [`crc32`]: the standard IEEE CRC-32 (the polynomial used
+//!   by gzip, zip, and PNG), hand-rolled because the workspace builds
+//!   with no registry access. Every versioned file format checksums its
+//!   header with it, and v3 formats carry per-section checksums too.
+//! - [`CountingReader`] / [`read_exact_chunked`]: streaming-parse
+//!   helpers. The counter lets parsers report the *file offset* of a
+//!   violation without requiring `Seek`; chunked reading lets loaders
+//!   allocate from untrusted length fields without risking a
+//!   multi-gigabyte `Vec` from a corrupt 8-byte varint.
+//! - [`AtomicFile`]: write-to-temp + `fsync` + atomic-rename
+//!   persistence, so an interrupted build or append can never leave a
+//!   torn file at the destination path — readers see either the old
+//!   complete file or the new complete file, nothing in between.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental IEEE CRC-32 hasher.
+///
+/// ```
+/// use nucdb_index::durable::{crc32, Crc32};
+/// let mut h = Crc32::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finish(), crc32(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feed `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Counting / bounded readers
+// ---------------------------------------------------------------------------
+
+/// A [`Read`] adapter that tracks how many bytes have been consumed, so
+/// streaming parsers can report the file offset of a violation without
+/// requiring `Seek` on the source (which would rule out pipes, faulty
+/// shims, and in-memory slices).
+#[derive(Debug)]
+pub struct CountingReader<R> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    /// Wrap `inner`, starting the byte counter at zero.
+    pub fn new(inner: R) -> CountingReader<R> {
+        CountingReader { inner, pos: 0 }
+    }
+
+    /// Bytes consumed from `inner` so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Unwrap the underlying reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// Read exactly `len` bytes into a fresh `Vec`, growing it in bounded
+/// chunks. `len` typically comes from an *untrusted* length field in a
+/// file header; chunked growth means a corrupt length fails with
+/// `UnexpectedEof` after at most one wasted chunk instead of attempting
+/// a huge up-front allocation (which aborts the process on OOM — a
+/// durability violation in its own right).
+pub fn read_exact_chunked<R: Read>(reader: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    const CHUNK: usize = 64 * 1024;
+    let mut out = Vec::with_capacity(len.min(CHUNK));
+    while out.len() < len {
+        let take = (len - out.len()).min(CHUNK);
+        let start = out.len();
+        out.resize(start + take, 0);
+        reader.read_exact(&mut out[start..])?;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Atomic persistence
+// ---------------------------------------------------------------------------
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A buffered writer that makes the destination file appear atomically.
+///
+/// Bytes go to a uniquely named temporary file in the *same directory*
+/// as the destination (rename is only atomic within a filesystem). On
+/// [`commit`](AtomicFile::commit) the data is flushed and `fsync`ed,
+/// the temp file is renamed over the destination, and (on unix) the
+/// parent directory is `fsync`ed so the rename itself survives a crash.
+/// If the `AtomicFile` is dropped without committing — including via
+/// `?` on a write error — the temp file is removed and the destination
+/// is left untouched.
+#[derive(Debug)]
+pub struct AtomicFile {
+    out: Option<BufWriter<File>>,
+    tmp: PathBuf,
+    dest: PathBuf,
+}
+
+impl AtomicFile {
+    /// Start writing a new version of `dest`.
+    pub fn create(dest: &Path) -> io::Result<AtomicFile> {
+        let nonce = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let mut tmp_name = dest
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "out".into());
+        tmp_name.push(format!(".tmp.{}.{}", std::process::id(), nonce));
+        let tmp = dest.with_file_name(tmp_name);
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile {
+            out: Some(BufWriter::new(file)),
+            tmp,
+            dest: dest.to_path_buf(),
+        })
+    }
+
+    /// Flush, `fsync`, and atomically rename the temp file over the
+    /// destination. Consumes the writer; after this returns `Ok`, the
+    /// complete new file is visible at the destination path.
+    pub fn commit(mut self) -> io::Result<()> {
+        let out = self.out.take().expect("commit called once by construction");
+        let file = out.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.dest)?;
+        #[cfg(unix)]
+        if let Some(parent) = self.dest.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            if let Ok(d) = File::open(dir) {
+                d.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.out
+            .as_mut()
+            .expect("write before commit by construction")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out
+            .as_mut()
+            .expect("flush before commit by construction")
+            .flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.out.take().is_some() {
+            // Not committed: discard the partial temp file.
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values from the IEEE CRC-32 used by gzip/zip/PNG.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i * 7 + 3) as u8).collect();
+        for split in [0, 1, 13, 500, 999, 1000] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), crc32(&data));
+        }
+    }
+
+    #[test]
+    fn counting_reader_tracks_position() {
+        let data = vec![7u8; 100];
+        let mut r = CountingReader::new(&data[..]);
+        let mut buf = [0u8; 30];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(r.pos(), 30);
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(r.pos(), 60);
+    }
+
+    #[test]
+    fn chunked_read_handles_lying_lengths() {
+        let data = vec![1u8; 100];
+        // Claimed length far beyond what the source holds: clean EOF error,
+        // no giant allocation.
+        let err = read_exact_chunked(&mut &data[..], usize::MAX / 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Exact length round-trips.
+        assert_eq!(read_exact_chunked(&mut &data[..], 100).unwrap(), data);
+        // Multi-chunk length round-trips.
+        let big = vec![9u8; 200_000];
+        assert_eq!(read_exact_chunked(&mut &big[..], big.len()).unwrap(), big);
+    }
+
+    #[test]
+    fn atomic_file_commit_and_abandon() {
+        let dir = std::env::temp_dir().join(format!("nucdb_durable_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("target.bin");
+
+        // Commit path: file appears with full contents.
+        let mut w = AtomicFile::create(&dest).unwrap();
+        w.write_all(b"generation-1").unwrap();
+        w.commit().unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"generation-1");
+
+        // Abandon path: destination untouched, temp cleaned up.
+        let mut w = AtomicFile::create(&dest).unwrap();
+        w.write_all(b"partial garbage").unwrap();
+        drop(w);
+        assert_eq!(std::fs::read(&dest).unwrap(), b"generation-1");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("target.bin")]);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -44,8 +44,9 @@ impl Granularity {
             0 => Granularity::Offsets,
             1 => Granularity::Records,
             _ => {
-                return Err(crate::error::IndexError::BadFormat(
+                return Err(crate::error::IndexError::bad_in(
                     "unknown granularity tag",
+                    "params",
                 ))
             }
         })

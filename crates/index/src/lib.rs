@@ -23,7 +23,11 @@
 //!   on demand with lock-free positional reads, tracking bytes read (the
 //!   paper's disk-cost story).
 //! * [`pread`] — the positional-read primitive shared by the on-disk
-//!   index and store.
+//!   index and store, with bounded retry of transient errors.
+//! * [`durable`] — durability primitives: CRC-32, bounded streaming
+//!   reads, and write-to-temp + fsync + atomic-rename persistence.
+//! * [`fault`] — deterministic I/O fault injection (short reads,
+//!   transient errors, bit flips, truncation) for durability tests.
 //! * [`stats`] — size accounting used by experiments E1/E4/E5.
 //!
 //! Decoding comes in two shapes: materialising (`decode_postings`,
@@ -36,7 +40,9 @@
 pub mod builder;
 pub mod compress;
 pub mod disk;
+pub mod durable;
 pub mod error;
+pub mod fault;
 pub mod interval;
 pub mod merge;
 pub mod postings;
@@ -49,11 +55,13 @@ pub use compress::{
     decode_counts, decode_counts_with, decode_postings, decode_postings_with, encode_postings,
     CompressedIndex, ListCodec, VocabEntry,
 };
-pub use disk::{load_index, write_index, OnDiskIndex};
-pub use error::IndexError;
+pub use disk::{load_index, load_index_from, write_index, write_index_v2, OnDiskIndex};
+pub use durable::{crc32, AtomicFile, CountingReader, Crc32};
+pub use error::{FormatViolation, IndexError};
+pub use fault::{FaultPlan, FaultyFile, FaultyReader};
 pub use interval::{Granularity, IndexParams};
 pub use merge::{apply_stopping, merge_indexes};
 pub use postings::{Posting, PostingsList};
-pub use pread::PositionalReader;
+pub use pread::{PositionalReader, TRANSIENT_RETRY_LIMIT};
 pub use stats::IndexStats;
 pub use stopping::StopPolicy;

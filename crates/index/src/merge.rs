@@ -25,15 +25,15 @@ pub fn merge_indexes(
     b: &CompressedIndex,
 ) -> Result<CompressedIndex, IndexError> {
     if a.params().k != b.params().k || a.params().stride != b.params().stride {
-        return Err(IndexError::BadFormat(
+        return Err(IndexError::Unsupported(
             "merge inputs disagree on interval parameters",
         ));
     }
     if a.codec() != b.codec() {
-        return Err(IndexError::BadFormat("merge inputs disagree on codec"));
+        return Err(IndexError::Unsupported("merge inputs disagree on codec"));
     }
     if a.params().stopping.is_some() || b.params().stopping.is_some() {
-        return Err(IndexError::BadFormat(
+        return Err(IndexError::Unsupported(
             "merge inputs must be unstopped; apply stopping after merging",
         ));
     }
@@ -108,7 +108,7 @@ pub fn apply_stopping(
     policy: StopPolicy,
 ) -> Result<CompressedIndex, IndexError> {
     if index.params().stopping.is_some() {
-        return Err(IndexError::BadFormat("index is already stopped"));
+        return Err(IndexError::Unsupported("index is already stopped"));
     }
     let limit = policy.df_limit(index.num_records(), index.vocab().iter().map(|e| e.df));
     let lists: Vec<(u64, PostingsList)> = index

@@ -1,4 +1,4 @@
-//! Lock-free positional file reads.
+//! Lock-free positional file reads with bounded transient-error retry.
 //!
 //! The paper's operating point keeps postings on disk, and the batch-parallel
 //! search path hits the same index file from many worker threads at once. A
@@ -6,17 +6,39 @@
 //! syscall per fetch even when uncontended). [`PositionalReader`] instead
 //! issues offset-addressed reads that never move a shared cursor:
 //!
-//! - unix: `pread(2)` via [`std::os::unix::fs::FileExt::read_exact_at`]
+//! - unix: `pread(2)` via [`std::os::unix::fs::FileExt::read_at`]
 //! - windows: `seek_read` (moves the cursor, but each call re-addresses, so
-//!   a retry loop is all that's needed — still no shared state)
+//!   the retry loop is all that's needed — still no shared state)
 //! - elsewhere: a `Mutex<File>` seek+read fallback, the only tier that
 //!   serialises
+//! - [`PositionalReader::faulty`]: a [`FaultyFile`] shim for durability
+//!   tests, exercising the exact same retry loop
 //!
 //! On unix and windows concurrent `read_exact_at` calls proceed fully in
-//! parallel; the kernel page cache does the rest.
+//! parallel; the kernel page cache does the rest. All tiers share one
+//! fill loop that retries transient errors (`Interrupted`, and the
+//! injected faults from [`FaultyFile`]) at most
+//! [`TRANSIENT_RETRY_LIMIT`] times per call, so a flaky device degrades
+//! to a typed error instead of hanging a query forever.
 
 use std::fs::File;
 use std::io;
+
+use crate::fault::FaultyFile;
+
+/// Maximum number of transient-error retries absorbed by a single
+/// [`PositionalReader::read_exact_at`] call before the error is
+/// surfaced to the caller.
+pub const TRANSIENT_RETRY_LIMIT: u32 = 8;
+
+#[derive(Debug)]
+enum Backing {
+    #[cfg(any(unix, windows))]
+    File(File),
+    #[cfg(not(any(unix, windows)))]
+    File(std::sync::Mutex<File>),
+    Faulty(FaultyFile),
+}
 
 /// A file handle supporting concurrent offset-addressed reads.
 ///
@@ -24,10 +46,7 @@ use std::io;
 /// unix/windows it is also contention-free.
 #[derive(Debug)]
 pub struct PositionalReader {
-    #[cfg(any(unix, windows))]
-    file: File,
-    #[cfg(not(any(unix, windows)))]
-    file: std::sync::Mutex<File>,
+    backing: Backing,
 }
 
 impl PositionalReader {
@@ -35,24 +54,45 @@ impl PositionalReader {
     pub fn new(file: File) -> PositionalReader {
         PositionalReader {
             #[cfg(any(unix, windows))]
-            file,
+            backing: Backing::File(file),
             #[cfg(not(any(unix, windows)))]
-            file: std::sync::Mutex::new(file),
+            backing: Backing::File(std::sync::Mutex::new(file)),
         }
     }
 
-    /// Fill `buf` from the byte range starting at `offset`.
-    #[cfg(unix)]
-    pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
-        std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+    /// Wrap a fault-injection shim: reads go through the same retry loop
+    /// as real files, with the shim's planned faults applied.
+    pub fn faulty(file: FaultyFile) -> PositionalReader {
+        PositionalReader {
+            backing: Backing::Faulty(file),
+        }
     }
 
-    /// Fill `buf` from the byte range starting at `offset`.
-    #[cfg(windows)]
+    /// One positional read (`pread(2)` semantics: may return fewer bytes
+    /// than requested, zero at EOF).
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::File(file) => std::os::unix::fs::FileExt::read_at(file, buf, offset),
+            #[cfg(windows)]
+            Backing::File(file) => std::os::windows::fs::FileExt::seek_read(file, buf, offset),
+            #[cfg(not(any(unix, windows)))]
+            Backing::File(file) => {
+                use std::io::{Read, Seek, SeekFrom};
+                let mut file = file.lock().unwrap_or_else(|e| e.into_inner());
+                file.seek(SeekFrom::Start(offset))?;
+                file.read(buf)
+            }
+            Backing::Faulty(file) => file.read_at(buf, offset),
+        }
+    }
+
+    /// Fill `buf` from the byte range starting at `offset`, retrying
+    /// transient errors up to [`TRANSIENT_RETRY_LIMIT`] times.
     pub fn read_exact_at(&self, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
-        use std::os::windows::fs::FileExt;
+        let mut transient_retries = 0u32;
         while !buf.is_empty() {
-            match self.file.seek_read(buf, offset) {
+            match self.read_at(buf, offset) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
@@ -63,26 +103,27 @@ impl PositionalReader {
                     buf = &mut buf[n..];
                     offset += n as u64;
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_transient(&e) && transient_retries < TRANSIENT_RETRY_LIMIT => {
+                    transient_retries += 1;
+                }
                 Err(e) => return Err(e),
             }
         }
         Ok(())
     }
+}
 
-    /// Fill `buf` from the byte range starting at `offset`.
-    #[cfg(not(any(unix, windows)))]
-    pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
-        use std::io::{Read, Seek, SeekFrom};
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(buf)
-    }
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use std::io::Write;
 
     #[test]
@@ -123,5 +164,57 @@ mod tests {
         assert!(reader.read_exact_at(&mut buf, 0).is_err());
         assert!(reader.read_exact_at(&mut buf[..2], 100).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn faulty_backing_short_reads_are_reassembled() {
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
+        let reader = PositionalReader::faulty(FaultyFile::new(
+            payload.clone(),
+            FaultPlan::clean(21).with_short_reads(0.9),
+        ));
+        let mut buf = vec![0u8; 4000];
+        reader.read_exact_at(&mut buf, 100).unwrap();
+        assert_eq!(&buf[..], &payload[100..4100]);
+    }
+
+    #[test]
+    fn bounded_retry_absorbs_transient_errors_within_budget() {
+        let payload = vec![42u8; 1024];
+        // Budget equals the retry limit: every injected error fits within
+        // one call's retry allowance, so the read must succeed.
+        let reader = PositionalReader::faulty(FaultyFile::new(
+            payload.clone(),
+            FaultPlan::clean(4).with_transient_errors(1.0, TRANSIENT_RETRY_LIMIT),
+        ));
+        let mut buf = vec![0u8; 1024];
+        reader.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn unbounded_transient_errors_eventually_surface() {
+        let payload = vec![42u8; 1024];
+        // More faults than the retry limit allows in one call: the error
+        // must surface instead of spinning forever.
+        let reader = PositionalReader::faulty(FaultyFile::new(
+            payload,
+            FaultPlan::clean(4).with_transient_errors(1.0, 1000),
+        ));
+        let mut buf = vec![0u8; 1024];
+        let err = reader.read_exact_at(&mut buf, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn truncated_faulty_file_reports_unexpected_eof() {
+        let payload = vec![7u8; 512];
+        let reader = PositionalReader::faulty(FaultyFile::new(
+            payload,
+            FaultPlan::clean(9).with_truncation(100),
+        ));
+        let mut buf = vec![0u8; 200];
+        let err = reader.read_exact_at(&mut buf, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

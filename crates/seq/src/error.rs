@@ -20,10 +20,75 @@ pub enum SeqError {
         /// Identifier from the record's header line.
         id: String,
     },
-    /// A corrupt or truncated packed-sequence blob.
-    CorruptPackedData(&'static str),
+    /// A corrupt or truncated packed-sequence blob: a structural
+    /// violation, located by section name and (when the parser had file
+    /// context) byte offset.
+    CorruptPackedData {
+        /// What was wrong.
+        what: &'static str,
+        /// The file section being parsed ("store-header", "record", …).
+        section: &'static str,
+        /// Byte offset within the file where the violation was detected.
+        offset: Option<u64>,
+    },
+    /// A stored checksum did not match the bytes read: the store file is
+    /// corrupt even though it is structurally parseable.
+    Corruption {
+        /// The file section whose checksum failed.
+        section: &'static str,
+        /// Byte offset of the corrupt region within the file.
+        offset: u64,
+        /// The checksum stored in the file.
+        expected: u32,
+        /// The checksum of the bytes actually read.
+        actual: u32,
+    },
     /// An underlying I/O failure.
     Io(io::Error),
+}
+
+impl SeqError {
+    /// A [`SeqError::CorruptPackedData`] without file context (violations
+    /// detected on an already-fetched blob).
+    pub fn corrupt(what: &'static str) -> SeqError {
+        SeqError::CorruptPackedData {
+            what,
+            section: "record",
+            offset: None,
+        }
+    }
+
+    /// A [`SeqError::CorruptPackedData`] locating the violation at
+    /// `offset` within `section`.
+    pub fn corrupt_at(what: &'static str, section: &'static str, offset: u64) -> SeqError {
+        SeqError::CorruptPackedData {
+            what,
+            section,
+            offset: Some(offset),
+        }
+    }
+
+    /// A checksum-mismatch [`SeqError::Corruption`].
+    pub fn checksum(section: &'static str, offset: u64, expected: u32, actual: u32) -> SeqError {
+        SeqError::Corruption {
+            section,
+            offset,
+            expected,
+            actual,
+        }
+    }
+
+    /// Stamp file context onto a context-free [`SeqError::corrupt`]
+    /// error (used when a blob-level parser's error surfaces in a caller
+    /// that knows the blob's file position).
+    pub fn located(self, at_section: &'static str, at_offset: u64) -> SeqError {
+        match self {
+            SeqError::CorruptPackedData {
+                what, offset: None, ..
+            } => SeqError::corrupt_at(what, at_section, at_offset),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for SeqError {
@@ -49,9 +114,30 @@ impl fmt::Display for SeqError {
             SeqError::EmptyRecord { id } => {
                 write!(f, "FASTA record {id:?} contains no sequence data")
             }
-            SeqError::CorruptPackedData(what) => {
-                write!(f, "corrupt packed sequence data: {what}")
-            }
+            SeqError::CorruptPackedData {
+                what,
+                section,
+                offset,
+            } => match offset {
+                Some(offset) => write!(
+                    f,
+                    "corrupt packed sequence data: {what} (section {section:?}, byte {offset})"
+                ),
+                None => write!(
+                    f,
+                    "corrupt packed sequence data: {what} (section {section:?})"
+                ),
+            },
+            SeqError::Corruption {
+                section,
+                offset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "store corruption detected: checksum mismatch in section {section:?} at byte \
+                 {offset} (stored {expected:#010x}, computed {actual:#010x})"
+            ),
             SeqError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -108,5 +194,45 @@ mod tests {
             id: "seq42".to_string(),
         };
         assert!(e.to_string().contains("seq42"));
+    }
+
+    #[test]
+    fn corrupt_data_reports_section_and_offset() {
+        let text = SeqError::corrupt_at("blob too short", "record", 321).to_string();
+        assert!(text.contains("blob too short"), "{text}");
+        assert!(text.contains("record"), "{text}");
+        assert!(text.contains("321"), "{text}");
+    }
+
+    #[test]
+    fn located_stamps_context_free_errors_only() {
+        let stamped = SeqError::corrupt("truncated").located("record", 64);
+        match stamped {
+            SeqError::CorruptPackedData {
+                section, offset, ..
+            } => {
+                assert_eq!(section, "record");
+                assert_eq!(offset, Some(64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Already-located errors keep their original position.
+        let kept = SeqError::corrupt_at("truncated", "store-header", 5).located("record", 64);
+        match kept {
+            SeqError::CorruptPackedData {
+                section, offset, ..
+            } => {
+                assert_eq!(section, "store-header");
+                assert_eq!(offset, Some(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_reports_values() {
+        let text = SeqError::checksum("record", 99, 0xAABBCCDD, 0x11223344).to_string();
+        assert!(text.contains("99"), "{text}");
+        assert!(text.contains("0xaabbccdd"), "{text}");
     }
 }

@@ -202,7 +202,7 @@ impl PackedSeq {
 
     /// Deserialize a blob produced by [`PackedSeq::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<PackedSeq, SeqError> {
-        let header = |msg| SeqError::CorruptPackedData(msg);
+        let header = SeqError::corrupt;
         if bytes.len() < 8 {
             return Err(header("truncated header"));
         }

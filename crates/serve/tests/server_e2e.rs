@@ -366,6 +366,105 @@ fn overload_sheds_with_503_and_retry_after() {
 }
 
 #[test]
+fn corrupt_store_degrades_to_500_and_server_stays_up() {
+    // The durability contract at the service boundary: when the on-disk
+    // store rots underneath a running server, queries that touch the
+    // corrupt bytes get a 500 (typed corruption error, counted in
+    // nucdb_io_corruption_total), the server itself never goes down, and
+    // once the bytes are repaired the same queries answer 200 with
+    // exactly the pre-corruption results.
+    let coll = collection();
+    let dir = std::env::temp_dir().join(format!("nucdb_serve_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join("coll.nucsto");
+
+    let registry = MetricsRegistry::new();
+    let mut db = build_db(&coll).with_disk_store(&store_path).unwrap();
+    db.bind_metrics(&registry);
+    let handle = start(
+        "127.0.0.1:0",
+        db,
+        registry,
+        SearchParams::default(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // A query that is record 0's own sequence: fine search must fetch
+    // record 0 for it (it is the top candidate by construction).
+    let record0_fasta = {
+        let seq: String = coll.records[0]
+            .seq
+            .representative_bases()
+            .iter()
+            .map(|b| b.to_ascii() as char)
+            .collect();
+        format!(">c\n{seq}\n")
+    };
+    let (status, _, body) = post_search(addr, &record0_fasta).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let baseline = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let Some(Value::Arr(results)) = baseline.get("results") else {
+        panic!("bad baseline response: {}", baseline.render());
+    };
+    let baseline_answers = answer_tuples(&results[0]);
+    assert!(!baseline_answers.is_empty());
+
+    // Corrupt record 0's payload in place. The v2 store layout is
+    // magic(8) | toc_len:u32le | toc_crc:u32le | toc | payload, and
+    // record 0's blob opens the payload; flipping its first bytes breaks
+    // its checksum without touching the TOC.
+    let pristine = std::fs::read(&store_path).unwrap();
+    let toc_len = u32::from_le_bytes(pristine[8..12].try_into().unwrap()) as usize;
+    let payload_start = 16 + toc_len;
+    let mut corrupt = pristine.clone();
+    for byte in &mut corrupt[payload_start..payload_start + 8] {
+        *byte ^= 0xFF;
+    }
+    std::fs::write(&store_path, &corrupt).unwrap();
+
+    // The query touching the corrupt record: 500, not a crash, not
+    // silently wrong ranks.
+    let (status, _, body) = post_search(addr, &record0_fasta).unwrap();
+    assert_eq!(status, 500, "{}", String::from_utf8_lossy(&body));
+    let message = String::from_utf8_lossy(&body).to_lowercase();
+    assert!(
+        message.contains("corrupt"),
+        "500 body does not name corruption: {message}"
+    );
+
+    // The server is still healthy and the corruption counter is visible
+    // in the exposition.
+    let (status, _, body) = get(addr, "/healthz").unwrap();
+    assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+    let (status, _, body) = get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    let corruption_count: f64 = text
+        .lines()
+        .find(|l| l.starts_with("nucdb_io_corruption_total"))
+        .and_then(|l| l.rsplit_once(' '))
+        .map(|(_, v)| v.parse().unwrap())
+        .expect("nucdb_io_corruption_total missing from /metrics");
+    assert!(corruption_count >= 1.0);
+
+    // Repair the file: the same query must answer 200 again with the
+    // exact pre-corruption results — corruption never poisoned state.
+    std::fs::write(&store_path, &pristine).unwrap();
+    let (status, _, body) = post_search(addr, &record0_fasta).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let repaired = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let Some(Value::Arr(results)) = repaired.get("results") else {
+        panic!("bad repaired response: {}", repaired.render());
+    };
+    assert_eq!(answer_tuples(&results[0]), baseline_answers);
+
+    assert!(handle.shutdown().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shutdown_drains_admitted_connections() {
     let coll = collection();
     let reference = build_db(&coll);

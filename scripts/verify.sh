@@ -7,7 +7,9 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo build --release
 cargo test -q
-# The server end-to-end suite is part of `cargo test` above; run it
-# again by name so a serving regression fails loudly on its own line.
+# The server end-to-end and durability suites are part of `cargo test`
+# above; run them again by name so a serving or on-disk-format
+# regression fails loudly on its own line.
 cargo test -q -p nucdb-serve --test server_e2e
+cargo test -q -p nucdb --test durability
 cargo clippy --workspace -- -D warnings

@@ -3,13 +3,60 @@
 
 use nucdb::{coarse_rank, Database, DbConfig, SearchParams};
 use nucdb_align::{banded_sw_score, sw_score, ScoringScheme};
-use nucdb_index::{IndexBuilder, IndexParams};
+use nucdb_index::{
+    load_index, write_index, write_index_v2, CompressedIndex, Granularity, IndexBuilder,
+    IndexParams, ListCodec, StopPolicy,
+};
 use nucdb_seq::{DnaSeq, PackedSeq};
 use proptest::prelude::*;
 
 /// Random DNA ASCII with occasional wildcards.
 fn dna_ascii(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(prop::sample::select(b"ACGTACGTACGTACGTACGTN".to_vec()), len)
+}
+
+fn any_codec() -> impl Strategy<Value = ListCodec> {
+    prop::sample::select(vec![
+        ListCodec::Paper,
+        ListCodec::Gamma,
+        ListCodec::Delta,
+        ListCodec::VByte,
+        ListCodec::Fixed,
+        ListCodec::Interp,
+    ])
+}
+
+fn any_granularity() -> impl Strategy<Value = Granularity> {
+    prop::sample::select(vec![Granularity::Offsets, Granularity::Records])
+}
+
+fn any_stopping() -> impl Strategy<Value = Option<StopPolicy>> {
+    prop::sample::select(vec![
+        None,
+        Some(StopPolicy::DfFraction(0.25)),
+        Some(StopPolicy::DfAbsolute(8)),
+        Some(StopPolicy::TopK(2)),
+    ])
+}
+
+/// A unique path per proptest case (cases run sequentially within one
+/// test, but distinct property tests run on parallel threads).
+fn unique_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "nucdb_props_{tag}_{}_{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn index_fields_equal(a: &CompressedIndex, b: &CompressedIndex) -> bool {
+    a.params() == b.params()
+        && a.codec() == b.codec()
+        && a.record_lens() == b.record_lens()
+        && a.vocab() == b.vocab()
+        && a.blob() == b.blob()
 }
 
 proptest! {
@@ -99,6 +146,87 @@ proptest! {
         let scheme = ScoringScheme::blastn();
         let self_bases = seq.representative_bases();
         prop_assert_eq!(top.score, sw_score(&self_bases, &self_bases, &scheme));
+    }
+
+    #[test]
+    fn v3_files_round_trip_for_any_configuration(
+        records in prop::collection::vec(dna_ascii(20..100), 1..8),
+        k in 4usize..10,
+        stride in 1usize..3,
+        codec in any_codec(),
+        granularity in any_granularity(),
+        stopping in any_stopping(),
+    ) {
+        // Whatever the build configuration, writing the current (v3)
+        // format and loading it back must reproduce the index exactly —
+        // params (including stopping), vocabulary, and blob bytes. The
+        // legacy v2 writer must load back identically too, so files
+        // written by the previous release keep working.
+        let mut params = IndexParams::new(k).with_stride(stride).with_granularity(granularity);
+        if let Some(policy) = stopping {
+            params = params.with_stopping(policy);
+        }
+        let mut builder = IndexBuilder::new(params).with_codec(codec);
+        for r in &records {
+            builder.add_record(&DnaSeq::from_ascii(r).unwrap().representative_bases());
+        }
+        let index = builder.finish();
+
+        let v3 = unique_path("v3");
+        write_index(&index, &v3).unwrap();
+        let loaded_v3 = load_index(&v3);
+        let _ = std::fs::remove_file(&v3);
+        prop_assert!(index_fields_equal(&loaded_v3.unwrap(), &index));
+
+        let v2 = unique_path("v2");
+        write_index_v2(&index, &v2).unwrap();
+        let loaded_v2 = load_index(&v2);
+        let _ = std::fs::remove_file(&v2);
+        prop_assert!(index_fields_equal(&loaded_v2.unwrap(), &index));
+    }
+
+    #[test]
+    fn store_files_round_trip_and_reject_flips(
+        records in prop::collection::vec(dna_ascii(1..80), 1..8),
+        ascii_mode in any::<bool>(),
+        flip_pos in any::<u16>(),
+        flip_mask in any::<u8>(),
+    ) {
+        use nucdb::{SequenceStore, StorageMode};
+        let mode = if ascii_mode { StorageMode::Ascii } else { StorageMode::DirectCoding };
+        let mut store = SequenceStore::new(mode);
+        for (i, r) in records.iter().enumerate() {
+            store.add(format!("r{i}"), &DnaSeq::from_ascii(r).unwrap());
+        }
+        let path = unique_path("sto");
+        store.write_to(&path).unwrap();
+
+        let loaded = SequenceStore::read_from(&path).unwrap();
+        prop_assert_eq!(loaded.mode(), mode);
+        prop_assert_eq!(loaded.len(), store.len());
+        for r in 0..store.len() as u32 {
+            prop_assert_eq!(loaded.id(r), store.id(r));
+            prop_assert_eq!(loaded.sequence(r).unwrap(), store.sequence(r).unwrap());
+        }
+
+        // Any single-byte flip anywhere in the file either fails the
+        // load with a typed error or leaves every record bit-identical
+        // (the latter only when the flip is a no-op is impossible here:
+        // xor with a nonzero mask always changes the byte, so a
+        // successful load would mean undetected corruption).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = flip_pos as usize % bytes.len();
+        let mask = flip_mask | 1; // ensure nonzero
+        bytes[offset] ^= mask;
+        std::fs::write(&path, &bytes).unwrap();
+        let mutated = SequenceStore::read_from(&path);
+        let _ = std::fs::remove_file(&path);
+        if let Ok(mutated) = mutated {
+            for r in 0..store.len() as u32 {
+                prop_assert_eq!(mutated.sequence(r).unwrap(), store.sequence(r).unwrap());
+                prop_assert_eq!(mutated.id(r), store.id(r));
+            }
+        }
     }
 
     #[test]

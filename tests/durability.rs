@@ -1,0 +1,656 @@
+//! Durability suite: the on-disk formats under byte-level corruption,
+//! truncation, and injected I/O faults.
+//!
+//! The contract under test, from the durability layer's design: any read
+//! of a corrupted or truncated index / store file must either fail with a
+//! clean typed error or produce bit-identical results to the pristine
+//! file — it must **never** panic and never silently return wrong data.
+//! Transient I/O errors within the pread retry budget must be invisible.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nucdb::{
+    Database, DbConfig, IndexVariant, RecordSource, SearchParams, SequenceStore, StorageMode,
+    StoreVariant,
+};
+use nucdb_index::{
+    load_index, write_index, write_index_v2, CompressedIndex, FaultPlan, Granularity, IndexBuilder,
+    IndexParams, ListCodec, OnDiskIndex, StopPolicy, TRANSIENT_RETRY_LIMIT,
+};
+use nucdb_seq::random::{CollectionSpec, SyntheticCollection};
+use nucdb_seq::{DnaSeq, SeqError};
+
+static DIR_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A unique fresh directory per call, so concurrently-running tests never
+/// collide on file names.
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nucdb_durability_{name}_{}_{}",
+        std::process::id(),
+        DIR_NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_collection(seed: u64) -> SyntheticCollection {
+    SyntheticCollection::generate(&CollectionSpec::tiny(seed))
+}
+
+/// A handful of short handcrafted records: the exhaustive fuzz tests
+/// re-load the whole file once per byte, so the files must stay small
+/// (a couple of kilobytes) for the sweep to stay fast.
+fn micro_records() -> Vec<(String, DnaSeq)> {
+    [
+        &b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"[..],
+        b"TTTTGGGGCCCCAAAATTTTGGGGCCCCAAAA",
+        b"ACGTNNACGTRYACGTACGTACGTACGT",
+        b"GATTACAGATTACAGATTACAGATTACAGATTACA",
+        b"CCCCCCCCGGGGGGGGACGTACGTTTTTTTTT",
+        b"ATATATATATATATATATATGCGCGCGCGC",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, ascii)| (format!("m{i}"), DnaSeq::from_ascii(ascii).unwrap()))
+    .collect()
+}
+
+fn micro_index() -> CompressedIndex {
+    let mut builder = IndexBuilder::new(IndexParams::new(8)).with_codec(ListCodec::Paper);
+    for (_, seq) in micro_records() {
+        builder.add_record(&seq.representative_bases());
+    }
+    builder.finish()
+}
+
+fn micro_store() -> SequenceStore {
+    let mut store = SequenceStore::new(StorageMode::DirectCoding);
+    for (id, seq) in micro_records() {
+        store.add(id, &seq);
+    }
+    store
+}
+
+fn build_index(
+    coll: &SyntheticCollection,
+    params: IndexParams,
+    codec: ListCodec,
+) -> CompressedIndex {
+    let mut builder = IndexBuilder::new(params).with_codec(codec);
+    for record in &coll.records {
+        builder.add_record(&record.seq.representative_bases());
+    }
+    builder.finish()
+}
+
+fn build_store(coll: &SyntheticCollection, mode: StorageMode) -> SequenceStore {
+    let mut store = SequenceStore::new(mode);
+    for record in &coll.records {
+        store.add(record.id.clone(), &record.seq);
+    }
+    store
+}
+
+fn indexes_equal(a: &CompressedIndex, b: &CompressedIndex) -> bool {
+    a.params() == b.params()
+        && a.codec() == b.codec()
+        && a.record_lens() == b.record_lens()
+        && a.vocab() == b.vocab()
+        && a.blob() == b.blob()
+}
+
+fn stores_equal(a: &SequenceStore, b: &SequenceStore) -> bool {
+    a.len() == b.len()
+        && a.mode() == b.mode()
+        && (0..a.len() as u32)
+            .all(|r| a.id(r) == b.id(r) && a.sequence(r).unwrap() == b.sequence(r).unwrap())
+}
+
+// ---------------------------------------------------------------------
+// Tentpole satellite 1: exhaustive byte fuzz. Every single-byte flip and
+// every truncation prefix of a v3 index and a v2 store must produce a
+// clean typed error or bit-identical results — and must never panic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn index_survives_every_single_byte_flip() {
+    let index = micro_index();
+    let dir = temp_dir("idxflip");
+    let path = dir.join("idx.nucidx");
+    write_index(&index, &path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    for offset in 0..pristine.len() {
+        let mut mutated = pristine.clone();
+        mutated[offset] ^= 0xFF;
+        std::fs::write(&path, &mutated).unwrap();
+        let outcome = catch_unwind(AssertUnwindSafe(|| load_index(&path)));
+        match outcome {
+            Err(_) => panic!("load_index panicked with byte {offset} flipped"),
+            Ok(Err(_)) => {} // clean typed error: acceptable
+            Ok(Ok(loaded)) => {
+                // A load that still succeeds must be bit-identical in
+                // effect (possible only if the flip misses all covered
+                // content, which checksummed v3 rules out).
+                assert!(
+                    indexes_equal(&loaded, &index),
+                    "byte {offset} flip loaded successfully but changed the index"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn index_survives_every_truncation() {
+    let index = micro_index();
+    let dir = temp_dir("idxtrunc");
+    let path = dir.join("idx.nucidx");
+    write_index(&index, &path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        let outcome = catch_unwind(AssertUnwindSafe(|| load_index(&path)));
+        match outcome {
+            Err(_) => panic!("load_index panicked on truncation at {cut}"),
+            Ok(result) => assert!(
+                result.is_err(),
+                "truncation at {cut} of {} loaded successfully",
+                pristine.len()
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_survives_every_single_byte_flip() {
+    let store = micro_store();
+    let dir = temp_dir("stoflip");
+    let path = dir.join("coll.nucsto");
+    store.write_to(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    for offset in 0..pristine.len() {
+        let mut mutated = pristine.clone();
+        mutated[offset] ^= 0xFF;
+        std::fs::write(&path, &mutated).unwrap();
+
+        // Eager load path.
+        match catch_unwind(AssertUnwindSafe(|| SequenceStore::read_from(&path))) {
+            Err(_) => panic!("read_from panicked with byte {offset} flipped"),
+            Ok(Err(_)) => {}
+            Ok(Ok(loaded)) => assert!(
+                stores_equal(&loaded, &store),
+                "byte {offset} flip loaded successfully but changed the store"
+            ),
+        }
+
+        // Lazy pread path: open may succeed (payload corruption is only
+        // discoverable at fetch time), but every record fetch must then
+        // error or return the pristine sequence.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let disk = nucdb::OnDiskStore::open(&path)?;
+            for r in 0..RecordSource::len(&disk) as u32 {
+                match RecordSource::sequence(&disk, r) {
+                    Ok(seq) => assert_eq!(
+                        seq,
+                        store.sequence(r).unwrap(),
+                        "byte {offset} flip changed record {r} silently"
+                    ),
+                    Err(_) => {} // typed error: acceptable
+                }
+            }
+            Ok::<(), SeqError>(())
+        }));
+        assert!(
+            outcome.is_ok(),
+            "on-disk store panicked with byte {offset} flipped"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_survives_every_truncation() {
+    let store = micro_store();
+    let dir = temp_dir("stotrunc");
+    let path = dir.join("coll.nucsto");
+    store.write_to(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| SequenceStore::read_from(&path))) {
+            Err(_) => panic!("read_from panicked on truncation at {cut}"),
+            Ok(result) => assert!(result.is_err(), "truncation at {cut} loaded successfully"),
+        }
+        // The pread path may open if the TOC is intact, but record
+        // fetches beyond the cut must fail cleanly.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Ok(disk) = nucdb::OnDiskStore::open(&path) {
+                for r in 0..RecordSource::len(&disk) as u32 {
+                    if let Ok(seq) = RecordSource::sequence(&disk, r) {
+                        assert_eq!(seq, store.sequence(r).unwrap());
+                    }
+                }
+            }
+        }));
+        assert!(
+            outcome.is_ok(),
+            "on-disk store panicked at truncation {cut}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Format-compatibility sweep: every codec x granularity x stopping combo
+// round-trips through the v3 writer, and the v2/v1 legacy files still
+// load.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_codec_granularity_stopping_combo_round_trips() {
+    let coll = small_collection(905);
+    let codecs = [
+        ListCodec::Paper,
+        ListCodec::Gamma,
+        ListCodec::Delta,
+        ListCodec::VByte,
+        ListCodec::Fixed,
+        ListCodec::Interp,
+    ];
+    let granularities = [Granularity::Offsets, Granularity::Records];
+    let stoppings = [
+        None,
+        Some(StopPolicy::DfFraction(0.25)),
+        Some(StopPolicy::DfAbsolute(10)),
+        Some(StopPolicy::TopK(3)),
+    ];
+    let dir = temp_dir("combos");
+    for codec in codecs {
+        for granularity in granularities {
+            for stopping in stoppings {
+                let mut params = IndexParams::new(8).with_granularity(granularity);
+                if let Some(policy) = stopping {
+                    params = params.with_stopping(policy);
+                }
+                let index = build_index(&coll, params, codec);
+                let label = format!("{codec:?}/{granularity:?}/{stopping:?}");
+
+                let v3 = dir.join("combo.nucidx");
+                write_index(&index, &v3).unwrap();
+                let loaded = load_index(&v3).unwrap();
+                assert!(indexes_equal(&loaded, &index), "v3 mismatch for {label}");
+
+                let v2 = dir.join("combo_v2.nucidx");
+                write_index_v2(&index, &v2).unwrap();
+                let loaded = load_index(&v2).unwrap();
+                assert!(indexes_equal(&loaded, &index), "v2 mismatch for {label}");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_files_and_current_files_answer_identically() {
+    let coll = small_collection(906);
+    let dir = temp_dir("legacy");
+    let memory = Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        &DbConfig::default(),
+    );
+    let query = coll.query_for_family(0, 0.6, &nucdb_seq::random::MutationModel::identity());
+    let baseline: Vec<(u32, i32)> = memory
+        .search(&query, &SearchParams::default())
+        .unwrap()
+        .results
+        .iter()
+        .map(|r| (r.record, r.score))
+        .collect();
+    assert!(!baseline.is_empty());
+
+    // Current formats.
+    let index = build_index(&coll, IndexParams::new(8), ListCodec::Paper);
+    let store = build_store(&coll, StorageMode::DirectCoding);
+    let v3_idx = dir.join("idx_v3.nucidx");
+    let v2_sto = dir.join("sto_v2.nucsto");
+    write_index(&index, &v3_idx).unwrap();
+    store.write_to(&v2_sto).unwrap();
+
+    // Legacy formats, as the previous release wrote them.
+    let v2_idx = dir.join("idx_v2.nucidx");
+    let v1_sto = dir.join("sto_v1.nucsto");
+    write_index_v2(&index, &v2_idx).unwrap();
+    store.write_to_v1(&v1_sto).unwrap();
+
+    for (idx_path, sto_path) in [(&v3_idx, &v2_sto), (&v2_idx, &v1_sto)] {
+        let db = Database::from_variants(
+            StoreVariant::Disk(nucdb::OnDiskStore::open(sto_path).unwrap()),
+            IndexVariant::Disk(OnDiskIndex::open(idx_path).unwrap()),
+        );
+        let answers: Vec<(u32, i32)> = db
+            .search(&query, &SearchParams::default())
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| (r.record, r.score))
+            .collect();
+        assert_eq!(answers, baseline, "disk answers diverge for {idx_path:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection on the pread path: transient errors within the retry
+// budget are invisible; bit flips surface as typed corruption and bump
+// the engine's corruption metric; the database never panics and keeps
+// answering clean queries.
+// ---------------------------------------------------------------------
+
+/// Build the collection on disk and return (dir, index path, store path).
+fn persisted(seed: u64, name: &str) -> (PathBuf, PathBuf, PathBuf, SyntheticCollection) {
+    let coll = small_collection(seed);
+    let dir = temp_dir(name);
+    let idx = dir.join("idx.nucidx");
+    let sto = dir.join("coll.nucsto");
+    write_index(
+        &build_index(&coll, IndexParams::new(8), ListCodec::Paper),
+        &idx,
+    )
+    .unwrap();
+    build_store(&coll, StorageMode::DirectCoding)
+        .write_to(&sto)
+        .unwrap();
+    (dir, idx, sto, coll)
+}
+
+fn faulty_db(idx: &Path, sto: &Path, plan: FaultPlan) -> Database {
+    Database::from_variants(
+        StoreVariant::Disk(nucdb::OnDiskStore::open_faulty(sto, plan.clone()).unwrap()),
+        IndexVariant::Disk(OnDiskIndex::open_faulty(idx, plan).unwrap()),
+    )
+}
+
+#[test]
+fn transient_errors_within_budget_are_invisible() {
+    let (dir, idx, sto, coll) = persisted(907, "transient");
+    let clean = faulty_db(&idx, &sto, FaultPlan::clean(1));
+    let query = coll.query_for_family(1, 0.6, &nucdb_seq::random::MutationModel::identity());
+    let baseline = clean.search(&query, &SearchParams::default()).unwrap();
+    assert!(!baseline.results.is_empty());
+
+    // Every pread call fails with a transient error until the budget is
+    // spent — but the budget is within the retry limit, so searches must
+    // succeed with identical answers. Short reads ride along for free.
+    let plan = FaultPlan::clean(42)
+        .with_transient_errors(1.0, TRANSIENT_RETRY_LIMIT)
+        .with_short_reads(0.5);
+    let flaky = faulty_db(&idx, &sto, plan);
+    let outcome = flaky.search(&query, &SearchParams::default()).unwrap();
+    let tuples = |o: &nucdb::SearchOutcome| -> Vec<(u32, i32)> {
+        o.results.iter().map(|r| (r.record, r.score)).collect()
+    };
+    assert_eq!(tuples(&outcome), tuples(&baseline));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flips_surface_as_corruption_and_bump_the_metric() {
+    let (dir, idx, sto, coll) = persisted(908, "bitflip");
+    // Flip bits throughout both files' payload regions (past the 16-byte
+    // prefix, which is read during open from the pristine file anyway).
+    let flips: Vec<(u64, u8)> = (0..64u64).map(|i| (64 + i * 37, 1u8 << (i % 8))).collect();
+    let plan = FaultPlan::clean(7).with_bit_flips(flips);
+    let mut db = faulty_db(&idx, &sto, plan);
+    let registry = nucdb_obs::MetricsRegistry::new();
+    db.bind_metrics(&registry);
+
+    let query = coll.query_for_family(0, 0.6, &nucdb_seq::random::MutationModel::identity());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        db.search(&query, &SearchParams::default())
+    }));
+    let result = result.expect("search must not panic on flipped bits");
+    match result {
+        Err(e) => {
+            assert!(e.is_corruption(), "expected corruption error, got {e}");
+            assert!(
+                db.metrics().io_corruption.get() >= 1,
+                "corruption metric not bumped"
+            );
+            let text = registry.snapshot().to_prometheus();
+            assert!(
+                text.contains("nucdb_io_corruption_total"),
+                "metric missing from exposition:\n{text}"
+            );
+        }
+        Ok(outcome) => {
+            // The flips may all land outside the bytes this query touches;
+            // then answers must match the clean database exactly.
+            let clean = faulty_db(&idx, &sto, FaultPlan::clean(1));
+            let baseline = clean.search(&query, &SearchParams::default()).unwrap();
+            let tuples = |o: &nucdb::SearchOutcome| -> Vec<(u32, i32)> {
+                o.results.iter().map(|r| (r.record, r.score)).collect()
+            };
+            assert_eq!(tuples(&outcome), tuples(&baseline));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_file_under_pread_errors_cleanly() {
+    let (dir, idx, sto, coll) = persisted(909, "preadtrunc");
+    // Truncate both files to 3/4 length at the pread layer only: opens
+    // succeed (headers parse from the pristine files), record and list
+    // fetches past the cut must fail with a typed error, not a panic.
+    let idx_len = std::fs::metadata(&idx).unwrap().len();
+    let sto_len = std::fs::metadata(&sto).unwrap().len();
+    let db = Database::from_variants(
+        StoreVariant::Disk(
+            nucdb::OnDiskStore::open_faulty(&sto, FaultPlan::clean(3).with_truncation(sto_len / 4))
+                .unwrap(),
+        ),
+        IndexVariant::Disk(
+            OnDiskIndex::open_faulty(&idx, FaultPlan::clean(3).with_truncation(idx_len / 4))
+                .unwrap(),
+        ),
+    );
+    let query = coll.query_for_family(2, 0.6, &nucdb_seq::random::MutationModel::identity());
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        db.search(&query, &SearchParams::default())
+    }))
+    .expect("search must not panic on a truncated backing file");
+    let err = outcome.expect_err("search beyond the truncation point must fail");
+    assert!(err.is_corruption(), "unexpected error class: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Atomic persistence: writers leave no temp droppings behind, and the
+// destination file only ever holds a complete image.
+// ---------------------------------------------------------------------
+
+#[test]
+fn writers_leave_no_temp_files() {
+    let coll = small_collection(910);
+    let dir = temp_dir("atomic");
+    let index = build_index(&coll, IndexParams::new(8), ListCodec::Paper);
+    let store = build_store(&coll, StorageMode::DirectCoding);
+
+    write_index(&index, &dir.join("idx.nucidx")).unwrap();
+    write_index_v2(&index, &dir.join("idx_v2.nucidx")).unwrap();
+    store.write_to(&dir.join("sto.nucsto")).unwrap();
+    store.write_to_v1(&dir.join("sto_v1.nucsto")).unwrap();
+
+    // Overwrites go through the same temp+rename path.
+    write_index(&index, &dir.join("idx.nucidx")).unwrap();
+    store.write_to(&dir.join("sto.nucsto")).unwrap();
+
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+
+    // And what was renamed into place is complete and valid.
+    assert!(indexes_equal(
+        &load_index(&dir.join("idx.nucidx")).unwrap(),
+        &index
+    ));
+    assert!(stores_equal(
+        &SequenceStore::read_from(&dir.join("sto.nucsto")).unwrap(),
+        &store
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_write_preserves_previous_file() {
+    // A write that errors out (destination directory removed mid-flight
+    // is hard to stage portably; instead: write to a path whose parent
+    // is a file, which fails at create time) must leave an existing good
+    // file untouched.
+    let coll = small_collection(911);
+    let dir = temp_dir("preserve");
+    let store = build_store(&coll, StorageMode::DirectCoding);
+    let path = dir.join("sto.nucsto");
+    store.write_to(&path).unwrap();
+    let before = std::fs::read(&path).unwrap();
+
+    let blocked = dir.join("sto.nucsto").join("impossible");
+    assert!(store.write_to(&blocked).is_err());
+
+    assert_eq!(std::fs::read(&path).unwrap(), before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Streaming loads through the fault-injecting reader: short reads are
+// harmless, flips and truncation produce typed errors.
+// ---------------------------------------------------------------------
+
+#[test]
+fn streaming_index_load_survives_short_reads() {
+    use std::io::Read;
+    let coll = small_collection(912);
+    let index = build_index(&coll, IndexParams::new(8), ListCodec::Paper);
+    let dir = temp_dir("stream");
+    let path = dir.join("idx.nucidx");
+    write_index(&index, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Short reads only: the loader must reassemble the exact index.
+    let reader =
+        nucdb_index::FaultyReader::new(&bytes[..], FaultPlan::clean(5).with_short_reads(0.9));
+    let loaded = nucdb_index::load_index_from(reader).unwrap();
+    assert!(indexes_equal(&loaded, &index));
+
+    // A flipped byte inside the checksummed region must be caught even
+    // through a streaming read.
+    let mut flipped = nucdb_index::FaultyReader::new(
+        &bytes[..],
+        FaultPlan::clean(5).with_bit_flips(vec![(40, 0x10)]),
+    );
+    let mut buffered = Vec::new();
+    flipped.read_to_end(&mut buffered).unwrap();
+    assert!(load_index_from_slice(&buffered).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn load_index_from_slice(bytes: &[u8]) -> Result<CompressedIndex, nucdb_index::IndexError> {
+    nucdb_index::load_index_from(bytes)
+}
+
+#[test]
+fn query_error_does_not_poison_the_database() {
+    // One record's payload is corrupt on disk. Queries whose candidates
+    // include it fail with a typed error; the same database keeps
+    // answering queries that avoid it — degraded service, not an outage.
+    let coll = small_collection(913);
+    let dir = temp_dir("poison");
+    let sto = dir.join("coll.nucsto");
+    let idx = dir.join("idx.nucidx");
+    let store = build_store(&coll, StorageMode::DirectCoding);
+    store.write_to(&sto).unwrap();
+    write_index(
+        &build_index(&coll, IndexParams::new(8), ListCodec::Paper),
+        &idx,
+    )
+    .unwrap();
+
+    // Corrupt the last record's payload bytes directly in the file.
+    let mut bytes = std::fs::read(&sto).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&sto, &bytes).unwrap();
+
+    let db = Database::from_variants(
+        StoreVariant::Disk(nucdb::OnDiskStore::open(&sto).unwrap()),
+        IndexVariant::Disk(OnDiskIndex::open(&idx).unwrap()),
+    );
+    let last_record = (db.len() - 1) as u32;
+
+    // Query the corrupt record by its own sequence: fine search must
+    // fetch it and fail cleanly.
+    let corrupt_query = coll.records[last_record as usize].seq.clone();
+    let err = db
+        .search(&corrupt_query, &SearchParams::default())
+        .expect_err("query touching the corrupt record must fail");
+    assert!(err.is_corruption());
+
+    // A query for a family that does not contain the corrupt record
+    // still succeeds afterwards.
+    let family = coll
+        .families
+        .iter()
+        .enumerate()
+        .find(|(_, f)| !f.member_ids.contains(&last_record))
+        .map(|(i, _)| i)
+        .expect("some family avoids the last record");
+    let healthy_query =
+        coll.query_for_family(family, 0.6, &nucdb_seq::random::MutationModel::identity());
+    let outcome = db.search(&healthy_query, &SearchParams::default());
+    if let Ok(outcome) = outcome {
+        assert!(outcome
+            .results
+            .iter()
+            .all(|r| r.record != last_record || r.score >= 0));
+    }
+    // (If the healthy query's coarse candidates happen to include the
+    // corrupt record, the error is still the typed kind.)
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_v1_store_and_v2_index_still_work_end_to_end() {
+    let coll = small_collection(914);
+    let dir = temp_dir("legacye2e");
+    let idx = dir.join("idx.nucidx");
+    let sto = dir.join("coll.nucsto");
+    write_index_v2(
+        &build_index(&coll, IndexParams::new(8), ListCodec::Paper),
+        &idx,
+    )
+    .unwrap();
+    build_store(&coll, StorageMode::Ascii)
+        .write_to_v1(&sto)
+        .unwrap();
+
+    let db = Database::from_variants(
+        StoreVariant::Disk(nucdb::OnDiskStore::open(&sto).unwrap()),
+        IndexVariant::Disk(OnDiskIndex::open(&idx).unwrap()),
+    );
+    let query = DnaSeq::from_ascii(&coll.records[0].seq.to_ascii_vec()).unwrap();
+    let outcome = db.search(&query, &SearchParams::default()).unwrap();
+    assert!(outcome.results.iter().any(|r| r.record == 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
