@@ -20,11 +20,83 @@ use nucdb_bench::json::Value;
 use nucdb_bench::{
     banner, collection, database, family_queries, latency_block, results_path, Table,
 };
+use nucdb_index::ListCodec;
 use nucdb_obs::Histogram;
 use nucdb_seq::Base;
 
 const THREADS: &[usize] = &[1, 2, 4, 8];
 const REPEATS: usize = 3;
+/// Coarse floor for the shared-segment screening workload: above what
+/// the shared segment alone can contribute — each offset visit adds the
+/// query-run length, so a background record sharing the 60-base segment
+/// accumulates ~100 hits, not ~53 — while staying below what a full
+/// match (shared + unique half) accumulates. At this floor every
+/// background record is provably hopeless once the query is mostly
+/// consumed, so whole blocks of the shared lists can be skipped.
+const SKIP_FLOOR: u32 = 120;
+
+/// Work counters accumulated over a whole query batch.
+#[derive(Default)]
+struct Work {
+    postings_bytes_read: u64,
+    ids_decoded: u64,
+    blocks_decoded: u64,
+    blocks_skipped: u64,
+    lists_fetched: u64,
+}
+
+/// Single-threaded batch run that also sums the per-query work
+/// counters (the codec-comparison rows report work, not scaling).
+fn run_counted(db: &Database, queries: &[Vec<Base>], params: &SearchParams) -> (Duration, Work) {
+    let mut scratch = CoarseScratch::new();
+    let mut work = Work::default();
+    let start = Instant::now();
+    for query in queries {
+        let outcome =
+            coarse_rank_with(db.index(), query, params, &mut scratch).expect("coarse search");
+        work.postings_bytes_read += outcome.postings_bytes_read;
+        work.ids_decoded += outcome.postings_decoded;
+        work.blocks_decoded += outcome.blocks_decoded;
+        work.blocks_skipped += outcome.blocks_skipped;
+        work.lists_fetched += outcome.lists_fetched;
+        std::hint::black_box(outcome.candidates.len());
+    }
+    (start.elapsed(), work)
+}
+
+/// The shared-segment screening workload: thousands of background
+/// records carry the same 60-base segment (so its interval lists span
+/// dozens of 128-posting blocks), a handful of targets additionally
+/// carry the query's unique half, and the floor demands more than the
+/// shared segment alone can deliver. This is the shape hopeless-block
+/// skipping is built for: contaminant/near-duplicate screening, where
+/// almost every block of the fat shared lists is provably below the
+/// floor by the time it is read.
+fn shared_segment_records() -> (Vec<(String, nucdb_seq::DnaSeq)>, Vec<Base>) {
+    let common = b"ACGTAGCTAGCTGGATCCAATTGGCCAACCTGGATTACAGGCATGCATAAGCTTGGCACC";
+    let unique = b"TGCATGCATTGCAACGGTACCTTAGGCATCGGTACCAATGCCTAGGTTAACGGCCTTGCA";
+    let mut records = Vec::new();
+    for t in 0..8usize {
+        let mut full = Vec::from(&common[..]);
+        full.extend_from_slice(unique);
+        full.extend((0..20).map(|p| b"ACGT"[(t * 13 + p * 7) % 4]));
+        records.push((
+            format!("target{t}"),
+            nucdb_seq::DnaSeq::from_ascii(&full).unwrap(),
+        ));
+    }
+    for i in 0..4_000usize {
+        let mut r = Vec::from(&common[..]);
+        r.extend((0..60).map(|p| b"ACGT"[(i * 31 + p * 7 + i * p) % 4]));
+        records.push((format!("bg{i}"), nucdb_seq::DnaSeq::from_ascii(&r).unwrap()));
+    }
+    let mut query = Vec::from(&common[..]);
+    query.extend_from_slice(unique);
+    let query = nucdb_seq::DnaSeq::from_ascii(&query)
+        .unwrap()
+        .representative_bases();
+    (records, query)
+}
 
 /// Run the whole query batch across `num_threads` workers, each owning a
 /// private scratch, and return the best-of-`REPEATS` wall time.
@@ -150,6 +222,76 @@ fn main() {
         latency.max as f64 / 1e6,
     );
 
+    // Per-codec work counters: the same batch over the bit-serial paper
+    // codec and the NUCIDX04 block codec, at the default floor and at an
+    // elevated floor where hopeless-block skipping can fire. Wall time
+    // alone hides *why* a codec wins; bytes read, ids decoded and blocks
+    // skipped say where the work went.
+    let mut work_table = Table::new(&[
+        "workload",
+        "codec",
+        "floor",
+        "wall ms",
+        "bytes read",
+        "ids decoded",
+        "blocks dec",
+        "blocks skip",
+    ]);
+    let mut work_rows: Vec<Value> = Vec::new();
+    let (screen_records, screen_query) = shared_segment_records();
+    let screen_queries: Vec<Vec<Base>> = (0..16).map(|_| screen_query.clone()).collect();
+    for (ci, codec) in [ListCodec::Paper, ListCodec::Block].into_iter().enumerate() {
+        let config = DbConfig {
+            codec,
+            ..DbConfig::default()
+        };
+        let codec_dir = dir.join(format!("work_{ci}"));
+        std::fs::create_dir_all(&codec_dir).unwrap();
+        let family_db = database(&coll, &config)
+            .with_disk_index(&codec_dir.join("family.nucidx"))
+            .expect("write on-disk index");
+        let screen_db = Database::build(screen_records.iter().cloned(), &config)
+            .with_disk_index(&codec_dir.join("screen.nucidx"))
+            .expect("write on-disk index");
+
+        let sweep: [(&str, &Database, &[Vec<Base>], u32); 2] = [
+            ("family", &family_db, &queries, params.min_coarse_hits),
+            ("screen", &screen_db, &screen_queries, SKIP_FLOOR),
+        ];
+        for (workload, work_db, batch, floor) in sweep {
+            let p = SearchParams {
+                min_coarse_hits: floor,
+                ..SearchParams::default()
+            };
+            run_counted(work_db, &batch[..8], &p); // warm
+            let (wall, work) = run_counted(work_db, batch, &p);
+            work_table.row(vec![
+                workload.to_string(),
+                codec.name().to_string(),
+                floor.to_string(),
+                format!("{:.2}", wall.as_secs_f64() * 1e3),
+                work.postings_bytes_read.to_string(),
+                work.ids_decoded.to_string(),
+                work.blocks_decoded.to_string(),
+                work.blocks_skipped.to_string(),
+            ]);
+            work_rows.push(Value::Obj(vec![
+                ("workload", Value::Str(workload.into())),
+                ("codec", Value::Str(codec.name().into())),
+                ("min_coarse_hits", Value::Int(floor as u64)),
+                ("queries", Value::Int(batch.len() as u64)),
+                ("wall_ms", Value::Num(wall.as_secs_f64() * 1e3)),
+                ("lists_fetched", Value::Int(work.lists_fetched)),
+                ("postings_bytes_read", Value::Int(work.postings_bytes_read)),
+                ("ids_decoded", Value::Int(work.ids_decoded)),
+                ("blocks_decoded", Value::Int(work.blocks_decoded)),
+                ("blocks_skipped", Value::Int(work.blocks_skipped)),
+            ]));
+        }
+    }
+    println!("\nper-codec work counters (single thread):");
+    work_table.print();
+
     let out = Value::Obj(vec![
         ("experiment", Value::Str("coarse_throughput".into())),
         (
@@ -166,6 +308,7 @@ fn main() {
         ("repeats_best_of", Value::Int(REPEATS as u64)),
         ("host_cpus", Value::Int(host_cpus as u64)),
         ("sweep", Value::Arr(rows)),
+        ("codec_work", Value::Arr(work_rows)),
         ("latency_ns", latency_block(&latency)),
         (
             "metrics_overhead",

@@ -29,7 +29,7 @@ commands:
              [--repeat-prob F] [--queries-out FILE] [--divergence F]
   build      build an on-disk database (index + sequence store) from FASTA
              --collection FILE --db DIR [--k N] [--stride N] [--stop-fraction F]
-             [--codec paper|gamma|delta|vbyte|fixed] [--chunk N] [--ascii-store]
+             [--codec paper|gamma|delta|vbyte|fixed|block] [--chunk N] [--ascii-store]
              [--granularity offsets|records]
   search     run homology queries (each FASTA record is one query)
              --db DIR --query FILE [--candidates N] [--ranking count|prop|frame:W]
@@ -83,7 +83,8 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   --k N              interval (k-mer) length (default 8)
   --stride N         sampling stride across each record (default 1)
   --stop-fraction F  drop intervals present in more than F of records
-  --codec NAME       postings codec: paper|gamma|delta|vbyte|fixed
+  --codec NAME       postings codec: paper|gamma|delta|vbyte|fixed|block
+                     (block = NUCIDX04 fast-decode tier with skip pointers)
   --chunk N          records per in-memory build chunk (default 2048)
   --granularity G    postings granularity: offsets|records
   --ascii-store      store sequences as ASCII instead of 2-bit packed"
@@ -234,9 +235,10 @@ fn parse_codec(name: &str) -> Result<ListCodec, UsageError> {
         "delta" => ListCodec::Delta,
         "vbyte" => ListCodec::VByte,
         "fixed" => ListCodec::Fixed,
+        "block" => ListCodec::Block,
         _ => {
             return Err(UsageError(format!(
-                "unknown codec {name:?} (expected paper|gamma|delta|vbyte|fixed)"
+                "unknown codec {name:?} (expected paper|gamma|delta|vbyte|fixed|block)"
             )))
         }
     })
@@ -981,6 +983,7 @@ mod tests {
     fn codec_specs() {
         assert_eq!(parse_codec("paper").unwrap(), ListCodec::Paper);
         assert_eq!(parse_codec("vbyte").unwrap(), ListCodec::VByte);
+        assert_eq!(parse_codec("block").unwrap(), ListCodec::Block);
         assert!(parse_codec("zip").is_err());
     }
 

@@ -19,11 +19,23 @@
 //! banded alignment of fine search.
 
 use nucdb_index::{
-    CompressedIndex, Granularity, IndexError, IndexParams, OnDiskIndex, PostingsList,
+    CompressedIndex, FetchStats, Granularity, IndexError, IndexParams, OnDiskIndex, PostingsList,
+    PostingsVisitor,
 };
 use nucdb_seq::Base;
 
 use crate::params::SearchParams;
+
+/// Records per skip-scan group: the hopeless-block probe tracks one
+/// running count maximum per `GROUP_LEN` records instead of re-reading
+/// per-record counters.
+const GROUP_SHIFT: u32 = 6;
+/// `1 << GROUP_SHIFT`.
+const GROUP_LEN: usize = 1 << GROUP_SHIFT;
+/// Widest record range (in groups) a skip probe will scan; a block
+/// covering more records than this is simply decoded — scanning would
+/// cost more than the decode it saves.
+const MAX_SKIP_SCAN_GROUPS: usize = 64;
 
 /// Anything coarse search can fetch postings from (in-memory index,
 /// on-disk index, or the engine's variant wrapper).
@@ -95,6 +107,53 @@ pub trait PostingsSource {
             }
         }
     }
+
+    /// The largest per-record offset count in `code`'s list, when the
+    /// source stores that hint (block-codec indexes do). `None` means
+    /// "no hint available" and disables hopeless-block skipping for the
+    /// whole query; an absent code reports `Some(0)`.
+    fn list_max_count(&self, code: u64) -> Option<u32> {
+        let _ = code;
+        None
+    }
+
+    /// Visitor-driven fetch with work accounting: like [`fetch_with`],
+    /// but the visitor may also veto whole blocks via
+    /// [`PostingsVisitor::skip_block`], and the return carries
+    /// [`FetchStats`] (bytes read, ids decoded, blocks decoded/skipped)
+    /// instead of a bare `df`. The default wraps [`fetch_with`]: no
+    /// skipping, plain stats.
+    ///
+    /// [`fetch_with`]: PostingsSource::fetch_with
+    fn fetch_stream(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        Ok(self
+            .fetch_with(code, io_buf, &mut |record, offset| {
+                visitor.visit(record, offset)
+            })?
+            .map(FetchStats::plain))
+    }
+
+    /// Counts-mode companion of [`fetch_stream`]: `visit(record, count)`
+    /// per entry, with the same skip hook and stats.
+    ///
+    /// [`fetch_stream`]: PostingsSource::fetch_stream
+    fn fetch_counts_stream(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        Ok(self
+            .fetch_counts_with(code, io_buf, &mut |record, count| {
+                visitor.visit(record, count)
+            })?
+            .map(FetchStats::plain))
+    }
 }
 
 /// Implement the forwarding boilerplate of [`PostingsSource`] for a
@@ -146,6 +205,28 @@ forward_postings_source!(CompressedIndex {
     ) -> Result<Option<u32>, IndexError> {
         self.counts_with(code, visit)
     }
+
+    fn list_max_count(&self, code: u64) -> Option<u32> {
+        CompressedIndex::list_max_count(self, code)
+    }
+
+    fn fetch_stream(
+        &self,
+        code: u64,
+        _io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        self.postings_stream(code, visitor)
+    }
+
+    fn fetch_counts_stream(
+        &self,
+        code: u64,
+        _io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        self.counts_stream(code, visitor)
+    }
 });
 
 forward_postings_source!(OnDiskIndex {
@@ -165,6 +246,28 @@ forward_postings_source!(OnDiskIndex {
         visit: &mut dyn FnMut(u32, u32),
     ) -> Result<Option<u32>, IndexError> {
         self.counts_with(code, io_buf, visit)
+    }
+
+    fn list_max_count(&self, code: u64) -> Option<u32> {
+        OnDiskIndex::list_max_count(self, code)
+    }
+
+    fn fetch_stream(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        self.postings_stream(code, io_buf, visitor)
+    }
+
+    fn fetch_counts_stream(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        self.counts_stream(code, io_buf, visitor)
     }
 });
 
@@ -215,8 +318,18 @@ pub struct CoarseOutcome {
     pub intervals_looked_up: u64,
     /// Lists found in the index.
     pub lists_fetched: u64,
-    /// Postings entries decoded across all fetched lists.
+    /// Postings entries decoded across all fetched lists. With the block
+    /// codec, entries inside skipped blocks are *not* counted here.
     pub postings_decoded: u64,
+    /// Compressed postings bytes read (block codec: the whole stored
+    /// list including its skip table — skipping saves decode work, not
+    /// I/O; other codecs: the encoded list).
+    pub postings_bytes_read: u64,
+    /// Blocks whose payload was unpacked (block-codec lists only; zero
+    /// for the bit-serial codecs, which have no blocks).
+    pub blocks_decoded: u64,
+    /// Blocks proven hopeless and skipped without decoding.
+    pub blocks_skipped: u64,
     /// Total `(query position, record offset)` hit pairs accumulated.
     pub total_hits: u64,
     /// Nanoseconds extracting and sorting the query's interval codes.
@@ -266,6 +379,16 @@ pub struct CoarseScratch {
     io_buf: Vec<u8>,
     /// Candidate build area (sorted and truncated before copy-out).
     candidates: Vec<CoarseHit>,
+    /// Running per-group count maxima for the hopeless-block probe
+    /// (one entry per [`GROUP_LEN`] records; lazily cleared via
+    /// `touched`, so it is only trustworthy right after [`begin`]).
+    ///
+    /// [`begin`]: CoarseScratch::begin
+    group_max: Vec<u32>,
+    /// Per-code-run suffix potentials for the skip plan:
+    /// `run_suffix[j]` bounds how much runs `j..` can still add to any
+    /// record's count.
+    run_suffix: Vec<u64>,
 }
 
 impl CoarseScratch {
@@ -291,9 +414,182 @@ impl CoarseScratch {
             self.stamp.fill(0);
             self.generation = 0;
         }
+        // Lazily reset the skip probe's group maxima: only groups
+        // holding a record the *previous* query touched can be nonzero,
+        // and with skipping active the accumulator limit is off, so
+        // every counted record is in `touched`.
+        if !self.group_max.is_empty() {
+            for &record in &self.touched {
+                if let Some(g) = self.group_max.get_mut(record as usize >> GROUP_SHIFT) {
+                    *g = 0;
+                }
+            }
+        }
         self.generation += 1;
         self.touched.clear();
         self.hits.clear();
+    }
+}
+
+/// Decide whether hopeless-block skipping can run for this query, and
+/// if so fill `run_suffix[j]` with the (saturating) upper bound on what
+/// code runs `j..` can still add to any single record's count. Each
+/// run's potential is `qlen_j × max_count_j` — on the offsets path a
+/// record gains `qlen` per offset (at most `max_count` offsets), and on
+/// the counts path it gains `count × qlen ≤ max_count × qlen` at once,
+/// so the same bound covers both.
+///
+/// Returns `false` — plan inactive — when the floor is zero, any run's
+/// list lacks a max-count hint, or even a record first touched by the
+/// *last* run could still reach the floor (then no τ is ever positive).
+fn build_skip_plan<S: PostingsSource + ?Sized>(
+    index: &S,
+    codes: &[(u64, u32)],
+    floor: u64,
+    run_suffix: &mut Vec<u64>,
+) -> bool {
+    run_suffix.clear();
+    if floor == 0 {
+        return false;
+    }
+    let mut run_start = 0usize;
+    while run_start < codes.len() {
+        let code = codes[run_start].0;
+        let mut run_end = run_start;
+        while run_end < codes.len() && codes[run_end].0 == code {
+            run_end += 1;
+        }
+        let qlen = (run_end - run_start) as u64;
+        run_start = run_end;
+        let Some(max_count) = index.list_max_count(code) else {
+            run_suffix.clear();
+            return false;
+        };
+        run_suffix.push(qlen.saturating_mul(max_count as u64));
+    }
+    let mut acc = 0u64;
+    for pot in run_suffix.iter_mut().rev() {
+        acc = acc.saturating_add(*pot);
+        *pot = acc;
+    }
+    // τ_j = floor − suffix_j is largest at the final run; if it is not
+    // positive even there, the probe can never fire.
+    match run_suffix.last() {
+        Some(&last) => last < floor,
+        None => false,
+    }
+}
+
+/// The hopeless-block test shared by both accumulate paths: every
+/// record in `lo..=hi` is provably unable to reach the coarse floor iff
+/// the plan is active (`group_max` present, `tau > 0`) and no covering
+/// group has accumulated a count of `tau` or more. Ranges wider than
+/// [`MAX_SKIP_SCAN_GROUPS`] groups are decoded rather than scanned.
+fn hopeless(group_max: Option<&[u32]>, tau: u32, lo: u32, hi: u32) -> bool {
+    let Some(group_max) = group_max else {
+        return false;
+    };
+    if tau == 0 || hi < lo {
+        return false;
+    }
+    let g_lo = lo as usize >> GROUP_SHIFT;
+    let g_hi = hi as usize >> GROUP_SHIFT;
+    if g_hi - g_lo >= MAX_SKIP_SCAN_GROUPS {
+        return false;
+    }
+    group_max
+        .get(g_lo..=g_hi)
+        .is_some_and(|groups| groups.iter().all(|&m| m < tau))
+}
+
+/// Per-run visitor for the offsets path: replicates the stamped
+/// accumulate (count hit pairs, record diagonals) and answers the block
+/// decoder's skip probes against the current run's τ threshold.
+struct HitAccumulator<'a> {
+    generation: u32,
+    limit: usize,
+    qrun: &'a [(u64, u32)],
+    stamp: &'a mut [u32],
+    counts: &'a mut [u32],
+    slot: &'a mut [u32],
+    touched: &'a mut Vec<u32>,
+    hits: &'a mut Vec<(u32, i64)>,
+    group_max: Option<&'a mut [u32]>,
+    tau: u32,
+}
+
+impl PostingsVisitor for HitAccumulator<'_> {
+    fn visit(&mut self, record: u32, offset: u32) {
+        let r = record as usize;
+        if self.stamp[r] != self.generation {
+            if self.touched.len() >= self.limit {
+                return;
+            }
+            self.stamp[r] = self.generation;
+            self.counts[r] = 0;
+            self.slot[r] = self.touched.len() as u32;
+            self.touched.push(record);
+        }
+        let total = self.counts[r] + self.qrun.len() as u32;
+        self.counts[r] = total;
+        if let Some(group_max) = self.group_max.as_deref_mut() {
+            let g = &mut group_max[r >> GROUP_SHIFT];
+            if *g < total {
+                *g = total;
+            }
+        }
+        for &(_, qpos) in self.qrun {
+            self.hits.push((record, offset as i64 - qpos as i64));
+        }
+    }
+
+    fn skip_block(&mut self, lo: u32, hi: u32) -> bool {
+        hopeless(self.group_max.as_deref(), self.tau, lo, hi)
+    }
+}
+
+/// Per-run visitor for the counts path (record-granularity indexes and
+/// counts-mode decodes): same stamped accumulate, count contributions
+/// scaled by the run's query-position multiplicity.
+struct CountsAccumulator<'a> {
+    generation: u32,
+    limit: usize,
+    qpositions: u32,
+    total_hits: &'a mut u64,
+    stamp: &'a mut [u32],
+    counts: &'a mut [u32],
+    slot: &'a mut [u32],
+    touched: &'a mut Vec<u32>,
+    group_max: Option<&'a mut [u32]>,
+    tau: u32,
+}
+
+impl PostingsVisitor for CountsAccumulator<'_> {
+    fn visit(&mut self, record: u32, count: u32) {
+        let r = record as usize;
+        if self.stamp[r] != self.generation {
+            if self.touched.len() >= self.limit {
+                return;
+            }
+            self.stamp[r] = self.generation;
+            self.counts[r] = 0;
+            self.slot[r] = self.touched.len() as u32;
+            self.touched.push(record);
+        }
+        let contribution = count * self.qpositions;
+        let total = self.counts[r] + contribution;
+        self.counts[r] = total;
+        *self.total_hits += contribution as u64;
+        if let Some(group_max) = self.group_max.as_deref_mut() {
+            let g = &mut group_max[r >> GROUP_SHIFT];
+            if *g < total {
+                *g = total;
+            }
+        }
+    }
+
+    fn skip_block(&mut self, lo: u32, hi: u32) -> bool {
+        hopeless(self.group_max.as_deref(), self.tau, lo, hi)
     }
 }
 
@@ -371,6 +667,20 @@ pub fn coarse_rank_with<S: PostingsSource>(
     // ascending-code order of the first contributing interval.
     let accumulator_limit = params.max_accumulators.unwrap_or(usize::MAX).max(1);
     scratch.begin(index.num_records() as usize);
+    // Hopeless-block skipping is sound only when every counted record is
+    // tracked (no accumulator limit): a skipped record's final count is
+    // then provably below the floor, so dropping its hits cannot change
+    // the surviving candidates.
+    let floor = params.min_coarse_hits as u64;
+    let skipping = params.max_accumulators.is_none()
+        && build_skip_plan(index, &scratch.codes, floor, &mut scratch.run_suffix);
+    if skipping {
+        let groups = (index.num_records() as usize).div_ceil(GROUP_LEN);
+        if scratch.group_max.len() != groups {
+            scratch.group_max.clear();
+            scratch.group_max.resize(groups, 0);
+        }
+    }
     let CoarseScratch {
         generation,
         stamp,
@@ -383,10 +693,13 @@ pub fn coarse_rank_with<S: PostingsSource>(
         codes,
         io_buf,
         candidates,
+        group_max,
+        run_suffix,
     } = scratch;
     let generation = *generation;
     let accumulate_start = std::time::Instant::now();
 
+    let mut run_index = 0usize;
     let mut run_start = 0usize;
     while run_start < codes.len() {
         let code = codes[run_start].0;
@@ -396,26 +709,31 @@ pub fn coarse_rank_with<S: PostingsSource>(
         }
         let qrun = &codes[run_start..run_end];
         run_start = run_end;
+        let tau = if skipping {
+            floor.saturating_sub(run_suffix[run_index]) as u32
+        } else {
+            0
+        };
+        run_index += 1;
 
-        let fetched = index.fetch_with(code, io_buf, &mut |record, offset| {
-            let r = record as usize;
-            if stamp[r] != generation {
-                if touched.len() >= accumulator_limit {
-                    return;
-                }
-                stamp[r] = generation;
-                counts[r] = 0;
-                slot[r] = touched.len() as u32;
-                touched.push(record);
-            }
-            counts[r] += qrun.len() as u32;
-            for &(_, qpos) in qrun {
-                hits.push((record, offset as i64 - qpos as i64));
-            }
-        })?;
-        if let Some(df) = fetched {
+        let mut acc = HitAccumulator {
+            generation,
+            limit: accumulator_limit,
+            qrun,
+            stamp: stamp.as_mut_slice(),
+            counts: counts.as_mut_slice(),
+            slot: slot.as_mut_slice(),
+            touched: &mut *touched,
+            hits: &mut *hits,
+            group_max: skipping.then_some(group_max.as_mut_slice()),
+            tau,
+        };
+        if let Some(stats) = index.fetch_stream(code, io_buf, &mut acc)? {
             outcome.lists_fetched += 1;
-            outcome.postings_decoded += df as u64;
+            outcome.postings_decoded += stats.ids_decoded;
+            outcome.postings_bytes_read += stats.bytes_read;
+            outcome.blocks_decoded += stats.blocks_decoded as u64;
+            outcome.blocks_skipped += stats.blocks_skipped as u64;
         }
     }
     outcome.total_hits = hits.len() as u64;
@@ -517,6 +835,18 @@ fn coarse_rank_counts<S: PostingsSource>(
 ) -> Result<CoarseOutcome, IndexError> {
     let accumulator_limit = params.max_accumulators.unwrap_or(usize::MAX).max(1);
     scratch.begin(index.num_records() as usize);
+    // Same soundness condition as the offsets path; the counts filter
+    // floors at 1 even when `min_coarse_hits` is 0.
+    let floor = params.min_coarse_hits.max(1) as u64;
+    let skipping = params.max_accumulators.is_none()
+        && build_skip_plan(index, &scratch.codes, floor, &mut scratch.run_suffix);
+    if skipping {
+        let groups = (index.num_records() as usize).div_ceil(GROUP_LEN);
+        if scratch.group_max.len() != groups {
+            scratch.group_max.clear();
+            scratch.group_max.resize(groups, 0);
+        }
+    }
     let CoarseScratch {
         generation,
         stamp,
@@ -526,12 +856,15 @@ fn coarse_rank_counts<S: PostingsSource>(
         codes,
         io_buf,
         candidates,
+        group_max,
+        run_suffix,
         ..
     } = scratch;
     let generation = *generation;
     let accumulate_start = std::time::Instant::now();
     let mut total_hits = 0u64;
 
+    let mut run_index = 0usize;
     let mut run_start = 0usize;
     while run_start < codes.len() {
         let code = codes[run_start].0;
@@ -541,25 +874,31 @@ fn coarse_rank_counts<S: PostingsSource>(
         }
         let qpositions = (run_end - run_start) as u32;
         run_start = run_end;
+        let tau = if skipping {
+            floor.saturating_sub(run_suffix[run_index]) as u32
+        } else {
+            0
+        };
+        run_index += 1;
 
-        let fetched = index.fetch_counts_with(code, io_buf, &mut |record, count| {
-            let r = record as usize;
-            if stamp[r] != generation {
-                if touched.len() >= accumulator_limit {
-                    return;
-                }
-                stamp[r] = generation;
-                counts[r] = 0;
-                slot[r] = touched.len() as u32;
-                touched.push(record);
-            }
-            let contribution = count * qpositions;
-            counts[r] += contribution;
-            total_hits += contribution as u64;
-        })?;
-        if let Some(df) = fetched {
+        let mut acc = CountsAccumulator {
+            generation,
+            limit: accumulator_limit,
+            qpositions,
+            total_hits: &mut total_hits,
+            stamp: stamp.as_mut_slice(),
+            counts: counts.as_mut_slice(),
+            slot: slot.as_mut_slice(),
+            touched: &mut *touched,
+            group_max: skipping.then_some(group_max.as_mut_slice()),
+            tau,
+        };
+        if let Some(stats) = index.fetch_counts_stream(code, io_buf, &mut acc)? {
             outcome.lists_fetched += 1;
-            outcome.postings_decoded += df as u64;
+            outcome.postings_decoded += stats.ids_decoded;
+            outcome.postings_bytes_read += stats.bytes_read;
+            outcome.blocks_decoded += stats.blocks_decoded as u64;
+            outcome.blocks_skipped += stats.blocks_skipped as u64;
         }
     }
     outcome.total_hits = total_hits;
@@ -829,5 +1168,146 @@ mod tests {
         assert!(outcome.intervals_looked_up > 0);
         assert!(outcome.lists_fetched <= outcome.intervals_looked_up);
         assert!(outcome.total_hits >= outcome.postings_decoded);
+    }
+
+    /// A collection engineered so hopeless-block skipping can fire: many
+    /// records share a long common segment (multi-block lists), and one
+    /// record additionally matches the query's unique half.
+    fn skip_collection() -> (Vec<Vec<u8>>, Vec<Base>) {
+        let common = b"ACGTAGCTAGCTGGATCCAATTGGCCAACC";
+        let unique = b"TGCATGCATTGCAACGGTACCTTAGGCATC";
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        let mut full = Vec::from(&common[..]);
+        full.extend_from_slice(unique);
+        records.push(full);
+        for i in 0..400usize {
+            let mut r = Vec::from(&common[..]);
+            // Distinct tails so records differ, built from one base to
+            // avoid accidentally sharing query intervals.
+            r.extend(std::iter::repeat_n(b"GCTA"[i % 4], 8));
+            records.push(r);
+        }
+        let mut query = Vec::from(&common[..]);
+        query.extend_from_slice(unique);
+        (records, bases(&query))
+    }
+
+    fn build_with(records: &[Vec<u8>], k: usize, codec: nucdb_index::ListCodec) -> CompressedIndex {
+        let mut builder = IndexBuilder::new(IndexParams::new(k)).with_codec(codec);
+        for r in records {
+            builder.add_record(&bases(r));
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn block_codec_ranks_identically_to_paper_codec() {
+        use nucdb_index::ListCodec;
+        let (records, query) = skip_collection();
+        let paper = build_with(&records, 8, ListCodec::Paper);
+        let block = build_with(&records, 8, ListCodec::Block);
+        for min_coarse_hits in [0, 1, 2, 16, 40, 80, 200] {
+            let p = SearchParams {
+                min_coarse_hits,
+                max_candidates: 500,
+                ..SearchParams::default()
+            };
+            let a = coarse_rank(&paper, &query, &p).unwrap();
+            let b = coarse_rank(&block, &query, &p).unwrap();
+            assert_eq!(a.candidates, b.candidates, "floor {min_coarse_hits}");
+            // Skipping may reduce decode work but never hit accounting
+            // for surviving candidates.
+            assert!(a.total_hits >= b.total_hits, "floor {min_coarse_hits}");
+        }
+    }
+
+    #[test]
+    fn hopeless_blocks_are_skipped_under_a_high_floor() {
+        use nucdb_index::ListCodec;
+        let (records, query) = skip_collection();
+        let block = build_with(&records, 8, ListCodec::Block);
+        let p = SearchParams {
+            // Only record 0 (common + unique halves) can clear this.
+            min_coarse_hits: 40,
+            max_candidates: 500,
+            ..SearchParams::default()
+        };
+        let outcome = coarse_rank(&block, &query, &p).unwrap();
+        assert!(
+            outcome.blocks_skipped > 0,
+            "expected skips: decoded {} skipped {}",
+            outcome.blocks_decoded,
+            outcome.blocks_skipped
+        );
+        assert!(outcome.postings_bytes_read > 0);
+        assert!(outcome.candidates.iter().any(|c| c.record == 0));
+        // Every survivor genuinely clears the floor.
+        assert!(outcome.candidates.iter().all(|c| c.hits >= 40));
+    }
+
+    #[test]
+    fn scratch_reuse_across_codecs_and_floors_is_sound() {
+        use nucdb_index::ListCodec;
+        let (records, query) = skip_collection();
+        let paper = build_with(&records, 8, ListCodec::Paper);
+        let block = build_with(&records, 8, ListCodec::Block);
+        let mut scratch = CoarseScratch::new();
+        // Interleave skip-active and skip-inactive queries through one
+        // scratch; stale group maxima must never suppress a candidate.
+        for min_coarse_hits in [40, 1, 80, 2, 40] {
+            let p = SearchParams {
+                min_coarse_hits,
+                max_candidates: 500,
+                ..SearchParams::default()
+            };
+            let fresh = coarse_rank(&block, &query, &p).unwrap();
+            let reused = coarse_rank_with(&block, &query, &p, &mut scratch).unwrap();
+            assert_eq!(
+                fresh.candidates, reused.candidates,
+                "floor {min_coarse_hits}"
+            );
+            let baseline = coarse_rank_with(&paper, &query, &p, &mut scratch).unwrap();
+            assert_eq!(
+                baseline.candidates, fresh.candidates,
+                "floor {min_coarse_hits}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_limit_disables_skipping() {
+        use nucdb_index::ListCodec;
+        let (records, query) = skip_collection();
+        let block = build_with(&records, 8, ListCodec::Block);
+        let p = SearchParams {
+            min_coarse_hits: 40,
+            max_accumulators: Some(8),
+            max_candidates: 500,
+            ..SearchParams::default()
+        };
+        let outcome = coarse_rank(&block, &query, &p).unwrap();
+        assert_eq!(outcome.blocks_skipped, 0);
+    }
+
+    #[test]
+    fn work_counters_report_block_decode_activity() {
+        use nucdb_index::ListCodec;
+        let (records, query) = skip_collection();
+        let paper = build_with(&records, 8, ListCodec::Paper);
+        let block = build_with(&records, 8, ListCodec::Block);
+        let p = SearchParams {
+            min_coarse_hits: 1,
+            max_candidates: 500,
+            ..SearchParams::default()
+        };
+        let a = coarse_rank(&paper, &query, &p).unwrap();
+        let b = coarse_rank(&block, &query, &p).unwrap();
+        // No floor pressure → nothing skipped, every posting decoded on
+        // both sides.
+        assert_eq!(b.blocks_skipped, 0);
+        assert!(b.blocks_decoded > 0);
+        assert_eq!(a.postings_decoded, b.postings_decoded);
+        assert!(a.postings_bytes_read > 0 && b.postings_bytes_read > 0);
+        assert_eq!(a.blocks_decoded, 0);
     }
 }

@@ -6,7 +6,8 @@ use std::time::Instant;
 
 use nucdb_align::Alignment;
 use nucdb_index::{
-    CompressedIndex, IndexBuilder, IndexError, IndexParams, ListCodec, OnDiskIndex, PostingsList,
+    CompressedIndex, FetchStats, IndexBuilder, IndexError, IndexParams, ListCodec, OnDiskIndex,
+    PostingsList, PostingsVisitor,
 };
 use nucdb_seq::DnaSeq;
 
@@ -106,6 +107,37 @@ impl PostingsSource for IndexVariant {
             IndexVariant::Disk(i) => i.counts_with(code, io_buf, visit),
         }
     }
+
+    fn list_max_count(&self, code: u64) -> Option<u32> {
+        match self {
+            IndexVariant::Memory(i) => i.list_max_count(code),
+            IndexVariant::Disk(i) => i.list_max_count(code),
+        }
+    }
+
+    fn fetch_stream(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        match self {
+            IndexVariant::Memory(i) => i.postings_stream(code, visitor),
+            IndexVariant::Disk(i) => i.postings_stream(code, io_buf, visitor),
+        }
+    }
+
+    fn fetch_counts_stream(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        match self {
+            IndexVariant::Memory(i) => i.counts_stream(code, visitor),
+            IndexVariant::Disk(i) => i.counts_stream(code, io_buf, visitor),
+        }
+    }
 }
 
 /// One answer to a query.
@@ -135,8 +167,15 @@ pub struct QueryStats {
     pub intervals_looked_up: u64,
     /// Postings lists found and decoded.
     pub lists_fetched: u64,
-    /// Postings entries decoded.
+    /// Postings entries decoded (entries inside skipped blocks are not
+    /// counted).
     pub postings_decoded: u64,
+    /// Compressed postings bytes read.
+    pub postings_bytes_read: u64,
+    /// Block-codec blocks unpacked.
+    pub blocks_decoded: u64,
+    /// Block-codec blocks proven hopeless and skipped undecoded.
+    pub blocks_skipped: u64,
     /// Hit pairs accumulated.
     pub total_hits: u64,
     /// Candidates passed to fine search.
@@ -362,6 +401,9 @@ impl Database {
         stats.intervals_looked_up += coarse.intervals_looked_up;
         stats.lists_fetched += coarse.lists_fetched;
         stats.postings_decoded += coarse.postings_decoded;
+        stats.postings_bytes_read += coarse.postings_bytes_read;
+        stats.blocks_decoded += coarse.blocks_decoded;
+        stats.blocks_skipped += coarse.blocks_skipped;
         stats.total_hits += coarse.total_hits;
         stats.candidates += coarse.candidates.len() as u64;
         stats.fine_alignments += coarse.candidates.len() as u64;

@@ -46,6 +46,11 @@ pub enum ListCodec {
     /// and offset lists, gamma for counts: the strongest classic
     /// compressor for clustered postings.
     Interp,
+    /// Fixed 128-posting blocks, each bitpacked at its own width and
+    /// fronted by a skip entry (max record id, byte extent, CRC-32): the
+    /// fast-decode tier, serialized on disk as `NUCIDX04`. See
+    /// [`crate::block`].
+    Block,
 }
 
 impl ListCodec {
@@ -58,6 +63,7 @@ impl ListCodec {
             ListCodec::VByte => 3,
             ListCodec::Fixed => 4,
             ListCodec::Interp => 5,
+            ListCodec::Block => 6,
         }
     }
 
@@ -70,6 +76,7 @@ impl ListCodec {
             3 => ListCodec::VByte,
             4 => ListCodec::Fixed,
             5 => ListCodec::Interp,
+            6 => ListCodec::Block,
             _ => return Err(IndexError::bad_in("unknown list codec tag", "params")),
         })
     }
@@ -83,6 +90,7 @@ impl ListCodec {
             ListCodec::VByte => "vbyte",
             ListCodec::Fixed => "fixed-width",
             ListCodec::Interp => "interpolative",
+            ListCodec::Block => "block-128",
         }
     }
 
@@ -98,6 +106,9 @@ impl ListCodec {
             ListCodec::Interp => {
                 unreachable!("interpolative lists are coded whole, not per gap")
             }
+            ListCodec::Block => {
+                unreachable!("block lists are coded by the block module, not per gap")
+            }
         }
     }
 
@@ -108,6 +119,9 @@ impl ListCodec {
             ListCodec::Delta => Coder::Delta,
             ListCodec::VByte => Coder::VByte,
             ListCodec::Fixed => Coder::Fixed(FixedWidth::new(32)),
+            ListCodec::Block => {
+                unreachable!("block lists are coded by the block module, not per count")
+            }
         }
     }
 }
@@ -145,12 +159,74 @@ impl Coder {
     }
 }
 
+/// Per-list work counters reported by the streaming fetch paths: how
+/// much the caller actually paid to evaluate one list. `bytes_read` is
+/// the list's full byte length (skipping saves decode work, not I/O);
+/// `blocks_decoded`/`blocks_skipped` are zero for non-block codecs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// The list's document frequency.
+    pub df: u32,
+    /// Compressed bytes fetched for the list.
+    pub bytes_read: u64,
+    /// Record ids actually decoded (skipped blocks excluded).
+    pub ids_decoded: u64,
+    /// Blocks CRC-verified and unpacked (block codec only).
+    pub blocks_decoded: u32,
+    /// Blocks refused by the visitor's skip callback (block codec only).
+    pub blocks_skipped: u32,
+}
+
+impl FetchStats {
+    /// Counters for a fully-decoded non-block list of `df` entries.
+    pub fn plain(df: u32) -> FetchStats {
+        FetchStats {
+            df,
+            bytes_read: 0,
+            ids_decoded: df as u64,
+            blocks_decoded: 0,
+            blocks_skipped: 0,
+        }
+    }
+}
+
+/// Visitor driven by the streaming fetch paths. `visit` receives
+/// `(record, offset)` pairs on the postings paths and `(record, count)`
+/// pairs on the counts paths, always in ascending record order.
+///
+/// On a block-coded list, `skip_block(lo, hi)` is consulted before each
+/// block is checksummed or unpacked: `lo..=hi` bounds every record id
+/// the block can contain, and returning `true` skips the block entirely.
+/// Non-block codecs never call it — implementations must stay correct
+/// when every block is visited.
+pub trait PostingsVisitor {
+    /// One posting (or one record's count).
+    fn visit(&mut self, record: u32, value: u32);
+
+    /// May the decoder drop the block covering records `lo..=hi`?
+    fn skip_block(&mut self, lo: u32, hi: u32) -> bool {
+        let _ = (lo, hi);
+        false
+    }
+}
+
+/// Adapter presenting a plain closure as a never-skipping
+/// [`PostingsVisitor`].
+struct FnVisitor<F>(F);
+
+impl<F: FnMut(u32, u32)> PostingsVisitor for FnVisitor<F> {
+    fn visit(&mut self, record: u32, value: u32) {
+        (self.0)(record, value)
+    }
+}
+
 /// Encode one postings list into a byte-aligned blob.
 ///
 /// `record_lens` must cover every record id in the list. With
 /// [`Granularity::Records`] only record gaps and occurrence counts are
 /// written; offsets are dropped (the paper family's coarse-grained index
-/// option).
+/// option). `ListCodec::Block` ignores `record_lens` (its widths are
+/// stored, not fitted).
 pub fn encode_postings(
     list: &PostingsList,
     num_records: u32,
@@ -159,6 +235,9 @@ pub fn encode_postings(
     granularity: Granularity,
 ) -> Vec<u8> {
     debug_assert!(list.is_well_formed());
+    if codec == ListCodec::Block {
+        return crate::block::encode_block_postings(list, granularity);
+    }
     if codec == ListCodec::Interp {
         return encode_postings_interp(list, num_records, record_lens, granularity);
     }
@@ -210,6 +289,19 @@ pub fn decode_postings_with<F: FnMut(u32, u32)>(
     codec: ListCodec,
     mut visit: F,
 ) -> Result<(), IndexError> {
+    if codec == ListCodec::Block {
+        let mut visitor = FnVisitor(&mut visit);
+        crate::block::decode_block_stream(
+            bytes,
+            df,
+            num_records,
+            record_lens,
+            Granularity::Offsets,
+            true,
+            &mut visitor,
+        )?;
+        return Ok(());
+    }
     if codec == ListCodec::Interp {
         let (list, _) =
             decode_postings_interp(bytes, df, num_records, record_lens, Granularity::Offsets)?;
@@ -265,6 +357,19 @@ pub fn decode_counts_with<F: FnMut(u32, u32)>(
     granularity: Granularity,
     mut visit: F,
 ) -> Result<(), IndexError> {
+    if codec == ListCodec::Block {
+        let mut visitor = FnVisitor(&mut visit);
+        crate::block::decode_block_stream(
+            bytes,
+            df,
+            num_records,
+            record_lens,
+            granularity,
+            false,
+            &mut visitor,
+        )?;
+        return Ok(());
+    }
     if codec == ListCodec::Interp {
         // The interpolative layout fronts records and counts, so a
         // counts-only decode never touches the offset section.
@@ -466,6 +571,10 @@ pub struct CompressedIndex {
     record_lens: Vec<u32>,
     /// Sorted by code for binary-search lookup.
     vocab: Vec<VocabEntry>,
+    /// Per-list maximum per-record occurrence count, parallel to `vocab`.
+    /// Present only for the block codec (stored in `NUCIDX04` headers);
+    /// it powers hopeless-block skipping in coarse search.
+    max_counts: Option<Vec<u32>>,
     blob: Vec<u8>,
 }
 
@@ -481,6 +590,7 @@ impl CompressedIndex {
         let num_records = record_lens.len() as u32;
         let mut vocab = Vec::new();
         let mut blob = Vec::new();
+        let mut max_counts = (codec == ListCodec::Block).then(Vec::new);
         let mut prev_code: Option<u64> = None;
         for (code, list) in lists {
             assert!(
@@ -499,6 +609,15 @@ impl CompressedIndex {
                 len: bytes.len() as u32,
                 df: list.df() as u32,
             });
+            if let Some(max_counts) = &mut max_counts {
+                max_counts.push(
+                    list.entries
+                        .iter()
+                        .map(|p| p.offsets.len() as u32)
+                        .max()
+                        .unwrap_or(0),
+                );
+            }
             blob.extend_from_slice(&bytes);
         }
         CompressedIndex {
@@ -506,23 +625,28 @@ impl CompressedIndex {
             codec,
             record_lens,
             vocab,
+            max_counts,
             blob,
         }
     }
 
     /// Reassemble from parts (used by the on-disk reader).
+    /// `max_counts`, when present, must be parallel to `vocab`.
     pub(crate) fn from_parts(
         params: IndexParams,
         codec: ListCodec,
         record_lens: Vec<u32>,
         vocab: Vec<VocabEntry>,
+        max_counts: Option<Vec<u32>>,
         blob: Vec<u8>,
     ) -> CompressedIndex {
+        debug_assert!(max_counts.as_ref().is_none_or(|m| m.len() == vocab.len()));
         CompressedIndex {
             params,
             codec,
             record_lens,
             vocab,
+            max_counts,
             blob,
         }
     }
@@ -573,6 +697,127 @@ impl CompressedIndex {
             .binary_search_by_key(&code, |e| e.code)
             .ok()
             .map(|idx| &self.vocab[idx])
+    }
+
+    /// Per-list maximum per-record occurrence counts, parallel to the
+    /// vocabulary — present only on block-codec indexes.
+    pub fn max_counts(&self) -> Option<&[u32]> {
+        self.max_counts.as_deref()
+    }
+
+    /// The largest per-record occurrence count in `code`'s list, when
+    /// the index stores that bound (block codec). `None` means the bound
+    /// is unavailable on this index; absent codes report `Some(0)`.
+    pub fn list_max_count(&self, code: u64) -> Option<u32> {
+        let max_counts = self.max_counts.as_ref()?;
+        match self.vocab.binary_search_by_key(&code, |e| e.code) {
+            Ok(idx) => Some(max_counts[idx]),
+            Err(_) => Some(0),
+        }
+    }
+
+    /// The max-count table, computing it by decoding every list when the
+    /// index was loaded from a format that doesn't store it (an offline
+    /// cost paid only when rewriting such an index as `NUCIDX04`).
+    pub(crate) fn max_counts_or_compute(&self) -> Result<Vec<u32>, IndexError> {
+        if let Some(max_counts) = &self.max_counts {
+            return Ok(max_counts.clone());
+        }
+        self.vocab
+            .iter()
+            .map(|entry| {
+                let mut max_count = 0u32;
+                self.counts_with(entry.code, |_, count| max_count = max_count.max(count))?;
+                Ok(max_count)
+            })
+            .collect()
+    }
+
+    /// Streaming postings fetch driving a [`PostingsVisitor`] and
+    /// reporting work counters; on a block-codec index the visitor's
+    /// `skip_block` may refuse hopeless blocks. `Ok(None)` if the
+    /// interval is absent.
+    pub fn postings_stream(
+        &self,
+        code: u64,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        if self.params.granularity == Granularity::Records {
+            return Err(IndexError::Unsupported(
+                "record-granularity index stores no offsets",
+            ));
+        }
+        let Some(entry) = self.entry(code) else {
+            return Ok(None);
+        };
+        let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
+        let mut stats = FetchStats::plain(entry.df);
+        stats.bytes_read = entry.len as u64;
+        if self.codec == ListCodec::Block {
+            let block = crate::block::decode_block_stream(
+                bytes,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                Granularity::Offsets,
+                true,
+                visitor,
+            )?;
+            stats.ids_decoded = block.ids_decoded;
+            stats.blocks_decoded = block.blocks_decoded;
+            stats.blocks_skipped = block.blocks_skipped;
+        } else {
+            decode_postings_with(
+                bytes,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                self.codec,
+                |record, offset| visitor.visit(record, offset),
+            )?;
+        }
+        Ok(Some(stats))
+    }
+
+    /// Streaming counts fetch: the counts-path twin of
+    /// [`CompressedIndex::postings_stream`], working at either
+    /// granularity.
+    pub fn counts_stream(
+        &self,
+        code: u64,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        let Some(entry) = self.entry(code) else {
+            return Ok(None);
+        };
+        let bytes = &self.blob[entry.offset as usize..(entry.offset + entry.len as u64) as usize];
+        let mut stats = FetchStats::plain(entry.df);
+        stats.bytes_read = entry.len as u64;
+        if self.codec == ListCodec::Block {
+            let block = crate::block::decode_block_stream(
+                bytes,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                self.params.granularity,
+                false,
+                visitor,
+            )?;
+            stats.ids_decoded = block.ids_decoded;
+            stats.blocks_decoded = block.blocks_decoded;
+            stats.blocks_skipped = block.blocks_skipped;
+        } else {
+            decode_counts_with(
+                bytes,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                self.codec,
+                self.params.granularity,
+                |record, count| visitor.visit(record, count),
+            )?;
+        }
+        Ok(Some(stats))
     }
 
     /// Decode the postings list for `code`; `Ok(None)` if the interval is
@@ -705,6 +950,12 @@ impl CompressedIndex {
                 + varint_len(entry.df as u64);
             prev_code = entry.code;
         }
+        if let Some(max_counts) = &self.max_counts {
+            total += max_counts
+                .iter()
+                .map(|&m| varint_len(m as u64))
+                .sum::<u64>();
+        }
         total
     }
 
@@ -754,13 +1005,14 @@ mod tests {
         lens
     }
 
-    const ALL_CODECS: [ListCodec; 6] = [
+    const ALL_CODECS: [ListCodec; 7] = [
         ListCodec::Paper,
         ListCodec::Gamma,
         ListCodec::Delta,
         ListCodec::VByte,
         ListCodec::Fixed,
         ListCodec::Interp,
+        ListCodec::Block,
     ];
 
     #[test]
@@ -1012,6 +1264,58 @@ mod tests {
         // Stats still work (offsets counted from the counts decode).
         let stats = index.stats();
         assert_eq!(stats.total_offsets, 2);
+    }
+
+    #[test]
+    fn block_index_exposes_max_counts_and_streams() {
+        let lens = lens();
+        let lists = vec![(3u64, sample_list())];
+        let index = CompressedIndex::from_sorted_lists(
+            IndexParams::new(4),
+            ListCodec::Block,
+            lens.clone(),
+            lists.into_iter(),
+        );
+        // Largest per-record offset count in the sample list is 3.
+        assert_eq!(index.max_counts(), Some(&[3u32][..]));
+        assert_eq!(index.list_max_count(3), Some(3));
+        assert_eq!(index.list_max_count(999), Some(0));
+        assert_eq!(index.max_counts_or_compute().unwrap(), vec![3]);
+
+        struct Collect(Vec<(u32, u32)>);
+        impl PostingsVisitor for Collect {
+            fn visit(&mut self, record: u32, value: u32) {
+                self.0.push((record, value));
+            }
+        }
+        let mut visitor = Collect(Vec::new());
+        let stats = index.postings_stream(3, &mut visitor).unwrap().unwrap();
+        assert_eq!(stats.df, 4);
+        assert_eq!(stats.ids_decoded, 4);
+        assert_eq!(stats.blocks_decoded, 1);
+        assert_eq!(stats.blocks_skipped, 0);
+        assert_eq!(stats.bytes_read, index.blob().len() as u64);
+        let expect: Vec<(u32, u32)> = sample_list()
+            .entries
+            .iter()
+            .flat_map(|p| p.offsets.iter().map(|&o| (p.record, o)))
+            .collect();
+        assert_eq!(visitor.0, expect);
+
+        // A paper-codec build has no max-count hints but still streams.
+        let paper = CompressedIndex::from_sorted_lists(
+            IndexParams::new(4),
+            ListCodec::Paper,
+            lens,
+            vec![(3u64, sample_list())].into_iter(),
+        );
+        assert_eq!(paper.list_max_count(3), None);
+        let mut visitor = Collect(Vec::new());
+        let stats = paper.postings_stream(3, &mut visitor).unwrap().unwrap();
+        assert_eq!(stats.ids_decoded, 4);
+        assert_eq!(stats.blocks_decoded, 0);
+        assert_eq!(visitor.0, expect);
+        assert_eq!(paper.max_counts_or_compute().unwrap(), vec![3]);
     }
 
     #[test]

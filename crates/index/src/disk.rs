@@ -22,17 +22,29 @@
 //! blob bytes                                — each list covered by its list_crc
 //! ```
 //!
+//! Version 4 (magic `NUCIDX04`), written by [`write_index`] when the
+//! codec is [`ListCodec::Block`], is v3 with two changes: each vocab
+//! entry's `list_crc` covers only the list's *skip-table prefix* (the
+//! block payloads carry their own CRC-32s inside the skip entries, so a
+//! point corruption is detected — and costs — one block, not the list),
+//! and each entry gains a `max_count:v` field, the list's largest
+//! per-record occurrence count, which powers hopeless-block skipping in
+//! coarse search. Non-block indexes keep writing byte-identical v3
+//! files.
+//!
 //! Version 2 (legacy, still loadable; [`write_index_v2`] kept for
 //! compatibility tests) is the same minus the length/CRC prefix and the
 //! per-list `list_crc` field, with magic `NUCIDX02`. (`v` = LEB128-style
 //! varint.)
 //!
-//! Every byte of a v3 file is covered by a checksum: the magic and
+//! Every byte of a v3/v4 file is covered by a checksum: the magic and
 //! prefix by the header CRC's span, the header by `header_crc`, and the
 //! blob (whose cumulative list extents cover it exactly) by the per-list
-//! CRCs — so any single corrupted byte is detected at load, and on the
-//! pread path the moment the affected list is fetched. Files are written
-//! through [`AtomicFile`], so a crashed build never leaves a torn index.
+//! CRCs — in v4 the skip tables by the vocab CRCs and every block
+//! payload by its skip-entry CRC — so any single corrupted byte is
+//! detected at load, and on the pread path the moment the affected list
+//! (v4: block) is fetched and decoded. Files are written through
+//! [`AtomicFile`], so a crashed build never leaves a torn index.
 
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
@@ -41,8 +53,8 @@ use std::path::Path;
 use nucdb_obs::{Counter, MetricsRegistry};
 
 use crate::compress::{
-    decode_counts_with, decode_postings, decode_postings_with, CompressedIndex, ListCodec,
-    VocabEntry,
+    decode_counts_with, decode_postings, decode_postings_with, CompressedIndex, FetchStats,
+    ListCodec, PostingsVisitor, VocabEntry,
 };
 use crate::durable::{crc32, read_exact_chunked, AtomicFile, CountingReader};
 use crate::error::IndexError;
@@ -52,10 +64,23 @@ use crate::postings::PostingsList;
 use crate::pread::PositionalReader;
 use crate::stopping::StopPolicy;
 
+const MAGIC_V4: &[u8; 8] = b"NUCIDX04";
 const MAGIC_V3: &[u8; 8] = b"NUCIDX03";
 const MAGIC_V2: &[u8; 8] = b"NUCIDX02";
-/// Bytes before the header in a v3 file: magic + header_len + header_crc.
+/// Bytes before the header in a v3/v4 file: magic + header_len + header_crc.
 const V3_PREFIX_LEN: u64 = 16;
+
+/// How a file's header checksums its lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeaderStyle {
+    /// v2: no per-list checksums.
+    Plain,
+    /// v3: per-list CRC over the whole list.
+    ListCrcs,
+    /// v4 (block codec): per-list CRC over the skip-table prefix only
+    /// (block payloads self-checksum), plus a per-list max-count field.
+    BlockCrcs,
+}
 
 fn write_vu64(out: &mut impl Write, mut value: u64) -> std::io::Result<()> {
     while value >= 0x80 {
@@ -140,12 +165,16 @@ fn read_stopping<R: Read>(
     })
 }
 
-/// Serialize the header fields shared by v2 and v3. When `with_crcs` is
-/// set, each vocabulary entry carries the CRC-32 of its list bytes.
+/// Serialize the header fields shared by v2/v3/v4. With
+/// [`HeaderStyle::ListCrcs`] each vocabulary entry carries the CRC-32 of
+/// its list bytes; with [`HeaderStyle::BlockCrcs`] the CRC covers only
+/// the skip-table prefix and `max_counts` (parallel to the vocabulary)
+/// must be provided.
 fn encode_header_fields(
     out: &mut Vec<u8>,
     index: &CompressedIndex,
-    with_crcs: bool,
+    style: HeaderStyle,
+    max_counts: Option<&[u32]>,
 ) -> Result<(), IndexError> {
     let params = index.params();
     out.push(params.k as u8);
@@ -162,14 +191,21 @@ fn encode_header_fields(
     write_vu64(out, index.vocab().len() as u64)?;
     let blob = index.blob();
     let mut prev_code = 0u64;
-    for entry in index.vocab() {
+    for (idx, entry) in index.vocab().iter().enumerate() {
         write_vu64(out, entry.code - prev_code + 1)?;
         prev_code = entry.code;
         write_vu64(out, entry.len as u64)?;
         write_vu64(out, entry.df as u64)?;
-        if with_crcs {
-            let list = &blob[entry.offset as usize..][..entry.len as usize];
-            write_vu64(out, crc32(list) as u64)?;
+        let list = &blob[entry.offset as usize..][..entry.len as usize];
+        match style {
+            HeaderStyle::Plain => {}
+            HeaderStyle::ListCrcs => write_vu64(out, crc32(list) as u64)?,
+            HeaderStyle::BlockCrcs => {
+                let skip_len = crate::block::skip_table_len(entry.df).min(list.len());
+                write_vu64(out, crc32(&list[..skip_len]) as u64)?;
+                let max_counts = max_counts.expect("v4 headers carry max counts");
+                write_vu64(out, max_counts[idx] as u64)?;
+            }
         }
     }
 
@@ -177,17 +213,29 @@ fn encode_header_fields(
     Ok(())
 }
 
-/// Serialize a [`CompressedIndex`] to `path` in the current (v3) format,
+/// Serialize a [`CompressedIndex`] to `path` in the current format,
 /// atomically: the file is staged in a temp file, `fsync`ed, and renamed
 /// into place, so a crash mid-write never leaves a torn index.
+///
+/// Block-codec indexes are written as `NUCIDX04` (per-block CRCs, stored
+/// max counts); every other codec keeps writing byte-identical `NUCIDX03`
+/// files.
 pub fn write_index(index: &CompressedIndex, path: &Path) -> Result<(), IndexError> {
+    let (magic, style) = if index.codec() == ListCodec::Block {
+        (MAGIC_V4, HeaderStyle::BlockCrcs)
+    } else {
+        (MAGIC_V3, HeaderStyle::ListCrcs)
+    };
+    let max_counts = (style == HeaderStyle::BlockCrcs)
+        .then(|| index.max_counts_or_compute())
+        .transpose()?;
     let mut header = Vec::new();
-    encode_header_fields(&mut header, index, true)?;
+    encode_header_fields(&mut header, index, style, max_counts.as_deref())?;
     let header_len = u32::try_from(header.len())
         .map_err(|_| IndexError::Unsupported("index header exceeds 4 GiB"))?;
 
     let mut out = AtomicFile::create(path)?;
-    out.write_all(MAGIC_V3)?;
+    out.write_all(magic)?;
     out.write_all(&header_len.to_le_bytes())?;
     out.write_all(&crc32(&header).to_le_bytes())?;
     out.write_all(&header)?;
@@ -201,7 +249,7 @@ pub fn write_index(index: &CompressedIndex, path: &Path) -> Result<(), IndexErro
 /// previous release wrote; new code should use [`write_index`].
 pub fn write_index_v2(index: &CompressedIndex, path: &Path) -> Result<(), IndexError> {
     let mut header = Vec::new();
-    encode_header_fields(&mut header, index, false)?;
+    encode_header_fields(&mut header, index, HeaderStyle::Plain, None)?;
     let mut out = AtomicFile::create(path)?;
     out.write_all(MAGIC_V2)?;
     out.write_all(&header)?;
@@ -217,8 +265,13 @@ struct Header {
     record_lens: Vec<u32>,
     vocab: Vec<VocabEntry>,
     /// Per-list CRC-32s, parallel to `vocab`. `None` for legacy v2 files,
-    /// which carry no checksums — those load without verification.
+    /// which carry no checksums — those load without verification. In v4
+    /// files each CRC covers only the list's skip-table prefix.
     list_crcs: Option<Vec<u32>>,
+    /// Per-list max per-record occurrence counts (v4 only).
+    max_counts: Option<Vec<u32>>,
+    /// v4: list CRCs cover skip tables, block payloads self-checksum.
+    per_block_crcs: bool,
     blob_len: u64,
     /// Byte position of the blob within the file.
     blob_start: u64,
@@ -230,7 +283,7 @@ struct Header {
 fn read_header_fields<R: Read>(
     input: &mut CountingReader<R>,
     base: u64,
-    with_crcs: bool,
+    style: HeaderStyle,
 ) -> Result<Header, IndexError> {
     let mut small = [0u8; 1];
     input.read_exact(&mut small)?;
@@ -278,7 +331,10 @@ fn read_header_fields<R: Read>(
 
     let vocab_count = read_vu64(input, base, "vocabulary")?;
     let mut vocab = Vec::with_capacity((vocab_count as usize).min(1 << 20));
-    let mut list_crcs = with_crcs.then(|| Vec::with_capacity((vocab_count as usize).min(1 << 20)));
+    let mut list_crcs = (style != HeaderStyle::Plain)
+        .then(|| Vec::with_capacity((vocab_count as usize).min(1 << 20)));
+    let mut max_counts = (style == HeaderStyle::BlockCrcs)
+        .then(|| Vec::with_capacity((vocab_count as usize).min(1 << 20)));
     let mut prev_code = 0u64;
     let mut offset = 0u64;
     for _ in 0..vocab_count {
@@ -302,6 +358,12 @@ fn read_header_fields<R: Read>(
                 IndexError::bad_at("list checksum overflow", "vocabulary", base + input.pos())
             })?;
             crcs.push(crc);
+        }
+        if let Some(max_counts) = &mut max_counts {
+            let max_count = u32::try_from(read_vu64(input, base, "vocabulary")?).map_err(|_| {
+                IndexError::bad_at("max count overflow", "vocabulary", base + input.pos())
+            })?;
+            max_counts.push(max_count);
         }
         vocab.push(VocabEntry {
             code,
@@ -331,6 +393,8 @@ fn read_header_fields<R: Read>(
         record_lens,
         vocab,
         list_crcs,
+        max_counts,
+        per_block_crcs: style == HeaderStyle::BlockCrcs,
         blob_len,
         blob_start: 0,
     })
@@ -339,60 +403,91 @@ fn read_header_fields<R: Read>(
 fn read_header<R: Read>(input: &mut CountingReader<R>) -> Result<Header, IndexError> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic)?;
-    match &magic {
+    let style = match &magic {
         m if m == MAGIC_V2 => {
-            let mut header = read_header_fields(input, 0, false)?;
+            let mut header = read_header_fields(input, 0, HeaderStyle::Plain)?;
             header.blob_start = input.pos();
-            Ok(header)
+            return Ok(header);
         }
-        m if m == MAGIC_V3 => {
-            let mut word = [0u8; 4];
-            input.read_exact(&mut word)?;
-            let header_len = u32::from_le_bytes(word) as usize;
-            input.read_exact(&mut word)?;
-            let expected = u32::from_le_bytes(word);
-            let header_bytes = read_exact_chunked(input, header_len)?;
-            let actual = crc32(&header_bytes);
-            if actual != expected {
-                return Err(IndexError::checksum(
-                    "header",
-                    V3_PREFIX_LEN,
-                    expected,
-                    actual,
-                ));
-            }
-            // The bytes are authenticated; parse errors past this point
-            // would indicate a writer bug, but report them properly anyway.
-            let mut fields = CountingReader::new(&header_bytes[..]);
-            let mut header = read_header_fields(&mut fields, V3_PREFIX_LEN, true)?;
-            if fields.pos() != header_len as u64 {
-                return Err(IndexError::bad_at(
-                    "trailing bytes in header",
-                    "header",
-                    V3_PREFIX_LEN + fields.pos(),
-                ));
-            }
-            header.blob_start = V3_PREFIX_LEN + header_len as u64;
-            Ok(header)
-        }
-        _ => Err(IndexError::bad_at("bad magic", "magic", 0)),
+        m if m == MAGIC_V3 => HeaderStyle::ListCrcs,
+        m if m == MAGIC_V4 => HeaderStyle::BlockCrcs,
+        _ => return Err(IndexError::bad_at("bad magic", "magic", 0)),
+    };
+    let mut word = [0u8; 4];
+    input.read_exact(&mut word)?;
+    let header_len = u32::from_le_bytes(word) as usize;
+    input.read_exact(&mut word)?;
+    let expected = u32::from_le_bytes(word);
+    let header_bytes = read_exact_chunked(input, header_len)?;
+    let actual = crc32(&header_bytes);
+    if actual != expected {
+        return Err(IndexError::checksum(
+            "header",
+            V3_PREFIX_LEN,
+            expected,
+            actual,
+        ));
     }
+    // The bytes are authenticated; parse errors past this point
+    // would indicate a writer bug, but report them properly anyway.
+    let mut fields = CountingReader::new(&header_bytes[..]);
+    let mut header = read_header_fields(&mut fields, V3_PREFIX_LEN, style)?;
+    if fields.pos() != header_len as u64 {
+        return Err(IndexError::bad_at(
+            "trailing bytes in header",
+            "header",
+            V3_PREFIX_LEN + fields.pos(),
+        ));
+    }
+    if style == HeaderStyle::BlockCrcs && header.codec != ListCodec::Block {
+        return Err(IndexError::bad_in(
+            "v4 file must use the block codec",
+            "params",
+        ));
+    }
+    header.blob_start = V3_PREFIX_LEN + header_len as u64;
+    Ok(header)
 }
 
 /// Verify every list in a fully loaded blob against the header's per-list
-/// CRCs (no-op for v2 headers, which carry none).
+/// CRCs (no-op for v2 headers, which carry none). For v4 headers the
+/// vocab CRC covers the skip-table prefix and every block payload is
+/// checked against its own skip-entry CRC, so whole-file loads still
+/// verify every blob byte.
 fn verify_blob(header: &Header, blob: &[u8]) -> Result<(), IndexError> {
     if let Some(crcs) = &header.list_crcs {
         for (entry, &expected) in header.vocab.iter().zip(crcs) {
             let list = &blob[entry.offset as usize..][..entry.len as usize];
-            let actual = crc32(list);
-            if actual != expected {
-                return Err(IndexError::checksum(
-                    "list",
-                    header.blob_start + entry.offset,
-                    expected,
-                    actual,
-                ));
+            if header.per_block_crcs {
+                let skip_len = crate::block::skip_table_len(entry.df);
+                if list.len() < skip_len {
+                    return Err(IndexError::bad_at(
+                        "list shorter than its skip table",
+                        "list",
+                        header.blob_start + entry.offset,
+                    ));
+                }
+                let actual = crc32(&list[..skip_len]);
+                if actual != expected {
+                    return Err(IndexError::checksum(
+                        "list",
+                        header.blob_start + entry.offset,
+                        expected,
+                        actual,
+                    ));
+                }
+                crate::block::verify_block_list(list, entry.df)
+                    .map_err(|e| e.with_base_offset(header.blob_start + entry.offset))?;
+            } else {
+                let actual = crc32(list);
+                if actual != expected {
+                    return Err(IndexError::checksum(
+                        "list",
+                        header.blob_start + entry.offset,
+                        expected,
+                        actual,
+                    ));
+                }
             }
         }
     }
@@ -411,6 +506,7 @@ pub fn load_index_from(reader: impl Read) -> Result<CompressedIndex, IndexError>
         header.codec,
         header.record_lens,
         header.vocab,
+        header.max_counts,
         blob,
     ))
 }
@@ -436,6 +532,8 @@ pub struct OnDiskIndex {
     record_lens: Vec<u32>,
     vocab: Vec<VocabEntry>,
     list_crcs: Option<Vec<u32>>,
+    max_counts: Option<Vec<u32>>,
+    per_block_crcs: bool,
     blob_start: u64,
     bytes_read: Counter,
     lists_read: Counter,
@@ -470,6 +568,8 @@ impl OnDiskIndex {
             record_lens: header.record_lens,
             vocab: header.vocab,
             list_crcs: header.list_crcs,
+            max_counts: header.max_counts,
+            per_block_crcs: header.per_block_crcs,
             blob_start: header.blob_start,
             bytes_read: Counter::new(),
             lists_read: Counter::new(),
@@ -530,7 +630,23 @@ impl OnDiskIndex {
             .read_exact_at(buf, self.blob_start + entry.offset)?;
         if let Some(crcs) = &self.list_crcs {
             let expected = crcs[idx];
-            let actual = crc32(buf);
+            // v4 files checksum only the skip-table prefix here; each
+            // block payload is verified against its own skip-entry CRC
+            // at decode time, so a corrupt block costs one block.
+            let covered = if self.per_block_crcs {
+                let skip_len = crate::block::skip_table_len(entry.df);
+                if buf.len() < skip_len {
+                    return Err(IndexError::bad_at(
+                        "list shorter than its skip table",
+                        "list",
+                        self.blob_start + entry.offset,
+                    ));
+                }
+                &buf[..skip_len]
+            } else {
+                &buf[..]
+            };
+            let actual = crc32(covered);
             if actual != expected {
                 return Err(IndexError::checksum(
                     "list",
@@ -571,6 +687,7 @@ impl OnDiskIndex {
             &self.record_lens,
             self.codec,
         )
+        .map_err(|e| e.with_base_offset(self.blob_start + entry.offset))
         .map(Some)
     }
 
@@ -600,7 +717,8 @@ impl OnDiskIndex {
             &self.record_lens,
             self.codec,
             visit,
-        )?;
+        )
+        .map_err(|e| e.with_base_offset(self.blob_start + entry.offset))?;
         Ok(Some(entry.df))
     }
 
@@ -619,6 +737,7 @@ impl OnDiskIndex {
             self.codec,
             self.params.granularity,
         )
+        .map_err(|e| e.with_base_offset(self.blob_start + entry.offset))
         .map(Some)
     }
 
@@ -643,8 +762,110 @@ impl OnDiskIndex {
             self.codec,
             self.params.granularity,
             visit,
-        )?;
+        )
+        .map_err(|e| e.with_base_offset(self.blob_start + entry.offset))?;
         Ok(Some(entry.df))
+    }
+
+    /// The largest per-record occurrence count in `code`'s list — v4
+    /// files store this per list; `None` on older formats, `Some(0)` for
+    /// absent codes.
+    pub fn list_max_count(&self, code: u64) -> Option<u32> {
+        let max_counts = self.max_counts.as_ref()?;
+        match self.vocab.binary_search_by_key(&code, |e| e.code) {
+            Ok(idx) => Some(max_counts[idx]),
+            Err(_) => Some(0),
+        }
+    }
+
+    /// Streaming postings fetch driving a [`PostingsVisitor`], reporting
+    /// per-list work counters; on a block (v4) index the visitor's
+    /// `skip_block` may refuse hopeless blocks before they are verified
+    /// or unpacked. `Ok(None)` if the interval is absent.
+    pub fn postings_stream(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        if self.params.granularity == crate::interval::Granularity::Records {
+            return Err(IndexError::Unsupported(
+                "record-granularity index stores no offsets",
+            ));
+        }
+        let Some((idx, entry)) = self.entry(code) else {
+            return Ok(None);
+        };
+        self.fetch_bytes_into(idx, entry, io_buf)?;
+        let mut stats = FetchStats::plain(entry.df);
+        stats.bytes_read = entry.len as u64;
+        if self.codec == ListCodec::Block {
+            let block = crate::block::decode_block_stream(
+                io_buf,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                crate::interval::Granularity::Offsets,
+                true,
+                visitor,
+            )
+            .map_err(|e| e.with_base_offset(self.blob_start + entry.offset))?;
+            stats.ids_decoded = block.ids_decoded;
+            stats.blocks_decoded = block.blocks_decoded;
+            stats.blocks_skipped = block.blocks_skipped;
+        } else {
+            decode_postings_with(
+                io_buf,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                self.codec,
+                |record, offset| visitor.visit(record, offset),
+            )?;
+        }
+        Ok(Some(stats))
+    }
+
+    /// Streaming counts fetch: the counts-path twin of
+    /// [`OnDiskIndex::postings_stream`], working at either granularity.
+    pub fn counts_stream(
+        &self,
+        code: u64,
+        io_buf: &mut Vec<u8>,
+        visitor: &mut dyn PostingsVisitor,
+    ) -> Result<Option<FetchStats>, IndexError> {
+        let Some((idx, entry)) = self.entry(code) else {
+            return Ok(None);
+        };
+        self.fetch_bytes_into(idx, entry, io_buf)?;
+        let mut stats = FetchStats::plain(entry.df);
+        stats.bytes_read = entry.len as u64;
+        if self.codec == ListCodec::Block {
+            let block = crate::block::decode_block_stream(
+                io_buf,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                self.params.granularity,
+                false,
+                visitor,
+            )
+            .map_err(|e| e.with_base_offset(self.blob_start + entry.offset))?;
+            stats.ids_decoded = block.ids_decoded;
+            stats.blocks_decoded = block.blocks_decoded;
+            stats.blocks_skipped = block.blocks_skipped;
+        } else {
+            decode_counts_with(
+                io_buf,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                self.codec,
+                self.params.granularity,
+                |record, count| visitor.visit(record, count),
+            )?;
+        }
+        Ok(Some(stats))
     }
 
     /// Postings bytes fetched since the last reset.
@@ -856,6 +1077,187 @@ mod tests {
                 });
             }
         });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn build_block_sample(seed: u64) -> CompressedIndex {
+        let coll = SyntheticCollection::generate(&CollectionSpec::tiny(seed));
+        let mut builder = IndexBuilder::new(IndexParams::new(8)).with_codec(ListCodec::Block);
+        for record in &coll.records {
+            builder.add_record(&record.seq.representative_bases());
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn block_index_round_trips_as_v4() {
+        let index = build_block_sample(61);
+        let path = temp_path("v4rt");
+        write_index(&index, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..8], MAGIC_V4);
+
+        let loaded = load_index(&path).unwrap();
+        assert_eq!(loaded.params(), index.params());
+        assert_eq!(loaded.codec(), ListCodec::Block);
+        assert_eq!(loaded.vocab(), index.vocab());
+        assert_eq!(loaded.blob(), index.blob());
+        assert_eq!(loaded.max_counts(), index.max_counts());
+        assert!(loaded.max_counts().is_some());
+
+        let disk = OnDiskIndex::open(&path).unwrap();
+        for entry in index.vocab().iter().step_by(11) {
+            assert_eq!(
+                disk.postings(entry.code).unwrap().unwrap(),
+                index.postings(entry.code).unwrap().unwrap()
+            );
+            assert_eq!(
+                disk.list_max_count(entry.code),
+                index.list_max_count(entry.code)
+            );
+        }
+        assert_eq!(disk.list_max_count(u64::MAX), Some(0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_block_codecs_still_write_v3() {
+        let index = build_sample(62, IndexParams::new(8));
+        let path = temp_path("still_v3");
+        write_index(&index, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..8], MAGIC_V3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn block_index_survives_v2_writer_and_rewrites_as_v4() {
+        // The legacy writer has no CRCs or max counts but carries the
+        // blob (skip tables included) verbatim; a reload can recompute
+        // max counts and produce a v4 file again.
+        let index = build_block_sample(63);
+        let path = temp_path("v4v2");
+        write_index_v2(&index, &path).unwrap();
+        let loaded = load_index(&path).unwrap();
+        assert_eq!(loaded.blob(), index.blob());
+        assert_eq!(loaded.max_counts(), None);
+        let path4 = temp_path("v4v2b");
+        write_index(&loaded, &path4).unwrap();
+        let again = load_index(&path4).unwrap();
+        assert_eq!(again.max_counts(), index.max_counts());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path4);
+    }
+
+    #[test]
+    fn corrupt_block_detected_at_load_and_fetch_names_the_block() {
+        let index = build_block_sample(64);
+        let path = temp_path("v4corr");
+        write_index(&index, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let blob_start = bytes.len() - index.blob().len();
+        // Pick a list with at least one block and flip a payload byte
+        // (past the skip table).
+        let entry = *index
+            .vocab()
+            .iter()
+            .max_by_key(|e| e.df)
+            .expect("nonempty index");
+        let skip_len = crate::block::skip_table_len(entry.df);
+        let victim = blob_start + entry.offset as usize + skip_len;
+        bytes[victim] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Whole-file load: rejected, naming the block at its absolute
+        // file offset.
+        match load_index(&path) {
+            Err(IndexError::Corruption {
+                section, offset, ..
+            }) => {
+                assert_eq!(section, "block");
+                assert_eq!(
+                    offset,
+                    (blob_start + entry.offset as usize + skip_len) as u64
+                );
+            }
+            other => panic!("expected block corruption, got {other:?}"),
+        }
+
+        // pread path: the skip table verifies at fetch, the corrupt
+        // payload is caught at decode.
+        let disk = OnDiskIndex::open(&path).unwrap();
+        match disk.postings(entry.code) {
+            Err(IndexError::Corruption { section, .. }) => assert_eq!(section, "block"),
+            other => panic!("expected fetch-time block corruption, got {other:?}"),
+        }
+        // Other lists are unaffected.
+        let other = index.vocab().iter().find(|e| e.code != entry.code).unwrap();
+        assert_eq!(
+            disk.postings(other.code).unwrap(),
+            index.postings(other.code).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_skip_table_detected_as_list_corruption() {
+        let index = build_block_sample(65);
+        let path = temp_path("v4skip");
+        write_index(&index, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let blob_start = bytes.len() - index.blob().len();
+        let entry = index.vocab()[0];
+        // First byte of the first skip entry.
+        bytes[blob_start + entry.offset as usize] ^= 0x02;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_index(&path) {
+            Err(IndexError::Corruption { section, .. }) => assert_eq!(section, "list"),
+            other => panic!("expected list corruption, got {other:?}"),
+        }
+        let disk = OnDiskIndex::open(&path).unwrap();
+        match disk.postings(entry.code) {
+            Err(IndexError::Corruption { section, .. }) => assert_eq!(section, "list"),
+            other => panic!("expected fetch-time list corruption, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v4_streams_report_block_counters() {
+        let index = build_block_sample(66);
+        let path = temp_path("v4strm");
+        write_index(&index, &path).unwrap();
+        let disk = OnDiskIndex::open(&path).unwrap();
+        struct Collect(Vec<(u32, u32)>);
+        impl PostingsVisitor for Collect {
+            fn visit(&mut self, record: u32, value: u32) {
+                self.0.push((record, value));
+            }
+        }
+        let mut io_buf = Vec::new();
+        for entry in index.vocab().iter().step_by(9) {
+            let mut visitor = Collect(Vec::new());
+            let stats = disk
+                .postings_stream(entry.code, &mut io_buf, &mut visitor)
+                .unwrap()
+                .unwrap();
+            assert_eq!(stats.df, entry.df);
+            assert_eq!(stats.ids_decoded, entry.df as u64);
+            assert_eq!(
+                stats.blocks_decoded as usize,
+                (entry.df as usize).div_ceil(crate::block::BLOCK_LEN)
+            );
+            assert_eq!(stats.bytes_read, entry.len as u64);
+            let expect: Vec<(u32, u32)> = index
+                .postings(entry.code)
+                .unwrap()
+                .unwrap()
+                .entries
+                .iter()
+                .flat_map(|p| p.offsets.iter().map(move |&o| (p.record, o)))
+                .collect();
+            assert_eq!(visitor.0, expect);
+        }
         let _ = std::fs::remove_file(&path);
     }
 

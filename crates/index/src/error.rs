@@ -102,6 +102,27 @@ impl IndexError {
         }
     }
 
+    /// Rebase a [`IndexError::Corruption`] offset by `base`: decode-layer
+    /// checks report offsets relative to the byte slice they were handed,
+    /// and callers that know the slice's file position lift them to
+    /// absolute file offsets. Other variants pass through unchanged.
+    pub fn with_base_offset(self, base: u64) -> IndexError {
+        match self {
+            IndexError::Corruption {
+                section,
+                offset,
+                expected,
+                actual,
+            } => IndexError::Corruption {
+                section,
+                offset: base + offset,
+                expected,
+                actual,
+            },
+            other => other,
+        }
+    }
+
     /// Is this error evidence of on-disk corruption (as opposed to API
     /// misuse or a transient environment failure)? Covers checksum
     /// mismatches, structural format violations, postings that fail to

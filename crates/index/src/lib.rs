@@ -14,6 +14,10 @@
 //! * [`compress`] — the compressed list layout: Golomb-coded record gaps
 //!   (parameter fitted per list), Elias-gamma offset counts, Golomb-coded
 //!   offset gaps. This is what holds the index "to an acceptable level".
+//! * [`block`] — the fast-decode tier: fixed 128-posting bitpacked
+//!   blocks with per-block skip entries and CRCs (`ListCodec::Block`,
+//!   on disk `NUCIDX04`), decoded by a branchless word-parallel kernel
+//!   that can skip whole blocks.
 //! * [`stopping`] — index stopping: discarding intervals that occur in too
 //!   many records, which carry little information but much index space.
 //! * [`builder`] — index construction: single-pass in-memory, chunked
@@ -37,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod builder;
 pub mod compress;
 pub mod disk;
@@ -50,10 +55,11 @@ pub mod pread;
 pub mod stats;
 pub mod stopping;
 
+pub use block::{skip_table_len, BLOCK_LEN, SKIP_ENTRY_BYTES};
 pub use builder::{build_chunked, build_parallel, IndexBuilder};
 pub use compress::{
     decode_counts, decode_counts_with, decode_postings, decode_postings_with, encode_postings,
-    CompressedIndex, ListCodec, VocabEntry,
+    CompressedIndex, FetchStats, ListCodec, PostingsVisitor, VocabEntry,
 };
 pub use disk::{load_index, load_index_from, write_index, write_index_v2, OnDiskIndex};
 pub use durable::{crc32, AtomicFile, CountingReader, Crc32};

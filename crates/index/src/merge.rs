@@ -193,6 +193,35 @@ mod tests {
     }
 
     #[test]
+    fn merge_block_codec_equals_joint_build_with_max_counts() {
+        let first = records(81);
+        let second = records(82);
+        let params = IndexParams::new(8);
+        let block = |recs: &[Vec<Base>]| {
+            let mut builder = IndexBuilder::new(params.clone()).with_codec(ListCodec::Block);
+            for r in recs {
+                builder.add_record(r);
+            }
+            builder.finish()
+        };
+
+        let merged = merge_indexes(&block(&first), &block(&second)).unwrap();
+        let mut joint: Vec<Vec<Base>> = first;
+        joint.extend(second);
+        let reference = block(&joint);
+
+        assert_eq!(merged.blob(), reference.blob());
+        assert_eq!(
+            merged.decode_all().unwrap(),
+            reference.decode_all().unwrap()
+        );
+        // The merged index keeps a usable max-count table (the skip
+        // plan's hint source), identical to a from-scratch build's.
+        assert_eq!(merged.max_counts(), reference.max_counts());
+        assert!(merged.max_counts().is_some());
+    }
+
+    #[test]
     fn merge_rejects_mismatched_params() {
         let r = records(74);
         let a = build(&r, IndexParams::new(8));

@@ -10,13 +10,14 @@ use nucdb_index::{
 use nucdb_seq::{Base, DnaSeq};
 use proptest::prelude::*;
 
-const CODECS: [ListCodec; 6] = [
+const CODECS: [ListCodec; 7] = [
     ListCodec::Paper,
     ListCodec::Gamma,
     ListCodec::Delta,
     ListCodec::VByte,
     ListCodec::Fixed,
     ListCodec::Interp,
+    ListCodec::Block,
 ];
 
 /// Strategy: a well-formed postings list over `num_records` records of
@@ -116,9 +117,69 @@ proptest! {
     ) {
         prop_assume!(list.df() > 0);
         let lens = vec![500u32; 200];
-        let bytes = encode_postings(&list, 200, &lens, ListCodec::Paper, Granularity::Offsets);
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
-        let _ = decode_postings(&bytes[..cut], list.df() as u32, 200, &lens, ListCodec::Paper);
+        for codec in [ListCodec::Paper, ListCodec::Block] {
+            let bytes = encode_postings(&list, 200, &lens, codec, Granularity::Offsets);
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            let _ = decode_postings(&bytes[..cut], list.df() as u32, 200, &lens, codec);
+        }
+    }
+
+    /// Block codec, multi-block scale: lists wide enough to span several
+    /// 128-posting blocks round-trip at both granularities, and the
+    /// streamed sequences equal the materialized ones.
+    #[test]
+    fn block_codec_round_trips_multi_block_lists(
+        records in prop::collection::btree_set(0u32..2_000, 120..400),
+        offsets_seed in prop::collection::vec(prop::collection::btree_set(0u32..300, 1..4), 400),
+    ) {
+        let list = PostingsList {
+            entries: records
+                .into_iter()
+                .zip(offsets_seed)
+                .map(|(record, offsets)| Posting {
+                    record,
+                    offsets: offsets.into_iter().collect(),
+                })
+                .collect(),
+        };
+        prop_assume!(list.is_well_formed());
+        let lens = vec![300u32; 2_000];
+        let df = list.df() as u32;
+        for granularity in [Granularity::Offsets, Granularity::Records] {
+            let bytes = encode_postings(&list, 2_000, &lens, ListCodec::Block, granularity);
+            let counts =
+                decode_counts(&bytes, df, 2_000, &lens, ListCodec::Block, granularity).unwrap();
+            let expected: Vec<(u32, u32)> = list
+                .entries
+                .iter()
+                .map(|p| (p.record, p.offsets.len() as u32))
+                .collect();
+            prop_assert_eq!(&counts, &expected, "{:?}", granularity);
+        }
+        let bytes = encode_postings(&list, 2_000, &lens, ListCodec::Block, Granularity::Offsets);
+        let back = decode_postings(&bytes, df, 2_000, &lens, ListCodec::Block).unwrap();
+        prop_assert_eq!(&back, &list);
+    }
+
+    /// Degenerate shapes the block layout must survive: df=1, a single
+    /// partial block, and record ids at the very top of the u32 range.
+    #[test]
+    fn block_codec_handles_degenerate_lists(
+        record in 0u32..u32::MAX,
+        offsets in prop::collection::btree_set(0u32..1_000, 1..6),
+    ) {
+        let list = PostingsList {
+            entries: vec![Posting {
+                record,
+                offsets: offsets.into_iter().collect(),
+            }],
+        };
+        // Length table deliberately shorter than the record space:
+        // records beyond it are unbounded (no per-record length cap).
+        let lens = vec![1_000u32; 16];
+        let bytes = encode_postings(&list, u32::MAX, &lens, ListCodec::Block, Granularity::Offsets);
+        let back = decode_postings(&bytes, 1, u32::MAX, &lens, ListCodec::Block).unwrap();
+        prop_assert_eq!(&back, &list);
     }
 
     #[test]

@@ -59,7 +59,11 @@ fn micro_records() -> Vec<(String, DnaSeq)> {
 }
 
 fn micro_index() -> CompressedIndex {
-    let mut builder = IndexBuilder::new(IndexParams::new(8)).with_codec(ListCodec::Paper);
+    micro_index_with(ListCodec::Paper)
+}
+
+fn micro_index_with(codec: ListCodec) -> CompressedIndex {
+    let mut builder = IndexBuilder::new(IndexParams::new(8)).with_codec(codec);
     for (_, seq) in micro_records() {
         builder.add_record(&seq.representative_bases());
     }
@@ -168,6 +172,132 @@ fn index_survives_every_truncation() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------
+// NUCIDX04 (block codec): the same exhaustive sweeps, plus the format's
+// sharper promise — a point corruption in a list payload is pinned to
+// one block (section "block"), and only that list becomes unreadable.
+// ---------------------------------------------------------------------
+
+#[test]
+fn block_index_survives_every_single_byte_flip() {
+    let index = micro_index_with(ListCodec::Block);
+    let dir = temp_dir("v4flip");
+    let path = dir.join("idx.nucidx");
+    write_index(&index, &path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    assert_eq!(&pristine[..8], b"NUCIDX04");
+
+    let mut block_sections = 0usize;
+    for offset in 0..pristine.len() {
+        let mut mutated = pristine.clone();
+        mutated[offset] ^= 0xFF;
+        std::fs::write(&path, &mutated).unwrap();
+        let outcome = catch_unwind(AssertUnwindSafe(|| load_index(&path)));
+        match outcome {
+            Err(_) => panic!("load_index panicked with byte {offset} flipped"),
+            Ok(Err(e)) => {
+                if let nucdb_index::IndexError::Corruption {
+                    section,
+                    offset: reported,
+                    ..
+                } = &e
+                {
+                    if *section == "block" {
+                        block_sections += 1;
+                        // A block corruption names the byte range of the
+                        // flipped payload: the reported offset is the
+                        // block's start, at or before the flipped byte.
+                        assert!(
+                            *reported <= offset as u64,
+                            "block corruption at byte {offset} reported downstream \
+                             offset {reported}"
+                        );
+                    }
+                }
+            }
+            Ok(Ok(loaded)) => {
+                assert!(
+                    indexes_equal(&loaded, &index),
+                    "byte {offset} flip loaded successfully but changed the index"
+                );
+            }
+        }
+    }
+    // Payload flips must have been attributed to blocks, not whole lists.
+    assert!(
+        block_sections > 0,
+        "no flip surfaced a block-level corruption error"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn block_index_survives_every_truncation() {
+    let index = micro_index_with(ListCodec::Block);
+    let dir = temp_dir("v4trunc");
+    let path = dir.join("idx.nucidx");
+    write_index(&index, &path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        let outcome = catch_unwind(AssertUnwindSafe(|| load_index(&path)));
+        match outcome {
+            Err(_) => panic!("load_index panicked on truncation at {cut}"),
+            Ok(result) => assert!(
+                result.is_err(),
+                "truncation at {cut} of {} loaded successfully",
+                pristine.len()
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn block_point_corruption_costs_one_block_not_the_file() {
+    let index = micro_index_with(ListCodec::Block);
+    let dir = temp_dir("v4point");
+    let path = dir.join("idx.nucidx");
+    write_index(&index, &path).unwrap();
+
+    // Flip the final byte of the file: the last list's last block
+    // payload (the blob is the file's tail in NUCIDX04, as in v3).
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The pread reader opens fine (header and vocabulary are intact)…
+    let disk = OnDiskIndex::open(&path).unwrap();
+    let mut failures = 0usize;
+    let mut successes = 0usize;
+    for entry in index.vocab() {
+        match disk.postings(entry.code) {
+            Ok(Some(list)) => {
+                successes += 1;
+                assert_eq!(Some(list), index.postings(entry.code).unwrap());
+            }
+            Ok(None) => panic!("vocab entry {} vanished", entry.code),
+            Err(e) => {
+                failures += 1;
+                assert!(
+                    matches!(
+                        &e,
+                        nucdb_index::IndexError::Corruption { section, .. }
+                        if *section == "block"
+                    ),
+                    "expected a block-level corruption, got {e}"
+                );
+            }
+        }
+    }
+    // Exactly one list is damaged; every other list still answers.
+    assert_eq!(failures, 1, "one corrupt byte must cost exactly one list");
+    assert!(successes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn store_survives_every_single_byte_flip() {
     let store = micro_store();
@@ -265,6 +395,7 @@ fn every_codec_granularity_stopping_combo_round_trips() {
         ListCodec::VByte,
         ListCodec::Fixed,
         ListCodec::Interp,
+        ListCodec::Block,
     ];
     let granularities = [Granularity::Offsets, Granularity::Records];
     let stoppings = [
