@@ -1,0 +1,217 @@
+//! **bench_compare — benchmark regression diff.**
+//!
+//! Compares two benchmark JSON files (a committed baseline and the
+//! current `results/BENCH_*.json`) leaf by leaf and reports every
+//! numeric drift beyond a threshold. Direction matters: wall times,
+//! overheads and work counters regress *upward*; throughput and
+//! speedup figures regress *downward*; structural fields (thread
+//! counts, collection sizes) are compared for identity only and never
+//! fail the run.
+//!
+//! ```text
+//! bench_compare --baseline OLD.json --current NEW.json \
+//!     [--threshold PCT] [--keys substr,substr] [--strict]
+//! ```
+//!
+//! Default is a report: drifts print, exit status is 0. With
+//! `--strict`, any regression beyond the threshold exits 1 —
+//! `scripts/bench_compare.sh` uses that for the blocking decode-rate
+//! check while keeping the wall-time report advisory (timing across
+//! machines is noise; a decode-rate collapse on the same corpus shape
+//! is not).
+
+use std::process::ExitCode;
+
+use nucdb_bench::Table;
+use nucdb_obs::json::{self, Value};
+
+/// How a numeric leaf regresses, decided from its key name.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    /// Bigger is worse: wall times, overheads, bytes read, ids decoded.
+    HigherIsWorse,
+    /// Bigger is better: queries/sec, ids/sec, speedups.
+    HigherIsBetter,
+    /// Workload shape (thread counts, corpus sizes): informational.
+    Neutral,
+}
+
+fn direction(key: &str) -> Direction {
+    const BETTER: &[&str] = &["per_sec", "speedup", "queries_per_sec", "ids_per_sec"];
+    const WORSE: &[&str] = &[
+        "wall_ms",
+        "decode_ms",
+        "overhead_pct",
+        "postings_bytes_read",
+        "ids_decoded",
+        "blocks_decoded",
+        "lists_fetched",
+        "encoded_bytes",
+        "mean",
+        "p50",
+        "p90",
+        "p99",
+        "max",
+    ];
+    if BETTER.iter().any(|s| key.contains(s)) {
+        Direction::HigherIsBetter
+    } else if WORSE.iter().any(|s| key.contains(s)) {
+        Direction::HigherIsWorse
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// A numeric leaf with its dotted path (array rows keyed by their
+/// discriminant field — codec/workload/threads — when present).
+fn collect(value: &Value, path: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Num(n) => out.push((path.to_string(), *n)),
+        Value::Obj(members) => {
+            for (key, member) in members {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                collect(member, &child, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = ["codec", "workload", "threads"]
+                    .iter()
+                    .filter_map(|k| {
+                        item.get(k).map(|v| match v {
+                            Value::Str(s) => s.clone(),
+                            other => other.render(),
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let child = if label.is_empty() {
+                    format!("{path}[{i}]")
+                } else {
+                    format!("{path}[{label}]")
+                };
+                collect(item, &child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn arg_value(argv: &[String], name: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == name)
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    let usage = "usage: bench_compare --baseline FILE --current FILE \
+                 [--threshold PCT] [--keys substr,substr] [--strict]";
+    let (Some(baseline_path), Some(current_path)) = (
+        arg_value(&argv, "--baseline"),
+        arg_value(&argv, "--current"),
+    ) else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let threshold: f64 = arg_value(&argv, "--threshold")
+        .map(|v| v.parse().expect("--threshold expects a percentage"))
+        .unwrap_or(15.0);
+    let keys: Vec<String> = arg_value(&argv, "--keys")
+        .map(|v| v.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let strict = argv.iter().any(|a| a == "--strict");
+
+    let load = |path: &str| -> Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    };
+    let mut baseline = Vec::new();
+    let mut current = Vec::new();
+    collect(&load(&baseline_path), "", &mut baseline);
+    collect(&load(&current_path), "", &mut current);
+
+    let mut table = Table::new(&["metric", "baseline", "current", "delta", "verdict"]);
+    let mut rows_emitted = 0usize;
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (path, base) in &baseline {
+        if !keys.is_empty() && !keys.iter().any(|k| path.contains(k.as_str())) {
+            continue;
+        }
+        let Some((_, cur)) = current.iter().find(|(p, _)| p == path) else {
+            rows_emitted += 1;
+            table.row(vec![
+                path.clone(),
+                format!("{base:.3}"),
+                "-".into(),
+                "-".into(),
+                "missing".into(),
+            ]);
+            continue;
+        };
+        compared += 1;
+        let leaf = path.rsplit('.').next().unwrap_or(path);
+        let dir = direction(leaf);
+        let delta_pct = if *base != 0.0 {
+            (cur / base - 1.0) * 100.0
+        } else if *cur == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        let regressed = match dir {
+            Direction::HigherIsWorse => delta_pct > threshold,
+            Direction::HigherIsBetter => delta_pct < -threshold,
+            Direction::Neutral => false,
+        };
+        let verdict = if regressed {
+            regressions += 1;
+            "REGRESSION"
+        } else if dir == Direction::Neutral {
+            if (cur - base).abs() > f64::EPSILON {
+                "changed"
+            } else {
+                "ok"
+            }
+        } else if delta_pct.abs() > threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        // Identical values are the common case when the current file is
+        // the committed one; keep the table to what moved or broke.
+        if verdict != "ok" || delta_pct.abs() > 0.01 {
+            rows_emitted += 1;
+            table.row(vec![
+                path.clone(),
+                format!("{base:.3}"),
+                format!("{cur:.3}"),
+                format!("{delta_pct:+.1}%"),
+                verdict.to_string(),
+            ]);
+        }
+    }
+    if rows_emitted == 0 {
+        println!(
+            "bench_compare: {compared} metrics compared, all within \
+             {threshold}% of baseline"
+        );
+    } else {
+        table.print();
+        println!(
+            "\nbench_compare: {compared} metrics compared, {regressions} \
+             regression(s) beyond {threshold}%"
+        );
+    }
+    if strict && regressions > 0 {
+        eprintln!("bench_compare: failing (--strict)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -21,8 +21,8 @@ use nucdb_bench::{
     banner, collection, database, family_queries, latency_block, results_path, Table,
 };
 use nucdb_index::ListCodec;
-use nucdb_obs::Histogram;
-use nucdb_seq::Base;
+use nucdb_obs::{Forensics, ForensicsConfig, Histogram};
+use nucdb_seq::{Base, DnaSeq};
 
 const THREADS: &[usize] = &[1, 2, 4, 8];
 const REPEATS: usize = 3;
@@ -138,28 +138,88 @@ fn run_batch(
     best
 }
 
+/// Full two-stage search (coarse + fine + strand merge) over the whole
+/// batch, single-threaded, best of `REPEATS`. This is the path the
+/// flight recorder instruments, so the forensics overhead is measured
+/// here rather than on the coarse-only loop.
+fn run_full(db: &Database, queries: &[DnaSeq], ids: &[String], params: &SearchParams) -> Duration {
+    let mut scratch = CoarseScratch::new();
+    let mut best = Duration::MAX;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        for (query, id) in queries.iter().zip(ids) {
+            let outcome = db
+                .search_with_id(query, params, &mut scratch, Some(id))
+                .expect("search failed");
+            std::hint::black_box(outcome.results.len());
+        }
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Print the flight recorder's slowest retained queries, the same table
+/// `nucdb bench --flight-recorder` prints at run end.
+fn print_slowest(forensics: &Forensics, top: usize) {
+    let mut entries = forensics.recent();
+    entries.sort_by_key(|e| std::cmp::Reverse(e.trace.total_ns));
+    println!(
+        "\nslowest queries (flight recorder, {} retained):",
+        entries.len()
+    );
+    let mut table = Table::new(&["query", "total ms", "results", "reason"]);
+    for entry in entries.iter().take(top) {
+        table.row(vec![
+            entry.trace.request_id.clone(),
+            format!("{:.3}", entry.trace.total_ns as f64 / 1e6),
+            entry.trace.results.to_string(),
+            entry.reason.as_str().to_string(),
+        ]);
+    }
+    table.print();
+}
+
 fn main() {
     banner(
         "BENCH",
         "coarse-stage throughput across worker threads (on-disk index)",
     );
+    // `--flight-recorder N` sizes the ring used for the forensics
+    // overhead measurement (default 256, the serve default).
+    let argv: Vec<String> = std::env::args().collect();
+    let flight_capacity: usize = argv
+        .iter()
+        .position(|a| a == "--flight-recorder")
+        .and_then(|i| argv.get(i + 1))
+        .map(|v| v.parse().expect("--flight-recorder expects a count"))
+        .unwrap_or(256);
     let size = 2_000_000usize;
     let coll = collection(0xC0A53, size);
     let db = database(&coll, &DbConfig::default());
     let dir = std::env::temp_dir().join(format!("nucdb_coarse_tp_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let db = db
+    let mut db = db
         .with_disk_index(&dir.join("idx.nucidx"))
         .expect("write on-disk index");
     let params = SearchParams::default();
 
     // A batch big enough that work-stealing amortises: every family query
     // repeated until we have 64 queries.
-    let family: Vec<Vec<Base>> = family_queries(&coll, 0.6, 0.05)
+    let family_seqs: Vec<DnaSeq> = family_queries(&coll, 0.6, 0.05)
         .into_iter()
-        .map(|(_, q)| q.representative_bases())
+        .map(|(_, q)| q)
+        .collect();
+    let family: Vec<Vec<Base>> = family_seqs
+        .iter()
+        .map(|q| q.representative_bases())
         .collect();
     let queries: Vec<Vec<Base>> = (0..64).map(|i| family[i % family.len()].clone()).collect();
+    let full_queries: Vec<DnaSeq> = (0..64)
+        .map(|i| family_seqs[i % family_seqs.len()].clone())
+        .collect();
+    let full_ids: Vec<String> = (0..full_queries.len())
+        .map(|i| format!("bench-{i}"))
+        .collect();
 
     // Warm up: fault in the vocabulary and OS page cache so the sweep
     // measures decode + accumulate, not first-touch I/O.
@@ -221,6 +281,25 @@ fn main() {
         latency.p99() as f64 / 1e6,
         latency.max as f64 / 1e6,
     );
+
+    // Forensics overhead: the full two-stage search path with the flight
+    // recorder off vs on. Enabled runs build a span tree per query and
+    // push one entry into the recent ring; the acceptance bar is ≤3%.
+    run_full(&db, &full_queries[..8], &full_ids[..8], &params); // warm fine stage
+    let forensics_off = run_full(&db, &full_queries, &full_ids, &params);
+    db.set_forensics(Forensics::new(ForensicsConfig {
+        recent_capacity: flight_capacity,
+        ..ForensicsConfig::default()
+    }));
+    let forensics_on = run_full(&db, &full_queries, &full_ids, &params);
+    let forensics_pct = (forensics_on.as_secs_f64() / forensics_off.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "\nforensics overhead (full search, 1 thread, flight recorder cap {flight_capacity}): \
+         disabled {:.2} ms, enabled {:.2} ms ({forensics_pct:+.2}%)",
+        forensics_off.as_secs_f64() * 1e3,
+        forensics_on.as_secs_f64() * 1e3,
+    );
+    print_slowest(db.forensics(), 5);
 
     // Per-codec work counters: the same batch over the bit-serial paper
     // codec and the NUCIDX04 block codec, at the default floor and at an
@@ -322,6 +401,25 @@ fn main() {
                     Value::Num(wall_enabled.as_secs_f64() * 1e3),
                 ),
                 ("overhead_pct", Value::Num(overhead_pct)),
+            ]),
+        ),
+        (
+            "forensics_overhead",
+            Value::Obj(vec![
+                (
+                    "flight_recorder_capacity",
+                    Value::Int(flight_capacity as u64),
+                ),
+                ("queries", Value::Int(full_queries.len() as u64)),
+                (
+                    "wall_ms_disabled",
+                    Value::Num(forensics_off.as_secs_f64() * 1e3),
+                ),
+                (
+                    "wall_ms_enabled",
+                    Value::Num(forensics_on.as_secs_f64() * 1e3),
+                ),
+                ("overhead_pct", Value::Num(forensics_pct)),
             ]),
         ),
     ]);

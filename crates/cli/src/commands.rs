@@ -11,7 +11,9 @@ use nucdb::{
 };
 use nucdb_align::calibrate_gumbel;
 use nucdb_index::{build_chunked, Granularity, IndexParams, ListCodec, OnDiskIndex, StopPolicy};
-use nucdb_obs::{HistogramSnapshot, MetricsRegistry, TraceSink, ValueSnapshot};
+use nucdb_obs::{
+    Forensics, ForensicsConfig, HistogramSnapshot, MetricsRegistry, TraceSink, ValueSnapshot,
+};
 use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
 use nucdb_seq::{FastaReader, FastaRecord, FastaWriter};
 
@@ -46,11 +48,17 @@ commands:
   bench      time a query workload against a database
              --db DIR --query FILE [--repeat N] [--metrics FILE]
              [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
+             [--flight-recorder N] [--slow-ms MS] [--slow-log FILE]
   serve      run a resident HTTP query server over one database
              --db DIR [--addr HOST:PORT] [--threads N] [--queue-depth N]
              [--deadline-ms N] [--batch-window MS] [--batch-max N]
              [--search-threads N] [--metrics FILE]
              [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
+             [--flight-recorder N] [--slow-ms MS] [--slow-log FILE]
+  profile    aggregate a JSONL trace / flight-recorder / slow-log dump into
+             a per-stage self-time and work-counter report
+             --input FILE [--top N] [--out DIR]
+  version    print version, git hash, and compiled codec tiers
   help       this message (or `nucdb help CMD` / `nucdb CMD --help`)
 
 Options may be spelled --key value or --key=value. search also accepts
@@ -59,7 +67,11 @@ hits[, bits, evalue]).
 
 --metrics FILE writes a metrics snapshot (counters + latency histograms)
 when the command finishes; --trace FILE appends one JSON line per sampled
-query (--trace-sample N keeps every Nth).";
+query (--trace-sample N keeps every Nth). --flight-recorder N keeps the
+last N query traces in memory; --slow-ms MS tail-samples every query
+slower than MS into the slow ring (and --slow-log FILE, as JSONL)
+regardless of the trace stride. serve enables the flight recorder by
+default (N=256; --flight-recorder 0 disables).";
 
 /// Per-subcommand usage text, shown by `nucdb CMD --help` and
 /// `nucdb help CMD`.
@@ -126,7 +138,11 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   --metrics FILE     write a metrics snapshot when done
   --metrics-format F prometheus (default) or json
   --trace FILE       append one JSON line per sampled query
-  --trace-sample N   keep every Nth query in the trace"
+  --trace-sample N   keep every Nth query in the trace
+  --flight-recorder N keep the last N query traces; a slowest-query table
+                     is printed when the run ends
+  --slow-ms MS       tail-sample queries slower than MS milliseconds
+  --slow-log FILE    append slow/error captures as JSONL"
         }
         "serve" => {
             "usage: nucdb serve --db DIR [options]
@@ -142,10 +158,23 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   --metrics-format F prometheus (default) or json
   --trace FILE       append one JSON line per sampled query
   --trace-sample N   keep every Nth query in the trace
+  --flight-recorder N keep the last N query traces (default 256; 0 = off)
+  --slow-ms MS       tail-sample queries slower than MS milliseconds
+  --slow-log FILE    append slow/error captures as JSONL
 
 endpoints: POST /search (FASTA or JSON body), GET /metrics (Prometheus),
-GET /healthz, GET /stats. SIGINT/SIGTERM drain and exit cleanly."
+GET /healthz, GET /stats, GET /debug/queries, GET /debug/slow. Every
+response carries an X-Request-Id. SIGINT/SIGTERM drain and exit cleanly."
         }
+        "profile" => {
+            "usage: nucdb profile --input FILE [options]
+  --input FILE       JSONL dump: --trace output, a --slow-log, or a saved
+                     /debug/queries|/debug/slow response body
+  --top N            slowest queries to tabulate (default 10)
+  --out DIR          also write PROFILE.txt + PROFILE.json here
+                     (default results/)"
+        }
+        "version" => "usage: nucdb version\n  print version, git hash, and compiled codec tiers",
         _ => return None,
     })
 }
@@ -349,8 +378,16 @@ fn open_db(dir: &Path) -> Result<Database, Box<dyn Error>> {
     ))
 }
 
-/// Shared `--metrics`/`--trace` option names for `search` and `bench`.
-const OBS_VALUE_OPTS: [&str; 4] = ["metrics", "metrics-format", "trace", "trace-sample"];
+/// Shared observability option names for `search`, `bench`, and `serve`.
+const OBS_VALUE_OPTS: [&str; 7] = [
+    "metrics",
+    "metrics-format",
+    "trace",
+    "trace-sample",
+    "flight-recorder",
+    "slow-ms",
+    "slow-log",
+];
 
 /// Where and how to dump the metrics snapshot after a run.
 struct MetricsOutput {
@@ -393,16 +430,44 @@ impl MetricsOutput {
 struct ObsOptions {
     trace: Option<(PathBuf, u64)>,
     metrics: Option<(PathBuf, bool)>,
+    /// Flight-recorder configuration: (recent capacity, slow threshold
+    /// in ns, slow-log path). `None` = forensics off.
+    forensics: Option<(usize, u64, Option<PathBuf>)>,
 }
 
 impl ObsOptions {
     fn parse(args: &Args) -> Result<ObsOptions, UsageError> {
+        ObsOptions::parse_with(args, 0)
+    }
+
+    /// Parse with a command-specific flight-recorder default capacity
+    /// (`serve` keeps the recorder on unless `--flight-recorder 0`).
+    fn parse_with(args: &Args, default_flight: usize) -> Result<ObsOptions, UsageError> {
         let trace = match args.get("trace") {
             Some(path) => Some((PathBuf::from(path), args.get_or("trace-sample", 1u64)?)),
             None if args.get("trace-sample").is_some() => {
                 return Err(UsageError("--trace-sample requires --trace".to_string()))
             }
             None => None,
+        };
+        let capacity: usize = args.get_or("flight-recorder", default_flight)?;
+        let slow_ms: f64 = args.get_or("slow-ms", 0.0)?;
+        if slow_ms < 0.0 {
+            return Err(UsageError("--slow-ms must be non-negative".to_string()));
+        }
+        let slow_log = args.get("slow-log").map(PathBuf::from);
+        // Any slow-query option implies the recorder; an explicit
+        // `--flight-recorder 0` with no slow options keeps it off.
+        let forensics = if capacity > 0 || slow_ms > 0.0 || slow_log.is_some() {
+            let threshold_ns = if slow_ms > 0.0 {
+                (slow_ms * 1e6) as u64
+            } else {
+                u64::MAX
+            };
+            let recent = if capacity > 0 { capacity } else { 256 };
+            Some((recent, threshold_ns, slow_log))
+        } else {
+            None
         };
         let metrics = match args.get("metrics") {
             Some(path) => {
@@ -424,15 +489,38 @@ impl ObsOptions {
             }
             None => None,
         };
-        Ok(ObsOptions { trace, metrics })
+        Ok(ObsOptions {
+            trace,
+            metrics,
+            forensics,
+        })
+    }
+
+    /// Attach the trace sink and flight recorder to `db` (everything
+    /// except the metrics registry, which `serve` owns separately).
+    fn bind_sinks(&self, db: &mut Database) -> Result<(), Box<dyn Error>> {
+        if let Some((path, sample_every)) = &self.trace {
+            db.set_trace(TraceSink::to_file(path, *sample_every)?);
+        }
+        if let Some((recent_capacity, slow_threshold_ns, slow_log)) = &self.forensics {
+            let slow_log = match slow_log {
+                Some(path) => TraceSink::to_file(path, 1)?,
+                None => TraceSink::disabled(),
+            };
+            db.set_forensics(Forensics::new(ForensicsConfig {
+                recent_capacity: *recent_capacity,
+                slow_threshold_ns: *slow_threshold_ns,
+                slow_log,
+                ..ForensicsConfig::default()
+            }));
+        }
+        Ok(())
     }
 
     /// Attach the requested sinks to `db`. Returns the registry plus
     /// output destination when `--metrics` was given.
     fn bind(&self, db: &mut Database) -> Result<Option<MetricsOutput>, Box<dyn Error>> {
-        if let Some((path, sample_every)) = &self.trace {
-            db.set_trace(TraceSink::to_file(path, *sample_every)?);
-        }
+        self.bind_sinks(db)?;
         let Some((path, json)) = &self.metrics else {
             return Ok(None);
         };
@@ -561,7 +649,9 @@ pub fn search(raw: &[String]) -> CommandResult {
                 0xCAFE,
             )
         });
-        let outcome = db.search_with(&record.seq, &params, &mut scratch)?;
+        // The query's FASTA id doubles as the request id, so trace lines
+        // and flight-recorder entries are joinable with the output.
+        let outcome = db.search_with_id(&record.seq, &params, &mut scratch, Some(&record.id))?;
         if tabular {
             for result in &outcome.results {
                 let strand = match result.strand {
@@ -637,6 +727,7 @@ pub fn search(raw: &[String]) -> CommandResult {
         }
     }
     db.metrics().trace.flush();
+    db.metrics().forensics.flush();
     if let Some(out) = &metrics_out {
         out.write()?;
     }
@@ -795,7 +886,8 @@ pub fn bench(raw: &[String]) -> CommandResult {
                 disk.reset_io_counters();
             }
             let t0 = std::time::Instant::now();
-            let outcome = db.search_with(&record.seq, &params, &mut scratch)?;
+            let outcome =
+                db.search_with_id(&record.seq, &params, &mut scratch, Some(&record.id))?;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             best = best.min(ms);
             total += ms;
@@ -816,6 +908,8 @@ pub fn bench(raw: &[String]) -> CommandResult {
         );
     }
     db.metrics().trace.flush();
+    db.metrics().forensics.flush();
+    print_slowest(&db.metrics().forensics, 5);
     if let Some(out) = &metrics_out {
         if let Some(latency) = out.query_latency() {
             println!(
@@ -829,6 +923,38 @@ pub fn bench(raw: &[String]) -> CommandResult {
         out.write()?;
     }
     Ok(())
+}
+
+/// Print the flight recorder's slowest retained queries (no-op when the
+/// recorder is off).
+fn print_slowest(forensics: &Forensics, top: usize) {
+    if !forensics.is_enabled() {
+        return;
+    }
+    let mut entries = forensics.recent();
+    entries.sort_by_key(|e| std::cmp::Reverse(e.trace.total_ns));
+    println!(
+        "\nslowest queries (flight recorder, {} retained):",
+        entries.len()
+    );
+    println!(
+        "{:<20} {:>10} {:>8}  reason",
+        "query", "total ms", "results"
+    );
+    for entry in entries.iter().take(top) {
+        let id = if entry.trace.request_id.is_empty() {
+            "-"
+        } else {
+            &entry.trace.request_id
+        };
+        println!(
+            "{:<20} {:>10.3} {:>8}  {}",
+            id,
+            entry.trace.total_ns as f64 / 1e6,
+            entry.trace.results,
+            entry.reason.as_str(),
+        );
+    }
 }
 
 /// `nucdb serve`
@@ -857,11 +983,12 @@ pub fn serve(raw: &[String]) -> CommandResult {
     config.batch_max_queries = args.get_or("batch-max", config.batch_max_queries)?;
     config.search_threads = args.get_or("search-threads", config.search_threads)?;
 
-    let obs = ObsOptions::parse(&args)?;
+    // serve keeps the flight recorder on by default (capacity 256) so
+    // /debug/queries and /debug/slow work out of the box; pass
+    // `--flight-recorder 0` to run without it.
+    let obs = ObsOptions::parse_with(&args, 256)?;
     let mut db = open_db(&db_dir)?;
-    if let Some((path, sample_every)) = &obs.trace {
-        db.set_trace(TraceSink::to_file(path, *sample_every)?);
-    }
+    obs.bind_sinks(&mut db)?;
     // The server always keeps a live registry: /metrics exposes it, and
     // --metrics additionally writes a snapshot after the final drain.
     let registry = MetricsRegistry::new();
@@ -896,6 +1023,47 @@ pub fn serve(raw: &[String]) -> CommandResult {
         }
         .write()?;
     }
+    Ok(())
+}
+
+/// `nucdb profile`
+pub fn profile(raw: &[String]) -> CommandResult {
+    let args = Args::parse("profile", raw, &["input", "top", "out"], &[])?;
+    let input = PathBuf::from(args.required("input")?);
+    let top: usize = args.get_or("top", 10)?;
+    let out_dir = PathBuf::from(args.get("out").unwrap_or("results"));
+
+    let text = std::fs::read_to_string(&input)?;
+    let report = nucdb_obs::aggregate(&text, top);
+    if report.queries == 0 {
+        return Err(format!(
+            "no parseable query traces in {} ({} lines skipped)",
+            input.display(),
+            report.skipped_lines
+        )
+        .into());
+    }
+    print!("{}", report.render_text());
+
+    std::fs::create_dir_all(&out_dir)?;
+    let txt_path = out_dir.join("PROFILE.txt");
+    let json_path = out_dir.join("PROFILE.json");
+    std::fs::write(&txt_path, report.render_text())?;
+    let mut rendered = report.to_value().render();
+    rendered.push('\n');
+    std::fs::write(&json_path, rendered)?;
+    println!(
+        "report written to {} and {}",
+        txt_path.display(),
+        json_path.display()
+    );
+    Ok(())
+}
+
+/// `nucdb version`
+pub fn version(raw: &[String]) -> CommandResult {
+    Args::parse("version", raw, &[], &[])?;
+    println!("{}", nucdb::build_info::human());
     Ok(())
 }
 
@@ -1145,6 +1313,154 @@ mod tests {
         .unwrap();
         let json = std::fs::read_to_string(&metrics_json).unwrap();
         assert!(json.contains("nucdb_query_latency_ns"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_golden_report_from_handcrafted_traces() {
+        use nucdb_obs::{json, json::Value, QueryTrace, SpanNode};
+
+        let dir = std::env::temp_dir().join(format!("nucdb_cli_profile_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Two handcrafted traces with exactly known numbers. `@`-prefixed
+        // counters are identity labels and must not appear in totals.
+        let t1 = QueryTrace {
+            request_id: "q1".to_string(),
+            total_ns: 1000,
+            results: 2,
+            error: None,
+            root: SpanNode::new("query", 0, 1000)
+                .child(
+                    SpanNode::new("coarse", 0, 600)
+                        .counter("@strand", 0)
+                        .child(SpanNode::new("extract", 0, 100).counter("intervals_looked_up", 9))
+                        .child(
+                            SpanNode::new("accumulate", 100, 400)
+                                .counter("postings_bytes_read", 2048)
+                                .counter("ids_decoded", 512),
+                        )
+                        .child(SpanNode::new("rank", 500, 100)),
+                )
+                .child(SpanNode::new("fine", 600, 300).counter("alignments", 2))
+                .child(SpanNode::new("strand_merge", 900, 50)),
+        };
+        let t2 = QueryTrace {
+            request_id: "q2".to_string(),
+            total_ns: 500,
+            results: 0,
+            error: None,
+            root: SpanNode::new("query", 0, 500)
+                .child(
+                    SpanNode::new("coarse", 0, 400)
+                        .child(SpanNode::new("extract", 0, 50))
+                        .child(
+                            SpanNode::new("accumulate", 50, 250)
+                                .counter("postings_bytes_read", 1000)
+                                .counter("ids_decoded", 100),
+                        )
+                        .child(SpanNode::new("rank", 300, 100)),
+                )
+                .child(SpanNode::new("fine", 400, 80).counter("alignments", 1))
+                .child(SpanNode::new("strand_merge", 480, 10)),
+        };
+        let input = dir.join("trace.jsonl");
+        std::fs::write(
+            &input,
+            format!("{}\n{}\n", t1.to_value().render(), t2.to_value().render()),
+        )
+        .unwrap();
+
+        let out = dir.join("results");
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
+        profile(&s(&[
+            "--input",
+            input.to_str().unwrap(),
+            "--top",
+            "10",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        assert!(out.join("PROFILE.txt").exists());
+        let report =
+            json::parse(&std::fs::read_to_string(out.join("PROFILE.json")).unwrap()).unwrap();
+        assert_eq!(report.get("queries").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(report.get("errors").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(report.get("total_ns").and_then(Value::as_f64), Some(1500.0));
+
+        // Stage self-times, hand-computed: accumulate 650, fine 380,
+        // rank 200, extract 150, query 60, strand_merge 60, coarse 0.
+        let Some(Value::Arr(stages)) = report.get("stages") else {
+            panic!("no stages array");
+        };
+        let stage = |name: &str| {
+            stages
+                .iter()
+                .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("stage {name} missing"))
+        };
+        let field = |s: &Value, f: &str| s.get(f).and_then(Value::as_f64).unwrap();
+        assert_eq!(
+            stages[0].get("name").and_then(Value::as_str),
+            Some("accumulate"),
+            "stages must be sorted by self time"
+        );
+        for (name, count, total, self_ns, max) in [
+            ("query", 2.0, 1500.0, 60.0, 1000.0),
+            ("coarse", 2.0, 1000.0, 0.0, 600.0),
+            ("extract", 2.0, 150.0, 150.0, 100.0),
+            ("accumulate", 2.0, 650.0, 650.0, 400.0),
+            ("rank", 2.0, 200.0, 200.0, 100.0),
+            ("fine", 2.0, 380.0, 380.0, 300.0),
+            ("strand_merge", 2.0, 60.0, 60.0, 50.0),
+        ] {
+            let s = stage(name);
+            assert_eq!(field(s, "count"), count, "{name} count");
+            assert_eq!(field(s, "total_ns"), total, "{name} total");
+            assert_eq!(field(s, "self_ns"), self_ns, "{name} self");
+            assert_eq!(field(s, "max_ns"), max, "{name} max");
+        }
+
+        let counters = report.get("counters").unwrap();
+        assert_eq!(
+            counters.get("ids_decoded").and_then(Value::as_f64),
+            Some(612.0)
+        );
+        assert_eq!(
+            counters.get("postings_bytes_read").and_then(Value::as_f64),
+            Some(3048.0)
+        );
+        assert_eq!(
+            counters.get("alignments").and_then(Value::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            counters.get("intervals_looked_up").and_then(Value::as_f64),
+            Some(9.0)
+        );
+        assert!(
+            counters.get("@strand").is_none(),
+            "identity labels excluded"
+        );
+
+        let Some(Value::Arr(slowest)) = report.get("slowest") else {
+            panic!("no slowest array");
+        };
+        assert_eq!(
+            slowest[0].get("request_id").and_then(Value::as_str),
+            Some("q1")
+        );
+        assert_eq!(
+            slowest[1].get("request_id").and_then(Value::as_str),
+            Some("q2")
+        );
+
+        // An unreadable dump errors out instead of writing an empty report.
+        std::fs::write(dir.join("junk.jsonl"), "not json\nstill not\n").unwrap();
+        assert!(profile(&s(&["--input", dir.join("junk.jsonl").to_str().unwrap(),])).is_err());
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

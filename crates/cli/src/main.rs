@@ -37,6 +37,8 @@ fn main() -> ExitCode {
         "verify" => commands::verify(rest),
         "bench" => commands::bench(rest),
         "serve" => commands::serve(rest),
+        "profile" => commands::profile(rest),
+        "version" | "--version" | "-V" => commands::version(rest),
         "help" | "--help" | "-h" => {
             // `nucdb help CMD` prints that subcommand's usage.
             match rest.first().and_then(|cmd| commands::usage_for(cmd)) {

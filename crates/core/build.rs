@@ -1,0 +1,19 @@
+//! Embeds the git commit hash into the build (`NUCDB_GIT_HASH`), with
+//! an "unknown" fallback so builds from a tarball still compile.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|hash| !hash.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=NUCDB_GIT_HASH={hash}");
+    // Re-embed when the checked-out commit moves.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/refs");
+}

@@ -11,10 +11,10 @@ use nucdb_index::{
 };
 use nucdb_seq::DnaSeq;
 
-use nucdb_obs::{MetricsRegistry, TraceSink};
+use nucdb_obs::{CaptureReason, Forensics, MetricsRegistry, QueryTrace, SpanNode, TraceSink};
 
 use crate::coarse::{coarse_rank_with, CoarseScratch, PostingsSource};
-use crate::fine::{fine_search, FineResult};
+use crate::fine::{fine_search_traced, CandidateTiming, FineResult};
 use crate::metrics::SearchMetrics;
 use crate::params::{SearchParams, Strand};
 use crate::store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};
@@ -205,6 +205,11 @@ pub struct SearchOutcome {
     pub stats: QueryStats,
 }
 
+/// Cap on per-candidate child spans under a `fine` span, so one query
+/// with a huge candidate list cannot bloat a trace (and therefore the
+/// flight recorder's memory bound). The slowest candidates are kept.
+const MAX_CANDIDATE_SPANS: usize = 8;
+
 /// Adapt a store-layer error to the engine's error type. Checksum
 /// mismatches map variant-to-variant (so callers see one corruption type
 /// regardless of which file failed); plain I/O errors pass through; the
@@ -342,7 +347,10 @@ impl Database {
     /// everything again.
     pub fn bind_metrics(&mut self, registry: &MetricsRegistry) {
         let trace = std::mem::take(&mut self.metrics.trace);
-        self.metrics = SearchMetrics::new(registry).with_trace(trace);
+        let forensics = std::mem::take(&mut self.metrics.forensics);
+        self.metrics = SearchMetrics::new(registry)
+            .with_trace(trace)
+            .with_forensics(forensics);
         if let IndexVariant::Disk(index) = &mut self.index {
             index.bind_metrics(registry);
         }
@@ -354,7 +362,22 @@ impl Database {
     /// Attach a sampled trace sink; subsequent queries emit JSONL events
     /// through it. Works with or without a bound metrics registry.
     pub fn set_trace(&mut self, trace: TraceSink) {
+        trace.bind_dropped(self.metrics.trace_dropped.clone());
         self.metrics.trace = trace;
+    }
+
+    /// Attach a query-forensics handle (flight recorder + tail
+    /// sampling); subsequent queries are captured per its configuration,
+    /// independently of the trace sink's stride. Works with or without a
+    /// bound metrics registry; like the other observability setters this
+    /// is `&mut self` — configure before sharing the database.
+    pub fn set_forensics(&mut self, forensics: Forensics) {
+        self.metrics.forensics = forensics;
+    }
+
+    /// The forensics handle bound to this database (disabled by default).
+    pub fn forensics(&self) -> &Forensics {
+        &self.metrics.forensics
     }
 
     /// The engine's observability handles.
@@ -383,18 +406,27 @@ impl Database {
     }
 
     /// Run coarse + fine for one strand orientation of the query,
-    /// accumulating cost counters into `stats`.
+    /// accumulating cost counters into `stats`. When `spans` is given,
+    /// a `coarse` span (children `extract`/`accumulate`/`rank`) and a
+    /// `fine` span (children: the slowest candidates) are appended, each
+    /// carrying its work counters; `query_start` anchors their offsets.
+    #[allow(clippy::too_many_arguments)]
     fn search_strand(
         &self,
         query: &DnaSeq,
         params: &SearchParams,
         scratch: &mut CoarseScratch,
         stats: &mut QueryStats,
+        query_start: Instant,
+        strand_idx: u64,
+        spans: Option<&mut Vec<SpanNode>>,
     ) -> Result<Vec<FineResult>, IndexError> {
         let query_bases = query.representative_bases();
+        let coarse_offset = query_start.elapsed().as_nanos() as u64;
         let coarse_start = Instant::now();
         let coarse = coarse_rank_with(&self.index, &query_bases, params, scratch)?;
-        stats.coarse_nanos += coarse_start.elapsed().as_nanos() as u64;
+        let coarse_nanos = coarse_start.elapsed().as_nanos() as u64;
+        stats.coarse_nanos += coarse_nanos;
         stats.extract_nanos += coarse.extract_nanos;
         stats.accumulate_nanos += coarse.accumulate_nanos;
         stats.rank_nanos += coarse.rank_nanos;
@@ -420,17 +452,67 @@ impl Database {
             params.fine
         };
 
+        let fine_offset = query_start.elapsed().as_nanos() as u64;
         let fine_start = Instant::now();
-        let fine = fine_search(
+        let mut timings: Vec<CandidateTiming> = Vec::new();
+        let fine = fine_search_traced(
             &self.store,
             query,
             &coarse.candidates,
             fine_mode,
             &params.scheme,
             params.min_score,
+            spans.is_some().then_some(&mut timings),
         )
         .map_err(io_err);
-        stats.fine_nanos += fine_start.elapsed().as_nanos() as u64;
+        let fine_nanos = fine_start.elapsed().as_nanos() as u64;
+        stats.fine_nanos += fine_nanos;
+
+        if let Some(spans) = spans {
+            spans.push(
+                SpanNode::new("coarse", coarse_offset, coarse_nanos)
+                    .counter("@strand", strand_idx)
+                    .child(
+                        SpanNode::new("extract", coarse_offset, coarse.extract_nanos)
+                            .counter("intervals_looked_up", coarse.intervals_looked_up),
+                    )
+                    .child(
+                        SpanNode::new(
+                            "accumulate",
+                            coarse_offset + coarse.extract_nanos,
+                            coarse.accumulate_nanos,
+                        )
+                        .counter("lists_fetched", coarse.lists_fetched)
+                        .counter("ids_decoded", coarse.postings_decoded)
+                        .counter("postings_bytes_read", coarse.postings_bytes_read)
+                        .counter("blocks_decoded", coarse.blocks_decoded)
+                        .counter("blocks_skipped", coarse.blocks_skipped)
+                        .counter("hits", coarse.total_hits),
+                    )
+                    .child(
+                        SpanNode::new(
+                            "rank",
+                            coarse_offset + coarse.extract_nanos + coarse.accumulate_nanos,
+                            coarse.rank_nanos,
+                        )
+                        .counter("candidates", coarse.candidates.len() as u64),
+                    ),
+            );
+
+            let mut fine_span = SpanNode::new("fine", fine_offset, fine_nanos)
+                .counter("@strand", strand_idx)
+                .counter("alignments", coarse.candidates.len() as u64);
+            // Keep only the slowest candidates so trace size stays bounded.
+            timings.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.record.cmp(&b.record)));
+            for t in timings.iter().take(MAX_CANDIDATE_SPANS) {
+                fine_span = fine_span.child(
+                    SpanNode::new("candidate", fine_offset + t.start_ns, t.nanos)
+                        .counter("@record", t.record as u64)
+                        .counter("@score", t.score.max(0) as u64),
+                );
+            }
+            spans.push(fine_span);
+        }
         fine
     }
 
@@ -463,7 +545,22 @@ impl Database {
         params: &SearchParams,
         scratch: &mut CoarseScratch,
     ) -> Result<SearchOutcome, IndexError> {
-        let outcome = self.search_attempt(query, params, scratch);
+        self.search_with_id(query, params, scratch, None)
+    }
+
+    /// [`Database::search_with`] carrying a caller-assigned request id,
+    /// which flows into every span, trace line, and flight-recorder
+    /// entry this query produces — `nucdb-serve` passes the id it echoed
+    /// to the client, so a slow trace is joinable with the client's own
+    /// records. Results are unaffected by the id.
+    pub fn search_with_id(
+        &self,
+        query: &DnaSeq,
+        params: &SearchParams,
+        scratch: &mut CoarseScratch,
+        request_id: Option<&str>,
+    ) -> Result<SearchOutcome, IndexError> {
+        let outcome = self.search_attempt(query, params, scratch, request_id);
         if let Err(e) = &outcome {
             if e.is_corruption() {
                 self.metrics.io_corruption.inc();
@@ -477,22 +574,64 @@ impl Database {
         query: &DnaSeq,
         params: &SearchParams,
         scratch: &mut CoarseScratch,
+        request_id: Option<&str>,
     ) -> Result<SearchOutcome, IndexError> {
+        // Decide capture up front: the flight recorder sees every query,
+        // the stride sink its 1-in-K sample. Either one wants spans.
+        let stride_sample = self.metrics.trace.should_sample();
+        let capture = self.metrics.forensics.is_enabled() || stride_sample;
+
+        // Deterministic latency injection for tail-sampler tests; only a
+        // sleep, so results are bit-identical with or without it.
+        let inject_ns = self.metrics.forensics.inject_delay_ns();
+        if inject_ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(inject_ns));
+        }
+
         let query_start = Instant::now();
         let mut stats = QueryStats::default();
+        let mut spans: Vec<SpanNode> = Vec::new();
 
-        let mut merged: Vec<(Strand, FineResult)> = Vec::new();
-        if params.strand != Strand::Reverse {
-            for r in self.search_strand(query, params, scratch, &mut stats)? {
-                merged.push((Strand::Forward, r));
+        let strands = (|| -> Result<Vec<(Strand, FineResult)>, IndexError> {
+            let mut merged: Vec<(Strand, FineResult)> = Vec::new();
+            if params.strand != Strand::Reverse {
+                for r in self.search_strand(
+                    query,
+                    params,
+                    scratch,
+                    &mut stats,
+                    query_start,
+                    0,
+                    capture.then_some(&mut spans),
+                )? {
+                    merged.push((Strand::Forward, r));
+                }
             }
-        }
-        if params.strand != Strand::Forward {
-            let reverse = query.reverse_complement();
-            for r in self.search_strand(&reverse, params, scratch, &mut stats)? {
-                merged.push((Strand::Reverse, r));
+            if params.strand != Strand::Forward {
+                let reverse = query.reverse_complement();
+                for r in self.search_strand(
+                    &reverse,
+                    params,
+                    scratch,
+                    &mut stats,
+                    query_start,
+                    1,
+                    capture.then_some(&mut spans),
+                )? {
+                    merged.push((Strand::Reverse, r));
+                }
             }
-        }
+            Ok(merged)
+        })();
+        let mut merged = match strands {
+            Ok(merged) => merged,
+            Err(e) => {
+                // Tail sampling: failed queries are always captured,
+                // with whatever spans completed before the failure.
+                self.capture_failure(query_start, request_id, &e, std::mem::take(&mut spans));
+                return Err(e);
+            }
+        };
 
         // Per record, keep the better strand.
         let merge_start = Instant::now();
@@ -514,18 +653,65 @@ impl Database {
             })
             .collect();
         stats.merge_nanos = merge_start.elapsed().as_nanos() as u64;
+        let merge_offset = merge_start.duration_since(query_start).as_nanos() as u64;
+        let total_nanos = query_start.elapsed().as_nanos() as u64;
 
         if self.metrics.is_enabled() {
-            let total_nanos = query_start.elapsed().as_nanos() as u64;
             self.metrics.record_query(&stats, total_nanos);
-            if self.metrics.trace.should_sample() {
-                self.metrics
-                    .trace
-                    .emit(&self.metrics.trace_event(&stats, &results, total_nanos));
+        }
+        if capture {
+            let mut root = SpanNode::new("query", 0, total_nanos);
+            root.children = std::mem::take(&mut spans);
+            root.children.push(
+                SpanNode::new("strand_merge", merge_offset, stats.merge_nanos)
+                    .counter("results", results.len() as u64),
+            );
+            if stride_sample {
+                self.metrics.trace.emit(&self.metrics.trace_event(
+                    &stats,
+                    &results,
+                    total_nanos,
+                    request_id,
+                    Some(&root),
+                ));
+            }
+            let trace = QueryTrace {
+                request_id: request_id.unwrap_or("").to_string(),
+                total_ns: total_nanos,
+                results: results.len() as u64,
+                error: None,
+                root,
+            };
+            if self.metrics.forensics.observe(trace) == CaptureReason::Slow {
+                self.metrics.slow_queries.inc();
             }
         }
 
         Ok(SearchOutcome { results, stats })
+    }
+
+    /// Record a failed query in the flight recorder (tail sampling
+    /// captures every error), with whatever spans completed.
+    fn capture_failure(
+        &self,
+        query_start: Instant,
+        request_id: Option<&str>,
+        error: &IndexError,
+        spans: Vec<SpanNode>,
+    ) {
+        if !self.metrics.forensics.is_enabled() {
+            return;
+        }
+        let total_ns = query_start.elapsed().as_nanos() as u64;
+        let mut root = SpanNode::new("query", 0, total_ns);
+        root.children = spans;
+        self.metrics.forensics.observe(QueryTrace {
+            request_id: request_id.unwrap_or("").to_string(),
+            total_ns,
+            results: 0,
+            error: Some(error.to_string()),
+            root,
+        });
     }
 
     /// Append new records to a memory-backed database: the batch is
@@ -572,10 +758,23 @@ impl Database {
         queries: &[DnaSeq],
         params: &SearchParams,
     ) -> Result<Vec<SearchOutcome>, IndexError> {
+        self.search_batch_with_ids(queries, None, params)
+    }
+
+    fn search_batch_with_ids(
+        &self,
+        queries: &[DnaSeq],
+        request_ids: Option<&[String]>,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchOutcome>, IndexError> {
         let mut scratch = CoarseScratch::new();
         queries
             .iter()
-            .map(|q| self.search_with(q, params, &mut scratch))
+            .enumerate()
+            .map(|(i, q)| {
+                let id = request_ids.map(|ids| ids[i].as_str());
+                self.search_with_id(q, params, &mut scratch, id)
+            })
             .collect()
     }
 
@@ -592,9 +791,30 @@ impl Database {
         params: &SearchParams,
         num_threads: usize,
     ) -> Result<Vec<SearchOutcome>, IndexError> {
+        self.search_batch_parallel_with_ids(queries, None, params, num_threads)
+    }
+
+    /// [`Database::search_batch_parallel`] with per-query request ids
+    /// (parallel slice, same length as `queries`) threaded into spans,
+    /// trace lines, and flight-recorder entries. Results are identical
+    /// to the id-less form.
+    pub fn search_batch_parallel_with_ids(
+        &self,
+        queries: &[DnaSeq],
+        request_ids: Option<&[String]>,
+        params: &SearchParams,
+        num_threads: usize,
+    ) -> Result<Vec<SearchOutcome>, IndexError> {
+        if let Some(ids) = request_ids {
+            assert_eq!(
+                ids.len(),
+                queries.len(),
+                "request_ids must parallel queries"
+            );
+        }
         let num_threads = num_threads.max(1).min(queries.len().max(1));
         if num_threads <= 1 {
-            return self.search_batch(queries, params);
+            return self.search_batch_with_ids(queries, request_ids, params);
         }
         // Work-stealing by atomic counter; each worker returns its
         // (index, outcome) pairs and the batch is reassembled in order.
@@ -611,8 +831,11 @@ impl Database {
                                 if i >= queries.len() {
                                     break;
                                 }
-                                local
-                                    .push((i, self.search_with(&queries[i], params, &mut scratch)));
+                                let id = request_ids.map(|ids| ids[i].as_str());
+                                local.push((
+                                    i,
+                                    self.search_with_id(&queries[i], params, &mut scratch, id),
+                                ));
                             }
                             local
                         })

@@ -36,6 +36,21 @@ impl Default for FineMode {
     }
 }
 
+/// Per-candidate timing captured by [`fine_search_traced`] for forensic
+/// span trees. Offsets are relative to the start of the fine stage.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateTiming {
+    /// Record id aligned.
+    pub record: u32,
+    /// Nanoseconds from the start of the fine stage to this candidate's
+    /// alignment starting.
+    pub start_ns: u64,
+    /// Nanoseconds spent aligning this candidate.
+    pub nanos: u64,
+    /// The alignment score (before the `min_score` filter).
+    pub score: i32,
+}
+
 /// A fine-scored candidate.
 #[derive(Debug, Clone)]
 pub struct FineResult {
@@ -67,9 +82,27 @@ pub fn fine_search<S: RecordSource>(
     scheme: &ScoringScheme,
     min_score: i32,
 ) -> Result<Vec<FineResult>, SeqError> {
+    fine_search_traced(store, query, candidates, mode, scheme, min_score, None)
+}
+
+/// [`fine_search`] that additionally records per-candidate wall time
+/// into `timings` (append-only; pass `None` to skip all timing work).
+/// Results are identical to [`fine_search`] — the instrumentation only
+/// reads the clock around each candidate.
+pub fn fine_search_traced<S: RecordSource>(
+    store: &S,
+    query: &DnaSeq,
+    candidates: &[CoarseHit],
+    mode: FineMode,
+    scheme: &ScoringScheme,
+    min_score: i32,
+    mut timings: Option<&mut Vec<CandidateTiming>>,
+) -> Result<Vec<FineResult>, SeqError> {
+    let stage_start = timings.as_ref().map(|_| std::time::Instant::now());
     let query_bases = query.representative_bases();
     let mut results: Vec<FineResult> = Vec::with_capacity(candidates.len());
     for &coarse in candidates {
+        let start_ns = stage_start.map(|s| s.elapsed().as_nanos() as u64);
         let (score, alignment) = match mode {
             FineMode::Banded { half_width } => {
                 let target = store.try_bases(coarse.record)?;
@@ -98,6 +131,15 @@ pub fn fine_search<S: RecordSource>(
                 (sw_score_iupac(query, &target, scheme), None)
             }
         };
+        if let (Some(timings), Some(start_ns)) = (timings.as_deref_mut(), start_ns) {
+            let end_ns = stage_start.unwrap().elapsed().as_nanos() as u64;
+            timings.push(CandidateTiming {
+                record: coarse.record,
+                start_ns,
+                nanos: end_ns.saturating_sub(start_ns),
+                score,
+            });
+        }
         if score >= min_score {
             results.push(FineResult {
                 record: coarse.record,
@@ -230,6 +272,41 @@ mod tests {
         assert!(results[0].score > results[1].score);
         assert!(results[1].score >= results[2].score);
         assert_eq!(results[1].record, 2);
+    }
+
+    #[test]
+    fn traced_variant_matches_untraced_and_times_every_candidate() {
+        let store = store_with(&[
+            b"ACGTAGCTAG",
+            b"ACGTAGCTAGCTGGATCC",
+            b"TTTTTTTTTTTTTTTTTT", // scores below min_score, still timed
+        ]);
+        let hits = [hit(0, 0), hit(1, 0), hit(2, 0)];
+        let scheme = ScoringScheme::blastn();
+        let plain = fine_search(&store, &query(), &hits, FineMode::Full, &scheme, 10).unwrap();
+        let mut timings = Vec::new();
+        let traced = fine_search_traced(
+            &store,
+            &query(),
+            &hits,
+            FineMode::Full,
+            &scheme,
+            10,
+            Some(&mut timings),
+        )
+        .unwrap();
+        let key = |r: &FineResult| (r.record, r.score);
+        assert_eq!(
+            plain.iter().map(key).collect::<Vec<_>>(),
+            traced.iter().map(key).collect::<Vec<_>>()
+        );
+        // Every candidate is timed, including ones the score filter drops.
+        assert_eq!(timings.len(), 3);
+        let records: Vec<u32> = timings.iter().map(|t| t.record).collect();
+        assert_eq!(records, [0, 1, 2]);
+        for pair in timings.windows(2) {
+            assert!(pair[1].start_ns >= pair[0].start_ns + pair[0].nanos);
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod build_info;
 pub mod coarse;
 pub mod engine;
 pub mod eval;
@@ -57,7 +58,7 @@ pub use coarse::{
 };
 pub use engine::{Database, DbConfig, IndexVariant, QueryStats, SearchOutcome, SearchResult};
 pub use eval::{average_precision, eleven_point_precision, ground_truth_sw, recall_at};
-pub use fine::{fine_search, FineMode, FineResult};
+pub use fine::{fine_search, fine_search_traced, CandidateTiming, FineMode, FineResult};
 pub use metrics::SearchMetrics;
 pub use params::{SearchParams, Strand};
 pub use store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};

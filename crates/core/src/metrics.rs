@@ -8,7 +8,7 @@
 //! handles. A default-constructed [`SearchMetrics`] is fully disabled:
 //! every handle is detached, so each record call is one branch.
 
-use nucdb_obs::{Counter, Histogram, MetricsRegistry, TraceEvent, TraceSink};
+use nucdb_obs::{Counter, Forensics, Histogram, MetricsRegistry, SpanNode, TraceEvent, TraceSink};
 
 use crate::engine::{QueryStats, SearchResult};
 
@@ -46,8 +46,17 @@ pub struct SearchMetrics {
     /// mismatch, structural violation, or truncated read). Incremented
     /// per failing query; the query errors out, the engine stays up.
     pub io_corruption: Counter,
+    /// Queries captured by tail sampling for exceeding the forensics
+    /// slow-query threshold.
+    pub slow_queries: Counter,
+    /// Trace events lost to write errors (bound onto the trace sink as
+    /// `nucdb_trace_dropped_total`).
+    pub trace_dropped: Counter,
     /// Sampled per-query trace sink.
     pub trace: TraceSink,
+    /// Query forensics: flight-recorder rings + tail sampling. Captures
+    /// independently of the trace stride.
+    pub forensics: Forensics,
 }
 
 impl SearchMetrics {
@@ -87,7 +96,16 @@ impl SearchMetrics {
                 "nucdb_io_corruption_total",
                 "Queries failed on detected on-disk corruption",
             ),
+            slow_queries: registry.counter(
+                "nucdb_slow_queries_total",
+                "Queries tail-sampled for exceeding the slow-query threshold",
+            ),
+            trace_dropped: registry.counter(
+                "nucdb_trace_dropped_total",
+                "Trace events dropped on write error",
+            ),
             trace: TraceSink::disabled(),
+            forensics: Forensics::disabled(),
         }
     }
 
@@ -96,9 +114,17 @@ impl SearchMetrics {
         SearchMetrics::default()
     }
 
-    /// Attach a trace sink (sampling is the sink's).
+    /// Attach a trace sink (sampling is the sink's). The sink's dropped
+    /// events bump this bundle's `nucdb_trace_dropped_total` counter.
     pub fn with_trace(mut self, trace: TraceSink) -> SearchMetrics {
+        trace.bind_dropped(self.trace_dropped.clone());
         self.trace = trace;
+        self
+    }
+
+    /// Attach a forensics handle (flight recorder + tail sampling).
+    pub fn with_forensics(mut self, forensics: Forensics) -> SearchMetrics {
+        self.forensics = forensics;
         self
     }
 
@@ -123,14 +149,24 @@ impl SearchMetrics {
         self.fine_alignments.add(stats.fine_alignments);
     }
 
-    /// Build the JSONL trace event for one sampled query.
+    /// Build the JSONL trace event for one sampled query. The event is
+    /// shaped so [`nucdb_obs::QueryTrace::from_value`] parses it back:
+    /// `total_ns`, `results`, plus `request_id` and the span tree when
+    /// the caller has them.
     pub fn trace_event(
         &self,
         stats: &QueryStats,
         results: &[SearchResult],
         total_nanos: u64,
+        request_id: Option<&str>,
+        spans: Option<&SpanNode>,
     ) -> TraceEvent {
-        let mut event = TraceEvent::new("query")
+        let mut event = TraceEvent::new("query");
+        if let Some(id) = request_id {
+            event = event.str("request_id", id);
+        }
+        event = event
+            .num("total_ns", total_nanos)
             .num("latency_ns", total_nanos)
             .num("coarse_ns", stats.coarse_nanos)
             .num("extract_ns", stats.extract_nanos)
@@ -149,6 +185,9 @@ impl SearchMetrics {
             event = event
                 .str("top_id", &top.id)
                 .field("top_score", nucdb_obs::json::Value::Num(top.score as f64));
+        }
+        if let Some(spans) = spans {
+            event = event.field("spans", spans.to_value());
         }
         event
     }

@@ -22,6 +22,11 @@
 //! * [`TraceSink`] — a sampled, structured query log: one JSON object per
 //!   line (JSONL) carrying per-query stage timings, counter deltas and
 //!   candidate counts.
+//! * Query forensics: [`SpanNode`]/[`QueryTrace`] span trees attaching
+//!   work counters to every timed stage, a [`FlightRecorder`] ring of
+//!   the last N query traces with tail sampling ([`Forensics`]) that
+//!   always captures slow or failed queries, and offline aggregation
+//!   ([`profile::aggregate`]) backing `nucdb profile`.
 //!
 //! ## Cost model
 //!
@@ -38,13 +43,19 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
+pub use flight::{CaptureReason, FlightEntry, FlightRecorder, Forensics, ForensicsConfig};
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use profile::{aggregate, ProfileReport, QuerySummary, StageAgg};
 pub use registry::{
     Counter, Gauge, MetricKind, MetricSnapshot, MetricsRegistry, Snapshot, ValueSnapshot,
 };
+pub use span::{QueryTrace, SpanNode};
 pub use trace::{TraceEvent, TraceSink};

@@ -56,6 +56,19 @@ struct SinkCore {
     /// Emit every Nth query (1 = every query).
     sample_every: u64,
     seq: AtomicU64,
+    /// Events lost to write errors (`nucdb_trace_dropped_total` once
+    /// bound via [`TraceSink::bind_dropped`]); counted locally too so
+    /// drops are observable before any registry is attached.
+    dropped: AtomicU64,
+    dropped_counter: Mutex<crate::registry::Counter>,
+}
+
+/// Recover a possibly-poisoned lock: a panic on another traced thread
+/// must not cascade into every subsequent query. The guarded state is a
+/// byte stream / counter, both safe to keep using after an interrupted
+/// writer (worst case: one torn line in a diagnostic log).
+fn recover<T>(result: std::sync::LockResult<T>) -> T {
+    result.unwrap_or_else(|poison| poison.into_inner())
 }
 
 /// A shared handle to a JSONL trace stream. Cloning is cheap; all clones
@@ -76,6 +89,8 @@ impl TraceSink {
                 writer: Mutex::new(writer),
                 sample_every: sample_every.max(1),
                 seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                dropped_counter: Mutex::new(crate::registry::Counter::disabled()),
             })),
         }
     }
@@ -111,21 +126,56 @@ impl TraceSink {
         }
     }
 
-    /// Append `event` as one JSONL line. Ignored on a disabled sink;
-    /// write errors are swallowed (tracing must never fail a query).
+    /// Append `event` as one JSONL line. Ignored on a disabled sink.
+    /// Write errors never fail a query: the event is dropped and the
+    /// drop counter bumped instead. A lock poisoned by a panicking
+    /// emitter is recovered, not propagated.
     pub fn emit(&self, event: &TraceEvent) {
+        self.emit_value(&event.to_value());
+    }
+
+    /// Append an already-built JSON value as one JSONL line, with the
+    /// same error policy as [`TraceSink::emit`].
+    pub fn emit_value(&self, value: &Value) {
         if let Some(core) = &self.inner {
-            let line = event.to_value().render();
-            let mut writer = core.writer.lock().expect("trace sink poisoned");
-            let _ = writer.write_all(line.as_bytes());
-            let _ = writer.write_all(b"\n");
+            let line = value.render();
+            let mut writer = recover(core.writer.lock());
+            let ok = writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_ok();
+            if !ok {
+                core.dropped.fetch_add(1, Ordering::Relaxed);
+                recover(core.dropped_counter.lock()).inc();
+            }
         }
     }
 
-    /// Flush the underlying writer.
+    /// Bind the registry counter bumped when events are dropped
+    /// (conventionally `nucdb_trace_dropped_total`). Drops that happened
+    /// before binding are carried over so the counter never undercounts.
+    pub fn bind_dropped(&self, counter: crate::registry::Counter) {
+        if let Some(core) = &self.inner {
+            let already = core.dropped.load(Ordering::Relaxed);
+            counter.add(already.saturating_sub(counter.get()));
+            *recover(core.dropped_counter.lock()) = counter;
+        }
+    }
+
+    /// Events lost to write errors so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |core| core.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Flush the underlying writer. Flush errors count as drops.
     pub fn flush(&self) {
         if let Some(core) = &self.inner {
-            let _ = core.writer.lock().expect("trace sink poisoned").flush();
+            if recover(core.writer.lock()).flush().is_err() {
+                core.dropped.fetch_add(1, Ordering::Relaxed);
+                recover(core.dropped_counter.lock()).inc();
+            }
         }
     }
 }
@@ -209,6 +259,84 @@ mod tests {
         assert_eq!(sampled, 4);
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 4);
+    }
+
+    /// A writer that panics on the first write, then works normally.
+    struct PanicOnce {
+        armed: bool,
+        out: SharedBuf,
+    }
+
+    impl Write for PanicOnce {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.armed {
+                self.armed = false;
+                panic!("injected writer panic");
+            }
+            self.out.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn poisoned_writer_lock_is_recovered_not_propagated() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = TraceSink::to_writer(
+            Box::new(PanicOnce {
+                armed: true,
+                out: SharedBuf(Arc::clone(&buf)),
+            }),
+            1,
+        );
+        // First emit panics inside the writer while the lock is held,
+        // poisoning it.
+        let panicking = sink.clone();
+        let result = std::thread::spawn(move || {
+            panicking.emit(&TraceEvent::new("query").num("n", 0));
+        })
+        .join();
+        assert!(
+            result.is_err(),
+            "writer panic should propagate to its thread"
+        );
+
+        // Subsequent emits on other threads must keep working.
+        sink.emit(&TraceEvent::new("query").num("n", 1));
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        crate::json::parse(text.lines().next().unwrap()).expect("valid line after recovery");
+    }
+
+    /// A writer that always fails.
+    struct BrokenPipe;
+
+    impl Write for BrokenPipe {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+        }
+    }
+
+    #[test]
+    fn write_errors_drop_events_and_bump_counter() {
+        let sink = TraceSink::to_writer(Box::new(BrokenPipe), 1);
+        sink.emit(&TraceEvent::new("query").num("n", 0));
+        assert_eq!(sink.dropped(), 1);
+
+        // Binding late carries over drops that already happened.
+        let counter = crate::registry::Counter::new();
+        sink.bind_dropped(counter.clone());
+        assert_eq!(counter.get(), 1);
+
+        sink.emit(&TraceEvent::new("query").num("n", 1));
+        sink.flush();
+        assert_eq!(sink.dropped(), 3); // 2 write errors + 1 flush error
+        assert_eq!(counter.get(), 3);
     }
 
     #[test]

@@ -249,9 +249,14 @@ pub fn outcome_to_json(
     ])
 }
 
-/// Render the whole response document.
-pub fn response_to_json(per_query: Vec<Value>) -> Value {
-    Value::Obj(vec![("results".to_string(), Value::Arr(per_query))])
+/// Render the whole response document. The request id is echoed as a
+/// top-level field (it also rides the `X-Request-Id` header) so clients
+/// that only keep bodies can still join answers with server-side traces.
+pub fn response_to_json(per_query: Vec<Value>, request_id: &str) -> Value {
+    Value::Obj(vec![
+        ("request_id".to_string(), Value::Str(request_id.to_string())),
+        ("results".to_string(), Value::Arr(per_query)),
+    ])
 }
 
 #[cfg(test)]
@@ -329,9 +334,13 @@ mod tests {
             seq: DnaSeq::from_ascii(b"ACGT").unwrap(),
         };
         let outcome = SearchOutcome::default();
-        let doc = response_to_json(vec![outcome_to_json(&query, &outcome, None)]);
+        let doc = response_to_json(vec![outcome_to_json(&query, &outcome, None)], "req-0-0");
         let text = doc.render();
         let parsed = nucdb_obs::json::parse(&text).unwrap();
         assert_eq!(parsed, doc);
+        assert_eq!(
+            parsed.get("request_id").and_then(Value::as_str),
+            Some("req-0-0")
+        );
     }
 }

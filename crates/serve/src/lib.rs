@@ -21,8 +21,14 @@
 //!
 //! Endpoints: `POST /search` (FASTA or JSON body → ranked answers as
 //! JSON), `GET /metrics` (Prometheus text), `GET /healthz`,
-//! `GET /stats`. Results are bit-identical to the offline CLI `search`
-//! command — same engine, same parameters, same calibration.
+//! `GET /stats`, and — when a flight recorder is attached to the
+//! database — `GET /debug/queries` / `GET /debug/slow` (recent and
+//! tail-sampled query traces). Every response carries an
+//! `X-Request-Id` header (client-supplied ids are echoed when sane);
+//! the same id is stamped on the query's spans, trace lines, and
+//! flight-recorder entries. Results are bit-identical to the offline
+//! CLI `search` command — same engine, same parameters, same
+//! calibration.
 
 #![warn(missing_docs)]
 

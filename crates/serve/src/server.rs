@@ -27,15 +27,15 @@
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nucdb::{CoarseScratch, Database, RecordSource, SearchOutcome, SearchParams};
+use nucdb::{build_info, CoarseScratch, Database, RecordSource, SearchOutcome, SearchParams};
 use nucdb_align::calibrate_gumbel;
 use nucdb_obs::json::{num, Value};
-use nucdb_obs::MetricsRegistry;
+use nucdb_obs::{FlightEntry, MetricsRegistry};
 use nucdb_seq::DnaSeq;
 
 use crate::api::{self, SearchRequest, Significance};
@@ -82,6 +82,46 @@ impl Default for ServeConfig {
             limits: Limits::default(),
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Request ids
+// ---------------------------------------------------------------------
+
+/// Generate a process-unique request id: a per-process nonce (so ids
+/// from different server runs never collide in a shared log) plus a
+/// monotonic sequence number.
+fn generate_request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static NONCE: OnceLock<u32> = OnceLock::new();
+    let nonce = *NONCE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        let mixed = nanos ^ (u64::from(std::process::id()) << 32);
+        (mixed as u32) ^ ((mixed >> 32) as u32)
+    });
+    let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("req-{nonce:08x}-{seq}")
+}
+
+/// A client-supplied `X-Request-Id` is honoured when it is short and
+/// printable; anything else is replaced with a generated id (the header
+/// lands in logs and trace lines, so it must be safe to echo).
+fn sanitize_request_id(raw: &str) -> Option<String> {
+    let trimmed = raw.trim();
+    let ok =
+        !trimmed.is_empty() && trimmed.len() <= 64 && trimmed.chars().all(|c| c.is_ascii_graphic());
+    ok.then(|| trimmed.to_string())
+}
+
+/// The id for one parsed request: the client's sanitized `X-Request-Id`
+/// if it sent one, a generated id otherwise.
+fn request_id_for(request: &Request) -> String {
+    request
+        .header("x-request-id")
+        .and_then(sanitize_request_id)
+        .unwrap_or_else(generate_request_id)
 }
 
 /// Everything the acceptor, workers, and collector share.
@@ -157,6 +197,7 @@ impl ServerHandle {
             let _ = collector.join();
         }
         self.shared.db.metrics().trace.flush();
+        self.shared.db.metrics().forensics.flush();
         // Every thread has been joined, so this handle holds the last
         // strong reference; `None` only if a connection handler leaked.
         Arc::try_unwrap(self.shared)
@@ -178,6 +219,7 @@ pub fn start(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let metrics = HttpMetrics::new(&registry);
+    build_info::register(&registry);
     let mean_len = (db.store().total_bases() / db.len().max(1)).max(1);
     let batcher = config.batch_window.map(|_| Batcher::new());
     let shared = Arc::new(Shared {
@@ -258,6 +300,7 @@ fn shed(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.read(&mut sink);
     let response = Response::new(503, "Service Unavailable")
         .header("Retry-After", "1")
+        .header("X-Request-Id", generate_request_id())
         .text("admission queue full; retry later\n");
     let _ = response.write_to(&mut stream, false);
     shared.metrics.record_response(503, 0);
@@ -276,6 +319,7 @@ fn worker_loop(shared: &Shared, queue: &Arc<BoundedQueue<TcpStream>>) {
             shared.metrics.expired.inc();
             let response = Response::new(503, "Service Unavailable")
                 .header("Retry-After", "1")
+                .header("X-Request-Id", generate_request_id())
                 .text("request expired in admission queue\n");
             let _ = response.write_to(&mut stream, false);
             shared
@@ -307,8 +351,11 @@ fn handle_connection(
             Ok(None) => return, // clean keep-alive end
             Err(error) => {
                 if let Some((status, reason)) = error.status() {
-                    let response =
-                        Response::new(status, reason).text(format!("{}\n", error.detail()));
+                    // Even a request too malformed to parse gets an id:
+                    // the client can still quote it at the operator.
+                    let response = Response::new(status, reason)
+                        .header("X-Request-Id", generate_request_id())
+                        .text(format!("{}\n", error.detail()));
                     let _ = response.write_to(&mut writer, false);
                     shared.metrics.record_response(status, 0);
                 }
@@ -319,7 +366,9 @@ fn handle_connection(
         // keep-alive requests are timed from arrival.
         let start = if first { admitted } else { Instant::now() };
         first = false;
-        let response = route(shared, &request, scratch);
+        let request_id = request_id_for(&request);
+        let response =
+            route(shared, &request, &request_id, scratch).header("X-Request-Id", request_id);
         let keep = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
         let status = response.status;
         if response.write_to(&mut writer, keep).is_err() {
@@ -334,20 +383,34 @@ fn handle_connection(
     }
 }
 
-fn route(shared: &Shared, request: &Request, scratch: &mut CoarseScratch) -> Response {
+fn route(
+    shared: &Shared,
+    request: &Request,
+    request_id: &str,
+    scratch: &mut CoarseScratch,
+) -> Response {
     match (request.method, request.path.as_str()) {
-        (Method::Get, "/healthz") => Response::ok().text("ok\n"),
+        (Method::Get, "/healthz") => Response::ok().text(format!("ok {}\n", build_info::human())),
         (Method::Get, "/metrics") => {
             let mut response = Response::ok().header("Content-Type", "text/plain; version=0.0.4");
             response.body = shared.registry.snapshot().to_prometheus().into_bytes();
             response
         }
         (Method::Get, "/stats") => Response::ok().json(stats_json(shared).render()),
-        (Method::Post, "/search") => search_endpoint(shared, request, scratch),
+        (Method::Get, "/debug/queries") => {
+            let forensics = &shared.db.metrics().forensics;
+            Response::ok()
+                .json(debug_json(forensics.recent(), forensics.recent_capacity()).render())
+        }
+        (Method::Get, "/debug/slow") => {
+            let forensics = &shared.db.metrics().forensics;
+            Response::ok().json(debug_json(forensics.slow(), forensics.slow_capacity()).render())
+        }
+        (Method::Post, "/search") => search_endpoint(shared, request, request_id, scratch),
         (Method::Get, "/search") => Response::new(405, "Method Not Allowed")
             .header("Allow", "POST")
             .text("use POST /search\n"),
-        (Method::Post, "/healthz" | "/metrics" | "/stats") => {
+        (Method::Post, "/healthz" | "/metrics" | "/stats" | "/debug/queries" | "/debug/slow") => {
             Response::new(405, "Method Not Allowed")
                 .header("Allow", "GET")
                 .text("use GET\n")
@@ -356,7 +419,20 @@ fn route(shared: &Shared, request: &Request, scratch: &mut CoarseScratch) -> Res
     }
 }
 
+/// Render one flight-recorder ring as the `/debug/*` response document.
+fn debug_json(entries: Vec<FlightEntry>, capacity: usize) -> Value {
+    Value::Obj(vec![
+        ("capacity".to_string(), num(capacity as u64)),
+        ("count".to_string(), num(entries.len() as u64)),
+        (
+            "queries".to_string(),
+            Value::Arr(entries.iter().map(FlightEntry::to_value).collect()),
+        ),
+    ])
+}
+
 fn stats_json(shared: &Shared) -> Value {
+    let forensics = &shared.db.metrics().forensics;
     Value::Obj(vec![
         ("records".to_string(), num(shared.db.len() as u64)),
         (
@@ -371,11 +447,38 @@ fn stats_json(shared: &Shared) -> Value {
             "batching".to_string(),
             Value::Bool(shared.batcher.is_some()),
         ),
+        ("build_info".to_string(), build_info::as_json()),
+        (
+            "forensics".to_string(),
+            Value::Obj(vec![
+                ("enabled".to_string(), Value::Bool(forensics.is_enabled())),
+                (
+                    "recent_capacity".to_string(),
+                    num(forensics.recent_capacity() as u64),
+                ),
+                (
+                    "slow_capacity".to_string(),
+                    num(forensics.slow_capacity() as u64),
+                ),
+                (
+                    "slow_threshold_ns".to_string(),
+                    match forensics.slow_threshold_ns() {
+                        Some(ns) if ns < u64::MAX => num(ns),
+                        _ => Value::Null,
+                    },
+                ),
+            ]),
+        ),
         ("metrics".to_string(), shared.registry.snapshot().to_json()),
     ])
 }
 
-fn search_endpoint(shared: &Shared, request: &Request, scratch: &mut CoarseScratch) -> Response {
+fn search_endpoint(
+    shared: &Shared,
+    request: &Request,
+    request_id: &str,
+    scratch: &mut CoarseScratch,
+) -> Response {
     let parsed = api::parse_search_body(
         &request.body,
         &shared.defaults,
@@ -384,13 +487,15 @@ fn search_endpoint(shared: &Shared, request: &Request, scratch: &mut CoarseScrat
     let search = match parsed {
         Ok(search) => search,
         Err(error) => {
-            return Response::new(400, "Bad Request").text(format!("{error}\n"));
+            return Response::new(400, "Bad Request")
+                .text(format!("{error} (request {request_id})\n"));
         }
     };
-    let outcomes = match evaluate(shared, &search, scratch) {
+    let outcomes = match evaluate(shared, &search, request_id, scratch) {
         Ok(outcomes) => outcomes,
         Err(error) => {
-            return Response::new(500, "Internal Server Error").text(format!("{error}\n"));
+            return Response::new(500, "Internal Server Error")
+                .text(format!("{error} (request {request_id})\n"));
         }
     };
     let per_query = search
@@ -423,7 +528,7 @@ fn search_endpoint(shared: &Shared, request: &Request, scratch: &mut CoarseScrat
             api::outcome_to_json(query, outcome, significance.as_deref())
         })
         .collect();
-    Response::ok().json(api::response_to_json(per_query).render())
+    Response::ok().json(api::response_to_json(per_query, request_id).render())
 }
 
 /// Evaluate a request's queries: through the batching collector when
@@ -432,11 +537,12 @@ fn search_endpoint(shared: &Shared, request: &Request, scratch: &mut CoarseScrat
 fn evaluate(
     shared: &Shared,
     search: &SearchRequest,
+    request_id: &str,
     scratch: &mut CoarseScratch,
 ) -> Result<Vec<SearchOutcome>, String> {
     if let Some(batcher) = &shared.batcher {
         let queries: Vec<DnaSeq> = search.queries.iter().map(|q| q.seq.clone()).collect();
-        if let Some(result) = batcher.submit(queries, search.params) {
+        if let Some(result) = batcher.submit(queries, search.params, request_id.to_string()) {
             return result;
         }
         // Collector already closed (shutdown drain): fall through.
@@ -447,7 +553,7 @@ fn evaluate(
         .map(|query| {
             shared
                 .db
-                .search_with(&query.seq, &search.params, scratch)
+                .search_with_id(&query.seq, &search.params, scratch, Some(request_id))
                 .map_err(|e| e.to_string())
         })
         .collect()
@@ -462,6 +568,8 @@ fn evaluate(
 struct BatchJob {
     queries: Vec<DnaSeq>,
     params: SearchParams,
+    /// The HTTP request's id, stamped onto each of its queries' traces.
+    request_id: String,
     slot: Arc<Slot>,
 }
 
@@ -525,6 +633,7 @@ impl Batcher {
         &self,
         queries: Vec<DnaSeq>,
         params: SearchParams,
+        request_id: String,
     ) -> Option<Result<Vec<SearchOutcome>, String>> {
         let slot = Slot::new();
         {
@@ -535,6 +644,7 @@ impl Batcher {
             state.jobs.push(BatchJob {
                 queries,
                 params,
+                request_id,
                 slot: Arc::clone(&slot),
             });
         }
@@ -603,10 +713,16 @@ fn evaluate_batch(shared: &Shared, mut jobs: Vec<BatchJob>) {
         jobs = rest;
 
         let flat: Vec<DnaSeq> = group.iter().flat_map(|j| j.queries.clone()).collect();
-        match shared
-            .db
-            .search_batch_parallel(&flat, &params, shared.config.search_threads)
-        {
+        let flat_ids: Vec<String> = group
+            .iter()
+            .flat_map(|j| std::iter::repeat_n(j.request_id.clone(), j.queries.len()))
+            .collect();
+        match shared.db.search_batch_parallel_with_ids(
+            &flat,
+            Some(&flat_ids),
+            &params,
+            shared.config.search_threads,
+        ) {
             Ok(outcomes) => {
                 let mut cursor = outcomes.into_iter();
                 for job in &group {

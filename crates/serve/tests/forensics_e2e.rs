@@ -1,0 +1,324 @@
+//! End-to-end tests for the query-forensics surface of the server:
+//! request-id echo on every status class, `/debug/queries` and
+//! `/debug/slow`, the flight recorder's bounded ring under flood, and
+//! the `/stats` schema additions.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use nucdb::{Database, DbConfig, SearchParams};
+use nucdb_obs::json::{self, Value};
+use nucdb_obs::{Forensics, ForensicsConfig, MetricsRegistry};
+use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
+use nucdb_serve::{start, ServeConfig, ServerHandle};
+
+fn collection() -> SyntheticCollection {
+    let mut spec = CollectionSpec::sized(0xF0E1, 60_000);
+    spec.mutation = MutationModel::standard(0.06);
+    SyntheticCollection::generate(&spec)
+}
+
+fn build_db(coll: &SyntheticCollection) -> Database {
+    Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        &DbConfig::default(),
+    )
+}
+
+fn start_with_forensics(config: ForensicsConfig) -> (ServerHandle, SyntheticCollection) {
+    let coll = collection();
+    let mut db = build_db(&coll);
+    db.set_forensics(Forensics::new(config));
+    let handle = start(
+        "127.0.0.1:0",
+        db,
+        MetricsRegistry::new(),
+        SearchParams::default(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    (handle, coll)
+}
+
+/// One raw HTTP/1.1 exchange. Returns (status, headers, body); header
+/// names are lowercased.
+fn http(
+    addr: std::net::SocketAddr,
+    head: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("no header terminator");
+    let text = std::str::from_utf8(&raw[..head_end]).unwrap();
+    let mut lines = text.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, raw[head_end + 4..].to_vec())
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let head = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    http(addr, &head, &[])
+}
+
+fn post_search(
+    addr: std::net::SocketAddr,
+    body: &str,
+    request_id: Option<&str>,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let id_header = request_id.map_or(String::new(), |id| format!("X-Request-Id: {id}\r\n"));
+    let head = format!(
+        "POST /search HTTP/1.1\r\nHost: t\r\n{id_header}Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    http(addr, &head, body.as_bytes())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn fasta_query(coll: &SyntheticCollection) -> String {
+    let q = coll.query_for_family(0, 0.5, &MutationModel::standard(0.06));
+    let bases: String = q
+        .representative_bases()
+        .iter()
+        .map(|b| b.to_ascii() as char)
+        .collect();
+    format!(">q0\n{bases}\n")
+}
+
+#[test]
+fn request_id_is_echoed_on_every_status_class() {
+    let (handle, coll) = start_with_forensics(ForensicsConfig::default());
+    let addr = handle.addr();
+
+    // 200: a generated id lands in the header AND the JSON body.
+    let (status, headers, body) = post_search(addr, &fasta_query(&coll), None);
+    assert_eq!(status, 200);
+    let echoed = header(&headers, "x-request-id").expect("no X-Request-Id on 200");
+    let doc = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("request_id").and_then(Value::as_str),
+        Some(echoed),
+        "body request_id must match the header"
+    );
+    assert!(echoed.starts_with("req-"), "generated id shape: {echoed}");
+
+    // A sane client-supplied id is echoed verbatim.
+    let (status, headers, body) = post_search(addr, &fasta_query(&coll), Some("client-abc-123"));
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("client-abc-123"));
+    let doc = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("request_id").and_then(Value::as_str),
+        Some("client-abc-123")
+    );
+
+    // An unprintable or oversized client id is replaced, not echoed.
+    let long_id = "x".repeat(65);
+    let (_, headers, _) = post_search(addr, &fasta_query(&coll), Some(&long_id));
+    let replaced = header(&headers, "x-request-id").unwrap();
+    assert_ne!(replaced, long_id);
+    assert!(replaced.starts_with("req-"));
+
+    // 400 (unparseable body): header still carries the id and the error
+    // text names it.
+    let (status, headers, body) = post_search(addr, "not fasta or json", Some("bad-body-id"));
+    assert_eq!(status, 400);
+    assert_eq!(header(&headers, "x-request-id"), Some("bad-body-id"));
+    assert!(String::from_utf8(body).unwrap().contains("bad-body-id"));
+
+    // 404 and 405 are routed responses: id echoed.
+    let (status, headers, _) = get(addr, "/no-such-path");
+    assert_eq!(status, 404);
+    assert!(header(&headers, "x-request-id").is_some());
+    let (status, headers, _) = get(addr, "/search");
+    assert_eq!(status, 405);
+    assert!(header(&headers, "x-request-id").is_some());
+
+    assert!(handle.shutdown().is_some());
+}
+
+#[test]
+fn stats_exposes_build_info_and_forensics_blocks() {
+    let (handle, _) = start_with_forensics(ForensicsConfig {
+        recent_capacity: 32,
+        slow_capacity: 8,
+        slow_threshold_ns: 5_000_000_000,
+        ..ForensicsConfig::default()
+    });
+    let addr = handle.addr();
+
+    let (status, _, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    let stats = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+
+    let build = stats.get("build_info").expect("stats lacks build_info");
+    assert_eq!(
+        build.get("version").and_then(Value::as_str),
+        Some(nucdb::build_info::VERSION)
+    );
+    assert!(build.get("git").and_then(Value::as_str).is_some());
+    assert!(build.get("codecs").and_then(Value::as_str).is_some());
+
+    let forensics = stats.get("forensics").expect("stats lacks forensics");
+    assert_eq!(forensics.get("enabled"), Some(&Value::Bool(true)));
+    assert_eq!(
+        forensics.get("recent_capacity").and_then(Value::as_f64),
+        Some(32.0)
+    );
+    assert_eq!(
+        forensics.get("slow_capacity").and_then(Value::as_f64),
+        Some(8.0)
+    );
+    assert_eq!(
+        forensics.get("slow_threshold_ns").and_then(Value::as_f64),
+        Some(5e9)
+    );
+
+    // The build-info gauge is on /metrics too.
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("nucdb_build_info"),
+        "metrics lack nucdb_build_info:\n{text}"
+    );
+
+    assert!(handle.shutdown().is_some());
+}
+
+#[test]
+fn debug_queries_returns_flight_entries_with_client_request_id() {
+    let (handle, coll) = start_with_forensics(ForensicsConfig::default());
+    let addr = handle.addr();
+
+    let (status, _, _) = post_search(addr, &fasta_query(&coll), Some("find-me-later"));
+    assert_eq!(status, 200);
+
+    let (status, _, body) = get(addr, "/debug/queries");
+    assert_eq!(status, 200);
+    let doc = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("capacity").and_then(Value::as_f64),
+        Some(256.0),
+        "default recent capacity"
+    );
+    let Some(Value::Arr(entries)) = doc.get("queries") else {
+        panic!("no queries array in {}", doc.render());
+    };
+    let found = entries.iter().any(|e| {
+        e.get("request_id").and_then(Value::as_str) == Some("find-me-later")
+            && e.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0) > 0.0
+            && e.get("spans").is_some()
+    });
+    assert!(
+        found,
+        "flight recorder lacks the client's query: {}",
+        doc.render()
+    );
+
+    // POST on the debug endpoints is a 405.
+    let head =
+        "POST /debug/queries HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    let (status, _, _) = http(addr, head, &[]);
+    assert_eq!(status, 405);
+
+    assert!(handle.shutdown().is_some());
+}
+
+#[test]
+fn slow_queries_always_land_in_debug_slow_with_the_echoed_id() {
+    // Injected latency guarantees every query crosses the threshold, so
+    // capture is deterministic — no timing luck involved.
+    let (handle, coll) = start_with_forensics(ForensicsConfig {
+        slow_threshold_ns: 1_000_000, // 1ms
+        inject_delay_ns: 2_000_000,   // every query sleeps 2ms
+        ..ForensicsConfig::default()
+    });
+    let addr = handle.addr();
+
+    let (status, headers, _) = post_search(addr, &fasta_query(&coll), Some("slow-one"));
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("slow-one"));
+
+    let (status, _, body) = get(addr, "/debug/slow");
+    assert_eq!(status, 200);
+    let doc = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let Some(Value::Arr(entries)) = doc.get("queries") else {
+        panic!("no queries array in {}", doc.render());
+    };
+    let entry = entries
+        .iter()
+        .find(|e| e.get("request_id").and_then(Value::as_str) == Some("slow-one"))
+        .unwrap_or_else(|| panic!("slow query not captured: {}", doc.render()));
+    assert_eq!(entry.get("reason").and_then(Value::as_str), Some("slow"));
+    assert!(entry.get("total_ns").and_then(Value::as_f64).unwrap() >= 1e6);
+
+    assert!(handle.shutdown().is_some());
+}
+
+#[test]
+fn flight_recorder_stays_capped_under_flood() {
+    let (handle, coll) = start_with_forensics(ForensicsConfig {
+        recent_capacity: 4,
+        ..ForensicsConfig::default()
+    });
+    let addr = handle.addr();
+    let body = fasta_query(&coll);
+
+    for i in 0..12 {
+        let id = format!("flood-{i}");
+        let (status, _, _) = post_search(addr, &body, Some(&id));
+        assert_eq!(status, 200);
+    }
+
+    let (status, _, resp) = get(addr, "/debug/queries");
+    assert_eq!(status, 200);
+    let doc = json::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    assert_eq!(doc.get("capacity").and_then(Value::as_f64), Some(4.0));
+    let Some(Value::Arr(entries)) = doc.get("queries") else {
+        panic!("no queries array");
+    };
+    assert!(
+        entries.len() <= 4,
+        "ring overflowed: {} entries",
+        entries.len()
+    );
+    // The survivors are the newest queries (highest sequence numbers).
+    let ids: Vec<&str> = entries
+        .iter()
+        .filter_map(|e| e.get("request_id").and_then(Value::as_str))
+        .collect();
+    assert!(ids.contains(&"flood-11"), "newest query evicted: {ids:?}");
+    assert!(
+        !ids.contains(&"flood-0"),
+        "oldest query survived a full ring: {ids:?}"
+    );
+
+    assert!(handle.shutdown().is_some());
+}

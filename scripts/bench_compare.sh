@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: diff the current results/BENCH_*.json
+# against the committed baseline (git show HEAD:...).
+#
+# Wall-time and work-counter drift is *reported* for every benchmark
+# file but never fails the run — timing across machines is noise. The
+# decode rate (ids_per_sec in BENCH_decode.json) is *blocking*: it is a
+# same-shape, allocation-free inner loop, so a collapse there is a real
+# codec regression, not scheduler weather.
+#
+#   BENCH_COMPARE_THRESHOLD  report threshold, percent (default 15)
+#   BENCH_DECODE_THRESHOLD   blocking decode-rate threshold (default 15;
+#                            CI passes a looser value for runner variance)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${BENCH_COMPARE_THRESHOLD:-15}"
+DECODE_THRESHOLD="${BENCH_DECODE_THRESHOLD:-15}"
+CMP=(cargo run --quiet --release -p nucdb-bench --bin bench_compare --)
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+shopt -s nullglob
+for f in results/BENCH_*.json; do
+    name=$(basename "$f")
+    if ! git show "HEAD:$f" >"$tmp/$name" 2>/dev/null; then
+        echo "bench_compare: no committed baseline for $f — skipping"
+        continue
+    fi
+    echo "== $name vs HEAD baseline (report threshold ${THRESHOLD}%) =="
+    "${CMP[@]}" --baseline "$tmp/$name" --current "$f" --threshold "$THRESHOLD" || true
+    if [ "$name" = "BENCH_decode.json" ]; then
+        echo "-- blocking decode-rate check (threshold ${DECODE_THRESHOLD}%) --"
+        if ! "${CMP[@]}" --baseline "$tmp/$name" --current "$f" \
+            --keys ids_per_sec --threshold "$DECODE_THRESHOLD" --strict; then
+            status=1
+        fi
+    fi
+done
+exit $status

@@ -13,3 +13,6 @@ cargo test -q
 cargo test -q -p nucdb-serve --test server_e2e
 cargo test -q -p nucdb --test durability
 cargo clippy --workspace -- -D warnings
+# Benchmark drift: report-only for wall times and work counters,
+# blocking on a decode-rate collapse (see the script's header).
+./scripts/bench_compare.sh

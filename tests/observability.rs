@@ -5,8 +5,10 @@
 
 use std::path::PathBuf;
 
-use nucdb::{Database, DbConfig, IndexVariant, SearchParams, Strand};
-use nucdb_obs::{json, MetricsRegistry, TraceSink, ValueSnapshot};
+use nucdb::{CoarseScratch, Database, DbConfig, IndexVariant, SearchParams, Strand};
+use nucdb_obs::{
+    json, CaptureReason, Forensics, ForensicsConfig, MetricsRegistry, TraceSink, ValueSnapshot,
+};
 use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
 
 fn collection(seed: u64) -> SyntheticCollection {
@@ -113,6 +115,129 @@ fn metrics_and_tracing_do_not_change_results() {
             );
         }
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn forensics_is_transparent_and_flight_entries_carry_span_trees() {
+    let coll = collection(303);
+    let build = || {
+        Database::build(
+            coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+            &DbConfig::default(),
+        )
+    };
+    let reference = results_of(&build(), &coll);
+
+    // Flight recorder alone: bit-identical results.
+    let mut with_flight = build();
+    with_flight.set_forensics(Forensics::new(ForensicsConfig {
+        recent_capacity: 16,
+        ..ForensicsConfig::default()
+    }));
+    assert_eq!(results_of(&with_flight, &coll), reference);
+
+    // Tail sampling on top of a strided trace sink: still bit-identical.
+    let dir = temp_dir("forensics");
+    let mut tail_sampled = build();
+    tail_sampled.set_trace(TraceSink::to_file(&dir.join("stride.jsonl"), 2).unwrap());
+    tail_sampled.set_forensics(Forensics::new(ForensicsConfig {
+        recent_capacity: 16,
+        slow_capacity: 4,
+        slow_threshold_ns: 1, // everything is "slow": max capture pressure
+        slow_log: TraceSink::to_file(&dir.join("slow.jsonl"), 1).unwrap(),
+        ..ForensicsConfig::default()
+    }));
+    assert_eq!(results_of(&tail_sampled, &coll), reference);
+    tail_sampled.forensics().flush();
+
+    // Every query landed in the recent ring with a full span tree:
+    // query at the root, the pipeline stages underneath, and the
+    // accumulate stage carrying its work counters.
+    let entries = with_flight.forensics().recent();
+    assert_eq!(entries.len(), coll.families.len());
+    for entry in &entries {
+        let root = &entry.trace.root;
+        assert_eq!(root.name, "query");
+        assert!(entry.trace.total_ns > 0);
+        let mut names = Vec::new();
+        let mut counter_keys = Vec::new();
+        root.walk(&mut |node| {
+            names.push(node.name.as_str());
+            counter_keys.extend(node.counters.iter().map(|(k, _)| k.as_str()));
+        });
+        for stage in ["coarse", "extract", "accumulate", "rank", "fine"] {
+            assert!(names.contains(&stage), "span tree missing {stage}");
+        }
+        // Both-strand query: the merge stage must be present too.
+        assert!(names.contains(&"strand_merge"));
+        assert!(counter_keys.contains(&"postings_bytes_read"));
+        assert!(counter_keys.contains(&"ids_decoded"));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_queries_are_always_captured_even_when_the_stride_skips_them() {
+    let coll = collection(304);
+    let mut db = Database::build(
+        coll.records.iter().map(|r| (r.id.clone(), r.seq.clone())),
+        &DbConfig::default(),
+    );
+    let dir = temp_dir("slow_capture");
+
+    // The stride sink samples query 0 and then nothing until query
+    // 1000 — so the second query below is deterministically skipped by
+    // the 1-in-K sampler. The injected 2 ms delay pushes every query
+    // past the 1 ms tail threshold, so the flight recorder must capture
+    // it anyway.
+    db.set_trace(TraceSink::to_file(&dir.join("stride.jsonl"), 1000).unwrap());
+    db.set_forensics(Forensics::new(ForensicsConfig {
+        recent_capacity: 8,
+        slow_capacity: 4,
+        slow_threshold_ns: 1_000_000,
+        inject_delay_ns: 2_000_000,
+        slow_log: TraceSink::to_file(&dir.join("slow.jsonl"), 1).unwrap(),
+    }));
+
+    let params = SearchParams::default();
+    let query = coll.query_for_family(0, 0.5, &MutationModel::standard(0.05));
+    let mut scratch = CoarseScratch::new();
+    db.search_with_id(&query, &params, &mut scratch, Some("warm"))
+        .unwrap();
+    db.search_with_id(&query, &params, &mut scratch, Some("slow-q"))
+        .unwrap();
+    db.metrics().trace.flush();
+    db.forensics().flush();
+
+    // The stride sink saw only the first query.
+    let strided = std::fs::read_to_string(dir.join("stride.jsonl")).unwrap();
+    assert!(!strided.contains("slow-q"), "stride should skip query 1");
+
+    // The slow ring holds the skipped query, tagged slow, under the id
+    // the caller supplied.
+    let slow = db.forensics().slow();
+    let captured = slow
+        .iter()
+        .find(|e| e.trace.request_id == "slow-q")
+        .expect("slow query must be tail-sampled");
+    assert!(matches!(captured.reason, CaptureReason::Slow));
+    assert!(captured.trace.total_ns >= 1_000_000);
+
+    // And the slow-query JSONL log got a parseable line for it.
+    let logged = std::fs::read_to_string(dir.join("slow.jsonl")).unwrap();
+    let line = logged
+        .lines()
+        .find(|l| l.contains("slow-q"))
+        .expect("slow log line");
+    let value = json::parse(line).unwrap();
+    assert_eq!(
+        value.get("request_id").and_then(|v| v.as_str()),
+        Some("slow-q")
+    );
+    assert_eq!(value.get("reason").and_then(|v| v.as_str()), Some("slow"));
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
