@@ -108,14 +108,64 @@ fn arg_value(argv: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Blocking absolute budgets: `--budget path=max[,path=max...]` checks
+/// the *current* file alone, no baseline needed. Unlike drift checks,
+/// a budget is a design contract ("explain-off overhead stays under
+/// 3%"), so exceeding it always fails the run.
+fn check_budgets(current: &[(String, f64)], budgets: &str) -> ExitCode {
+    let mut failed = false;
+    for spec in budgets.split(',') {
+        let Some((key, max)) = spec.split_once('=') else {
+            eprintln!("bench_compare: bad --budget spec {spec:?} (want path=max)");
+            return ExitCode::FAILURE;
+        };
+        let max: f64 = max.parse().unwrap_or_else(|_| {
+            panic!("--budget {spec:?}: {max:?} is not a number");
+        });
+        let matches: Vec<&(String, f64)> = current
+            .iter()
+            .filter(|(path, _)| path.contains(key))
+            .collect();
+        if matches.is_empty() {
+            eprintln!("bench_compare: budget key {key:?} matches no metric");
+            failed = true;
+            continue;
+        }
+        for (path, value) in matches {
+            let verdict = if *value <= max { "ok" } else { "OVER BUDGET" };
+            println!("budget {path}: {value:.3} <= {max} ... {verdict}");
+            if *value > max {
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("bench_compare: failing (budget exceeded)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().collect();
     let usage = "usage: bench_compare --baseline FILE --current FILE \
-                 [--threshold PCT] [--keys substr,substr] [--strict]";
-    let (Some(baseline_path), Some(current_path)) = (
-        arg_value(&argv, "--baseline"),
-        arg_value(&argv, "--current"),
-    ) else {
+                 [--threshold PCT] [--keys substr,substr] [--strict]\n\
+                 \x20      bench_compare --current FILE --budget path=max[,path=max...]";
+    let budgets = arg_value(&argv, "--budget");
+    let Some(current_path) = arg_value(&argv, "--current") else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    if let Some(budgets) = budgets {
+        let text = std::fs::read_to_string(&current_path)
+            .unwrap_or_else(|e| panic!("read {current_path}: {e}"));
+        let doc = json::parse(&text).unwrap_or_else(|e| panic!("parse {current_path}: {e}"));
+        let mut current = Vec::new();
+        collect(&doc, "", &mut current);
+        return check_budgets(&current, &budgets);
+    }
+    let Some(baseline_path) = arg_value(&argv, "--baseline") else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
     };

@@ -282,10 +282,33 @@ fn main() {
         latency.max as f64 / 1e6,
     );
 
+    // Explain overhead: the full two-stage path with plan collection
+    // never requested (plain), requested off again (an A/A re-run that
+    // bounds the measurement floor — with `explain: false` the engine
+    // takes the identical Option-gated path), and requested on. The
+    // acceptance bar is ≤3% for explain-off; explain-on is reported but
+    // unbudgeted (collecting a plan is allowed to cost something).
+    run_full(&db, &full_queries[..8], &full_ids[..8], &params); // warm fine stage
+    let explain_plain = run_full(&db, &full_queries, &full_ids, &params);
+    let explain_off = run_full(&db, &full_queries, &full_ids, &params);
+    let explain_on_params = SearchParams {
+        explain: true,
+        ..params
+    };
+    let explain_on = run_full(&db, &full_queries, &full_ids, &explain_on_params);
+    let explain_off_pct = (explain_off.as_secs_f64() / explain_plain.as_secs_f64() - 1.0) * 100.0;
+    let explain_on_pct = (explain_on.as_secs_f64() / explain_plain.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "\nexplain overhead (full search, 1 thread): plain {:.2} ms, \
+         explain-off {:.2} ms ({explain_off_pct:+.2}%), explain-on {:.2} ms ({explain_on_pct:+.2}%)",
+        explain_plain.as_secs_f64() * 1e3,
+        explain_off.as_secs_f64() * 1e3,
+        explain_on.as_secs_f64() * 1e3,
+    );
+
     // Forensics overhead: the full two-stage search path with the flight
     // recorder off vs on. Enabled runs build a span tree per query and
     // push one entry into the recent ring; the acceptance bar is ≤3%.
-    run_full(&db, &full_queries[..8], &full_ids[..8], &params); // warm fine stage
     let forensics_off = run_full(&db, &full_queries, &full_ids, &params);
     db.set_forensics(Forensics::new(ForensicsConfig {
         recent_capacity: flight_capacity,
@@ -401,6 +424,26 @@ fn main() {
                     Value::Num(wall_enabled.as_secs_f64() * 1e3),
                 ),
                 ("overhead_pct", Value::Num(overhead_pct)),
+            ]),
+        ),
+        (
+            "explain_overhead",
+            Value::Obj(vec![
+                ("queries", Value::Int(full_queries.len() as u64)),
+                (
+                    "wall_ms_plain",
+                    Value::Num(explain_plain.as_secs_f64() * 1e3),
+                ),
+                (
+                    "wall_ms_explain_off",
+                    Value::Num(explain_off.as_secs_f64() * 1e3),
+                ),
+                (
+                    "wall_ms_explain_on",
+                    Value::Num(explain_on.as_secs_f64() * 1e3),
+                ),
+                ("explain_off_overhead_pct", Value::Num(explain_off_pct)),
+                ("explain_on_overhead_pct", Value::Num(explain_on_pct)),
             ]),
         ),
         (

@@ -36,25 +36,32 @@ commands:
   search     run homology queries (each FASTA record is one query)
              --db DIR --query FILE [--candidates N] [--ranking count|prop|frame:W]
              [--fine banded:W|full|trace] [--both-strands] [--max-results N]
-             [--min-score N] [--evalue] [--mask] [--query-stride N]
+             [--min-score N] [--evalue] [--mask] [--query-stride N] [--explain]
              [--metrics FILE] [--metrics-format prometheus|json]
              [--trace FILE] [--trace-sample N]
   merge      merge two databases into one (record ids of B follow A's)
              --db-a DIR --db-b DIR --out DIR
   stats      print index and store statistics
              --db DIR
+  stat       per-index health statistics report (text + JSON under results/)
+             --db DIR [--out DIR]
+  fsck       walk every stored checksum and report damage (exit 0 clean,
+             1 payload damage, 2 header/TOC unreadable)
+             --db DIR [--json]
   verify     check database consistency (store vs index, list decoding)
              --db DIR [--sample N]
   bench      time a query workload against a database
              --db DIR --query FILE [--repeat N] [--metrics FILE]
              [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
              [--flight-recorder N] [--slow-ms MS] [--slow-log FILE]
+             [--slow-log-max-bytes N]
   serve      run a resident HTTP query server over one database
              --db DIR [--addr HOST:PORT] [--threads N] [--queue-depth N]
              [--deadline-ms N] [--batch-window MS] [--batch-max N]
-             [--search-threads N] [--metrics FILE]
+             [--search-threads N] [--scrub-bytes-per-sec N] [--metrics FILE]
              [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
              [--flight-recorder N] [--slow-ms MS] [--slow-log FILE]
+             [--slow-log-max-bytes N]
   profile    aggregate a JSONL trace / flight-recorder / slow-log dump into
              a per-stage self-time and work-counter report
              --input FILE [--top N] [--out DIR]
@@ -114,6 +121,8 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   --evalue           report bit scores and e-values
   --mask             DUST-mask low-complexity query regions
   --query-stride N   sample query intervals at stride N
+  --explain          print the query plan (lists consulted, blocks skipped
+                     under tau, survivors, per-candidate fine outcome)
   --tabular          TSV output
   --metrics FILE     write a metrics snapshot when done
   --metrics-format F prometheus (default) or json
@@ -127,6 +136,19 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
         "stats" => {
             "usage: nucdb stats --db DIR
   print store and index statistics plus the heaviest postings lists"
+        }
+        "stat" => {
+            "usage: nucdb stat --db DIR [--out DIR]
+  per-index health statistics: list-length / bits-per-posting / skew
+  histograms, skip-table density, codec tier, and bytes by section.
+  Prints text and writes STAT.txt + STAT.json under --out (default
+  results/)"
+        }
+        "fsck" => {
+            "usage: nucdb fsck --db DIR [--json]
+  walk every stored checksum (index header, every postings list, store
+  TOC, every record blob) and report all damage with section + offset.
+  exit 0 = clean, 1 = payload damage, 2 = header/TOC unreadable"
         }
         "verify" => {
             "usage: nucdb verify --db DIR [--sample N]
@@ -142,7 +164,9 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   --flight-recorder N keep the last N query traces; a slowest-query table
                      is printed when the run ends
   --slow-ms MS       tail-sample queries slower than MS milliseconds
-  --slow-log FILE    append slow/error captures as JSONL"
+  --slow-log FILE    append slow/error captures as JSONL
+  --slow-log-max-bytes N rotate the slow log at N bytes (one .1 predecessor
+                     is kept)"
         }
         "serve" => {
             "usage: nucdb serve --db DIR [options]
@@ -161,10 +185,16 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   --flight-recorder N keep the last N query traces (default 256; 0 = off)
   --slow-ms MS       tail-sample queries slower than MS milliseconds
   --slow-log FILE    append slow/error captures as JSONL
+  --slow-log-max-bytes N rotate the slow log at N bytes (one .1 predecessor
+                     is kept)
+  --scrub-bytes-per-sec N background scrub I/O budget (default 4194304;
+                     0 disables the scrubber)
 
-endpoints: POST /search (FASTA or JSON body), GET /metrics (Prometheus),
-GET /healthz, GET /stats, GET /debug/queries, GET /debug/slow. Every
-response carries an X-Request-Id. SIGINT/SIGTERM drain and exit cleanly."
+endpoints: POST /search (FASTA or JSON body; \"explain\": true returns the
+plan), GET /metrics (Prometheus), GET /healthz, GET /readyz (503 until the
+first scrub pass over header + TOC), GET /stats, GET /debug/queries,
+GET /debug/slow. Every response carries an X-Request-Id. SIGINT/SIGTERM
+drain and exit cleanly."
         }
         "profile" => {
             "usage: nucdb profile --input FILE [options]
@@ -181,6 +211,9 @@ response carries an X-Request-Id. SIGINT/SIGTERM drain and exit cleanly."
 
 const INDEX_FILE: &str = "index.nucidx";
 const STORE_FILE: &str = "store.nucsto";
+
+/// Heaviest lists shown per strand by `nucdb search --explain`.
+const EXPLAIN_MAX_LISTS: usize = 12;
 
 /// `nucdb generate`
 pub fn generate(raw: &[String]) -> CommandResult {
@@ -379,7 +412,7 @@ fn open_db(dir: &Path) -> Result<Database, Box<dyn Error>> {
 }
 
 /// Shared observability option names for `search`, `bench`, and `serve`.
-const OBS_VALUE_OPTS: [&str; 7] = [
+const OBS_VALUE_OPTS: [&str; 8] = [
     "metrics",
     "metrics-format",
     "trace",
@@ -387,6 +420,7 @@ const OBS_VALUE_OPTS: [&str; 7] = [
     "flight-recorder",
     "slow-ms",
     "slow-log",
+    "slow-log-max-bytes",
 ];
 
 /// Where and how to dump the metrics snapshot after a run.
@@ -431,8 +465,9 @@ struct ObsOptions {
     trace: Option<(PathBuf, u64)>,
     metrics: Option<(PathBuf, bool)>,
     /// Flight-recorder configuration: (recent capacity, slow threshold
-    /// in ns, slow-log path). `None` = forensics off.
-    forensics: Option<(usize, u64, Option<PathBuf>)>,
+    /// in ns, slow-log path, slow-log size cap in bytes). `None` =
+    /// forensics off.
+    forensics: Option<(usize, u64, Option<PathBuf>, Option<u64>)>,
 }
 
 impl ObsOptions {
@@ -456,6 +491,23 @@ impl ObsOptions {
             return Err(UsageError("--slow-ms must be non-negative".to_string()));
         }
         let slow_log = args.get("slow-log").map(PathBuf::from);
+        let slow_log_max_bytes = match args.get("slow-log-max-bytes") {
+            Some(_) if slow_log.is_none() => {
+                return Err(UsageError(
+                    "--slow-log-max-bytes requires --slow-log".to_string(),
+                ))
+            }
+            Some(_) => {
+                let max: u64 = args.get_or("slow-log-max-bytes", 0)?;
+                if max == 0 {
+                    return Err(UsageError(
+                        "--slow-log-max-bytes must be positive".to_string(),
+                    ));
+                }
+                Some(max)
+            }
+            None => None,
+        };
         // Any slow-query option implies the recorder; an explicit
         // `--flight-recorder 0` with no slow options keeps it off.
         let forensics = if capacity > 0 || slow_ms > 0.0 || slow_log.is_some() {
@@ -465,7 +517,7 @@ impl ObsOptions {
                 u64::MAX
             };
             let recent = if capacity > 0 { capacity } else { 256 };
-            Some((recent, threshold_ns, slow_log))
+            Some((recent, threshold_ns, slow_log, slow_log_max_bytes))
         } else {
             None
         };
@@ -502,10 +554,11 @@ impl ObsOptions {
         if let Some((path, sample_every)) = &self.trace {
             db.set_trace(TraceSink::to_file(path, *sample_every)?);
         }
-        if let Some((recent_capacity, slow_threshold_ns, slow_log)) = &self.forensics {
-            let slow_log = match slow_log {
-                Some(path) => TraceSink::to_file(path, 1)?,
-                None => TraceSink::disabled(),
+        if let Some((recent_capacity, slow_threshold_ns, slow_log, max_bytes)) = &self.forensics {
+            let slow_log = match (slow_log, max_bytes) {
+                (Some(path), Some(max_bytes)) => TraceSink::to_rotating_file(path, 1, *max_bytes)?,
+                (Some(path), None) => TraceSink::to_file(path, 1)?,
+                (None, _) => TraceSink::disabled(),
             };
             db.set_forensics(Forensics::new(ForensicsConfig {
                 recent_capacity: *recent_capacity,
@@ -595,7 +648,7 @@ pub fn search(raw: &[String]) -> CommandResult {
         "search",
         raw,
         &value_opts,
-        &["both-strands", "evalue", "mask", "tabular"],
+        &["both-strands", "evalue", "mask", "tabular", "explain"],
     )?;
     let tabular = args.flag("tabular");
     let db_dir = PathBuf::from(args.required("db")?);
@@ -617,6 +670,7 @@ pub fn search(raw: &[String]) -> CommandResult {
     if args.flag("mask") {
         params.mask = Some(nucdb_seq::DustParams::default());
     }
+    params.explain = args.flag("explain");
     params.query_stride = args.get_or("query-stride", params.query_stride)?;
 
     let obs = ObsOptions::parse(&args)?;
@@ -675,6 +729,12 @@ pub fn search(raw: &[String]) -> CommandResult {
                     record.id, result.id, result.score, strand, result.coarse_hits, tail
                 );
             }
+            if let Some(plan) = &outcome.explain {
+                // Comment-prefixed so the TSV stays machine-parseable.
+                for line in plan.render_text(EXPLAIN_MAX_LISTS).lines() {
+                    println!("# {line}");
+                }
+            }
             continue;
         }
         println!(
@@ -724,6 +784,9 @@ pub fn search(raw: &[String]) -> CommandResult {
                     alignment.cigar_string(),
                 );
             }
+        }
+        if let Some(plan) = &outcome.explain {
+            print!("{}", plan.render_text(EXPLAIN_MAX_LISTS));
         }
     }
     db.metrics().trace.flush();
@@ -968,6 +1031,7 @@ pub fn serve(raw: &[String]) -> CommandResult {
         "batch-window",
         "batch-max",
         "search-threads",
+        "scrub-bytes-per-sec",
     ];
     value_opts.extend(OBS_VALUE_OPTS);
     let args = Args::parse("serve", raw, &value_opts, &[])?;
@@ -982,6 +1046,7 @@ pub fn serve(raw: &[String]) -> CommandResult {
     config.batch_window = (window_ms > 0).then(|| std::time::Duration::from_millis(window_ms));
     config.batch_max_queries = args.get_or("batch-max", config.batch_max_queries)?;
     config.search_threads = args.get_or("search-threads", config.search_threads)?;
+    config.scrub_bytes_per_sec = args.get_or("scrub-bytes-per-sec", config.scrub_bytes_per_sec)?;
 
     // serve keeps the flight recorder on by default (capacity 256) so
     // /debug/queries and /debug/slow work out of the box; pass
@@ -1109,6 +1174,91 @@ pub fn stats(raw: &[String]) -> CommandResult {
         );
     }
     Ok(())
+}
+
+/// `nucdb stat` — per-index statistics: list-length / bit-width / skew
+/// histograms, skip-table density, codec tier, and bytes by section, as
+/// text (stdout + STAT.txt) and JSON (STAT.json).
+pub fn stat(raw: &[String]) -> CommandResult {
+    let args = Args::parse("stat", raw, &["db", "out"], &[])?;
+    let db_dir = PathBuf::from(args.required("db")?);
+    let out_dir = PathBuf::from(args.get("out").unwrap_or("results"));
+
+    let index_path = db_dir.join(INDEX_FILE);
+    let store_path = db_dir.join(STORE_FILE);
+    let report = nucdb::StatReport {
+        index: index_path
+            .exists()
+            .then(|| OnDiskIndex::open(&index_path))
+            .transpose()?
+            .map(|index| nucdb::IndexStatReport::from_disk(&index)),
+        store: store_path
+            .exists()
+            .then(|| nucdb::OnDiskStore::open(&store_path))
+            .transpose()?
+            .map(|store| nucdb::StoreStatReport::from_disk(&store)),
+    };
+    if report.index.is_none() && report.store.is_none() {
+        return Err(format!("no index or store files in {}", db_dir.display()).into());
+    }
+
+    let text = report.render_text();
+    print!("{text}");
+    std::fs::create_dir_all(&out_dir)?;
+    let txt_path = out_dir.join("STAT.txt");
+    let json_path = out_dir.join("STAT.json");
+    std::fs::write(&txt_path, &text)?;
+    let mut rendered = report.to_value().render();
+    rendered.push('\n');
+    std::fs::write(&json_path, rendered)?;
+    println!(
+        "report written to {} and {}",
+        txt_path.display(),
+        json_path.display()
+    );
+    Ok(())
+}
+
+/// `nucdb fsck` — walk every checksummed region of the database files
+/// and report all damage found. Returns the process exit code: 0 clean,
+/// 1 payload damage, 2 structural damage (header/TOC unreadable — which
+/// also covers files that refuse to open at all).
+pub fn fsck(raw: &[String]) -> Result<i32, Box<dyn Error>> {
+    let args = Args::parse("fsck", raw, &["db"], &["json"])?;
+    let db_dir = PathBuf::from(args.required("db")?);
+    let index_path = db_dir.join(INDEX_FILE);
+    let store_path = db_dir.join(STORE_FILE);
+    if !index_path.exists() && !store_path.exists() {
+        return Err(format!("no index or store files in {}", db_dir.display()).into());
+    }
+
+    let mut report = nucdb::FsckReport::default();
+    let mut unopenable = false;
+    if index_path.exists() {
+        match OnDiskIndex::open(&index_path) {
+            Ok(index) => nucdb::fsck_index(&index, &mut report),
+            Err(e) => {
+                unopenable = true;
+                eprintln!("fsck: index {} will not open: {e}", index_path.display());
+            }
+        }
+    }
+    if store_path.exists() {
+        match nucdb::OnDiskStore::open(&store_path) {
+            Ok(store) => nucdb::fsck_store(&store, &mut report),
+            Err(e) => {
+                unopenable = true;
+                eprintln!("fsck: store {} will not open: {e}", store_path.display());
+            }
+        }
+    }
+
+    if args.flag("json") {
+        println!("{}", report.to_value().render());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if unopenable { 2 } else { report.exit_code() })
 }
 
 #[cfg(test)]
@@ -1330,6 +1480,7 @@ mod tests {
             total_ns: 1000,
             results: 2,
             error: None,
+            plan: None,
             root: SpanNode::new("query", 0, 1000)
                 .child(
                     SpanNode::new("coarse", 0, 600)
@@ -1350,6 +1501,7 @@ mod tests {
             total_ns: 500,
             results: 0,
             error: None,
+            plan: None,
             root: SpanNode::new("query", 0, 500)
                 .child(
                     SpanNode::new("coarse", 0, 400)

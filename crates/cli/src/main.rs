@@ -28,12 +28,23 @@ fn main() -> ExitCode {
         println!("{}", commands::usage_for(command).unwrap());
         return ExitCode::SUCCESS;
     }
+    // fsck owns its exit code: 0 clean, 1 payload damage, 2 structural.
+    if command == "fsck" {
+        return match commands::fsck(rest) {
+            Ok(code) => ExitCode::from(code as u8),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
         "build" => commands::build(rest),
         "search" => commands::search(rest),
         "merge" => commands::merge(rest),
         "stats" => commands::stats(rest),
+        "stat" => commands::stat(rest),
         "verify" => commands::verify(rest),
         "bench" => commands::bench(rest),
         "serve" => commands::serve(rest),

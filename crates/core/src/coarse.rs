@@ -24,6 +24,7 @@ use nucdb_index::{
 };
 use nucdb_seq::Base;
 
+use crate::explain::{CoarseExplain, ListExplain, SurvivorExplain};
 use crate::params::SearchParams;
 
 /// Records per skip-scan group: the hopeless-block probe tracks one
@@ -614,7 +615,34 @@ pub fn coarse_rank_with<S: PostingsSource>(
     params: &SearchParams,
     scratch: &mut CoarseScratch,
 ) -> Result<CoarseOutcome, IndexError> {
+    coarse_rank_explain(index, query, params, scratch, None)
+}
+
+/// [`coarse_rank_with`], additionally filling `explain` (when given) with
+/// the per-list evidence behind every decode/skip decision. Collection is
+/// passive: the outcome is bit-identical whether `explain` is `None` or
+/// `Some` (pinned by the `explain_identity` tests).
+pub fn coarse_rank_explain<S: PostingsSource>(
+    index: &S,
+    query: &[Base],
+    params: &SearchParams,
+    scratch: &mut CoarseScratch,
+    mut explain: Option<&mut CoarseExplain>,
+) -> Result<CoarseOutcome, IndexError> {
     let iparams = index.index_params();
+    if let Some(ex) = explain.as_deref_mut() {
+        ex.k = iparams.k;
+        ex.stopping = match iparams.stopping {
+            Some(nucdb_index::StopPolicy::DfFraction(f)) => format!("df_fraction:{f}"),
+            Some(nucdb_index::StopPolicy::DfAbsolute(limit)) => format!("df_absolute:{limit}"),
+            Some(nucdb_index::StopPolicy::TopK(k)) => format!("top_k:{k}"),
+            None => "none".to_string(),
+        };
+        ex.skipping = false;
+        ex.floor = 0;
+        ex.lists.clear();
+        ex.survivors.clear();
+    }
     let mut outcome = CoarseOutcome::default();
     let extract_start = std::time::Instant::now();
 
@@ -657,7 +685,7 @@ pub fn coarse_rank_with<S: PostingsSource>(
                 "frame ranking requires an offset-granularity index",
             ));
         }
-        return coarse_rank_counts(index, params, scratch, outcome);
+        return coarse_rank_counts(index, params, scratch, outcome, explain);
     }
 
     // Accumulate hit counts and (record, diagonal) pairs, optionally
@@ -680,6 +708,10 @@ pub fn coarse_rank_with<S: PostingsSource>(
             scratch.group_max.clear();
             scratch.group_max.resize(groups, 0);
         }
+    }
+    if let Some(ex) = explain.as_deref_mut() {
+        ex.skipping = skipping;
+        ex.floor = floor;
     }
     let CoarseScratch {
         generation,
@@ -728,12 +760,22 @@ pub fn coarse_rank_with<S: PostingsSource>(
             group_max: skipping.then_some(group_max.as_mut_slice()),
             tau,
         };
-        if let Some(stats) = index.fetch_stream(code, io_buf, &mut acc)? {
+        let fetched = index.fetch_stream(code, io_buf, &mut acc)?;
+        if let Some(stats) = &fetched {
             outcome.lists_fetched += 1;
             outcome.postings_decoded += stats.ids_decoded;
             outcome.postings_bytes_read += stats.bytes_read;
             outcome.blocks_decoded += stats.blocks_decoded as u64;
             outcome.blocks_skipped += stats.blocks_skipped as u64;
+        }
+        if let Some(ex) = explain.as_deref_mut() {
+            ex.lists.push(list_explain(
+                index,
+                code,
+                qrun.len() as u32,
+                tau,
+                fetched.as_ref(),
+            ));
         }
     }
     outcome.total_hits = hits.len() as u64;
@@ -818,20 +860,68 @@ pub fn coarse_rank_with<S: PostingsSource>(
     });
     candidates.truncate(params.max_candidates);
     outcome.candidates.extend_from_slice(candidates);
+    if let Some(ex) = explain {
+        record_survivors(ex, candidates);
+    }
     outcome.rank_nanos = rank_start.elapsed().as_nanos() as u64;
     Ok(outcome)
+}
+
+/// Build one [`ListExplain`] from a fetch result. `None` stats mean the
+/// interval is absent from the index (unseen or stopped).
+fn list_explain<S: PostingsSource + ?Sized>(
+    index: &S,
+    code: u64,
+    qlen: u32,
+    tau: u32,
+    stats: Option<&FetchStats>,
+) -> ListExplain {
+    match stats {
+        Some(stats) => ListExplain {
+            code,
+            qlen,
+            df: stats.df,
+            max_count: index.list_max_count(code),
+            tau,
+            ids_decoded: stats.ids_decoded,
+            bytes_read: stats.bytes_read,
+            blocks_decoded: stats.blocks_decoded,
+            blocks_skipped: stats.blocks_skipped,
+            absent: false,
+        },
+        None => ListExplain {
+            code,
+            qlen,
+            absent: true,
+            ..ListExplain::default()
+        },
+    }
+}
+
+fn record_survivors(explain: &mut CoarseExplain, candidates: &[CoarseHit]) {
+    explain.survivors.clear();
+    explain
+        .survivors
+        .extend(candidates.iter().map(|hit| SurvivorExplain {
+            record: hit.record,
+            score: hit.score,
+            hits: hit.hits,
+            frame_hits: hit.frame_hits,
+            best_diagonal: hit.best_diagonal,
+        }));
 }
 
 /// Count-based coarse ranking over a record-granularity index: the same
 /// accumulation without diagonals (no offsets exist). Candidates carry
 /// `best_diagonal = 0`; the engine compensates by running unbanded fine
 /// alignment. Reads the query's code runs from `scratch.codes` (prepared
-/// by [`coarse_rank_with`]).
+/// by [`coarse_rank_explain`]).
 fn coarse_rank_counts<S: PostingsSource>(
     index: &S,
     params: &SearchParams,
     scratch: &mut CoarseScratch,
     mut outcome: CoarseOutcome,
+    mut explain: Option<&mut CoarseExplain>,
 ) -> Result<CoarseOutcome, IndexError> {
     let accumulator_limit = params.max_accumulators.unwrap_or(usize::MAX).max(1);
     scratch.begin(index.num_records() as usize);
@@ -846,6 +936,10 @@ fn coarse_rank_counts<S: PostingsSource>(
             scratch.group_max.clear();
             scratch.group_max.resize(groups, 0);
         }
+    }
+    if let Some(ex) = explain.as_deref_mut() {
+        ex.skipping = skipping;
+        ex.floor = floor;
     }
     let CoarseScratch {
         generation,
@@ -893,12 +987,17 @@ fn coarse_rank_counts<S: PostingsSource>(
             group_max: skipping.then_some(group_max.as_mut_slice()),
             tau,
         };
-        if let Some(stats) = index.fetch_counts_stream(code, io_buf, &mut acc)? {
+        let fetched = index.fetch_counts_stream(code, io_buf, &mut acc)?;
+        if let Some(stats) = &fetched {
             outcome.lists_fetched += 1;
             outcome.postings_decoded += stats.ids_decoded;
             outcome.postings_bytes_read += stats.bytes_read;
             outcome.blocks_decoded += stats.blocks_decoded as u64;
             outcome.blocks_skipped += stats.blocks_skipped as u64;
+        }
+        if let Some(ex) = explain.as_deref_mut() {
+            ex.lists
+                .push(list_explain(index, code, qpositions, tau, fetched.as_ref()));
         }
     }
     outcome.total_hits = total_hits;
@@ -933,6 +1032,9 @@ fn coarse_rank_counts<S: PostingsSource>(
     });
     candidates.truncate(params.max_candidates);
     outcome.candidates.extend_from_slice(candidates);
+    if let Some(ex) = explain {
+        record_survivors(ex, candidates);
+    }
     outcome.rank_nanos = rank_start.elapsed().as_nanos() as u64;
     Ok(outcome)
 }

@@ -13,7 +13,10 @@ use nucdb_seq::DnaSeq;
 
 use nucdb_obs::{CaptureReason, Forensics, MetricsRegistry, QueryTrace, SpanNode, TraceSink};
 
-use crate::coarse::{coarse_rank_with, CoarseScratch, PostingsSource};
+use crate::coarse::{coarse_rank_explain, CoarseScratch, PostingsSource};
+use crate::explain::{
+    fine_mode_name, ranking_name, CandidateExplain, CoarseExplain, ExplainPlan, StrandExplain,
+};
 use crate::fine::{fine_search_traced, CandidateTiming, FineResult};
 use crate::metrics::SearchMetrics;
 use crate::params::{SearchParams, Strand};
@@ -203,6 +206,10 @@ pub struct SearchOutcome {
     pub results: Vec<SearchResult>,
     /// Cost counters.
     pub stats: QueryStats,
+    /// The explain plan, when [`SearchParams::explain`] was set. Plans
+    /// are passive observers: `results` and `stats` are bit-identical
+    /// with or without one.
+    pub explain: Option<ExplainPlan>,
 }
 
 /// Cap on per-candidate child spans under a `fine` span, so one query
@@ -372,6 +379,9 @@ impl Database {
     /// bound metrics registry; like the other observability setters this
     /// is `&mut self` — configure before sharing the database.
     pub fn set_forensics(&mut self, forensics: Forensics) {
+        let slow_log = forensics.slow_log();
+        slow_log.bind_dropped(self.metrics.slow_log_dropped.clone());
+        slow_log.bind_rotations(self.metrics.slow_log_rotations.clone());
         self.metrics.forensics = forensics;
     }
 
@@ -420,11 +430,19 @@ impl Database {
         query_start: Instant,
         strand_idx: u64,
         spans: Option<&mut Vec<SpanNode>>,
+        explain: Option<&mut Vec<StrandExplain>>,
     ) -> Result<Vec<FineResult>, IndexError> {
         let query_bases = query.representative_bases();
+        let mut coarse_explain = explain.is_some().then(CoarseExplain::default);
         let coarse_offset = query_start.elapsed().as_nanos() as u64;
         let coarse_start = Instant::now();
-        let coarse = coarse_rank_with(&self.index, &query_bases, params, scratch)?;
+        let coarse = coarse_rank_explain(
+            &self.index,
+            &query_bases,
+            params,
+            scratch,
+            coarse_explain.as_mut(),
+        )?;
         let coarse_nanos = coarse_start.elapsed().as_nanos() as u64;
         stats.coarse_nanos += coarse_nanos;
         stats.extract_nanos += coarse.extract_nanos;
@@ -462,11 +480,34 @@ impl Database {
             fine_mode,
             &params.scheme,
             params.min_score,
-            spans.is_some().then_some(&mut timings),
+            (spans.is_some() || explain.is_some()).then_some(&mut timings),
         )
         .map_err(io_err);
         let fine_nanos = fine_start.elapsed().as_nanos() as u64;
         stats.fine_nanos += fine_nanos;
+
+        // The explain candidates want alignment order; take them before
+        // the span builder below re-sorts `timings` by duration.
+        if let (Some(strands), Some(coarse_explain)) = (explain, coarse_explain) {
+            strands.push(StrandExplain {
+                strand: if strand_idx == 0 {
+                    Strand::Forward
+                } else {
+                    Strand::Reverse
+                },
+                coarse: coarse_explain,
+                fine_mode: fine_mode_name(fine_mode),
+                candidates: timings
+                    .iter()
+                    .map(|t| CandidateExplain {
+                        record: t.record,
+                        score: t.score,
+                        nanos: t.nanos,
+                        kept: t.score >= params.min_score,
+                    })
+                    .collect(),
+            });
+        }
 
         if let Some(spans) = spans {
             spans.push(
@@ -580,6 +621,16 @@ impl Database {
         // the stride sink its 1-in-K sample. Either one wants spans.
         let stride_sample = self.metrics.trace.should_sample();
         let capture = self.metrics.forensics.is_enabled() || stride_sample;
+        // Collect an explain plan when asked, and also while tail
+        // sampling is armed — a slow query is only known to be slow after
+        // it finishes, so its explanation must already exist.
+        let tail_armed = self
+            .metrics
+            .forensics
+            .slow_threshold_ns()
+            .is_some_and(|t| t < u64::MAX);
+        let want_plan = params.explain || tail_armed;
+        let mut strand_plans: Vec<StrandExplain> = Vec::new();
 
         // Deterministic latency injection for tail-sampler tests; only a
         // sleep, so results are bit-identical with or without it.
@@ -603,6 +654,7 @@ impl Database {
                     query_start,
                     0,
                     capture.then_some(&mut spans),
+                    want_plan.then_some(&mut strand_plans),
                 )? {
                     merged.push((Strand::Forward, r));
                 }
@@ -617,6 +669,7 @@ impl Database {
                     query_start,
                     1,
                     capture.then_some(&mut spans),
+                    want_plan.then_some(&mut strand_plans),
                 )? {
                     merged.push((Strand::Reverse, r));
                 }
@@ -656,6 +709,15 @@ impl Database {
         let merge_offset = merge_start.duration_since(query_start).as_nanos() as u64;
         let total_nanos = query_start.elapsed().as_nanos() as u64;
 
+        let plan = want_plan.then(|| ExplainPlan {
+            query_len: query.len(),
+            ranking: ranking_name(params.ranking),
+            max_candidates: params.max_candidates,
+            min_score: params.min_score,
+            strands: strand_plans,
+            results: results.len(),
+        });
+
         if self.metrics.is_enabled() {
             self.metrics.record_query(&stats, total_nanos);
         }
@@ -681,13 +743,18 @@ impl Database {
                 results: results.len() as u64,
                 error: None,
                 root,
+                plan: plan.as_ref().map(ExplainPlan::to_value),
             };
             if self.metrics.forensics.observe(trace) == CaptureReason::Slow {
                 self.metrics.slow_queries.inc();
             }
         }
 
-        Ok(SearchOutcome { results, stats })
+        Ok(SearchOutcome {
+            results,
+            stats,
+            explain: params.explain.then_some(plan).flatten(),
+        })
     }
 
     /// Record a failed query in the flight recorder (tail sampling
@@ -711,6 +778,7 @@ impl Database {
             results: 0,
             error: Some(error.to_string()),
             root,
+            plan: None,
         });
     }
 

@@ -46,19 +46,28 @@ pub mod build_info;
 pub mod coarse;
 pub mod engine;
 pub mod eval;
+pub mod explain;
 pub mod fine;
+pub mod health;
 pub mod metrics;
 pub mod params;
 pub mod store;
 
 pub use baseline::{exhaustive_blast, exhaustive_fasta, exhaustive_sw};
 pub use coarse::{
-    coarse_rank, coarse_rank_with, CoarseHit, CoarseOutcome, CoarseScratch, PostingsSource,
-    RankingScheme,
+    coarse_rank, coarse_rank_explain, coarse_rank_with, CoarseHit, CoarseOutcome, CoarseScratch,
+    PostingsSource, RankingScheme,
 };
 pub use engine::{Database, DbConfig, IndexVariant, QueryStats, SearchOutcome, SearchResult};
 pub use eval::{average_precision, eleven_point_precision, ground_truth_sw, recall_at};
+pub use explain::{
+    CandidateExplain, CoarseExplain, ExplainPlan, ListExplain, StrandExplain, SurvivorExplain,
+};
 pub use fine::{fine_search, fine_search_traced, CandidateTiming, FineMode, FineResult};
+pub use health::{
+    fsck_index, fsck_store, FsckFinding, FsckReport, FsckSeverity, HistBucket, IndexStatReport,
+    StatReport, StoreStatReport,
+};
 pub use metrics::SearchMetrics;
 pub use params::{SearchParams, Strand};
 pub use store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};

@@ -52,6 +52,12 @@ pub struct SearchMetrics {
     /// Trace events lost to write errors (bound onto the trace sink as
     /// `nucdb_trace_dropped_total`).
     pub trace_dropped: Counter,
+    /// Slow-query log captures lost to write errors (bound onto the
+    /// forensics slow log as `nucdb_slow_log_dropped_total`).
+    pub slow_log_dropped: Counter,
+    /// Slow-query log size-cap rotations (bound onto the forensics slow
+    /// log as `nucdb_slow_log_rotations_total`).
+    pub slow_log_rotations: Counter,
     /// Sampled per-query trace sink.
     pub trace: TraceSink,
     /// Query forensics: flight-recorder rings + tail sampling. Captures
@@ -104,6 +110,14 @@ impl SearchMetrics {
                 "nucdb_trace_dropped_total",
                 "Trace events dropped on write error",
             ),
+            slow_log_dropped: registry.counter(
+                "nucdb_slow_log_dropped_total",
+                "Slow-query log captures dropped on write error",
+            ),
+            slow_log_rotations: registry.counter(
+                "nucdb_slow_log_rotations_total",
+                "Slow-query log size-cap rotations",
+            ),
             trace: TraceSink::disabled(),
             forensics: Forensics::disabled(),
         }
@@ -122,8 +136,13 @@ impl SearchMetrics {
         self
     }
 
-    /// Attach a forensics handle (flight recorder + tail sampling).
+    /// Attach a forensics handle (flight recorder + tail sampling). The
+    /// slow log's drop and rotation tallies bind to this bundle's
+    /// `nucdb_slow_log_{dropped,rotations}_total` counters.
     pub fn with_forensics(mut self, forensics: Forensics) -> SearchMetrics {
+        let slow_log = forensics.slow_log();
+        slow_log.bind_dropped(self.slow_log_dropped.clone());
+        slow_log.bind_rotations(self.slow_log_rotations.clone());
         self.forensics = forensics;
         self
     }

@@ -59,6 +59,10 @@ pub struct SearchParams {
     pub min_score: i32,
     /// At most this many results are returned.
     pub max_results: usize,
+    /// Collect an [`ExplainPlan`](crate::ExplainPlan) alongside the
+    /// results. Collection is passive — answers are bit-identical either
+    /// way — but it allocates, so it is off by default.
+    pub explain: bool,
 }
 
 impl Default for SearchParams {
@@ -75,6 +79,7 @@ impl Default for SearchParams {
             scheme: ScoringScheme::blastn(),
             min_score: 1,
             max_results: 100,
+            explain: false,
         }
     }
 }

@@ -484,6 +484,11 @@ pub struct OnDiskStore {
     /// Per-record blob CRC-32s. `None` for legacy v1 files, which carry
     /// no checksums — those are served without verification.
     crcs: Option<Vec<u32>>,
+    /// Absolute file offset where the payload region begins — the end of
+    /// the checksummed prefix a [`OnDiskStore::scrub_toc`] pass re-reads.
+    /// `None` for legacy v1 files, whose TOC is interleaved with the
+    /// payload and carries no checksum.
+    payload_start: Option<u64>,
     /// I/O counters: standalone by default, swapped for registry-backed
     /// handles by [`OnDiskStore::bind_metrics`]. The accessor methods
     /// below are thin shims over these handles either way.
@@ -498,6 +503,7 @@ struct StoreLayout {
     blobs: Vec<(u64, u32)>,
     lens: Vec<u32>,
     crcs: Option<Vec<u32>>,
+    payload_start: Option<u64>,
 }
 
 impl OnDiskStore {
@@ -529,6 +535,7 @@ impl OnDiskStore {
             blobs: layout.blobs,
             lens: layout.lens,
             crcs: layout.crcs,
+            payload_start: layout.payload_start,
             bytes_read: Counter::new(),
             records_read: Counter::new(),
         }
@@ -546,12 +553,14 @@ impl OnDiskStore {
             m if m == MAGIC_V2 => {
                 let mut input = CountingReader::new(input);
                 let toc = read_toc_v2(&mut input)?;
+                let payload_start = 8 + input.pos();
                 let layout = StoreLayout {
                     mode: toc.mode,
                     ids: toc.ids,
                     blobs: toc.blobs,
                     lens: toc.lens,
                     crcs: Some(toc.crcs),
+                    payload_start: Some(payload_start),
                 };
                 Ok((layout, input.into_inner().into_inner()))
             }
@@ -604,6 +613,7 @@ impl OnDiskStore {
             blobs,
             lens,
             crcs: None,
+            payload_start: None,
         })
     }
 
@@ -660,6 +670,70 @@ impl OnDiskStore {
     pub fn reset_io_counters(&self) {
         self.bytes_read.reset();
         self.records_read.reset();
+    }
+
+    /// Number of records in the store.
+    pub fn num_records(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Does the file carry per-record checksums (v2)? Legacy v1 files
+    /// verify structurally only.
+    pub fn has_checksums(&self) -> bool {
+        self.crcs.is_some()
+    }
+
+    /// Absolute byte offset and length of a record's payload blob
+    /// (panics if out of range) — for health reports that locate damage.
+    pub fn record_location(&self, record: u32) -> (u64, u32) {
+        self.blobs[record as usize]
+    }
+
+    /// Re-read the checksummed file prefix (magic + TOC) from disk and
+    /// re-verify it: magic, stored TOC CRC, and full field structure.
+    /// Returns the bytes verified — 0 on a legacy v1 file, whose
+    /// interleaved TOC carries no checksum. Reads through the live file
+    /// handle, so it observes damage that arrived after open (and
+    /// injected faults under [`OnDiskStore::open_faulty`]). Does not
+    /// touch the query I/O counters.
+    pub fn scrub_toc(&self) -> Result<u64, SeqError> {
+        let Some(payload_start) = self.payload_start else {
+            return Ok(0);
+        };
+        let mut buf = vec![0u8; payload_start as usize];
+        self.file.read_exact_at(&mut buf, 0)?;
+        if &buf[..8] != MAGIC_V2 {
+            return Err(SeqError::corrupt_at("bad store magic", "magic", 0));
+        }
+        let mut input = CountingReader::new(&buf[8..]);
+        read_toc_v2(&mut input)?;
+        Ok(payload_start)
+    }
+
+    /// Fetch and fully verify one record: stored CRC (v2), structural
+    /// decode, and TOC length agreement. Returns the blob bytes
+    /// verified. Does not touch the query I/O counters, so a background
+    /// scrub never distorts `nucdb_store_bytes_read_total`.
+    pub fn verify_record(&self, record: u32) -> Result<u64, SeqError> {
+        let (offset, len) = self.blobs[record as usize];
+        let mut bytes = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut bytes, offset)?;
+        if let Some(crcs) = &self.crcs {
+            let expected = crcs[record as usize];
+            let actual = crc32(&bytes);
+            if actual != expected {
+                return Err(SeqError::checksum("record", offset, expected, actual));
+            }
+        }
+        let seq = decode_blob(self.mode, &bytes).map_err(|e| e.located("record", offset))?;
+        if seq_len(&seq) != self.lens[record as usize] as usize {
+            return Err(SeqError::corrupt_at(
+                "record length disagrees with TOC",
+                "record",
+                offset,
+            ));
+        }
+        Ok(len as u64)
     }
 }
 

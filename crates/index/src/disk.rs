@@ -901,6 +901,109 @@ impl OnDiskIndex {
         self.bytes_read = bytes_read;
         self.lists_read = lists_read;
     }
+
+    /// The in-memory vocabulary, sorted by interval code. Exposed for
+    /// introspection (`nucdb stat`) and health walks (`nucdb fsck`, the
+    /// background scrubber); query paths go through the typed accessors.
+    pub fn vocab(&self) -> &[VocabEntry] {
+        &self.vocab
+    }
+
+    /// Does the file carry stored checksums (v3/v4)? Legacy v2 files
+    /// verify structurally only.
+    pub fn has_checksums(&self) -> bool {
+        self.list_crcs.is_some()
+    }
+
+    /// On-disk format name, from the magic the file was opened with.
+    pub fn format(&self) -> &'static str {
+        if self.per_block_crcs {
+            "NUCIDX04"
+        } else if self.list_crcs.is_some() {
+            "NUCIDX03"
+        } else {
+            "NUCIDX02"
+        }
+    }
+
+    /// Byte offset where the postings blob begins — equivalently, the
+    /// size of the header region a [`OnDiskIndex::scrub_header`] pass
+    /// re-reads.
+    pub fn blob_start(&self) -> u64 {
+        self.blob_start
+    }
+
+    /// Re-read the header region (`[0, blob_start)`) from disk and
+    /// re-verify it: magic, stored header CRC (v3/v4), and full field
+    /// structure. Returns the bytes verified. Unlike
+    /// [`OnDiskIndex::open`] — which parses the header once — this reads
+    /// through the live file handle, so it observes damage that arrived
+    /// after open (and injected faults under
+    /// [`OnDiskIndex::open_faulty`]). Does not touch the query I/O
+    /// counters.
+    pub fn scrub_header(&self) -> Result<u64, IndexError> {
+        let mut buf = vec![0u8; self.blob_start as usize];
+        self.file.read_exact_at(&mut buf, 0)?;
+        let mut input = CountingReader::new(&buf[..]);
+        read_header(&mut input)?;
+        Ok(self.blob_start)
+    }
+
+    /// Fetch and fully verify the list at vocabulary position `idx`
+    /// (panics if out of range — callers iterate `0..vocab().len()`).
+    /// Checks the stored list CRC (v3), or the skip-table CRC plus every
+    /// block payload CRC (v4); v2 lists, which carry no checksums, are
+    /// structurally decoded instead. Returns the list bytes verified.
+    /// Does not touch the query I/O counters, so a background scrub
+    /// never distorts `nucdb_index_bytes_read_total`.
+    pub fn verify_list_at(&self, idx: usize) -> Result<u64, IndexError> {
+        let entry = &self.vocab[idx];
+        let mut buf = vec![0u8; entry.len as usize];
+        self.file
+            .read_exact_at(&mut buf, self.blob_start + entry.offset)?;
+        if let Some(crcs) = &self.list_crcs {
+            let expected = crcs[idx];
+            let covered = if self.per_block_crcs {
+                let skip_len = crate::block::skip_table_len(entry.df);
+                if buf.len() < skip_len {
+                    return Err(IndexError::bad_at(
+                        "list shorter than its skip table",
+                        "list",
+                        self.blob_start + entry.offset,
+                    ));
+                }
+                &buf[..skip_len]
+            } else {
+                &buf[..]
+            };
+            let actual = crc32(covered);
+            if actual != expected {
+                return Err(IndexError::checksum(
+                    "list",
+                    self.blob_start + entry.offset,
+                    expected,
+                    actual,
+                ));
+            }
+            if self.per_block_crcs {
+                crate::block::verify_block_list(&buf, entry.df)
+                    .map_err(|e| e.with_base_offset(self.blob_start + entry.offset))?;
+            }
+        } else {
+            // No stored checksum: decoding is the only verification.
+            decode_counts_with(
+                &buf,
+                entry.df,
+                self.num_records(),
+                &self.record_lens,
+                self.codec,
+                self.params.granularity,
+                |_, _| {},
+            )
+            .map_err(|e| e.with_base_offset(self.blob_start + entry.offset))?;
+        }
+        Ok(entry.len as u64)
+    }
 }
 
 #[cfg(test)]

@@ -236,6 +236,20 @@ impl Forensics {
         self.inner.as_ref().map_or(0, |core| core.slow.capacity())
     }
 
+    /// Total traces ever recorded to the recent ring, including entries
+    /// the ring has since overwritten (0 when disabled). Occupancy is
+    /// `min(recent_recorded, recent_capacity)`; the surplus is the
+    /// number of captures dropped from the ring.
+    pub fn recent_recorded(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |core| core.recent.recorded())
+    }
+
+    /// Total traces ever recorded to the slow/error ring, including
+    /// overwritten entries (0 when disabled).
+    pub fn slow_recorded(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |core| core.slow.recorded())
+    }
+
     /// Classify and record a completed query trace. Returns the capture
     /// reason; `Slow` and `Error` traces additionally land in the slow
     /// ring and the slow-query log. No-op (returning `Recent`) when
@@ -286,6 +300,15 @@ impl Forensics {
             core.slow_log.flush();
         }
     }
+
+    /// The slow-query log sink (disabled sink when forensics is off or
+    /// no log was configured). Lets callers bind its drop/rotation
+    /// counters or read its tallies.
+    pub fn slow_log(&self) -> TraceSink {
+        self.inner
+            .as_ref()
+            .map_or_else(TraceSink::disabled, |core| core.slow_log.clone())
+    }
 }
 
 impl std::fmt::Debug for Forensics {
@@ -309,6 +332,7 @@ mod tests {
             results: 1,
             error: None,
             root: SpanNode::new("query", 0, total_ns),
+            plan: None,
         }
     }
 

@@ -319,6 +319,7 @@ mod tests {
             results: 2,
             error: None,
             root,
+            plan: None,
         }
         .to_value()
         .render()
@@ -398,6 +399,7 @@ mod tests {
             results: 0,
             error: Some("corruption".to_string()),
             root: SpanNode::default(),
+            plan: None,
         }
         .to_value()
         .render();

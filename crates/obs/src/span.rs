@@ -150,6 +150,10 @@ pub struct QueryTrace {
     /// Root of the span tree (name `"query"` by convention). A trace
     /// captured at error time may carry an empty root.
     pub root: SpanNode,
+    /// The query's explain plan as a JSON object, when one was collected
+    /// (the engine attaches plans to every capture while tail sampling is
+    /// armed, so slow captures ship their own explanation).
+    pub plan: Option<Value>,
 }
 
 impl QueryTrace {
@@ -170,6 +174,9 @@ impl QueryTrace {
         }
         if !self.root.name.is_empty() {
             members.push(("spans".to_string(), self.root.to_value()));
+        }
+        if let Some(plan) = &self.plan {
+            members.push(("plan".to_string(), plan.clone()));
         }
         Value::Obj(members)
     }
@@ -193,12 +200,14 @@ impl QueryTrace {
             Some(spans) => SpanNode::from_value(spans)?,
             None => SpanNode::default(),
         };
+        let plan = value.get("plan").cloned();
         Some(QueryTrace {
             request_id,
             total_ns,
             results,
             error,
             root,
+            plan,
         })
     }
 }
@@ -277,6 +286,7 @@ mod tests {
             results: 3,
             error: None,
             root: sample_tree(),
+            plan: None,
         };
         let rendered = ok.to_value().render();
         assert_eq!(
@@ -290,12 +300,25 @@ mod tests {
             results: 0,
             error: Some("corruption: index toc".to_string()),
             root: SpanNode::default(),
+            plan: None,
         };
         let rendered = failed.to_value().render();
         let parsed = QueryTrace::from_value(&crate::json::parse(&rendered).unwrap()).unwrap();
         assert_eq!(parsed, failed);
         assert!(rendered.contains("\"error\""));
         assert!(!rendered.contains("\"spans\""));
+
+        let explained = QueryTrace {
+            plan: Some(Value::Obj(vec![(
+                "query_len".to_string(),
+                crate::json::num(12),
+            )])),
+            ..ok
+        };
+        let rendered = explained.to_value().render();
+        let parsed = QueryTrace::from_value(&crate::json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, explained);
+        assert!(rendered.contains("\"plan\""));
     }
 
     #[test]

@@ -61,6 +61,66 @@ struct SinkCore {
     /// drops are observable before any registry is attached.
     dropped: AtomicU64,
     dropped_counter: Mutex<crate::registry::Counter>,
+    /// Rotation tally, present only for sinks built with
+    /// [`TraceSink::to_rotating_file`] (shared with the writer).
+    rotations: Option<Arc<RotationStats>>,
+}
+
+/// Rotation tally shared between a [`RotatingWriter`] and its
+/// [`TraceSink`], following the same local-count + late-bindable-counter
+/// pattern as dropped events.
+struct RotationStats {
+    count: AtomicU64,
+    counter: Mutex<crate::registry::Counter>,
+}
+
+/// Append-only writer with size-capped rotation: once the current file
+/// exceeds `max_bytes` (checked at line boundaries, so no line is ever
+/// split across files), it is renamed to `<path>.1` — replacing any
+/// previous rotation — and a fresh file is started at `path`. Disk usage
+/// is therefore bounded by roughly `2 × max_bytes` plus one line.
+struct RotatingWriter {
+    path: std::path::PathBuf,
+    max_bytes: u64,
+    written: u64,
+    file: io::BufWriter<std::fs::File>,
+    stats: Arc<RotationStats>,
+}
+
+/// The `<path>.1` sibling a rotation renames the full file to.
+fn rotated_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".1");
+    std::path::PathBuf::from(name)
+}
+
+impl RotatingWriter {
+    fn rotate(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        std::fs::rename(&self.path, rotated_path(&self.path))?;
+        self.file = io::BufWriter::new(std::fs::File::create(&self.path)?);
+        self.written = 0;
+        self.stats.count.fetch_add(1, Ordering::Relaxed);
+        recover(self.stats.counter.lock()).inc();
+        Ok(())
+    }
+}
+
+impl Write for RotatingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.file.write(buf)?;
+        self.written += n as u64;
+        // Rotate only when the write ends a line, so the cap never tears
+        // a JSONL record in half.
+        if self.written >= self.max_bytes && buf[..n].last() == Some(&b'\n') {
+            self.rotate()?;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
 }
 
 /// Recover a possibly-poisoned lock: a panic on another traced thread
@@ -91,6 +151,7 @@ impl TraceSink {
                 seq: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
                 dropped_counter: Mutex::new(crate::registry::Counter::disabled()),
+                rotations: None,
             })),
         }
     }
@@ -102,6 +163,40 @@ impl TraceSink {
             Box::new(io::BufWriter::new(file)),
             sample_every,
         ))
+    }
+
+    /// Like [`TraceSink::to_file`], but with size-capped rotation: once
+    /// the file exceeds `max_bytes` it is renamed to `<path>.1` (keeping
+    /// exactly one predecessor) and a fresh file is started, so a
+    /// long-running process cannot grow the log without bound. Rotations
+    /// are counted ([`TraceSink::rotations`], bindable to a registry
+    /// counter via [`TraceSink::bind_rotations`]).
+    pub fn to_rotating_file(
+        path: &Path,
+        sample_every: u64,
+        max_bytes: u64,
+    ) -> io::Result<TraceSink> {
+        let stats = Arc::new(RotationStats {
+            count: AtomicU64::new(0),
+            counter: Mutex::new(crate::registry::Counter::disabled()),
+        });
+        let writer = RotatingWriter {
+            path: path.to_path_buf(),
+            max_bytes: max_bytes.max(1),
+            written: 0,
+            file: io::BufWriter::new(std::fs::File::create(path)?),
+            stats: Arc::clone(&stats),
+        };
+        Ok(TraceSink {
+            inner: Some(Arc::new(SinkCore {
+                writer: Mutex::new(Box::new(writer)),
+                sample_every: sample_every.max(1),
+                seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                dropped_counter: Mutex::new(crate::registry::Counter::disabled()),
+                rotations: Some(stats),
+            })),
+        })
     }
 
     /// A no-op sink.
@@ -167,6 +262,25 @@ impl TraceSink {
         self.inner
             .as_ref()
             .map_or(0, |core| core.dropped.load(Ordering::Relaxed))
+    }
+
+    /// File rotations performed so far (always 0 for non-rotating sinks).
+    pub fn rotations(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|core| core.rotations.as_ref())
+            .map_or(0, |stats| stats.count.load(Ordering::Relaxed))
+    }
+
+    /// Bind the registry counter bumped on each rotation (conventionally
+    /// `nucdb_slow_log_rotations_total`). Rotations that happened before
+    /// binding are carried over. No-op on non-rotating sinks.
+    pub fn bind_rotations(&self, counter: crate::registry::Counter) {
+        if let Some(stats) = self.inner.as_ref().and_then(|core| core.rotations.as_ref()) {
+            let already = stats.count.load(Ordering::Relaxed);
+            counter.add(already.saturating_sub(counter.get()));
+            *recover(stats.counter.lock()) = counter;
+        }
     }
 
     /// Flush the underlying writer. Flush errors count as drops.
@@ -337,6 +451,63 @@ mod tests {
         sink.flush();
         assert_eq!(sink.dropped(), 3); // 2 write errors + 1 flush error
         assert_eq!(counter.get(), 3);
+    }
+
+    #[test]
+    fn rotating_sink_caps_size_and_keeps_one_predecessor() {
+        let dir = std::env::temp_dir().join(format!("nucdb_rot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        let sink = TraceSink::to_rotating_file(&path, 1, 200).unwrap();
+
+        // Each line is ~40 bytes; 30 lines must rotate more than once.
+        for i in 0..30u64 {
+            sink.emit(&TraceEvent::new("query").num("seq", i).str("pad", "xxxx"));
+        }
+        sink.flush();
+        assert!(sink.rotations() >= 2, "rotations: {}", sink.rotations());
+
+        // Late binding carries the count over.
+        let counter = crate::registry::Counter::new();
+        sink.bind_rotations(counter.clone());
+        assert_eq!(counter.get(), sink.rotations());
+
+        // Both generations exist, are size-capped (one line of overshoot
+        // allowed), and contain only whole JSONL lines.
+        let rotated = super::rotated_path(&path);
+        for file in [&path, &rotated] {
+            let text = std::fs::read_to_string(file).unwrap();
+            assert!(text.len() < 300, "{}: {} bytes", file.display(), text.len());
+            for line in text.lines() {
+                crate::json::parse(line).expect("whole line");
+            }
+        }
+        // Every line landed in some generation: sequence numbers in the
+        // rotated file strictly precede those in the live file.
+        let last_rotated = std::fs::read_to_string(&rotated)
+            .unwrap()
+            .lines()
+            .last()
+            .map(|l| crate::json::parse(l).unwrap().get("seq").unwrap().as_f64())
+            .unwrap()
+            .unwrap();
+        let first_live = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .next()
+            .map(|l| crate::json::parse(l).unwrap().get("seq").unwrap().as_f64())
+            .unwrap()
+            .unwrap();
+        assert!(last_rotated < first_live);
+        assert_eq!(sink.dropped(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_rotating_sink_reports_zero_rotations() {
+        let (sink, _) = shared_sink(1);
+        assert_eq!(sink.rotations(), 0);
+        sink.bind_rotations(crate::registry::Counter::new());
     }
 
     #[test]

@@ -159,10 +159,16 @@ fn parse_json_body(body: &[u8], defaults: &SearchParams) -> Result<SearchRequest
                         _ => return Err(BodyError(format!("params.{key}: expected bool"))),
                     }
                 }
+                "explain" => {
+                    params.explain = match value {
+                        Value::Bool(b) => *b,
+                        _ => return Err(BodyError(format!("params.{key}: expected bool"))),
+                    }
+                }
                 other => {
                     return Err(BodyError(format!(
                         "params.{other}: unknown parameter (expected candidates, \
-                         max_results, min_score, both_strands, evalue)"
+                         max_results, min_score, both_strands, evalue, explain)"
                     )))
                 }
             }
@@ -227,7 +233,7 @@ pub fn outcome_to_json(
             Value::Obj(members)
         })
         .collect();
-    Value::Obj(vec![
+    let mut members = vec![
         ("query".to_string(), Value::Str(query.id.clone())),
         ("answers".to_string(), Value::Arr(answers)),
         (
@@ -246,7 +252,11 @@ pub fn outcome_to_json(
                 ("fine_ns".to_string(), num(outcome.stats.fine_nanos)),
             ]),
         ),
-    ])
+    ];
+    if let Some(plan) = &outcome.explain {
+        members.push(("plan".to_string(), plan.to_value()));
+    }
+    Value::Obj(members)
 }
 
 /// Render the whole response document. The request id is echoed as a
@@ -283,7 +293,7 @@ mod tests {
         let body = br#"{
             "queries": [{"id": "a", "seq": "ACGTACGTAA"}, {"seq": "GGCCGGCC"}],
             "params": {"candidates": 5, "max_results": 3, "min_score": 10,
-                       "both_strands": true, "evalue": true}
+                       "both_strands": true, "evalue": true, "explain": true}
         }"#;
         let req = parse_search_body(body, &defaults(), 64).unwrap();
         assert_eq!(req.queries.len(), 2);
@@ -294,6 +304,7 @@ mod tests {
         assert_eq!(req.params.min_score, 10);
         assert_eq!(req.params.strand, Strand::Both);
         assert!(req.evalue);
+        assert!(req.params.explain);
     }
 
     #[test]

@@ -19,8 +19,16 @@
 //!   every admitted connection and pending batch, flushes the trace
 //!   sink, and exits cleanly.
 //!
+//! A background **scrubber** thread ([`scrub`]) continuously re-reads
+//! and checksum-verifies the on-disk index and store at a bounded I/O
+//! rate, so cold-region corruption surfaces in metrics
+//! (`nucdb_scrub_errors_total`) instead of waiting for an unlucky
+//! query. `GET /readyz` answers 503 until the first scrub pass over the
+//! structural metadata (header + TOC) completes.
+//!
 //! Endpoints: `POST /search` (FASTA or JSON body → ranked answers as
-//! JSON), `GET /metrics` (Prometheus text), `GET /healthz`,
+//! JSON; `"explain": true` attaches the evaluation plan), `GET /metrics`
+//! (Prometheus text), `GET /healthz`, `GET /readyz`,
 //! `GET /stats`, and — when a flight recorder is attached to the
 //! database — `GET /debug/queries` / `GET /debug/slow` (recent and
 //! tail-sampled query traces). Every response carries an
@@ -36,12 +44,14 @@ pub mod api;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod scrub;
 pub mod server;
 
 pub use api::{parse_search_body, SearchRequest};
 pub use http::{Limits, Method, ParseError, Request, Response};
 pub use metrics::HttpMetrics;
 pub use queue::{BoundedQueue, PushError};
+pub use scrub::ScrubState;
 pub use server::{
     install_termination_flag, request_termination, start, termination_requested, ServeConfig,
     ServerHandle,

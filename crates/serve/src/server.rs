@@ -32,16 +32,19 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nucdb::{build_info, CoarseScratch, Database, RecordSource, SearchOutcome, SearchParams};
+use nucdb::{
+    build_info, CoarseScratch, Database, IndexVariant, RecordSource, SearchOutcome, SearchParams,
+};
 use nucdb_align::calibrate_gumbel;
 use nucdb_obs::json::{num, Value};
-use nucdb_obs::{FlightEntry, MetricsRegistry};
+use nucdb_obs::{Counter, FlightEntry, Gauge, MetricsRegistry};
 use nucdb_seq::DnaSeq;
 
 use crate::api::{self, SearchRequest, Significance};
 use crate::http::{self, Limits, Method, Request, Response};
 use crate::metrics::HttpMetrics;
 use crate::queue::BoundedQueue;
+use crate::scrub::{scrub_loop, ScrubState};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -66,6 +69,9 @@ pub struct ServeConfig {
     pub keep_alive_timeout: Duration,
     /// HTTP parsing limits.
     pub limits: Limits,
+    /// Background scrubber I/O budget in bytes per second; `0` disables
+    /// the scrubber entirely (readiness is then immediate).
+    pub scrub_bytes_per_sec: u64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +86,7 @@ impl Default for ServeConfig {
             max_queries_per_request: 256,
             keep_alive_timeout: Duration::from_secs(5),
             limits: Limits::default(),
+            scrub_bytes_per_sec: 4 << 20,
         }
     }
 }
@@ -136,6 +143,14 @@ struct Shared {
     shutdown: AtomicBool,
     batcher: Option<Batcher>,
     started: Instant,
+    scrub: ScrubState,
+    /// `nucdb_flight_recent_entries`: occupancy of the recent ring,
+    /// refreshed at `/metrics` scrape time.
+    flight_recent_entries: Gauge,
+    /// `nucdb_flight_slow_entries`: occupancy of the slow/error ring.
+    flight_slow_entries: Gauge,
+    /// `nucdb_flight_dropped_total`: captures evicted from either ring.
+    flight_dropped: Counter,
 }
 
 /// A running server. Dropping the handle does *not* stop the server;
@@ -147,6 +162,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
+    scrubber: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -168,6 +184,19 @@ impl ServerHandle {
     /// Has shutdown been requested?
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Is the server ready (`GET /readyz` would answer 200)? True once
+    /// the first scrub pass over the header and TOC completes, or
+    /// immediately when the scrubber is disabled.
+    pub fn is_ready(&self) -> bool {
+        self.shared.scrub.is_ready()
+    }
+
+    /// Scrub corruption findings so far (the
+    /// `nucdb_scrub_errors_total` counter).
+    pub fn scrub_errors(&self) -> u64 {
+        self.shared.scrub.errors.get()
     }
 
     /// Graceful shutdown: stop accepting, drain every admitted
@@ -196,6 +225,11 @@ impl ServerHandle {
         if let Some(collector) = self.collector.take() {
             let _ = collector.join();
         }
+        // The scrubber polls the shutdown flag between reads and inside
+        // every throttle sleep, so this join is prompt.
+        if let Some(scrubber) = self.scrubber.take() {
+            let _ = scrubber.join();
+        }
         self.shared.db.metrics().trace.flush();
         self.shared.db.metrics().forensics.flush();
         // Every thread has been joined, so this handle holds the last
@@ -222,6 +256,20 @@ pub fn start(
     build_info::register(&registry);
     let mean_len = (db.store().total_bases() / db.len().max(1)).max(1);
     let batcher = config.batch_window.map(|_| Batcher::new());
+    let scrub_enabled = config.scrub_bytes_per_sec > 0;
+    let scrub = ScrubState::new(&registry, scrub_enabled);
+    let flight_recent_entries = registry.gauge(
+        "nucdb_flight_recent_entries",
+        "Entries currently retained in the flight recorder's recent ring",
+    );
+    let flight_slow_entries = registry.gauge(
+        "nucdb_flight_slow_entries",
+        "Entries currently retained in the flight recorder's slow/error ring",
+    );
+    let flight_dropped = registry.counter(
+        "nucdb_flight_dropped_total",
+        "Flight-recorder captures evicted from the recent or slow ring",
+    );
     let shared = Arc::new(Shared {
         db,
         registry,
@@ -232,6 +280,10 @@ pub fn start(
         shutdown: AtomicBool::new(false),
         batcher,
         started: Instant::now(),
+        scrub,
+        flight_recent_entries,
+        flight_slow_entries,
+        flight_dropped,
     });
     let queue = Arc::new(BoundedQueue::new(shared.config.queue_depth));
 
@@ -261,6 +313,23 @@ pub fn start(
     } else {
         None
     };
+    let scrubber = if scrub_enabled {
+        let shared = Arc::clone(&shared);
+        Some(
+            std::thread::Builder::new()
+                .name("nucdb-scrub".to_string())
+                .spawn(move || {
+                    scrub_loop(
+                        &shared.db,
+                        &shared.scrub,
+                        &shared.shutdown,
+                        shared.config.scrub_bytes_per_sec,
+                    );
+                })?,
+        )
+    } else {
+        None
+    };
 
     Ok(ServerHandle {
         addr,
@@ -269,6 +338,7 @@ pub fn start(
         acceptor: Some(acceptor),
         workers,
         collector,
+        scrubber,
     })
 }
 
@@ -391,7 +461,21 @@ fn route(
 ) -> Response {
     match (request.method, request.path.as_str()) {
         (Method::Get, "/healthz") => Response::ok().text(format!("ok {}\n", build_info::human())),
+        (Method::Get, "/readyz") => {
+            // Liveness (`/healthz`) says "the process answers"; readiness
+            // additionally requires the first scrub pass to have proven
+            // the index header and store TOC readable through the live
+            // file handles.
+            if shared.scrub.is_ready() {
+                Response::ok().text("ready\n")
+            } else {
+                Response::new(503, "Service Unavailable")
+                    .header("Retry-After", "1")
+                    .text("not ready: awaiting first scrub pass over header and TOC\n")
+            }
+        }
         (Method::Get, "/metrics") => {
+            update_flight_gauges(shared);
             let mut response = Response::ok().header("Content-Type", "text/plain; version=0.0.4");
             response.body = shared.registry.snapshot().to_prometheus().into_bytes();
             response
@@ -410,11 +494,12 @@ fn route(
         (Method::Get, "/search") => Response::new(405, "Method Not Allowed")
             .header("Allow", "POST")
             .text("use POST /search\n"),
-        (Method::Post, "/healthz" | "/metrics" | "/stats" | "/debug/queries" | "/debug/slow") => {
-            Response::new(405, "Method Not Allowed")
-                .header("Allow", "GET")
-                .text("use GET\n")
-        }
+        (
+            Method::Post,
+            "/healthz" | "/readyz" | "/metrics" | "/stats" | "/debug/queries" | "/debug/slow",
+        ) => Response::new(405, "Method Not Allowed")
+            .header("Allow", "GET")
+            .text("use GET\n"),
         _ => Response::new(404, "Not Found").text("unknown path\n"),
     }
 }
@@ -429,6 +514,30 @@ fn debug_json(entries: Vec<FlightEntry>, capacity: usize) -> Value {
             Value::Arr(entries.iter().map(FlightEntry::to_value).collect()),
         ),
     ])
+}
+
+/// Refresh the flight-recorder occupancy gauges and eviction counter
+/// from the rings' cursors. Called at `/metrics` scrape time: the rings
+/// have no registry hooks of their own, and scrape-time refresh keeps
+/// the query path free of extra atomics.
+fn update_flight_gauges(shared: &Shared) {
+    let forensics = &shared.db.metrics().forensics;
+    let recent_recorded = forensics.recent_recorded();
+    let slow_recorded = forensics.slow_recorded();
+    let recent_capacity = forensics.recent_capacity() as u64;
+    let slow_capacity = forensics.slow_capacity() as u64;
+    shared
+        .flight_recent_entries
+        .set(recent_recorded.min(recent_capacity) as i64);
+    shared
+        .flight_slow_entries
+        .set(slow_recorded.min(slow_capacity) as i64);
+    let dropped = recent_recorded.saturating_sub(recent_capacity)
+        + slow_recorded.saturating_sub(slow_capacity);
+    let counted = shared.flight_dropped.get();
+    if dropped > counted {
+        shared.flight_dropped.add(dropped - counted);
+    }
 }
 
 fn stats_json(shared: &Shared) -> Value {
@@ -468,6 +577,18 @@ fn stats_json(shared: &Shared) -> Value {
                     },
                 ),
             ]),
+        ),
+        ("scrub".to_string(), shared.scrub.to_value()),
+        (
+            // Shape and on-disk layout of the loaded index (`null` for
+            // a memory-resident index — `nucdb stat` covers that case
+            // offline). Computed per request from the in-memory vocab;
+            // no disk I/O.
+            "index_stats".to_string(),
+            match shared.db.index() {
+                IndexVariant::Disk(index) => nucdb::IndexStatReport::from_disk(index).to_value(),
+                IndexVariant::Memory(_) => Value::Null,
+            },
         ),
         ("metrics".to_string(), shared.registry.snapshot().to_json()),
     ])

@@ -8,14 +8,23 @@
 # same-shape, allocation-free inner loop, so a collapse there is a real
 # codec regression, not scheduler weather.
 #
+# A second blocking check is the explain-off overhead budget in
+# BENCH_coarse.json: answering queries with explain *not* requested must
+# cost within EXPLAIN_OFF_BUDGET percent of the plain path. This is an
+# absolute design contract checked on the current file alone, so it is
+# immune to cross-machine timing noise in the baseline.
+#
 #   BENCH_COMPARE_THRESHOLD  report threshold, percent (default 15)
 #   BENCH_DECODE_THRESHOLD   blocking decode-rate threshold (default 15;
 #                            CI passes a looser value for runner variance)
+#   EXPLAIN_OFF_BUDGET       blocking explain-off overhead cap, percent
+#                            (default 3)
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${BENCH_COMPARE_THRESHOLD:-15}"
 DECODE_THRESHOLD="${BENCH_DECODE_THRESHOLD:-15}"
+EXPLAIN_OFF_BUDGET="${EXPLAIN_OFF_BUDGET:-3}"
 CMP=(cargo run --quiet --release -p nucdb-bench --bin bench_compare --)
 
 tmp=$(mktemp -d)
@@ -35,6 +44,13 @@ for f in results/BENCH_*.json; do
         echo "-- blocking decode-rate check (threshold ${DECODE_THRESHOLD}%) --"
         if ! "${CMP[@]}" --baseline "$tmp/$name" --current "$f" \
             --keys ids_per_sec --threshold "$DECODE_THRESHOLD" --strict; then
+            status=1
+        fi
+    fi
+    if [ "$name" = "BENCH_coarse.json" ]; then
+        echo "-- blocking explain-off overhead budget (<= ${EXPLAIN_OFF_BUDGET}%) --"
+        if ! "${CMP[@]}" --current "$f" \
+            --budget "explain_off_overhead_pct=${EXPLAIN_OFF_BUDGET}"; then
             status=1
         fi
     fi

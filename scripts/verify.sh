@@ -12,7 +12,19 @@ cargo test -q
 # regression fails loudly on its own line.
 cargo test -q -p nucdb-serve --test server_e2e
 cargo test -q -p nucdb --test durability
+cargo test -q -p nucdb --test explain_and_health
 cargo clippy --workspace -- -D warnings
+# Index health end to end on a real corpus: build a block-codec
+# database, fsck it (clean files must exit 0 — any other exit code
+# fails the run via set -e), and write the stat report; CI uploads
+# results/STAT.json as an artifact so index-shape drift is reviewable.
+health_dir=$(mktemp -d)
+trap 'rm -rf "$health_dir"' EXIT
+NUCDB=(cargo run --quiet --release -p nucdb-cli --)
+"${NUCDB[@]}" generate --bases 200000 --out "$health_dir/coll.fasta" --seed 7
+"${NUCDB[@]}" build --collection "$health_dir/coll.fasta" --db "$health_dir/db" --codec block
+"${NUCDB[@]}" fsck --db "$health_dir/db"
+"${NUCDB[@]}" stat --db "$health_dir/db" --out results
 # Benchmark drift: report-only for wall times and work counters,
 # blocking on a decode-rate collapse (see the script's header).
 ./scripts/bench_compare.sh
