@@ -50,7 +50,7 @@ fn main() {
         );
         let stats = match db.index() {
             IndexVariant::Memory(i) => i.stats(),
-            IndexVariant::Disk(_) => unreachable!(),
+            _ => unreachable!("e4 builds in-memory indexes only"),
         };
 
         let params = SearchParams::default();

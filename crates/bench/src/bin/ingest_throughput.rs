@@ -1,0 +1,171 @@
+//! **BENCH — live ingestion throughput: insert, flush, compact.**
+//!
+//! The live-ingestion path trades the offline build's single pass for
+//! incremental availability: records inserted into the memtable are
+//! searchable immediately and durable at the next flush. This benchmark
+//! measures what that costs end to end: sustained insert throughput
+//! (records/s and bases/s with periodic flushes in the loop), the flush
+//! latency distribution, and the compaction work needed to fold the
+//! resulting segments back down to quiescence.
+//!
+//! CI runs this with a reduced collection via `INGEST_BASES`; results
+//! land in `results/BENCH_ingest.json` next to the other artifacts.
+
+use std::time::Instant;
+
+use nucdb::{DbConfig, LiveDatabase, LiveOptions};
+use nucdb_bench::json::Value;
+use nucdb_bench::{banner, bytes, collection, results_path, Table};
+
+/// Records per insert_batch call (one HTTP request's worth).
+const BATCH: usize = 64;
+/// Explicit flush cadence, in records.
+const FLUSH_EVERY: usize = 512;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    banner("BENCH", "live ingestion: insert, flush, compact");
+    let size: usize = std::env::var("INGEST_BASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let coll = collection(0x1463E57, size);
+    let records: Vec<(String, nucdb_seq::DnaSeq)> = coll
+        .records
+        .iter()
+        .map(|r| (r.id.clone(), r.seq.clone()))
+        .collect();
+    let total_records = records.len() as u64;
+    let total_bases: u64 = records.iter().map(|(_, s)| s.len() as u64).sum();
+    println!(
+        "collection: {} records, {} bases",
+        total_records,
+        bytes(total_bases)
+    );
+
+    let dir = std::env::temp_dir().join(format!("nucdb_bench_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let live = LiveDatabase::create(
+        &dir,
+        &DbConfig::default(),
+        LiveOptions {
+            // Flush on our own cadence so flush latency is measured, not
+            // hidden inside whichever insert happens to trip the limit.
+            memtable_max_records: usize::MAX,
+            ..LiveOptions::default()
+        },
+    )
+    .expect("create live database");
+
+    // Ingest loop: batched inserts with periodic timed flushes — the
+    // pattern a live archive sees from a deposit feed.
+    let mut flush_ms: Vec<f64> = Vec::new();
+    let mut since_flush = 0usize;
+    let ingest_start = Instant::now();
+    for chunk in records.chunks(BATCH) {
+        live.insert_batch(chunk.to_vec()).expect("insert");
+        since_flush += chunk.len();
+        if since_flush >= FLUSH_EVERY {
+            since_flush = 0;
+            let t0 = Instant::now();
+            live.flush().expect("flush");
+            flush_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let t0 = Instant::now();
+    live.flush().expect("final flush");
+    flush_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+
+    let records_per_sec = total_records as f64 / ingest_secs;
+    let bases_per_sec = total_bases as f64 / ingest_secs;
+    let segments_after_ingest = live.status().segments.len() as u64;
+
+    // Compaction to quiescence, timed as one settling pass.
+    let compact_start = Instant::now();
+    let runs = live.compact_all().expect("compact");
+    let compact_secs = compact_start.elapsed().as_secs_f64();
+    let compaction_runs = runs.len() as u64;
+    let compaction_input: u64 = runs.iter().map(|r| r.input_bytes).sum();
+    let compaction_output: u64 = runs.iter().map(|r| r.output_bytes).sum();
+    let segments_final = live.status().segments.len() as u64;
+
+    flush_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p90, p99) = (
+        percentile(&flush_ms, 50.0),
+        percentile(&flush_ms, 90.0),
+        percentile(&flush_ms, 99.0),
+    );
+    let flush_max = flush_ms.last().copied().unwrap_or(0.0);
+
+    let mut table = Table::new(&["phase", "value"]);
+    table.row(vec![
+        "insert throughput".into(),
+        format!(
+            "{records_per_sec:.0} records/s ({:.2} Mbases/s)",
+            bases_per_sec / 1e6
+        ),
+    ]);
+    table.row(vec![
+        "flush latency".into(),
+        format!(
+            "p50 {p50:.1} ms, p90 {p90:.1} ms, p99 {p99:.1} ms, max {flush_max:.1} ms \
+             ({} flushes)",
+            flush_ms.len()
+        ),
+    ]);
+    table.row(vec![
+        "compaction".into(),
+        format!(
+            "{compaction_runs} runs, {} in -> {} out, {:.1} s; {} -> {} segments",
+            bytes(compaction_input),
+            bytes(compaction_output),
+            compact_secs,
+            segments_after_ingest,
+            segments_final,
+        ),
+    ]);
+    table.print();
+
+    let out = Value::Obj(vec![
+        ("experiment", Value::Str("ingest_throughput".into())),
+        (
+            "description",
+            Value::Str(
+                "live ingestion over the standard collection: batched inserts with \
+                 periodic flushes, then compaction to quiescence"
+                    .into(),
+            ),
+        ),
+        ("collection_bases", Value::Int(total_bases)),
+        ("records", Value::Int(total_records)),
+        ("batch_records", Value::Int(BATCH as u64)),
+        ("flush_every_records", Value::Int(FLUSH_EVERY as u64)),
+        ("ingest_seconds", Value::Num(ingest_secs)),
+        ("records_per_sec", Value::Num(records_per_sec)),
+        ("bases_per_sec", Value::Num(bases_per_sec)),
+        ("flushes", Value::Int(flush_ms.len() as u64)),
+        ("flush_ms_p50", Value::Num(p50)),
+        ("flush_ms_p90", Value::Num(p90)),
+        ("flush_ms_p99", Value::Num(p99)),
+        ("flush_ms_max", Value::Num(flush_max)),
+        ("compaction_runs", Value::Int(compaction_runs)),
+        ("compaction_input_bytes", Value::Int(compaction_input)),
+        ("compaction_output_bytes", Value::Int(compaction_output)),
+        ("compaction_seconds", Value::Num(compact_secs)),
+        ("segments_after_ingest", Value::Int(segments_after_ingest)),
+        ("segments_final", Value::Int(segments_final)),
+    ]);
+    let path = results_path("BENCH_ingest.json");
+    std::fs::write(&path, out.render() + "\n").expect("write BENCH_ingest.json");
+    println!("wrote {}", path.display());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use nucdb::{
     CoarseScratch, Database, FineMode, IndexVariant, RankingScheme, RecordSource, SearchParams,
@@ -33,6 +34,10 @@ commands:
              --collection FILE --db DIR [--k N] [--stride N] [--stop-fraction F]
              [--codec paper|gamma|delta|vbyte|fixed|block] [--chunk N] [--ascii-store]
              [--granularity offsets|records]
+  ingest     stream FASTA records into a live (segmented) database
+             --collection FILE --db DIR [--batch N] [--memtable-max-records N]
+             [--max-segments N] [--compact] [--k N] [--stride N]
+             [--codec NAME] [--granularity offsets|records] [--ascii-store]
   search     run homology queries (each FASTA record is one query)
              --db DIR --query FILE [--candidates N] [--ranking count|prop|frame:W]
              [--fine banded:W|full|trace] [--both-strands] [--max-results N]
@@ -56,8 +61,10 @@ commands:
              [--flight-recorder N] [--slow-ms MS] [--slow-log FILE]
              [--slow-log-max-bytes N]
   serve      run a resident HTTP query server over one database
-             --db DIR [--addr HOST:PORT] [--threads N] [--queue-depth N]
+             --db DIR [--live] [--addr HOST:PORT] [--threads N] [--queue-depth N]
              [--deadline-ms N] [--batch-window MS] [--batch-max N]
+             [--memtable-max-records N] [--max-segments N]
+             [--compact-bytes-per-sec N]
              [--search-threads N] [--scrub-bytes-per-sec N] [--metrics FILE]
              [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
              [--flight-recorder N] [--slow-ms MS] [--slow-log FILE]
@@ -129,6 +136,22 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   --trace FILE       append one JSON line per sampled query
   --trace-sample N   keep every Nth query in the trace"
         }
+        "ingest" => {
+            "usage: nucdb ingest --collection FILE --db DIR [options]
+  --collection FILE  input FASTA (every record is one insert)
+  --db DIR           live database directory (created with a segment
+                     manifest if absent; shape options below only apply
+                     on creation — reopen recovers them from the manifest)
+  --batch N          records per insert batch (default 256)
+  --memtable-max-records N  auto-flush threshold (default 1024)
+  --max-segments N   compaction falls back to smallest-pair above this
+  --compact          run compaction to quiescence after the final flush
+  --k N              interval (k-mer) length (default 8)
+  --stride N         sampling stride across each record (default 1)
+  --codec NAME       postings codec: paper|gamma|delta|vbyte|fixed|block
+  --granularity G    postings granularity: offsets|records
+  --ascii-store      store sequences as ASCII instead of 2-bit packed"
+        }
         "merge" => {
             "usage: nucdb merge --db-a DIR --db-b DIR --out DIR
   record ids of B follow A's in the merged database"
@@ -142,13 +165,17 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   per-index health statistics: list-length / bits-per-posting / skew
   histograms, skip-table density, codec tier, and bytes by section.
   Prints text and writes STAT.txt + STAT.json under --out (default
-  results/)"
+  results/). A live directory (segment manifest present) gets a manifest
+  summary plus the same report for every segment"
         }
         "fsck" => {
             "usage: nucdb fsck --db DIR [--json]
   walk every stored checksum (index header, every postings list, store
   TOC, every record blob) and report all damage with section + offset.
-  exit 0 = clean, 1 = payload damage, 2 = header/TOC unreadable"
+  A live directory (segment manifest present) is walked via the manifest:
+  every referenced segment is verified and unreferenced (orphaned) files
+  are flagged. exit 0 = clean, 1 = payload damage or orphans,
+  2 = header/TOC/manifest unreadable or a segment file missing"
         }
         "verify" => {
             "usage: nucdb verify --db DIR [--sample N]
@@ -170,7 +197,15 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
         }
         "serve" => {
             "usage: nucdb serve --db DIR [options]
-  --db DIR           database directory (from `nucdb build`)
+  --db DIR           database directory (from `nucdb build`, or a live
+                     directory from `nucdb ingest` with --live)
+  --live             serve a segmented live database: POST /insert and
+                     POST /flush are accepted, a background compactor
+                     runs, and /stats gains a live block
+  --memtable-max-records N  live: auto-flush threshold (default 1024)
+  --max-segments N   live: compaction fallback threshold (default 8)
+  --compact-bytes-per-sec N  live: compaction I/O budget (default 8388608;
+                     0 disables background compaction)
   --addr HOST:PORT   listen address (default 127.0.0.1:7878)
   --threads N        worker threads handling connections (default 4)
   --queue-depth N    admission queue capacity; overflow is shed with 503
@@ -400,7 +435,129 @@ pub fn build(raw: &[String]) -> CommandResult {
     Ok(())
 }
 
+/// `nucdb ingest`
+pub fn ingest(raw: &[String]) -> CommandResult {
+    let args = Args::parse(
+        "ingest",
+        raw,
+        &[
+            "collection",
+            "db",
+            "k",
+            "stride",
+            "codec",
+            "granularity",
+            "batch",
+            "memtable-max-records",
+            "max-segments",
+        ],
+        &["ascii-store", "compact"],
+    )?;
+    let collection = PathBuf::from(args.required("collection")?);
+    let db_dir = PathBuf::from(args.required("db")?);
+    let batch: usize = args.get_or("batch", 256)?;
+    if batch == 0 {
+        return Err(UsageError("--batch must be positive".to_string()).into());
+    }
+
+    // Index/store shape options only matter when the live database is
+    // created by this run; on reopen the manifest is authoritative.
+    let k: usize = args.get_or("k", 8)?;
+    let stride: usize = args.get_or("stride", 1)?;
+    let mut params = IndexParams::new(k).with_stride(stride);
+    if let Some(gran) = args.get("granularity") {
+        params = params.with_granularity(match gran {
+            "offsets" => Granularity::Offsets,
+            "records" => Granularity::Records,
+            other => {
+                return Err(UsageError(format!(
+                    "unknown granularity {other:?} (expected offsets|records)"
+                ))
+                .into())
+            }
+        });
+    }
+    let config = nucdb::DbConfig {
+        index: params,
+        codec: parse_codec(args.get("codec").unwrap_or("paper"))?,
+        storage: if args.flag("ascii-store") {
+            StorageMode::Ascii
+        } else {
+            StorageMode::DirectCoding
+        },
+    };
+
+    let mut opts = nucdb::LiveOptions::default();
+    opts.memtable_max_records = args.get_or("memtable-max-records", opts.memtable_max_records)?;
+    opts.max_segments = args.get_or("max-segments", opts.max_segments)?;
+
+    std::fs::create_dir_all(&db_dir)?;
+    let live = nucdb::LiveDatabase::open_or_create(&db_dir, &config, opts)?;
+    let before = live.status();
+    println!(
+        "live database at {}: {} segments, {} memtable records (manifest v{})",
+        db_dir.display(),
+        before.segments.len(),
+        before.memtable_records,
+        before.manifest_version,
+    );
+
+    let start = std::time::Instant::now();
+    let mut inserted = 0u64;
+    let mut bases = 0u64;
+    let reader = FastaReader::new(BufReader::new(File::open(&collection)?));
+    let mut pending: Vec<(String, nucdb_seq::DnaSeq)> = Vec::with_capacity(batch);
+    for record in reader {
+        let record = record?;
+        bases += record.seq.len() as u64;
+        pending.push((record.id, record.seq));
+        if pending.len() >= batch {
+            inserted += live.insert_batch(std::mem::take(&mut pending))?.inserted as u64;
+        }
+    }
+    if !pending.is_empty() {
+        inserted += live.insert_batch(pending)?.inserted as u64;
+    }
+    live.flush()?;
+
+    if args.flag("compact") {
+        for run in live.compact_all()? {
+            println!(
+                "compacted segments {:?}: {} B in, {} B out ({:.1} ms)",
+                run.inputs,
+                run.input_bytes,
+                run.output_bytes,
+                run.nanos as f64 / 1e6,
+            );
+        }
+    }
+
+    let status = live.status();
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "ingested {inserted} records / {bases} bases in {:.2} s ({:.0} records/s)",
+        secs,
+        inserted as f64 / secs.max(1e-9),
+    );
+    println!(
+        "now: {} segments, {} flushes this run, manifest v{}",
+        status.segments.len(),
+        status.flushes,
+        status.manifest_version,
+    );
+    Ok(())
+}
+
 fn open_db(dir: &Path) -> Result<Database, Box<dyn Error>> {
+    // A manifest marks a live (segmented) directory: open the committed
+    // segments as a read-only view — answers identical to what a server
+    // over the same directory would return.
+    if nucdb_index::Manifest::exists_in(dir) {
+        return Ok(nucdb::LiveDatabase::open_readonly(
+            dir,
+            &MetricsRegistry::new(),
+        )?);
+    }
     // Fully disk-resident: postings lists and candidate records are both
     // fetched per query, exactly the paper's operating point.
     let store = nucdb::OnDiskStore::open(&dir.join(STORE_FILE))?;
@@ -425,7 +582,7 @@ const OBS_VALUE_OPTS: [&str; 8] = [
 
 /// Where and how to dump the metrics snapshot after a run.
 struct MetricsOutput {
-    registry: MetricsRegistry,
+    registry: Arc<MetricsRegistry>,
     path: PathBuf,
     json: bool,
 }
@@ -548,24 +705,44 @@ impl ObsOptions {
         })
     }
 
+    /// Build the trace sink and flight recorder as values (live mode
+    /// hands them to the segment layer, which re-binds them to every
+    /// query snapshot).
+    fn sinks(&self) -> Result<(TraceSink, Forensics), Box<dyn Error>> {
+        let trace = match &self.trace {
+            Some((path, sample_every)) => TraceSink::to_file(path, *sample_every)?,
+            None => TraceSink::disabled(),
+        };
+        let forensics = match &self.forensics {
+            Some((recent_capacity, slow_threshold_ns, slow_log, max_bytes)) => {
+                let slow_log = match (slow_log, max_bytes) {
+                    (Some(path), Some(max_bytes)) => {
+                        TraceSink::to_rotating_file(path, 1, *max_bytes)?
+                    }
+                    (Some(path), None) => TraceSink::to_file(path, 1)?,
+                    (None, _) => TraceSink::disabled(),
+                };
+                Forensics::new(ForensicsConfig {
+                    recent_capacity: *recent_capacity,
+                    slow_threshold_ns: *slow_threshold_ns,
+                    slow_log,
+                    ..ForensicsConfig::default()
+                })
+            }
+            None => Forensics::disabled(),
+        };
+        Ok((trace, forensics))
+    }
+
     /// Attach the trace sink and flight recorder to `db` (everything
     /// except the metrics registry, which `serve` owns separately).
     fn bind_sinks(&self, db: &mut Database) -> Result<(), Box<dyn Error>> {
-        if let Some((path, sample_every)) = &self.trace {
-            db.set_trace(TraceSink::to_file(path, *sample_every)?);
+        let (trace, forensics) = self.sinks()?;
+        if self.trace.is_some() {
+            db.set_trace(trace);
         }
-        if let Some((recent_capacity, slow_threshold_ns, slow_log, max_bytes)) = &self.forensics {
-            let slow_log = match (slow_log, max_bytes) {
-                (Some(path), Some(max_bytes)) => TraceSink::to_rotating_file(path, 1, *max_bytes)?,
-                (Some(path), None) => TraceSink::to_file(path, 1)?,
-                (None, _) => TraceSink::disabled(),
-            };
-            db.set_forensics(Forensics::new(ForensicsConfig {
-                recent_capacity: *recent_capacity,
-                slow_threshold_ns: *slow_threshold_ns,
-                slow_log,
-                ..ForensicsConfig::default()
-            }));
+        if self.forensics.is_some() {
+            db.set_forensics(forensics);
         }
         Ok(())
     }
@@ -577,7 +754,7 @@ impl ObsOptions {
         let Some((path, json)) = &self.metrics else {
             return Ok(None);
         };
-        let registry = MetricsRegistry::new();
+        let registry = Arc::new(MetricsRegistry::new());
         db.bind_metrics(&registry);
         Ok(Some(MetricsOutput {
             registry,
@@ -1032,11 +1209,15 @@ pub fn serve(raw: &[String]) -> CommandResult {
         "batch-max",
         "search-threads",
         "scrub-bytes-per-sec",
+        "memtable-max-records",
+        "max-segments",
+        "compact-bytes-per-sec",
     ];
     value_opts.extend(OBS_VALUE_OPTS);
-    let args = Args::parse("serve", raw, &value_opts, &[])?;
+    let args = Args::parse("serve", raw, &value_opts, &["live"])?;
     let db_dir = PathBuf::from(args.required("db")?);
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let live_mode = args.flag("live");
 
     let mut config = nucdb_serve::ServeConfig::default();
     config.threads = args.get_or("threads", config.threads)?;
@@ -1047,21 +1228,62 @@ pub fn serve(raw: &[String]) -> CommandResult {
     config.batch_max_queries = args.get_or("batch-max", config.batch_max_queries)?;
     config.search_threads = args.get_or("search-threads", config.search_threads)?;
     config.scrub_bytes_per_sec = args.get_or("scrub-bytes-per-sec", config.scrub_bytes_per_sec)?;
+    config.compact_bytes_per_sec =
+        args.get_or("compact-bytes-per-sec", config.compact_bytes_per_sec)?;
+    for live_only in ["memtable-max-records", "max-segments"] {
+        if !live_mode && args.get(live_only).is_some() {
+            return Err(UsageError(format!("--{live_only} requires --live")).into());
+        }
+    }
 
     // serve keeps the flight recorder on by default (capacity 256) so
     // /debug/queries and /debug/slow work out of the box; pass
     // `--flight-recorder 0` to run without it.
     let obs = ObsOptions::parse_with(&args, 256)?;
-    let mut db = open_db(&db_dir)?;
-    obs.bind_sinks(&mut db)?;
-    // The server always keeps a live registry: /metrics exposes it, and
-    // --metrics additionally writes a snapshot after the final drain.
-    let registry = MetricsRegistry::new();
-    db.bind_metrics(&registry);
-    println!("database: {} records", db.len());
-
     nucdb_serve::install_termination_flag();
-    let handle = nucdb_serve::start(addr.as_str(), db, registry, SearchParams::default(), config)?;
+    let handle = if live_mode {
+        // Live ingestion: the directory holds a segment manifest (created
+        // on first start); the database accepts POST /insert.
+        let registry = Arc::new(MetricsRegistry::new());
+        let (trace, forensics) = obs.sinks()?;
+        let mut opts = nucdb::LiveOptions {
+            registry: Arc::clone(&registry),
+            trace,
+            forensics,
+            ..nucdb::LiveOptions::default()
+        };
+        opts.memtable_max_records =
+            args.get_or("memtable-max-records", opts.memtable_max_records)?;
+        opts.max_segments = args.get_or("max-segments", opts.max_segments)?;
+        let live = Arc::new(nucdb::LiveDatabase::open_or_create(
+            &db_dir,
+            &nucdb::DbConfig::default(),
+            opts,
+        )?);
+        let status = live.status();
+        println!(
+            "live database: {} records ({} segments, {} in memtable)",
+            live.snapshot().len(),
+            status.segments.len(),
+            status.memtable_records,
+        );
+        nucdb_serve::start_live(
+            addr.as_str(),
+            live,
+            registry,
+            SearchParams::default(),
+            config,
+        )?
+    } else {
+        let mut db = open_db(&db_dir)?;
+        obs.bind_sinks(&mut db)?;
+        // The server always keeps a live registry: /metrics exposes it,
+        // and --metrics additionally writes a snapshot after the drain.
+        let registry = MetricsRegistry::new();
+        db.bind_metrics(&registry);
+        println!("database: {} records", db.len());
+        nucdb_serve::start(addr.as_str(), db, registry, SearchParams::default(), config)?
+    };
     println!(
         "serving on http://{} ({} workers, queue depth {}, batching {})",
         handle.addr(),
@@ -1184,6 +1406,10 @@ pub fn stat(raw: &[String]) -> CommandResult {
     let db_dir = PathBuf::from(args.required("db")?);
     let out_dir = PathBuf::from(args.get("out").unwrap_or("results"));
 
+    if nucdb_index::Manifest::exists_in(&db_dir) {
+        return stat_live(&db_dir, &out_dir);
+    }
+
     let index_path = db_dir.join(INDEX_FILE);
     let store_path = db_dir.join(STORE_FILE);
     let report = nucdb::StatReport {
@@ -1219,6 +1445,85 @@ pub fn stat(raw: &[String]) -> CommandResult {
     Ok(())
 }
 
+/// `nucdb stat` over a live (manifest-bearing) directory: a manifest
+/// summary plus the full per-segment statistics report, so per-segment
+/// histograms expose skew between settled and freshly flushed segments.
+fn stat_live(db_dir: &Path, out_dir: &Path) -> CommandResult {
+    use nucdb_obs::json::{num, Value};
+
+    let manifest = nucdb_index::Manifest::load(db_dir)?;
+    let mut text = format!(
+        "live database {} (manifest v{})\n  k={} stride={} granularity={:?} codec={:?}\n  \
+         {} segments, {} records, {} B on disk\n",
+        db_dir.display(),
+        manifest.version,
+        manifest.k,
+        manifest.stride,
+        manifest.granularity,
+        manifest.codec,
+        manifest.segments.len(),
+        manifest.total_records(),
+        manifest.total_bytes(),
+    );
+    let orphans = manifest.orphans_in(db_dir)?;
+    if !orphans.is_empty() {
+        text += &format!("  orphaned files (run fsck): {}\n", orphans.join(", "));
+    }
+
+    let mut seg_values = Vec::with_capacity(manifest.segments.len());
+    for seg in &manifest.segments {
+        let report = nucdb::StatReport {
+            index: Some(nucdb::IndexStatReport::from_disk(&OnDiskIndex::open(
+                &db_dir.join(seg.index_file()),
+            )?)),
+            store: Some(nucdb::StoreStatReport::from_disk(
+                &nucdb::OnDiskStore::open(&db_dir.join(seg.store_file()))?,
+            )),
+        };
+        text += &format!(
+            "\n== segment {:06} ({} records, {} B) ==\n",
+            seg.id,
+            seg.records,
+            seg.bytes()
+        );
+        text += &report.render_text();
+        seg_values.push(Value::Obj(vec![
+            ("id".to_string(), num(seg.id)),
+            ("records".to_string(), num(u64::from(seg.records))),
+            ("report".to_string(), report.to_value()),
+        ]));
+    }
+
+    print!("{text}");
+    std::fs::create_dir_all(out_dir)?;
+    let txt_path = out_dir.join("STAT.txt");
+    let json_path = out_dir.join("STAT.json");
+    std::fs::write(&txt_path, &text)?;
+    let doc = Value::Obj(vec![
+        ("manifest_version".to_string(), num(manifest.version)),
+        (
+            "segment_count".to_string(),
+            num(manifest.segments.len() as u64),
+        ),
+        ("records".to_string(), num(manifest.total_records())),
+        ("bytes".to_string(), num(manifest.total_bytes())),
+        (
+            "orphans".to_string(),
+            Value::Arr(orphans.into_iter().map(Value::Str).collect()),
+        ),
+        ("segments".to_string(), Value::Arr(seg_values)),
+    ]);
+    let mut rendered = doc.render();
+    rendered.push('\n');
+    std::fs::write(&json_path, rendered)?;
+    println!(
+        "report written to {} and {}",
+        txt_path.display(),
+        json_path.display()
+    );
+    Ok(())
+}
+
 /// `nucdb fsck` — walk every checksummed region of the database files
 /// and report all damage found. Returns the process exit code: 0 clean,
 /// 1 payload damage, 2 structural damage (header/TOC unreadable — which
@@ -1226,6 +1531,9 @@ pub fn stat(raw: &[String]) -> CommandResult {
 pub fn fsck(raw: &[String]) -> Result<i32, Box<dyn Error>> {
     let args = Args::parse("fsck", raw, &["db"], &["json"])?;
     let db_dir = PathBuf::from(args.required("db")?);
+    if nucdb_index::Manifest::exists_in(&db_dir) {
+        return fsck_live(&db_dir, args.flag("json"));
+    }
     let index_path = db_dir.join(INDEX_FILE);
     let store_path = db_dir.join(STORE_FILE);
     if !index_path.exists() && !store_path.exists() {
@@ -1259,6 +1567,88 @@ pub fn fsck(raw: &[String]) -> Result<i32, Box<dyn Error>> {
         print!("{}", report.render_text());
     }
     Ok(if unopenable { 2 } else { report.exit_code() })
+}
+
+/// `nucdb fsck` over a live (manifest-bearing) directory: verify the
+/// manifest loads, walk every referenced segment's checksums, and flag
+/// files the manifest does not account for. Exit codes: unreadable
+/// manifest or missing/unopenable segment file → 2; checksum damage or
+/// orphaned files → 1; clean → 0.
+fn fsck_live(db_dir: &Path, json: bool) -> Result<i32, Box<dyn Error>> {
+    use nucdb_obs::json::{num, Value};
+
+    let manifest = match nucdb_index::Manifest::load(db_dir) {
+        Ok(manifest) => manifest,
+        Err(e) => {
+            eprintln!("fsck: manifest in {} will not load: {e}", db_dir.display());
+            return Ok(2);
+        }
+    };
+    let mut unopenable = false;
+    let mut worst = 0;
+    let mut seg_values = Vec::with_capacity(manifest.segments.len());
+    let mut text = format!(
+        "manifest v{}: {} segments, {} records\n",
+        manifest.version,
+        manifest.segments.len(),
+        manifest.total_records(),
+    );
+    for seg in &manifest.segments {
+        let mut report = nucdb::FsckReport::default();
+        let index_path = db_dir.join(seg.index_file());
+        match OnDiskIndex::open(&index_path) {
+            Ok(index) => nucdb::fsck_index(&index, &mut report),
+            Err(e) => {
+                unopenable = true;
+                eprintln!(
+                    "fsck: segment index {} will not open: {e}",
+                    index_path.display()
+                );
+            }
+        }
+        let store_path = db_dir.join(seg.store_file());
+        match nucdb::OnDiskStore::open(&store_path) {
+            Ok(store) => nucdb::fsck_store(&store, &mut report),
+            Err(e) => {
+                unopenable = true;
+                eprintln!(
+                    "fsck: segment store {} will not open: {e}",
+                    store_path.display()
+                );
+            }
+        }
+        worst = worst.max(report.exit_code());
+        text += &format!("== segment {:06} ({} records) ==\n", seg.id, seg.records);
+        text += &report.render_text();
+        seg_values.push(Value::Obj(vec![
+            ("id".to_string(), num(seg.id)),
+            ("report".to_string(), report.to_value()),
+        ]));
+    }
+    let orphans = manifest.orphans_in(db_dir)?;
+    if !orphans.is_empty() {
+        worst = worst.max(1);
+        text += &format!(
+            "orphaned files not in the manifest (safe to delete; a live open \
+             removes them): {}\n",
+            orphans.join(", ")
+        );
+    }
+
+    if json {
+        let doc = Value::Obj(vec![
+            ("manifest_version".to_string(), num(manifest.version)),
+            (
+                "orphans".to_string(),
+                Value::Arr(orphans.into_iter().map(Value::Str).collect()),
+            ),
+            ("segments".to_string(), Value::Arr(seg_values)),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        print!("{text}");
+    }
+    Ok(if unopenable { 2 } else { worst })
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
         "build" => commands::build(rest),
+        "ingest" => commands::ingest(rest),
         "search" => commands::search(rest),
         "merge" => commands::merge(rest),
         "stats" => commands::stats(rest),

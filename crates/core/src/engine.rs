@@ -49,6 +49,8 @@ pub enum IndexVariant {
     Memory(CompressedIndex),
     /// On-disk index with per-list fetching.
     Disk(OnDiskIndex),
+    /// Ordered set of index parts (live ingestion segments + memtable).
+    Segmented(crate::segment::SegmentedIndex),
 }
 
 impl PostingsSource for IndexVariant {
@@ -56,6 +58,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.num_records(),
             IndexVariant::Disk(i) => i.num_records(),
+            IndexVariant::Segmented(i) => i.num_records(),
         }
     }
 
@@ -63,6 +66,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.record_lens(),
             IndexVariant::Disk(i) => i.record_lens(),
+            IndexVariant::Segmented(i) => i.record_lens(),
         }
     }
 
@@ -70,6 +74,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.params(),
             IndexVariant::Disk(i) => i.params(),
+            IndexVariant::Segmented(i) => i.index_params(),
         }
     }
 
@@ -77,6 +82,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.postings(code),
             IndexVariant::Disk(i) => i.postings(code),
+            IndexVariant::Segmented(i) => i.fetch(code),
         }
     }
 
@@ -84,6 +90,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.counts(code),
             IndexVariant::Disk(i) => i.counts(code),
+            IndexVariant::Segmented(i) => i.fetch_counts(code),
         }
     }
 
@@ -96,6 +103,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.postings_with(code, visit),
             IndexVariant::Disk(i) => i.postings_with(code, io_buf, visit),
+            IndexVariant::Segmented(i) => i.fetch_with(code, io_buf, visit),
         }
     }
 
@@ -108,6 +116,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.counts_with(code, visit),
             IndexVariant::Disk(i) => i.counts_with(code, io_buf, visit),
+            IndexVariant::Segmented(i) => i.fetch_counts_with(code, io_buf, visit),
         }
     }
 
@@ -115,6 +124,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.list_max_count(code),
             IndexVariant::Disk(i) => i.list_max_count(code),
+            IndexVariant::Segmented(i) => PostingsSource::list_max_count(i, code),
         }
     }
 
@@ -127,6 +137,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.postings_stream(code, visitor),
             IndexVariant::Disk(i) => i.postings_stream(code, io_buf, visitor),
+            IndexVariant::Segmented(i) => i.fetch_stream(code, io_buf, visitor),
         }
     }
 
@@ -139,6 +150,7 @@ impl PostingsSource for IndexVariant {
         match self {
             IndexVariant::Memory(i) => i.counts_stream(code, visitor),
             IndexVariant::Disk(i) => i.counts_stream(code, io_buf, visitor),
+            IndexVariant::Segmented(i) => i.fetch_counts_stream(code, io_buf, visitor),
         }
     }
 }
@@ -224,7 +236,7 @@ const MAX_CANDIDATE_SPANS: usize = 8;
 /// [`nucdb_seq::SeqError`] reachable through `source()`. Every branch
 /// satisfies [`IndexError::is_corruption`] when the cause is corrupt
 /// bytes.
-fn io_err(e: nucdb_seq::SeqError) -> IndexError {
+pub(crate) fn io_err(e: nucdb_seq::SeqError) -> IndexError {
     match e {
         nucdb_seq::SeqError::Corruption {
             section,
@@ -318,7 +330,7 @@ impl Database {
                 nucdb_index::write_index(&index, path)?;
                 IndexVariant::Disk(OnDiskIndex::open(path)?)
             }
-            disk @ IndexVariant::Disk(_) => disk,
+            other @ (IndexVariant::Disk(_) | IndexVariant::Segmented(_)) => other,
         };
         Ok(Database {
             store: self.store,
@@ -336,7 +348,7 @@ impl Database {
                 store.write_to(path).map_err(io_err)?;
                 StoreVariant::Disk(OnDiskStore::open(path).map_err(io_err)?)
             }
-            disk @ StoreVariant::Disk(_) => disk,
+            other @ (StoreVariant::Disk(_) | StoreVariant::Segmented(_)) => other,
         };
         Ok(Database {
             store,
@@ -388,6 +400,15 @@ impl Database {
     /// The forensics handle bound to this database (disabled by default).
     pub fn forensics(&self) -> &Forensics {
         &self.metrics.forensics
+    }
+
+    /// Per-part rows for explain plans: empty unless this database is a
+    /// segmented (live ingestion) view.
+    pub fn segment_rows(&self) -> Vec<crate::explain::SegmentExplain> {
+        match &self.index {
+            IndexVariant::Segmented(i) => i.explain_rows(),
+            _ => Vec::new(),
+        }
     }
 
     /// The engine's observability handles.
@@ -714,6 +735,7 @@ impl Database {
             ranking: ranking_name(params.ranking),
             max_candidates: params.max_candidates,
             min_score: params.min_score,
+            segments: self.segment_rows(),
             strands: strand_plans,
             results: results.len(),
         });

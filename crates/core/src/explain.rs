@@ -133,6 +133,20 @@ pub struct ExplainPlan {
     pub strands: Vec<StrandExplain>,
     /// Results after the strand merge.
     pub results: usize,
+    /// The segments a segmented (live) database consulted, in record-id
+    /// order. Empty for a monolithic database.
+    pub segments: Vec<SegmentExplain>,
+}
+
+/// One segment row of a segmented database's plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentExplain {
+    /// Human-readable part name (`seg-000003` or `memtable`).
+    pub label: String,
+    /// First global record id the segment covers.
+    pub base: u32,
+    /// Records in the segment.
+    pub records: u32,
 }
 
 /// Render a [`FineMode`] the way the CLI spells it.
@@ -251,7 +265,7 @@ impl ExplainPlan {
     /// The plan as a JSON object (the `"plan"` member of `/search`
     /// responses and flight-recorder slow captures).
     pub fn to_value(&self) -> Value {
-        Value::Obj(vec![
+        let mut members = vec![
             ("query_len".to_string(), num(self.query_len as u64)),
             ("ranking".to_string(), Value::Str(self.ranking.clone())),
             (
@@ -307,7 +321,25 @@ impl ExplainPlan {
                 ),
             ),
             ("results".to_string(), num(self.results as u64)),
-        ])
+        ];
+        if !self.segments.is_empty() {
+            members.push((
+                "segments".to_string(),
+                Value::Arr(
+                    self.segments
+                        .iter()
+                        .map(|seg| {
+                            Value::Obj(vec![
+                                ("segment".to_string(), Value::Str(seg.label.clone())),
+                                ("base".to_string(), num(u64::from(seg.base))),
+                                ("records".to_string(), num(u64::from(seg.records))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Obj(members)
     }
 
     /// Render the plan as an indented text tree (what `nucdb search
@@ -322,6 +354,16 @@ impl ExplainPlan {
             "plan: {} bases, ranking {}, cutoff {}, min_score {} -> {} result(s)",
             self.query_len, self.ranking, self.max_candidates, self.min_score, self.results
         );
+        if !self.segments.is_empty() {
+            let _ = writeln!(out, "  segments: {} consulted", self.segments.len());
+            for seg in &self.segments {
+                let _ = writeln!(
+                    out,
+                    "      {:<12}  records {:>7}  base {:>7}",
+                    seg.label, seg.records, seg.base,
+                );
+            }
+        }
         for strand in &self.strands {
             let coarse = &strand.coarse;
             let absent = coarse.lists.iter().filter(|l| l.absent).count();
@@ -491,6 +533,18 @@ mod tests {
                 ],
             }],
             results: 1,
+            segments: vec![
+                SegmentExplain {
+                    label: "seg-000000".to_string(),
+                    base: 0,
+                    records: 5,
+                },
+                SegmentExplain {
+                    label: "memtable".to_string(),
+                    base: 5,
+                    records: 2,
+                },
+            ],
         }
     }
 

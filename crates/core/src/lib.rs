@@ -51,6 +51,7 @@ pub mod fine;
 pub mod health;
 pub mod metrics;
 pub mod params;
+pub mod segment;
 pub mod store;
 
 pub use baseline::{exhaustive_blast, exhaustive_fasta, exhaustive_sw};
@@ -61,7 +62,8 @@ pub use coarse::{
 pub use engine::{Database, DbConfig, IndexVariant, QueryStats, SearchOutcome, SearchResult};
 pub use eval::{average_precision, eleven_point_precision, ground_truth_sw, recall_at};
 pub use explain::{
-    CandidateExplain, CoarseExplain, ExplainPlan, ListExplain, StrandExplain, SurvivorExplain,
+    CandidateExplain, CoarseExplain, ExplainPlan, ListExplain, SegmentExplain, StrandExplain,
+    SurvivorExplain,
 };
 pub use fine::{fine_search, fine_search_traced, CandidateTiming, FineMode, FineResult};
 pub use health::{
@@ -70,4 +72,8 @@ pub use health::{
 };
 pub use metrics::SearchMetrics;
 pub use params::{SearchParams, Strand};
+pub use segment::{
+    CompactionRun, InsertOutcome, LiveDatabase, LiveOptions, LiveStatus, SegmentIndexPart,
+    SegmentStorePart, SegmentedIndex, SegmentedStore,
+};
 pub use store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};

@@ -677,6 +677,11 @@ impl OnDiskStore {
         self.ids.len()
     }
 
+    /// Bytes the stored sequence payload blobs occupy on disk.
+    pub fn stored_bytes(&self) -> usize {
+        self.blobs.iter().map(|&(_, len)| len as usize).sum()
+    }
+
     /// Does the file carry per-record checksums (v2)? Legacy v1 files
     /// verify structurally only.
     pub fn has_checksums(&self) -> bool {
@@ -780,6 +785,8 @@ pub enum StoreVariant {
     Memory(SequenceStore),
     /// On-disk store with per-record fetching.
     Disk(OnDiskStore),
+    /// Ordered set of store parts (live ingestion segments + memtable).
+    Segmented(crate::segment::SegmentedStore),
 }
 
 impl StoreVariant {
@@ -787,7 +794,8 @@ impl StoreVariant {
     pub fn stored_bytes(&self) -> usize {
         match self {
             StoreVariant::Memory(s) => s.stored_bytes(),
-            StoreVariant::Disk(s) => s.blobs.iter().map(|&(_, len)| len as usize).sum(),
+            StoreVariant::Disk(s) => s.stored_bytes(),
+            StoreVariant::Segmented(s) => s.stored_bytes(),
         }
     }
 }
@@ -797,6 +805,7 @@ impl RecordSource for StoreVariant {
         match self {
             StoreVariant::Memory(s) => RecordSource::len(s),
             StoreVariant::Disk(s) => RecordSource::len(s),
+            StoreVariant::Segmented(s) => RecordSource::len(s),
         }
     }
 
@@ -804,6 +813,7 @@ impl RecordSource for StoreVariant {
         match self {
             StoreVariant::Memory(s) => RecordSource::id(s, record),
             StoreVariant::Disk(s) => RecordSource::id(s, record),
+            StoreVariant::Segmented(s) => RecordSource::id(s, record),
         }
     }
 
@@ -811,6 +821,7 @@ impl RecordSource for StoreVariant {
         match self {
             StoreVariant::Memory(s) => RecordSource::record_len(s, record),
             StoreVariant::Disk(s) => RecordSource::record_len(s, record),
+            StoreVariant::Segmented(s) => RecordSource::record_len(s, record),
         }
     }
 
@@ -818,6 +829,7 @@ impl RecordSource for StoreVariant {
         match self {
             StoreVariant::Memory(s) => RecordSource::bases(s, record),
             StoreVariant::Disk(s) => RecordSource::bases(s, record),
+            StoreVariant::Segmented(s) => RecordSource::bases(s, record),
         }
     }
 
@@ -825,6 +837,7 @@ impl RecordSource for StoreVariant {
         match self {
             StoreVariant::Memory(s) => RecordSource::try_bases(s, record),
             StoreVariant::Disk(s) => RecordSource::try_bases(s, record),
+            StoreVariant::Segmented(s) => RecordSource::try_bases(s, record),
         }
     }
 
@@ -832,6 +845,7 @@ impl RecordSource for StoreVariant {
         match self {
             StoreVariant::Memory(s) => RecordSource::sequence(s, record),
             StoreVariant::Disk(s) => RecordSource::sequence(s, record),
+            StoreVariant::Segmented(s) => RecordSource::sequence(s, record),
         }
     }
 
@@ -839,6 +853,7 @@ impl RecordSource for StoreVariant {
         match self {
             StoreVariant::Memory(s) => RecordSource::total_bases(s),
             StoreVariant::Disk(s) => RecordSource::total_bases(s),
+            StoreVariant::Segmented(s) => RecordSource::total_bases(s),
         }
     }
 }

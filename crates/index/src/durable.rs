@@ -270,7 +270,7 @@ mod tests {
 
     #[test]
     fn counting_reader_tracks_position() {
-        let data = vec![7u8; 100];
+        let data = [7u8; 100];
         let mut r = CountingReader::new(&data[..]);
         let mut buf = [0u8; 30];
         r.read_exact(&mut buf).unwrap();

@@ -23,6 +23,9 @@
 //! * [`builder`] — index construction: single-pass in-memory, chunked
 //!   external build with run spilling and multiway merge (the collection
 //!   need not fit in memory), and a parallel variant.
+//! * [`manifest`] — the crash-safe `MANIFEST` naming the segments of a
+//!   live (incrementally ingested) directory, swapped atomically on
+//!   every flush/compaction.
 //! * [`disk`] — the on-disk index format and a reader that fetches lists
 //!   on demand with lock-free positional reads, tracking bytes read (the
 //!   paper's disk-cost story).
@@ -49,6 +52,7 @@ pub mod durable;
 pub mod error;
 pub mod fault;
 pub mod interval;
+pub mod manifest;
 pub mod merge;
 pub mod postings;
 pub mod pread;
@@ -66,6 +70,7 @@ pub use durable::{crc32, AtomicFile, CountingReader, Crc32};
 pub use error::{FormatViolation, IndexError};
 pub use fault::{FaultPlan, FaultyFile, FaultyReader};
 pub use interval::{Granularity, IndexParams};
+pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
 pub use merge::{apply_stopping, merge_indexes};
 pub use postings::{Posting, PostingsList};
 pub use pread::{PositionalReader, TRANSIENT_RETRY_LIMIT};

@@ -181,6 +181,78 @@ fn parse_json_body(body: &[u8], defaults: &SearchParams) -> Result<SearchRequest
     })
 }
 
+/// Parse a `/insert` body into `(id, sequence)` records.
+///
+/// Accepts the same two formats as `/search`, sniffed by first byte:
+/// FASTA (every record is one insert) or JSON
+/// `{"records": [{"id": "r1", "seq": "ACGT..."}, ...]}`.
+pub fn parse_insert_body(
+    body: &[u8],
+    max_records: usize,
+) -> Result<Vec<(String, DnaSeq)>, BodyError> {
+    let first = body.iter().copied().find(|b| !b.is_ascii_whitespace());
+    let records = match first {
+        Some(b'>') => {
+            let reader = FastaReader::new(Cursor::new(body.to_vec()));
+            let mut records = Vec::new();
+            for record in reader {
+                let record = record.map_err(|e| BodyError(format!("FASTA: {e}")))?;
+                records.push((record.id, record.seq));
+            }
+            records
+        }
+        Some(b'{') => parse_insert_json(body)?,
+        Some(_) => {
+            return Err(BodyError(
+                "unrecognized body: expected FASTA ('>') or JSON ('{')".to_string(),
+            ))
+        }
+        None => return Err(BodyError("empty body".to_string())),
+    };
+    if records.is_empty() {
+        return Err(BodyError("no records in body".to_string()));
+    }
+    if records.len() > max_records {
+        return Err(BodyError(format!(
+            "too many records in one request: {} > {max_records}",
+            records.len()
+        )));
+    }
+    Ok(records)
+}
+
+fn parse_insert_json(body: &[u8]) -> Result<Vec<(String, DnaSeq)>, BodyError> {
+    let text = std::str::from_utf8(body).map_err(|_| BodyError("body is not UTF-8".to_string()))?;
+    let doc = nucdb_obs::json::parse(text).map_err(|e| BodyError(format!("JSON: {e}")))?;
+    if let Value::Obj(members) = &doc {
+        for (key, _) in members {
+            if key != "records" {
+                return Err(BodyError(format!(
+                    "{key}: unknown top-level key (expected records)"
+                )));
+            }
+        }
+    }
+    let Some(Value::Arr(entries)) = doc.get("records") else {
+        return Err(BodyError("missing \"records\" array".to_string()));
+    };
+    let mut records = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let seq_text = entry
+            .get("seq")
+            .and_then(Value::as_str)
+            .ok_or_else(|| BodyError(format!("records[{i}]: missing \"seq\" string")))?;
+        let seq = DnaSeq::from_ascii(seq_text.as_bytes())
+            .map_err(|e| BodyError(format!("records[{i}].seq: {e}")))?;
+        let id = entry
+            .get("id")
+            .and_then(Value::as_str)
+            .map_or_else(|| format!("r{i}"), str::to_string);
+        records.push((id, seq));
+    }
+    Ok(records)
+}
+
 fn usize_field(value: &Value, key: &str) -> Result<usize, BodyError> {
     value
         .as_f64()
@@ -329,6 +401,32 @@ mod tests {
                 String::from_utf8_lossy(body)
             );
         }
+    }
+
+    #[test]
+    fn insert_bodies_parse_in_both_formats() {
+        let fasta = b">r1\nACGTACGT\n>r2\nTTTT\n";
+        let records = parse_insert_body(fasta, 64).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].0, "r1");
+        assert_eq!(records[0].1.len(), 8);
+
+        let json = br#"{"records": [{"id": "a", "seq": "ACGT"}, {"seq": "GGCC"}]}"#;
+        let records = parse_insert_body(json, 64).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].0, "a");
+        assert_eq!(records[1].0, "r1"); // positional fallback
+
+        for bad in [
+            &b""[..],
+            b"plain",
+            b"{\"records\": []}",
+            b"{\"records\": [{\"id\": \"x\"}]}",
+            b"{\"queries\": [{\"seq\": \"ACGT\"}]}",
+        ] {
+            assert!(parse_insert_body(bad, 64).is_err());
+        }
+        assert!(parse_insert_body(fasta, 1).is_err());
     }
 
     #[test]

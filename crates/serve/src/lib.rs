@@ -47,12 +47,12 @@ pub mod queue;
 pub mod scrub;
 pub mod server;
 
-pub use api::{parse_search_body, SearchRequest};
+pub use api::{parse_insert_body, parse_search_body, SearchRequest};
 pub use http::{Limits, Method, ParseError, Request, Response};
 pub use metrics::HttpMetrics;
 pub use queue::{BoundedQueue, PushError};
 pub use scrub::ScrubState;
 pub use server::{
-    install_termination_flag, request_termination, start, termination_requested, ServeConfig,
-    ServerHandle,
+    install_termination_flag, request_termination, start, start_live, termination_requested,
+    ServeConfig, ServerHandle,
 };

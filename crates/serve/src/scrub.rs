@@ -152,14 +152,14 @@ impl ScrubState {
 /// until elapsed wall time covers `consumed / bytes_per_sec`, so the
 /// long-run scrub read rate never exceeds the budget. The window resets
 /// once a second so a long stall does not bank an unbounded burst.
-struct Throttle {
+pub(crate) struct Throttle {
     bytes_per_sec: u64,
     window_start: Instant,
     consumed: u64,
 }
 
 impl Throttle {
-    fn new(bytes_per_sec: u64) -> Throttle {
+    pub(crate) fn new(bytes_per_sec: u64) -> Throttle {
         Throttle {
             bytes_per_sec,
             window_start: Instant::now(),
@@ -169,7 +169,7 @@ impl Throttle {
 
     /// Account `n` verified bytes and sleep as needed. Returns `true`
     /// when shutdown was requested mid-sleep.
-    fn consume(&mut self, n: u64, shutdown: &AtomicBool) -> bool {
+    pub(crate) fn consume(&mut self, n: u64, shutdown: &AtomicBool) -> bool {
         if self.bytes_per_sec == 0 {
             return shutdown.load(Ordering::SeqCst);
         }
@@ -191,7 +191,7 @@ impl Throttle {
 }
 
 /// Interruptible pause between cycles. Returns `true` on shutdown.
-fn pause(total: Duration, shutdown: &AtomicBool) -> bool {
+pub(crate) fn pause(total: Duration, shutdown: &AtomicBool) -> bool {
     let start = Instant::now();
     while start.elapsed() < total {
         if shutdown.load(Ordering::SeqCst) {

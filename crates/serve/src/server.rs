@@ -33,7 +33,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nucdb::{
-    build_info, CoarseScratch, Database, IndexVariant, RecordSource, SearchOutcome, SearchParams,
+    build_info, CoarseScratch, Database, IndexVariant, LiveDatabase, RecordSource, SearchOutcome,
+    SearchParams,
 };
 use nucdb_align::calibrate_gumbel;
 use nucdb_obs::json::{num, Value};
@@ -72,6 +73,9 @@ pub struct ServeConfig {
     /// Background scrubber I/O budget in bytes per second; `0` disables
     /// the scrubber entirely (readiness is then immediate).
     pub scrub_bytes_per_sec: u64,
+    /// Background compaction input budget in bytes per second (live mode
+    /// only); `0` disables the compaction thread.
+    pub compact_bytes_per_sec: u64,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +91,7 @@ impl Default for ServeConfig {
             keep_alive_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             scrub_bytes_per_sec: 4 << 20,
+            compact_bytes_per_sec: 8 << 20,
         }
     }
 }
@@ -131,14 +136,22 @@ fn request_id_for(request: &Request) -> String {
         .unwrap_or_else(generate_request_id)
 }
 
+/// Where queries come from: a fixed database, or a live (ingesting)
+/// one whose query snapshot is re-fetched per request.
+enum DbSource {
+    /// Immutable database, shared read-only for the server's lifetime.
+    Static(Arc<Database>),
+    /// Live database: inserts arrive via `POST /insert`; every request
+    /// snapshots the current segmented view.
+    Live(Arc<LiveDatabase>),
+}
+
 /// Everything the acceptor, workers, and collector share.
 struct Shared {
-    db: Database,
-    registry: MetricsRegistry,
+    source: DbSource,
+    registry: Arc<MetricsRegistry>,
     metrics: HttpMetrics,
     defaults: SearchParams,
-    /// Mean record length, for Gumbel calibration (matches the CLI).
-    mean_len: usize,
     config: ServeConfig,
     shutdown: AtomicBool,
     batcher: Option<Batcher>,
@@ -153,6 +166,27 @@ struct Shared {
     flight_dropped: Counter,
 }
 
+impl Shared {
+    /// The database to answer this request from. Static mode hands back
+    /// the one shared instance; live mode snapshots the current
+    /// segmented view (cheap: one `RwLock` read + `Arc` clone), which
+    /// stays consistent for the whole request even as inserts land.
+    fn db(&self) -> Arc<Database> {
+        match &self.source {
+            DbSource::Static(db) => Arc::clone(db),
+            DbSource::Live(live) => live.snapshot(),
+        }
+    }
+
+    /// The live database, when serving in live mode.
+    fn live(&self) -> Option<&Arc<LiveDatabase>> {
+        match &self.source {
+            DbSource::Live(live) => Some(live),
+            DbSource::Static(_) => None,
+        }
+    }
+}
+
 /// A running server. Dropping the handle does *not* stop the server;
 /// call [`ServerHandle::shutdown`].
 pub struct ServerHandle {
@@ -163,6 +197,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
     scrubber: Option<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -204,7 +239,7 @@ impl ServerHandle {
     /// sink. Returns once the server is fully stopped, handing back the
     /// metrics registry (now quiescent) so the caller can write a final
     /// snapshot that includes the drained tail.
-    pub fn shutdown(mut self) -> Option<MetricsRegistry> {
+    pub fn shutdown(mut self) -> Option<Arc<MetricsRegistry>> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // The acceptor blocks in accept(); a throwaway connection wakes
         // it so it can observe the flag.
@@ -225,13 +260,20 @@ impl ServerHandle {
         if let Some(collector) = self.collector.take() {
             let _ = collector.join();
         }
-        // The scrubber polls the shutdown flag between reads and inside
-        // every throttle sleep, so this join is prompt.
+        // The scrubber and compactor poll the shutdown flag between
+        // units of work and inside every throttle sleep, so these joins
+        // are prompt.
         if let Some(scrubber) = self.scrubber.take() {
             let _ = scrubber.join();
         }
-        self.shared.db.metrics().trace.flush();
-        self.shared.db.metrics().forensics.flush();
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
+        }
+        {
+            let db = self.shared.db();
+            db.metrics().trace.flush();
+            db.metrics().forensics.flush();
+        }
         // Every thread has been joined, so this handle holds the last
         // strong reference; `None` only if a connection handler leaked.
         Arc::try_unwrap(self.shared)
@@ -250,13 +292,48 @@ pub fn start(
     defaults: SearchParams,
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    start_source(
+        addr,
+        DbSource::Static(Arc::new(db)),
+        Arc::new(registry),
+        defaults,
+        config,
+    )
+}
+
+/// Bind `addr` and serve a [`LiveDatabase`]: `POST /insert` and
+/// `POST /flush` become available, every query snapshots the current
+/// segmented view, and a background compaction thread merges small
+/// segments at a bounded I/O rate
+/// ([`ServeConfig::compact_bytes_per_sec`]). The registry must be the
+/// one the live database was opened with (its [`nucdb::LiveOptions`]),
+/// so ingestion and query metrics land in one exposition.
+pub fn start_live(
+    addr: impl ToSocketAddrs,
+    live: Arc<LiveDatabase>,
+    registry: Arc<MetricsRegistry>,
+    defaults: SearchParams,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    start_source(addr, DbSource::Live(live), registry, defaults, config)
+}
+
+fn start_source(
+    addr: impl ToSocketAddrs,
+    source: DbSource,
+    registry: Arc<MetricsRegistry>,
+    defaults: SearchParams,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let metrics = HttpMetrics::new(&registry);
     build_info::register(&registry);
-    let mean_len = (db.store().total_bases() / db.len().max(1)).max(1);
     let batcher = config.batch_window.map(|_| Batcher::new());
-    let scrub_enabled = config.scrub_bytes_per_sec > 0;
+    // The scrubber walks one fixed pair of on-disk files; a live
+    // database's segment set changes underneath it, so live mode skips
+    // it (per-segment checksums still verify on every query read).
+    let scrub_enabled = config.scrub_bytes_per_sec > 0 && matches!(source, DbSource::Static(_));
     let scrub = ScrubState::new(&registry, scrub_enabled);
     let flight_recent_entries = registry.gauge(
         "nucdb_flight_recent_entries",
@@ -271,11 +348,10 @@ pub fn start(
         "Flight-recorder captures evicted from the recent or slow ring",
     );
     let shared = Arc::new(Shared {
-        db,
+        source,
         registry,
         metrics,
         defaults,
-        mean_len,
         config,
         shutdown: AtomicBool::new(false),
         batcher,
@@ -319,8 +395,9 @@ pub fn start(
             std::thread::Builder::new()
                 .name("nucdb-scrub".to_string())
                 .spawn(move || {
+                    let db = shared.db();
                     scrub_loop(
-                        &shared.db,
+                        &db,
                         &shared.scrub,
                         &shared.shutdown,
                         shared.config.scrub_bytes_per_sec,
@@ -329,6 +406,18 @@ pub fn start(
         )
     } else {
         None
+    };
+    let compactor = match (&shared.source, shared.config.compact_bytes_per_sec) {
+        (DbSource::Live(live), budget) if budget > 0 => {
+            let live = Arc::clone(live);
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("nucdb-compact".to_string())
+                    .spawn(move || compact_loop(&live, &shared.shutdown, budget))?,
+            )
+        }
+        _ => None,
     };
 
     Ok(ServerHandle {
@@ -339,7 +428,41 @@ pub fn start(
         workers,
         collector,
         scrubber,
+        compactor,
     })
+}
+
+/// How long the compactor idles when the size-tiered policy finds no
+/// candidate pair. Short enough that a burst of flushes is merged
+/// promptly; long enough that an idle server does not spin.
+const COMPACT_PAUSE: Duration = Duration::from_millis(200);
+
+/// The background compaction thread body: repeatedly ask the live
+/// database for one size-tiered merge, pacing by *input bytes read*
+/// through the same leaky-bucket throttle the scrubber uses, so
+/// compaction I/O never exceeds `bytes_per_sec` in the long run. Errors
+/// are remembered by the status endpoint's counters staying flat; the
+/// thread itself backs off and retries — one failed merge (say, a
+/// transient I/O error) must not end background maintenance for good.
+fn compact_loop(live: &LiveDatabase, shutdown: &AtomicBool, bytes_per_sec: u64) {
+    let mut throttle = crate::scrub::Throttle::new(bytes_per_sec);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match live.compact_once() {
+            Ok(Some(run)) => {
+                if throttle.consume(run.input_bytes, shutdown) {
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => {
+                if crate::scrub::pause(COMPACT_PAUSE, shutdown) {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 fn accept_loop(shared: &Shared, listener: &TcpListener, queue: &Arc<BoundedQueue<TcpStream>>) {
@@ -482,18 +605,22 @@ fn route(
         }
         (Method::Get, "/stats") => Response::ok().json(stats_json(shared).render()),
         (Method::Get, "/debug/queries") => {
-            let forensics = &shared.db.metrics().forensics;
+            let db = shared.db();
+            let forensics = &db.metrics().forensics;
             Response::ok()
                 .json(debug_json(forensics.recent(), forensics.recent_capacity()).render())
         }
         (Method::Get, "/debug/slow") => {
-            let forensics = &shared.db.metrics().forensics;
+            let db = shared.db();
+            let forensics = &db.metrics().forensics;
             Response::ok().json(debug_json(forensics.slow(), forensics.slow_capacity()).render())
         }
         (Method::Post, "/search") => search_endpoint(shared, request, request_id, scratch),
-        (Method::Get, "/search") => Response::new(405, "Method Not Allowed")
+        (Method::Post, "/insert") => insert_endpoint(shared, request, request_id),
+        (Method::Post, "/flush") => flush_endpoint(shared, request_id),
+        (Method::Get, "/search" | "/insert" | "/flush") => Response::new(405, "Method Not Allowed")
             .header("Allow", "POST")
-            .text("use POST /search\n"),
+            .text("use POST\n"),
         (
             Method::Post,
             "/healthz" | "/readyz" | "/metrics" | "/stats" | "/debug/queries" | "/debug/slow",
@@ -501,6 +628,67 @@ fn route(
             .header("Allow", "GET")
             .text("use GET\n"),
         _ => Response::new(404, "Not Found").text("unknown path\n"),
+    }
+}
+
+/// `POST /insert`: add records to a live database's memtable. The
+/// records are searchable as soon as the 200 comes back; durability
+/// arrives with the next flush (automatic once the memtable fills, or
+/// explicit via `POST /flush`).
+fn insert_endpoint(shared: &Shared, request: &Request, request_id: &str) -> Response {
+    let Some(live) = shared.live() else {
+        return Response::new(409, "Conflict")
+            .text("server is not in live mode; restart with --live to accept inserts\n");
+    };
+    let records = match api::parse_insert_body(&request.body, shared.config.max_queries_per_request)
+    {
+        Ok(records) => records,
+        Err(error) => {
+            return Response::new(400, "Bad Request")
+                .text(format!("{error} (request {request_id})\n"));
+        }
+    };
+    match live.insert_batch(records) {
+        Ok(outcome) => Response::ok().json(
+            Value::Obj(vec![
+                ("request_id".to_string(), Value::Str(request_id.to_string())),
+                ("inserted".to_string(), num(outcome.inserted as u64)),
+                (
+                    "memtable_records".to_string(),
+                    num(u64::from(outcome.memtable_records)),
+                ),
+                ("flushed".to_string(), Value::Bool(outcome.flushed)),
+            ])
+            .render(),
+        ),
+        Err(error) => Response::new(500, "Internal Server Error")
+            .text(format!("{error} (request {request_id})\n")),
+    }
+}
+
+/// `POST /flush`: persist a live database's memtable as an on-disk
+/// segment and swap in a manifest naming it. Idempotent: flushing an
+/// empty memtable answers `"flushed": false`.
+fn flush_endpoint(shared: &Shared, request_id: &str) -> Response {
+    let Some(live) = shared.live() else {
+        return Response::new(409, "Conflict")
+            .text("server is not in live mode; restart with --live to flush\n");
+    };
+    match live.flush() {
+        Ok(flushed) => {
+            let status = live.status();
+            Response::ok().json(
+                Value::Obj(vec![
+                    ("request_id".to_string(), Value::Str(request_id.to_string())),
+                    ("flushed".to_string(), Value::Bool(flushed)),
+                    ("manifest_version".to_string(), num(status.manifest_version)),
+                    ("segments".to_string(), num(status.segments.len() as u64)),
+                ])
+                .render(),
+            )
+        }
+        Err(error) => Response::new(500, "Internal Server Error")
+            .text(format!("{error} (request {request_id})\n")),
     }
 }
 
@@ -521,7 +709,8 @@ fn debug_json(entries: Vec<FlightEntry>, capacity: usize) -> Value {
 /// have no registry hooks of their own, and scrape-time refresh keeps
 /// the query path free of extra atomics.
 fn update_flight_gauges(shared: &Shared) {
-    let forensics = &shared.db.metrics().forensics;
+    let db = shared.db();
+    let forensics = &db.metrics().forensics;
     let recent_recorded = forensics.recent_recorded();
     let slow_recorded = forensics.slow_recorded();
     let recent_capacity = forensics.recent_capacity() as u64;
@@ -541,12 +730,13 @@ fn update_flight_gauges(shared: &Shared) {
 }
 
 fn stats_json(shared: &Shared) -> Value {
-    let forensics = &shared.db.metrics().forensics;
+    let db = shared.db();
+    let forensics = &db.metrics().forensics;
     Value::Obj(vec![
-        ("records".to_string(), num(shared.db.len() as u64)),
+        ("records".to_string(), num(db.len() as u64)),
         (
             "total_bases".to_string(),
-            num(shared.db.store().total_bases() as u64),
+            num(db.store().total_bases() as u64),
         ),
         (
             "uptime_seconds".to_string(),
@@ -579,18 +769,69 @@ fn stats_json(shared: &Shared) -> Value {
             ]),
         ),
         ("scrub".to_string(), shared.scrub.to_value()),
+        ("live".to_string(), live_json(shared)),
         (
             // Shape and on-disk layout of the loaded index (`null` for
             // a memory-resident index — `nucdb stat` covers that case
-            // offline). Computed per request from the in-memory vocab;
-            // no disk I/O.
+            // offline — and for a segmented live view, whose `live`
+            // block above describes the segments instead). Computed per
+            // request from the in-memory vocab; no disk I/O.
             "index_stats".to_string(),
-            match shared.db.index() {
+            match db.index() {
                 IndexVariant::Disk(index) => nucdb::IndexStatReport::from_disk(index).to_value(),
-                IndexVariant::Memory(_) => Value::Null,
+                IndexVariant::Memory(_) | IndexVariant::Segmented(_) => Value::Null,
             },
         ),
         ("metrics".to_string(), shared.registry.snapshot().to_json()),
+    ])
+}
+
+/// The `live` block of `GET /stats`: segment list, memtable occupancy,
+/// and flush/compaction work counters. `null` in static mode.
+fn live_json(shared: &Shared) -> Value {
+    let Some(live) = shared.live() else {
+        return Value::Null;
+    };
+    let status = live.status();
+    let segments = status
+        .segments
+        .iter()
+        .map(|seg| {
+            Value::Obj(vec![
+                ("id".to_string(), num(seg.id)),
+                ("records".to_string(), num(u64::from(seg.records))),
+                ("index_bytes".to_string(), num(seg.index_bytes)),
+                ("store_bytes".to_string(), num(seg.store_bytes)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("manifest_version".to_string(), num(status.manifest_version)),
+        ("segments".to_string(), Value::Arr(segments)),
+        (
+            "memtable_records".to_string(),
+            num(u64::from(status.memtable_records)),
+        ),
+        (
+            "memtable_runs".to_string(),
+            num(status.memtable_runs as u64),
+        ),
+        ("flushes".to_string(), num(status.flushes)),
+        (
+            "compaction".to_string(),
+            Value::Obj(vec![
+                ("runs".to_string(), num(status.compaction_runs)),
+                ("input_bytes".to_string(), num(status.compaction_bytes)),
+                (
+                    "seconds".to_string(),
+                    Value::Num(status.compaction_nanos as f64 / 1e9),
+                ),
+            ]),
+        ),
+        (
+            "orphans_removed_at_open".to_string(),
+            num(status.orphans_removed),
+        ),
     ])
 }
 
@@ -612,13 +853,18 @@ fn search_endpoint(
                 .text(format!("{error} (request {request_id})\n"));
         }
     };
-    let outcomes = match evaluate(shared, &search, request_id, scratch) {
+    let db = shared.db();
+    let outcomes = match evaluate(shared, &db, &search, request_id, scratch) {
         Ok(outcomes) => outcomes,
         Err(error) => {
             return Response::new(500, "Internal Server Error")
                 .text(format!("{error} (request {request_id})\n"));
         }
     };
+    // Mean record length for Gumbel calibration (matches the CLI).
+    // Computed from the request's snapshot so live-mode inserts are
+    // reflected immediately.
+    let mean_len = (db.store().total_bases() / db.len().max(1)).max(1);
     let per_query = search
         .queries
         .iter()
@@ -630,7 +876,7 @@ fn search_endpoint(
                 let fit = calibrate_gumbel(
                     &search.params.scheme,
                     query.seq.len().max(16),
-                    shared.mean_len,
+                    mean_len,
                     48,
                     0xCAFE,
                 );
@@ -638,7 +884,7 @@ fn search_endpoint(
                     .results
                     .iter()
                     .map(|result| {
-                        let target_len = shared.db.store().record_len(result.record);
+                        let target_len = db.store().record_len(result.record);
                         Significance {
                             bits: fit.bit_score(result.score),
                             evalue: fit.evalue(query.seq.len(), target_len, result.score),
@@ -657,6 +903,7 @@ fn search_endpoint(
 /// paths produce identical outcomes.
 fn evaluate(
     shared: &Shared,
+    db: &Database,
     search: &SearchRequest,
     request_id: &str,
     scratch: &mut CoarseScratch,
@@ -672,9 +919,7 @@ fn evaluate(
         .queries
         .iter()
         .map(|query| {
-            shared
-                .db
-                .search_with_id(&query.seq, &search.params, scratch, Some(request_id))
+            db.search_with_id(&query.seq, &search.params, scratch, Some(request_id))
                 .map_err(|e| e.to_string())
         })
         .collect()
@@ -826,6 +1071,9 @@ fn evaluate_batch(shared: &Shared, mut jobs: Vec<BatchJob>) {
     let total: usize = jobs.iter().map(|j| j.queries.len()).sum();
     shared.metrics.batches.inc();
     shared.metrics.batch_size.record(total as u64);
+    // One snapshot for the whole batch: every query in it sees the same
+    // record-id space, exactly like the static case.
+    let db = shared.db();
 
     while !jobs.is_empty() {
         let params = jobs[0].params;
@@ -838,7 +1086,7 @@ fn evaluate_batch(shared: &Shared, mut jobs: Vec<BatchJob>) {
             .iter()
             .flat_map(|j| std::iter::repeat_n(j.request_id.clone(), j.queries.len()))
             .collect();
-        match shared.db.search_batch_parallel_with_ids(
+        match db.search_batch_parallel_with_ids(
             &flat,
             Some(&flat_ids),
             &params,

@@ -530,3 +530,164 @@ fn shutdown_drains_admitted_connections() {
         }
     );
 }
+
+// ---------------------------------------------------------------------
+// Live mode: POST /insert makes records searchable without a restart,
+// POST /flush persists them as a segment, /stats grows a live block,
+// and a static server refuses inserts with 409.
+// ---------------------------------------------------------------------
+
+fn post(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, Vec<(String, String)>, Vec<u8>)> {
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    http(addr, &head, body.as_bytes())
+}
+
+#[test]
+fn live_insert_is_searchable_without_restart() {
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!(
+        "nucdb_serve_live_{}_{}",
+        std::process::id(),
+        line!()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let live = Arc::new(
+        nucdb::LiveDatabase::create(
+            &dir,
+            &DbConfig::default(),
+            nucdb::LiveOptions {
+                registry: Arc::clone(&registry),
+                ..nucdb::LiveOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    let mut config = ServeConfig::default();
+    // Deterministic test: no background compactor racing assertions.
+    config.compact_bytes_per_sec = 0;
+    let handle = nucdb_serve::start_live(
+        "127.0.0.1:0",
+        Arc::clone(&live),
+        registry,
+        SearchParams::default(),
+        config,
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Insert a few records over HTTP (FASTA body).
+    let coll = collection();
+    let records: Vec<(String, DnaSeq)> = coll
+        .records
+        .iter()
+        .take(40)
+        .map(|r| (r.id.clone(), r.seq.clone()))
+        .collect();
+    let (status, _, body) = post(addr, "/insert", &to_fasta(&records)).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let response = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(response.get("inserted").and_then(Value::as_f64), Some(40.0));
+
+    // The inserted records answer a search immediately — no restart, no
+    // flush: they are served from the memtable.
+    let query_seq: String = records[0]
+        .1
+        .representative_bases()
+        .iter()
+        .take(80)
+        .map(|b| b.to_ascii() as char)
+        .collect();
+    let (status, _, body) = post_search(addr, &format!(">own\n{query_seq}\n")).unwrap();
+    assert_eq!(status, 200);
+    let response = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let Some(Value::Arr(results)) = response.get("results") else {
+        panic!("no results in {}", response.render());
+    };
+    let tuples = answer_tuples(&results[0]);
+    assert!(
+        tuples.iter().any(|(id, ..)| id == &records[0].0),
+        "inserted record not found by its own prefix: {tuples:?}"
+    );
+
+    // JSON insert body works too.
+    let (status, _, body) = post(
+        addr,
+        "/insert",
+        r#"{"records": [{"id": "extra", "seq": "ACGTACGTACGTACGTACGTACGTACGT"}]}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+
+    // Flush over HTTP: a segment lands, the manifest version moves.
+    let (status, _, body) = post(addr, "/flush", "").unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let response = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(response.get("flushed"), Some(&Value::Bool(true)));
+    assert_eq!(response.get("segments").and_then(Value::as_f64), Some(1.0));
+
+    // /stats now carries the live block.
+    let (status, _, body) = get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let stats = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let live_block = stats.get("live").expect("live block in /stats");
+    assert_eq!(
+        live_block.get("memtable_records").and_then(Value::as_f64),
+        Some(0.0)
+    );
+    let Some(Value::Arr(segments)) = live_block.get("segments") else {
+        panic!("no segments array in {}", live_block.render());
+    };
+    assert_eq!(segments.len(), 1);
+    assert_eq!(
+        segments[0].get("records").and_then(Value::as_f64),
+        Some(41.0)
+    );
+
+    // The ingestion metric family is exposed.
+    let (status, _, body) = get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    for metric in [
+        "nucdb_segment_count",
+        "nucdb_memtable_records",
+        "nucdb_flush_total",
+    ] {
+        assert!(text.contains(metric), "{metric} missing from /metrics");
+    }
+
+    // Bad insert bodies are a client error, not a server one.
+    let (status, _, _) = post(addr, "/insert", "not a body").unwrap();
+    assert_eq!(status, 400);
+
+    assert!(handle.shutdown().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn static_server_refuses_inserts() {
+    let coll = collection();
+    let handle = start(
+        "127.0.0.1:0",
+        build_db(&coll),
+        MetricsRegistry::new(),
+        SearchParams::default(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    for path in ["/insert", "/flush"] {
+        let (status, _, body) = post(addr, path, ">r\nACGTACGT\n").unwrap();
+        assert_eq!(status, 409, "{path}: {}", String::from_utf8_lossy(&body));
+    }
+}

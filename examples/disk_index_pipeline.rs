@@ -83,7 +83,7 @@ fn main() {
         let outcome = db.search(&query, &params).unwrap();
         let (bytes, lists) = match db.index() {
             IndexVariant::Disk(disk) => (disk.bytes_read(), disk.lists_read()),
-            IndexVariant::Memory(_) => (0, 0),
+            _ => (0, 0),
         };
         println!(
             "fam{f:02}    {:>8} {:>10} {:>12} {:>10}",

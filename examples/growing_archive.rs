@@ -1,15 +1,50 @@
 //! Archive maintenance: the collection grows in deposit batches, as
-//! GenBank does. Instead of rebuilding the index per batch, each batch is
-//! indexed alone and merged — and queries keep working identically to a
-//! from-scratch rebuild.
+//! GenBank does. Instead of rebuilding the index per batch, batches are
+//! inserted into a **live database**: they land in an in-memory memtable,
+//! flush to immutable on-disk segments tracked by a crash-safe manifest,
+//! and a compaction pass merges segments back down — and at every step
+//! queries answer **identically to a from-scratch rebuild** over the same
+//! records.
 //!
 //! ```sh
 //! cargo run --release -p nucdb --example growing_archive
 //! ```
 
-use nucdb::{Database, DbConfig, IndexVariant, SearchParams};
-use nucdb_index::{apply_stopping, StopPolicy};
+use nucdb::{Database, DbConfig, LiveDatabase, LiveOptions, SearchParams};
 use nucdb_seq::random::{CollectionSpec, MutationModel, SyntheticCollection};
+use nucdb_seq::DnaSeq;
+
+/// All records deposited so far, in insertion order.
+fn records_so_far(batches: &[SyntheticCollection], upto: usize) -> Vec<(String, DnaSeq)> {
+    batches[..upto]
+        .iter()
+        .flat_map(|b| b.records.iter().map(|r| (r.id.clone(), r.seq.clone())))
+        .collect()
+}
+
+/// Assert the live database answers a panel of family queries exactly
+/// like a database rebuilt from scratch over the same records.
+fn assert_matches_rebuild(
+    live: &LiveDatabase,
+    batches: &[SyntheticCollection],
+    upto: usize,
+    stage: &str,
+) {
+    let rebuild = Database::build(records_so_far(batches, upto), &DbConfig::default());
+    let snapshot = live.snapshot();
+    assert_eq!(snapshot.len(), rebuild.len(), "{stage}: record count");
+
+    let params = SearchParams::default();
+    for (i, batch) in batches[..upto].iter().enumerate() {
+        let query = batch.query_for_family(0, 0.6, &MutationModel::standard(0.05));
+        let got = snapshot.search(&query, &params).unwrap();
+        let want = rebuild.search(&query, &params).unwrap();
+        let got: Vec<(u32, i32)> = got.results.iter().map(|r| (r.record, r.score)).collect();
+        let want: Vec<(u32, i32)> = want.results.iter().map(|r| (r.record, r.score)).collect();
+        assert_eq!(got, want, "{stage}: batch {i} query diverged from rebuild");
+    }
+    println!("  {stage}: answers identical to a from-scratch rebuild");
+}
 
 fn main() {
     // Three deposit batches arriving over time.
@@ -26,70 +61,66 @@ fn main() {
         })
         .collect();
 
-    // Start with batch 0, then append the rest incrementally.
-    let mut db = Database::build(
-        batches[0]
-            .records
-            .iter()
-            .map(|r| (r.id.clone(), r.seq.clone())),
-        &DbConfig::default(),
-    );
-    println!("initial archive: {} records", db.len());
+    let dir = std::env::temp_dir().join(format!("nucdb_growing_archive_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = LiveDatabase::create(&dir, &DbConfig::default(), LiveOptions::default()).unwrap();
 
-    for (i, batch) in batches.iter().enumerate().skip(1) {
-        let t0 = std::time::Instant::now();
-        db.append_records(batch.records.iter().map(|r| (r.id.clone(), r.seq.clone())))
-            .expect("append to a memory-backed database");
-        println!(
-            "appended batch {i}: +{} records in {:.1} ms (total {})",
-            batch.records.len(),
-            t0.elapsed().as_secs_f64() * 1e3,
-            db.len()
-        );
-    }
-
-    // Queries against families from every batch — including the first,
-    // whose records were indexed three merges ago.
-    let params = SearchParams::default();
-    let mut offset = 0u32;
+    // Deposit each batch: insert (searchable immediately, from the
+    // memtable), then flush (durable as an on-disk segment).
     for (i, batch) in batches.iter().enumerate() {
-        let query = batch.query_for_family(0, 0.6, &MutationModel::standard(0.05));
-        let outcome = db.search(&query, &params).unwrap();
-        let members: Vec<u32> = batch.families[0]
-            .member_ids
-            .iter()
-            .map(|m| m + offset)
-            .collect();
-        let found = outcome
-            .results
-            .iter()
-            .filter(|r| members.contains(&r.record))
-            .count();
+        let t0 = std::time::Instant::now();
+        let outcome = live
+            .insert_batch(
+                batch
+                    .records
+                    .iter()
+                    .map(|r| (r.id.clone(), r.seq.clone()))
+                    .collect(),
+            )
+            .unwrap();
         println!(
-            "batch {i} family query: {}/{} members retrieved (top answer {})",
-            found,
-            members.len(),
-            outcome
-                .results
-                .first()
-                .map_or("-".to_string(), |r| r.id.clone()),
+            "deposited batch {i}: +{} records in {:.1} ms (total {})",
+            outcome.inserted,
+            t0.elapsed().as_secs_f64() * 1e3,
+            live.snapshot().len(),
         );
-        offset += batch.records.len() as u32;
+        assert_matches_rebuild(&live, &batches, i + 1, "after insert");
+
+        live.flush().unwrap();
+        assert_matches_rebuild(&live, &batches, i + 1, "after flush");
+    }
+    let status = live.status();
+    println!(
+        "archive holds {} segments at manifest v{}",
+        status.segments.len(),
+        status.manifest_version
+    );
+
+    // Housekeeping: compact the segments back down. Queries keep
+    // answering identically while the file set shrinks.
+    for run in live.compact_all().unwrap() {
+        println!(
+            "compacted segments {:?}: {} B -> {} B in {:.1} ms",
+            run.inputs,
+            run.input_bytes,
+            run.output_bytes,
+            run.nanos as f64 / 1e6
+        );
+        assert_matches_rebuild(&live, &batches, batches.len(), "after compaction");
     }
 
-    // Housekeeping pass: once the archive is assembled, stop the heavy
-    // repeat lists in one post-processing step.
-    let IndexVariant::Memory(index) = db.index() else {
-        unreachable!()
-    };
-    let before = index.stats();
-    let stopped = apply_stopping(index, StopPolicy::DfFraction(0.05)).unwrap();
-    let after = stopped.stats();
+    // Reopen from the manifest: everything is still there.
+    drop(live);
+    let reopened = LiveDatabase::open(&dir, LiveOptions::default()).unwrap();
+    assert_matches_rebuild(&reopened, &batches, batches.len(), "after reopen");
+    let status = reopened.status();
     println!(
-        "\npost-merge stopping at df<=5%: {} -> {} distinct intervals, {} -> {} postings",
-        before.distinct_intervals,
-        after.distinct_intervals,
-        before.postings_entries,
-        after.postings_entries
+        "reopened from manifest v{}: {} segments, {} records",
+        status.manifest_version,
+        status.segments.len(),
+        reopened.snapshot().len(),
     );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -41,7 +41,7 @@ fn main() {
 
         let index_bytes = match db.index() {
             nucdb::IndexVariant::Memory(i) => i.stats().total_bytes(),
-            nucdb::IndexVariant::Disk(_) => unreachable!("built in memory"),
+            _ => unreachable!("built in memory"),
         };
 
         let params = SearchParams::default();
