@@ -1,0 +1,183 @@
+//! **BENCH — shard scaling: scatter-gather cost across shard counts.**
+//!
+//! Sharded search fans a query's coarse phase out across per-shard
+//! workers, merges the global top-C, and runs fine search only on the
+//! global winners. This benchmark builds the same collection at several
+//! shard counts and measures what sharding costs: build wall time,
+//! query wall time, and — because wall time on a loaded CI box lies —
+//! the *work counters* that do not: per-shard compressed postings bytes
+//! read and postings entries decoded (from [`nucdb::ShardWork`]), plus
+//! the pre-merge candidate volume each shard surfaces.
+//!
+//! Every configuration's answers are checked bit-identical to the
+//! 1-shard (joint) answers before its row is reported: a scaling number
+//! for a wrong answer would be worthless.
+//!
+//! CI runs this with a reduced collection via `SHARD_BASES`; results
+//! land in `results/BENCH_shard.json` next to the other artifacts.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use nucdb::{DbConfig, SearchParams, ShardSet, ShardSetConfig};
+use nucdb_bench::json::Value;
+use nucdb_bench::{banner, bytes, collection, results_path, Table};
+use nucdb_obs::MetricsRegistry;
+use nucdb_seq::random::MutationModel;
+
+/// Queries per run (one per planted family, up to this many).
+const QUERIES: usize = 8;
+/// Repetitions of the query set per configuration.
+const REPEAT: usize = 3;
+/// Shard counts compared (1 = the joint baseline).
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    banner("BENCH", "shard scaling: scatter-gather work and wall time");
+    let size: usize = std::env::var("SHARD_BASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let coll = collection(0x54A2D, size);
+    let records: Vec<(String, nucdb_seq::DnaSeq)> = coll
+        .records
+        .iter()
+        .map(|r| (r.id.clone(), r.seq.clone()))
+        .collect();
+    let total_bases: u64 = records.iter().map(|(_, s)| s.len() as u64).sum();
+    println!(
+        "collection: {} records, {} bases",
+        records.len(),
+        bytes(total_bases)
+    );
+
+    let queries: Vec<nucdb_seq::DnaSeq> = (0..coll.families.len().min(QUERIES))
+        .map(|f| coll.query_for_family(f, 0.5, &MutationModel::standard(0.06)))
+        .collect();
+    let params = SearchParams::default();
+
+    let root_base = std::env::temp_dir().join(format!("nucdb_bench_shard_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root_base);
+
+    let mut table = Table::new(&[
+        "shards",
+        "build s",
+        "query ms/q",
+        "postings MB read",
+        "ids decoded",
+        "candidates",
+    ]);
+    let mut config_values = Vec::new();
+    // The 1-shard answers are the identity baseline for every other row.
+    let mut baseline: Option<Vec<Vec<(String, i32)>>> = None;
+
+    for &num_shards in &SHARD_COUNTS {
+        let root = root_base.join(format!("n{num_shards}"));
+        let t_build = Instant::now();
+        nucdb::build_sharded_root(&root, records.clone(), num_shards, &DbConfig::default())
+            .expect("build sharded root");
+        let build_secs = t_build.elapsed().as_secs_f64();
+
+        let registry = MetricsRegistry::new();
+        let set = ShardSet::open_root(&root, ShardSetConfig::default(), &registry)
+            .expect("open sharded root");
+
+        // Aggregate work per shard across every query and repetition.
+        let mut work: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        let mut answers: Vec<Vec<(String, i32)>> = Vec::new();
+        let t_query = Instant::now();
+        for rep in 0..REPEAT {
+            for query in &queries {
+                let outcome = set.search(query, &params).expect("sharded search");
+                assert!(outcome.coverage.is_full(), "bench shards must all answer");
+                for w in &outcome.work {
+                    let entry = work.entry(w.shard.clone()).or_default();
+                    entry.0 += w.postings_bytes_read;
+                    entry.1 += w.ids_decoded;
+                    entry.2 += w.candidates;
+                }
+                if rep == 0 {
+                    answers.push(
+                        outcome
+                            .results
+                            .iter()
+                            .map(|r| (r.id.clone(), r.score))
+                            .collect(),
+                    );
+                }
+            }
+        }
+        let query_secs = t_query.elapsed().as_secs_f64();
+        let evaluations = (queries.len() * REPEAT) as f64;
+
+        match &baseline {
+            None => baseline = Some(answers),
+            Some(expected) => assert_eq!(
+                expected, &answers,
+                "{num_shards}-shard answers diverge from the joint build"
+            ),
+        }
+
+        let postings_total: u64 = work.values().map(|w| w.0).sum();
+        let decoded_total: u64 = work.values().map(|w| w.1).sum();
+        let candidates_total: u64 = work.values().map(|w| w.2).sum();
+        table.row(vec![
+            num_shards.to_string(),
+            format!("{build_secs:.2}"),
+            format!("{:.2}", query_secs * 1e3 / evaluations),
+            format!("{:.2}", postings_total as f64 / 1e6),
+            decoded_total.to_string(),
+            candidates_total.to_string(),
+        ]);
+
+        let per_shard = work
+            .iter()
+            .map(|(shard, (bytes_read, decoded, candidates))| {
+                Value::Obj(vec![
+                    ("shard", Value::Str(shard.clone())),
+                    ("postings_bytes_read", Value::Int(*bytes_read)),
+                    ("ids_decoded", Value::Int(*decoded)),
+                    ("candidates", Value::Int(*candidates)),
+                ])
+            })
+            .collect();
+        config_values.push(Value::Obj(vec![
+            ("shards", Value::Int(num_shards as u64)),
+            ("build_seconds", Value::Num(build_secs)),
+            ("query_seconds_total", Value::Num(query_secs)),
+            (
+                "query_ms_per_query",
+                Value::Num(query_secs * 1e3 / evaluations),
+            ),
+            ("postings_bytes_read", Value::Int(postings_total)),
+            ("ids_decoded", Value::Int(decoded_total)),
+            ("candidates", Value::Int(candidates_total)),
+            ("per_shard", Value::Arr(per_shard)),
+        ]));
+    }
+    table.print();
+    println!("all shard counts bit-identical to the joint answers");
+
+    let out = Value::Obj(vec![
+        ("experiment", Value::Str("shard_scaling".into())),
+        (
+            "description",
+            Value::Str(
+                "scatter-gather search at several shard counts over the same \
+                 collection: build and query wall time plus per-shard work \
+                 counters (postings bytes read, postings decoded, pre-merge \
+                 candidates); every row verified bit-identical to 1 shard"
+                    .into(),
+            ),
+        ),
+        ("collection_bases", Value::Int(total_bases)),
+        ("records", Value::Int(records.len() as u64)),
+        ("queries", Value::Int(queries.len() as u64)),
+        ("repeat", Value::Int(REPEAT as u64)),
+        ("configs", Value::Arr(config_values)),
+    ]);
+    let path = results_path("BENCH_shard.json");
+    std::fs::write(&path, out.render() + "\n").expect("write BENCH_shard.json");
+    println!("wrote {}", path.display());
+    let _ = std::fs::remove_dir_all(&root_base);
+}

@@ -33,7 +33,7 @@ commands:
   build      build an on-disk database (index + sequence store) from FASTA
              --collection FILE --db DIR [--k N] [--stride N] [--stop-fraction F]
              [--codec paper|gamma|delta|vbyte|fixed|block] [--chunk N] [--ascii-store]
-             [--granularity offsets|records]
+             [--granularity offsets|records] [--shards N]
   ingest     stream FASTA records into a live (segmented) database
              --collection FILE --db DIR [--batch N] [--memtable-max-records N]
              [--max-segments N] [--compact] [--k N] [--stride N]
@@ -65,6 +65,7 @@ commands:
              [--deadline-ms N] [--batch-window MS] [--batch-max N]
              [--memtable-max-records N] [--max-segments N]
              [--compact-bytes-per-sec N]
+             [--shard-deadline-ms N] [--shard-hedge-ms MS]
              [--search-threads N] [--scrub-bytes-per-sec N] [--metrics FILE]
              [--metrics-format prometheus|json] [--trace FILE] [--trace-sample N]
              [--flight-recorder N] [--slow-ms MS] [--slow-log FILE]
@@ -113,7 +114,11 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
                      (block = NUCIDX04 fast-decode tier with skip pointers)
   --chunk N          records per in-memory build chunk (default 2048)
   --granularity G    postings granularity: offsets|records
-  --ascii-store      store sequences as ASCII instead of 2-bit packed"
+  --ascii-store      store sequences as ASCII instead of 2-bit packed
+  --shards N         partition the collection into N shards (a SHARDS
+                     manifest plus one database directory per shard;
+                     search/serve/stat/fsck detect the layout). Answers
+                     are bit-identical to an unsharded build"
         }
         "search" => {
             "usage: nucdb search --db DIR --query FILE [options]
@@ -134,7 +139,13 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   --metrics FILE     write a metrics snapshot when done
   --metrics-format F prometheus (default) or json
   --trace FILE       append one JSON line per sampled query
-  --trace-sample N   keep every Nth query in the trace"
+  --trace-sample N   keep every Nth query in the trace
+
+--db may also be a sharded root (from `nucdb build --shards N`): queries
+scatter across the shards and gather one merged answer, bit-identical to
+an unsharded build; a warning names any shard that failed to answer
+(--explain, --trace and the flight recorder are per-database and not
+available over a sharded root)"
         }
         "ingest" => {
             "usage: nucdb ingest --collection FILE --db DIR [options]
@@ -166,7 +177,8 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   histograms, skip-table density, codec tier, and bytes by section.
   Prints text and writes STAT.txt + STAT.json under --out (default
   results/). A live directory (segment manifest present) gets a manifest
-  summary plus the same report for every segment"
+  summary plus the same report for every segment; a sharded root (SHARDS
+  manifest present) gets the same report for every shard"
         }
         "fsck" => {
             "usage: nucdb fsck --db DIR [--json]
@@ -174,8 +186,10 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
   TOC, every record blob) and report all damage with section + offset.
   A live directory (segment manifest present) is walked via the manifest:
   every referenced segment is verified and unreferenced (orphaned) files
-  are flagged. exit 0 = clean, 1 = payload damage or orphans,
-  2 = header/TOC/manifest unreadable or a segment file missing"
+  are flagged. A sharded root (SHARDS manifest present) verifies every
+  shard directory and reports the worst shard's condition as the exit
+  code. exit 0 = clean, 1 = payload damage or orphans,
+  2 = header/TOC/manifest unreadable or a segment/shard file missing"
         }
         "verify" => {
             "usage: nucdb verify --db DIR [--sample N]
@@ -224,6 +238,18 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
                      is kept)
   --scrub-bytes-per-sec N background scrub I/O budget (default 4194304;
                      0 disables the scrubber)
+  --shard-deadline-ms N  sharded root: per-shard, per-phase deadline
+                     (default 10000); a shard missing it is dropped from
+                     the answer and coverage shrinks
+  --shard-hedge-ms MS    sharded root: re-dispatch a phase to the hedge
+                     worker after MS without an answer (default 250;
+                     0 disables hedging)
+
+A sharded root (SHARDS manifest from `nucdb build --shards N`) is
+detected automatically: queries scatter across per-shard workers, every
+per-query answer carries a coverage object, and failed shards degrade
+the answer instead of erroring it. /metrics gains per-shard
+nucdb_shard_* families.
 
 endpoints: POST /search (FASTA or JSON body; \"explain\": true returns the
 plan), GET /metrics (Prometheus), GET /healthz, GET /readyz (503 until the
@@ -355,6 +381,7 @@ pub fn build(raw: &[String]) -> CommandResult {
             "codec",
             "chunk",
             "granularity",
+            "shards",
         ],
         &["ascii-store"],
     )?;
@@ -388,6 +415,22 @@ pub fn build(raw: &[String]) -> CommandResult {
             .parse()
             .map_err(|_| UsageError(format!("--stop-fraction: cannot parse {frac:?}")))?;
         params = params.with_stopping(StopPolicy::DfFraction(frac));
+    }
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err(UsageError("--shards must be positive".to_string()).into());
+    }
+    if shards > 1 {
+        return build_sharded(
+            &collection,
+            &db_dir,
+            shards,
+            nucdb::DbConfig {
+                index: params,
+                codec,
+                storage,
+            },
+        );
     }
 
     std::fs::create_dir_all(&db_dir)?;
@@ -432,6 +475,50 @@ pub fn build(raw: &[String]) -> CommandResult {
         std::fs::metadata(db_dir.join(INDEX_FILE))?.len(),
         std::fs::metadata(db_dir.join(STORE_FILE))?.len(),
     );
+    Ok(())
+}
+
+/// `nucdb build --shards N`: partition the collection into N contiguous
+/// slices and write a sharded root — `SHARDS` manifest plus one plain
+/// database directory per shard, built in parallel. Search over the
+/// root is bit-identical to an unsharded build of the same FASTA.
+fn build_sharded(
+    collection: &Path,
+    db_dir: &Path,
+    shards: usize,
+    config: nucdb::DbConfig,
+) -> CommandResult {
+    let start = std::time::Instant::now();
+    let mut records: Vec<(String, nucdb_seq::DnaSeq)> = Vec::new();
+    let mut bases = 0u64;
+    let reader = FastaReader::new(BufReader::new(File::open(collection)?));
+    for record in reader {
+        let record = record?;
+        bases += record.seq.len() as u64;
+        records.push((record.id, record.seq));
+    }
+    println!(
+        "loaded {} records / {bases} bases ({:.1} ms)",
+        records.len(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    let t_build = std::time::Instant::now();
+    let counts = nucdb::build_sharded_root(db_dir, records, shards, &config)?;
+    println!(
+        "built {} shards in parallel ({:.1} ms):",
+        counts.len(),
+        t_build.elapsed().as_secs_f64() * 1e3
+    );
+    let mut base = 0u64;
+    for (i, count) in counts.iter().enumerate() {
+        let name = nucdb_index::shard_dir_name(i);
+        println!(
+            "  {name}: {count} records, ids {base}..{}",
+            base + u64::from(*count)
+        );
+        base += u64::from(*count);
+    }
+    println!("sharded root written to {}", db_dir.display());
     Ok(())
 }
 
@@ -851,6 +938,9 @@ pub fn search(raw: &[String]) -> CommandResult {
     params.query_stride = args.get_or("query-stride", params.query_stride)?;
 
     let obs = ObsOptions::parse(&args)?;
+    if nucdb_index::ShardManifest::exists_in(&db_dir) {
+        return search_sharded(&db_dir, &query_path, &params, &args, &obs);
+    }
     let mut db = open_db(&db_dir)?;
     let metrics_out = obs.bind(&mut db)?;
     if tabular {
@@ -970,6 +1060,151 @@ pub fn search(raw: &[String]) -> CommandResult {
     db.metrics().forensics.flush();
     if let Some(out) = &metrics_out {
         out.write()?;
+    }
+    Ok(())
+}
+
+/// `nucdb search` over a sharded root: scatter-gather per query,
+/// bit-identical to the unsharded answer at full coverage. When shards
+/// fail, the answer degrades to the surviving shards and a warning on
+/// stderr names each failed shard — the query still completes.
+fn search_sharded(
+    db_dir: &Path,
+    query_path: &Path,
+    params: &SearchParams,
+    args: &Args,
+    obs: &ObsOptions,
+) -> CommandResult {
+    if params.explain {
+        return Err(
+            UsageError("--explain is not supported over a sharded root".to_string()).into(),
+        );
+    }
+    let tabular = args.flag("tabular");
+    let registry = Arc::new(MetricsRegistry::new());
+    let set = nucdb::ShardSet::open_root(db_dir, nucdb::ShardSetConfig::default(), &registry)?;
+    for (name, _, records, error) in set.shard_rows() {
+        if let Some(cause) = error {
+            eprintln!("warning: {name} ({records} records) is unavailable: {cause}");
+        }
+    }
+    if tabular {
+        println!(
+            "#query\tsubject\tscore\tstrand\thits{}",
+            if args.flag("evalue") {
+                "\tbits\tevalue"
+            } else {
+                ""
+            }
+        );
+    } else {
+        println!(
+            "sharded database: {} records across {} shards",
+            set.len(),
+            set.num_shards()
+        );
+    }
+
+    let mean_len = (set.total_bases() as usize / set.len().max(1)).max(1);
+    let reader = FastaReader::new(BufReader::new(File::open(query_path)?));
+    for record in reader {
+        let record = record?;
+        let fit = args.flag("evalue").then(|| {
+            calibrate_gumbel(
+                &params.scheme,
+                record.seq.len().max(16),
+                mean_len,
+                48,
+                0xCAFE,
+            )
+        });
+        let outcome = set.search(&record.seq, params)?;
+        if !outcome.coverage.is_full() {
+            let causes: Vec<String> = outcome
+                .failures
+                .iter()
+                .map(|f| format!("{}: {}", f.shard, f.error))
+                .collect();
+            eprintln!(
+                "warning: query {} answered by {}/{} shards ({})",
+                record.id,
+                outcome.coverage.shards_ok,
+                outcome.coverage.shards_total,
+                causes.join("; "),
+            );
+        }
+        if tabular {
+            for result in &outcome.results {
+                let strand = match result.strand {
+                    Strand::Forward => '+',
+                    Strand::Reverse => '-',
+                    Strand::Both => '?',
+                };
+                let tail = fit
+                    .as_ref()
+                    .map(|fit| {
+                        let target_len = set.record_len(result.record);
+                        format!(
+                            "\t{:.1}\t{:.2e}",
+                            fit.bit_score(result.score),
+                            fit.evalue(record.seq.len(), target_len, result.score)
+                        )
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "{}\t{}\t{}\t{}\t{}{}",
+                    record.id, result.id, result.score, strand, result.coarse_hits, tail
+                );
+            }
+            continue;
+        }
+        println!(
+            "\nquery {} ({} bases): {} answers from {}/{} shards  [coarse {:.2} ms, fine {:.2} ms, {} lists, {} postings]",
+            record.id,
+            record.seq.len(),
+            outcome.results.len(),
+            outcome.coverage.shards_ok,
+            outcome.coverage.shards_total,
+            outcome.stats.coarse_nanos as f64 / 1e6,
+            outcome.stats.fine_nanos as f64 / 1e6,
+            outcome.stats.lists_fetched,
+            outcome.stats.postings_decoded,
+        );
+        for (rank, result) in outcome.results.iter().enumerate() {
+            let strand = match result.strand {
+                Strand::Forward => '+',
+                Strand::Reverse => '-',
+                Strand::Both => '?',
+            };
+            let significance = fit
+                .as_ref()
+                .map(|fit| {
+                    let target_len = set.record_len(result.record);
+                    format!(
+                        "  bits {:>7.1}  E {:.2e}",
+                        fit.bit_score(result.score),
+                        fit.evalue(record.seq.len(), target_len, result.score)
+                    )
+                })
+                .unwrap_or_default();
+            println!(
+                "  {:>3}. {:<14} score {:>6}  strand {}  hits {:>5}{}",
+                rank + 1,
+                result.id,
+                result.score,
+                strand,
+                result.coarse_hits,
+                significance,
+            );
+        }
+    }
+    if let Some((path, json)) = &obs.metrics {
+        MetricsOutput {
+            registry,
+            path: path.clone(),
+            json: *json,
+        }
+        .write()?;
     }
     Ok(())
 }
@@ -1212,12 +1447,15 @@ pub fn serve(raw: &[String]) -> CommandResult {
         "memtable-max-records",
         "max-segments",
         "compact-bytes-per-sec",
+        "shard-deadline-ms",
+        "shard-hedge-ms",
     ];
     value_opts.extend(OBS_VALUE_OPTS);
     let args = Args::parse("serve", raw, &value_opts, &["live"])?;
     let db_dir = PathBuf::from(args.required("db")?);
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let live_mode = args.flag("live");
+    let sharded_mode = !live_mode && nucdb_index::ShardManifest::exists_in(&db_dir);
 
     let mut config = nucdb_serve::ServeConfig::default();
     config.threads = args.get_or("threads", config.threads)?;
@@ -1233,6 +1471,13 @@ pub fn serve(raw: &[String]) -> CommandResult {
     for live_only in ["memtable-max-records", "max-segments"] {
         if !live_mode && args.get(live_only).is_some() {
             return Err(UsageError(format!("--{live_only} requires --live")).into());
+        }
+    }
+    for shard_only in ["shard-deadline-ms", "shard-hedge-ms"] {
+        if !sharded_mode && args.get(shard_only).is_some() {
+            return Err(
+                UsageError(format!("--{shard_only} requires a sharded database root")).into(),
+            );
         }
     }
 
@@ -1270,6 +1515,35 @@ pub fn serve(raw: &[String]) -> CommandResult {
         nucdb_serve::start_live(
             addr.as_str(),
             live,
+            registry,
+            SearchParams::default(),
+            config,
+        )?
+    } else if sharded_mode {
+        // Sharded root: per-shard workers are the intra-query
+        // parallelism; trace/forensics are per-database and not bound.
+        let hedge_ms: u64 = args.get_or("shard-hedge-ms", 250u64)?;
+        let shard_config = nucdb::ShardSetConfig {
+            shard_deadline: std::time::Duration::from_millis(
+                args.get_or("shard-deadline-ms", 10_000u64)?,
+            ),
+            hedge_after: (hedge_ms > 0).then(|| std::time::Duration::from_millis(hedge_ms)),
+        };
+        let registry = Arc::new(MetricsRegistry::new());
+        let set = nucdb::ShardSet::open_root(&db_dir, shard_config, &registry)?;
+        for (name, _, records, error) in set.shard_rows() {
+            if let Some(cause) = error {
+                eprintln!("warning: {name} ({records} records) is unavailable: {cause}");
+            }
+        }
+        println!(
+            "sharded database: {} records across {} shards",
+            set.len(),
+            set.num_shards()
+        );
+        nucdb_serve::start_sharded(
+            addr.as_str(),
+            Arc::new(set),
             registry,
             SearchParams::default(),
             config,
@@ -1409,6 +1683,9 @@ pub fn stat(raw: &[String]) -> CommandResult {
     if nucdb_index::Manifest::exists_in(&db_dir) {
         return stat_live(&db_dir, &out_dir);
     }
+    if nucdb_index::ShardManifest::exists_in(&db_dir) {
+        return stat_sharded(&db_dir, &out_dir);
+    }
 
     let index_path = db_dir.join(INDEX_FILE);
     let store_path = db_dir.join(STORE_FILE);
@@ -1524,6 +1801,84 @@ fn stat_live(db_dir: &Path, out_dir: &Path) -> CommandResult {
     Ok(())
 }
 
+/// `nucdb stat` over a sharded root: a SHARDS-manifest summary plus the
+/// full statistics report for every shard directory. A shard that will
+/// not open is reported in place (with its manifest-recorded record
+/// count) instead of aborting the whole report.
+fn stat_sharded(db_dir: &Path, out_dir: &Path) -> CommandResult {
+    use nucdb_obs::json::{num, Value};
+
+    let manifest = nucdb_index::ShardManifest::load(db_dir)?;
+    let mut text = format!(
+        "sharded database {} (SHARDS v{})\n  k={} stride={} granularity={:?} codec={:?}\n  \
+         {} shards, {} records\n",
+        db_dir.display(),
+        manifest.version,
+        manifest.k,
+        manifest.stride,
+        manifest.granularity,
+        manifest.codec,
+        manifest.shards.len(),
+        manifest.total_records(),
+    );
+
+    let mut shard_values = Vec::with_capacity(manifest.shards.len());
+    for (i, meta) in manifest.shards.iter().enumerate() {
+        let name = nucdb_index::shard_dir_name(i);
+        let dir = db_dir.join(&name);
+        text += &format!(
+            "\n== {} ({} records, id base {}) ==\n",
+            name,
+            meta.records,
+            manifest.base_of(i)
+        );
+        let mut members = vec![
+            ("shard".to_string(), Value::Str(name.clone())),
+            ("records".to_string(), num(u64::from(meta.records))),
+            ("record_base".to_string(), num(manifest.base_of(i))),
+        ];
+        let opened: Result<nucdb::StatReport, Box<dyn Error>> = (|| {
+            let index = OnDiskIndex::open(&dir.join(INDEX_FILE))?;
+            let store = nucdb::OnDiskStore::open(&dir.join(STORE_FILE))?;
+            Ok(nucdb::StatReport {
+                index: Some(nucdb::IndexStatReport::from_disk(&index)),
+                store: Some(nucdb::StoreStatReport::from_disk(&store)),
+            })
+        })();
+        match opened {
+            Ok(report) => {
+                text += &report.render_text();
+                members.push(("report".to_string(), report.to_value()));
+            }
+            Err(e) => {
+                text += &format!("shard will not open: {e}\n");
+                members.push(("error".to_string(), Value::Str(e.to_string())));
+            }
+        }
+        shard_values.push(Value::Obj(members));
+    }
+
+    print!("{text}");
+    std::fs::create_dir_all(out_dir)?;
+    let txt_path = out_dir.join("STAT.txt");
+    let json_path = out_dir.join("STAT.json");
+    std::fs::write(&txt_path, &text)?;
+    let doc = Value::Obj(vec![
+        ("shard_count".to_string(), num(manifest.shards.len() as u64)),
+        ("records".to_string(), num(manifest.total_records())),
+        ("shards".to_string(), Value::Arr(shard_values)),
+    ]);
+    let mut rendered = doc.render();
+    rendered.push('\n');
+    std::fs::write(&json_path, rendered)?;
+    println!(
+        "report written to {} and {}",
+        txt_path.display(),
+        json_path.display()
+    );
+    Ok(())
+}
+
 /// `nucdb fsck` — walk every checksummed region of the database files
 /// and report all damage found. Returns the process exit code: 0 clean,
 /// 1 payload damage, 2 structural damage (header/TOC unreadable — which
@@ -1533,6 +1888,9 @@ pub fn fsck(raw: &[String]) -> Result<i32, Box<dyn Error>> {
     let db_dir = PathBuf::from(args.required("db")?);
     if nucdb_index::Manifest::exists_in(&db_dir) {
         return fsck_live(&db_dir, args.flag("json"));
+    }
+    if nucdb_index::ShardManifest::exists_in(&db_dir) {
+        return fsck_sharded(&db_dir, args.flag("json"));
     }
     let index_path = db_dir.join(INDEX_FILE);
     let store_path = db_dir.join(STORE_FILE);
@@ -1649,6 +2007,94 @@ fn fsck_live(db_dir: &Path, json: bool) -> Result<i32, Box<dyn Error>> {
         print!("{text}");
     }
     Ok(if unopenable { 2 } else { worst })
+}
+
+/// `nucdb fsck` over a sharded root: verify the SHARDS manifest loads,
+/// walk every shard directory's checksums, and cross-check each shard's
+/// record count against the manifest. The exit code is the *worst*
+/// shard's condition: unreadable manifest or an unopenable shard file →
+/// 2; checksum damage or a record-count disagreement → 1; clean → 0.
+fn fsck_sharded(db_dir: &Path, json: bool) -> Result<i32, Box<dyn Error>> {
+    use nucdb_obs::json::{num, Value};
+
+    let manifest = match nucdb_index::ShardManifest::load(db_dir) {
+        Ok(manifest) => manifest,
+        Err(e) => {
+            eprintln!(
+                "fsck: SHARDS manifest in {} will not load: {e}",
+                db_dir.display()
+            );
+            return Ok(2);
+        }
+    };
+    let mut worst = 0;
+    let mut shard_values = Vec::with_capacity(manifest.shards.len());
+    let mut text = format!(
+        "SHARDS v{}: {} shards, {} records\n",
+        manifest.version,
+        manifest.shards.len(),
+        manifest.total_records(),
+    );
+    for (i, meta) in manifest.shards.iter().enumerate() {
+        let name = nucdb_index::shard_dir_name(i);
+        let dir = db_dir.join(&name);
+        let mut report = nucdb::FsckReport::default();
+        let mut shard_worst = 0;
+        let index_path = dir.join(INDEX_FILE);
+        match OnDiskIndex::open(&index_path) {
+            Ok(index) => {
+                if index.num_records() != meta.records {
+                    shard_worst = shard_worst.max(1);
+                    eprintln!(
+                        "fsck: {} holds {} records but the SHARDS manifest says {}",
+                        name,
+                        index.num_records(),
+                        meta.records
+                    );
+                }
+                nucdb::fsck_index(&index, &mut report);
+            }
+            Err(e) => {
+                shard_worst = 2;
+                eprintln!(
+                    "fsck: shard index {} will not open: {e}",
+                    index_path.display()
+                );
+            }
+        }
+        let store_path = dir.join(STORE_FILE);
+        match nucdb::OnDiskStore::open(&store_path) {
+            Ok(store) => nucdb::fsck_store(&store, &mut report),
+            Err(e) => {
+                shard_worst = 2;
+                eprintln!(
+                    "fsck: shard store {} will not open: {e}",
+                    store_path.display()
+                );
+            }
+        }
+        shard_worst = shard_worst.max(report.exit_code());
+        worst = worst.max(shard_worst);
+        text += &format!("== {} ({} records) ==\n", name, meta.records);
+        text += &report.render_text();
+        shard_values.push(Value::Obj(vec![
+            ("shard".to_string(), Value::Str(name)),
+            ("exit_code".to_string(), num(shard_worst as u64)),
+            ("report".to_string(), report.to_value()),
+        ]));
+    }
+
+    if json {
+        let doc = Value::Obj(vec![
+            ("shard_count".to_string(), num(manifest.shards.len() as u64)),
+            ("exit_code".to_string(), num(worst as u64)),
+            ("shards".to_string(), Value::Arr(shard_values)),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        print!("{text}");
+    }
+    Ok(worst)
 }
 
 #[cfg(test)]

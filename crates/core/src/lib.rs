@@ -52,6 +52,7 @@ pub mod health;
 pub mod metrics;
 pub mod params;
 pub mod segment;
+pub mod shard;
 pub mod store;
 
 pub use baseline::{exhaustive_blast, exhaustive_fasta, exhaustive_sw};
@@ -75,5 +76,9 @@ pub use params::{SearchParams, Strand};
 pub use segment::{
     CompactionRun, InsertOutcome, LiveDatabase, LiveOptions, LiveStatus, SegmentIndexPart,
     SegmentStorePart, SegmentedIndex, SegmentedStore,
+};
+pub use shard::{
+    build_sharded_root, open_shard_dir, Coverage, LocalShard, Shard, ShardFailure, ShardSet,
+    ShardSetConfig, ShardWork, ShardedOutcome,
 };
 pub use store::{OnDiskStore, RecordSource, SequenceStore, StorageMode, StoreVariant};

@@ -1,0 +1,1101 @@
+//! Scatter-gather sharded search (ROADMAP item 3).
+//!
+//! A [`ShardSet`] partitions a collection into N shards, each an
+//! independent index + store holding a contiguous slice of the record-id
+//! space. A query fans coarse search out across a per-shard worker pool,
+//! merges the per-shard top-C candidates globally, runs fine alignment
+//! only on the global winners, and merges strands exactly as the
+//! single-database engine does.
+//!
+//! ## Merge proof obligation
+//!
+//! Sharded answers must be **bit-identical** to a joint single-index
+//! build (pinned by `tests/sharding.rs`). The argument:
+//!
+//! * Every coarse score is a function of one record alone — `Count` is
+//!   the record's hit count, `Proportional` divides by the record's own
+//!   length, `Frame` windows the record's own diagonal histogram. No
+//!   collection-global statistic enters, so a record scores the same in
+//!   its shard as in the joint index.
+//! * Shards hold *contiguous* id ranges (shard `s` covers
+//!   `[base_s, base_s + n_s)`), so adding `base_s` to a local id
+//!   preserves the joint `(score desc, record asc)` tie-break order.
+//! * Any member of the joint top-C has fewer than C records ahead of it
+//!   globally, hence fewer than C within its own shard: it survives the
+//!   per-shard `top-C` truncation. Merging the per-shard lists and
+//!   truncating to C therefore reproduces the joint candidate list
+//!   exactly — same set, same order.
+//!
+//! The one engine knob that breaks this argument is
+//! [`SearchParams::max_accumulators`]: accumulator limiting keeps
+//! whichever records are touched *first*, a property of global postings
+//! order that sharding changes. [`ShardSet::search`] rejects it.
+//!
+//! ## Degraded mode
+//!
+//! A shard that cannot be opened (dead at open), fails a query
+//! (corruption), or misses its deadline is dropped from the answer; the
+//! query still succeeds with the surviving shards and a
+//! [`Coverage`] of `shards_ok / shards_total`. Results from a shard
+//! that failed *any* phase are discarded entirely, so a degraded answer
+//! equals the answer of a `ShardSet` over the surviving shards alone.
+//! Only when every shard fails does the query error.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nucdb_index::{
+    shard_dir_name, Granularity, IndexError, IndexParams, OnDiskIndex, ShardManifest, ShardMeta,
+};
+use nucdb_obs::{Counter, Histogram, MetricsRegistry};
+use nucdb_seq::DnaSeq;
+
+use crate::coarse::{coarse_rank_explain, CoarseHit, CoarseOutcome, CoarseScratch};
+use crate::engine::{io_err, Database, DbConfig, IndexVariant, QueryStats, SearchResult};
+use crate::fine::{fine_search_traced, FineMode, FineResult};
+use crate::params::{SearchParams, Strand};
+use crate::store::{OnDiskStore, RecordSource, SequenceStore, StoreVariant};
+
+/// Answer completeness of a sharded query: how many shards contributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Shards that answered every phase of the query.
+    pub shards_ok: usize,
+    /// Total shards in the set (including dead-at-open shards).
+    pub shards_total: usize,
+}
+
+impl Coverage {
+    /// Fraction of shards that contributed, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.shards_total == 0 {
+            return 1.0;
+        }
+        self.shards_ok as f64 / self.shards_total as f64
+    }
+
+    /// Did every shard contribute?
+    pub fn is_full(&self) -> bool {
+        self.shards_ok == self.shards_total
+    }
+}
+
+/// One shard's failure within a query (or at open).
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Shard directory name (`shard-000`, …).
+    pub shard: String,
+    /// Human-readable cause.
+    pub error: String,
+}
+
+/// Per-shard work attribution for one query (the bench's scaling story:
+/// wall time on a loaded box lies, decoded postings do not).
+#[derive(Debug, Clone, Default)]
+pub struct ShardWork {
+    /// Shard directory name.
+    pub shard: String,
+    /// Compressed postings bytes this shard read.
+    pub postings_bytes_read: u64,
+    /// Postings entries this shard decoded.
+    pub ids_decoded: u64,
+    /// Coarse candidates this shard surfaced (pre-merge).
+    pub candidates: u64,
+}
+
+/// A sharded query's answer: engine-shaped results plus coverage.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// Ranked answers, best first — bit-identical to a joint build when
+    /// coverage is full.
+    pub results: Vec<SearchResult>,
+    /// Aggregated cost counters across all shards and phases.
+    pub stats: QueryStats,
+    /// How many shards contributed.
+    pub coverage: Coverage,
+    /// Why non-contributing shards failed (empty at full coverage).
+    pub failures: Vec<ShardFailure>,
+    /// Per-shard work attribution, one entry per *live* shard that
+    /// completed coarse search.
+    pub work: Vec<ShardWork>,
+}
+
+/// The search surface one shard must expose. Object-safe and free of
+/// local-filesystem assumptions, so a follow-up can put a remote
+/// (HTTP) shard behind it; [`LocalShard`] is the in-process
+/// implementation.
+pub trait Shard: Send + Sync {
+    /// Shard name (its directory name for local shards).
+    fn name(&self) -> &str;
+    /// Number of records in the shard.
+    fn num_records(&self) -> u32;
+    /// The shard's index parameters (must agree across the set).
+    fn index_params(&self) -> IndexParams;
+    /// Run coarse ranking for one strand orientation. `query_bases` is
+    /// the strand-oriented representative-base view of the query.
+    fn coarse(
+        &self,
+        query_bases: &[nucdb_seq::Base],
+        params: &SearchParams,
+    ) -> Result<CoarseOutcome, IndexError>;
+    /// Run fine alignment on `candidates` (shard-local record ids).
+    fn fine(
+        &self,
+        query: &DnaSeq,
+        candidates: &[CoarseHit],
+        mode: FineMode,
+        params: &SearchParams,
+    ) -> Result<Vec<FineResult>, IndexError>;
+    /// External identifier of a shard-local record.
+    fn record_id(&self, local: u32) -> String;
+    /// Length in bases of a shard-local record.
+    fn record_len(&self, local: u32) -> usize;
+    /// Total bases stored in the shard.
+    fn total_bases(&self) -> u64;
+}
+
+/// An in-process shard: a [`Database`] slice of the collection.
+pub struct LocalShard {
+    name: String,
+    db: Database,
+}
+
+impl LocalShard {
+    /// Wrap a database as a shard named `name`.
+    pub fn new(name: impl Into<String>, db: Database) -> LocalShard {
+        LocalShard {
+            name: name.into(),
+            db,
+        }
+    }
+
+    /// The wrapped database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl Shard for LocalShard {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_records(&self) -> u32 {
+        self.db.len() as u32
+    }
+
+    fn index_params(&self) -> IndexParams {
+        use crate::coarse::PostingsSource;
+        self.db.index().index_params().clone()
+    }
+
+    fn coarse(
+        &self,
+        query_bases: &[nucdb_seq::Base],
+        params: &SearchParams,
+    ) -> Result<CoarseOutcome, IndexError> {
+        // Coarse results are independent of scratch history, so a fresh
+        // scratch per call costs allocations but nothing in answers.
+        let mut scratch = CoarseScratch::new();
+        coarse_rank_explain(self.db.index(), query_bases, params, &mut scratch, None)
+    }
+
+    fn fine(
+        &self,
+        query: &DnaSeq,
+        candidates: &[CoarseHit],
+        mode: FineMode,
+        params: &SearchParams,
+    ) -> Result<Vec<FineResult>, IndexError> {
+        fine_search_traced(
+            self.db.store(),
+            query,
+            candidates,
+            mode,
+            &params.scheme,
+            params.min_score,
+            None,
+        )
+        .map_err(io_err)
+    }
+
+    fn record_id(&self, local: u32) -> String {
+        self.db.store().id(local).to_string()
+    }
+
+    fn record_len(&self, local: u32) -> usize {
+        self.db.store().record_len(local)
+    }
+
+    fn total_bases(&self) -> u64 {
+        (0..self.db.len() as u32)
+            .map(|r| self.db.store().record_len(r) as u64)
+            .sum()
+    }
+}
+
+/// Dispatch tuning for a [`ShardSet`].
+#[derive(Debug, Clone)]
+pub struct ShardSetConfig {
+    /// Per-phase, per-shard deadline. A shard that has not answered a
+    /// phase within this long is marked failed for the query.
+    pub shard_deadline: Duration,
+    /// After this long without an answer, re-dispatch the phase to the
+    /// hedge worker (tail-latency insurance against a stuck shard
+    /// thread). `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+}
+
+impl Default for ShardSetConfig {
+    fn default() -> ShardSetConfig {
+        ShardSetConfig {
+            shard_deadline: Duration::from_secs(10),
+            hedge_after: Some(Duration::from_millis(250)),
+        }
+    }
+}
+
+/// Per-shard metric handles (`nucdb_shard_*` families, labeled by
+/// shard name). Disabled handles when no registry is bound.
+#[derive(Clone, Default)]
+struct ShardMetrics {
+    queries: Counter,
+    errors: Counter,
+    timeouts: Counter,
+    hedges: Counter,
+    hedge_wins: Counter,
+    latency: Histogram,
+}
+
+impl ShardMetrics {
+    fn bind(registry: &MetricsRegistry, shard: &str) -> ShardMetrics {
+        let labels: &[(&str, &str)] = &[("shard", shard)];
+        ShardMetrics {
+            queries: registry.counter_with(
+                "nucdb_shard_queries_total",
+                "Phase dispatches to this shard",
+                labels,
+            ),
+            errors: registry.counter_with(
+                "nucdb_shard_errors_total",
+                "Queries this shard failed (error or timeout)",
+                labels,
+            ),
+            timeouts: registry.counter_with(
+                "nucdb_shard_timeouts_total",
+                "Phase deadlines this shard missed",
+                labels,
+            ),
+            hedges: registry.counter_with(
+                "nucdb_shard_hedges_total",
+                "Hedged re-dispatches triggered by this shard's slowness",
+                labels,
+            ),
+            hedge_wins: registry.counter_with(
+                "nucdb_shard_hedge_wins_total",
+                "Phases where the hedge replica answered first",
+                labels,
+            ),
+            latency: registry.histogram_with(
+                "nucdb_shard_latency_ns",
+                "Per-phase shard service time in nanoseconds",
+                labels,
+            ),
+        }
+    }
+}
+
+/// A phase of work for one shard.
+enum JobKind {
+    Coarse,
+    Fine {
+        candidates: Arc<Vec<CoarseHit>>,
+        mode: FineMode,
+    },
+}
+
+enum PhaseOutput {
+    Coarse(CoarseOutcome),
+    Fine(Vec<FineResult>),
+}
+
+struct Job {
+    shard: Arc<dyn Shard>,
+    slot: usize,
+    query: Arc<DnaSeq>,
+    query_bases: Arc<Vec<nucdb_seq::Base>>,
+    params: SearchParams,
+    kind: JobKind,
+    seq: u64,
+    hedged: bool,
+    delay: Arc<AtomicU64>,
+    reply: mpsc::Sender<Reply>,
+}
+
+struct Reply {
+    slot: usize,
+    seq: u64,
+    hedged: bool,
+    nanos: u64,
+    output: Result<PhaseOutput, IndexError>,
+}
+
+fn run_job(job: Job) {
+    // Injected delay (tests) applies only to a shard's primary worker,
+    // never to the hedge — so a hedged re-dispatch provably overtakes a
+    // delayed straggler with a bit-identical answer.
+    if !job.hedged {
+        let ns = job.delay.load(Ordering::Relaxed);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+    let start = Instant::now();
+    let output = match &job.kind {
+        JobKind::Coarse => job
+            .shard
+            .coarse(&job.query_bases, &job.params)
+            .map(PhaseOutput::Coarse),
+        JobKind::Fine { candidates, mode } => job
+            .shard
+            .fine(&job.query, candidates, *mode, &job.params)
+            .map(PhaseOutput::Fine),
+    };
+    // The dispatcher may have moved on (deadline, or the other replica
+    // answered); a dropped receiver is not an error.
+    let _ = job.reply.send(Reply {
+        slot: job.slot,
+        seq: job.seq,
+        hedged: job.hedged,
+        nanos: start.elapsed().as_nanos() as u64,
+        output,
+    });
+}
+
+fn spawn_worker(name: String, rx: mpsc::Receiver<Job>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                run_job(job);
+            }
+        })
+        .expect("spawn shard worker")
+}
+
+/// One shard slot: the shard (when it opened), its record-id base, and
+/// its dispatch plumbing. Dead-at-open shards keep their slot — their
+/// record count, and therefore every later shard's id base, comes from
+/// the shard manifest.
+struct ShardSlot {
+    name: String,
+    base: u32,
+    records: u32,
+    shard: Option<Arc<dyn Shard>>,
+    dead: Option<String>,
+    tx: Option<mpsc::Sender<Job>>,
+    delay: Arc<AtomicU64>,
+    metrics: ShardMetrics,
+}
+
+/// The scatter-gather planner over N shards. See the module docs for
+/// the identity argument and degraded-mode contract.
+pub struct ShardSet {
+    slots: Vec<ShardSlot>,
+    config: ShardSetConfig,
+    hedge_tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    seq: AtomicU64,
+    degraded_queries: Counter,
+}
+
+/// One shard slot before assembly: name, manifest record count, the
+/// opened shard (or `None` for a dead slot), and the dead-slot error.
+type ShardEntry = (String, u32, Option<Arc<dyn Shard>>, Option<String>);
+
+impl ShardSet {
+    /// Assemble a set from already-opened shards. `dead` carries
+    /// placeholder entries for shards that failed to open:
+    /// `(name, records-from-manifest, error)` — their record counts
+    /// keep the id bases of later shards correct.
+    pub fn assemble(
+        shards: Vec<Arc<dyn Shard>>,
+        dead: Vec<(String, u32, Option<String>)>,
+        config: ShardSetConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<ShardSet, IndexError> {
+        // `dead` is interleaved by name order with live shards; simpler:
+        // callers pass slots pre-ordered via `assemble_slots`.
+        let mut entries: Vec<ShardEntry> = Vec::new();
+        for shard in shards {
+            let records = shard.num_records();
+            entries.push((shard.name().to_string(), records, Some(shard), None));
+        }
+        for (name, records, err) in dead {
+            entries.push((name, records, None, err));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        ShardSet::from_entries(entries, config, registry)
+    }
+
+    fn from_entries(
+        entries: Vec<ShardEntry>,
+        config: ShardSetConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<ShardSet, IndexError> {
+        if entries.is_empty() {
+            return Err(IndexError::Unsupported(
+                "a shard set needs at least one shard",
+            ));
+        }
+        // All live shards must agree on index parameters: coarse scores
+        // are only comparable across shards built the same way.
+        let mut params: Option<IndexParams> = None;
+        for (_, _, shard, _) in &entries {
+            if let Some(shard) = shard {
+                let p = shard.index_params();
+                match &params {
+                    None => params = Some(p),
+                    Some(first) if *first != p => {
+                        return Err(IndexError::Unsupported(
+                            "shards disagree on index parameters",
+                        ))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        let mut slots = Vec::with_capacity(entries.len());
+        let mut workers = Vec::new();
+        let mut base: u64 = 0;
+        for (name, records, shard, dead_err) in entries {
+            let delay = Arc::new(AtomicU64::new(0));
+            let (tx, dead) = match (&shard, dead_err) {
+                (Some(_), _) => {
+                    let (tx, rx) = mpsc::channel();
+                    workers.push(spawn_worker(format!("nucdb-{name}"), rx));
+                    (Some(tx), None)
+                }
+                (None, err) => (None, Some(err.unwrap_or_else(|| "failed to open".into()))),
+            };
+            if base + u64::from(records) > u64::from(u32::MAX) {
+                return Err(IndexError::Unsupported(
+                    "total shard records overflow the u32 id space",
+                ));
+            }
+            slots.push(ShardSlot {
+                metrics: ShardMetrics::bind(registry, &name),
+                name,
+                base: base as u32,
+                records,
+                shard,
+                dead,
+                tx,
+                delay,
+            });
+            base += u64::from(records);
+        }
+        let hedge_tx = if config.hedge_after.is_some() {
+            let (tx, rx) = mpsc::channel();
+            workers.push(spawn_worker("nucdb-shard-hedge".into(), rx));
+            Some(tx)
+        } else {
+            None
+        };
+        Ok(ShardSet {
+            slots,
+            config,
+            hedge_tx,
+            workers,
+            seq: AtomicU64::new(0),
+            degraded_queries: registry.counter(
+                "nucdb_shard_degraded_queries_total",
+                "Queries answered with partial shard coverage",
+            ),
+        })
+    }
+
+    /// Build a set from in-memory databases (tests, benches). Shard `i`
+    /// is named `shard-00i`.
+    pub fn from_databases(
+        dbs: Vec<Database>,
+        config: ShardSetConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<ShardSet, IndexError> {
+        let shards = dbs
+            .into_iter()
+            .enumerate()
+            .map(|(i, db)| Arc::new(LocalShard::new(shard_dir_name(i), db)) as Arc<dyn Shard>)
+            .collect();
+        ShardSet::assemble(shards, Vec::new(), config, registry)
+    }
+
+    /// Open a sharded root written by [`build_sharded_root`] (or
+    /// `nucdb build --shards N`). A shard whose files are missing or
+    /// corrupt becomes a *dead* slot: the set still opens and answers
+    /// degraded queries, with the dead shard's record count taken from
+    /// the manifest so every other shard's id base stays correct.
+    pub fn open_root(
+        root: &Path,
+        config: ShardSetConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<ShardSet, IndexError> {
+        let manifest = ShardManifest::load(root)?;
+        let mut entries: Vec<ShardEntry> = Vec::new();
+        for (i, meta) in manifest.shards.iter().enumerate() {
+            let name = shard_dir_name(i);
+            let dir = root.join(&name);
+            match open_shard_dir(&dir, &name) {
+                Ok(shard) => {
+                    if shard.num_records() != meta.records {
+                        entries.push((
+                            name,
+                            meta.records,
+                            None,
+                            Some("shard record count disagrees with SHARDS manifest".into()),
+                        ));
+                    } else {
+                        entries.push((name, meta.records, Some(shard), None));
+                    }
+                }
+                Err(e) => entries.push((name, meta.records, None, Some(e.to_string()))),
+            }
+        }
+        ShardSet::from_entries(entries, config, registry)
+    }
+
+    /// Number of shards (including dead ones).
+    pub fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Names and liveness of all shards, in id order:
+    /// `(name, base, records, dead-error)`.
+    pub fn shard_rows(&self) -> Vec<(String, u32, u32, Option<String>)> {
+        self.slots
+            .iter()
+            .map(|s| (s.name.clone(), s.base, s.records, s.dead.clone()))
+            .collect()
+    }
+
+    /// Total records across all shards (the joint id space).
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(|s| s.records as usize).sum()
+    }
+
+    /// Is the whole set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stored bases across *live* shards.
+    pub fn total_bases(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter_map(|s| s.shard.as_ref())
+            .map(|s| s.total_bases())
+            .sum()
+    }
+
+    /// External id of a global record (empty for records on dead shards).
+    pub fn record_id(&self, global: u32) -> String {
+        match self.slot_of(global) {
+            Some((slot, local)) => match &slot.shard {
+                Some(shard) => shard.record_id(local),
+                None => String::new(),
+            },
+            None => String::new(),
+        }
+    }
+
+    /// Length of a global record in bases (0 for records on dead shards).
+    pub fn record_len(&self, global: u32) -> usize {
+        match self.slot_of(global) {
+            Some((slot, local)) => match &slot.shard {
+                Some(shard) => shard.record_len(local),
+                None => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Index parameters of the set (from the first live shard).
+    pub fn index_params(&self) -> Option<IndexParams> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.shard.as_ref())
+            .map(|s| s.index_params())
+            .next()
+    }
+
+    /// Inject a fixed service delay into one shard's primary worker
+    /// (tests): the hedge replica is never delayed, so a delayed shard
+    /// deterministically loses the race once `hedge_after` elapses.
+    pub fn inject_delay_ns(&self, shard: usize, ns: u64) {
+        self.slots[shard].delay.store(ns, Ordering::Relaxed);
+    }
+
+    fn slot_of(&self, global: u32) -> Option<(&ShardSlot, u32)> {
+        self.slots
+            .iter()
+            .find(|s| {
+                global >= s.base && u64::from(global) < u64::from(s.base) + u64::from(s.records)
+            })
+            .map(|s| (s, global - s.base))
+    }
+
+    /// Fan one phase out to `targets` (slot indexes) and gather replies
+    /// under the per-shard deadline, hedging stragglers. Returns
+    /// per-slot `Some(Ok(output))`, `Some(Err(msg))`, or is marked in
+    /// `failed` on timeout.
+    fn run_phase(
+        &self,
+        targets: &[usize],
+        make_kind: impl Fn(usize) -> JobKind,
+        query: &Arc<DnaSeq>,
+        query_bases: &Arc<Vec<nucdb_seq::Base>>,
+        params: &SearchParams,
+    ) -> Vec<Option<Result<PhaseOutput, String>>> {
+        let mut outputs: Vec<Option<Result<PhaseOutput, String>>> = Vec::new();
+        outputs.resize_with(self.slots.len(), || None);
+        if targets.is_empty() {
+            return outputs;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let start = Instant::now();
+        let mut pending: Vec<usize> = Vec::new();
+        for &slot_idx in targets {
+            let slot = &self.slots[slot_idx];
+            let (Some(shard), Some(tx)) = (&slot.shard, &slot.tx) else {
+                continue; // dead shard: stays None
+            };
+            let job = Job {
+                shard: Arc::clone(shard),
+                slot: slot_idx,
+                query: Arc::clone(query),
+                query_bases: Arc::clone(query_bases),
+                params: *params,
+                kind: make_kind(slot_idx),
+                seq,
+                hedged: false,
+                delay: Arc::clone(&slot.delay),
+                reply: reply_tx.clone(),
+            };
+            slot.metrics.queries.inc();
+            if tx.send(job).is_err() {
+                outputs[slot_idx] = Some(Err("shard worker exited".into()));
+                continue;
+            }
+            pending.push(slot_idx);
+        }
+
+        let deadline = self.config.shard_deadline;
+        let mut hedged = false;
+        while !pending.is_empty() {
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                break;
+            }
+            let mut wait = deadline - elapsed;
+            if let (Some(after), false) = (self.config.hedge_after, hedged) {
+                if elapsed >= after {
+                    // Straggler(s): re-dispatch every unanswered shard to
+                    // the hedge worker. First answer per shard wins; the
+                    // loser's reply is dropped on the closed channel.
+                    hedged = true;
+                    if let Some(hedge_tx) = &self.hedge_tx {
+                        for &slot_idx in &pending {
+                            let slot = &self.slots[slot_idx];
+                            let Some(shard) = &slot.shard else { continue };
+                            slot.metrics.hedges.inc();
+                            let _ = hedge_tx.send(Job {
+                                shard: Arc::clone(shard),
+                                slot: slot_idx,
+                                query: Arc::clone(query),
+                                query_bases: Arc::clone(query_bases),
+                                params: *params,
+                                kind: make_kind(slot_idx),
+                                seq,
+                                hedged: true,
+                                delay: Arc::clone(&slot.delay),
+                                reply: reply_tx.clone(),
+                            });
+                        }
+                    }
+                    continue;
+                }
+                wait = wait.min(after - elapsed);
+            }
+            match reply_rx.recv_timeout(wait) {
+                Ok(reply) => {
+                    if reply.seq != seq {
+                        continue; // stale reply from an earlier phase
+                    }
+                    let Some(pos) = pending.iter().position(|&i| i == reply.slot) else {
+                        continue; // both replicas answered; first won
+                    };
+                    pending.swap_remove(pos);
+                    let slot = &self.slots[reply.slot];
+                    slot.metrics.latency.record(reply.nanos);
+                    if reply.hedged {
+                        slot.metrics.hedge_wins.inc();
+                    }
+                    outputs[reply.slot] = Some(match reply.output {
+                        Ok(out) => Ok(out),
+                        Err(e) => Err(e.to_string()),
+                    });
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for slot_idx in pending {
+            let slot = &self.slots[slot_idx];
+            slot.metrics.timeouts.inc();
+            outputs[slot_idx] = Some(Err(format!(
+                "shard {} missed the {:?} deadline",
+                slot.name, deadline
+            )));
+        }
+        outputs
+    }
+
+    /// Evaluate a query across all shards. Bit-identical to a joint
+    /// build at full coverage; partial results plus `coverage < 1`
+    /// when shards fail; an error only when *no* shard answers.
+    pub fn search(
+        &self,
+        query: &DnaSeq,
+        params: &SearchParams,
+    ) -> Result<ShardedOutcome, IndexError> {
+        if params.max_accumulators.is_some() {
+            // Accumulator limiting keeps first-touched records — a
+            // global postings-order property sharding cannot reproduce.
+            return Err(IndexError::Unsupported(
+                "max_accumulators is incompatible with sharded search",
+            ));
+        }
+        let mut stats = QueryStats::default();
+        let mut failures: BTreeMap<usize, String> = BTreeMap::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(err) = &slot.dead {
+                failures.insert(i, err.clone());
+            }
+        }
+        let mut work: Vec<ShardWork> = Vec::new();
+        // (strand, slot, fine result with *global* record id)
+        let mut merged: Vec<(Strand, usize, FineResult)> = Vec::new();
+
+        let mut strands: Vec<(Strand, DnaSeq)> = Vec::new();
+        if params.strand != Strand::Reverse {
+            strands.push((Strand::Forward, query.clone()));
+        }
+        if params.strand != Strand::Forward {
+            strands.push((Strand::Reverse, query.reverse_complement()));
+        }
+
+        let query_start = Instant::now();
+        for (strand, oriented) in strands {
+            let oriented = Arc::new(oriented);
+            let query_bases = Arc::new(oriented.representative_bases());
+            let live: Vec<usize> = (0..self.slots.len())
+                .filter(|i| !failures.contains_key(i))
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+
+            // Phase 1: coarse everywhere.
+            let coarse_start = Instant::now();
+            let coarse_outputs =
+                self.run_phase(&live, |_| JobKind::Coarse, &oriented, &query_bases, params);
+            stats.coarse_nanos += coarse_start.elapsed().as_nanos() as u64;
+
+            // Gather per-shard candidate lists; merge to the global
+            // top-C exactly as joint coarse ranking would.
+            let mut global: Vec<(usize, CoarseHit)> = Vec::new();
+            for (slot_idx, output) in coarse_outputs.into_iter().enumerate() {
+                let Some(output) = output else { continue };
+                let slot = &self.slots[slot_idx];
+                match output {
+                    Ok(PhaseOutput::Coarse(coarse)) => {
+                        stats.intervals_looked_up += coarse.intervals_looked_up;
+                        stats.lists_fetched += coarse.lists_fetched;
+                        stats.postings_decoded += coarse.postings_decoded;
+                        stats.postings_bytes_read += coarse.postings_bytes_read;
+                        stats.blocks_decoded += coarse.blocks_decoded;
+                        stats.blocks_skipped += coarse.blocks_skipped;
+                        stats.total_hits += coarse.total_hits;
+                        stats.extract_nanos += coarse.extract_nanos;
+                        stats.accumulate_nanos += coarse.accumulate_nanos;
+                        stats.rank_nanos += coarse.rank_nanos;
+                        if let Some(w) = work.iter_mut().find(|w| w.shard == slot.name) {
+                            w.postings_bytes_read += coarse.postings_bytes_read;
+                            w.ids_decoded += coarse.postings_decoded;
+                            w.candidates += coarse.candidates.len() as u64;
+                        } else {
+                            work.push(ShardWork {
+                                shard: slot.name.clone(),
+                                postings_bytes_read: coarse.postings_bytes_read,
+                                ids_decoded: coarse.postings_decoded,
+                                candidates: coarse.candidates.len() as u64,
+                            });
+                        }
+                        for hit in coarse.candidates {
+                            global.push((slot_idx, hit));
+                        }
+                    }
+                    Ok(PhaseOutput::Fine(_)) => unreachable!("coarse phase returned fine output"),
+                    Err(e) => {
+                        slot.metrics.errors.inc();
+                        failures.insert(slot_idx, e);
+                    }
+                }
+            }
+
+            // The joint candidate order: score desc, global record asc.
+            // Globalised ids preserve the joint tie-break because shards
+            // hold contiguous, ordered id ranges.
+            global.sort_by(|(sa, a), (sb, b)| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .expect("coarse scores are finite")
+                    .then((self.slots[*sa].base + a.record).cmp(&(self.slots[*sb].base + b.record)))
+            });
+            global.truncate(params.max_candidates);
+            stats.candidates += global.len() as u64;
+            stats.fine_alignments += global.len() as u64;
+
+            // A record-granularity index reports no diagonals, so banded
+            // fine alignment falls back to full — same rule as the engine.
+            let granularity = self
+                .index_params()
+                .map(|p| p.granularity)
+                .unwrap_or(Granularity::Offsets);
+            let fine_mode = if granularity == Granularity::Records
+                && matches!(params.fine, FineMode::Banded { .. })
+            {
+                FineMode::Full
+            } else {
+                params.fine
+            };
+
+            // Phase 2: fine only on shards owning a global winner.
+            let mut per_shard: BTreeMap<usize, Vec<CoarseHit>> = BTreeMap::new();
+            for (slot_idx, hit) in &global {
+                per_shard.entry(*slot_idx).or_default().push(*hit);
+            }
+            let fine_targets: Vec<usize> = per_shard.keys().copied().collect();
+            let batches: BTreeMap<usize, Arc<Vec<CoarseHit>>> = per_shard
+                .into_iter()
+                .map(|(slot_idx, hits)| (slot_idx, Arc::new(hits)))
+                .collect();
+            let fine_start = Instant::now();
+            let fine_outputs = self.run_phase(
+                &fine_targets,
+                |slot_idx| JobKind::Fine {
+                    candidates: Arc::clone(&batches[&slot_idx]),
+                    mode: fine_mode,
+                },
+                &oriented,
+                &query_bases,
+                params,
+            );
+            stats.fine_nanos += fine_start.elapsed().as_nanos() as u64;
+            for (slot_idx, output) in fine_outputs.into_iter().enumerate() {
+                let Some(output) = output else { continue };
+                let slot = &self.slots[slot_idx];
+                match output {
+                    Ok(PhaseOutput::Fine(results)) => {
+                        for mut r in results {
+                            r.record += slot.base;
+                            r.coarse.record += slot.base;
+                            merged.push((strand, slot_idx, r));
+                        }
+                    }
+                    Ok(PhaseOutput::Coarse(_)) => unreachable!("fine phase returned coarse output"),
+                    Err(e) => {
+                        slot.metrics.errors.inc();
+                        failures.insert(slot_idx, e);
+                    }
+                }
+            }
+        }
+
+        let shards_total = self.slots.len();
+        if failures.len() == shards_total {
+            let detail = failures
+                .values()
+                .next()
+                .cloned()
+                .unwrap_or_else(|| "no shards".into());
+            return Err(IndexError::Io(std::io::Error::other(format!(
+                "all {shards_total} shards failed: {detail}"
+            ))));
+        }
+
+        // A shard that failed any phase contributes nothing: drop even
+        // results it returned for other strands/phases, so a degraded
+        // answer equals a clean answer over the surviving shards.
+        let merge_start = Instant::now();
+        merged.retain(|(_, slot_idx, _)| !failures.contains_key(slot_idx));
+
+        // Strand merge: exactly the engine's sequence — best strand per
+        // record, then (score desc, record asc).
+        merged.sort_by(|(_, _, a), (_, _, b)| a.record.cmp(&b.record).then(b.score.cmp(&a.score)));
+        merged.dedup_by_key(|(_, _, r)| r.record);
+        merged.sort_by(|(_, _, a), (_, _, b)| b.score.cmp(&a.score).then(a.record.cmp(&b.record)));
+
+        let results: Vec<SearchResult> = merged
+            .into_iter()
+            .take(params.max_results)
+            .map(|(strand, slot_idx, r)| {
+                let slot = &self.slots[slot_idx];
+                let local = r.record - slot.base;
+                SearchResult {
+                    record: r.record,
+                    id: slot
+                        .shard
+                        .as_ref()
+                        .map(|s| s.record_id(local))
+                        .unwrap_or_default(),
+                    score: r.score,
+                    coarse_score: r.coarse.score,
+                    coarse_hits: r.coarse.hits,
+                    strand,
+                    alignment: r.alignment,
+                }
+            })
+            .collect();
+        stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+        let _ = query_start; // total time is the caller's to observe
+
+        let coverage = Coverage {
+            shards_ok: shards_total - failures.len(),
+            shards_total,
+        };
+        if !coverage.is_full() {
+            self.degraded_queries.inc();
+        }
+        Ok(ShardedOutcome {
+            results,
+            stats,
+            coverage,
+            failures: failures
+                .into_iter()
+                .map(|(i, error)| ShardFailure {
+                    shard: self.slots[i].name.clone(),
+                    error,
+                })
+                .collect(),
+            work,
+        })
+    }
+}
+
+impl Drop for ShardSet {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            slot.tx = None; // close the channel so the worker exits
+        }
+        self.hedge_tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Open one shard directory (`index.nucidx` + `store.nucsto`) as a
+/// [`LocalShard`].
+pub fn open_shard_dir(dir: &Path, name: &str) -> Result<Arc<dyn Shard>, IndexError> {
+    let index = OnDiskIndex::open(&dir.join("index.nucidx"))?;
+    let store = OnDiskStore::open(&dir.join("store.nucsto")).map_err(io_err)?;
+    let db = Database::from_variants(StoreVariant::Disk(store), IndexVariant::Disk(index));
+    Ok(Arc::new(LocalShard::new(name, db)) as Arc<dyn Shard>)
+}
+
+/// Partition `records` into `num_shards` contiguous slices and write a
+/// sharded root: `root/SHARDS` plus one plain database directory per
+/// shard, built in parallel (one builder thread per shard). Returns the
+/// per-shard record counts.
+pub fn build_sharded_root(
+    root: &Path,
+    records: Vec<(String, DnaSeq)>,
+    num_shards: usize,
+    config: &DbConfig,
+) -> Result<Vec<u32>, IndexError> {
+    assert!(num_shards > 0, "need at least one shard");
+    std::fs::create_dir_all(root)?;
+    let n = records.len();
+    let mut slices: Vec<Vec<(String, DnaSeq)>> = Vec::with_capacity(num_shards);
+    let mut rest = records;
+    for i in 0..num_shards {
+        // Shard i gets records [i*n/N, (i+1)*n/N) — contiguous, and
+        // sizes differ by at most one.
+        let start = i * n / num_shards;
+        let end = (i + 1) * n / num_shards;
+        let tail = rest.split_off(end - start);
+        slices.push(rest);
+        rest = tail;
+    }
+    let results: Vec<Result<(u32, u64, u64), IndexError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .into_iter()
+            .enumerate()
+            .map(|(i, slice)| {
+                let dir: PathBuf = root.join(shard_dir_name(i));
+                scope.spawn(move || build_shard_dir(&dir, slice, config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard build thread panicked"))
+            .collect()
+    });
+    let mut manifest = ShardManifest::new(
+        config.index.k,
+        config.index.stride,
+        config.index.granularity,
+        config.codec,
+        crate::segment::storage_tag(config.storage),
+    );
+    let mut counts = Vec::with_capacity(num_shards);
+    for result in results {
+        let (records, index_bytes, store_bytes) = result?;
+        counts.push(records);
+        manifest.shards.push(ShardMeta {
+            records,
+            index_bytes,
+            store_bytes,
+        });
+    }
+    manifest.save(root)?;
+    Ok(counts)
+}
+
+fn build_shard_dir(
+    dir: &Path,
+    records: Vec<(String, DnaSeq)>,
+    config: &DbConfig,
+) -> Result<(u32, u64, u64), IndexError> {
+    std::fs::create_dir_all(dir)?;
+    let mut store = SequenceStore::new(config.storage);
+    let mut builder = nucdb_index::IndexBuilder::new(config.index.clone()).with_codec(config.codec);
+    let count = records.len() as u32;
+    for (id, seq) in records {
+        builder.add_record(&seq.representative_bases());
+        store.add(id, &seq);
+    }
+    let index_path = dir.join("index.nucidx");
+    let store_path = dir.join("store.nucsto");
+    nucdb_index::write_index(&builder.finish(), &index_path)?;
+    store.write_to(&store_path).map_err(io_err)?;
+    let index_bytes = std::fs::metadata(&index_path)?.len();
+    let store_bytes = std::fs::metadata(&store_path)?.len();
+    Ok((count, index_bytes, store_bytes))
+}

@@ -26,6 +26,9 @@
 //! * [`manifest`] — the crash-safe `MANIFEST` naming the segments of a
 //!   live (incrementally ingested) directory, swapped atomically on
 //!   every flush/compaction.
+//! * [`shard`] — the `SHARDS` manifest describing a sharded database
+//!   root: per-shard record counts fix the record-id bases that make
+//!   scatter-gather answers bit-identical to a joint build.
 //! * [`disk`] — the on-disk index format and a reader that fetches lists
 //!   on demand with lock-free positional reads, tracking bytes read (the
 //!   paper's disk-cost story).
@@ -56,6 +59,7 @@ pub mod manifest;
 pub mod merge;
 pub mod postings;
 pub mod pread;
+pub mod shard;
 pub mod stats;
 pub mod stopping;
 
@@ -74,5 +78,6 @@ pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
 pub use merge::{apply_stopping, merge_indexes};
 pub use postings::{Posting, PostingsList};
 pub use pread::{PositionalReader, TRANSIENT_RETRY_LIMIT};
+pub use shard::{shard_dir_name, ShardManifest, ShardMeta, SHARD_MANIFEST_FILE};
 pub use stats::IndexStats;
 pub use stopping::StopPolicy;

@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use nucdb::{
     build_info, CoarseScratch, Database, IndexVariant, LiveDatabase, RecordSource, SearchOutcome,
-    SearchParams,
+    SearchParams, ShardSet, ShardedOutcome,
 };
 use nucdb_align::calibrate_gumbel;
 use nucdb_obs::json::{num, Value};
@@ -144,6 +144,10 @@ enum DbSource {
     /// Live database: inserts arrive via `POST /insert`; every request
     /// snapshots the current segmented view.
     Live(Arc<LiveDatabase>),
+    /// Sharded database: every query scatters across the set's per-shard
+    /// workers and gathers one globally merged answer. Responses carry a
+    /// `coverage` object and degrade to partial answers when shards fail.
+    Sharded(Arc<ShardSet>),
 }
 
 /// Everything the acceptor, workers, and collector share.
@@ -175,6 +179,9 @@ impl Shared {
         match &self.source {
             DbSource::Static(db) => Arc::clone(db),
             DbSource::Live(live) => live.snapshot(),
+            // Every call site branches on `sharded()` first: a shard set
+            // has no single-database view to hand back.
+            DbSource::Sharded(_) => unreachable!("sharded mode has no single-database view"),
         }
     }
 
@@ -182,7 +189,15 @@ impl Shared {
     fn live(&self) -> Option<&Arc<LiveDatabase>> {
         match &self.source {
             DbSource::Live(live) => Some(live),
-            DbSource::Static(_) => None,
+            DbSource::Static(_) | DbSource::Sharded(_) => None,
+        }
+    }
+
+    /// The shard set, when serving in sharded mode.
+    fn sharded(&self) -> Option<&Arc<ShardSet>> {
+        match &self.source {
+            DbSource::Sharded(set) => Some(set),
+            DbSource::Static(_) | DbSource::Live(_) => None,
         }
     }
 }
@@ -269,7 +284,7 @@ impl ServerHandle {
         if let Some(compactor) = self.compactor.take() {
             let _ = compactor.join();
         }
-        {
+        if self.shared.sharded().is_none() {
             let db = self.shared.db();
             db.metrics().trace.flush();
             db.metrics().forensics.flush();
@@ -316,6 +331,29 @@ pub fn start_live(
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
     start_source(addr, DbSource::Live(live), registry, defaults, config)
+}
+
+/// Bind `addr` and serve a [`ShardSet`]: every `/search` query scatters
+/// across the set's per-shard worker pool and gathers one globally
+/// merged answer, bit-identical to a joint build at full coverage. Each
+/// per-query response document carries a `coverage` object; when shards
+/// fail (at open or at query time) the server answers with partial
+/// results and `coverage < 1` instead of a 500 — only a query *no*
+/// shard could answer errors. The registry must be the one the shard
+/// set was assembled with, so the per-shard `nucdb_shard_*` families
+/// land in this server's `/metrics` exposition. Micro-batching is
+/// forced off (the shard workers are the intra-query parallelism) and
+/// the scrubber is skipped (`nucdb fsck` audits sharded roots offline),
+/// so readiness is immediate.
+pub fn start_sharded(
+    addr: impl ToSocketAddrs,
+    shards: Arc<ShardSet>,
+    registry: Arc<MetricsRegistry>,
+    defaults: SearchParams,
+    mut config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    config.batch_window = None;
+    start_source(addr, DbSource::Sharded(shards), registry, defaults, config)
 }
 
 fn start_source(
@@ -604,17 +642,26 @@ fn route(
             response
         }
         (Method::Get, "/stats") => Response::ok().json(stats_json(shared).render()),
-        (Method::Get, "/debug/queries") => {
-            let db = shared.db();
-            let forensics = &db.metrics().forensics;
-            Response::ok()
-                .json(debug_json(forensics.recent(), forensics.recent_capacity()).render())
-        }
-        (Method::Get, "/debug/slow") => {
-            let db = shared.db();
-            let forensics = &db.metrics().forensics;
-            Response::ok().json(debug_json(forensics.slow(), forensics.slow_capacity()).render())
-        }
+        (Method::Get, "/debug/queries") => match shared.sharded() {
+            // Per-shard flight recorders are not aggregated across the
+            // set; answer an empty ring rather than erroring.
+            Some(_) => Response::ok().json(debug_json(Vec::new(), 0).render()),
+            None => {
+                let db = shared.db();
+                let forensics = &db.metrics().forensics;
+                Response::ok()
+                    .json(debug_json(forensics.recent(), forensics.recent_capacity()).render())
+            }
+        },
+        (Method::Get, "/debug/slow") => match shared.sharded() {
+            Some(_) => Response::ok().json(debug_json(Vec::new(), 0).render()),
+            None => {
+                let db = shared.db();
+                let forensics = &db.metrics().forensics;
+                Response::ok()
+                    .json(debug_json(forensics.slow(), forensics.slow_capacity()).render())
+            }
+        },
         (Method::Post, "/search") => search_endpoint(shared, request, request_id, scratch),
         (Method::Post, "/insert") => insert_endpoint(shared, request, request_id),
         (Method::Post, "/flush") => flush_endpoint(shared, request_id),
@@ -709,6 +756,9 @@ fn debug_json(entries: Vec<FlightEntry>, capacity: usize) -> Value {
 /// have no registry hooks of their own, and scrape-time refresh keeps
 /// the query path free of extra atomics.
 fn update_flight_gauges(shared: &Shared) {
+    if shared.sharded().is_some() {
+        return; // no flight recorder in front of a shard set
+    }
     let db = shared.db();
     let forensics = &db.metrics().forensics;
     let recent_recorded = forensics.recent_recorded();
@@ -730,6 +780,9 @@ fn update_flight_gauges(shared: &Shared) {
 }
 
 fn stats_json(shared: &Shared) -> Value {
+    if let Some(set) = shared.sharded() {
+        return sharded_stats_json(shared, set);
+    }
     let db = shared.db();
     let forensics = &db.metrics().forensics;
     Value::Obj(vec![
@@ -782,6 +835,49 @@ fn stats_json(shared: &Shared) -> Value {
                 IndexVariant::Memory(_) | IndexVariant::Segmented(_) => Value::Null,
             },
         ),
+        ("metrics".to_string(), shared.registry.snapshot().to_json()),
+    ])
+}
+
+/// `GET /stats` for a sharded server: shard rows (name, record base,
+/// liveness) replace the single-database `index_stats`/`forensics`
+/// blocks, which have no aggregate meaning across a set.
+fn sharded_stats_json(shared: &Shared, set: &ShardSet) -> Value {
+    let rows = set
+        .shard_rows()
+        .into_iter()
+        .map(|(name, base, records, error)| {
+            Value::Obj(vec![
+                ("shard".to_string(), Value::Str(name)),
+                ("record_base".to_string(), num(u64::from(base))),
+                ("records".to_string(), num(u64::from(records))),
+                (
+                    "error".to_string(),
+                    match error {
+                        Some(cause) => Value::Str(cause),
+                        None => Value::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("records".to_string(), num(set.len() as u64)),
+        ("total_bases".to_string(), num(set.total_bases())),
+        (
+            "uptime_seconds".to_string(),
+            Value::Num(shared.started.elapsed().as_secs_f64()),
+        ),
+        ("batching".to_string(), Value::Bool(false)),
+        ("build_info".to_string(), build_info::as_json()),
+        (
+            "sharded".to_string(),
+            Value::Obj(vec![
+                ("shards".to_string(), num(set.num_shards() as u64)),
+                ("rows".to_string(), Value::Arr(rows)),
+            ]),
+        ),
+        ("scrub".to_string(), shared.scrub.to_value()),
         ("metrics".to_string(), shared.registry.snapshot().to_json()),
     ])
 }
@@ -853,6 +949,9 @@ fn search_endpoint(
                 .text(format!("{error} (request {request_id})\n"));
         }
     };
+    if let Some(set) = shared.sharded() {
+        return sharded_search_endpoint(set, &search, request_id);
+    }
     let db = shared.db();
     let outcomes = match evaluate(shared, &db, &search, request_id, scratch) {
         Ok(outcomes) => outcomes,
@@ -896,6 +995,104 @@ fn search_endpoint(
         })
         .collect();
     Response::ok().json(api::response_to_json(per_query, request_id).render())
+}
+
+/// `/search` over a shard set: scatter-gather per query. Degraded
+/// coverage still answers 200 — the per-query `coverage` object tells
+/// the client how complete its answer is; only a query *no* shard
+/// could answer (or a parameter sharding cannot honour, like
+/// `max_accumulators`) becomes a 500.
+fn sharded_search_endpoint(set: &ShardSet, search: &SearchRequest, request_id: &str) -> Response {
+    let mut outcomes = Vec::with_capacity(search.queries.len());
+    for query in &search.queries {
+        match set.search(&query.seq, &search.params) {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(error) => {
+                return Response::new(500, "Internal Server Error")
+                    .text(format!("{error} (request {request_id})\n"));
+            }
+        }
+    }
+    // Mean record length over the whole set (dead shards included via
+    // the manifest's record counts), matching the joint build's
+    // calibration inputs so e-values agree at full coverage.
+    let mean_len = (set.total_bases() as usize / set.len().max(1)).max(1);
+    let per_query = search
+        .queries
+        .iter()
+        .zip(&outcomes)
+        .map(|(query, outcome)| {
+            let significance = search.evalue.then(|| {
+                let fit = calibrate_gumbel(
+                    &search.params.scheme,
+                    query.seq.len().max(16),
+                    mean_len,
+                    48,
+                    0xCAFE,
+                );
+                outcome
+                    .results
+                    .iter()
+                    .map(|result| Significance {
+                        bits: fit.bit_score(result.score),
+                        evalue: fit.evalue(
+                            query.seq.len(),
+                            set.record_len(result.record),
+                            result.score,
+                        ),
+                    })
+                    .collect::<Vec<_>>()
+            });
+            sharded_query_json(query, outcome, significance.as_deref())
+        })
+        .collect();
+    Response::ok().json(api::response_to_json(per_query, request_id).render())
+}
+
+/// One sharded query's response document: the engine-shaped answer
+/// document plus a `coverage` object naming any failed shards.
+fn sharded_query_json(
+    query: &api::ApiQuery,
+    outcome: &ShardedOutcome,
+    significance: Option<&[Significance]>,
+) -> Value {
+    let engine_shaped = SearchOutcome {
+        results: outcome.results.clone(),
+        stats: outcome.stats,
+        explain: None,
+    };
+    let mut doc = api::outcome_to_json(query, &engine_shaped, significance);
+    let failures = outcome
+        .failures
+        .iter()
+        .map(|failure| {
+            Value::Obj(vec![
+                ("shard".to_string(), Value::Str(failure.shard.clone())),
+                ("error".to_string(), Value::Str(failure.error.clone())),
+            ])
+        })
+        .collect();
+    if let Value::Obj(members) = &mut doc {
+        members.push((
+            "coverage".to_string(),
+            Value::Obj(vec![
+                (
+                    "shards_ok".to_string(),
+                    num(outcome.coverage.shards_ok as u64),
+                ),
+                (
+                    "shards_total".to_string(),
+                    num(outcome.coverage.shards_total as u64),
+                ),
+                (
+                    "fraction".to_string(),
+                    Value::Num(outcome.coverage.fraction()),
+                ),
+                ("failures".to_string(), Value::Arr(failures)),
+            ]),
+        ));
+    }
+    doc
 }
 
 /// Evaluate a request's queries: through the batching collector when

@@ -13,6 +13,8 @@ cargo test -q
 cargo test -q -p nucdb-serve --test server_e2e
 cargo test -q -p nucdb --test durability
 cargo test -q -p nucdb --test explain_and_health
+cargo test -q -p nucdb --test sharding
+cargo test -q -p nucdb-serve --test shard_e2e
 cargo clippy --workspace -- -D warnings
 # Index health end to end on a real corpus: build a block-codec
 # database, fsck it (clean files must exit 0 — any other exit code
